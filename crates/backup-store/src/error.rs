@@ -1,0 +1,80 @@
+//! Backup store errors.
+
+use std::fmt;
+
+/// Result alias for backup operations.
+pub type Result<T> = std::result::Result<T, BackupError>;
+
+/// Errors from backup creation and restore.
+#[derive(Debug)]
+pub enum BackupError {
+    /// The backup stream is invalid: bad MAC, bad structure, wrong key.
+    InvalidBackup(String),
+    /// Incremental backups presented out of their creation sequence, with
+    /// gaps, or not anchored at a full backup.
+    SequenceViolation(String),
+    /// An incremental backup was requested before any full backup.
+    NoBaseBackup,
+    /// Error from the chunk store.
+    Chunk(chunk_store::ChunkStoreError),
+    /// Error from the platform (archival store I/O).
+    Platform(tdb_platform::PlatformError),
+    /// Plain I/O error on the backup stream.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BackupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackupError::InvalidBackup(m) => write!(f, "invalid backup: {m}"),
+            BackupError::SequenceViolation(m) => write!(f, "backup sequence violation: {m}"),
+            BackupError::NoBaseBackup => {
+                write!(f, "no full backup exists to base an incremental on")
+            }
+            BackupError::Chunk(e) => write!(f, "chunk store: {e}"),
+            BackupError::Platform(e) => write!(f, "platform: {e}"),
+            BackupError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackupError::Chunk(e) => Some(e),
+            BackupError::Platform(e) => Some(e),
+            BackupError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<chunk_store::ChunkStoreError> for BackupError {
+    fn from(e: chunk_store::ChunkStoreError) -> Self {
+        BackupError::Chunk(e)
+    }
+}
+
+impl From<tdb_platform::PlatformError> for BackupError {
+    fn from(e: tdb_platform::PlatformError) -> Self {
+        BackupError::Platform(e)
+    }
+}
+
+impl From<std::io::Error> for BackupError {
+    fn from(e: std::io::Error) -> Self {
+        BackupError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BackupError::NoBaseBackup.to_string().contains("full backup"));
+        assert!(BackupError::InvalidBackup("mac".into()).to_string().contains("mac"));
+        assert!(BackupError::SequenceViolation("gap".into()).to_string().contains("gap"));
+    }
+}

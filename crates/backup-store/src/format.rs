@@ -1,0 +1,266 @@
+//! Backup stream format.
+//!
+//! A backup stream is:
+//!
+//! ```text
+//! magic(8) || kind(1) || seq(8) || base_seq(8) || snap_seq(8)
+//!          || body_len(4) || sealed-body || tag(32)
+//! ```
+//!
+//! The body (encrypted under the backup domain key in `Full` security,
+//! plaintext in `Off`) carries the chunk images and, for incrementals, the
+//! removed ids. The tag is an HMAC over everything before it, so any
+//! modification — including of the plaintext header fields — is rejected at
+//! restore.
+
+use crate::error::{BackupError, Result};
+use chunk_store::crypto_ctx::CryptoCtx;
+use chunk_store::ChunkId;
+use tdb_crypto::DIGEST_LEN;
+
+const MAGIC: [u8; 8] = *b"TDBBKP01";
+
+/// `(chunk writes, removed ids)` decoded from a backup body.
+type DecodedBody = (Vec<(ChunkId, Vec<u8>)>, Vec<ChunkId>);
+/// Fixed byte length of the plaintext stream header.
+const HEADER_LEN: usize = 8 + 1 + 8 + 8 + 8 + 4;
+
+/// Kind of backup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupKind {
+    /// Complete database image.
+    Full,
+    /// Changes since the previous backup (by `base_seq`).
+    Incremental,
+}
+
+impl BackupKind {
+    fn tag(self) -> u8 {
+        match self {
+            BackupKind::Full => 0,
+            BackupKind::Incremental => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(BackupKind::Full),
+            1 => Some(BackupKind::Incremental),
+            _ => None,
+        }
+    }
+}
+
+/// Decoded backup contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackupPayload {
+    /// Kind of backup.
+    pub kind: BackupKind,
+    /// Backup sequence number (monotonic per database).
+    pub seq: u64,
+    /// For incrementals: the `seq` of the backup this one builds on.
+    pub base_seq: u64,
+    /// Chunk-store commit sequence captured by the snapshot.
+    pub snap_seq: u64,
+    /// Chunk images (full: all; incremental: changed).
+    pub writes: Vec<(ChunkId, Vec<u8>)>,
+    /// Ids removed since the base (incremental only).
+    pub removed: Vec<ChunkId>,
+}
+
+impl BackupPayload {
+    fn encode_body(&self) -> Vec<u8> {
+        let payload_bytes: usize = self.writes.iter().map(|(_, d)| 12 + d.len()).sum();
+        let mut out = Vec::with_capacity(8 + payload_bytes + self.removed.len() * 8);
+        out.extend_from_slice(&(self.writes.len() as u32).to_le_bytes());
+        for (id, data) in &self.writes {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out.extend_from_slice(&(self.removed.len() as u32).to_le_bytes());
+        for id in &self.removed {
+            out.extend_from_slice(&id.0.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_body(bytes: &[u8]) -> Result<DecodedBody> {
+        let bad = |m: &str| BackupError::InvalidBackup(m.to_string());
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(bad("body truncated"));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let n_writes =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        if n_writes > bytes.len() {
+            return Err(bad("write count exceeds body"));
+        }
+        let mut writes = Vec::with_capacity(n_writes);
+        for _ in 0..n_writes {
+            let id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let data = take(&mut pos, len)?.to_vec();
+            writes.push((ChunkId(id), data));
+        }
+        let n_removed =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        if n_removed > bytes.len() {
+            return Err(bad("removed count exceeds body"));
+        }
+        let mut removed = Vec::with_capacity(n_removed);
+        for _ in 0..n_removed {
+            removed.push(ChunkId(u64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().expect("8"),
+            )));
+        }
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes in body"));
+        }
+        Ok((writes, removed))
+    }
+
+    /// Serialize, seal, and authenticate the backup stream.
+    pub fn encode(&self, ctx: &CryptoCtx) -> Vec<u8> {
+        let sealed = ctx.seal(&self.encode_body());
+        let mut out = Vec::with_capacity(HEADER_LEN + sealed.len() + DIGEST_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.push(self.kind.tag());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.base_seq.to_le_bytes());
+        out.extend_from_slice(&self.snap_seq.to_le_bytes());
+        out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&sealed);
+        let tag = ctx.anchor_tag(&out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Validate and decode a backup stream.
+    pub fn decode(ctx: &CryptoCtx, bytes: &[u8]) -> Result<Self> {
+        let bad = |m: &str| BackupError::InvalidBackup(m.to_string());
+        if bytes.len() < HEADER_LEN + DIGEST_LEN {
+            return Err(bad("stream too short"));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let kind = BackupKind::from_tag(bytes[8]).ok_or_else(|| bad("bad kind tag"))?;
+        let seq = u64::from_le_bytes(bytes[9..17].try_into().expect("8"));
+        let base_seq = u64::from_le_bytes(bytes[17..25].try_into().expect("8"));
+        let snap_seq = u64::from_le_bytes(bytes[25..33].try_into().expect("8"));
+        let body_len = u32::from_le_bytes(bytes[33..37].try_into().expect("4")) as usize;
+        if bytes.len() != HEADER_LEN + body_len + DIGEST_LEN {
+            return Err(bad("length mismatch"));
+        }
+        let (signed, tag_bytes) = bytes.split_at(HEADER_LEN + body_len);
+        let tag: [u8; DIGEST_LEN] = tag_bytes.try_into().expect("32");
+        if !CryptoCtx::tags_equal(&ctx.anchor_tag(signed), &tag) {
+            return Err(bad("authentication tag mismatch"));
+        }
+        let body = ctx
+            .open(&signed[HEADER_LEN..])
+            .map_err(|_| bad("body does not decrypt"))?;
+        let (writes, removed) = Self::decode_body(&body)?;
+        Ok(BackupPayload { kind, seq, base_seq, snap_seq, writes, removed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunk_store::SecurityMode;
+    use tdb_platform::MemSecretStore;
+
+    fn ctx() -> CryptoCtx {
+        CryptoCtx::with_domain(
+            SecurityMode::Full,
+            &MemSecretStore::from_label("bkp-fmt"),
+            7,
+            "tdb.backup",
+        )
+        .unwrap()
+    }
+
+    fn sample() -> BackupPayload {
+        BackupPayload {
+            kind: BackupKind::Incremental,
+            seq: 5,
+            base_seq: 4,
+            snap_seq: 77,
+            writes: vec![(ChunkId(0), b"zero".to_vec()), (ChunkId(9), vec![1; 300])],
+            removed: vec![ChunkId(3)],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = ctx();
+        let p = sample();
+        let enc = p.encode(&c);
+        assert_eq!(BackupPayload::decode(&c, &enc).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_full_backup_roundtrip() {
+        let c = ctx();
+        let p = BackupPayload {
+            kind: BackupKind::Full,
+            seq: 1,
+            base_seq: 0,
+            snap_seq: 0,
+            writes: vec![],
+            removed: vec![],
+        };
+        let enc = p.encode(&c);
+        assert_eq!(BackupPayload::decode(&c, &enc).unwrap(), p);
+    }
+
+    #[test]
+    fn any_bit_flip_rejected() {
+        let c = ctx();
+        let enc = sample().encode(&c);
+        for i in (0..enc.len()).step_by(11) {
+            let mut bad = enc.clone();
+            bad[i] ^= 0x40;
+            assert!(BackupPayload::decode(&c, &bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let c = ctx();
+        let enc = sample().encode(&c);
+        for cut in [0, 10, HEADER_LEN, enc.len() - 1] {
+            assert!(BackupPayload::decode(&c, &enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let c1 = ctx();
+        let c2 = CryptoCtx::with_domain(
+            SecurityMode::Full,
+            &MemSecretStore::from_label("other"),
+            7,
+            "tdb.backup",
+        )
+        .unwrap();
+        let enc = sample().encode(&c1);
+        assert!(BackupPayload::decode(&c2, &enc).is_err());
+    }
+
+    #[test]
+    fn payload_is_encrypted() {
+        let c = ctx();
+        let mut p = sample();
+        p.writes[0].1 = b"SECRET-CONTENT-KEY".to_vec();
+        let enc = p.encode(&c);
+        assert!(!enc.windows(18).any(|w| w == b"SECRET-CONTENT-KEY"));
+    }
+}

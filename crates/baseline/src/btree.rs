@@ -1,0 +1,415 @@
+//! Page-based B-tree access method (one tree per named database,
+//! variable-size keys and values, update-in-place).
+//!
+//! Each node occupies exactly one 4 KiB page. Inner nodes hold separator
+//! keys (the minimum key of the right subtree) and child page numbers;
+//! splits propagate bottom-up. Deletion removes leaf entries without
+//! rebalancing, like many embedded engines.
+
+use crate::buffer::BufferPool;
+use crate::error::{BaselineError, Result};
+use crate::pagefile::PageFile;
+use crate::PAGE_SIZE;
+
+const LEAF_TAG: u8 = 1;
+const INNER_TAG: u8 = 2;
+/// Serialized node must leave this much slack before splitting.
+const SPLIT_MARGIN: usize = 32;
+/// Largest key+value an entry may carry.
+pub const MAX_ENTRY: usize = PAGE_SIZE / 4;
+
+/// In-memory form of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Node {
+    Leaf(Vec<(Vec<u8>, Vec<u8>)>),
+    Inner {
+        first: u32,
+        /// `(separator key, right child)`; the separator is the minimum
+        /// key reachable through that child.
+        entries: Vec<(Vec<u8>, u32)>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf(entries) => {
+                3 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+            }
+            Node::Inner { entries, .. } => {
+                3 + 4 + entries.iter().map(|(k, _)| 6 + k.len()).sum::<usize>()
+            }
+        }
+    }
+
+    fn overflows(&self) -> bool {
+        self.serialized_size() + SPLIT_MARGIN > PAGE_SIZE
+    }
+
+    fn serialize_into(&self, page: &mut [u8]) {
+        page.fill(0);
+        match self {
+            Node::Leaf(entries) => {
+                page[0] = LEAF_TAG;
+                page[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                let mut pos = 3;
+                for (k, v) in entries {
+                    page[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    page[pos + 2..pos + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                    pos += 4;
+                    page[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    page[pos..pos + v.len()].copy_from_slice(v);
+                    pos += v.len();
+                }
+            }
+            Node::Inner { first, entries } => {
+                page[0] = INNER_TAG;
+                page[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                page[3..7].copy_from_slice(&first.to_le_bytes());
+                let mut pos = 7;
+                for (k, child) in entries {
+                    page[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    pos += 2;
+                    page[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    page[pos..pos + 4].copy_from_slice(&child.to_le_bytes());
+                    pos += 4;
+                }
+            }
+        }
+    }
+
+    fn deserialize(page: &[u8]) -> Result<Node> {
+        let corrupt = |m: &str| BaselineError::Corrupt(format!("btree page: {m}"));
+        if page.len() < 3 {
+            return Err(corrupt("short page"));
+        }
+        let count = u16::from_le_bytes(page[1..3].try_into().expect("2")) as usize;
+        match page[0] {
+            LEAF_TAG => {
+                let mut entries = Vec::with_capacity(count);
+                let mut pos = 3usize;
+                for _ in 0..count {
+                    if pos + 4 > page.len() {
+                        return Err(corrupt("leaf entry header out of bounds"));
+                    }
+                    let klen =
+                        u16::from_le_bytes(page[pos..pos + 2].try_into().expect("2")) as usize;
+                    let vlen =
+                        u16::from_le_bytes(page[pos + 2..pos + 4].try_into().expect("2")) as usize;
+                    pos += 4;
+                    if pos + klen + vlen > page.len() {
+                        return Err(corrupt("leaf entry out of bounds"));
+                    }
+                    let key = page[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let val = page[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    entries.push((key, val));
+                }
+                Ok(Node::Leaf(entries))
+            }
+            INNER_TAG => {
+                if page.len() < 7 {
+                    return Err(corrupt("short inner page"));
+                }
+                let first = u32::from_le_bytes(page[3..7].try_into().expect("4"));
+                let mut entries = Vec::with_capacity(count);
+                let mut pos = 7usize;
+                for _ in 0..count {
+                    if pos + 2 > page.len() {
+                        return Err(corrupt("inner entry header out of bounds"));
+                    }
+                    let klen =
+                        u16::from_le_bytes(page[pos..pos + 2].try_into().expect("2")) as usize;
+                    pos += 2;
+                    if pos + klen + 4 > page.len() {
+                        return Err(corrupt("inner entry out of bounds"));
+                    }
+                    let key = page[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let child = u32::from_le_bytes(page[pos..pos + 4].try_into().expect("4"));
+                    pos += 4;
+                    entries.push((key, child));
+                }
+                Ok(Node::Inner { first, entries })
+            }
+            other => Err(corrupt(&format!("unknown tag {other}"))),
+        }
+    }
+}
+
+/// Mutable context for tree operations.
+pub(crate) struct Ctx<'a> {
+    pub pool: &'a mut BufferPool,
+    pub file: &'a PageFile,
+    pub next_page: &'a mut u32,
+    pub txn: u64,
+}
+
+impl Ctx<'_> {
+    fn read_node(&mut self, no: u32) -> Result<Node> {
+        Node::deserialize(self.pool.get(self.file, no)?)
+    }
+
+    fn write_node(&mut self, no: u32, node: &Node) -> Result<()> {
+        let page = self.pool.get_mut(self.file, no, self.txn)?;
+        node.serialize_into(page);
+        Ok(())
+    }
+
+    fn alloc_node(&mut self, node: &Node) -> Result<u32> {
+        let no = *self.next_page;
+        *self.next_page += 1;
+        let page = self.pool.install_new(self.file, no, self.txn)?;
+        node.serialize_into(page);
+        Ok(no)
+    }
+}
+
+/// Create an empty tree; returns the root page number.
+pub(crate) fn create(ctx: &mut Ctx<'_>) -> Result<u32> {
+    ctx.alloc_node(&Node::Leaf(Vec::new()))
+}
+
+/// Index of the child covering `key` in an inner node.
+fn child_for(first: u32, entries: &[(Vec<u8>, u32)], key: &[u8]) -> (usize, u32) {
+    let idx = entries.partition_point(|(k, _)| k.as_slice() <= key);
+    if idx == 0 {
+        (0, first)
+    } else {
+        (idx, entries[idx - 1].1)
+    }
+}
+
+/// Look up a key.
+pub(crate) fn get(ctx: &mut Ctx<'_>, root: u32, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    let mut no = root;
+    loop {
+        match ctx.read_node(no)? {
+            Node::Leaf(entries) => {
+                return Ok(entries
+                    .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                    .ok()
+                    .map(|i| entries[i].1.clone()));
+            }
+            Node::Inner { first, entries } => {
+                no = child_for(first, &entries, key).1;
+            }
+        }
+    }
+}
+
+/// Insert or update. Returns `(old value, new root if the root split)`.
+pub(crate) fn put(
+    ctx: &mut Ctx<'_>,
+    root: u32,
+    key: &[u8],
+    val: &[u8],
+) -> Result<(Option<Vec<u8>>, Option<u32>)> {
+    if key.len() + val.len() > MAX_ENTRY {
+        return Err(BaselineError::TooLarge(key.len() + val.len()));
+    }
+    let (old, split) = insert_rec(ctx, root, key, val)?;
+    match split {
+        None => Ok((old, None)),
+        Some((sep, right)) => {
+            let new_root = ctx.alloc_node(&Node::Inner { first: root, entries: vec![(sep, right)] })?;
+            Ok((old, Some(new_root)))
+        }
+    }
+}
+
+type Split = Option<(Vec<u8>, u32)>;
+
+fn insert_rec(
+    ctx: &mut Ctx<'_>,
+    no: u32,
+    key: &[u8],
+    val: &[u8],
+) -> Result<(Option<Vec<u8>>, Split)> {
+    match ctx.read_node(no)? {
+        Node::Leaf(mut entries) => {
+            let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(i) => Some(std::mem::replace(&mut entries[i].1, val.to_vec())),
+                Err(i) => {
+                    entries.insert(i, (key.to_vec(), val.to_vec()));
+                    None
+                }
+            };
+            let node = Node::Leaf(entries);
+            if !node.overflows() {
+                ctx.write_node(no, &node)?;
+                return Ok((old, None));
+            }
+            let Node::Leaf(mut entries) = node else { unreachable!() };
+            let mid = entries.len() / 2;
+            let right_entries = entries.split_off(mid);
+            let sep = right_entries[0].0.clone();
+            let right = ctx.alloc_node(&Node::Leaf(right_entries))?;
+            ctx.write_node(no, &Node::Leaf(entries))?;
+            Ok((old, Some((sep, right))))
+        }
+        Node::Inner { first, mut entries } => {
+            let (idx, child) = child_for(first, &entries, key);
+            let (old, split) = insert_rec(ctx, child, key, val)?;
+            let Some((sep, new_child)) = split else {
+                return Ok((old, None));
+            };
+            entries.insert(idx, (sep, new_child));
+            let node = Node::Inner { first, entries };
+            if !node.overflows() {
+                ctx.write_node(no, &node)?;
+                return Ok((old, None));
+            }
+            let Node::Inner { first, mut entries } = node else { unreachable!() };
+            let mid = entries.len() / 2;
+            let mut right_part = entries.split_off(mid);
+            let (up_key, right_first) = right_part.remove(0);
+            let right =
+                ctx.alloc_node(&Node::Inner { first: right_first, entries: right_part })?;
+            ctx.write_node(no, &Node::Inner { first, entries })?;
+            Ok((old, Some((up_key, right))))
+        }
+    }
+}
+
+/// Delete a key; returns the old value if present. Leaf-only removal, no
+/// rebalancing.
+pub(crate) fn del(ctx: &mut Ctx<'_>, root: u32, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    let mut no = root;
+    loop {
+        match ctx.read_node(no)? {
+            Node::Leaf(mut entries) => {
+                return match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let (_, val) = entries.remove(i);
+                        ctx.write_node(no, &Node::Leaf(entries))?;
+                        Ok(Some(val))
+                    }
+                    Err(_) => Ok(None),
+                };
+            }
+            Node::Inner { first, entries } => {
+                no = child_for(first, &entries, key).1;
+            }
+        }
+    }
+}
+
+/// Visit every entry in key order.
+pub(crate) fn for_each(
+    ctx: &mut Ctx<'_>,
+    root: u32,
+    f: &mut impl FnMut(&[u8], &[u8]),
+) -> Result<()> {
+    match ctx.read_node(root)? {
+        Node::Leaf(entries) => {
+            for (k, v) in &entries {
+                f(k, v);
+            }
+        }
+        Node::Inner { first, entries } => {
+            for_each(ctx, first, f)?;
+            for (_, child) in &entries {
+                for_each(ctx, *child, f)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tdb_platform::{MemStore, UntrustedStore};
+
+    struct Fix {
+        file: PageFile,
+        pool: BufferPool,
+        next_page: u32,
+    }
+
+    impl Fix {
+        fn new() -> Self {
+            let mem = MemStore::new();
+            Fix {
+                file: PageFile::new(mem.open("db", true).unwrap()),
+                pool: BufferPool::new(64),
+                next_page: 1,
+            }
+        }
+
+        fn ctx(&mut self) -> Ctx<'_> {
+            Ctx { pool: &mut self.pool, file: &self.file, next_page: &mut self.next_page, txn: 1 }
+        }
+    }
+
+    #[test]
+    fn node_serialization_roundtrip() {
+        let leaf = Node::Leaf(vec![(b"a".to_vec(), b"1".to_vec()), (b"bb".to_vec(), vec![9; 100])]);
+        let mut page = vec![0u8; PAGE_SIZE];
+        leaf.serialize_into(&mut page);
+        assert_eq!(Node::deserialize(&page).unwrap(), leaf);
+
+        let inner = Node::Inner { first: 7, entries: vec![(b"m".to_vec(), 9), (b"t".to_vec(), 12)] };
+        inner.serialize_into(&mut page);
+        assert_eq!(Node::deserialize(&page).unwrap(), inner);
+        assert!(Node::deserialize(&[9u8; 16]).is_err());
+    }
+
+    #[test]
+    fn put_get_del_against_model() {
+        let mut fx = Fix::new();
+        let mut root = create(&mut fx.ctx()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        // Enough entries (with 100-byte values) to force multi-level splits.
+        let mut state = 99u64;
+        for i in 0..2000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state % 3000).to_be_bytes().to_vec();
+            let val = format!("value-{i:04}").into_bytes().repeat(3);
+            let (old, new_root) = put(&mut fx.ctx(), root, &key, &val).unwrap();
+            assert_eq!(old, model.insert(key, val), "step {i}");
+            if let Some(nr) = new_root {
+                root = nr;
+            }
+        }
+        for (k, v) in &model {
+            assert_eq!(get(&mut fx.ctx(), root, k).unwrap().as_ref(), Some(v));
+        }
+        assert_eq!(get(&mut fx.ctx(), root, b"absent").unwrap(), None);
+
+        // Ordered scan agrees with the model.
+        let mut scanned = Vec::new();
+        for_each(&mut fx.ctx(), root, &mut |k, _| scanned.push(k.to_vec())).unwrap();
+        assert_eq!(scanned, model.keys().cloned().collect::<Vec<_>>());
+
+        // Delete half.
+        let keys: Vec<Vec<u8>> = model.keys().cloned().collect();
+        for (i, key) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                let old = del(&mut fx.ctx(), root, key).unwrap();
+                assert_eq!(old.as_ref(), model.get(key));
+                model.remove(key);
+            }
+        }
+        for key in keys {
+            assert_eq!(get(&mut fx.ctx(), root, &key).unwrap(), model.get(&key).cloned());
+        }
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut fx = Fix::new();
+        let root = create(&mut fx.ctx()).unwrap();
+        let big = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            put(&mut fx.ctx(), root, b"k", &big),
+            Err(BaselineError::TooLarge(_))
+        ));
+    }
+}

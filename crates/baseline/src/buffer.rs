@@ -1,0 +1,224 @@
+//! The buffer pool: an LRU cache of database pages.
+//!
+//! Pages dirtied by still-active transactions are never written out (the
+//! engine is redo-only: there are no undo records to roll back a stolen
+//! page, so stealing is simply forbidden). Pages whose dirtying
+//! transactions have all finished may be flushed under pressure or at a
+//! checkpoint — no-force otherwise.
+
+use crate::error::{BaselineError, Result};
+use crate::pagefile::PageFile;
+use std::collections::{HashMap, HashSet};
+
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    /// Active transactions whose uncommitted changes sit on this page.
+    dirty_txns: HashSet<u64>,
+    tick: u64,
+}
+
+/// The buffer pool.
+pub struct BufferPool {
+    frames: HashMap<u32, Frame>,
+    capacity_pages: usize,
+    tick: u64,
+    /// Number of clean resident frames (evict fast-path bookkeeping).
+    clean_count: usize,
+    /// Pages each active transaction has dirtied (so releasing a
+    /// transaction is O(its pages), not O(pool)).
+    txn_pages: HashMap<u64, Vec<u32>>,
+    /// Bytes of pages written back to the file (stats).
+    pub page_bytes_flushed: u64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity_pages` pages.
+    pub fn new(capacity_pages: usize) -> Self {
+        BufferPool {
+            frames: HashMap::new(),
+            capacity_pages: capacity_pages.max(8),
+            tick: 0,
+            clean_count: 0,
+            txn_pages: HashMap::new(),
+            page_bytes_flushed: 0,
+        }
+    }
+
+    /// Get a page for reading, loading it from `file` on a miss.
+    pub fn get(&mut self, file: &PageFile, no: u32) -> Result<&[u8]> {
+        self.load(file, no)?;
+        let frame = self.frames.get_mut(&no).expect("just loaded");
+        self.tick += 1;
+        frame.tick = self.tick;
+        Ok(&frame.data)
+    }
+
+    /// Get a page for writing under transaction `txn`; marks it dirty.
+    pub fn get_mut(&mut self, file: &PageFile, no: u32, txn: u64) -> Result<&mut Vec<u8>> {
+        self.load(file, no)?;
+        let frame = self.frames.get_mut(&no).expect("just loaded");
+        self.tick += 1;
+        frame.tick = self.tick;
+        if !frame.dirty {
+            frame.dirty = true;
+            self.clean_count -= 1;
+        }
+        if frame.dirty_txns.insert(txn) {
+            self.txn_pages.entry(txn).or_default().push(no);
+        }
+        let frame = self.frames.get_mut(&no).expect("present");
+        Ok(&mut frame.data)
+    }
+
+    /// Install a brand-new (all-zero) page under transaction `txn`.
+    pub fn install_new(&mut self, file: &PageFile, no: u32, txn: u64) -> Result<&mut Vec<u8>> {
+        self.tick += 1;
+        self.frames.insert(
+            no,
+            Frame {
+                data: vec![0u8; crate::PAGE_SIZE],
+                dirty: true,
+                dirty_txns: std::iter::once(txn).collect(),
+                tick: self.tick,
+            },
+        );
+        self.txn_pages.entry(txn).or_default().push(no);
+        self.evict_if_needed(file, no)?;
+        Ok(&mut self.frames.get_mut(&no).expect("just inserted").data)
+    }
+
+    fn load(&mut self, file: &PageFile, no: u32) -> Result<()> {
+        if !self.frames.contains_key(&no) {
+            let data = file.read_page(no)?;
+            self.tick += 1;
+            self.frames.insert(
+                no,
+                Frame { data, dirty: false, dirty_txns: HashSet::new(), tick: self.tick },
+            );
+            self.clean_count += 1;
+            self.evict_if_needed(file, no)?;
+        }
+        Ok(())
+    }
+
+    /// A transaction finished: its pages become flushable (commit) — the
+    /// caller has already ensured the WAL covers them — or were reverted in
+    /// memory (abort).
+    pub fn release_txn(&mut self, txn: u64) {
+        if let Some(pages) = self.txn_pages.remove(&txn) {
+            for no in pages {
+                if let Some(frame) = self.frames.get_mut(&no) {
+                    frame.dirty_txns.remove(&txn);
+                }
+            }
+        }
+    }
+
+    fn evict_if_needed(&mut self, _file: &PageFile, keep: u32) -> Result<()> {
+        // Only *clean* frames are evicted. Dirty frames stay resident until
+        // a checkpoint: the on-disk file therefore always holds exactly the
+        // last checkpoint's (structurally consistent) state, which is what
+        // makes redo-only recovery sound. If everything is dirty the pool
+        // temporarily overflows its budget rather than stealing.
+        //
+        // One pass: collect the clean frames oldest-first and evict enough
+        // in a batch. A per-eviction scan would be O(frames) for every page
+        // load once the pool is over budget — quadratic across a bulk load.
+        if self.frames.len() <= self.capacity_pages || self.clean_count == 0 {
+            return Ok(());
+        }
+        let excess = self.frames.len() - self.capacity_pages;
+        let mut clean: Vec<(u64, u32)> = self
+            .frames
+            .iter()
+            .filter(|(no, f)| !f.dirty && **no != keep)
+            .map(|(no, f)| (f.tick, *no))
+            .collect();
+        clean.sort_unstable();
+        for (_, no) in clean.into_iter().take(excess) {
+            self.frames.remove(&no);
+            self.clean_count -= 1;
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page not pinned by an active transaction
+    /// (checkpoint / clean shutdown). Errors if any page is still pinned
+    /// and `require_all` is set.
+    pub fn flush_all(&mut self, file: &PageFile, require_all: bool) -> Result<()> {
+        for (no, frame) in self.frames.iter_mut() {
+            if frame.dirty {
+                if !frame.dirty_txns.is_empty() {
+                    if require_all {
+                        return Err(BaselineError::Corrupt(
+                            "checkpoint with active transactions".into(),
+                        ));
+                    }
+                    continue;
+                }
+                file.write_page(*no, &frame.data)?;
+                self.page_bytes_flushed += frame.data.len() as u64;
+                frame.dirty = false;
+                self.clean_count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of resident pages (diagnostics).
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_platform::{MemStore, UntrustedStore};
+
+    fn setup() -> (PageFile, BufferPool) {
+        let mem = MemStore::new();
+        let pf = PageFile::new(mem.open("db", true).unwrap());
+        (pf, BufferPool::new(8))
+    }
+
+    #[test]
+    fn read_through_and_cache() {
+        let (pf, mut bp) = setup();
+        pf.write_page(0, &vec![9u8; crate::PAGE_SIZE]).unwrap();
+        assert_eq!(bp.get(&pf, 0).unwrap()[0], 9);
+        // Mutate underlying file; cached copy served.
+        pf.write_page(0, &vec![1u8; crate::PAGE_SIZE]).unwrap();
+        assert_eq!(bp.get(&pf, 0).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn dirty_pages_never_leak_before_checkpoint() {
+        let (pf, mut bp) = setup();
+        // Dirty page 0 under txn 1.
+        bp.get_mut(&pf, 0, 1).unwrap()[0] = 42;
+        bp.release_txn(1);
+        // Fill the pool far beyond capacity with clean pages.
+        for no in 1..40 {
+            pf.write_page(no, &vec![0u8; crate::PAGE_SIZE]).unwrap();
+            bp.get(&pf, no).unwrap();
+        }
+        // Page 0 is dirty and must still be resident, never stolen: the
+        // on-disk file holds exactly the last checkpoint state.
+        assert_ne!(pf.read_page(0).unwrap()[0], 42, "dirty page leaked to disk");
+        assert!(bp.resident() <= 9 + 1, "clean frames should have been evicted");
+        bp.flush_all(&pf, true).unwrap();
+        assert_eq!(pf.read_page(0).unwrap()[0], 42);
+        assert!(bp.page_bytes_flushed >= crate::PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn flush_all_requires_no_active_txns() {
+        let (pf, mut bp) = setup();
+        bp.get_mut(&pf, 0, 7).unwrap()[0] = 1;
+        assert!(bp.flush_all(&pf, true).is_err());
+        bp.release_txn(7);
+        bp.flush_all(&pf, true).unwrap();
+    }
+}

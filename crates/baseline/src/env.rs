@@ -1,0 +1,447 @@
+//! The environment: catalog, transactions, commit/abort, recovery.
+//!
+//! One environment owns one database file (`bdb.db`) and one log
+//! (`bdb.wal`), with any number of named B-tree databases inside — like a
+//! Berkeley DB environment with a shared transaction log.
+//!
+//! The engine is single-writer: one transaction at a time (the TDB paper's
+//! comparison workload is a single-threaded TPC-B driver, and Berkeley
+//! DB's own strength was never concurrency). Reads outside transactions
+//! are allowed.
+
+use crate::btree;
+use crate::buffer::BufferPool;
+use crate::error::{BaselineError, Result};
+use crate::pagefile::PageFile;
+use crate::wal::{Wal, WalRecord};
+use crate::PAGE_SIZE;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tdb_platform::UntrustedStore;
+
+const META_MAGIC: [u8; 8] = *b"BDBMETA1";
+const DB_FILE: &str = "bdb.db";
+const WAL_FILE: &str = "bdb.wal";
+
+/// Index of a named database within the environment's catalog.
+pub type DbId = u16;
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Buffer pool capacity in pages (default 1024 = 4 MiB, the paper's
+    /// cache size).
+    pub cache_pages: usize,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig { cache_pages: 1024 }
+    }
+}
+
+struct Catalog {
+    names: Vec<String>,
+    roots: Vec<u32>,
+}
+
+impl Catalog {
+    fn id_of(&self, name: &str) -> Option<DbId> {
+        self.names.iter().position(|n| n == name).map(|i| i as DbId)
+    }
+
+    fn serialize_into(&self, next_page: u32, page: &mut [u8]) {
+        page.fill(0);
+        page[..8].copy_from_slice(&META_MAGIC);
+        page[8..12].copy_from_slice(&next_page.to_le_bytes());
+        page[12..14].copy_from_slice(&(self.names.len() as u16).to_le_bytes());
+        let mut pos = 14;
+        for (name, root) in self.names.iter().zip(&self.roots) {
+            page[pos..pos + 2].copy_from_slice(&(name.len() as u16).to_le_bytes());
+            pos += 2;
+            page[pos..pos + name.len()].copy_from_slice(name.as_bytes());
+            pos += name.len();
+            page[pos..pos + 4].copy_from_slice(&root.to_le_bytes());
+            pos += 4;
+        }
+    }
+
+    fn deserialize(page: &[u8]) -> Result<(Catalog, u32)> {
+        let corrupt = |m: &str| BaselineError::Corrupt(format!("meta page: {m}"));
+        if page.len() < 14 || page[..8] != META_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let next_page = u32::from_le_bytes(page[8..12].try_into().expect("4"));
+        let count = u16::from_le_bytes(page[12..14].try_into().expect("2")) as usize;
+        let mut names = Vec::with_capacity(count);
+        let mut roots = Vec::with_capacity(count);
+        let mut pos = 14usize;
+        for _ in 0..count {
+            if pos + 2 > page.len() {
+                return Err(corrupt("catalog out of bounds"));
+            }
+            let len = u16::from_le_bytes(page[pos..pos + 2].try_into().expect("2")) as usize;
+            pos += 2;
+            if pos + len + 4 > page.len() {
+                return Err(corrupt("catalog entry out of bounds"));
+            }
+            let name = String::from_utf8(page[pos..pos + len].to_vec())
+                .map_err(|_| corrupt("bad db name"))?;
+            pos += len;
+            let root = u32::from_le_bytes(page[pos..pos + 4].try_into().expect("4"));
+            pos += 4;
+            names.push(name);
+            roots.push(root);
+        }
+        Ok((Catalog { names, roots }, next_page))
+    }
+}
+
+/// An undo entry for in-memory abort.
+enum Undo {
+    /// Restore a previous value (or remove if `None`).
+    Put { db: DbId, key: Vec<u8>, old: Option<Vec<u8>> },
+    /// Re-insert a deleted value.
+    Del { db: DbId, key: Vec<u8>, old: Vec<u8> },
+}
+
+/// An open transaction handle.
+pub struct Txn {
+    id: u64,
+    undo: Vec<Undo>,
+    finished: bool,
+}
+
+impl Txn {
+    /// Transaction id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+struct EnvInner {
+    file: PageFile,
+    pool: BufferPool,
+    wal: Wal,
+    catalog: Catalog,
+    next_page: u32,
+    next_txn: u64,
+    active: Option<u64>,
+    /// Meta page needs rewriting before the next checkpoint.
+    meta_dirty: bool,
+}
+
+impl EnvInner {
+    fn ctx(&mut self, txn: u64) -> btree::Ctx<'_> {
+        btree::Ctx {
+            pool: &mut self.pool,
+            file: &self.file,
+            next_page: &mut self.next_page,
+            txn,
+        }
+    }
+
+    fn write_meta(&mut self, txn: u64) -> Result<()> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        self.catalog.serialize_into(self.next_page, &mut page);
+        let frame = self.pool.get_mut(&self.file, 0, txn)?;
+        frame.copy_from_slice(&page);
+        self.meta_dirty = false;
+        Ok(())
+    }
+
+    fn apply_put(&mut self, txn: u64, db: DbId, key: &[u8], val: &[u8]) -> Result<Option<Vec<u8>>> {
+        let root = self.catalog.roots[db as usize];
+        let (old, new_root) = {
+            let mut ctx = self.ctx(txn);
+            btree::put(&mut ctx, root, key, val)?
+        };
+        if let Some(new_root) = new_root {
+            self.catalog.roots[db as usize] = new_root;
+            self.write_meta(txn)?;
+        }
+        Ok(old)
+    }
+
+    fn apply_del(&mut self, txn: u64, db: DbId, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let root = self.catalog.roots[db as usize];
+        let mut ctx = self.ctx(txn);
+        btree::del(&mut ctx, root, key)
+    }
+
+    fn create_db_inner(&mut self, txn: u64, name: &str) -> Result<DbId> {
+        if self.catalog.id_of(name).is_some() {
+            return Err(BaselineError::DbExists(name.to_string()));
+        }
+        let root = {
+            let mut ctx = self.ctx(txn);
+            btree::create(&mut ctx)?
+        };
+        self.catalog.names.push(name.to_string());
+        self.catalog.roots.push(root);
+        self.write_meta(txn)?;
+        Ok((self.catalog.names.len() - 1) as DbId)
+    }
+}
+
+/// A Berkeley-DB-like environment.
+pub struct Env {
+    inner: Mutex<EnvInner>,
+}
+
+impl Env {
+    /// Create a fresh environment in `store`.
+    pub fn create(store: Arc<dyn UntrustedStore>, cfg: BaselineConfig) -> Result<Self> {
+        if store.exists(DB_FILE)? {
+            return Err(BaselineError::DbExists(DB_FILE.to_string()));
+        }
+        let file = PageFile::new(store.open(DB_FILE, true)?);
+        let wal = Wal::new(store.open(WAL_FILE, true)?, 0);
+        let mut inner = EnvInner {
+            file,
+            pool: BufferPool::new(cfg.cache_pages),
+            wal,
+            catalog: Catalog { names: Vec::new(), roots: Vec::new() },
+            next_page: 1,
+            next_txn: 1,
+            active: None,
+            meta_dirty: true,
+        };
+        inner.write_meta(0)?;
+        inner.pool.release_txn(0);
+        inner.pool.flush_all(&inner.file, true)?;
+        inner.file.sync()?;
+        Ok(Env { inner: Mutex::new(inner) })
+    }
+
+    /// Open an existing environment, running redo recovery from the log.
+    pub fn open(store: Arc<dyn UntrustedStore>, cfg: BaselineConfig) -> Result<Self> {
+        let file = PageFile::new(store.open(DB_FILE, false)?);
+        let meta = file.read_page(0)?;
+        let (catalog, next_page) = Catalog::deserialize(&meta)?;
+        let wal_file = store.open(WAL_FILE, true)?;
+        let (records, scan_end) = Wal::scan(&*wal_file)?;
+        let wal = Wal::new(wal_file, scan_end);
+        let mut inner = EnvInner {
+            file,
+            pool: BufferPool::new(cfg.cache_pages),
+            wal,
+            catalog,
+            next_page,
+            next_txn: 1,
+            active: None,
+            meta_dirty: false,
+        };
+
+        // Redo pass: apply operations of committed transactions in order.
+        let committed: std::collections::HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let mut max_txn = 0u64;
+        for record in &records {
+            match record {
+                WalRecord::CreateDb { txn, name } if committed.contains(txn) => {
+                    max_txn = max_txn.max(*txn);
+                    if inner.catalog.id_of(name).is_none() {
+                        inner.create_db_inner(0, name)?;
+                    }
+                }
+                WalRecord::Put { txn, db, key, new, .. } if committed.contains(txn) => {
+                    max_txn = max_txn.max(*txn);
+                    inner.apply_put(0, *db, key, new)?;
+                }
+                WalRecord::Del { txn, db, key, .. } if committed.contains(txn) => {
+                    max_txn = max_txn.max(*txn);
+                    inner.apply_del(0, *db, key)?;
+                }
+                _ => {}
+            }
+        }
+        inner.pool.release_txn(0);
+        inner.next_txn = max_txn + 1;
+        Ok(Env { inner: Mutex::new(inner) })
+    }
+
+    /// Create a named database (auto-committed, like `db_create` + open).
+    pub fn create_db(&self, name: &str) -> Result<DbId> {
+        let mut inner = self.inner.lock();
+        if inner.active.is_some() {
+            return Err(BaselineError::Corrupt("create_db during a transaction".into()));
+        }
+        let txn = inner.next_txn;
+        inner.next_txn += 1;
+        let id = inner.create_db_inner(txn, name)?;
+        inner.wal.append(&WalRecord::CreateDb { txn, name: name.to_string() });
+        inner.wal.append(&WalRecord::Commit { txn });
+        inner.wal.flush_sync()?;
+        inner.pool.release_txn(txn);
+        Ok(id)
+    }
+
+    /// Look up a database by name.
+    pub fn db(&self, name: &str) -> Result<DbId> {
+        self.inner
+            .lock()
+            .catalog
+            .id_of(name)
+            .ok_or_else(|| BaselineError::NoSuchDb(name.to_string()))
+    }
+
+    /// Names of all databases.
+    pub fn db_names(&self) -> Vec<String> {
+        self.inner.lock().catalog.names.clone()
+    }
+
+    /// Begin a transaction (single writer).
+    pub fn begin(&self) -> Result<Txn> {
+        let mut inner = self.inner.lock();
+        if inner.active.is_some() {
+            return Err(BaselineError::Corrupt(
+                "another transaction is active (single-writer engine)".into(),
+            ));
+        }
+        let id = inner.next_txn;
+        inner.next_txn += 1;
+        inner.active = Some(id);
+        Ok(Txn { id, undo: Vec::new(), finished: false })
+    }
+
+    /// Read a key (usable inside or outside transactions).
+    pub fn get(&self, db: DbId, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        let root = inner.catalog.roots[db as usize];
+        let mut ctx = inner.ctx(0);
+        let out = btree::get(&mut ctx, root, key);
+        inner.pool.release_txn(0);
+        out
+    }
+
+    /// Insert or update under a transaction; logs before/after images.
+    pub fn put(&self, txn: &mut Txn, db: DbId, key: &[u8], val: &[u8]) -> Result<()> {
+        if txn.finished {
+            return Err(BaselineError::TxnInactive);
+        }
+        let mut inner = self.inner.lock();
+        let old = inner.apply_put(txn.id, db, key, val)?;
+        inner.wal.append(&WalRecord::Put {
+            txn: txn.id,
+            db,
+            key: key.to_vec(),
+            old: old.clone(),
+            new: val.to_vec(),
+        });
+        txn.undo.push(Undo::Put { db, key: key.to_vec(), old });
+        Ok(())
+    }
+
+    /// Delete under a transaction; returns whether the key existed.
+    pub fn del(&self, txn: &mut Txn, db: DbId, key: &[u8]) -> Result<bool> {
+        if txn.finished {
+            return Err(BaselineError::TxnInactive);
+        }
+        let mut inner = self.inner.lock();
+        match inner.apply_del(txn.id, db, key)? {
+            Some(old) => {
+                inner.wal.append(&WalRecord::Del {
+                    txn: txn.id,
+                    db,
+                    key: key.to_vec(),
+                    old: old.clone(),
+                });
+                txn.undo.push(Undo::Del { db, key: key.to_vec(), old });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Commit: append the commit record, flush and sync the log.
+    pub fn commit(&self, mut txn: Txn) -> Result<()> {
+        if txn.finished {
+            return Err(BaselineError::TxnInactive);
+        }
+        txn.finished = true;
+        let mut inner = self.inner.lock();
+        inner.wal.append(&WalRecord::Commit { txn: txn.id });
+        inner.wal.flush_sync()?;
+        inner.pool.release_txn(txn.id);
+        inner.active = None;
+        Ok(())
+    }
+
+    /// Abort: revert in memory via before images; drop the (unflushed) log
+    /// records.
+    pub fn abort(&self, mut txn: Txn) -> Result<()> {
+        if txn.finished {
+            return Err(BaselineError::TxnInactive);
+        }
+        txn.finished = true;
+        let mut inner = self.inner.lock();
+        for undo in txn.undo.drain(..).rev() {
+            match undo {
+                Undo::Put { db, key, old } => match old {
+                    Some(old) => {
+                        inner.apply_put(txn.id, db, &key, &old)?;
+                    }
+                    None => {
+                        inner.apply_del(txn.id, db, &key)?;
+                    }
+                },
+                Undo::Del { db, key, old } => {
+                    inner.apply_put(txn.id, db, &key, &old)?;
+                }
+            }
+        }
+        inner.wal.drop_buffered();
+        inner.wal.append(&WalRecord::Abort { txn: txn.id });
+        inner.pool.release_txn(txn.id);
+        inner.active = None;
+        Ok(())
+    }
+
+    /// Checkpoint: flush all pages, sync the file, truncate the log. Must
+    /// not run with an active transaction.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.active.is_some() {
+            return Err(BaselineError::Corrupt("checkpoint during a transaction".into()));
+        }
+        if inner.meta_dirty {
+            inner.write_meta(0)?;
+            inner.pool.release_txn(0);
+        }
+        let EnvInner { ref mut pool, ref file, .. } = *inner;
+        pool.flush_all(file, true)?;
+        inner.file.sync()?;
+        inner.wal.truncate()?;
+        Ok(())
+    }
+
+    /// Total on-disk footprint: database file + log (the paper's Figure 11
+    /// "database size" for Berkeley DB includes its un-checkpointed log).
+    pub fn disk_size(&self) -> Result<u64> {
+        let inner = self.inner.lock();
+        Ok(inner.file.size()? + inner.wal.size())
+    }
+
+    /// (log bytes written, log syncs, page bytes flushed) — the §7.4
+    /// bytes-per-transaction accounting.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock();
+        (inner.wal.bytes_written, inner.wal.syncs, inner.pool.page_bytes_flushed)
+    }
+
+    /// Visit every entry of a database in key order (table scans / tests).
+    pub fn for_each(&self, db: DbId, f: &mut impl FnMut(&[u8], &[u8])) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let root = inner.catalog.roots[db as usize];
+        let mut ctx = inner.ctx(0);
+        let out = btree::for_each(&mut ctx, root, f);
+        inner.pool.release_txn(0);
+        out
+    }
+}

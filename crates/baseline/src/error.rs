@@ -1,0 +1,66 @@
+//! Baseline engine errors.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Errors from the baseline engine.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Platform/storage error.
+    Platform(tdb_platform::PlatformError),
+    /// The database file is structurally corrupt.
+    Corrupt(String),
+    /// No database with this name in the environment.
+    NoSuchDb(String),
+    /// A database with this name already exists.
+    DbExists(String),
+    /// Key already present (puts are insert-or-update, so this only arises
+    /// from `insert_new`).
+    KeyExists,
+    /// A key or value exceeds what a page can hold.
+    TooLarge(usize),
+    /// The transaction was already finished.
+    TxnInactive,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Platform(e) => write!(f, "platform: {e}"),
+            BaselineError::Corrupt(m) => write!(f, "corrupt database: {m}"),
+            BaselineError::NoSuchDb(n) => write!(f, "no database named {n:?}"),
+            BaselineError::DbExists(n) => write!(f, "database {n:?} already exists"),
+            BaselineError::KeyExists => write!(f, "key already exists"),
+            BaselineError::TooLarge(n) => write!(f, "entry of {n} bytes exceeds page capacity"),
+            BaselineError::TxnInactive => write!(f, "transaction already finished"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tdb_platform::PlatformError> for BaselineError {
+    fn from(e: tdb_platform::PlatformError) -> Self {
+        BaselineError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(BaselineError::NoSuchDb("x".into()).to_string().contains('x'));
+        assert!(BaselineError::TooLarge(9000).to_string().contains("9000"));
+    }
+}

@@ -1,0 +1,47 @@
+//! A Berkeley-DB-like embedded storage engine.
+//!
+//! The TDB paper's evaluation (§7) compares against Berkeley DB 3.0.55 — a
+//! conventional page-oriented embedded database: update-in-place B-trees
+//! over fixed-size pages, a buffer pool, and a write-ahead log carrying
+//! record-level before/after images, with one map per database and
+//! immutable keys. Since that binary is not available here, this crate
+//! implements the same architecture class from scratch so the comparison
+//! measures *architectures* (update-in-place + WAL vs. TDB's log-structured
+//! store), not implementations.
+//!
+//! Design points mirrored from Berkeley DB:
+//!
+//! * **4 KiB pages** in a single database file, cached in a buffer pool;
+//! * **B-tree access method**, one tree per named database, variable-size
+//!   keys/values, *immutable keys* (the restriction the paper calls out in
+//!   §7.1 — no functional indexes, no multi-index maintenance);
+//! * **write-ahead logging**: record-level before/after images appended to
+//!   a log that is synced at commit (the paper configured `WRITE_THROUGH`);
+//!   this is why Berkeley DB "writes approximately twice as much data per
+//!   transaction as TDB" (§7.4) — each update logs both images;
+//! * **no-force** page management: dirty pages reach the file only at
+//!   checkpoints or under cache pressure (and never while an uncommitted
+//!   transaction's changes sit on them); redo-only recovery replays
+//!   committed operations from the log;
+//! * the log is **not checkpointed during benchmarks** (the paper notes
+//!   Berkeley DB "does not checkpoint the log during the benchmark", which
+//!   is why its on-disk footprint in Figure 11 keeps growing).
+//!
+//! No encryption, hashing, or tamper detection — exactly the functionality
+//! gap the paper highlights.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod env;
+pub mod error;
+pub mod pagefile;
+pub mod wal;
+
+pub use env::{BaselineConfig, DbId, Env, Txn};
+pub use error::{BaselineError, Result};
+
+/// Page size in bytes (Berkeley DB's default).
+pub const PAGE_SIZE: usize = 4096;

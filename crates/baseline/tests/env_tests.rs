@@ -1,0 +1,254 @@
+//! End-to-end tests of the Berkeley-DB-like environment: transactions,
+//! recovery, abort, and the write-volume profile the paper measures.
+
+use baseline::{BaselineConfig, BaselineError, Env};
+use std::sync::Arc;
+use tdb_platform::{FaultPlan, FaultStore, MemStore};
+
+fn new_env(mem: &MemStore) -> Env {
+    Env::create(Arc::new(mem.clone()), BaselineConfig::default()).unwrap()
+}
+
+fn reopen(mem: &MemStore) -> Env {
+    Env::open(Arc::new(mem.clone()), BaselineConfig::default()).unwrap()
+}
+
+#[test]
+fn put_get_del_commit_roundtrip() {
+    let mem = MemStore::new();
+    let env = new_env(&mem);
+    let db = env.create_db("account").unwrap();
+
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, db, b"k1", b"v1").unwrap();
+    env.put(&mut txn, db, b"k2", b"v2").unwrap();
+    env.commit(txn).unwrap();
+
+    assert_eq!(env.get(db, b"k1").unwrap(), Some(b"v1".to_vec()));
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, db, b"k1", b"v1b").unwrap();
+    assert!(env.del(&mut txn, db, b"k2").unwrap());
+    assert!(!env.del(&mut txn, db, b"missing").unwrap());
+    env.commit(txn).unwrap();
+    assert_eq!(env.get(db, b"k1").unwrap(), Some(b"v1b".to_vec()));
+    assert_eq!(env.get(db, b"k2").unwrap(), None);
+}
+
+#[test]
+fn multiple_databases_share_one_log() {
+    let mem = MemStore::new();
+    let env = new_env(&mem);
+    let a = env.create_db("account").unwrap();
+    let b = env.create_db("branch").unwrap();
+    assert_ne!(a, b);
+    assert!(matches!(env.create_db("account"), Err(BaselineError::DbExists(_))));
+    assert!(matches!(env.db("teller"), Err(BaselineError::NoSuchDb(_))));
+
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, a, b"x", b"in-a").unwrap();
+    env.put(&mut txn, b, b"x", b"in-b").unwrap();
+    env.commit(txn).unwrap();
+    assert_eq!(env.get(a, b"x").unwrap(), Some(b"in-a".to_vec()));
+    assert_eq!(env.get(b, b"x").unwrap(), Some(b"in-b".to_vec()));
+    let (_, syncs, _) = env.stats();
+    // create_db ×2 + commit = 3 syncs; one shared log, not one per db.
+    assert_eq!(syncs, 3);
+}
+
+#[test]
+fn abort_reverts_in_memory() {
+    let mem = MemStore::new();
+    let env = new_env(&mem);
+    let db = env.create_db("d").unwrap();
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, db, b"k", b"committed").unwrap();
+    env.commit(txn).unwrap();
+
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, db, b"k", b"doomed").unwrap();
+    env.put(&mut txn, db, b"fresh", b"also doomed").unwrap();
+    env.del(&mut txn, db, b"k").unwrap();
+    env.abort(txn).unwrap();
+
+    assert_eq!(env.get(db, b"k").unwrap(), Some(b"committed".to_vec()));
+    assert_eq!(env.get(db, b"fresh").unwrap(), None);
+}
+
+#[test]
+fn committed_state_survives_crash_without_checkpoint() {
+    let mem = MemStore::new();
+    {
+        let env = new_env(&mem);
+        let db = env.create_db("d").unwrap();
+        for i in 0..500u32 {
+            let mut txn = env.begin().unwrap();
+            env.put(&mut txn, db, &i.to_be_bytes(), format!("val-{i}").as_bytes()).unwrap();
+            env.commit(txn).unwrap();
+        }
+        // No checkpoint, no clean shutdown: drop = crash.
+    }
+    let env = reopen(&mem);
+    let db = env.db("d").unwrap();
+    for i in 0..500u32 {
+        assert_eq!(
+            env.get(db, &i.to_be_bytes()).unwrap(),
+            Some(format!("val-{i}").into_bytes()),
+            "key {i}"
+        );
+    }
+}
+
+#[test]
+fn uncommitted_work_dies_on_crash() {
+    let mem = MemStore::new();
+    {
+        let env = new_env(&mem);
+        let db = env.create_db("d").unwrap();
+        let mut txn = env.begin().unwrap();
+        env.put(&mut txn, db, b"durable", b"yes").unwrap();
+        env.commit(txn).unwrap();
+        let mut txn = env.begin().unwrap();
+        env.put(&mut txn, db, b"durable", b"overwritten-but-uncommitted").unwrap();
+        env.put(&mut txn, db, b"phantom", b"x").unwrap();
+        std::mem::forget(txn); // crash with the txn in flight
+    }
+    let env = reopen(&mem);
+    let db = env.db("d").unwrap();
+    assert_eq!(env.get(db, b"durable").unwrap(), Some(b"yes".to_vec()));
+    assert_eq!(env.get(db, b"phantom").unwrap(), None);
+}
+
+#[test]
+fn crash_mid_commit_is_atomic() {
+    for budget in [0u64, 8, 33, 100, 300] {
+        let mem = MemStore::new();
+        let plan = FaultPlan::unlimited();
+        let env = Env::create(
+            Arc::new(FaultStore::new(mem.clone(), plan.clone())),
+            BaselineConfig::default(),
+        )
+        .unwrap();
+        let db = env.create_db("d").unwrap();
+        let mut txn = env.begin().unwrap();
+        env.put(&mut txn, db, b"a", b"v1").unwrap();
+        env.commit(txn).unwrap();
+
+        let mut txn = env.begin().unwrap();
+        env.put(&mut txn, db, b"a", b"v2").unwrap();
+        env.put(&mut txn, db, b"b", b"v2").unwrap();
+        plan.rearm(budget);
+        let _ = env.commit(txn);
+        drop(env);
+
+        let env = reopen(&mem);
+        let db = env.db("d").unwrap();
+        let a = env.get(db, b"a").unwrap().unwrap();
+        let b = env.get(db, b"b").unwrap();
+        if a == b"v2" {
+            assert_eq!(b, Some(b"v2".to_vec()), "budget {budget}: partial commit");
+        } else {
+            assert_eq!(a, b"v1".to_vec(), "budget {budget}");
+            assert_eq!(b, None, "budget {budget}: partial commit");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_truncates_log_and_persists() {
+    let mem = MemStore::new();
+    {
+        let env = new_env(&mem);
+        let db = env.create_db("d").unwrap();
+        for i in 0..100u32 {
+            let mut txn = env.begin().unwrap();
+            env.put(&mut txn, db, &i.to_be_bytes(), &[7u8; 64]).unwrap();
+            env.commit(txn).unwrap();
+        }
+        env.checkpoint().unwrap();
+        // The log is truncated; all state now lives in the page file.
+        assert_eq!(mem.raw("bdb.wal").unwrap().len(), 0);
+    }
+    let env = reopen(&mem);
+    let db = env.db("d").unwrap();
+    assert_eq!(env.get(db, &5u32.to_be_bytes()).unwrap(), Some(vec![7u8; 64]));
+}
+
+#[test]
+fn log_grows_without_checkpoint_figure_11_effect() {
+    let mem = MemStore::new();
+    let env = new_env(&mem);
+    let db = env.create_db("d").unwrap();
+    let mut sizes = Vec::new();
+    for round in 0..4 {
+        for i in 0..200u32 {
+            let mut txn = env.begin().unwrap();
+            env.put(&mut txn, db, &i.to_be_bytes(), &[round as u8; 90]).unwrap();
+            env.commit(txn).unwrap();
+        }
+        sizes.push(env.disk_size().unwrap());
+    }
+    assert!(sizes.windows(2).all(|w| w[0] < w[1]), "log must keep growing: {sizes:?}");
+}
+
+#[test]
+fn before_and_after_images_in_log() {
+    // §7.4: updates log both images, so updating 100-byte values writes
+    // >200 bytes per operation.
+    let mem = MemStore::new();
+    let env = new_env(&mem);
+    let db = env.create_db("d").unwrap();
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, db, b"k", &[1u8; 100]).unwrap();
+    env.commit(txn).unwrap();
+    let (bytes_before, _, _) = env.stats();
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, db, b"k", &[2u8; 100]).unwrap();
+    env.commit(txn).unwrap();
+    let (bytes_after, _, _) = env.stats();
+    let update_bytes = bytes_after - bytes_before;
+    assert!(update_bytes > 200, "update logged only {update_bytes} bytes");
+}
+
+#[test]
+fn single_writer_enforced() {
+    let mem = MemStore::new();
+    let env = new_env(&mem);
+    let _t1 = env.begin().unwrap();
+    assert!(env.begin().is_err());
+}
+
+#[test]
+fn scan_is_ordered() {
+    let mem = MemStore::new();
+    let env = new_env(&mem);
+    let db = env.create_db("d").unwrap();
+    let mut txn = env.begin().unwrap();
+    for i in [5u32, 1, 9, 3, 7] {
+        env.put(&mut txn, db, &i.to_be_bytes(), b"x").unwrap();
+    }
+    env.commit(txn).unwrap();
+    let mut keys = Vec::new();
+    env.for_each(db, &mut |k, _| keys.push(u32::from_be_bytes(k.try_into().unwrap())))
+        .unwrap();
+    assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+}
+
+#[test]
+fn large_volume_with_cache_pressure() {
+    let mem = MemStore::new();
+    let env = Env::create(Arc::new(mem.clone()), BaselineConfig { cache_pages: 16 }).unwrap();
+    let db = env.create_db("d").unwrap();
+    for i in 0..3000u32 {
+        let mut txn = env.begin().unwrap();
+        env.put(&mut txn, db, &i.to_be_bytes(), &[i as u8; 100]).unwrap();
+        env.commit(txn).unwrap();
+    }
+    for i in (0..3000u32).step_by(37) {
+        assert_eq!(env.get(db, &i.to_be_bytes()).unwrap(), Some(vec![i as u8; 100]));
+    }
+    env.checkpoint().unwrap();
+    drop(env);
+    let env = reopen(&mem);
+    let db = env.db("d").unwrap();
+    assert_eq!(env.get(db, &2999u32.to_be_bytes()).unwrap(), Some(vec![2999u32 as u8; 100]));
+}

@@ -1,0 +1,142 @@
+//! Property test: the baseline engine against a `BTreeMap` model under
+//! random puts/deletes/commits/aborts/crash-reopens.
+
+use baseline::{BaselineConfig, Env};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tdb_platform::MemStore;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u16, len: usize },
+    Del { key: u16 },
+    Commit,
+    Abort,
+    CrashReopen,
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), 1usize..300).prop_map(|(key, len)| Op::Put { key: key % 200, len }),
+        2 => any::<u16>().prop_map(|key| Op::Del { key: key % 200 }),
+        4 => Just(Op::Commit),
+        1 => Just(Op::Abort),
+        1 => Just(Op::CrashReopen),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+fn value(key: u16, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (key as u8).wrapping_add(i as u8)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn baseline_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mem = MemStore::new();
+        let mut env = Env::create(Arc::new(mem.clone()), BaselineConfig { cache_pages: 16 }).unwrap();
+        let db = env.create_db("d").unwrap();
+
+        let mut committed: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
+        let mut staged: Vec<(u16, Option<Vec<u8>>)> = Vec::new();
+        let mut txn: Option<baseline::Txn> = None;
+
+        for op in ops {
+            match op {
+                Op::Put { key, len } => {
+                    let t = match txn.as_mut() {
+                        Some(t) => t,
+                        None => {
+                            txn = Some(env.begin().unwrap());
+                            txn.as_mut().unwrap()
+                        }
+                    };
+                    let v = value(key, len);
+                    env.put(t, db, &key.to_be_bytes(), &v).unwrap();
+                    staged.push((key, Some(v)));
+                }
+                Op::Del { key } => {
+                    let t = match txn.as_mut() {
+                        Some(t) => t,
+                        None => {
+                            txn = Some(env.begin().unwrap());
+                            txn.as_mut().unwrap()
+                        }
+                    };
+                    let existed = env.del(t, db, &key.to_be_bytes()).unwrap();
+                    // Visibility within the transaction is immediate.
+                    let visible = staged.iter().rev().find(|(k, _)| *k == key)
+                        .map(|(_, v)| v.is_some())
+                        .unwrap_or_else(|| committed.contains_key(&key));
+                    prop_assert_eq!(existed, visible);
+                    if existed {
+                        staged.push((key, None));
+                    }
+                }
+                Op::Commit => {
+                    if let Some(t) = txn.take() {
+                        env.commit(t).unwrap();
+                        for (k, v) in staged.drain(..) {
+                            match v {
+                                Some(v) => { committed.insert(k, v); }
+                                None => { committed.remove(&k); }
+                            }
+                        }
+                    }
+                }
+                Op::Abort => {
+                    if let Some(t) = txn.take() {
+                        env.abort(t).unwrap();
+                        staged.clear();
+                    }
+                }
+                Op::CrashReopen => {
+                    if let Some(t) = txn.take() {
+                        std::mem::forget(t);
+                        staged.clear();
+                    }
+                    drop(env);
+                    env = Env::open(Arc::new(mem.clone()), BaselineConfig { cache_pages: 16 }).unwrap();
+                }
+                Op::Checkpoint => {
+                    if txn.is_none() {
+                        env.checkpoint().unwrap();
+                    }
+                }
+            }
+
+            // Agreement on committed state when no txn is open.
+            if txn.is_none() {
+                for (k, v) in &committed {
+                    let got = env.get(db, &k.to_be_bytes()).unwrap();
+                    prop_assert_eq!(got.as_ref(), Some(v));
+                }
+            }
+        }
+
+        // Final: commit leftovers, crash, reopen, verify.
+        if let Some(t) = txn.take() {
+            env.commit(t).unwrap();
+            for (k, v) in staged.drain(..) {
+                match v {
+                    Some(v) => { committed.insert(k, v); }
+                    None => { committed.remove(&k); }
+                }
+            }
+        }
+        drop(env);
+        let env = Env::open(Arc::new(mem), BaselineConfig::default()).unwrap();
+        let db = env.db("d").unwrap();
+        let mut count = 0;
+        env.for_each(db, &mut |_, _| count += 1).unwrap();
+        prop_assert_eq!(count, committed.len());
+        for (k, v) in &committed {
+            let got = env.get(db, &k.to_be_bytes()).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation A3 (§5.2.4): index implementation choice — B-tree vs dynamic
+//! hash vs list — for inserts and exact-match lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tdb::platform::{MemSecretStore, MemStore, VolatileCounter};
+use tdb::{
+    impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, ExtractorRegistry,
+    IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
+};
+
+struct Item { id: u64 }
+impl Persistent for Item {
+    impl_persistent_boilerplate!(0x17E4);
+    fn pickle(&self, w: &mut Pickler) { w.u64(self.id); }
+}
+fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Item { id: r.u64()? }))
+}
+
+fn db() -> Database {
+    let mut classes = ClassRegistry::new();
+    classes.register(0x17E4, "Item", unpickle);
+    let mut extractors = ExtractorRegistry::new();
+    extractors.register("item.id", |o| tdb::extractor_typed::<Item>(o, |i| Key::U64(i.id)));
+    Database::create(
+        Arc::new(MemStore::new()),
+        &MemSecretStore::from_label("bench"),
+        Arc::new(VolatileCounter::new()),
+        classes,
+        extractors,
+        DatabaseConfig::without_security(),
+    )
+    .unwrap()
+}
+
+fn kinds() -> [(&'static str, IndexKind); 3] {
+    [("btree", IndexKind::BTree), ("hash", IndexKind::Hash), ("list", IndexKind::List)]
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_insert");
+    for (name, kind) in kinds() {
+        let database = db();
+        let t = database.begin();
+        t.create_collection("c", &[IndexSpec::new("i", "item.id", false, kind)]).unwrap();
+        t.commit(true).unwrap();
+        let mut next = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let t = database.begin();
+                let coll = t.write_collection("c").unwrap();
+                coll.insert(Box::new(Item { id: next })).unwrap();
+                next += 1;
+                drop(coll);
+                t.commit(true).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    // Lists are linear: keep the preload modest so the bench terminates
+    // promptly while still showing the asymptotic difference.
+    const N: u64 = 2000;
+    let mut group = c.benchmark_group("index_exact_lookup_2k");
+    for (name, kind) in kinds() {
+        let database = db();
+        let t = database.begin();
+        let coll = t.create_collection("c", &[IndexSpec::new("i", "item.id", false, kind)]).unwrap();
+        for id in 0..N {
+            coll.insert(Box::new(Item { id })).unwrap();
+        }
+        drop(coll);
+        t.commit(true).unwrap();
+        let mut probe = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                probe = (probe + 997) % N;
+                let t = database.begin();
+                let coll = t.read_collection("c").unwrap();
+                let it = coll.exact("i", &Key::U64(probe)).unwrap();
+                let n = it.result_len();
+                it.close().unwrap();
+                drop(coll);
+                t.commit(false).unwrap();
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup);
+criterion_main!(benches);

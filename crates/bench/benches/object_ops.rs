@@ -1,0 +1,86 @@
+//! Microbenchmarks of object store operations: cached reads, writes,
+//! insert/remove cycles.
+
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, ObjectStore, ObjectStoreConfig, Persistent,
+    PickleError, Pickler, Unpickler,
+};
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+struct Rec { balance: i64, pad: Vec<u8> }
+impl Persistent for Rec {
+    impl_persistent_boilerplate!(0xBE7C);
+    fn pickle(&self, w: &mut Pickler) {
+        w.i64(self.balance);
+        w.bytes(&self.pad);
+    }
+}
+fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Rec { balance: r.i64()?, pad: r.bytes()?.to_vec() }))
+}
+
+fn store() -> ObjectStore {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()),
+            &MemSecretStore::from_label("bench"),
+            Arc::new(VolatileCounter::new()),
+            ChunkStoreConfig::default(),
+        )
+        .unwrap(),
+    );
+    let mut reg = ClassRegistry::new();
+    reg.register(0xBE7C, "Rec", unpickle);
+    ObjectStore::create(chunks, reg, ObjectStoreConfig::default()).unwrap()
+}
+
+fn bench_object_ops(c: &mut Criterion) {
+    let os = store();
+    let t = os.begin();
+    let ids: Vec<_> = (0..1000)
+        .map(|_| t.insert(Box::new(Rec { balance: 0, pad: vec![0; 88] })).unwrap())
+        .collect();
+    t.commit(true).unwrap();
+
+    let mut i = 0usize;
+    c.bench_function("object_cached_read", |b| {
+        b.iter(|| {
+            i = (i + 13) % ids.len();
+            let t = os.begin();
+            let r = t.open_readonly::<Rec>(ids[i]).unwrap();
+            let v = r.get().balance;
+            drop(r);
+            t.commit(false).unwrap();
+            v
+        })
+    });
+
+    let mut j = 0usize;
+    c.bench_function("object_update_commit_durable", |b| {
+        b.iter(|| {
+            j = (j + 13) % ids.len();
+            let t = os.begin();
+            let r = t.open_writable::<Rec>(ids[j]).unwrap();
+            r.get_mut().balance += 1;
+            drop(r);
+            t.commit(true).unwrap();
+        })
+    });
+
+    c.bench_function("object_insert_remove_cycle", |b| {
+        b.iter(|| {
+            let t = os.begin();
+            let id = t.insert(Box::new(Rec { balance: 1, pad: vec![0; 88] })).unwrap();
+            t.commit(true).unwrap();
+            let t = os.begin();
+            t.remove(id).unwrap();
+            t.commit(true).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_object_ops);
+criterion_main!(benches);

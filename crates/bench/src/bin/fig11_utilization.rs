@@ -1,0 +1,60 @@
+//! **Figure 11**: TDB response time and database size vs maximum
+//! utilization (0.5 … 0.9), with Berkeley DB as the flat reference line.
+//!
+//! `SCALE=1.0 TXNS=200000 cargo run --release -p tdb-bench --bin fig11_utilization`
+//! for the paper's run size; defaults are a faster shape-preserving run.
+
+use std::sync::Arc;
+use tdb::DatabaseConfig;
+use tdb_bench::{env_f64, env_u64};
+use tdb_platform::MemStore;
+use tpcb::{run_benchmark, BaselineDriver, TdbDriver, TpcbConfig};
+
+fn main() {
+    let cfg = TpcbConfig {
+        scale: env_f64("SCALE", 0.1),
+        transactions: env_u64("TXNS", 40_000),
+        seed: env_u64("SEED", 0x7DB),
+    };
+    println!("Figure 11: TDB performance and database size vs utilization");
+    println!("(scale {}, {} txns; TDB without security, as in the paper)", cfg.scale, cfg.transactions);
+    println!("=============================================================");
+    println!();
+    println!("paper shape: response dips slightly to ~0.7 utilization, then climbs;");
+    println!("database size falls as utilization rises; BerkeleyDB size much larger");
+    println!("(it never checkpoints its log during the benchmark).");
+    println!();
+
+    let mut bdb = BaselineDriver::new(Arc::new(MemStore::new()), baseline::BaselineConfig::default());
+    let bdb_report = run_benchmark(&mut bdb, &cfg);
+
+    println!(
+        "{:>11} {:>16} {:>14} {:>18}",
+        "utilization", "resp (ms/txn)", "db size (MB)", "cleaner copies/txn"
+    );
+    for util in [0.5, 0.6, 0.7, 0.8, 0.9] {
+        let mut db_cfg = DatabaseConfig::without_security();
+        db_cfg.chunk.max_utilization = util;
+        db_cfg.chunk.free_segment_reserve = 2;
+        let mut driver = TdbDriver::new(Arc::new(MemStore::new()), db_cfg);
+        let before = driver.database().stats();
+        let report = run_benchmark(&mut driver, &cfg);
+        // Settle: checkpoint so the final size reflects steady state.
+        driver.database().checkpoint().unwrap();
+        let stats = driver.database().stats().since(&before);
+        println!(
+            "{:>11.1} {:>16.4} {:>14.2} {:>18.0}",
+            util,
+            report.avg_response_ms,
+            driver.database().disk_size() as f64 / 1e6,
+            stats.cleaner_bytes_copied as f64 / cfg.transactions as f64,
+        );
+    }
+    println!(
+        "{:>11} {:>16.4} {:>14.2} {:>18}",
+        "BerkeleyDB",
+        bdb_report.avg_response_ms,
+        bdb_report.final_disk_size as f64 / 1e6,
+        "-"
+    );
+}

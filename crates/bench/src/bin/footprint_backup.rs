@@ -1,0 +1,33 @@
+//! Footprint probe: chunk store + backup store.
+use backup_store::BackupManager;
+use chunk_store::{ChunkStore, ChunkStoreConfig, SecurityMode};
+use std::sync::Arc;
+use tdb_platform::{MemArchive, MemSecretStore, MemStore, VolatileCounter};
+
+fn main() {
+    let secret = MemSecretStore::from_label("fp");
+    let store = ChunkStore::create(
+        Arc::new(MemStore::new()),
+        &secret,
+        Arc::new(VolatileCounter::new()),
+        ChunkStoreConfig::default(),
+    )
+    .unwrap();
+    let id = store.allocate_chunk_id().unwrap();
+    store.write(id, b"probe").unwrap();
+    store.commit(true).unwrap();
+    let archive = Arc::new(MemArchive::new());
+    let mut mgr = BackupManager::new(archive.clone(), &secret, SecurityMode::Full).unwrap();
+    let full = mgr.backup_full(&store).unwrap();
+    let incr_base = mgr.backup_incremental(&store).unwrap();
+    let restored = ChunkStore::create(
+        Arc::new(MemStore::new()),
+        &secret,
+        Arc::new(VolatileCounter::new()),
+        ChunkStoreConfig::default(),
+    )
+    .unwrap();
+    BackupManager::restore_chain(&*archive, &secret, SecurityMode::Full, &[full, incr_base], &restored)
+        .unwrap();
+    println!("{}", restored.live_chunks());
+}

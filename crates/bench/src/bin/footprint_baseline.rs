@@ -1,0 +1,14 @@
+//! Footprint probe: the Berkeley-DB-like baseline engine.
+use baseline::{BaselineConfig, Env};
+use std::sync::Arc;
+use tdb_platform::MemStore;
+
+fn main() {
+    let env = Env::create(Arc::new(MemStore::new()), BaselineConfig::default()).unwrap();
+    let db = env.create_db("probe").unwrap();
+    let mut txn = env.begin().unwrap();
+    env.put(&mut txn, db, b"k", b"v").unwrap();
+    env.commit(txn).unwrap();
+    env.checkpoint().unwrap();
+    println!("{}", env.get(db, b"k").unwrap().unwrap().len());
+}

@@ -1,0 +1,21 @@
+//! Footprint probe: the chunk store (TDB's minimal configuration).
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+fn main() {
+    let store = ChunkStore::create(
+        Arc::new(MemStore::new()),
+        &MemSecretStore::from_label("fp"),
+        Arc::new(VolatileCounter::new()),
+        ChunkStoreConfig::default(),
+    )
+    .unwrap();
+    let id = store.allocate_chunk_id().unwrap();
+    store.write(id, b"probe").unwrap();
+    store.commit(true).unwrap();
+    let snap = store.snapshot();
+    store.checkpoint().unwrap();
+    store.clean().unwrap();
+    println!("{} {}", store.read(id).unwrap().len(), snap.len());
+}

@@ -1,0 +1,38 @@
+//! Footprint probe: chunk store + object store.
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, ObjectStore, ObjectStoreConfig, Persistent,
+    PickleError, Pickler, Unpickler,
+};
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+struct Probe { n: u32 }
+impl Persistent for Probe {
+    impl_persistent_boilerplate!(0xF00D);
+    fn pickle(&self, w: &mut Pickler) { w.u32(self.n); }
+}
+fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Probe { n: r.u32()? }))
+}
+
+fn main() {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()),
+            &MemSecretStore::from_label("fp"),
+            Arc::new(VolatileCounter::new()),
+            ChunkStoreConfig::default(),
+        )
+        .unwrap(),
+    );
+    let mut reg = ClassRegistry::new();
+    reg.register(0xF00D, "Probe", unpickle);
+    let store = ObjectStore::create(chunks, reg, ObjectStoreConfig::default()).unwrap();
+    let t = store.begin();
+    let id = t.insert(Box::new(Probe { n: 7 })).unwrap();
+    t.set_root("probe", id).unwrap();
+    t.commit(true).unwrap();
+    let t = store.begin();
+    println!("{}", t.open_readonly::<Probe>(id).unwrap().get().n);
+}

@@ -1,0 +1,17 @@
+//! Footprint probe: platform substrates + crypto only ("support utilities").
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, SecretStore, UntrustedStore, VolatileCounter, OneWayCounter};
+
+fn main() {
+    let mem = MemStore::new();
+    let f = mem.open("probe", true).unwrap();
+    f.write_at(0, b"probe").unwrap();
+    let secret = MemSecretStore::from_label("fp").master_secret().unwrap();
+    let counter = VolatileCounter::new();
+    counter.increment().unwrap();
+    let tag = tdb::crypto::hmac_sha256(&secret, b"probe");
+    let key = tdb::crypto::derive_key(&secret, "probe");
+    let aes = tdb::crypto::Aes128::new(&key);
+    let ct = tdb::crypto::cbc_encrypt(&aes, &[0u8; 16], b"probe");
+    println!("{} {} {}", Arc::new(mem).list().unwrap().len(), tag[0], ct.len());
+}

@@ -1,0 +1,383 @@
+//! The trusted anchor: the single authenticated root of the database.
+//!
+//! "The resulting hash value along with the current value of the one-way
+//! counter are signed with the secret key and stored at a known location in
+//! the untrusted store" (paper §3). The anchor binds together:
+//!
+//! * the location **and hash** of the location-map root page (the Merkle
+//!   root of the whole database),
+//! * the residual-log start position and the commit-chain state needed to
+//!   replay it,
+//! * the one-way counter value (replay detection),
+//! * allocation state (`next_id`, a bounded free-id list).
+//!
+//! It is double-buffered across two files (`anchor.a` / `anchor.b`) with a
+//! monotonically increasing `anchor_seq`, so a crash torn mid-anchor-write
+//! always leaves the previous valid anchor intact.
+
+use crate::config::SecurityMode;
+use crate::crypto_ctx::CryptoCtx;
+use crate::error::{ChunkStoreError, Result};
+use crate::ids::SegmentId;
+use crate::layout::{get_location, put_location, Cursor, Malformed};
+use crate::map::Location;
+use tdb_crypto::{Digest, DIGEST_LEN};
+use tdb_platform::UntrustedStore;
+
+const ANCHOR_MAGIC: [u8; 8] = *b"TDBANC01";
+const SLOT_NAMES: [&str; 2] = ["anchor.a", "anchor.b"];
+
+/// Decoded anchor contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnchorState {
+    /// Monotonic anchor write sequence (slot arbitration).
+    pub anchor_seq: u64,
+    /// Segment size the store was created with.
+    pub segment_size: u32,
+    /// Map fanout the store was created with.
+    pub map_fanout: u32,
+    /// Location (and hash) of the checkpointed map root page.
+    pub map_root: Location,
+    /// Depth of the checkpointed map tree.
+    pub map_depth: u32,
+    /// Chunk-id high-water mark.
+    pub next_id: u64,
+    /// Free chunk ids (bounded; overflow ids simply leak).
+    pub free_ids: Vec<u64>,
+    /// Start of the residual log (first byte after the checkpoint).
+    pub residual_seg: SegmentId,
+    /// Offset within `residual_seg`.
+    pub residual_off: u32,
+    /// Commit sequence number at the residual start.
+    pub base_seq: u64,
+    /// Commit chain value at the residual start.
+    pub chain_base: Digest,
+    /// Sequence of the last durable commit.
+    pub last_seq: u64,
+    /// Chain value of the last durable commit.
+    pub last_chain: Digest,
+    /// One-way counter value this anchor was written under.
+    pub counter_value: u64,
+}
+
+impl AnchorState {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(200 + self.free_ids.len() * 8);
+        out.extend_from_slice(&self.anchor_seq.to_le_bytes());
+        out.extend_from_slice(&self.segment_size.to_le_bytes());
+        out.extend_from_slice(&self.map_fanout.to_le_bytes());
+        put_location(&mut out, &self.map_root, true);
+        out.extend_from_slice(&self.map_depth.to_le_bytes());
+        out.extend_from_slice(&self.next_id.to_le_bytes());
+        out.extend_from_slice(&(self.free_ids.len() as u32).to_le_bytes());
+        for id in &self.free_ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out.extend_from_slice(&self.residual_seg.0.to_le_bytes());
+        out.extend_from_slice(&self.residual_off.to_le_bytes());
+        out.extend_from_slice(&self.base_seq.to_le_bytes());
+        out.extend_from_slice(&self.chain_base);
+        out.extend_from_slice(&self.last_seq.to_le_bytes());
+        out.extend_from_slice(&self.last_chain);
+        out.extend_from_slice(&self.counter_value.to_le_bytes());
+        out
+    }
+
+    fn decode_body(bytes: &[u8]) -> std::result::Result<Self, Malformed> {
+        let mut c = Cursor::new(bytes);
+        let anchor_seq = c.u64()?;
+        let segment_size = c.u32()?;
+        let map_fanout = c.u32()?;
+        let map_root = get_location(&mut c, true)?;
+        let map_depth = c.u32()?;
+        let next_id = c.u64()?;
+        let n_free = c.u32()? as usize;
+        if n_free > bytes.len() {
+            return Err(Malformed("free list count exceeds body".into()));
+        }
+        let mut free_ids = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            free_ids.push(c.u64()?);
+        }
+        let residual_seg = SegmentId(c.u32()?);
+        let residual_off = c.u32()?;
+        let base_seq = c.u64()?;
+        let chain_base = c.digest()?;
+        let last_seq = c.u64()?;
+        let last_chain = c.digest()?;
+        let counter_value = c.u64()?;
+        c.finish()?;
+        Ok(AnchorState {
+            anchor_seq,
+            segment_size,
+            map_fanout,
+            map_root,
+            map_depth,
+            next_id,
+            free_ids,
+            residual_seg,
+            residual_off,
+            base_seq,
+            chain_base,
+            last_seq,
+            last_chain,
+            counter_value,
+        })
+    }
+
+    /// Serialize to the on-disk slot format: magic, plaintext `anchor_seq`
+    /// and mode tag (needed before decryption), sealed body, tag.
+    pub fn encode(&self, ctx: &CryptoCtx) -> Vec<u8> {
+        let sealed = ctx.seal(&self.encode_body());
+        let mut out = Vec::with_capacity(8 + 8 + 1 + 4 + sealed.len() + DIGEST_LEN);
+        out.extend_from_slice(&ANCHOR_MAGIC);
+        out.extend_from_slice(&self.anchor_seq.to_le_bytes());
+        out.push(ctx.mode().tag());
+        out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&sealed);
+        let tag = ctx.anchor_tag(&out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Parse and authenticate a slot. Returns `Ok(None)` for an empty slot
+    /// (never written), `Err` for a present-but-invalid slot.
+    pub fn decode(ctx: &CryptoCtx, bytes: &[u8]) -> Result<Option<Self>> {
+        if bytes.is_empty() {
+            return Ok(None);
+        }
+        let tampered = |what: &str| ChunkStoreError::TamperDetected(format!("anchor: {what}"));
+        if bytes.len() < 8 + 8 + 1 + 4 + DIGEST_LEN {
+            return Err(tampered("truncated"));
+        }
+        if bytes[..8] != ANCHOR_MAGIC {
+            return Err(tampered("bad magic"));
+        }
+        let mode_tag = bytes[16];
+        match SecurityMode::from_tag(mode_tag) {
+            Some(mode) if mode == ctx.mode() => {}
+            Some(_) => {
+                return Err(ChunkStoreError::ConfigMismatch(
+                    "database was created with a different security mode".into(),
+                ))
+            }
+            None => return Err(tampered("bad mode tag")),
+        }
+        let body_len =
+            u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
+        let expected_total = 21 + body_len + DIGEST_LEN;
+        if bytes.len() != expected_total {
+            return Err(tampered("length mismatch"));
+        }
+        let (signed, tag_bytes) = bytes.split_at(21 + body_len);
+        let tag: Digest = tag_bytes.try_into().expect("32 bytes");
+        if !CryptoCtx::tags_equal(&ctx.anchor_tag(signed), &tag) {
+            return Err(tampered("authentication tag mismatch"));
+        }
+        let body = ctx.open(&signed[21..])?;
+        let state = Self::decode_body(&body).map_err(|m| tampered(&m.0))?;
+        // Cross-check the plaintext seq against the sealed body.
+        if state.anchor_seq != u64::from_le_bytes(bytes[8..16].try_into().expect("8")) {
+            return Err(tampered("sequence number mismatch"));
+        }
+        Ok(Some(state))
+    }
+}
+
+/// Reader/writer for the double-buffered anchor slots.
+pub struct AnchorStore<'a> {
+    store: &'a dyn UntrustedStore,
+}
+
+impl<'a> AnchorStore<'a> {
+    /// Wrap an untrusted store.
+    pub fn new(store: &'a dyn UntrustedStore) -> Self {
+        AnchorStore { store }
+    }
+
+    /// Whether any anchor slot exists (i.e. a database was created here).
+    pub fn database_exists(&self) -> Result<bool> {
+        Ok(self.store.exists(SLOT_NAMES[0])? || self.store.exists(SLOT_NAMES[1])?)
+    }
+
+    fn read_slot(&self, name: &str) -> Result<Vec<u8>> {
+        if !self.store.exists(name)? {
+            return Ok(Vec::new());
+        }
+        let f = self.store.open(name, false)?;
+        let len = f.len()? as usize;
+        let mut buf = vec![0u8; len];
+        f.read_at(0, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read both slots and return the valid state with the highest
+    /// `anchor_seq`. One invalid slot is tolerated **only** if it is the
+    /// *older* write (a torn anchor update); an invalid newest-candidate is
+    /// tampering. If neither slot exists, [`ChunkStoreError::NoDatabase`].
+    pub fn read_best(&self, ctx: &CryptoCtx) -> Result<AnchorState> {
+        let mut best: Option<AnchorState> = None;
+        let mut first_error: Option<ChunkStoreError> = None;
+        let mut any_present = false;
+        for name in SLOT_NAMES {
+            let bytes = self.read_slot(name)?;
+            if !bytes.is_empty() {
+                any_present = true;
+            }
+            match AnchorState::decode(ctx, &bytes) {
+                Ok(Some(state)) => {
+                    if best.as_ref().is_none_or(|b| state.anchor_seq > b.anchor_seq) {
+                        best = Some(state);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => first_error = Some(first_error.unwrap_or(e)),
+            }
+        }
+        match (best, any_present) {
+            (Some(state), _) => Ok(state),
+            (None, false) => Err(ChunkStoreError::NoDatabase),
+            (None, true) => Err(first_error
+                .unwrap_or_else(|| ChunkStoreError::TamperDetected("no valid anchor".into()))),
+        }
+    }
+
+    /// Write `state` into the slot *not* holding the current best anchor,
+    /// then sync. Alternation follows `anchor_seq` parity, which is simple
+    /// and deterministic.
+    pub fn write(&self, ctx: &CryptoCtx, state: &AnchorState) -> Result<()> {
+        let name = SLOT_NAMES[(state.anchor_seq % 2) as usize];
+        let bytes = state.encode(ctx);
+        let f = self.store.open(name, true)?;
+        f.set_len(bytes.len() as u64)?;
+        f.write_at(0, &bytes)?;
+        f.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_platform::{MemSecretStore, MemStore};
+
+    fn ctx(mode: SecurityMode) -> CryptoCtx {
+        CryptoCtx::new(mode, &MemSecretStore::from_label("anchor-test"), 0).unwrap()
+    }
+
+    fn sample(seq: u64) -> AnchorState {
+        AnchorState {
+            anchor_seq: seq,
+            segment_size: 65536,
+            map_fanout: 64,
+            map_root: Location { seg: SegmentId(0), off: 16, len: 40, hash: [9; 32] },
+            map_depth: 2,
+            next_id: 42,
+            free_ids: vec![3, 7],
+            residual_seg: SegmentId(1),
+            residual_off: 128,
+            base_seq: 10,
+            chain_base: [1; 32],
+            last_seq: 12,
+            last_chain: [2; 32],
+            counter_value: 77,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_both_modes() {
+        for mode in [SecurityMode::Full, SecurityMode::Off] {
+            let c = ctx(mode);
+            let state = sample(5);
+            let bytes = state.encode(&c);
+            let decoded = AnchorState::decode(&c, &bytes).unwrap().unwrap();
+            assert_eq!(decoded, state);
+        }
+    }
+
+    #[test]
+    fn full_mode_anchor_hides_contents() {
+        let c = ctx(SecurityMode::Full);
+        let bytes = sample(5).encode(&c);
+        // counter_value = 77 must not be findable in plaintext.
+        assert!(!bytes.windows(8).any(|w| w == 77u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn decode_rejects_any_bit_flip() {
+        let c = ctx(SecurityMode::Full);
+        let bytes = sample(5).encode(&c);
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(AnchorState::decode(&c, &bad).is_err(), "byte {i}");
+        }
+        // Truncation too.
+        assert!(AnchorState::decode(&c, &bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_key() {
+        let c1 = ctx(SecurityMode::Full);
+        let c2 = CryptoCtx::new(SecurityMode::Full, &MemSecretStore::from_label("other"), 0).unwrap();
+        let bytes = sample(5).encode(&c1);
+        assert!(AnchorState::decode(&c2, &bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_mode_mismatch() {
+        let full = ctx(SecurityMode::Full);
+        let off = ctx(SecurityMode::Off);
+        let bytes = sample(5).encode(&full);
+        assert!(matches!(
+            AnchorState::decode(&off, &bytes),
+            Err(ChunkStoreError::ConfigMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn off_mode_detects_accidental_corruption() {
+        let c = ctx(SecurityMode::Off);
+        let mut bytes = sample(5).encode(&c);
+        bytes[30] ^= 1;
+        assert!(AnchorState::decode(&c, &bytes).is_err());
+    }
+
+    #[test]
+    fn slot_arbitration_picks_newest_valid() {
+        let mem = MemStore::new();
+        let c = ctx(SecurityMode::Full);
+        let anchors = AnchorStore::new(&mem);
+        assert!(matches!(anchors.read_best(&c), Err(ChunkStoreError::NoDatabase)));
+        assert!(!anchors.database_exists().unwrap());
+
+        anchors.write(&c, &sample(1)).unwrap();
+        anchors.write(&c, &sample(2)).unwrap();
+        assert!(anchors.database_exists().unwrap());
+        assert_eq!(anchors.read_best(&c).unwrap().anchor_seq, 2);
+
+        // Newer write goes to the other slot; a torn write of anchor 3
+        // (slot of anchor 1) must fall back to anchor 2.
+        let f = mem.open("anchor.b", true).unwrap();
+        let _ = f; // anchor_seq 2 lives in slot index 0 ("anchor.a")
+        anchors.write(&c, &sample(3)).unwrap();
+        assert_eq!(anchors.read_best(&c).unwrap().anchor_seq, 3);
+        mem.corrupt("anchor.b", 10, 4).unwrap(); // destroy anchor 3
+        assert_eq!(anchors.read_best(&c).unwrap().anchor_seq, 2);
+    }
+
+    #[test]
+    fn both_slots_corrupt_is_tamper() {
+        let mem = MemStore::new();
+        let c = ctx(SecurityMode::Full);
+        let anchors = AnchorStore::new(&mem);
+        anchors.write(&c, &sample(1)).unwrap();
+        anchors.write(&c, &sample(2)).unwrap();
+        mem.corrupt("anchor.a", 12, 2).unwrap();
+        mem.corrupt("anchor.b", 12, 2).unwrap();
+        assert!(matches!(
+            anchors.read_best(&c),
+            Err(ChunkStoreError::TamperDetected(_) | ChunkStoreError::ConfigMismatch(_))
+        ));
+    }
+}

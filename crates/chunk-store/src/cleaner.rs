@@ -1,0 +1,130 @@
+//! The log cleaner: reclaiming obsolete chunk versions.
+//!
+//! "When a chunk is updated or deallocated, its previous version becomes
+//! obsolete. Periodically, obsolete chunk versions must be reclaimed by a
+//! log cleaner." (paper §3.2.1)
+//!
+//! A pass:
+//!
+//! 1. settles accounting with a durable anchor (pending-dead extents are
+//!    subtracted; nothing nondurable remains reclaim-blocked — the §3.2.2
+//!    rule);
+//! 2. picks victims: **all** fully dead segments (freed without copying),
+//!    plus the lowest-live partial segments capped at `cleaner_batch`
+//!    (excluding the tail, residual-log segments, and segments pinned by
+//!    live snapshots) — the cap bounds per-commit cleaning cost (§3.2.1);
+//! 3. relocates live chunk records verbatim (same sealed bytes, same hash —
+//!    only the location changes) and dirties live map pages so the closing
+//!    checkpoint rewrites them at the tail;
+//! 4. checkpoints — the new anchor references only the new locations, so a
+//!    crash at any point leaves a recoverable database — and frees the
+//!    now-dead victims, truncating their files.
+//!
+//! Fully dead segments are freed without any copying, which is why low
+//! database utilization makes cleaning nearly free (the Figure 11 effect:
+//! at 50 % utilization "the cleaner does not run", i.e. never copies).
+
+use crate::error::Result;
+use crate::ids::SegmentId;
+use crate::layout::RecordKind;
+use crate::map::Location;
+use crate::stats::add;
+use crate::store::Inner;
+use crate::ChunkId;
+use std::collections::HashSet;
+
+/// Run one cleaning pass. Returns the number of segments freed.
+pub(crate) fn clean_pass(inner: &mut Inner) -> Result<usize> {
+    add(&inner.stats.cleaner_passes, 1);
+    // Settle accounting: apply pending decrements under a durable anchor.
+    // (A full checkpoint here would rewrite the whole dirty map a second
+    // time per pass; the closing checkpoint below is the one that matters
+    // for correctness.)
+    inner.segs.flush()?;
+    inner.durable_anchor()?;
+
+    let seg_size = inner.segs.segment_size() as u64;
+    let tail = inner.segs.tail_pos().0;
+
+    inner.prune_snapshots();
+    let mut pinned: HashSet<SegmentId> = HashSet::new();
+    for weak in &inner.snapshots {
+        if let Some(core) = weak.upgrade() {
+            pinned.extend(core.referenced_segments());
+        }
+    }
+
+    let candidates: Vec<SegmentId> = inner
+        .segs
+        .in_use_segments()
+        .into_iter()
+        .filter(|s| {
+            *s != tail
+                && !inner.residual_segments.contains(s)
+                && !pinned.contains(s)
+                // Copying a nearly full segment frees almost nothing.
+                && (inner.segs.live_of(*s) as f64) < seg_size as f64 * 0.95
+        })
+        .collect();
+    // Fully dead segments are freed without copying and cost (almost)
+    // nothing — take them all, every pass. Only *copy-requiring* victims
+    // are capped by `cleaner_batch` (the §3.2.1 bound on per-commit
+    // cleaning work). Capping dead segments too would let the pass's own
+    // checkpoint traffic consume more segments than it frees, growing the
+    // database without bound under map-heavy workloads.
+    let (dead, mut partial): (Vec<SegmentId>, Vec<SegmentId>) =
+        candidates.into_iter().partition(|s| inner.segs.live_of(*s) == 0);
+    partial.sort_by_key(|s| inner.segs.live_of(*s));
+    partial.truncate(inner.cfg.cleaner_batch);
+    let victims: Vec<SegmentId> = dead.into_iter().chain(partial).collect();
+    if victims.is_empty() {
+        return Ok(0);
+    }
+    let victim_set: HashSet<SegmentId> = victims.iter().copied().collect();
+
+    // Relocate live chunk versions. The sealed bytes move verbatim, so the
+    // hash in the map entry stays valid.
+    let mut moves: Vec<(ChunkId, Location)> = Vec::new();
+    inner.map.for_each_entry(&mut |id, loc| {
+        if victim_set.contains(&loc.seg) {
+            moves.push((id, *loc));
+        }
+    });
+    for (id, old) in moves {
+        let stored = inner.segs.read_record(&old, RecordKind::ChunkData)?;
+        if inner.ctx.verifies_hashes()
+            && !crate::crypto_ctx::CryptoCtx::tags_equal(&inner.ctx.hash(&stored), &old.hash)
+        {
+            return Err(crate::error::ChunkStoreError::TamperDetected(format!(
+                "cleaner found corrupted chunk {id:?} at {old:?}"
+            )));
+        }
+        let (seg, off, len) = inner.segs.append_record(RecordKind::ChunkData, &stored)?;
+        let new_loc = Location { seg, off, len, hash: old.hash };
+        if let Some(superseded) = inner.map.set(id, new_loc) {
+            inner.pending_dec.push(superseded);
+        }
+        add(&inner.stats.cleaner_bytes_copied, len as u64);
+    }
+    for s in inner.segs.drain_entered() {
+        inner.residual_segments.insert(s);
+    }
+
+    // Live map pages in victims are relocated by the closing checkpoint.
+    inner.map.dirty_pages_in(&victim_set);
+
+    // Make the relocations the anchored truth, then reclaim.
+    inner.do_checkpoint()?;
+
+    let mut freed = 0;
+    let tail_now = inner.segs.tail_pos().0;
+    for v in victims {
+        if v != tail_now && inner.segs.live_of(v) == 0 {
+            inner.segs.free_segment(v)?;
+            freed += 1;
+            add(&inner.stats.cleaner_segments_freed, 1);
+        }
+    }
+    inner.segs.drop_excess_free(inner.cfg.free_segment_reserve)?;
+    Ok(freed)
+}

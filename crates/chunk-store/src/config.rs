@@ -1,0 +1,156 @@
+//! Chunk store configuration.
+
+/// Whether the store runs with full DRM protections or as a plain
+/// log-structured store.
+///
+/// The paper evaluates both: **TDB-S** (hashing + encryption + one-way
+/// counter) and **TDB** (none of those), Figure 10. `Off` keeps the same
+/// on-disk structure but skips encryption, per-chunk hashing, anchor MACs
+/// (replaced by a plain hash against accidental corruption), and counter
+/// increments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SecurityMode {
+    /// No crypto: plain storage, accidental-corruption checks only.
+    Off,
+    /// Full protection: AES-128-CBC encryption, SHA-256 Merkle tree,
+    /// HMAC'd anchor bound to the one-way counter.
+    Full,
+}
+
+impl SecurityMode {
+    /// Byte tag persisted in the anchor so an open with the wrong mode is
+    /// rejected instead of misinterpreting ciphertext.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            SecurityMode::Off => 0,
+            SecurityMode::Full => 1,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(SecurityMode::Off),
+            1 => Some(SecurityMode::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for the chunk store.
+#[derive(Clone, Debug)]
+pub struct ChunkStoreConfig {
+    /// Size of each log segment file in bytes. Smaller segments give the
+    /// cleaner finer granularity; larger segments amortize file overhead.
+    pub segment_size: u32,
+    /// Fanout of the hierarchical location map (entries per map page).
+    pub map_fanout: usize,
+    /// Security mode (see [`SecurityMode`]).
+    pub security: SecurityMode,
+    /// Maximum database utilization: the maximal fraction of the log that
+    /// may hold live data before the store grows instead of cleaning
+    /// (paper §3.2.1 and the Figure 11 sweep). Default 0.60 as in §7.3.
+    pub max_utilization: f64,
+    /// Checkpoint the location map once the residual log exceeds this many
+    /// bytes. Checkpoints are also taken by the cleaner and can be forced
+    /// with [`ChunkStore::checkpoint`](crate::ChunkStore::checkpoint).
+    pub checkpoint_threshold: u64,
+    /// Maximum segments the cleaner relocates per triggered pass; bounds
+    /// per-commit cleaning latency (§3.2.1: "bound the per-commit overhead
+    /// of cleaning").
+    pub cleaner_batch: usize,
+    /// Number of segments to allocate when creating a fresh database.
+    pub initial_segments: u32,
+    /// If false, the store never grows beyond its current segments and
+    /// returns `OutOfSpace` when cleaning cannot free enough; used by tests
+    /// to exercise the space-pressure paths deterministically.
+    pub allow_growth: bool,
+    /// Maximum number of free chunk ids remembered across restarts in the
+    /// anchor; ids beyond this leak (they are never handed out again),
+    /// which only wastes map slots.
+    pub free_list_cap: usize,
+    /// Keep at most this many free segments around before truncating them
+    /// away; bounds on-disk size after bursts (Figure 11's "resulting
+    /// database size").
+    pub free_segment_reserve: usize,
+}
+
+impl Default for ChunkStoreConfig {
+    fn default() -> Self {
+        ChunkStoreConfig {
+            segment_size: 256 * 1024,
+            map_fanout: 64,
+            security: SecurityMode::Full,
+            max_utilization: 0.60,
+            checkpoint_threshold: 32 * 1024 * 1024,
+            cleaner_batch: 32,
+            initial_segments: 4,
+            allow_growth: true,
+            free_list_cap: 4096,
+            free_segment_reserve: 4,
+        }
+    }
+}
+
+impl ChunkStoreConfig {
+    /// A small configuration for unit tests: tiny segments so cleaning,
+    /// growth, and checkpointing trigger quickly.
+    pub fn small_for_tests() -> Self {
+        ChunkStoreConfig {
+            segment_size: 4 * 1024,
+            map_fanout: 8,
+            checkpoint_threshold: 16 * 1024,
+            initial_segments: 2,
+            cleaner_batch: 4,
+            free_segment_reserve: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants; called by the store constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segment_size < 4096 {
+            return Err("segment_size must be at least 4096 bytes".into());
+        }
+        if !(2..=4096).contains(&self.map_fanout) {
+            return Err("map_fanout must be between 2 and 4096".into());
+        }
+        if !(0.05..=0.95).contains(&self.max_utilization) {
+            return Err("max_utilization must be within [0.05, 0.95]".into());
+        }
+        if self.initial_segments < 2 {
+            return Err("initial_segments must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ChunkStoreConfig::default().validate().unwrap();
+        ChunkStoreConfig::small_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = ChunkStoreConfig { segment_size: 100, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = ChunkStoreConfig { map_fanout: 1, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = ChunkStoreConfig { max_utilization: 0.99, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = ChunkStoreConfig { initial_segments: 1, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn security_mode_tags_roundtrip() {
+        for mode in [SecurityMode::Off, SecurityMode::Full] {
+            assert_eq!(SecurityMode::from_tag(mode.tag()), Some(mode));
+        }
+        assert_eq!(SecurityMode::from_tag(9), None);
+    }
+}

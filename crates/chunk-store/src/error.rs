@@ -1,0 +1,104 @@
+//! Chunk store error type.
+
+use crate::ids::ChunkId;
+use std::fmt;
+use tdb_platform::PlatformError;
+
+/// Result alias for the chunk store.
+pub type Result<T> = std::result::Result<T, ChunkStoreError>;
+
+/// Errors surfaced by the chunk store.
+#[derive(Debug)]
+pub enum ChunkStoreError {
+    /// The untrusted store content fails validation: a hash or MAC does not
+    /// match, or a structure is malformed in a way crash-atomicity cannot
+    /// explain. This is the paper's "signals tamper detection".
+    TamperDetected(String),
+    /// The database state is internally valid but *older* than the one-way
+    /// counter says it should be — someone replayed a saved copy (§3).
+    ReplayDetected {
+        /// Counter value embedded in the (validly MAC'd) anchor.
+        anchor_counter: u64,
+        /// Value read from the one-way counter hardware.
+        hardware_counter: u64,
+    },
+    /// Operation on a chunk id that was never allocated or was deallocated.
+    NotAllocated(ChunkId),
+    /// Read of a chunk id that was allocated but never written.
+    NotWritten(ChunkId),
+    /// The store needed to grow but the configuration forbids it and
+    /// cleaning could not free enough space.
+    OutOfSpace {
+        /// Bytes the failed operation needed.
+        needed: u64,
+    },
+    /// A single chunk exceeds the maximum size this segment configuration
+    /// can store (records never span segments).
+    ChunkTooLarge {
+        /// Requested chunk size.
+        size: usize,
+        /// Maximum supported by the configuration.
+        max: usize,
+    },
+    /// An error from the platform substrates (I/O, simulated crash, ...).
+    Platform(PlatformError),
+    /// The store was opened with a configuration incompatible with the one
+    /// it was created with (e.g. different security mode or segment size).
+    ConfigMismatch(String),
+    /// No database exists in the untrusted store (open of a fresh store).
+    NoDatabase,
+}
+
+impl fmt::Display for ChunkStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkStoreError::TamperDetected(what) => {
+                write!(f, "tamper detected: {what}")
+            }
+            ChunkStoreError::ReplayDetected { anchor_counter, hardware_counter } => write!(
+                f,
+                "replay detected: anchor counter {anchor_counter} vs hardware counter {hardware_counter}"
+            ),
+            ChunkStoreError::NotAllocated(id) => write!(f, "chunk {id:?} is not allocated"),
+            ChunkStoreError::NotWritten(id) => write!(f, "chunk {id:?} has never been written"),
+            ChunkStoreError::OutOfSpace { needed } => {
+                write!(f, "out of space: {needed} more bytes needed and growth is disabled")
+            }
+            ChunkStoreError::ChunkTooLarge { size, max } => {
+                write!(f, "chunk of {size} bytes exceeds the maximum of {max} for this segment size")
+            }
+            ChunkStoreError::Platform(e) => write!(f, "platform error: {e}"),
+            ChunkStoreError::ConfigMismatch(m) => write!(f, "configuration mismatch: {m}"),
+            ChunkStoreError::NoDatabase => write!(f, "no database present in the untrusted store"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChunkStoreError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for ChunkStoreError {
+    fn from(e: PlatformError) -> Self {
+        ChunkStoreError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ChunkStoreError::ReplayDetected { anchor_counter: 3, hardware_counter: 7 };
+        assert!(e.to_string().contains("replay"));
+        let e = ChunkStoreError::Platform(PlatformError::Crashed);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ChunkStoreError::TamperDetected("x".into()).to_string().contains("tamper"));
+    }
+}

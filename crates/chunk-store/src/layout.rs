@@ -1,0 +1,448 @@
+//! On-disk layout: segment headers and log record encoding.
+//!
+//! A log segment file starts with a segment header ([`encode_segment_header`]) and is followed by a
+//! sequence of records, each `kind(1) || payload_len(4 LE) || payload`.
+//! Records never span segments; when the tail segment cannot fit the next
+//! record, a [`RecordKind::NextSegment`] record closes it and the log
+//! continues in a fresh segment.
+//!
+//! Record payloads:
+//!
+//! * `ChunkData` — sealed `chunk_id(8) || chunk bytes`. The id lives inside
+//!   the ciphertext so the untrusted store cannot link multiple versions of
+//!   the same chunk (the paper's traffic-analysis point, §3.2.1).
+//! * `MapPage` — a sealed serialized location-map page (see [`crate::map`]).
+//! * `Commit` — sealed [`CommitPayload`] followed by the 32-byte commit
+//!   chain value. The chain authenticates the whole residual log during
+//!   recovery.
+//! * `NextSegment` — plaintext successor segment id.
+//!
+//! All decoding is *defensive*: these bytes come from attacker-controlled
+//! storage, so every read is bounds-checked and malformed input yields
+//! [`Malformed`], never a panic.
+
+use crate::ids::{ChunkId, SegmentId};
+use crate::map::Location;
+use tdb_crypto::{Digest, DIGEST_LEN};
+
+/// Length of the per-record header: kind byte + payload length.
+pub const RECORD_HEADER_LEN: u32 = 5;
+
+/// Length of the segment header at offset 0 of every segment file.
+pub const SEGMENT_HEADER_LEN: u32 = 16;
+
+/// Magic prefix of segment files.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"TDBSEG01";
+
+/// Payload size of a `NextSegment` record.
+pub const NEXT_SEGMENT_PAYLOAD_LEN: u32 = 4;
+
+/// Total on-disk size of a `NextSegment` record.
+pub const NEXT_SEGMENT_RECORD_LEN: u32 = RECORD_HEADER_LEN + NEXT_SEGMENT_PAYLOAD_LEN;
+
+/// Error for structurally invalid on-disk bytes. During recovery a
+/// malformed record marks the end of the usable log (crash garbage); in any
+/// other context it is escalated to tamper detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Malformed(pub String);
+
+/// Kinds of log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A committed chunk version.
+    ChunkData,
+    /// A location-map page written at a checkpoint.
+    MapPage,
+    /// A commit record closing a batch of writes.
+    Commit,
+    /// Log continues in another segment.
+    NextSegment,
+}
+
+impl RecordKind {
+    /// Byte tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            RecordKind::ChunkData => 1,
+            RecordKind::MapPage => 2,
+            RecordKind::Commit => 3,
+            RecordKind::NextSegment => 4,
+        }
+    }
+
+    /// Parse a byte tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(RecordKind::ChunkData),
+            2 => Some(RecordKind::MapPage),
+            3 => Some(RecordKind::Commit),
+            4 => Some(RecordKind::NextSegment),
+            _ => None,
+        }
+    }
+}
+
+/// Encode a segment header.
+pub fn encode_segment_header(seg: SegmentId) -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut out = [0u8; SEGMENT_HEADER_LEN as usize];
+    out[..8].copy_from_slice(&SEGMENT_MAGIC);
+    out[8..12].copy_from_slice(&seg.0.to_le_bytes());
+    out
+}
+
+/// Validate a segment header, returning the stored segment id.
+pub fn decode_segment_header(bytes: &[u8]) -> Result<SegmentId, Malformed> {
+    if bytes.len() < SEGMENT_HEADER_LEN as usize {
+        return Err(Malformed("segment header truncated".into()));
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return Err(Malformed("bad segment magic".into()));
+    }
+    let id = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    Ok(SegmentId(id))
+}
+
+/// Encode a record header.
+pub fn encode_record_header(kind: RecordKind, payload_len: u32) -> [u8; RECORD_HEADER_LEN as usize] {
+    let mut out = [0u8; RECORD_HEADER_LEN as usize];
+    out[0] = kind.tag();
+    out[1..5].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
+/// Decode a record header into (kind, payload length).
+pub fn decode_record_header(bytes: &[u8]) -> Result<(RecordKind, u32), Malformed> {
+    if bytes.len() < RECORD_HEADER_LEN as usize {
+        return Err(Malformed("record header truncated".into()));
+    }
+    let kind = RecordKind::from_tag(bytes[0])
+        .ok_or_else(|| Malformed(format!("unknown record kind {}", bytes[0])))?;
+    let len = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
+    Ok((kind, len))
+}
+
+// ---------------------------------------------------------------------------
+// Byte cursor helpers
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over untrusted bytes.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Malformed> {
+        if self.remaining() < n {
+            return Err(Malformed(format!(
+                "needed {n} bytes, only {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, Malformed> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, Malformed> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, Malformed> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a 32-byte digest.
+    pub fn digest(&mut self) -> Result<Digest, Malformed> {
+        Ok(self.take(DIGEST_LEN)?.try_into().expect("32"))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], Malformed> {
+        self.take(n)
+    }
+
+    /// Assert everything was consumed.
+    pub fn finish(self) -> Result<(), Malformed> {
+        if self.remaining() != 0 {
+            return Err(Malformed(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+/// Append a [`Location`] to an output buffer. With `with_hash` the digest
+/// is included (44 bytes); without, only the 12-byte position — the paper's
+/// TDB-without-security configuration, which is why TDB-S pays extra
+/// per-chunk map overhead "because it stores one-way hashes in the location
+/// map" (§7.4).
+pub fn put_location(out: &mut Vec<u8>, loc: &Location, with_hash: bool) {
+    out.extend_from_slice(&loc.seg.0.to_le_bytes());
+    out.extend_from_slice(&loc.off.to_le_bytes());
+    out.extend_from_slice(&loc.len.to_le_bytes());
+    if with_hash {
+        out.extend_from_slice(&loc.hash);
+    }
+}
+
+/// Read a [`Location`] (hash zeroed when `with_hash` is false).
+pub fn get_location(c: &mut Cursor<'_>, with_hash: bool) -> Result<Location, Malformed> {
+    Ok(Location {
+        seg: SegmentId(c.u32()?),
+        off: c.u32()?,
+        len: c.u32()?,
+        hash: if with_hash { c.digest()? } else { [0u8; DIGEST_LEN] },
+    })
+}
+
+/// Serialized byte size of a [`Location`].
+pub const fn location_len(with_hash: bool) -> usize {
+    if with_hash { 12 + DIGEST_LEN } else { 12 }
+}
+
+/// Serialized byte size of a [`Location`] with hash (anchor and tests).
+pub const LOCATION_LEN: usize = 12 + DIGEST_LEN;
+
+// ---------------------------------------------------------------------------
+// ChunkData payload
+// ---------------------------------------------------------------------------
+
+/// Build the plaintext `ChunkData` payload for a chunk.
+pub fn encode_chunk_payload(id: ChunkId, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + data.len());
+    out.extend_from_slice(&id.0.to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Split a decrypted `ChunkData` payload into (id, chunk bytes).
+pub fn decode_chunk_payload(plain: &[u8]) -> Result<(ChunkId, &[u8]), Malformed> {
+    if plain.len() < 8 {
+        return Err(Malformed("chunk payload shorter than id".into()));
+    }
+    let id = u64::from_le_bytes(plain[..8].try_into().expect("8"));
+    Ok((ChunkId(id), &plain[8..]))
+}
+
+// ---------------------------------------------------------------------------
+// Commit payload
+// ---------------------------------------------------------------------------
+
+/// The plaintext contents of a commit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitPayload {
+    /// Monotonic commit sequence number.
+    pub seq: u64,
+    /// Whether the application requested durability for this commit.
+    pub durable: bool,
+    /// High-water mark of allocated chunk ids after this commit.
+    pub next_id: u64,
+    /// Chunk versions written by this commit and where they landed.
+    pub writes: Vec<(ChunkId, Location)>,
+    /// Chunk ids deallocated by this commit.
+    pub deallocs: Vec<ChunkId>,
+}
+
+impl CommitPayload {
+    /// Serialize. `with_hash` matches the store's security mode: TDB-S
+    /// persists the per-chunk digest, plain TDB does not.
+    pub fn encode(&self, with_hash: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            25 + self.writes.len() * (8 + location_len(with_hash)) + self.deallocs.len() * 8,
+        );
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(self.durable as u8);
+        out.extend_from_slice(&self.next_id.to_le_bytes());
+        out.extend_from_slice(&(self.writes.len() as u32).to_le_bytes());
+        for (id, loc) in &self.writes {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            put_location(&mut out, loc, with_hash);
+        }
+        out.extend_from_slice(&(self.deallocs.len() as u32).to_le_bytes());
+        for id in &self.deallocs {
+            out.extend_from_slice(&id.0.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize (defensive).
+    pub fn decode(bytes: &[u8], with_hash: bool) -> Result<Self, Malformed> {
+        let mut c = Cursor::new(bytes);
+        let seq = c.u64()?;
+        let durable = match c.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(Malformed(format!("bad durable flag {other}"))),
+        };
+        let next_id = c.u64()?;
+        let n_writes = c.u32()? as usize;
+        if n_writes > bytes.len() {
+            return Err(Malformed("write count exceeds payload size".into()));
+        }
+        let mut writes = Vec::with_capacity(n_writes);
+        for _ in 0..n_writes {
+            let id = ChunkId(c.u64()?);
+            let loc = get_location(&mut c, with_hash)?;
+            writes.push((id, loc));
+        }
+        let n_deallocs = c.u32()? as usize;
+        if n_deallocs > bytes.len() {
+            return Err(Malformed("dealloc count exceeds payload size".into()));
+        }
+        let mut deallocs = Vec::with_capacity(n_deallocs);
+        for _ in 0..n_deallocs {
+            deallocs.push(ChunkId(c.u64()?));
+        }
+        c.finish()?;
+        Ok(CommitPayload { seq, durable, next_id, writes, deallocs })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NextSegment payload
+// ---------------------------------------------------------------------------
+
+/// Encode a `NextSegment` payload.
+pub fn encode_next_segment(seg: SegmentId) -> [u8; NEXT_SEGMENT_PAYLOAD_LEN as usize] {
+    seg.0.to_le_bytes()
+}
+
+/// Decode a `NextSegment` payload.
+pub fn decode_next_segment(bytes: &[u8]) -> Result<SegmentId, Malformed> {
+    if bytes.len() != NEXT_SEGMENT_PAYLOAD_LEN as usize {
+        return Err(Malformed("bad NextSegment payload length".into()));
+    }
+    Ok(SegmentId(u32::from_le_bytes(bytes.try_into().expect("4"))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(seg: u32, off: u32, len: u32, h: u8) -> Location {
+        Location { seg: SegmentId(seg), off, len, hash: [h; 32] }
+    }
+
+    #[test]
+    fn segment_header_roundtrip() {
+        let enc = encode_segment_header(SegmentId(42));
+        assert_eq!(decode_segment_header(&enc).unwrap(), SegmentId(42));
+        let mut bad = enc;
+        bad[0] ^= 1;
+        assert!(decode_segment_header(&bad).is_err());
+        assert!(decode_segment_header(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn record_header_roundtrip() {
+        for kind in [
+            RecordKind::ChunkData,
+            RecordKind::MapPage,
+            RecordKind::Commit,
+            RecordKind::NextSegment,
+        ] {
+            let enc = encode_record_header(kind, 12345);
+            assert_eq!(decode_record_header(&enc).unwrap(), (kind, 12345));
+        }
+        assert!(decode_record_header(&[99, 0, 0, 0, 0]).is_err());
+        assert!(decode_record_header(&[1, 0]).is_err());
+    }
+
+    #[test]
+    fn chunk_payload_roundtrip() {
+        let enc = encode_chunk_payload(ChunkId(7), b"state");
+        let (id, data) = decode_chunk_payload(&enc).unwrap();
+        assert_eq!(id, ChunkId(7));
+        assert_eq!(data, b"state");
+        assert!(decode_chunk_payload(&enc[..4]).is_err());
+        // Empty chunk body is legal.
+        let empty = encode_chunk_payload(ChunkId(1), b"");
+        let (id, data) = decode_chunk_payload(&empty).unwrap();
+        assert_eq!((id, data.len()), (ChunkId(1), 0));
+    }
+
+    #[test]
+    fn commit_payload_roundtrip() {
+        let payload = CommitPayload {
+            seq: 99,
+            durable: true,
+            next_id: 1000,
+            writes: vec![(ChunkId(1), loc(0, 16, 100, 0xAA)), (ChunkId(2), loc(1, 32, 50, 0xBB))],
+            deallocs: vec![ChunkId(3), ChunkId(4)],
+        };
+        let enc = payload.encode(true);
+        assert_eq!(CommitPayload::decode(&enc, true).unwrap(), payload);
+        // Hash-free encoding is smaller and round-trips positions.
+        let slim = payload.encode(false);
+        assert!(slim.len() < enc.len());
+        let decoded = CommitPayload::decode(&slim, false).unwrap();
+        assert_eq!(decoded.writes[0].0, payload.writes[0].0);
+        assert_eq!(decoded.writes[0].1.off, payload.writes[0].1.off);
+        assert_eq!(decoded.writes[0].1.hash, [0u8; 32]);
+    }
+
+    #[test]
+    fn commit_payload_empty_roundtrip() {
+        let payload = CommitPayload { seq: 1, durable: false, next_id: 0, writes: vec![], deallocs: vec![] };
+        assert_eq!(CommitPayload::decode(&payload.encode(true), true).unwrap(), payload);
+        assert_eq!(CommitPayload::decode(&payload.encode(false), false).unwrap(), payload);
+    }
+
+    #[test]
+    fn commit_payload_rejects_malformed() {
+        let payload =
+            CommitPayload { seq: 1, durable: true, next_id: 5, writes: vec![(ChunkId(1), loc(0, 0, 1, 1))], deallocs: vec![] };
+        let enc = payload.encode(true);
+        // Truncation at every length must fail cleanly, never panic.
+        for cut in 0..enc.len() {
+            assert!(CommitPayload::decode(&enc[..cut], true).is_err(), "cut {cut}");
+        }
+        // Trailing garbage rejected.
+        let mut extended = enc.clone();
+        extended.push(0);
+        assert!(CommitPayload::decode(&extended, true).is_err());
+        // Absurd counts rejected without allocation blowup.
+        let mut bogus = enc.clone();
+        bogus[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(CommitPayload::decode(&bogus, true).is_err());
+        // Bad durable flag.
+        let mut bad_flag = enc;
+        bad_flag[8] = 7;
+        assert!(CommitPayload::decode(&bad_flag, true).is_err());
+    }
+
+    #[test]
+    fn next_segment_roundtrip() {
+        let enc = encode_next_segment(SegmentId(9));
+        assert_eq!(decode_next_segment(&enc).unwrap(), SegmentId(9));
+        assert!(decode_next_segment(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn cursor_is_bounds_checked() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert_eq!(c.u8().unwrap(), 1);
+        assert!(c.u32().is_err());
+        assert_eq!(c.remaining(), 2);
+        assert!(Cursor::new(&[0; 31]).digest().is_err());
+        assert!(Cursor::new(&[0; 3]).finish().is_err());
+        assert!(Cursor::new(&[]).finish().is_ok());
+    }
+}

@@ -1,0 +1,653 @@
+//! Log segments over the untrusted store.
+//!
+//! The log is a chain of fixed-size segment files (`seg.000000`, ...). New
+//! records are appended to the *tail* segment through a write buffer that is
+//! flushed at every commit; when a record would overflow the tail, a
+//! `NextSegment` record closes it and the log continues in a segment taken
+//! from the free list (or newly allocated — the store "can increase or
+//! decrease the space allocated for storage", §3.2.1).
+//!
+//! The manager also owns per-segment **live-byte accounting**, which is what
+//! the cleaner's victim selection and the utilization computation (Figure
+//! 11) are based on.
+
+use crate::error::{ChunkStoreError, Result};
+use crate::ids::SegmentId;
+use crate::layout::{
+    decode_record_header, decode_segment_header, encode_next_segment, encode_record_header,
+    encode_segment_header, RecordKind, NEXT_SEGMENT_RECORD_LEN, RECORD_HEADER_LEN,
+    SEGMENT_HEADER_LEN,
+};
+use crate::map::Location;
+use crate::stats::{add, SharedStats};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use tdb_platform::{RandomAccessFile, UntrustedStore};
+
+/// Lifecycle state of a segment slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegStatus {
+    /// Holds log records (possibly all obsolete).
+    InUse,
+    /// Truncated to zero, ready for reuse.
+    Free,
+    /// File deleted to shrink the database; the id may be reallocated.
+    Dropped,
+}
+
+struct SegState {
+    status: SegStatus,
+    /// Bytes of live records (current chunk versions + checkpointed map
+    /// pages) in this segment.
+    live: u64,
+}
+
+/// Manages segment files, the append tail, and live-byte accounting.
+pub struct SegmentManager {
+    store: Arc<dyn UntrustedStore>,
+    seg_size: u32,
+    allow_growth: bool,
+    states: Vec<SegState>,
+    free: BTreeSet<u32>,
+    tail: SegmentId,
+    /// Next logical append offset in the tail segment.
+    tail_off: u32,
+    /// Buffered, not-yet-written bytes of the tail segment.
+    pending: Vec<u8>,
+    /// Tail-segment offset of `pending[0]`.
+    pending_start: u32,
+    /// Open file handles (interior mutability so reads take `&self`).
+    files: Mutex<HashMap<u32, Arc<dyn RandomAccessFile>>>,
+    /// Segments written to since the last `sync_touched`.
+    touched: BTreeSet<u32>,
+    /// Segments the tail entered since the last drain (residual tracking).
+    entered: Vec<SegmentId>,
+    stats: SharedStats,
+}
+
+impl SegmentManager {
+    /// Create a fresh log: `initial` segments, tail in segment 0.
+    pub fn create(
+        store: Arc<dyn UntrustedStore>,
+        seg_size: u32,
+        initial: u32,
+        allow_growth: bool,
+        stats: SharedStats,
+    ) -> Result<Self> {
+        let mut mgr = SegmentManager {
+            store,
+            seg_size,
+            allow_growth,
+            states: Vec::new(),
+            free: BTreeSet::new(),
+            tail: SegmentId(0),
+            tail_off: SEGMENT_HEADER_LEN,
+            pending: encode_segment_header(SegmentId(0)).to_vec(),
+            pending_start: 0,
+            files: Mutex::new(HashMap::new()),
+            touched: BTreeSet::new(),
+            entered: vec![SegmentId(0)],
+            stats,
+        };
+        for i in 0..initial {
+            mgr.states.push(SegState { status: SegStatus::Free, live: 0 });
+            mgr.free.insert(i);
+        }
+        mgr.free.remove(&0);
+        mgr.states[0].status = SegStatus::InUse;
+        // Materialize the files so the database footprint is visible.
+        for i in 0..initial {
+            mgr.store.open(&SegmentId(i).file_name(), true)?;
+        }
+        mgr.touched.insert(0);
+        Ok(mgr)
+    }
+
+    /// Attach to an existing log. Live accounting and the tail position are
+    /// unknown until recovery calls [`set_tail`](Self::set_tail) and
+    /// [`add_live`](Self::add_live).
+    pub fn open_existing(
+        store: Arc<dyn UntrustedStore>,
+        seg_size: u32,
+        allow_growth: bool,
+        stats: SharedStats,
+    ) -> Result<Self> {
+        let mut max_id: Option<u32> = None;
+        let mut present: HashMap<u32, u64> = HashMap::new();
+        for name in store.list()? {
+            if let Some(idx) = name.strip_prefix("seg.").and_then(|s| s.parse::<u32>().ok()) {
+                let len = store.open(&name, false)?.len()?;
+                present.insert(idx, len);
+                max_id = Some(max_id.map_or(idx, |m| m.max(idx)));
+            }
+        }
+        let count = max_id.map_or(0, |m| m + 1);
+        let mut states = Vec::with_capacity(count as usize);
+        let mut free = BTreeSet::new();
+        for i in 0..count {
+            match present.get(&i) {
+                Some(0) => {
+                    free.insert(i);
+                    states.push(SegState { status: SegStatus::Free, live: 0 });
+                }
+                Some(_) => states.push(SegState { status: SegStatus::InUse, live: 0 }),
+                None => states.push(SegState { status: SegStatus::Dropped, live: 0 }),
+            }
+        }
+        Ok(SegmentManager {
+            store,
+            seg_size,
+            allow_growth,
+            states,
+            free,
+            tail: SegmentId(0),
+            tail_off: SEGMENT_HEADER_LEN,
+            pending: Vec::new(),
+            pending_start: 0,
+            files: Mutex::new(HashMap::new()),
+            touched: BTreeSet::new(),
+            entered: Vec::new(),
+            stats,
+        })
+    }
+
+    /// Position recovery determined the tail to be at.
+    pub fn set_tail(&mut self, seg: SegmentId, off: u32) {
+        self.tail = seg;
+        self.tail_off = off;
+        self.pending.clear();
+        self.pending_start = off;
+        self.states[seg.0 as usize].status = SegStatus::InUse;
+        self.free.remove(&seg.0);
+    }
+
+    /// Current tail position (the next record lands here).
+    pub fn tail_pos(&self) -> (SegmentId, u32) {
+        (self.tail, self.tail_off)
+    }
+
+    fn file(&self, seg: SegmentId) -> Result<Arc<dyn RandomAccessFile>> {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get(&seg.0) {
+            return Ok(f.clone());
+        }
+        let f: Arc<dyn RandomAccessFile> =
+            Arc::from(self.store.open(&seg.file_name(), true)?);
+        files.insert(seg.0, f.clone());
+        Ok(f)
+    }
+
+    /// Append a record, returning its location fields (hash is the
+    /// caller's concern). The payload must fit in a fresh segment.
+    pub fn append_record(
+        &mut self,
+        kind: RecordKind,
+        payload: &[u8],
+    ) -> Result<(SegmentId, u32, u32)> {
+        let total = RECORD_HEADER_LEN + payload.len() as u32;
+        let capacity = self.seg_size - SEGMENT_HEADER_LEN - NEXT_SEGMENT_RECORD_LEN;
+        assert!(
+            total <= capacity,
+            "record of {total} bytes exceeds segment capacity {capacity}; \
+             the store must enforce max chunk size"
+        );
+        if self.tail_off + total + NEXT_SEGMENT_RECORD_LEN > self.seg_size {
+            self.roll_segment()?;
+        }
+        let off = self.tail_off;
+        self.pending.extend_from_slice(&encode_record_header(kind, payload.len() as u32));
+        self.pending.extend_from_slice(payload);
+        self.tail_off += total;
+        // Only chunk data and map pages are "live" (reclaimable state).
+        // Commit records matter only while inside the residual log, which
+        // is excluded from cleaning wholesale, so counting them live would
+        // keep fully-dead segments from ever being reclaimed.
+        if matches!(kind, RecordKind::ChunkData | RecordKind::MapPage) {
+            self.states[self.tail.0 as usize].live += total as u64;
+        }
+        add(&self.stats.bytes_appended, total as u64);
+        add(&self.stats.records_appended, 1);
+        match kind {
+            RecordKind::ChunkData => add(&self.stats.chunk_bytes_appended, total as u64),
+            RecordKind::MapPage => add(&self.stats.map_bytes_appended, total as u64),
+            RecordKind::Commit => add(&self.stats.commit_bytes_appended, total as u64),
+            RecordKind::NextSegment => {}
+        }
+        Ok((self.tail, off, total))
+    }
+
+    /// Close the tail with a `NextSegment` record and continue in a free
+    /// (or newly grown) segment.
+    fn roll_segment(&mut self) -> Result<()> {
+        let next = match self.free.pop_first() {
+            Some(i) => SegmentId(i),
+            None => self.grow()?,
+        };
+        let nxt = encode_next_segment(next);
+        self.pending
+            .extend_from_slice(&encode_record_header(RecordKind::NextSegment, nxt.len() as u32));
+        self.pending.extend_from_slice(&nxt);
+        add(&self.stats.bytes_appended, NEXT_SEGMENT_RECORD_LEN as u64);
+        self.flush()?;
+
+        self.states[next.0 as usize].status = SegStatus::InUse;
+        self.tail = next;
+        self.tail_off = SEGMENT_HEADER_LEN;
+        self.pending = encode_segment_header(next).to_vec();
+        self.pending_start = 0;
+        self.entered.push(next);
+        Ok(())
+    }
+
+    /// Allocate a brand-new segment slot (or resurrect a dropped one).
+    fn grow(&mut self) -> Result<SegmentId> {
+        if !self.allow_growth {
+            return Err(ChunkStoreError::OutOfSpace { needed: self.seg_size as u64 });
+        }
+        add(&self.stats.segments_grown, 1);
+        if let Some(i) = self
+            .states
+            .iter()
+            .position(|s| s.status == SegStatus::Dropped)
+        {
+            self.states[i] = SegState { status: SegStatus::Free, live: 0 };
+            self.store.open(&SegmentId(i as u32).file_name(), true)?;
+            return Ok(SegmentId(i as u32));
+        }
+        let id = SegmentId(self.states.len() as u32);
+        self.states.push(SegState { status: SegStatus::Free, live: 0 });
+        self.store.open(&id.file_name(), true)?;
+        Ok(id)
+    }
+
+    /// Write buffered tail bytes out (no sync).
+    pub fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let file = self.file(self.tail)?;
+        file.write_at(self.pending_start as u64, &self.pending)?;
+        self.pending_start += self.pending.len() as u32;
+        self.pending.clear();
+        self.touched.insert(self.tail.0);
+        Ok(())
+    }
+
+    /// Sync every segment written since the last call.
+    pub fn sync_touched(&mut self) -> Result<()> {
+        self.flush()?;
+        for seg in std::mem::take(&mut self.touched) {
+            self.file(SegmentId(seg))?.sync()?;
+            add(&self.stats.syncs, 1);
+        }
+        Ok(())
+    }
+
+    /// Read a record's stored payload. Verifies the header's kind and
+    /// length against the expected location. The payload hash is checked by
+    /// the caller (who knows the expected digest). Bytes still sitting in
+    /// the tail write buffer are served from memory.
+    pub fn read_record(&self, loc: &Location, expect: RecordKind) -> Result<Vec<u8>> {
+        let tampered =
+            |what: String| ChunkStoreError::TamperDetected(format!("record at {loc:?}: {what}"));
+        if loc.len < RECORD_HEADER_LEN {
+            return Err(tampered("impossible length".into()));
+        }
+        let mut buf = vec![0u8; loc.len as usize];
+        if loc.seg == self.tail && loc.off >= self.pending_start && !self.pending.is_empty() {
+            // Unflushed tail bytes: records are appended whole, so the
+            // record lies entirely within `pending`.
+            let start = (loc.off - self.pending_start) as usize;
+            let end = start + loc.len as usize;
+            if end > self.pending.len() {
+                return Err(tampered("extends past the write buffer".into()));
+            }
+            buf.copy_from_slice(&self.pending[start..end]);
+        } else {
+            let file = self.file(loc.seg)?;
+            file.read_at(loc.off as u64, &mut buf).map_err(|e| match e {
+                tdb_platform::PlatformError::ShortRead { .. } => {
+                    tampered("extends past segment end".into())
+                }
+                other => ChunkStoreError::Platform(other),
+            })?;
+        }
+        let (kind, len) =
+            decode_record_header(&buf).map_err(|m| tampered(m.0))?;
+        if kind != expect {
+            return Err(tampered(format!("kind {kind:?}, expected {expect:?}")));
+        }
+        if len != loc.len - RECORD_HEADER_LEN {
+            return Err(tampered("payload length mismatch".into()));
+        }
+        add(&self.stats.bytes_read, loc.len as u64);
+        Ok(buf.split_off(RECORD_HEADER_LEN as usize))
+    }
+
+    /// Raw read used by recovery's sequential scan: `(kind, payload)` at an
+    /// arbitrary position, `None` when the bytes cannot be a record (end of
+    /// usable log).
+    pub fn read_record_at(
+        &self,
+        seg: SegmentId,
+        off: u32,
+    ) -> Result<Option<(RecordKind, Vec<u8>)>> {
+        if off + RECORD_HEADER_LEN > self.seg_size {
+            return Ok(None);
+        }
+        let file = self.file(seg)?;
+        let mut header = [0u8; RECORD_HEADER_LEN as usize];
+        if file.read_at(off as u64, &mut header).is_err() {
+            return Ok(None);
+        }
+        let Ok((kind, len)) = decode_record_header(&header) else {
+            return Ok(None);
+        };
+        if off + RECORD_HEADER_LEN + len > self.seg_size {
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; len as usize];
+        if file
+            .read_at((off + RECORD_HEADER_LEN) as u64, &mut payload)
+            .is_err()
+        {
+            return Ok(None);
+        }
+        Ok(Some((kind, payload)))
+    }
+
+    /// Whether `seg` is a known, non-dropped segment slot.
+    pub fn is_valid_segment(&self, seg: SegmentId) -> bool {
+        (seg.0 as usize) < self.states.len()
+            && self.states[seg.0 as usize].status != SegStatus::Dropped
+    }
+
+    /// Validate a segment's on-disk header (recovery sanity check).
+    pub fn check_segment_header(&self, seg: SegmentId) -> Result<bool> {
+        let file = self.file(seg)?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+        if file.read_at(0, &mut header).is_err() {
+            return Ok(false);
+        }
+        Ok(matches!(decode_segment_header(&header), Ok(s) if s == seg))
+    }
+
+    // -- live accounting ------------------------------------------------
+
+    /// Credit live bytes to a segment (recovery rebuild / new appends are
+    /// credited automatically by `append_record`).
+    pub fn add_live(&mut self, seg: SegmentId, bytes: u64) {
+        self.states[seg.0 as usize].live += bytes;
+    }
+
+    /// Remove live bytes (a version became obsolete and reclaimable).
+    pub fn sub_live(&mut self, seg: SegmentId, bytes: u64) {
+        let live = &mut self.states[seg.0 as usize].live;
+        debug_assert!(*live >= bytes, "live-byte underflow on {seg:?}");
+        *live = live.saturating_sub(bytes);
+    }
+
+    /// Live bytes in a segment.
+    pub fn live_of(&self, seg: SegmentId) -> u64 {
+        self.states[seg.0 as usize].live
+    }
+
+    /// Sum of live bytes.
+    pub fn total_live(&self) -> u64 {
+        self.states.iter().map(|s| s.live).sum()
+    }
+
+    /// Segments currently holding data (tail included).
+    pub fn in_use_segments(&self) -> Vec<SegmentId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status == SegStatus::InUse)
+            .map(|(i, _)| SegmentId(i as u32))
+            .collect()
+    }
+
+    /// Number of free segments ready for reuse.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// live bytes / in-use capacity — the paper's database utilization.
+    pub fn utilization(&self) -> f64 {
+        let in_use = self.states.iter().filter(|s| s.status == SegStatus::InUse).count();
+        if in_use == 0 {
+            return 0.0;
+        }
+        self.total_live() as f64 / (in_use as f64 * self.seg_size as f64)
+    }
+
+    /// Total bytes the database occupies on the untrusted store (segments
+    /// only; the anchor adds a constant). This is Figure 11's "database
+    /// size" metric.
+    pub fn disk_size(&self) -> u64 {
+        let in_use = self.states.iter().filter(|s| s.status == SegStatus::InUse).count();
+        in_use as u64 * self.seg_size as u64
+    }
+
+    /// Mark a fully dead segment reusable and truncate its file.
+    pub fn free_segment(&mut self, seg: SegmentId) -> Result<()> {
+        assert_ne!(seg, self.tail, "cannot free the tail segment");
+        let state = &mut self.states[seg.0 as usize];
+        assert_eq!(state.live, 0, "freeing segment with live bytes");
+        assert_eq!(state.status, SegStatus::InUse);
+        state.status = SegStatus::Free;
+        self.free.insert(seg.0);
+        self.files.lock().remove(&seg.0);
+        self.store.open(&seg.file_name(), true)?.set_len(0)?;
+        Ok(())
+    }
+
+    /// Delete free segment files beyond `reserve`, shrinking the on-disk
+    /// footprint. Returns how many were dropped.
+    pub fn drop_excess_free(&mut self, reserve: usize) -> Result<usize> {
+        let mut dropped = 0;
+        while self.free.len() > reserve {
+            let idx = *self.free.iter().next_back().expect("non-empty");
+            self.free.remove(&idx);
+            self.states[idx as usize].status = SegStatus::Dropped;
+            self.files.lock().remove(&idx);
+            self.store.remove(&SegmentId(idx).file_name())?;
+            dropped += 1;
+            add(&self.stats.segments_dropped, 1);
+        }
+        Ok(dropped)
+    }
+
+    /// Drain segments the tail entered since the last call (the store adds
+    /// them to the residual set).
+    pub fn drain_entered(&mut self) -> Vec<SegmentId> {
+        std::mem::take(&mut self.entered)
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_size(&self) -> u32 {
+        self.seg_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+    use tdb_platform::MemStore;
+
+    fn mgr(seg_size: u32, initial: u32) -> (SegmentManager, MemStore) {
+        let mem = MemStore::new();
+        let stats = Arc::new(Stats::default());
+        let m = SegmentManager::create(Arc::new(mem.clone()), seg_size, initial, true, stats)
+            .unwrap();
+        (m, mem)
+    }
+
+    fn mk_loc(pos: (SegmentId, u32, u32)) -> Location {
+        Location { seg: pos.0, off: pos.1, len: pos.2, hash: [0; 32] }
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let (mut m, _) = mgr(4096, 2);
+        let pos = m.append_record(RecordKind::ChunkData, b"hello chunk").unwrap();
+        m.flush().unwrap();
+        let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        assert_eq!(payload, b"hello chunk");
+        // Wrong expected kind is tamper.
+        assert!(matches!(
+            m.read_record(&mk_loc(pos), RecordKind::Commit),
+            Err(ChunkStoreError::TamperDetected(_))
+        ));
+    }
+
+    #[test]
+    fn read_from_unflushed_tail_flushes_first() {
+        let (mut m, _) = mgr(4096, 2);
+        let pos = m.append_record(RecordKind::ChunkData, b"buffered").unwrap();
+        // No explicit flush.
+        let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        assert_eq!(payload, b"buffered");
+    }
+
+    #[test]
+    fn rolls_to_next_segment_when_full() {
+        let (mut m, mem) = mgr(4096, 3);
+        let mut segs_seen = BTreeSet::new();
+        for _ in 0..40 {
+            let (seg, _, _) = m.append_record(RecordKind::ChunkData, &[7u8; 200]).unwrap();
+            segs_seen.insert(seg.0);
+        }
+        assert!(segs_seen.len() >= 2, "should have rolled");
+        m.flush().unwrap();
+        // The closed segment ends with a NextSegment record readable by scan.
+        let raw = mem.raw("seg.000000").unwrap();
+        assert!(raw.len() <= 4096);
+        let entered = m.drain_entered();
+        assert!(entered.contains(&SegmentId(0)));
+        assert!(entered.len() >= 2);
+    }
+
+    #[test]
+    fn grows_when_free_list_empty() {
+        let (mut m, _) = mgr(4096, 2);
+        for _ in 0..100 {
+            m.append_record(RecordKind::ChunkData, &[1u8; 300]).unwrap();
+        }
+        assert!(m.states.len() > 2);
+        assert!(m.stats.snapshot().segments_grown > 0);
+    }
+
+    #[test]
+    fn growth_disabled_returns_out_of_space() {
+        let mem = MemStore::new();
+        let stats = Arc::new(Stats::default());
+        let mut m =
+            SegmentManager::create(Arc::new(mem), 4096, 2, false, stats).unwrap();
+        let mut saw_oos = false;
+        for _ in 0..100 {
+            match m.append_record(RecordKind::ChunkData, &[1u8; 300]) {
+                Ok(_) => {}
+                Err(ChunkStoreError::OutOfSpace { .. }) => {
+                    saw_oos = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_oos);
+    }
+
+    #[test]
+    fn live_accounting_and_free() {
+        let (mut m, mem) = mgr(4096, 3);
+        let pos = m.append_record(RecordKind::ChunkData, &[1u8; 100]).unwrap();
+        assert_eq!(m.live_of(pos.0), pos.2 as u64);
+        m.sub_live(pos.0, pos.2 as u64);
+        assert_eq!(m.live_of(pos.0), 0);
+        // Roll off segment 0 so it is not the tail, then free it.
+        while m.tail_pos().0 == SegmentId(0) {
+            m.append_record(RecordKind::ChunkData, &[1u8; 300]).unwrap();
+        }
+        m.sub_live(SegmentId(0), m.live_of(SegmentId(0)));
+        m.free_segment(SegmentId(0)).unwrap();
+        assert_eq!(mem.raw("seg.000000").unwrap().len(), 0);
+        assert!(m.free_count() >= 1);
+    }
+
+    #[test]
+    fn drop_excess_free_shrinks_disk() {
+        let (mut m, mem) = mgr(4096, 6);
+        assert_eq!(m.free_count(), 5);
+        let dropped = m.drop_excess_free(2).unwrap();
+        assert_eq!(dropped, 3);
+        assert_eq!(m.free_count(), 2);
+        let files = mem.list().unwrap();
+        assert_eq!(files.iter().filter(|n| n.starts_with("seg.")).count(), 3);
+        // Growth resurrects dropped slots before inventing new ids.
+        for _ in 0..200 {
+            m.append_record(RecordKind::ChunkData, &[1u8; 300]).unwrap();
+        }
+        assert!(m.states.len() == 6 || m.states.len() > 6);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let (mut m, _) = mgr(4096, 2);
+        assert_eq!(m.utilization(), 0.0);
+        m.append_record(RecordKind::ChunkData, &[0u8; 1000]).unwrap();
+        let u = m.utilization();
+        assert!(u > 0.2 && u < 0.3, "one in-use 4k segment, ~1k live: {u}");
+        assert_eq!(m.disk_size(), 4096);
+    }
+
+    #[test]
+    fn reopen_classifies_segments() {
+        let (mut m, mem) = mgr(4096, 3);
+        m.append_record(RecordKind::ChunkData, &[1u8; 100]).unwrap();
+        m.flush().unwrap();
+        // seg0 in use (has bytes), seg1/2 free (zero length).
+        let stats = Arc::new(Stats::default());
+        let m2 =
+            SegmentManager::open_existing(Arc::new(mem), 4096, true, stats).unwrap();
+        assert_eq!(m2.free_count(), 2);
+        assert_eq!(m2.in_use_segments(), vec![SegmentId(0)]);
+    }
+
+    #[test]
+    fn scan_read_stops_at_garbage() {
+        let (mut m, _) = mgr(4096, 2);
+        let pos = m.append_record(RecordKind::Commit, b"payload").unwrap();
+        m.flush().unwrap();
+        let got = m.read_record_at(pos.0, pos.1).unwrap().unwrap();
+        assert_eq!(got.0, RecordKind::Commit);
+        assert_eq!(got.1, b"payload");
+        // Past the end: zero kind byte -> None.
+        assert!(m.read_record_at(pos.0, pos.1 + pos.2).unwrap().is_none());
+        // Out of bounds offset -> None.
+        assert!(m.read_record_at(pos.0, 4095).unwrap().is_none());
+    }
+
+    #[test]
+    fn segment_header_check() {
+        let (mut m, mem) = mgr(4096, 2);
+        m.append_record(RecordKind::ChunkData, b"x").unwrap();
+        m.flush().unwrap();
+        assert!(m.check_segment_header(SegmentId(0)).unwrap());
+        mem.corrupt("seg.000000", 0, 1).unwrap();
+        assert!(!m.check_segment_header(SegmentId(0)).unwrap());
+    }
+
+    #[test]
+    fn sync_touched_counts() {
+        let (mut m, _) = mgr(4096, 2);
+        m.append_record(RecordKind::ChunkData, b"x").unwrap();
+        m.sync_touched().unwrap();
+        assert_eq!(m.stats.snapshot().syncs, 1);
+        // Nothing touched -> no extra syncs.
+        m.sync_touched().unwrap();
+        assert_eq!(m.stats.snapshot().syncs, 1);
+    }
+}

@@ -1,0 +1,674 @@
+//! The public `ChunkStore`: batching, commits, checkpoints, snapshots.
+//!
+//! See the crate docs for the big picture. This module owns the write path:
+//!
+//! * operations (`write`, `deallocate`) stage into a batch;
+//! * `commit` appends the batch's chunk versions plus a chain-authenticated
+//!   commit record to the log (splitting very large batches into several
+//!   chained commit records that still become durable atomically, because
+//!   recovery only applies commits the anchor's `last_seq` covers);
+//! * a *durable* commit syncs the log, advances the trusted anchor, and
+//!   bumps the one-way counter; a *nondurable* commit does none of those and
+//!   is discarded by recovery until a later durable commit covers it;
+//! * the residual log is checkpointed when it exceeds the configured
+//!   threshold, and the cleaner runs when free space runs out while
+//!   utilization is below the configured maximum (§3.2.1).
+
+use crate::anchor::{AnchorState, AnchorStore};
+use crate::cleaner;
+use crate::config::{ChunkStoreConfig, SecurityMode};
+use crate::crypto_ctx::CryptoCtx;
+use crate::error::{ChunkStoreError, Result};
+use crate::ids::{ChunkId, SegmentId};
+use crate::layout::{
+    decode_chunk_payload, encode_chunk_payload, CommitPayload, RecordKind, LOCATION_LEN,
+};
+use crate::map::{diff_roots, Location, LocationMap};
+use crate::recovery;
+use crate::segment::SegmentManager;
+use crate::snapshot::{SnapCore, Snapshot, SnapshotDiff};
+use crate::stats::{add, SharedStats, Stats, StatsSnapshot};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::{Arc, Weak};
+use tdb_crypto::Digest;
+use tdb_platform::{OneWayCounter, SecretStore, UntrustedStore};
+
+/// Staged, uncommitted operations. `Some(bytes)` is a write, `None` a
+/// deallocation; last operation per id wins.
+#[derive(Default)]
+pub(crate) struct Batch {
+    pub(crate) ops: BTreeMap<u64, Option<Vec<u8>>>,
+    pub(crate) allocated: Vec<u64>,
+}
+
+/// Everything behind the store's state mutex.
+pub(crate) struct Inner {
+    pub(crate) cfg: ChunkStoreConfig,
+    pub(crate) ctx: CryptoCtx,
+    pub(crate) counter: Arc<dyn OneWayCounter>,
+    pub(crate) untrusted: Arc<dyn UntrustedStore>,
+    pub(crate) segs: SegmentManager,
+    pub(crate) map: LocationMap,
+    pub(crate) next_id: u64,
+    pub(crate) free_ids: BTreeSet<u64>,
+    pub(crate) batch: Batch,
+    /// Sequence of the last appended commit.
+    pub(crate) commit_seq: u64,
+    /// Chain value of the last appended commit.
+    pub(crate) chain: Digest,
+    /// Commit sequence at the residual-log start.
+    pub(crate) base_seq: u64,
+    /// Chain value at the residual-log start.
+    pub(crate) chain_base: Digest,
+    pub(crate) residual_start: (SegmentId, u32),
+    pub(crate) residual_segments: HashSet<SegmentId>,
+    pub(crate) residual_bytes: u64,
+    pub(crate) anchor_seq: u64,
+    pub(crate) counter_value: u64,
+    /// Map root as of the last checkpoint — what anchors reference.
+    pub(crate) checkpointed_root: (Location, u32),
+    /// Data extents that become dead at the next anchor write (the §3.2.2
+    /// deferred-reclamation rule for nondurable commits falls out of this:
+    /// decrements wait for the anchor that makes their supersession
+    /// recoverable).
+    pub(crate) pending_dec: Vec<Location>,
+    pub(crate) snapshots: Vec<Weak<SnapCore>>,
+    pub(crate) stats: SharedStats,
+}
+
+impl Inner {
+    pub(crate) fn max_chunk_size(&self) -> usize {
+        (self.cfg.segment_size / 4) as usize
+    }
+
+    fn max_ops_per_commit(&self) -> usize {
+        // A commit record must fit comfortably in one segment.
+        let budget = (self.cfg.segment_size / 2) as usize;
+        (budget / (8 + LOCATION_LEN)).max(8)
+    }
+
+    fn is_allocated(&self, id: ChunkId) -> bool {
+        match self.batch.ops.get(&id.0) {
+            Some(Some(_)) => return true,
+            Some(None) => return false,
+            None => {}
+        }
+        id.0 < self.next_id && !self.free_ids.contains(&id.0)
+    }
+
+    pub(crate) fn allocate_chunk_id(&mut self) -> ChunkId {
+        let id = match self.free_ids.pop_first() {
+            Some(id) => id,
+            None => {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            }
+        };
+        self.batch.allocated.push(id);
+        ChunkId(id)
+    }
+
+    pub(crate) fn write(&mut self, id: ChunkId, data: &[u8]) -> Result<()> {
+        if !self.is_allocated(id) {
+            return Err(ChunkStoreError::NotAllocated(id));
+        }
+        if data.len() > self.max_chunk_size() {
+            return Err(ChunkStoreError::ChunkTooLarge {
+                size: data.len(),
+                max: self.max_chunk_size(),
+            });
+        }
+        self.batch.ops.insert(id.0, Some(data.to_vec()));
+        Ok(())
+    }
+
+    pub(crate) fn deallocate(&mut self, id: ChunkId) -> Result<()> {
+        if !self.is_allocated(id) {
+            return Err(ChunkStoreError::NotAllocated(id));
+        }
+        self.batch.ops.insert(id.0, None);
+        Ok(())
+    }
+
+    pub(crate) fn read(&mut self, id: ChunkId) -> Result<Vec<u8>> {
+        match self.batch.ops.get(&id.0) {
+            Some(Some(data)) => return Ok(data.clone()),
+            Some(None) => return Err(ChunkStoreError::NotAllocated(id)),
+            None => {}
+        }
+        let Some(loc) = self.map.get(id) else {
+            return if self.is_allocated(id) {
+                Err(ChunkStoreError::NotWritten(id))
+            } else {
+                Err(ChunkStoreError::NotAllocated(id))
+            };
+        };
+        add(&self.stats.chunk_reads, 1);
+        let plain = self.read_verified(&loc, RecordKind::ChunkData)?;
+        let (stored_id, data) = decode_chunk_payload(&plain).map_err(|m| {
+            ChunkStoreError::TamperDetected(format!("chunk {id:?}: {}", m.0))
+        })?;
+        if stored_id != id {
+            return Err(ChunkStoreError::TamperDetected(format!(
+                "chunk {id:?}: record claims to be {stored_id:?}"
+            )));
+        }
+        Ok(data.to_vec())
+    }
+
+    /// Read a record's payload, verify its hash against `loc`, decrypt.
+    pub(crate) fn read_verified(&self, loc: &Location, expect: RecordKind) -> Result<Vec<u8>> {
+        let stored = self.segs.read_record(loc, expect)?;
+        if self.ctx.verifies_hashes()
+            && !CryptoCtx::tags_equal(&self.ctx.hash(&stored), &loc.hash)
+        {
+            return Err(ChunkStoreError::TamperDetected(format!(
+                "hash mismatch for record at {loc:?}"
+            )));
+        }
+        self.ctx.open(&stored)
+    }
+
+    pub(crate) fn discard(&mut self) {
+        self.batch.ops.clear();
+        for id in std::mem::take(&mut self.batch.allocated) {
+            self.free_ids.insert(id);
+        }
+    }
+
+    pub(crate) fn commit(&mut self, durable: bool) -> Result<()> {
+        let ops = std::mem::take(&mut self.batch.ops);
+        self.batch.allocated.clear();
+        if ops.is_empty() {
+            if durable {
+                self.durable_anchor()?;
+                self.maintain()?;
+            }
+            return Ok(());
+        }
+        add(&self.stats.commits, 1);
+        if durable {
+            add(&self.stats.durable_commits, 1);
+        }
+
+        let max_ops = self.max_ops_per_commit();
+        let ops: Vec<(u64, Option<Vec<u8>>)> = ops.into_iter().collect();
+        for group in ops.chunks(max_ops) {
+            let mut writes = Vec::new();
+            let mut deallocs = Vec::new();
+            for (raw_id, op) in group {
+                let id = ChunkId(*raw_id);
+                match op {
+                    Some(data) => {
+                        let payload = encode_chunk_payload(id, data);
+                        let sealed = self.ctx.seal(&payload);
+                        let (seg, off, len) =
+                            self.segs.append_record(RecordKind::ChunkData, &sealed)?;
+                        let loc = Location { seg, off, len, hash: self.ctx.hash(&sealed) };
+                        if let Some(old) = self.map.set(id, loc) {
+                            self.pending_dec.push(old);
+                        }
+                        writes.push((id, loc));
+                        self.residual_bytes += len as u64;
+                    }
+                    None => {
+                        if let Some(old) = self.map.remove(id) {
+                            self.pending_dec.push(old);
+                        }
+                        self.free_ids.insert(id.0);
+                        deallocs.push(id);
+                    }
+                }
+            }
+            self.commit_seq += 1;
+            let payload = CommitPayload {
+                seq: self.commit_seq,
+                durable,
+                next_id: self.next_id,
+                writes,
+                deallocs,
+            }
+            .encode(self.ctx.verifies_hashes());
+            let sealed = self.ctx.seal(&payload);
+            let chain = self.ctx.chain(&self.chain, &sealed);
+            let mut record = sealed;
+            record.extend_from_slice(&chain);
+            let (_, _, len) = self.segs.append_record(RecordKind::Commit, &record)?;
+            self.chain = chain;
+            self.residual_bytes += len as u64;
+        }
+        for s in self.segs.drain_entered() {
+            self.residual_segments.insert(s);
+        }
+
+        if durable {
+            self.durable_anchor()?;
+            self.maintain()?;
+        } else {
+            self.segs.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Sync the log and advance the trusted anchor (+ one-way counter).
+    /// Everything appended so far becomes durable and recoverable.
+    pub(crate) fn durable_anchor(&mut self) -> Result<()> {
+        self.segs.sync_touched()?;
+        self.anchor_seq += 1;
+        if self.ctx.mode() == SecurityMode::Full {
+            self.counter_value += 1;
+        }
+        let free_ids: Vec<u64> =
+            self.free_ids.iter().take(self.cfg.free_list_cap).copied().collect();
+        let state = AnchorState {
+            anchor_seq: self.anchor_seq,
+            segment_size: self.cfg.segment_size,
+            map_fanout: self.cfg.map_fanout as u32,
+            map_root: self.checkpointed_root.0,
+            map_depth: self.checkpointed_root.1,
+            next_id: self.next_id,
+            free_ids,
+            residual_seg: self.residual_start.0,
+            residual_off: self.residual_start.1,
+            base_seq: self.base_seq,
+            chain_base: self.chain_base,
+            last_seq: self.commit_seq,
+            last_chain: self.chain,
+            counter_value: self.counter_value,
+        };
+        AnchorStore::new(&*self.untrusted).write(&self.ctx, &state)?;
+        add(&self.stats.anchor_writes, 1);
+        if self.ctx.mode() == SecurityMode::Full {
+            // Anchor first, then counter: a crash between the two leaves
+            // `anchor == hw + 1`, which `open` repairs by bumping the
+            // counter. The reverse order would make a crash window look
+            // like a replay attack.
+            self.counter.increment()?;
+            add(&self.stats.counter_increments, 1);
+        }
+        // Everything superseded before this anchor is now truly dead.
+        for loc in std::mem::take(&mut self.pending_dec) {
+            self.segs.sub_live(loc.seg, loc.len as u64);
+        }
+        Ok(())
+    }
+
+    /// Write the dirty location-map pages, advance the anchor to the new
+    /// root, and reset the residual log.
+    pub(crate) fn do_checkpoint(&mut self) -> Result<()> {
+        let Inner { ref mut map, ref mut segs, ref ctx, .. } = *self;
+        let root_loc = map.checkpoint(&mut |bytes| {
+            let sealed = ctx.seal(bytes);
+            let (seg, off, len) = segs.append_record(RecordKind::MapPage, &sealed)?;
+            Ok(Location { seg, off, len, hash: ctx.hash(&sealed) })
+        })?;
+        self.checkpointed_root = (root_loc, self.map.depth());
+        self.pending_dec.extend(self.map.drain_superseded());
+        for s in self.segs.drain_entered() {
+            self.residual_segments.insert(s);
+        }
+        self.segs.flush()?;
+        self.residual_start = self.segs.tail_pos();
+        self.chain_base = self.chain;
+        self.base_seq = self.commit_seq;
+        self.durable_anchor()?;
+        self.residual_segments.clear();
+        self.residual_segments.insert(self.segs.tail_pos().0);
+        self.residual_bytes = 0;
+        add(&self.stats.checkpoints, 1);
+        self.segs.drop_excess_free(self.cfg.free_segment_reserve)?;
+        Ok(())
+    }
+
+    /// Post-durable-commit housekeeping: checkpoint when the residual log
+    /// is long; clean when free space ran out but garbage exists.
+    fn maintain(&mut self) -> Result<()> {
+        if self.residual_bytes >= self.cfg.checkpoint_threshold {
+            self.do_checkpoint()?;
+        }
+        // Clean until a free segment exists (or cleaning stops making
+        // progress). A single bounded pass can free less than its own
+        // checkpoint traffic consumed on map-heavy workloads, which would
+        // grow the database without bound.
+        let mut passes = 0;
+        while self.segs.free_count() == 0
+            && self.segs.utilization() <= self.cfg.max_utilization
+            && passes < 4
+        {
+            let freed = cleaner::clean_pass(self)?;
+            passes += 1;
+            if freed == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn prune_snapshots(&mut self) {
+        self.snapshots.retain(|w| w.strong_count() > 0);
+    }
+
+    fn take_snapshot(&mut self) -> Snapshot {
+        self.prune_snapshots();
+        let (root, depth) = self.map.freeze();
+        let core = Arc::new(SnapCore {
+            root,
+            depth,
+            fanout: self.cfg.map_fanout,
+            seq: self.commit_seq,
+        });
+        self.snapshots.push(Arc::downgrade(&core));
+        Snapshot { core }
+    }
+}
+
+/// Entropy for the IV stream: wall-clock nanoseconds. Combined with the
+/// one-way counter so even clock rollback cannot reproduce an IV stream
+/// that encrypts *different* data (the DRBG mixes the key as well).
+pub(crate) fn iv_salt(counter: &dyn OneWayCounter) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    nanos ^ counter.read().unwrap_or(0).rotate_left(32)
+}
+
+/// The trusted chunk store (paper §3). See the crate docs for an example.
+pub struct ChunkStore {
+    inner: Mutex<Inner>,
+}
+
+impl ChunkStore {
+    /// Create a fresh database. Fails if one already exists in `untrusted`.
+    pub fn create(
+        untrusted: Arc<dyn UntrustedStore>,
+        secret: &dyn SecretStore,
+        counter: Arc<dyn OneWayCounter>,
+        cfg: ChunkStoreConfig,
+    ) -> Result<Self> {
+        cfg.validate().map_err(ChunkStoreError::ConfigMismatch)?;
+        if AnchorStore::new(&*untrusted).database_exists()? {
+            return Err(ChunkStoreError::ConfigMismatch(
+                "a database already exists in this untrusted store".into(),
+            ));
+        }
+        let ctx = CryptoCtx::new(cfg.security, secret, iv_salt(&*counter))?;
+        let stats: SharedStats = Arc::new(Stats::default());
+        let segs = SegmentManager::create(
+            untrusted.clone(),
+            cfg.segment_size,
+            cfg.initial_segments,
+            cfg.allow_growth,
+            stats.clone(),
+        )?;
+        let counter_value = match cfg.security {
+            SecurityMode::Full => counter.read()?,
+            SecurityMode::Off => 0,
+        };
+        let map = LocationMap::new(cfg.map_fanout, cfg.security == SecurityMode::Full);
+        let mut inner = Inner {
+            cfg,
+            ctx,
+            counter,
+            untrusted,
+            segs,
+            map,
+            next_id: 0,
+            free_ids: BTreeSet::new(),
+            batch: Batch::default(),
+            commit_seq: 0,
+            chain: [0u8; 32],
+            base_seq: 0,
+            chain_base: [0u8; 32],
+            residual_start: (SegmentId(0), crate::layout::SEGMENT_HEADER_LEN),
+            residual_segments: std::iter::once(SegmentId(0)).collect(),
+            residual_bytes: 0,
+            anchor_seq: 0,
+            counter_value,
+            // Placeholder; the initial checkpoint below sets the real root.
+            checkpointed_root: (
+                Location { seg: SegmentId(0), off: 0, len: 0, hash: [0; 32] },
+                1,
+            ),
+            pending_dec: Vec::new(),
+            snapshots: Vec::new(),
+            stats,
+        };
+        inner.do_checkpoint()?;
+        Ok(ChunkStore { inner: Mutex::new(inner) })
+    }
+
+    /// Open an existing database, running crash recovery, tamper
+    /// validation, and replay detection.
+    pub fn open(
+        untrusted: Arc<dyn UntrustedStore>,
+        secret: &dyn SecretStore,
+        counter: Arc<dyn OneWayCounter>,
+        cfg: ChunkStoreConfig,
+    ) -> Result<Self> {
+        let inner = recovery::open_impl(untrusted, secret, counter, cfg)?;
+        Ok(ChunkStore { inner: Mutex::new(inner) })
+    }
+
+    /// Open if a database exists, otherwise create one.
+    pub fn open_or_create(
+        untrusted: Arc<dyn UntrustedStore>,
+        secret: &dyn SecretStore,
+        counter: Arc<dyn OneWayCounter>,
+        cfg: ChunkStoreConfig,
+    ) -> Result<Self> {
+        if AnchorStore::new(&*untrusted).database_exists()? {
+            Self::open(untrusted, secret, counter, cfg)
+        } else {
+            Self::create(untrusted, secret, counter, cfg)
+        }
+    }
+
+    /// Allocate an unused chunk id (paper Fig. 2: `allocateChunkId`).
+    pub fn allocate_chunk_id(&self) -> Result<ChunkId> {
+        Ok(self.inner.lock().allocate_chunk_id())
+    }
+
+    /// Stage a write of `cid`'s state. Takes effect at the next commit.
+    /// Signals if `cid` is not allocated.
+    pub fn write(&self, cid: ChunkId, bytes: &[u8]) -> Result<()> {
+        self.inner.lock().write(cid, bytes)
+    }
+
+    /// Return the last written state of `cid` (staged writes included).
+    /// Signals if the chunk is unallocated, unwritten, or tampered with.
+    pub fn read(&self, cid: ChunkId) -> Result<Vec<u8>> {
+        self.inner.lock().read(cid)
+    }
+
+    /// Stage a deallocation of `cid`. Takes effect at the next commit.
+    pub fn deallocate(&self, cid: ChunkId) -> Result<()> {
+        self.inner.lock().deallocate(cid)
+    }
+
+    /// Atomically apply all staged operations. See the module docs for the
+    /// durable/nondurable distinction.
+    pub fn commit(&self, durable: bool) -> Result<()> {
+        self.inner.lock().commit(durable)
+    }
+
+    /// Drop all staged operations and return batch-allocated ids.
+    pub fn discard(&self) {
+        self.inner.lock().discard()
+    }
+
+    /// Force a checkpoint of the location map (normally automatic; exposed
+    /// for idle-time maintenance as the paper suggests deferring
+    /// reorganization to idle periods).
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.batch.ops.is_empty() {
+            inner.commit(false)?;
+        }
+        inner.do_checkpoint()
+    }
+
+    /// Run one cleaner pass (normally automatic). Returns segments freed.
+    pub fn clean(&self) -> Result<usize> {
+        cleaner::clean_pass(&mut self.inner.lock())
+    }
+
+    /// Take a copy-on-write snapshot of the committed database state.
+    /// Staged (uncommitted) operations are not included.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner.lock().take_snapshot()
+    }
+
+    /// Read a chunk's state as of `snap`.
+    pub fn read_at_snapshot(&self, snap: &Snapshot, cid: ChunkId) -> Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let loc = snap
+            .location_of(cid)
+            .ok_or(ChunkStoreError::NotAllocated(cid))?;
+        let plain = inner.read_verified(&loc, RecordKind::ChunkData)?;
+        let (stored_id, data) = decode_chunk_payload(&plain)
+            .map_err(|m| ChunkStoreError::TamperDetected(m.0))?;
+        if stored_id != cid {
+            return Err(ChunkStoreError::TamperDetected(format!(
+                "snapshot chunk {cid:?} record claims {stored_id:?}"
+            )));
+        }
+        Ok(data.to_vec())
+    }
+
+    /// Compare two snapshots (the engine of incremental backups).
+    pub fn diff_snapshots(&self, old: &Snapshot, new: &Snapshot) -> SnapshotDiff {
+        diff_roots(
+            &old.core.root,
+            old.core.depth,
+            &new.core.root,
+            new.core.depth,
+            old.core.fanout,
+        )
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.lock().stats.snapshot()
+    }
+
+    /// Current database utilization (live bytes / in-use capacity).
+    pub fn utilization(&self) -> f64 {
+        self.inner.lock().segs.utilization()
+    }
+
+    /// On-disk footprint of the log in bytes.
+    pub fn disk_size(&self) -> u64 {
+        self.inner.lock().segs.disk_size()
+    }
+
+    /// Number of live chunks.
+    pub fn live_chunks(&self) -> u64 {
+        self.inner.lock().map.live_count()
+    }
+
+    /// The security mode the store runs in.
+    pub fn security(&self) -> SecurityMode {
+        self.inner.lock().cfg.security
+    }
+
+    /// Whether `cid` is currently allocated (committed or staged).
+    pub fn is_allocated(&self, cid: ChunkId) -> bool {
+        self.inner.lock().is_allocated(cid)
+    }
+
+    /// Largest chunk this configuration accepts.
+    pub fn max_chunk_size(&self) -> usize {
+        self.inner.lock().max_chunk_size()
+    }
+
+    /// Accounting audit (diagnostics): `(accounted_live, walked_live,
+    /// in_use_segments, free_segments, pending_decrements)`.
+    /// `accounted_live` is the segment manager's running per-segment sum;
+    /// `walked_live` recomputes it from the in-memory map (entries plus
+    /// clean pages). At a quiescent point (right after a checkpoint, no
+    /// batch staged) the two must agree exactly.
+    #[doc(hidden)]
+    pub fn debug_accounting(&self) -> (u64, u64, usize, usize, usize) {
+        let inner = self.inner.lock();
+        let mut walked = 0u64;
+        inner.map.for_each_entry(&mut |_, loc| walked += loc.len as u64);
+        inner.map.for_each_page(&mut |loc| walked += loc.len as u64);
+        (
+            inner.segs.total_live(),
+            walked,
+            inner.segs.in_use_segments().len(),
+            inner.segs.free_count(),
+            inner.pending_dec.len(),
+        )
+    }
+
+    /// Return ids that were allocated but never written back to the free
+    /// pool (used by the object store when a transaction that inserted
+    /// objects aborts). Ids with committed or staged state are ignored.
+    pub fn release_unwritten_ids(&self, ids: &[ChunkId]) {
+        let mut inner = self.inner.lock();
+        for id in ids {
+            if id.0 < inner.next_id
+                && inner.map.get(*id).is_none()
+                && !inner.batch.ops.contains_key(&id.0)
+            {
+                inner.free_ids.insert(id.0);
+            }
+        }
+    }
+
+    /// Install a full database image at exact chunk ids — the backup
+    /// store's validated-restore primitive. The store must be empty (fresh
+    /// `create`). Ids below the restored high-water mark that are absent
+    /// from the image become free.
+    pub fn restore_image(&self, chunks: Vec<(ChunkId, Vec<u8>)>) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.map.live_count() != 0 || !inner.batch.ops.is_empty() {
+            return Err(ChunkStoreError::ConfigMismatch(
+                "restore_image requires an empty store".into(),
+            ));
+        }
+        let max_id = chunks.iter().map(|(id, _)| id.0).max();
+        if let Some(max_id) = max_id {
+            let present: HashSet<u64> = chunks.iter().map(|(id, _)| id.0).collect();
+            inner.next_id = max_id + 1;
+            inner.free_ids = (0..=max_id).filter(|i| !present.contains(i)).collect();
+        }
+        for (id, data) in chunks {
+            inner.batch.ops.insert(id.0, Some(data));
+        }
+        inner.commit(true)
+    }
+
+    /// Apply an incremental delta at exact chunk ids (backup restore). Ids
+    /// newly above the high-water mark extend it; removed ids become free.
+    pub fn apply_restore_delta(
+        &self,
+        writes: Vec<(ChunkId, Vec<u8>)>,
+        removes: Vec<ChunkId>,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.batch.ops.is_empty() {
+            return Err(ChunkStoreError::ConfigMismatch(
+                "apply_restore_delta with operations staged".into(),
+            ));
+        }
+        for (id, data) in writes {
+            if id.0 >= inner.next_id {
+                for gap in inner.next_id..id.0 {
+                    inner.free_ids.insert(gap);
+                }
+                inner.next_id = id.0 + 1;
+            }
+            inner.free_ids.remove(&id.0);
+            inner.batch.ops.insert(id.0, Some(data));
+        }
+        for id in removes {
+            inner.batch.ops.insert(id.0, None);
+        }
+        inner.commit(true)
+    }
+}

@@ -1,0 +1,282 @@
+//! Tests for the subtler chunk-store semantics the paper calls out
+//! explicitly: the §3.2.2 nondurable-commit/cleaner interaction, free-list
+//! bounds, chunk size limits, and snapshot/checkpoint interplay.
+
+use chunk_store::{ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError};
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+fn secret() -> MemSecretStore {
+    MemSecretStore::from_label("semantics")
+}
+
+struct Fx {
+    mem: MemStore,
+    counter: VolatileCounter,
+    cfg: ChunkStoreConfig,
+}
+
+impl Fx {
+    fn new(cfg: ChunkStoreConfig) -> Self {
+        Fx { mem: MemStore::new(), counter: VolatileCounter::new(), cfg }
+    }
+
+    fn create(&self) -> ChunkStore {
+        ChunkStore::create(
+            Arc::new(self.mem.clone()),
+            &secret(),
+            Arc::new(self.counter.clone()),
+            self.cfg.clone(),
+        )
+        .unwrap()
+    }
+
+    fn open(&self) -> ChunkStore {
+        ChunkStore::open(
+            Arc::new(self.mem.clone()),
+            &secret(),
+            Arc::new(self.counter.clone()),
+            self.cfg.clone(),
+        )
+        .unwrap()
+    }
+}
+
+/// The paper's §3.2.2 scenario: "Assume an existing chunk version A was
+/// modified and rewritten as A' during a nondurable commit … the cleaner
+/// [must not] reclaim the space used by the now-obsolete chunk version A
+/// … until a durable commit occurs." Our cleaner takes a durable
+/// checkpoint before reclaiming, which *promotes* the nondurable commit;
+/// either way a crash must recover a consistent version, never garbage.
+#[test]
+fn nondurable_versions_survive_cleaning_pressure() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    let store = fx.create();
+    let a = store.allocate_chunk_id().unwrap();
+    store.write(a, b"version A (durable)").unwrap();
+    store.commit(true).unwrap();
+
+    // Nondurable overwrite, then heavy traffic + explicit cleaning that
+    // would love to reclaim A's extent.
+    store.write(a, b"version A' (nondurable)").unwrap();
+    store.commit(false).unwrap();
+    for i in 0..50u32 {
+        let id = store.allocate_chunk_id().unwrap();
+        store.write(id, &i.to_le_bytes().repeat(30)).unwrap();
+        store.commit(false).unwrap();
+    }
+    store.clean().unwrap();
+
+    // Crash and recover: the cleaner checkpointed (a durable event), so A'
+    // is the surviving version — and it must be exactly A', not torn.
+    drop(store);
+    let store = fx.open();
+    assert_eq!(store.read(a).unwrap(), b"version A' (nondurable)");
+}
+
+/// Without any intervening durable event, a crash after a nondurable
+/// overwrite recovers A — and A's bytes must still be intact even though
+/// they were "obsolete" in memory.
+#[test]
+fn nondurable_overwrite_crash_recovers_old_version() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    let store = fx.create();
+    let a = store.allocate_chunk_id().unwrap();
+    store.write(a, b"version A (durable)").unwrap();
+    store.commit(true).unwrap();
+    store.write(a, b"version A' (nondurable)").unwrap();
+    store.commit(false).unwrap();
+    drop(store);
+    let store = fx.open();
+    assert_eq!(store.read(a).unwrap(), b"version A (durable)");
+}
+
+#[test]
+fn chunk_size_limit_enforced_and_boundary_works() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    let store = fx.create();
+    let max = store.max_chunk_size();
+    let id = store.allocate_chunk_id().unwrap();
+    // Exactly max: fine.
+    store.write(id, &vec![7u8; max]).unwrap();
+    store.commit(true).unwrap();
+    assert_eq!(store.read(id).unwrap().len(), max);
+    // One over: clean error.
+    assert!(matches!(
+        store.write(id, &vec![7u8; max + 1]),
+        Err(ChunkStoreError::ChunkTooLarge { .. })
+    ));
+    // Zero-length chunks are legal.
+    let z = store.allocate_chunk_id().unwrap();
+    store.write(z, b"").unwrap();
+    store.commit(true).unwrap();
+    assert_eq!(store.read(z).unwrap(), b"");
+}
+
+#[test]
+fn free_list_cap_leaks_ids_but_stays_correct() {
+    let mut cfg = ChunkStoreConfig::small_for_tests();
+    cfg.free_list_cap = 4; // tiny cap: most freed ids leak across restart
+    let fx = Fx::new(cfg);
+    {
+        let store = fx.create();
+        let ids: Vec<ChunkId> = (0..20).map(|_| store.allocate_chunk_id().unwrap()).collect();
+        for id in &ids {
+            store.write(*id, b"x").unwrap();
+        }
+        store.commit(true).unwrap();
+        for id in &ids {
+            store.deallocate(*id).unwrap();
+        }
+        store.commit(true).unwrap();
+        // The cap applies to the *anchored* free list; without a
+        // checkpoint the deallocations would simply be replayed from the
+        // residual log and nothing would leak.
+        store.checkpoint().unwrap();
+    }
+    let store = fx.open();
+    // At most `cap` freed ids were remembered; the rest leak (documented).
+    let mut reused = 0;
+    for _ in 0..20 {
+        let id = store.allocate_chunk_id().unwrap();
+        if id.0 < 20 {
+            reused += 1;
+        }
+        store.write(id, b"y").unwrap();
+    }
+    store.commit(true).unwrap();
+    assert!(reused <= 4, "cap violated: {reused}");
+    assert!(store.live_chunks() == 20);
+}
+
+#[test]
+fn empty_durable_commit_still_advances_anchor() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    let store = fx.create();
+    let id = store.allocate_chunk_id().unwrap();
+    store.write(id, b"v1").unwrap();
+    store.commit(false).unwrap(); // nondurable only
+    // An empty durable commit must persist the earlier nondurable one.
+    store.commit(true).unwrap();
+    drop(store);
+    let store = fx.open();
+    assert_eq!(store.read(id).unwrap(), b"v1");
+}
+
+#[test]
+fn snapshot_diff_across_checkpoint_and_cleaning() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    let store = fx.create();
+    let ids: Vec<ChunkId> = (0..10).map(|_| store.allocate_chunk_id().unwrap()).collect();
+    for id in &ids {
+        store.write(*id, b"base").unwrap();
+    }
+    store.commit(true).unwrap();
+    let before = store.snapshot();
+
+    store.write(ids[3], b"changed").unwrap();
+    store.commit(true).unwrap();
+    store.checkpoint().unwrap();
+    // Churn + clean: relocations must not show up as spurious diffs.
+    for round in 0..100u32 {
+        let id = store.allocate_chunk_id().unwrap();
+        store.write(id, &round.to_le_bytes().repeat(20)).unwrap();
+        store.commit(true).unwrap();
+        store.deallocate(id).unwrap();
+        store.commit(true).unwrap();
+    }
+    store.clean().unwrap();
+    let after = store.snapshot();
+
+    let diff = store.diff_snapshots(&before, &after);
+    let changed_ids: Vec<u64> = diff.changed.iter().map(|(id, _)| id.0).collect();
+    assert!(changed_ids.contains(&ids[3].0));
+    assert!(diff.removed.is_empty());
+    // Relocation-only churn of the *unchanged* chunks may surface as
+    // location changes, but their content must be identical.
+    for (id, _) in &diff.changed {
+        if *id != ids[3] {
+            assert_eq!(store.read_at_snapshot(&after, *id).unwrap(), b"base");
+        }
+    }
+}
+
+#[test]
+fn reopen_in_wrong_mode_rejected_without_damage() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    {
+        let store = fx.create();
+        let id = store.allocate_chunk_id().unwrap();
+        store.write(id, b"precious").unwrap();
+        store.commit(true).unwrap();
+    }
+    let mut off = ChunkStoreConfig::small_for_tests();
+    off.security = chunk_store::SecurityMode::Off;
+    assert!(ChunkStore::open(
+        Arc::new(fx.mem.clone()),
+        &secret(),
+        Arc::new(fx.counter.clone()),
+        off
+    )
+    .is_err());
+    // The failed open must not have harmed anything.
+    let store = fx.open();
+    assert_eq!(store.read(ChunkId(0)).unwrap(), b"precious");
+}
+
+#[test]
+fn reopen_with_wrong_geometry_rejected() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    {
+        let _ = fx.create();
+    }
+    let mut other = ChunkStoreConfig::small_for_tests();
+    other.segment_size *= 2;
+    assert!(matches!(
+        ChunkStore::open(
+            Arc::new(fx.mem.clone()),
+            &secret(),
+            Arc::new(fx.counter.clone()),
+            other
+        ),
+        Err(ChunkStoreError::ConfigMismatch(_))
+    ));
+    let mut other = ChunkStoreConfig::small_for_tests();
+    other.map_fanout *= 2;
+    assert!(matches!(
+        ChunkStore::open(Arc::new(fx.mem.clone()), &secret(), Arc::new(fx.counter.clone()), other),
+        Err(ChunkStoreError::ConfigMismatch(_))
+    ));
+}
+
+#[test]
+fn many_reopen_cycles_accumulate_no_damage() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    {
+        let store = fx.create();
+        let id = store.allocate_chunk_id().unwrap();
+        store.write(id, 0u64.to_le_bytes().as_slice()).unwrap();
+        store.commit(true).unwrap();
+    }
+    for cycle in 1..=30u64 {
+        let store = fx.open();
+        let prev = u64::from_le_bytes(store.read(ChunkId(0)).unwrap().try_into().unwrap());
+        assert_eq!(prev, cycle - 1, "cycle {cycle}");
+        store.write(ChunkId(0), cycle.to_le_bytes().as_slice()).unwrap();
+        // Alternate durability modes and maintenance across cycles.
+        store.commit(cycle % 2 == 0).unwrap();
+        if cycle % 2 == 1 {
+            // Nondurable would be lost on crash; make it durable via an
+            // explicit checkpoint half the time to exercise both paths.
+            store.checkpoint().unwrap();
+        }
+        if cycle % 5 == 0 {
+            store.clean().unwrap();
+        }
+    }
+    let store = fx.open();
+    assert_eq!(
+        u64::from_le_bytes(store.read(ChunkId(0)).unwrap().try_into().unwrap()),
+        30
+    );
+}

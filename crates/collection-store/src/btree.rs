@@ -1,0 +1,369 @@
+//! Persistent B-tree index (paper §5.2.4).
+//!
+//! Nodes are persistent objects — "the index meta-objects, such as hash
+//! buckets or B-tree nodes, are locked using a two-phase locking policy
+//! like any other objects" — so the tree inherits transactional atomicity,
+//! caching (the object cache "provides caching of indexes as well",
+//! §4.2.2), encryption, and tamper detection with no extra machinery.
+//!
+//! Entries are `(Key, ObjectId)` pairs ordered by key then id, which makes
+//! duplicate keys (non-unique indexes) well-ordered. Inserts use preemptive
+//! top-down splitting; deletion is by entry removal without rebalancing
+//! (underfull nodes are tolerated — correct, and appropriate for the small
+//! DRM databases the paper targets; a full rebuild via `create_index`
+//! compacts a degraded index).
+
+use crate::error::Result;
+use crate::key::Key;
+use crate::meta::CLASS_BTREE_NODE;
+use crate::ObjectId;
+use object_store::{
+    impl_persistent_boilerplate, Persistent, PickleError, Pickler, Transaction, Unpickler,
+};
+use std::ops::Bound;
+
+/// Max entries per node; splits keep nodes between half and full.
+pub(crate) const MAX_ENTRIES: usize = 16;
+
+/// A B-tree node. Leaves hold entries; inner nodes hold separator entries
+/// and `entries.len() + 1` children (classic B+-less B-tree layout where
+/// separators are real entries).
+pub(crate) struct BTreeNode {
+    pub leaf: bool,
+    pub entries: Vec<(Key, ObjectId)>,
+    pub children: Vec<ObjectId>,
+}
+
+impl Persistent for BTreeNode {
+    impl_persistent_boilerplate!(CLASS_BTREE_NODE);
+    fn pickle(&self, w: &mut Pickler) {
+        w.bool(self.leaf);
+        w.u32(self.entries.len() as u32);
+        for (key, id) in &self.entries {
+            key.pickle(w);
+            w.object_id(*id);
+        }
+        w.u32(self.children.len() as u32);
+        for child in &self.children {
+            w.object_id(*child);
+        }
+    }
+}
+
+/// Unpickler registered under [`CLASS_BTREE_NODE`].
+pub(crate) fn unpickle_node(
+    r: &mut Unpickler,
+) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+    let leaf = r.bool()?;
+    let n = r.u32()? as usize;
+    if n > MAX_ENTRIES * 2 {
+        return Err(PickleError(format!("implausible btree entry count {n}")));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = Key::unpickle(r)?;
+        let id = r.object_id()?;
+        entries.push((key, id));
+    }
+    let c = r.u32()? as usize;
+    if c > MAX_ENTRIES * 2 + 2 {
+        return Err(PickleError(format!("implausible btree child count {c}")));
+    }
+    let mut children = Vec::with_capacity(c);
+    for _ in 0..c {
+        children.push(r.object_id()?);
+    }
+    Ok(Box::new(BTreeNode { leaf, entries, children }))
+}
+
+/// Create an empty tree; returns the root node id.
+pub(crate) fn create(txn: &Transaction) -> Result<ObjectId> {
+    Ok(txn.insert(Box::new(BTreeNode { leaf: true, entries: Vec::new(), children: Vec::new() }))?)
+}
+
+fn entry_cmp(a: &(Key, ObjectId), b: &(Key, ObjectId)) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+/// Split the full child at `child_idx` of (writable) `parent`.
+fn split_child(
+    txn: &Transaction,
+    parent: &mut BTreeNode,
+    child_idx: usize,
+) -> Result<()> {
+    let child_id = parent.children[child_idx];
+    let child_ref = txn.open_writable::<BTreeNode>(child_id)?;
+    let mut child = child_ref.get_mut();
+    let mid = child.entries.len() / 2;
+    let median = child.entries[mid].clone();
+    let right_entries: Vec<_> = child.entries.split_off(mid + 1);
+    child.entries.pop(); // drop the median from the left node
+    let right_children: Vec<_> = if child.leaf {
+        Vec::new()
+    } else {
+        child.children.split_off(mid + 1)
+    };
+    let right = BTreeNode { leaf: child.leaf, entries: right_entries, children: right_children };
+    drop(child);
+    let right_id = txn.insert(Box::new(right))?;
+    parent.entries.insert(child_idx, median);
+    parent.children.insert(child_idx + 1, right_id);
+    Ok(())
+}
+
+/// Insert an entry. Returns `Some(new_root)` if the root split.
+pub(crate) fn insert(
+    txn: &Transaction,
+    root: ObjectId,
+    key: Key,
+    oid: ObjectId,
+) -> Result<Option<ObjectId>> {
+    // Preemptive split of a full root.
+    let root_full = {
+        let r = txn.open_readonly::<BTreeNode>(root)?;
+        let full = r.get().entries.len() >= MAX_ENTRIES;
+        full
+    };
+    let (mut node_id, new_root) = if root_full {
+        let new_root_obj =
+            BTreeNode { leaf: false, entries: Vec::new(), children: vec![root] };
+        let new_root_id = txn.insert(Box::new(new_root_obj))?;
+        {
+            let nr = txn.open_writable::<BTreeNode>(new_root_id)?;
+            let mut nr_guard = nr.get_mut();
+            split_child(txn, &mut nr_guard, 0)?;
+        }
+        (new_root_id, Some(new_root_id))
+    } else {
+        (root, None)
+    };
+
+    // Descend, splitting full children on the way.
+    let entry = (key, oid);
+    loop {
+        let node_ref = txn.open_writable::<BTreeNode>(node_id)?;
+        let mut node = node_ref.get_mut();
+        let pos = node.entries.binary_search_by(|e| entry_cmp(e, &entry));
+        let pos = match pos {
+            Ok(p) | Err(p) => p,
+        };
+        if node.leaf {
+            node.entries.insert(pos, entry);
+            return Ok(new_root);
+        }
+        let child_id = node.children[pos];
+        let child_full = {
+            let c = txn.open_readonly::<BTreeNode>(child_id)?;
+            let full = c.get().entries.len() >= MAX_ENTRIES;
+            full
+        };
+        if child_full {
+            split_child(txn, &mut node, pos)?;
+            // Re-route around the new separator.
+            let sep = &node.entries[pos];
+            node_id = if entry_cmp(&entry, sep) == std::cmp::Ordering::Greater {
+                node.children[pos + 1]
+            } else {
+                node.children[pos]
+            };
+        } else {
+            node_id = child_id;
+        }
+    }
+}
+
+/// Remove an entry; returns whether it was present. No rebalancing (see
+/// module docs); separators removed from inner nodes are replaced with the
+/// leftmost leaf entry of the right subtree.
+pub(crate) fn remove(txn: &Transaction, root: ObjectId, key: &Key, oid: ObjectId) -> Result<bool> {
+    let target = (key.clone(), oid);
+    let mut node_id = root;
+    loop {
+        let found = {
+            let node_ref = txn.open_readonly::<BTreeNode>(node_id)?;
+            let node = node_ref.get();
+            match node.entries.binary_search_by(|e| entry_cmp(e, &target)) {
+                Ok(pos) => Some((true, pos)),
+                Err(pos) => {
+                    if node.leaf {
+                        None
+                    } else {
+                        Some((false, pos))
+                    }
+                }
+            }
+        };
+        match found {
+            None => return Ok(false),
+            Some((true, pos)) => {
+                let node_ref = txn.open_writable::<BTreeNode>(node_id)?;
+                let mut node = node_ref.get_mut();
+                if node.leaf {
+                    node.entries.remove(pos);
+                    return Ok(true);
+                }
+                // Inner node: replace the separator with the smallest
+                // entry of the right subtree, then delete that entry from
+                // its leaf.
+                let right_child = node.children[pos + 1];
+                let successor = take_leftmost(txn, right_child)?;
+                match successor {
+                    Some(succ) => {
+                        node.entries[pos] = succ;
+                        return Ok(true);
+                    }
+                    None => {
+                        // Right subtree empty (lazy deletion debris): keep
+                        // a structurally valid node by removing separator
+                        // and the empty child reference.
+                        node.entries.remove(pos);
+                        node.children.remove(pos + 1);
+                        return Ok(true);
+                    }
+                }
+            }
+            Some((false, pos)) => {
+                let node_ref = txn.open_readonly::<BTreeNode>(node_id)?;
+                let next = node_ref.get().children[pos];
+                node_id = next;
+            }
+        }
+    }
+}
+
+/// Remove and return the smallest entry in the subtree, if any.
+fn take_leftmost(txn: &Transaction, node_id: ObjectId) -> Result<Option<(Key, ObjectId)>> {
+    let (leaf, first_child, has_entries) = {
+        let node_ref = txn.open_readonly::<BTreeNode>(node_id)?;
+        let node = node_ref.get();
+        (node.leaf, node.children.first().copied(), !node.entries.is_empty())
+    };
+    if leaf {
+        if !has_entries {
+            return Ok(None);
+        }
+        let node_ref = txn.open_writable::<BTreeNode>(node_id)?;
+        let mut node = node_ref.get_mut();
+        return Ok(Some(node.entries.remove(0)));
+    }
+    match first_child {
+        Some(child) => {
+            // Try the child first; if it is empty debris, fall back to
+            // this node's own first entry.
+            if let Some(entry) = take_leftmost(txn, child)? {
+                return Ok(Some(entry));
+            }
+            let node_ref = txn.open_writable::<BTreeNode>(node_id)?;
+            let mut node = node_ref.get_mut();
+            if node.entries.is_empty() {
+                return Ok(None);
+            }
+            let entry = node.entries.remove(0);
+            node.children.remove(0);
+            Ok(Some(entry))
+        }
+        None => Ok(None),
+    }
+}
+
+/// All object ids whose key equals `key`, in id order.
+pub(crate) fn lookup(txn: &Transaction, root: ObjectId, key: &Key) -> Result<Vec<ObjectId>> {
+    let mut out = Vec::new();
+    range_into(
+        txn,
+        root,
+        Bound::Included(key),
+        Bound::Included(key),
+        &mut |_, id| out.push(id),
+    )?;
+    Ok(out)
+}
+
+/// All `(key, id)` entries with `min <= key <= max`, in key order.
+pub(crate) fn range(
+    txn: &Transaction,
+    root: ObjectId,
+    min: Bound<&Key>,
+    max: Bound<&Key>,
+) -> Result<Vec<(Key, ObjectId)>> {
+    let mut out = Vec::new();
+    range_into(txn, root, min, max, &mut |key, id| out.push((key.clone(), id)))?;
+    Ok(out)
+}
+
+fn below_min(key: &Key, min: Bound<&Key>) -> bool {
+    match min {
+        Bound::Unbounded => false,
+        Bound::Included(m) => key < m,
+        Bound::Excluded(m) => key <= m,
+    }
+}
+
+fn above_max(key: &Key, max: Bound<&Key>) -> bool {
+    match max {
+        Bound::Unbounded => false,
+        Bound::Included(m) => key > m,
+        Bound::Excluded(m) => key >= m,
+    }
+}
+
+fn range_into(
+    txn: &Transaction,
+    node_id: ObjectId,
+    min: Bound<&Key>,
+    max: Bound<&Key>,
+    f: &mut impl FnMut(&Key, ObjectId),
+) -> Result<()> {
+    let node_ref = txn.open_readonly::<BTreeNode>(node_id)?;
+    let node = node_ref.get();
+    for (i, (key, id)) in node.entries.iter().enumerate() {
+        if !node.leaf && !below_min(key, min) {
+            range_into(txn, node.children[i], min, max, f)?;
+        }
+        if above_max(key, max) {
+            return Ok(());
+        }
+        if !below_min(key, min) {
+            f(key, *id);
+        }
+    }
+    if !node.leaf {
+        if let Some(last) = node.children.last() {
+            // Visit the rightmost child unless its whole range is above max.
+            let visit = match (node.entries.last(), max) {
+                (Some((last_key, _)), m) => !above_max(last_key, m) || m == Bound::Unbounded,
+                (None, _) => true,
+            };
+            if visit {
+                range_into(txn, *last, min, max, f)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every entry in key order (scan query).
+pub(crate) fn scan(txn: &Transaction, root: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+    range(txn, root, Bound::Unbounded, Bound::Unbounded)
+}
+
+/// Delete every node of the tree (index removal).
+pub(crate) fn destroy(txn: &Transaction, root: ObjectId) -> Result<()> {
+    let children = {
+        let node_ref = txn.open_readonly::<BTreeNode>(root)?;
+        let children = node_ref.get().children.clone();
+        children
+    };
+    for child in children {
+        destroy(txn, child)?;
+    }
+    txn.remove(root)?;
+    Ok(())
+}
+
+/// Number of entries (diagnostics / tests).
+pub(crate) fn count(txn: &Transaction, root: ObjectId) -> Result<u64> {
+    let mut n = 0u64;
+    range_into(txn, root, Bound::Unbounded, Bound::Unbounded, &mut |_, _| n += 1)?;
+    Ok(n)
+}

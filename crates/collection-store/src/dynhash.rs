@@ -1,0 +1,308 @@
+//! Dynamic hash table index: Larson linear hashing \[20\] (paper §5.2.4).
+//!
+//! The table grows one bucket at a time: when an insert overflows its
+//! bucket, the bucket at the split pointer is split by rehashing its
+//! entries under the doubled modulus, and the pointer advances; when it
+//! wraps, the level increments. No global rehash ever happens, so insert
+//! cost stays bounded — the property that made Larson's scheme attractive
+//! for an embedded store.
+//!
+//! The directory is two-level — a small root object pointing at fixed-size
+//! *segment* objects that hold bucket ids (Larson's original layout) — so
+//! a steady-state insert writes only the touched bucket, and a split
+//! additionally writes one segment plus the small root. Without this, every
+//! insert would rewrite a directory that grows with the table.
+//!
+//! Exact-match and scan queries only; range queries are unsupported
+//! (ordered access is what the B-tree index is for).
+
+use crate::error::Result;
+use crate::key::Key;
+use crate::meta::{CLASS_HASH_BUCKET, CLASS_HASH_DIR, CLASS_HASH_SEG};
+use crate::ObjectId;
+use object_store::{
+    impl_persistent_boilerplate, Persistent, PickleError, Pickler, Transaction, Unpickler,
+};
+
+/// Initial number of buckets.
+const INITIAL_BUCKETS: u64 = 4;
+/// Split when the inserted-into bucket exceeds this many entries.
+const MAX_BUCKET: usize = 8;
+/// Bucket ids per directory segment.
+const SEG_CAP: usize = 256;
+
+/// Directory root: level, split pointer, segment ids.
+pub(crate) struct HashDir {
+    pub level: u32,
+    pub next: u64,
+    pub segments: Vec<ObjectId>,
+}
+
+impl HashDir {
+    /// Current number of buckets: `INITIAL << level` plus the splits done
+    /// at this level.
+    fn bucket_count(&self) -> u64 {
+        (INITIAL_BUCKETS << self.level) + self.next
+    }
+}
+
+impl Persistent for HashDir {
+    impl_persistent_boilerplate!(CLASS_HASH_DIR);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.level);
+        w.u64(self.next);
+        w.u32(self.segments.len() as u32);
+        for s in &self.segments {
+            w.object_id(*s);
+        }
+    }
+}
+
+pub(crate) fn unpickle_dir(
+    r: &mut Unpickler,
+) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+    let level = r.u32()?;
+    let next = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > 1_000_000 {
+        return Err(PickleError(format!("implausible segment count {n}")));
+    }
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        segments.push(r.object_id()?);
+    }
+    Ok(Box::new(HashDir { level, next, segments }))
+}
+
+/// A directory segment: up to [`SEG_CAP`] bucket ids.
+pub(crate) struct HashSeg {
+    pub buckets: Vec<ObjectId>,
+}
+
+impl Persistent for HashSeg {
+    impl_persistent_boilerplate!(CLASS_HASH_SEG);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.buckets.len() as u32);
+        for b in &self.buckets {
+            w.object_id(*b);
+        }
+    }
+}
+
+pub(crate) fn unpickle_seg(
+    r: &mut Unpickler,
+) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+    let n = r.u32()? as usize;
+    if n > SEG_CAP * 2 {
+        return Err(PickleError(format!("implausible segment size {n}")));
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push(r.object_id()?);
+    }
+    Ok(Box::new(HashSeg { buckets }))
+}
+
+/// A bucket of `(key, id)` entries.
+pub(crate) struct HashBucket {
+    pub entries: Vec<(Key, ObjectId)>,
+}
+
+impl Persistent for HashBucket {
+    impl_persistent_boilerplate!(CLASS_HASH_BUCKET);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.entries.len() as u32);
+        for (key, id) in &self.entries {
+            key.pickle(w);
+            w.object_id(*id);
+        }
+    }
+}
+
+pub(crate) fn unpickle_bucket(
+    r: &mut Unpickler,
+) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+    let n = r.u32()? as usize;
+    if n > 1_000_000 {
+        return Err(PickleError(format!("implausible bucket entry count {n}")));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = Key::unpickle(r)?;
+        let id = r.object_id()?;
+        entries.push((key, id));
+    }
+    Ok(Box::new(HashBucket { entries }))
+}
+
+/// Bucket index for a hash under the current (level, next) state.
+fn bucket_index(dir: &HashDir, h: u64) -> u64 {
+    let low = INITIAL_BUCKETS << dir.level;
+    let mut idx = h % low;
+    if idx < dir.next {
+        idx = h % (low << 1);
+    }
+    idx
+}
+
+/// Resolve a bucket index to its bucket object id.
+fn bucket_at(txn: &Transaction, dir: &HashDir, idx: u64) -> Result<ObjectId> {
+    let seg = dir.segments[(idx as usize) / SEG_CAP];
+    let seg_ref = txn.open_readonly::<HashSeg>(seg)?;
+    let id = seg_ref.get().buckets[(idx as usize) % SEG_CAP];
+    Ok(id)
+}
+
+/// Append a bucket id at index `bucket_count` (always the tail).
+fn push_bucket(txn: &Transaction, dir: &mut HashDir, bucket: ObjectId) -> Result<()> {
+    let idx = dir.bucket_count() as usize; // position it will occupy
+    if idx / SEG_CAP >= dir.segments.len() {
+        let seg = txn.insert(Box::new(HashSeg { buckets: vec![bucket] }))?;
+        dir.segments.push(seg);
+    } else {
+        let seg_ref = txn.open_writable::<HashSeg>(dir.segments[idx / SEG_CAP])?;
+        seg_ref.get_mut().buckets.push(bucket);
+    }
+    Ok(())
+}
+
+/// Create an empty table; returns the directory object id.
+pub(crate) fn create(txn: &Transaction) -> Result<ObjectId> {
+    let mut buckets = Vec::with_capacity(INITIAL_BUCKETS as usize);
+    for _ in 0..INITIAL_BUCKETS {
+        buckets.push(txn.insert(Box::new(HashBucket { entries: Vec::new() }))?);
+    }
+    let seg = txn.insert(Box::new(HashSeg { buckets }))?;
+    Ok(txn.insert(Box::new(HashDir { level: 0, next: 0, segments: vec![seg] }))?)
+}
+
+/// Insert an entry; splits one bucket when the target bucket overflows.
+pub(crate) fn insert(txn: &Transaction, dir_id: ObjectId, key: Key, oid: ObjectId) -> Result<()> {
+    // Fast path: read-only directory traversal, write only the bucket —
+    // a steady-state insert appends ~20 bytes to one small object.
+    let overflowed = {
+        let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
+        let dir = dir_ref.get();
+        let idx = bucket_index(&dir, key.stable_hash());
+        let bucket_id = bucket_at(txn, &dir, idx)?;
+        drop(dir);
+        let bucket_ref = txn.open_writable::<HashBucket>(bucket_id)?;
+        let mut bucket = bucket_ref.get_mut();
+        bucket.entries.push((key, oid));
+        bucket.entries.len() > MAX_BUCKET
+    };
+    if overflowed {
+        split_step(txn, dir_id)?;
+    }
+    Ok(())
+}
+
+/// One incremental split: split the bucket at the split pointer.
+fn split_step(txn: &Transaction, dir_id: ObjectId) -> Result<()> {
+    let dir_ref = txn.open_writable::<HashDir>(dir_id)?;
+    let mut dir = dir_ref.get_mut();
+
+    let split_idx = dir.next;
+    let split_bucket = bucket_at(txn, &dir, split_idx)?;
+    let new_bucket = txn.insert(Box::new(HashBucket { entries: Vec::new() }))?;
+    push_bucket(txn, &mut dir, new_bucket)?;
+
+    let low = INITIAL_BUCKETS << dir.level;
+    let high = low << 1;
+    dir.next += 1;
+    if dir.next >= low {
+        dir.level += 1;
+        dir.next = 0;
+    }
+    drop(dir);
+
+    let old_ref = txn.open_writable::<HashBucket>(split_bucket)?;
+    let mut old = old_ref.get_mut();
+    let (keep, moved): (Vec<_>, Vec<_>) = old
+        .entries
+        .drain(..)
+        .partition(|(k, _)| k.stable_hash() % high == split_idx);
+    old.entries = keep;
+    drop(old);
+    if !moved.is_empty() {
+        let new_ref = txn.open_writable::<HashBucket>(new_bucket)?;
+        new_ref.get_mut().entries.extend(moved);
+    }
+    Ok(())
+}
+
+/// Remove an entry; returns whether it was present.
+pub(crate) fn remove(txn: &Transaction, dir_id: ObjectId, key: &Key, oid: ObjectId) -> Result<bool> {
+    let bucket_id = {
+        let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
+        let dir = dir_ref.get();
+        let idx = bucket_index(&dir, key.stable_hash());
+        bucket_at(txn, &dir, idx)?
+    };
+    let bucket_ref = txn.open_writable::<HashBucket>(bucket_id)?;
+    let mut bucket = bucket_ref.get_mut();
+    let before = bucket.entries.len();
+    bucket.entries.retain(|(k, id)| !(k == key && *id == oid));
+    Ok(bucket.entries.len() < before)
+}
+
+/// All ids with this exact key.
+pub(crate) fn lookup(txn: &Transaction, dir_id: ObjectId, key: &Key) -> Result<Vec<ObjectId>> {
+    let bucket_id = {
+        let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
+        let dir = dir_ref.get();
+        let idx = bucket_index(&dir, key.stable_hash());
+        bucket_at(txn, &dir, idx)?
+    };
+    let bucket_ref = txn.open_readonly::<HashBucket>(bucket_id)?;
+    let bucket = bucket_ref.get();
+    let mut out: Vec<ObjectId> = bucket
+        .entries
+        .iter()
+        .filter(|(k, _)| k == key)
+        .map(|(_, id)| *id)
+        .collect();
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn all_buckets(txn: &Transaction, dir_id: ObjectId) -> Result<Vec<ObjectId>> {
+    let segments = {
+        let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
+        let segments = dir_ref.get().segments.clone();
+        segments
+    };
+    let mut buckets = Vec::new();
+    for seg in segments {
+        let seg_ref = txn.open_readonly::<HashSeg>(seg)?;
+        buckets.extend(seg_ref.get().buckets.iter().copied());
+    }
+    Ok(buckets)
+}
+
+/// Every entry (scan query). Order is arbitrary but deterministic.
+pub(crate) fn scan(txn: &Transaction, dir_id: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+    let mut out = Vec::new();
+    for bucket_id in all_buckets(txn, dir_id)? {
+        let bucket_ref = txn.open_readonly::<HashBucket>(bucket_id)?;
+        out.extend(bucket_ref.get().entries.iter().cloned());
+    }
+    Ok(out)
+}
+
+/// Delete the whole table.
+pub(crate) fn destroy(txn: &Transaction, dir_id: ObjectId) -> Result<()> {
+    for bucket in all_buckets(txn, dir_id)? {
+        txn.remove(bucket)?;
+    }
+    let segments = {
+        let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
+        let segments = dir_ref.get().segments.clone();
+        segments
+    };
+    for seg in segments {
+        txn.remove(seg)?;
+    }
+    txn.remove(dir_id)?;
+    Ok(())
+}

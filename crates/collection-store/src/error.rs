@@ -1,0 +1,143 @@
+//! Collection store errors.
+
+use crate::ObjectId;
+use std::fmt;
+
+/// Result alias for collection store operations.
+pub type Result<T> = std::result::Result<T, CollectionError>;
+
+/// Errors from the collection store.
+#[derive(Debug)]
+pub enum CollectionError {
+    /// No collection with this name.
+    NoSuchCollection(String),
+    /// A collection with this name already exists.
+    CollectionExists(String),
+    /// No index with this name on the collection.
+    NoSuchIndex(String),
+    /// An index with this name already exists on the collection.
+    IndexExists(String),
+    /// "Raises an exception if there is only one index on the collection."
+    /// (paper Fig. 6, `removeIndex`)
+    LastIndex(String),
+    /// A collection must be created with at least one index (paper Fig. 5:
+    /// `createCollection` takes an indexer).
+    NeedsIndex(String),
+    /// The named extractor function is not registered.
+    ExtractorNotRegistered(String),
+    /// The object is not an instance of the collection's schema (the
+    /// extractor refused it) — the runtime type check of §5.2.1.
+    SchemaMismatch {
+        /// Collection name.
+        collection: String,
+        /// Class id of the rejected object.
+        class_id: u32,
+    },
+    /// An insert or index creation would violate a unique index
+    /// immediately (paper Fig. 6: `insert`, `createIndex`).
+    DuplicateKey {
+        /// Index whose uniqueness was violated.
+        index: String,
+    },
+    /// Deferred index maintenance at iterator close found updates that
+    /// created duplicate keys in unique indexes. "The collection store
+    /// removes all objects that violate index integrity from the
+    /// collection and raises an exception … The exception object contains
+    /// a list of ids of all objects that were removed" (§5.2.3).
+    UniquenessViolation {
+        /// Objects removed from the collection (still present in the
+        /// object store, so the application can re-integrate them).
+        removed: Vec<ObjectId>,
+    },
+    /// The query kind is not supported by this index implementation
+    /// (e.g. range queries on a hash index).
+    UnsupportedQuery {
+        /// Index name.
+        index: String,
+        /// What was attempted.
+        what: &'static str,
+    },
+    /// A writable dereference while other iterators are open on the same
+    /// collection (insensitivity constraint 2, §5.2.2).
+    IteratorConflict,
+    /// The collection handle is read-only (`read_collection`).
+    ReadOnlyCollection(String),
+    /// Error from the object store (locks, types, chunk store, ...).
+    Object(object_store::ObjectStoreError),
+}
+
+impl fmt::Display for CollectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectionError::NoSuchCollection(n) => write!(f, "no collection named {n:?}"),
+            CollectionError::CollectionExists(n) => write!(f, "collection {n:?} already exists"),
+            CollectionError::NoSuchIndex(n) => write!(f, "no index named {n:?}"),
+            CollectionError::IndexExists(n) => write!(f, "index {n:?} already exists"),
+            CollectionError::LastIndex(n) => {
+                write!(f, "cannot remove {n:?}: a collection must keep at least one index")
+            }
+            CollectionError::NeedsIndex(n) => {
+                write!(f, "collection {n:?} must be created with at least one index")
+            }
+            CollectionError::ExtractorNotRegistered(n) => {
+                write!(f, "extractor {n:?} is not registered")
+            }
+            CollectionError::SchemaMismatch { collection, class_id } => write!(
+                f,
+                "object of class {class_id:#x} is not an instance of collection {collection:?}'s schema"
+            ),
+            CollectionError::DuplicateKey { index } => {
+                write!(f, "insertion would create a duplicate key in unique index {index:?}")
+            }
+            CollectionError::UniquenessViolation { removed } => write!(
+                f,
+                "updates created duplicate keys; {} object(s) removed from the collection: {removed:?}",
+                removed.len()
+            ),
+            CollectionError::UnsupportedQuery { index, what } => {
+                write!(f, "index {index:?} does not support {what}")
+            }
+            CollectionError::IteratorConflict => write!(
+                f,
+                "writable dereference requires no other open iterators on the collection"
+            ),
+            CollectionError::ReadOnlyCollection(n) => {
+                write!(f, "collection {n:?} was opened read-only")
+            }
+            CollectionError::Object(e) => write!(f, "object store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectionError::Object(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<object_store::ObjectStoreError> for CollectionError {
+    fn from(e: object_store::ObjectStoreError) -> Self {
+        CollectionError::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CollectionError::LastIndex("i".into()).to_string().contains("at least one"));
+        assert!(CollectionError::UniquenessViolation { removed: vec![ObjectId(3)] }
+            .to_string()
+            .contains("removed"));
+        assert!(
+            CollectionError::UnsupportedQuery { index: "h".into(), what: "range queries" }
+                .to_string()
+                .contains("range")
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Insensitive iterators (paper §5.2.2).
+//!
+//! The four constraints that together guarantee insensitivity:
+//!
+//! 1. writable references to collection objects exist *only* through an
+//!    iterator ([`CIter::write`]) — `CTransaction` exposes no direct way;
+//! 2. a writable dereference requires that no *other* iterator is open on
+//!    the same collection ([`CollectionError::IteratorConflict`]);
+//! 3. iterators advance in one direction only ([`CIter::next`]);
+//! 4. index maintenance is deferred until [`CIter::close`] — which is what
+//!    prevents the Halloween syndrome: updating the key an iterator
+//!    traverses by cannot re-present objects, because the traversal id-set
+//!    was fixed when the query ran.
+//!
+//! The pre-update key snapshot of every object dereferenced writable is
+//! recorded *before* the application can touch it; `close` compares it with
+//! keys recomputed from the cached object version, "which trades off extra
+//! storage overhead for better performance" compared to re-reading the old
+//! chunk (§5.2.3).
+
+use crate::collection::{self, key_snapshot, load_metas};
+use crate::ctxn::CTransaction;
+use crate::error::{CollectionError, Result};
+use crate::key::Key;
+use crate::ObjectId;
+use object_store::{Persistent, ReadonlyRef, WritableRef};
+
+/// An insensitive iterator over a query result set.
+pub struct CIter<'t> {
+    ct: &'t CTransaction,
+    coll: ObjectId,
+    coll_name: String,
+    collection_writable: bool,
+    ids: Vec<ObjectId>,
+    pos: usize,
+    /// Pre-update key snapshots, recorded at first writable deref
+    /// (`None` per index whose keys are declared immutable, §5.2.3).
+    writes: Vec<(ObjectId, Vec<Option<Key>>)>,
+    /// Objects marked for deletion, with their full key snapshots.
+    deletes: Vec<(ObjectId, Vec<Option<Key>>)>,
+    closed: bool,
+}
+
+impl<'t> CIter<'t> {
+    pub(crate) fn new(
+        ct: &'t CTransaction,
+        coll: ObjectId,
+        coll_name: String,
+        collection_writable: bool,
+        ids: Vec<ObjectId>,
+    ) -> Self {
+        ct.register_iter(coll);
+        CIter {
+            ct,
+            coll,
+            coll_name,
+            collection_writable,
+            ids,
+            pos: 0,
+            writes: Vec::new(),
+            deletes: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Whether the iterator is past the last object (paper: `end()`).
+    pub fn end(&self) -> bool {
+        self.pos >= self.ids.len()
+    }
+
+    /// Number of objects in the (frozen) result set.
+    pub fn result_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Advance to the next object (paper: `next()`; unidirectional —
+    /// constraint 3).
+    pub fn next(&mut self) {
+        if self.pos < self.ids.len() {
+            self.pos += 1;
+        }
+    }
+
+    /// Id of the current object.
+    pub fn current(&self) -> Option<ObjectId> {
+        self.ids.get(self.pos).copied()
+    }
+
+    fn current_or_end(&self) -> Result<ObjectId> {
+        self.current().ok_or(CollectionError::Object(
+            object_store::ObjectStoreError::NotFound(ObjectId(u64::MAX)),
+        ))
+    }
+
+    /// Dereference the current object read-only (paper: `read()`).
+    pub fn read<T: Persistent>(&self) -> Result<ReadonlyRef<T>> {
+        let oid = self.current_or_end()?;
+        Ok(self.ct.txn.open_readonly::<T>(oid)?)
+    }
+
+    /// Dereference the current object writable (paper: `write()`).
+    /// Requires a writable collection handle and — constraint 2 — that
+    /// this is the only open iterator on the collection. Records the
+    /// pre-update key snapshot on first writable access.
+    pub fn write<T: Persistent>(&mut self) -> Result<WritableRef<T>> {
+        if !self.collection_writable {
+            return Err(CollectionError::ReadOnlyCollection(self.coll_name.clone()));
+        }
+        if self.ct.open_iters_on(self.coll) != 1 {
+            return Err(CollectionError::IteratorConflict);
+        }
+        let oid = self.current_or_end()?;
+        if !self.writes.iter().any(|(o, _)| *o == oid) {
+            let metas = load_metas(self.ct, self.coll)?;
+            let pre = key_snapshot(self.ct, &self.coll_name, &metas, oid, false)?;
+            self.writes.push((oid, pre));
+        }
+        Ok(self.ct.txn.open_writable::<T>(oid)?)
+    }
+
+    /// Delete the currently enumerated object from the collection (and the
+    /// object store), deferred to close like any other index maintenance.
+    pub fn delete(&mut self) -> Result<()> {
+        if !self.collection_writable {
+            return Err(CollectionError::ReadOnlyCollection(self.coll_name.clone()));
+        }
+        if self.ct.open_iters_on(self.coll) != 1 {
+            return Err(CollectionError::IteratorConflict);
+        }
+        let oid = self.current_or_end()?;
+        if !self.deletes.iter().any(|(o, _)| *o == oid) {
+            let metas = load_metas(self.ct, self.coll)?;
+            let keys = key_snapshot(self.ct, &self.coll_name, &metas, oid, true)?;
+            self.deletes.push((oid, keys));
+        }
+        Ok(())
+    }
+
+    /// Close the iterator, performing all deferred index maintenance
+    /// (§5.2.3). May return [`CollectionError::UniquenessViolation`]
+    /// listing objects that were removed from the collection because their
+    /// updates created duplicate keys in unique indexes.
+    pub fn close(mut self) -> Result<()> {
+        self.closed = true;
+        self.ct.unregister_iter(self.coll);
+        let writes = std::mem::take(&mut self.writes);
+        let deletes = std::mem::take(&mut self.deletes);
+        if writes.is_empty() && deletes.is_empty() {
+            return Ok(());
+        }
+        collection::maintain(self.ct, self.coll, &self.coll_name, writes, deletes)
+    }
+}
+
+impl Drop for CIter<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.ct.unregister_iter(self.coll);
+            let writes = std::mem::take(&mut self.writes);
+            let deletes = std::mem::take(&mut self.deletes);
+            if !writes.is_empty() || !deletes.is_empty() {
+                // Maintenance must still happen for index consistency; use
+                // `close()` instead of dropping to observe errors
+                // (uniqueness violations are lost here).
+                let _ = collection::maintain(self.ct, self.coll, &self.coll_name, writes, deletes);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Index keys.
+//!
+//! The paper's index keys are arbitrary C++ classes behind a `GenericKey`
+//! superclass with polymorphic comparison and hashing (§5.2.1). The Rust
+//! adaptation is a closed [`Key`] value type with total ordering, a *stable*
+//! hash (FNV-1a over the pickled form — never `std`'s unstable default
+//! hasher, since hash buckets persist across program versions), and native
+//! pickling. Functional extractors (§5.1.1) return `Key`s, so keys can be
+//! variable-sized (strings, byte strings) or composite/derived values.
+
+use object_store::{PickleError, Pickler, Unpickler};
+use std::cmp::Ordering;
+
+/// An index key value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Signed integer key.
+    I64(i64),
+    /// Unsigned integer key.
+    U64(u64),
+    /// String key (ordered lexicographically by UTF-8 bytes).
+    Str(String),
+    /// Raw byte-string key.
+    Bytes(Vec<u8>),
+    /// Composite key: ordered field-by-field (lexicographic over parts).
+    Composite(Vec<Key>),
+}
+
+impl Key {
+    /// Convenience constructor for string keys.
+    pub fn str(s: impl Into<String>) -> Key {
+        Key::Str(s.into())
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Key::I64(_) => 0,
+            Key::U64(_) => 1,
+            Key::Str(_) => 2,
+            Key::Bytes(_) => 3,
+            Key::Composite(_) => 4,
+        }
+    }
+
+    /// Stable FNV-1a hash of the pickled key. Used by the dynamic hash
+    /// index, whose bucket assignment persists on disk.
+    pub fn stable_hash(&self) -> u64 {
+        let mut w = Pickler::new();
+        self.pickle(&mut w);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in w.into_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Serialize into a pickler (variant tag + payload).
+    pub fn pickle(&self, w: &mut Pickler) {
+        match self {
+            Key::I64(v) => {
+                w.u8(0);
+                w.i64(*v);
+            }
+            Key::U64(v) => {
+                w.u8(1);
+                w.u64(*v);
+            }
+            Key::Str(s) => {
+                w.u8(2);
+                w.string(s);
+            }
+            Key::Bytes(b) => {
+                w.u8(3);
+                w.bytes(b);
+            }
+            Key::Composite(parts) => {
+                w.u8(4);
+                w.u32(parts.len() as u32);
+                for p in parts {
+                    p.pickle(w);
+                }
+            }
+        }
+    }
+
+    /// Deserialize from an unpickler.
+    pub fn unpickle(r: &mut Unpickler) -> Result<Key, PickleError> {
+        match r.u8()? {
+            0 => Ok(Key::I64(r.i64()?)),
+            1 => Ok(Key::U64(r.u64()?)),
+            2 => Ok(Key::Str(r.string()?)),
+            3 => Ok(Key::Bytes(r.bytes()?.to_vec())),
+            4 => {
+                let n = r.u32()? as usize;
+                if n > 1024 {
+                    return Err(PickleError(format!("implausible composite key arity {n}")));
+                }
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(Key::unpickle(r)?);
+                }
+                Ok(Key::Composite(parts))
+            }
+            other => Err(PickleError(format!("unknown key tag {other}"))),
+        }
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Key::I64(a), Key::I64(b)) => a.cmp(b),
+            (Key::U64(a), Key::U64(b)) => a.cmp(b),
+            (Key::Str(a), Key::Str(b)) => a.cmp(b),
+            (Key::Bytes(a), Key::Bytes(b)) => a.cmp(b),
+            (Key::Composite(a), Key::Composite(b)) => a.cmp(b),
+            // Cross-variant: order by variant rank; a well-formed index
+            // only ever holds one variant, but ordering stays total.
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<i64> for Key {
+    fn from(v: i64) -> Key {
+        Key::I64(v)
+    }
+}
+
+impl From<i32> for Key {
+    fn from(v: i32) -> Key {
+        Key::I64(v as i64)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Key {
+        Key::U64(v)
+    }
+}
+
+impl From<u32> for Key {
+    fn from(v: u32) -> Key {
+        Key::U64(v as u64)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(v: &str) -> Key {
+        Key::Str(v.to_string())
+    }
+}
+
+impl From<String> for Key {
+    fn from(v: String) -> Key {
+        Key::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_within_variants() {
+        assert!(Key::I64(-5) < Key::I64(3));
+        assert!(Key::U64(1) < Key::U64(2));
+        assert!(Key::str("abc") < Key::str("abd"));
+        assert!(Key::Bytes(vec![1]) < Key::Bytes(vec![1, 0]));
+        assert!(
+            Key::Composite(vec![Key::I64(1), Key::str("a")])
+                < Key::Composite(vec![Key::I64(1), Key::str("b")])
+        );
+        assert!(Key::Composite(vec![Key::I64(1)]) < Key::Composite(vec![Key::I64(1), Key::I64(0)]));
+    }
+
+    #[test]
+    fn cross_variant_ordering_is_total_and_consistent() {
+        let keys = [
+            Key::I64(9),
+            Key::U64(1),
+            Key::str("x"),
+            Key::Bytes(vec![0]),
+            Key::Composite(vec![]),
+        ];
+        for a in &keys {
+            for b in &keys {
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+        assert!(Key::I64(i64::MAX) < Key::U64(0), "variants ordered by rank");
+    }
+
+    #[test]
+    fn pickle_roundtrip_all_variants() {
+        let keys = [
+            Key::I64(-42),
+            Key::U64(u64::MAX),
+            Key::str("héllo"),
+            Key::Bytes(vec![0, 255, 3]),
+            Key::Composite(vec![Key::I64(1), Key::Composite(vec![Key::str("nested")])]),
+        ];
+        for key in keys {
+            let mut w = Pickler::new();
+            key.pickle(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Unpickler::new(&bytes);
+            assert_eq!(Key::unpickle(&mut r).unwrap(), key);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn unpickle_rejects_garbage() {
+        let mut r = Unpickler::new(&[99]);
+        assert!(Key::unpickle(&mut r).is_err());
+        let mut r = Unpickler::new(&[0, 1, 2]);
+        assert!(Key::unpickle(&mut r).is_err());
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spreads() {
+        assert_eq!(Key::U64(7).stable_hash(), Key::U64(7).stable_hash());
+        assert_ne!(Key::U64(7).stable_hash(), Key::U64(8).stable_hash());
+        assert_ne!(Key::U64(7).stable_hash(), Key::I64(7).stable_hash());
+        // Known value pins the function: changing it would corrupt every
+        // existing on-disk hash index.
+        assert_eq!(Key::U64(0).stable_hash(), {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in [1u8, 0, 0, 0, 0, 0, 0, 0, 0] {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        });
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Key::from(3i32), Key::I64(3));
+        assert_eq!(Key::from(3u32), Key::U64(3));
+        assert_eq!(Key::from("s"), Key::str("s"));
+    }
+}

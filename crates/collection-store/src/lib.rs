@@ -1,0 +1,50 @@
+//! The TDB **collection store** (paper §5): keyed access to collections of
+//! objects with automatically maintained functional indexes.
+//!
+//! * A **collection** is a set of persistent objects sharing one or more
+//!   indexes. Collections are created, looked up, and removed by name
+//!   through a [`CTransaction`] (paper Fig. 5).
+//! * Indexes are **functional** (§5.1.1): keys are produced by a registered
+//!   pure *extractor function* applied to the object, so keys can be
+//!   variable-sized or derived values — not field offsets. Index
+//!   implementations: **B-tree**, **dynamic hash table** (Larson linear
+//!   hashing \[20\]), and **list** (§5.2.4). Indexes can be added and removed
+//!   dynamically, with uniqueness enforced.
+//! * Queries — scan, exact-match, range (paper Fig. 6) — return
+//!   **insensitive iterators** (§5.2.2): the result set is fixed when the
+//!   query runs, writable access to collection objects is *only* available
+//!   by dereferencing an iterator, and index maintenance is deferred until
+//!   the iterator closes, which structurally rules out the Halloween
+//!   syndrome. Updates that would break a unique index are resolved as the
+//!   paper specifies: the offending objects are removed from the collection
+//!   and reported in the error so the application can re-integrate them
+//!   (§5.2.3).
+//!
+//! See `tests/collection_tests.rs` for the paper's Figure 7 scenario
+//! reproduced end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod collection;
+pub mod ctxn;
+pub mod dynhash;
+pub mod error;
+pub mod extractor;
+pub mod iterator;
+pub mod key;
+pub mod listindex;
+pub mod meta;
+pub mod store;
+
+pub use collection::Collection;
+pub use ctxn::CTransaction;
+pub use error::{CollectionError, Result};
+pub use extractor::{ExtractorFn, ExtractorRegistry};
+pub use iterator::CIter;
+pub use key::Key;
+pub use meta::{IndexKind, IndexSpec};
+pub use store::CollectionStore;
+
+pub use object_store::{ChunkId as ObjectId, Persistent, Pickler, Unpickler};

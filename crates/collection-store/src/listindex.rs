@@ -1,0 +1,146 @@
+//! List index: unordered membership (paper §5.2.4).
+//!
+//! A chain of persistent nodes, each holding a batch of `(key, id)`
+//! entries. Inserts append to the head node (spilling into a freshly
+//! prepended node when full), so insertion is O(1); exact-match and removal
+//! are linear. The list is the cheapest way to make a collection iterable
+//! when no keyed access is needed.
+
+use crate::error::Result;
+use crate::key::Key;
+use crate::meta::CLASS_LIST_NODE;
+use crate::ObjectId;
+use object_store::{
+    impl_persistent_boilerplate, Persistent, PickleError, Pickler, Transaction, Unpickler,
+};
+
+/// Entries per node before spilling. Small, so that the head-node rewrite
+/// an append incurs stays ~100 bytes — the log-structured store pays for
+/// every rewritten byte (§7.4).
+const NODE_CAPACITY: usize = 8;
+
+/// A list node.
+pub(crate) struct ListNode {
+    pub entries: Vec<(Key, ObjectId)>,
+    pub next: Option<ObjectId>,
+}
+
+impl Persistent for ListNode {
+    impl_persistent_boilerplate!(CLASS_LIST_NODE);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.entries.len() as u32);
+        for (key, id) in &self.entries {
+            key.pickle(w);
+            w.object_id(*id);
+        }
+        w.option(&self.next, |w, id| w.object_id(*id));
+    }
+}
+
+pub(crate) fn unpickle_node(
+    r: &mut Unpickler,
+) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+    let n = r.u32()? as usize;
+    if n > NODE_CAPACITY * 4 {
+        return Err(PickleError(format!("implausible list node size {n}")));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = Key::unpickle(r)?;
+        let id = r.object_id()?;
+        entries.push((key, id));
+    }
+    let next = r.option(|r| r.object_id())?;
+    Ok(Box::new(ListNode { entries, next }))
+}
+
+/// Create an empty list; the returned id is the *stable* head (the head
+/// node is never replaced — spills go into a successor), so the index root
+/// recorded in collection metadata never changes.
+pub(crate) fn create(txn: &Transaction) -> Result<ObjectId> {
+    Ok(txn.insert(Box::new(ListNode { entries: Vec::new(), next: None }))?)
+}
+
+/// Append an entry.
+pub(crate) fn insert(txn: &Transaction, head: ObjectId, key: Key, oid: ObjectId) -> Result<()> {
+    let head_ref = txn.open_writable::<ListNode>(head)?;
+    let mut node = head_ref.get_mut();
+    if node.entries.len() >= NODE_CAPACITY {
+        // Spill: move the head's entries into a new second node.
+        let spilled = ListNode {
+            entries: std::mem::take(&mut node.entries),
+            next: node.next.take(),
+        };
+        drop(node);
+        let spill_id = txn.insert(Box::new(spilled))?;
+        let mut node = head_ref.get_mut();
+        node.next = Some(spill_id);
+        node.entries.push((key, oid));
+    } else {
+        node.entries.push((key, oid));
+    }
+    Ok(())
+}
+
+/// Remove an entry; linear scan. Returns whether it was present.
+pub(crate) fn remove(txn: &Transaction, head: ObjectId, key: &Key, oid: ObjectId) -> Result<bool> {
+    let mut node_id = Some(head);
+    while let Some(id) = node_id {
+        let node_ref = txn.open_readonly::<ListNode>(id)?;
+        let (has, next) = {
+            let node = node_ref.get();
+            (node.entries.iter().any(|(k, i)| k == key && *i == oid), node.next)
+        };
+        if has {
+            let node_ref = txn.open_writable::<ListNode>(id)?;
+            let mut node = node_ref.get_mut();
+            let before = node.entries.len();
+            node.entries.retain(|(k, i)| !(k == key && *i == oid));
+            return Ok(node.entries.len() < before);
+        }
+        node_id = next;
+    }
+    Ok(false)
+}
+
+/// All ids with this exact key (linear).
+pub(crate) fn lookup(txn: &Transaction, head: ObjectId, key: &Key) -> Result<Vec<ObjectId>> {
+    let mut out = Vec::new();
+    let mut node_id = Some(head);
+    while let Some(id) = node_id {
+        let node_ref = txn.open_readonly::<ListNode>(id)?;
+        let node = node_ref.get();
+        out.extend(node.entries.iter().filter(|(k, _)| k == key).map(|(_, i)| *i));
+        node_id = node.next;
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Every entry, newest-first within the head then older nodes.
+pub(crate) fn scan(txn: &Transaction, head: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+    let mut out = Vec::new();
+    let mut node_id = Some(head);
+    while let Some(id) = node_id {
+        let node_ref = txn.open_readonly::<ListNode>(id)?;
+        let node = node_ref.get();
+        out.extend(node.entries.iter().cloned());
+        node_id = node.next;
+    }
+    Ok(out)
+}
+
+/// Delete the whole list.
+pub(crate) fn destroy(txn: &Transaction, head: ObjectId) -> Result<()> {
+    let mut node_id = Some(head);
+    while let Some(id) = node_id {
+        let next = {
+            let node_ref = txn.open_readonly::<ListNode>(id)?;
+            let next = node_ref.get().next;
+            next
+        };
+        txn.remove(id)?;
+        node_id = next;
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! Internal persistent metadata objects: the collection directory and the
+//! `Collection` objects themselves.
+//!
+//! "The Collection class is a subclass of the Object class" (§5.1.2) — a
+//! collection is just another persistent object, stored through the object
+//! store like everything else, so it inherits transactional atomicity and
+//! tamper protection for free.
+
+use crate::error::Result;
+use crate::ObjectId;
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, Persistent, PickleError, Pickler, Unpickler,
+};
+
+/// Class ids reserved by the collection store (top byte 0xTD-ish to keep
+/// clear of application ids).
+pub(crate) const CLASS_DIRECTORY: u32 = 0x7DB0_0001;
+pub(crate) const CLASS_COLLECTION: u32 = 0x7DB0_0002;
+pub(crate) const CLASS_BTREE_NODE: u32 = 0x7DB0_0003;
+pub(crate) const CLASS_HASH_DIR: u32 = 0x7DB0_0004;
+pub(crate) const CLASS_HASH_BUCKET: u32 = 0x7DB0_0005;
+pub(crate) const CLASS_LIST_NODE: u32 = 0x7DB0_0006;
+pub(crate) const CLASS_HASH_SEG: u32 = 0x7DB0_0007;
+
+/// The root name under which the collection directory is registered.
+pub(crate) const DIRECTORY_ROOT: &str = "tdb.collections";
+
+/// How an index is implemented (paper §5.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Ordered B-tree: scan, exact-match, and range queries.
+    BTree,
+    /// Dynamic hash table (Larson linear hashing): scan and exact-match.
+    Hash,
+    /// Unordered list: scan and exact-match (linear).
+    List,
+}
+
+impl IndexKind {
+    fn tag(self) -> u8 {
+        match self {
+            IndexKind::BTree => 0,
+            IndexKind::Hash => 1,
+            IndexKind::List => 2,
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn from_tag(t: u8) -> Result<Self> {
+        match t {
+            0 => Ok(IndexKind::BTree),
+            1 => Ok(IndexKind::Hash),
+            2 => Ok(IndexKind::List),
+            other => Err(crate::CollectionError::Object(
+                object_store::ObjectStoreError::Unpickle(PickleError(format!(
+                    "unknown index kind tag {other}"
+                ))),
+            )),
+        }
+    }
+}
+
+/// Declaration of an index: the Rust analog of constructing a paper
+/// `Indexer<SchemaClass, KeyClass, extractor>` (§5.1.2). The `extractor`
+/// names a function in the [`ExtractorRegistry`](crate::ExtractorRegistry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// Index name, unique within the collection.
+    pub name: String,
+    /// Registered extractor function name.
+    pub extractor: String,
+    /// Enforce key uniqueness.
+    pub unique: bool,
+    /// Implementation.
+    pub kind: IndexKind,
+    /// The application declares this index's keys never change once an
+    /// object is in the collection. The collection store then skips
+    /// recording them in iterator key snapshots and skips their deferred
+    /// maintenance — the paper's own optimization: "it is possible to
+    /// reduce the extra storage overhead by allowing applications to
+    /// declare index keys as immutable and forego recording of those keys
+    /// in the snapshot" (§5.2.3). Mutating a declared-immutable key is an
+    /// application contract violation: the index keeps the stale key.
+    pub immutable: bool,
+}
+
+impl IndexSpec {
+    /// Convenience constructor (mutable keys).
+    pub fn new(name: &str, extractor: &str, unique: bool, kind: IndexKind) -> Self {
+        IndexSpec {
+            name: name.to_string(),
+            extractor: extractor.to_string(),
+            unique,
+            kind,
+            immutable: false,
+        }
+    }
+
+    /// Declare this index's keys immutable (see the field docs).
+    pub fn immutable(mut self) -> Self {
+        self.immutable = true;
+        self
+    }
+
+    fn pickle(&self, w: &mut Pickler) {
+        w.string(&self.name);
+        w.string(&self.extractor);
+        w.bool(self.unique);
+        w.u8(self.kind.tag());
+        w.bool(self.immutable);
+    }
+
+    fn unpickle(r: &mut Unpickler) -> std::result::Result<Self, PickleError> {
+        Ok(IndexSpec {
+            name: r.string()?,
+            extractor: r.string()?,
+            unique: r.bool()?,
+            kind: match r.u8()? {
+                0 => IndexKind::BTree,
+                1 => IndexKind::Hash,
+                2 => IndexKind::List,
+                other => return Err(PickleError(format!("unknown index kind tag {other}"))),
+            },
+            immutable: r.bool()?,
+        })
+    }
+}
+
+/// Persistent per-index metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct IndexMeta {
+    pub spec: IndexSpec,
+    /// Root object of the index structure.
+    pub root: ObjectId,
+}
+
+/// The persistent `Collection` object (§5.1.2).
+pub(crate) struct CollectionObj {
+    pub name: String,
+    pub indexes: Vec<IndexMeta>,
+    /// Number of member objects.
+    pub count: u64,
+}
+
+impl Persistent for CollectionObj {
+    impl_persistent_boilerplate!(CLASS_COLLECTION);
+    fn pickle(&self, w: &mut Pickler) {
+        w.string(&self.name);
+        w.u32(self.indexes.len() as u32);
+        for meta in &self.indexes {
+            meta.spec.pickle(w);
+            w.object_id(meta.root);
+        }
+        w.u64(self.count);
+    }
+}
+
+pub(crate) fn unpickle_collection(
+    r: &mut Unpickler,
+) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+    let name = r.string()?;
+    let n = r.u32()? as usize;
+    if n > 4096 {
+        return Err(PickleError(format!("implausible index count {n}")));
+    }
+    let mut indexes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let spec = IndexSpec::unpickle(r)?;
+        let root = r.object_id()?;
+        indexes.push(IndexMeta { spec, root });
+    }
+    let count = r.u64()?;
+    Ok(Box::new(CollectionObj { name, indexes, count }))
+}
+
+/// The persistent name → collection-object directory.
+pub(crate) struct DirectoryObj {
+    pub entries: Vec<(String, ObjectId)>,
+}
+
+impl DirectoryObj {
+    pub fn get(&self, name: &str) -> Option<ObjectId> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
+    }
+}
+
+impl Persistent for DirectoryObj {
+    impl_persistent_boilerplate!(CLASS_DIRECTORY);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.entries.len() as u32);
+        for (name, id) in &self.entries {
+            w.string(name);
+            w.object_id(*id);
+        }
+    }
+}
+
+pub(crate) fn unpickle_directory(
+    r: &mut Unpickler,
+) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+    let n = r.u32()? as usize;
+    if n > 1_000_000 {
+        return Err(PickleError(format!("implausible directory size {n}")));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.string()?;
+        let id = r.object_id()?;
+        entries.push((name, id));
+    }
+    Ok(Box::new(DirectoryObj { entries }))
+}
+
+/// Register every internal class the collection store stores through the
+/// object store.
+pub fn register_internal_classes(registry: &mut ClassRegistry) {
+    registry.register(CLASS_DIRECTORY, "tdb.Directory", unpickle_directory);
+    registry.register(CLASS_COLLECTION, "tdb.Collection", unpickle_collection);
+    registry.register(CLASS_BTREE_NODE, "tdb.BTreeNode", crate::btree::unpickle_node);
+    registry.register(CLASS_HASH_DIR, "tdb.HashDirectory", crate::dynhash::unpickle_dir);
+    registry.register(CLASS_HASH_BUCKET, "tdb.HashBucket", crate::dynhash::unpickle_bucket);
+    registry.register(CLASS_HASH_SEG, "tdb.HashSegment", crate::dynhash::unpickle_seg);
+    registry.register(CLASS_LIST_NODE, "tdb.ListNode", crate::listindex::unpickle_node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use object_store::Unpickler;
+
+    #[test]
+    fn collection_obj_pickle_roundtrip() {
+        let obj = CollectionObj {
+            name: "profile".into(),
+            indexes: vec![
+                IndexMeta {
+                    spec: IndexSpec::new("by-id", "meter.id", true, IndexKind::Hash),
+                    root: ObjectId(9),
+                },
+                IndexMeta {
+                    spec: IndexSpec::new("by-count", "meter.count", false, IndexKind::BTree),
+                    root: ObjectId(12),
+                },
+            ],
+            count: 77,
+        };
+        let bytes = {
+            let mut w = Pickler::new();
+            obj.pickle(&mut w);
+            w.into_bytes()
+        };
+        let mut r = Unpickler::new(&bytes);
+        let parsed = unpickle_collection(&mut r).unwrap();
+        r.finish().unwrap();
+        let parsed = parsed.as_any().downcast_ref::<CollectionObj>().unwrap();
+        assert_eq!(parsed.name, "profile");
+        assert_eq!(parsed.indexes, obj.indexes);
+        assert_eq!(parsed.count, 77);
+    }
+
+    #[test]
+    fn directory_pickle_roundtrip_and_lookup() {
+        let dir = DirectoryObj {
+            entries: vec![("a".into(), ObjectId(1)), ("b".into(), ObjectId(2))],
+        };
+        let bytes = {
+            let mut w = Pickler::new();
+            dir.pickle(&mut w);
+            w.into_bytes()
+        };
+        let mut r = Unpickler::new(&bytes);
+        let parsed = unpickle_directory(&mut r).unwrap();
+        let parsed = parsed.as_any().downcast_ref::<DirectoryObj>().unwrap();
+        assert_eq!(parsed.get("a"), Some(ObjectId(1)));
+        assert_eq!(parsed.get("c"), None);
+    }
+
+    #[test]
+    fn index_kind_tags_roundtrip() {
+        for kind in [IndexKind::BTree, IndexKind::Hash, IndexKind::List] {
+            assert_eq!(IndexKind::from_tag(kind.tag()).unwrap(), kind);
+        }
+        assert!(IndexKind::from_tag(9).is_err());
+    }
+}

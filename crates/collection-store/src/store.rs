@@ -1,0 +1,66 @@
+//! The `CollectionStore`: the top of the TDB stack.
+
+use crate::ctxn::CTransaction;
+use crate::error::Result;
+use crate::extractor::ExtractorRegistry;
+use crate::meta::{register_internal_classes, DirectoryObj, DIRECTORY_ROOT};
+use chunk_store::ChunkStore;
+use object_store::{ClassRegistry, ObjectStore, ObjectStoreConfig};
+use std::sync::Arc;
+
+/// The collection store. Owns the object store (and through it, the chunk
+/// store) plus the application's extractor registry.
+#[derive(Clone)]
+pub struct CollectionStore {
+    objects: ObjectStore,
+    extractors: Arc<ExtractorRegistry>,
+}
+
+impl CollectionStore {
+    /// Create a collection store over a **fresh** chunk store. The
+    /// collection store registers its internal classes (collection
+    /// directory, collection objects, index nodes) into the application's
+    /// class registry.
+    pub fn create(
+        chunks: Arc<ChunkStore>,
+        mut classes: ClassRegistry,
+        extractors: ExtractorRegistry,
+        cfg: ObjectStoreConfig,
+    ) -> Result<Self> {
+        register_internal_classes(&mut classes);
+        let objects = ObjectStore::create(chunks, classes, cfg)?;
+        let txn = objects.begin();
+        let dir = txn.insert(Box::new(DirectoryObj { entries: Vec::new() }))?;
+        txn.set_root(DIRECTORY_ROOT, dir)?;
+        txn.commit(true)?;
+        Ok(CollectionStore { objects, extractors: Arc::new(extractors) })
+    }
+
+    /// Open an existing collection store.
+    pub fn open(
+        chunks: Arc<ChunkStore>,
+        mut classes: ClassRegistry,
+        extractors: ExtractorRegistry,
+        cfg: ObjectStoreConfig,
+    ) -> Result<Self> {
+        register_internal_classes(&mut classes);
+        let objects = ObjectStore::open(chunks, classes, cfg)?;
+        Ok(CollectionStore { objects, extractors: Arc::new(extractors) })
+    }
+
+    /// Start a collection-store transaction.
+    pub fn begin(&self) -> CTransaction {
+        CTransaction::new(self.objects.begin(), self.extractors.clone())
+    }
+
+    /// The underlying object store (for direct typed-object work alongside
+    /// collections — e.g. registering application roots).
+    pub fn object_store(&self) -> &ObjectStore {
+        &self.objects
+    }
+
+    /// The underlying chunk store (snapshots, backups, stats).
+    pub fn chunk_store(&self) -> &Arc<ChunkStore> {
+        self.objects.chunk_store()
+    }
+}

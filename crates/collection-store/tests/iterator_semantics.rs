@@ -1,0 +1,290 @@
+//! Focused tests of insensitive-iterator semantics (§5.2.2/§5.2.3) beyond
+//! the main suite: drop-without-close maintenance, multiple sequential
+//! writable iterators, mixed update+delete batches, and schema evolution
+//! through a second registered class.
+
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use collection_store::{
+    extractor::typed, CollectionError, CollectionStore, ExtractorRegistry, IndexKind, IndexSpec,
+    Key,
+};
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, ObjectStoreConfig, Persistent, PickleError,
+    Pickler, Unpickler,
+};
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+const CLASS_BASE: u32 = 0xBA5E;
+const CLASS_EXTENDED: u32 = 0xEC57;
+
+/// The collection schema class (paper §5.1.1).
+struct BaseDoc {
+    id: u64,
+    rank: i64,
+}
+
+impl Persistent for BaseDoc {
+    impl_persistent_boilerplate!(CLASS_BASE);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.id);
+        w.i64(self.rank);
+    }
+}
+
+fn unpickle_base(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(BaseDoc { id: r.u64()?, rank: r.i64()? }))
+}
+
+/// "The database schema can be evolved by subclassing the collection
+/// schema class" (§5.1.1). Rust has no subclassing; the analog is a second
+/// class whose extractors produce the same logical keys.
+struct ExtendedDoc {
+    id: u64,
+    rank: i64,
+    note: String,
+}
+
+impl Persistent for ExtendedDoc {
+    impl_persistent_boilerplate!(CLASS_EXTENDED);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.id);
+        w.i64(self.rank);
+        w.string(&self.note);
+    }
+}
+
+fn unpickle_extended(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(ExtendedDoc { id: r.u64()?, rank: r.i64()?, note: r.string()? }))
+}
+
+fn store() -> CollectionStore {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()),
+            &MemSecretStore::from_label("iter-semantics"),
+            Arc::new(VolatileCounter::new()),
+            ChunkStoreConfig::small_for_tests(),
+        )
+        .unwrap(),
+    );
+    let mut classes = ClassRegistry::new();
+    classes.register(CLASS_BASE, "BaseDoc", unpickle_base);
+    classes.register(CLASS_EXTENDED, "ExtendedDoc", unpickle_extended);
+    let mut extractors = ExtractorRegistry::new();
+    // Schema-polymorphic extractors: accept both classes.
+    extractors.register("doc.id", |o| {
+        typed::<BaseDoc>(o, |d| Key::U64(d.id)).or_else(|| typed::<ExtendedDoc>(o, |d| Key::U64(d.id)))
+    });
+    extractors.register("doc.rank", |o| {
+        typed::<BaseDoc>(o, |d| Key::I64(d.rank))
+            .or_else(|| typed::<ExtendedDoc>(o, |d| Key::I64(d.rank)))
+    });
+    CollectionStore::create(chunks, classes, extractors, ObjectStoreConfig::default()).unwrap()
+}
+
+fn specs() -> [IndexSpec; 2] {
+    [
+        IndexSpec::new("id", "doc.id", true, IndexKind::Hash),
+        IndexSpec::new("rank", "doc.rank", false, IndexKind::BTree),
+    ]
+}
+
+#[test]
+fn dropping_iterator_still_maintains_indexes() {
+    let cs = store();
+    let t = cs.begin();
+    let c = t.create_collection("docs", &specs()).unwrap();
+    c.insert(Box::new(BaseDoc { id: 1, rank: 10 })).unwrap();
+
+    {
+        let mut it = c.scan("id").unwrap();
+        let d = it.write::<BaseDoc>().unwrap();
+        d.get_mut().rank = 99;
+        drop(d);
+        // Dropped without close(): maintenance must still run (errors are
+        // lost, which is why close() is the documented path).
+    }
+    let hit = c.exact("rank", &Key::I64(99)).unwrap();
+    assert_eq!(hit.result_len(), 1);
+    hit.close().unwrap();
+    let miss = c.exact("rank", &Key::I64(10)).unwrap();
+    assert_eq!(miss.result_len(), 0);
+    miss.close().unwrap();
+}
+
+#[test]
+fn sequential_writable_iterators_compose() {
+    let cs = store();
+    let t = cs.begin();
+    let c = t.create_collection("docs", &specs()).unwrap();
+    for id in 0..10 {
+        c.insert(Box::new(BaseDoc { id, rank: id as i64 })).unwrap();
+    }
+    // Round 1: double every rank. Round 2: delete ranks >= 10.
+    let mut it = c.scan("id").unwrap();
+    while !it.end() {
+        let d = it.write::<BaseDoc>().unwrap();
+        let mut d = d.get_mut();
+        d.rank *= 2;
+        drop(d);
+        it.next();
+    }
+    it.close().unwrap();
+
+    let mut it = c
+        .range("rank", std::ops::Bound::Included(&Key::I64(10)), std::ops::Bound::Unbounded)
+        .unwrap();
+    let mut deleted = 0;
+    while !it.end() {
+        it.delete().unwrap();
+        deleted += 1;
+        it.next();
+    }
+    it.close().unwrap();
+    // ids 0..10 doubled: ranks 0,2,…,18; ranks >= 10 are ids 5..=9.
+    assert_eq!(deleted, 5);
+    assert_eq!(c.len().unwrap(), 5);
+}
+
+#[test]
+fn update_and_delete_same_object_in_one_iterator() {
+    let cs = store();
+    let t = cs.begin();
+    let c = t.create_collection("docs", &specs()).unwrap();
+    c.insert(Box::new(BaseDoc { id: 1, rank: 1 })).unwrap();
+    c.insert(Box::new(BaseDoc { id: 2, rank: 2 })).unwrap();
+
+    let mut it = c.scan("id").unwrap();
+    while !it.end() {
+        let is_one = {
+            let d = it.read::<BaseDoc>().unwrap();
+            let v = d.get().id == 1;
+            v
+        };
+        if is_one {
+            // Update then delete: the delete must win cleanly.
+            let d = it.write::<BaseDoc>().unwrap();
+            d.get_mut().rank = 500;
+            drop(d);
+            it.delete().unwrap();
+        }
+        it.next();
+    }
+    it.close().unwrap();
+    assert_eq!(c.len().unwrap(), 1);
+    let ghost = c.exact("rank", &Key::I64(500)).unwrap();
+    assert_eq!(ghost.result_len(), 0, "deleted object leaked into the rank index");
+    ghost.close().unwrap();
+    let survivor = c.exact("id", &Key::U64(2)).unwrap();
+    assert_eq!(survivor.result_len(), 1);
+    survivor.close().unwrap();
+}
+
+#[test]
+fn schema_evolution_by_second_class() {
+    let cs = store();
+    let t = cs.begin();
+    let c = t.create_collection("docs", &specs()).unwrap();
+    c.insert(Box::new(BaseDoc { id: 1, rank: 1 })).unwrap();
+    // The "subclass": indexed by the same extractors, stored alongside.
+    c.insert(Box::new(ExtendedDoc { id: 2, rank: 2, note: "v2 schema".into() })).unwrap();
+
+    let mut it = c.scan("rank").unwrap();
+    assert_eq!(it.result_len(), 2);
+    // First by rank is the BaseDoc...
+    assert!(it.read::<BaseDoc>().is_ok());
+    it.next();
+    // ...second is the ExtendedDoc; reading it as BaseDoc is a checked
+    // type error, as ExtendedDoc it works.
+    assert!(matches!(
+        it.read::<BaseDoc>(),
+        Err(CollectionError::Object(object_store::ObjectStoreError::TypeMismatch { .. }))
+    ));
+    let d = it.read::<ExtendedDoc>().unwrap();
+    assert_eq!(d.get().note, "v2 schema");
+    drop(d);
+    it.close().unwrap();
+}
+
+#[test]
+fn immutable_keys_skip_maintenance() {
+    // §5.2.3: declaring keys immutable foregoes snapshot recording. The
+    // contract: the key truly never changes; if the application violates
+    // it, the index keeps the stale key (and the object stays reachable
+    // under it) instead of silently re-indexing.
+    let cs = store();
+    let t = cs.begin();
+    let c = t
+        .create_collection(
+            "docs",
+            &[
+                IndexSpec::new("id", "doc.id", true, IndexKind::Hash).immutable(),
+                IndexSpec::new("rank", "doc.rank", false, IndexKind::BTree),
+            ],
+        )
+        .unwrap();
+    c.insert(Box::new(BaseDoc { id: 1, rank: 10 })).unwrap();
+
+    // Mutating the *mutable* key through an iterator re-indexes it...
+    let mut it = c.exact("id", &Key::U64(1)).unwrap();
+    {
+        let d = it.write::<BaseDoc>().unwrap();
+        d.get_mut().rank = 20;
+    }
+    it.close().unwrap();
+    let hit = c.exact("rank", &Key::I64(20)).unwrap();
+    assert_eq!(hit.result_len(), 1);
+    hit.close().unwrap();
+
+    // ...while a (contract-violating) mutation of the immutable key is
+    // NOT reflected: the index still finds the object under the old key.
+    let mut it = c.exact("id", &Key::U64(1)).unwrap();
+    {
+        let d = it.write::<BaseDoc>().unwrap();
+        d.get_mut().id = 42;
+    }
+    it.close().unwrap();
+    let old = c.exact("id", &Key::U64(1)).unwrap();
+    assert_eq!(old.result_len(), 1, "immutable index must keep the declared key");
+    old.close().unwrap();
+    let new = c.exact("id", &Key::U64(42)).unwrap();
+    assert_eq!(new.result_len(), 0);
+    new.close().unwrap();
+
+    // Deletion still removes the entry correctly (delete snapshots include
+    // immutable keys — computed from the current object, which by contract
+    // equals the stored key; here we restore the contract first).
+    let mut it = c.exact("id", &Key::U64(1)).unwrap();
+    {
+        let d = it.write::<BaseDoc>().unwrap();
+        d.get_mut().id = 1; // restore the contract
+    }
+    it.close().unwrap();
+    let mut it = c.exact("id", &Key::U64(1)).unwrap();
+    it.delete().unwrap();
+    it.close().unwrap();
+    assert_eq!(c.len().unwrap(), 0);
+    assert_eq!(c.index_entry_count("id").unwrap(), 0);
+    assert_eq!(c.index_entry_count("rank").unwrap(), 0);
+}
+
+#[test]
+fn result_set_is_frozen_at_query_time() {
+    let cs = store();
+    let t = cs.begin();
+    let c = t.create_collection("docs", &specs()).unwrap();
+    for id in 0..5 {
+        c.insert(Box::new(BaseDoc { id, rank: 0 })).unwrap();
+    }
+    // Open a scan, then insert more members: the open iterator must not
+    // see them (insensitivity), while a fresh query does.
+    let it = c.scan("id").unwrap();
+    assert_eq!(it.result_len(), 5);
+    c.insert(Box::new(BaseDoc { id: 100, rank: 0 })).unwrap();
+    assert_eq!(it.result_len(), 5, "open iterator grew");
+    it.close().unwrap();
+    let it = c.scan("id").unwrap();
+    assert_eq!(it.result_len(), 6);
+    it.close().unwrap();
+}

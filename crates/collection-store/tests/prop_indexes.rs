@@ -1,0 +1,246 @@
+//! Property tests: every index kind against a `BTreeMap`-based model under
+//! random insert / update / delete traffic driven through the public
+//! collection API (including the deferred-maintenance path).
+
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use collection_store::{
+    extractor::typed, CollectionStore, ExtractorRegistry, IndexKind, IndexSpec, Key,
+};
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, ObjectStoreConfig, Persistent, PickleError,
+    Pickler, Unpickler,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+const CLASS_ITEM: u32 = 0x9999;
+
+struct Item {
+    uid: u64,
+    score: i64,
+}
+
+impl Persistent for Item {
+    impl_persistent_boilerplate!(CLASS_ITEM);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.uid);
+        w.i64(self.score);
+    }
+}
+
+fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Item { uid: r.u64()?, score: r.i64()? }))
+}
+
+fn store() -> CollectionStore {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()),
+            &MemSecretStore::from_label("prop-indexes"),
+            Arc::new(VolatileCounter::new()),
+            ChunkStoreConfig::small_for_tests(),
+        )
+        .unwrap(),
+    );
+    let mut classes = ClassRegistry::new();
+    classes.register(CLASS_ITEM, "Item", unpickle);
+    let mut extractors = ExtractorRegistry::new();
+    extractors.register("item.uid", |o| typed::<Item>(o, |i| Key::U64(i.uid)));
+    extractors.register("item.score", |o| typed::<Item>(o, |i| Key::I64(i.score)));
+    CollectionStore::create(chunks, classes, extractors, ObjectStoreConfig::default()).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { uid: u64, score: i64 },
+    /// Change the score of the pick-th live item (re-keys the score index).
+    Rescore { pick: usize, score: i64 },
+    Delete { pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..400, -50i64..50).prop_map(|(uid, score)| Op::Insert { uid, score }),
+        3 => (any::<usize>(), -50i64..50).prop_map(|(pick, score)| Op::Rescore { pick, score }),
+        2 => any::<usize>().prop_map(|pick| Op::Delete { pick }),
+    ]
+}
+
+fn run(ops: Vec<Op>, kind: IndexKind) {
+    let cs = store();
+    let t = cs.begin();
+    let c = t
+        .create_collection(
+            "items",
+            &[
+                IndexSpec::new("uid", "item.uid", true, kind),
+                IndexSpec::new("score", "item.score", false, IndexKind::BTree),
+            ],
+        )
+        .unwrap();
+
+    // Model: uid -> score.
+    let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Insert { uid, score } => {
+                let result = c.insert(Box::new(Item { uid, score }));
+                if let std::collections::btree_map::Entry::Vacant(e) = model.entry(uid) {
+                    result.unwrap();
+                    e.insert(score);
+                } else {
+                    assert!(result.is_err(), "duplicate uid {uid} accepted");
+                }
+            }
+            Op::Rescore { pick, score } => {
+                if model.is_empty() {
+                    continue;
+                }
+                let uid = *model.keys().nth(pick % model.len()).unwrap();
+                let mut it = c.exact("uid", &Key::U64(uid)).unwrap();
+                assert!(!it.end());
+                {
+                    let item = it.write::<Item>().unwrap();
+                    item.get_mut().score = score;
+                }
+                it.close().unwrap();
+                model.insert(uid, score);
+            }
+            Op::Delete { pick } => {
+                if model.is_empty() {
+                    continue;
+                }
+                let uid = *model.keys().nth(pick % model.len()).unwrap();
+                let mut it = c.exact("uid", &Key::U64(uid)).unwrap();
+                assert!(!it.end());
+                it.delete().unwrap();
+                it.close().unwrap();
+                model.remove(&uid);
+            }
+        }
+
+        // Agreement: exact-match on uid.
+        for (&uid, &score) in &model {
+            let it = c.exact("uid", &Key::U64(uid)).unwrap();
+            assert_eq!(it.result_len(), 1, "uid {uid} lookup");
+            let item = it.read::<Item>().unwrap();
+            assert_eq!(item.get().score, score, "uid {uid} score");
+            drop(item);
+            it.close().unwrap();
+        }
+    }
+
+    // Final whole-table checks.
+    assert_eq!(c.len().unwrap() as usize, model.len());
+    let it = c.scan("uid").unwrap();
+    assert_eq!(it.result_len(), model.len());
+    it.close().unwrap();
+
+    // Score index agrees: range over everything, key-ordered.
+    let mut scores_from_index = Vec::new();
+    let mut it = c.range("score", Bound::Unbounded, Bound::Unbounded).unwrap();
+    while !it.end() {
+        let item = it.read::<Item>().unwrap();
+        scores_from_index.push(item.get().score);
+        drop(item);
+        it.next();
+    }
+    it.close().unwrap();
+    let mut expected: Vec<i64> = model.values().copied().collect();
+    expected.sort_unstable();
+    let mut got = scores_from_index.clone();
+    got.sort_unstable();
+    assert_eq!(got, expected);
+    assert!(
+        scores_from_index.windows(2).all(|w| w[0] <= w[1]),
+        "B-tree scan out of order: {scores_from_index:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn btree_unique_index_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run(ops, IndexKind::BTree);
+    }
+
+    #[test]
+    fn hash_unique_index_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run(ops, IndexKind::Hash);
+    }
+
+    #[test]
+    fn list_unique_index_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run(ops, IndexKind::List);
+    }
+}
+
+/// Deterministic heavy fill: hash index splits across several levels and
+/// still agrees with the model after a reopen of the whole stack.
+#[test]
+fn hash_split_storm_and_reopen() {
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let secret = MemSecretStore::from_label("split-storm");
+    let mk = |create: bool| {
+        let chunks = Arc::new(
+            if create {
+                ChunkStore::create(
+                    Arc::new(mem.clone()),
+                    &secret,
+                    Arc::new(counter.clone()),
+                    ChunkStoreConfig::default(),
+                )
+            } else {
+                ChunkStore::open(
+                    Arc::new(mem.clone()),
+                    &secret,
+                    Arc::new(counter.clone()),
+                    ChunkStoreConfig::default(),
+                )
+            }
+            .unwrap(),
+        );
+        let mut classes = ClassRegistry::new();
+        classes.register(CLASS_ITEM, "Item", unpickle);
+        let mut extractors = ExtractorRegistry::new();
+        extractors.register("item.uid", |o| typed::<Item>(o, |i| Key::U64(i.uid)));
+        extractors.register("item.score", |o| typed::<Item>(o, |i| Key::I64(i.score)));
+        if create {
+            CollectionStore::create(chunks, classes, extractors, ObjectStoreConfig::default())
+        } else {
+            CollectionStore::open(chunks, classes, extractors, ObjectStoreConfig::default())
+        }
+        .unwrap()
+    };
+
+    let cs = mk(true);
+    let t = cs.begin();
+    let c = t
+        .create_collection("items", &[IndexSpec::new("uid", "item.uid", true, IndexKind::Hash)])
+        .unwrap();
+    for uid in 0..5000u64 {
+        c.insert(Box::new(Item { uid, score: (uid % 97) as i64 })).unwrap();
+    }
+    drop(c);
+    t.commit(true).unwrap();
+    drop(cs);
+
+    let cs = mk(false);
+    let t = cs.begin();
+    let c = t.read_collection("items").unwrap();
+    assert_eq!(c.len().unwrap(), 5000);
+    for uid in (0..5000u64).step_by(271) {
+        let it = c.exact("uid", &Key::U64(uid)).unwrap();
+        assert_eq!(it.result_len(), 1, "uid {uid}");
+        let item = it.read::<Item>().unwrap();
+        assert_eq!(item.get().uid, uid);
+        drop(item);
+        it.close().unwrap();
+    }
+}

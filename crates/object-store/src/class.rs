@@ -1,0 +1,191 @@
+//! Persistent classes and the unpickler registry.
+//!
+//! "Each subclass must also provide a class id that is unique across all
+//! object classes and persists across system restarts. The subclass must
+//! register its unpickling constructor with the object store under its
+//! class id." (paper §4.1)
+
+use crate::error::{ObjectStoreError, Result};
+use crate::pickle::{PickleError, Pickler, Unpickler};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Persistent class identifier; must be stable across program runs.
+pub type ClassId = u32;
+
+/// A persistently storable object — the analog of subclassing the paper's
+/// `Object` class.
+///
+/// Implementations provide a stable [`class_id`](Persistent::class_id), a
+/// [`pickle`](Persistent::pickle) method, and `Any` plumbing for checked
+/// downcasts (use [`impl_persistent_boilerplate!`](crate::impl_persistent_boilerplate)
+/// for the non-pickle parts). The matching unpickle function is registered
+/// in a [`ClassRegistry`].
+pub trait Persistent: Any + Send + Sync {
+    /// Stable unique class id.
+    fn class_id(&self) -> ClassId;
+
+    /// Serialize the object's state.
+    fn pickle(&self, w: &mut Pickler);
+
+    /// `Any` upcast for checked downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable `Any` upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements the `class_id`/`as_any`/`as_any_mut` boilerplate of
+/// [`Persistent`]; the implementer writes only `pickle`.
+///
+/// ```ignore
+/// impl Persistent for Meter {
+///     impl_persistent_boilerplate!(0x0001_0001);
+///     fn pickle(&self, w: &mut Pickler) { w.u32(self.count); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_persistent_boilerplate {
+    ($class_id:expr) => {
+        fn class_id(&self) -> $crate::ClassId {
+            $class_id
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    };
+}
+
+/// An unpickling constructor: bytes → freshly allocated object.
+pub type UnpickleFn = fn(&mut Unpickler<'_>) -> std::result::Result<Box<dyn Persistent>, PickleError>;
+
+/// Registry of unpickling constructors by class id (paper §4.1).
+#[derive(Default)]
+pub struct ClassRegistry {
+    classes: HashMap<ClassId, (&'static str, UnpickleFn)>,
+}
+
+impl ClassRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a class. Panics on a duplicate id — ids must be "unique
+    /// across all object classes", and colliding ids are a programming
+    /// error best caught at startup.
+    pub fn register(&mut self, id: ClassId, name: &'static str, unpickle: UnpickleFn) -> &mut Self {
+        if let Some((existing, _)) = self.classes.get(&id) {
+            panic!("class id {id:#x} registered twice: {existing} and {name}");
+        }
+        self.classes.insert(id, (name, unpickle));
+        self
+    }
+
+    /// Whether a class id is known.
+    pub fn contains(&self, id: ClassId) -> bool {
+        self.classes.contains_key(&id)
+    }
+
+    /// Human-readable name of a registered class.
+    pub fn name_of(&self, id: ClassId) -> Option<&'static str> {
+        self.classes.get(&id).map(|(n, _)| *n)
+    }
+
+    /// Unpickle an object: reads the class-id header written by
+    /// [`pickle_object`] and dispatches to the registered constructor.
+    pub fn unpickle_object(&self, bytes: &[u8]) -> Result<Box<dyn Persistent>> {
+        let mut r = Unpickler::new(bytes);
+        let class_id = r.u32().map_err(ObjectStoreError::Unpickle)?;
+        let (_, unpickle) = self
+            .classes
+            .get(&class_id)
+            .ok_or(ObjectStoreError::ClassNotRegistered(class_id))?;
+        let obj = unpickle(&mut r).map_err(ObjectStoreError::Unpickle)?;
+        r.finish().map_err(ObjectStoreError::Unpickle)?;
+        if obj.class_id() != class_id {
+            return Err(ObjectStoreError::Unpickle(PickleError(format!(
+                "unpickler for class {class_id:#x} produced an object claiming class {:#x}",
+                obj.class_id()
+            ))));
+        }
+        Ok(obj)
+    }
+}
+
+/// Pickle an object with its class-id header — the stored representation.
+/// "The pickled state of each object includes the id of its class" (§4.2.2).
+pub fn pickle_object(obj: &dyn Persistent) -> Vec<u8> {
+    let mut w = Pickler::new();
+    w.u32(obj.class_id());
+    obj.pickle(&mut w);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        n: u32,
+    }
+
+    impl Persistent for Counter {
+        impl_persistent_boilerplate!(0xC0);
+        fn pickle(&self, w: &mut Pickler) {
+            w.u32(self.n);
+        }
+    }
+
+    fn unpickle_counter(
+        r: &mut Unpickler<'_>,
+    ) -> std::result::Result<Box<dyn Persistent>, PickleError> {
+        Ok(Box::new(Counter { n: r.u32()? }))
+    }
+
+    #[test]
+    fn pickle_unpickle_via_registry() {
+        let mut reg = ClassRegistry::new();
+        reg.register(0xC0, "Counter", unpickle_counter);
+        assert!(reg.contains(0xC0));
+        assert_eq!(reg.name_of(0xC0), Some("Counter"));
+
+        let bytes = pickle_object(&Counter { n: 7 });
+        let obj = reg.unpickle_object(&bytes).unwrap();
+        let c = obj.as_any().downcast_ref::<Counter>().unwrap();
+        assert_eq!(c.n, 7);
+    }
+
+    #[test]
+    fn unknown_class_is_reported() {
+        let reg = ClassRegistry::new();
+        let bytes = pickle_object(&Counter { n: 7 });
+        assert!(matches!(
+            reg.unpickle_object(&bytes),
+            Err(ObjectStoreError::ClassNotRegistered(0xC0))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut reg = ClassRegistry::new();
+        reg.register(0xC0, "Counter", unpickle_counter);
+        let mut bytes = pickle_object(&Counter { n: 7 });
+        bytes.push(0xEE);
+        assert!(matches!(
+            reg.unpickle_object(&bytes),
+            Err(ObjectStoreError::Unpickle(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = ClassRegistry::new();
+        reg.register(0xC0, "Counter", unpickle_counter);
+        reg.register(0xC0, "Other", unpickle_counter);
+    }
+}

@@ -1,0 +1,100 @@
+//! Object store errors.
+
+use crate::class::ClassId;
+use crate::ObjectId;
+use std::fmt;
+
+/// Result alias for object store operations.
+pub type Result<T> = std::result::Result<T, ObjectStoreError>;
+
+/// Errors from the object store.
+#[derive(Debug)]
+pub enum ObjectStoreError {
+    /// No object with this id exists.
+    NotFound(ObjectId),
+    /// The object exists but is not of the requested type — the Rust analog
+    /// of the paper's checked runtime error when constructing a
+    /// `Ref<MyObject>` from an incompatible object.
+    TypeMismatch {
+        /// Id of the object.
+        id: ObjectId,
+        /// Class id actually stored.
+        found: ClassId,
+    },
+    /// A lock could not be acquired within the timeout. The paper breaks
+    /// potential deadlocks exactly this way: "a blocked call raises an
+    /// exception after a timeout interval" (§4.1). The application may
+    /// retry the operation or abort the transaction.
+    LockTimeout(ObjectId),
+    /// The transaction already committed or aborted.
+    TransactionInactive,
+    /// An object's stored class id has no registered unpickler.
+    ClassNotRegistered(ClassId),
+    /// The stored bytes do not unpickle as the registered class claims.
+    Unpickle(crate::pickle::PickleError),
+    /// Error from the chunk store (including tamper/replay detection).
+    Chunk(chunk_store::ChunkStoreError),
+}
+
+impl fmt::Display for ObjectStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectStoreError::NotFound(id) => write!(f, "object {id:?} not found"),
+            ObjectStoreError::TypeMismatch { id, found } => {
+                write!(f, "object {id:?} has class id {found:#x}, not the requested type")
+            }
+            ObjectStoreError::LockTimeout(id) => {
+                write!(f, "timed out waiting for a lock on {id:?} (possible deadlock)")
+            }
+            ObjectStoreError::TransactionInactive => {
+                write!(f, "transaction already committed or aborted")
+            }
+            ObjectStoreError::ClassNotRegistered(cid) => {
+                write!(f, "no unpickler registered for class id {cid:#x}")
+            }
+            ObjectStoreError::Unpickle(e) => write!(f, "unpickling failed: {e}"),
+            ObjectStoreError::Chunk(e) => write!(f, "chunk store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObjectStoreError::Chunk(e) => Some(e),
+            ObjectStoreError::Unpickle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<chunk_store::ChunkStoreError> for ObjectStoreError {
+    fn from(e: chunk_store::ChunkStoreError) -> Self {
+        match e {
+            chunk_store::ChunkStoreError::NotAllocated(id)
+            | chunk_store::ChunkStoreError::NotWritten(id) => ObjectStoreError::NotFound(id),
+            other => ObjectStoreError::Chunk(other),
+        }
+    }
+}
+
+impl From<crate::pickle::PickleError> for ObjectStoreError {
+    fn from(e: crate::pickle::PickleError) -> Self {
+        ObjectStoreError::Unpickle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ObjectStoreError =
+            chunk_store::ChunkStoreError::NotAllocated(crate::ChunkId(3)).into();
+        assert!(matches!(e, ObjectStoreError::NotFound(_)));
+        let e: ObjectStoreError = chunk_store::ChunkStoreError::TamperDetected("x".into()).into();
+        assert!(matches!(e, ObjectStoreError::Chunk(_)));
+        assert!(ObjectStoreError::LockTimeout(crate::ChunkId(1)).to_string().contains("deadlock"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Transactional lock manager: strict two-phase shared/exclusive object
+//! locks with a deadlock-breaking timeout (paper §4.1, §4.2.3).
+//!
+//! The object store "provides transactional isolation using shared/
+//! exclusive locks over objects". There is no granular locking and no
+//! deadlock graph — "a blocked call raises an exception after a timeout
+//! interval, thus breaking potential deadlocks", which is the right
+//! complexity trade-off for a single-user DRM workload.
+//!
+//! The manager has its own mutex + condvar, separate from the object
+//! store's state mutex, reproducing §4.2.3's rule that the state mutex is
+//! released while a thread waits on a transactional lock.
+
+use crate::error::{ObjectStoreError, Result};
+use crate::ObjectId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+/// Identifier of a lock owner (a transaction).
+pub type TxnId = u64;
+
+#[derive(Default)]
+struct LockTable {
+    /// Per-object holders and their mode.
+    locks: HashMap<u64, HashMap<TxnId, LockMode>>,
+}
+
+impl LockTable {
+    /// Whether `txn` may acquire `mode` on `oid` right now.
+    fn grantable(&self, oid: u64, txn: TxnId, mode: LockMode) -> bool {
+        let Some(holders) = self.locks.get(&oid) else { return true };
+        match mode {
+            LockMode::Shared => holders
+                .iter()
+                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => holders.keys().all(|t| *t == txn),
+        }
+    }
+
+    fn grant(&mut self, oid: u64, txn: TxnId, mode: LockMode) {
+        let holders = self.locks.entry(oid).or_default();
+        let slot = holders.entry(txn).or_insert(mode);
+        // Upgrades stick; downgrades don't (strict 2PL keeps the strongest
+        // mode until release).
+        if mode == LockMode::Exclusive {
+            *slot = LockMode::Exclusive;
+        }
+    }
+}
+
+/// The lock manager.
+pub struct LockManager {
+    table: Mutex<LockTable>,
+    cond: Condvar,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Fresh manager.
+    pub fn new() -> Self {
+        LockManager { table: Mutex::new(LockTable::default()), cond: Condvar::new() }
+    }
+
+    /// Acquire `mode` on `oid` for `txn`, waiting up to `timeout`.
+    /// Re-acquiring a held mode (or a weaker one) is a no-op; holding
+    /// `Shared` and requesting `Exclusive` upgrades (waiting for other
+    /// readers to drain).
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut table = self.table.lock();
+        loop {
+            if table.grantable(oid.0, txn, mode) {
+                table.grant(oid.0, txn, mode);
+                return Ok(());
+            }
+            if self.cond.wait_until(&mut table, deadline).timed_out() {
+                return Err(ObjectStoreError::LockTimeout(oid));
+            }
+        }
+    }
+
+    /// Release every lock `txn` holds (strict 2PL: all at end of
+    /// transaction, never earlier).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut table = self.table.lock();
+        table.locks.retain(|_, holders| {
+            holders.remove(&txn);
+            !holders.is_empty()
+        });
+        drop(table);
+        self.cond.notify_all();
+    }
+
+    /// Mode `txn` holds on `oid`, if any (test/diagnostic aid).
+    pub fn held(&self, txn: TxnId, oid: ObjectId) -> Option<LockMode> {
+        self.table.lock().locks.get(&oid.0).and_then(|h| h.get(&txn)).copied()
+    }
+
+    /// Number of objects currently locked (diagnostics).
+    pub fn locked_objects(&self) -> usize {
+        self.table.lock().locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_millis(50);
+    const LONG: Duration = Duration::from_secs(5);
+
+    fn oid(n: u64) -> ObjectId {
+        crate::ChunkId(n)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.acquire(1, oid(9), LockMode::Shared, T).unwrap();
+        lm.acquire(2, oid(9), LockMode::Shared, T).unwrap();
+        assert_eq!(lm.held(1, oid(9)), Some(LockMode::Shared));
+        assert_eq!(lm.held(2, oid(9)), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_excludes() {
+        let lm = LockManager::new();
+        lm.acquire(1, oid(9), LockMode::Exclusive, T).unwrap();
+        assert!(matches!(
+            lm.acquire(2, oid(9), LockMode::Shared, T),
+            Err(ObjectStoreError::LockTimeout(_))
+        ));
+        assert!(matches!(
+            lm.acquire(2, oid(9), LockMode::Exclusive, T),
+            Err(ObjectStoreError::LockTimeout(_))
+        ));
+        // Different object is fine.
+        lm.acquire(2, oid(10), LockMode::Exclusive, T).unwrap();
+    }
+
+    #[test]
+    fn reacquire_and_upgrade() {
+        let lm = LockManager::new();
+        lm.acquire(1, oid(1), LockMode::Shared, T).unwrap();
+        lm.acquire(1, oid(1), LockMode::Shared, T).unwrap();
+        lm.acquire(1, oid(1), LockMode::Exclusive, T).unwrap(); // sole holder upgrade
+        assert_eq!(lm.held(1, oid(1)), Some(LockMode::Exclusive));
+        // Exclusive then shared request keeps exclusive.
+        lm.acquire(1, oid(1), LockMode::Shared, T).unwrap();
+        assert_eq!(lm.held(1, oid(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let lm = LockManager::new();
+        lm.acquire(1, oid(1), LockMode::Shared, T).unwrap();
+        lm.acquire(2, oid(1), LockMode::Shared, T).unwrap();
+        assert!(matches!(
+            lm.acquire(1, oid(1), LockMode::Exclusive, T),
+            Err(ObjectStoreError::LockTimeout(_))
+        ));
+    }
+
+    #[test]
+    fn release_wakes_waiters() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, oid(5), LockMode::Exclusive, T).unwrap();
+        let lm2 = lm.clone();
+        let waiter = std::thread::spawn(move || lm2.acquire(2, oid(5), LockMode::Exclusive, LONG));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(1);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(lm.held(2, oid(5)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn deadlock_broken_by_timeout() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, oid(1), LockMode::Exclusive, T).unwrap();
+        lm.acquire(2, oid(2), LockMode::Exclusive, T).unwrap();
+        let lm2 = lm.clone();
+        let t2 = std::thread::spawn(move || lm2.acquire(2, oid(1), LockMode::Exclusive, T));
+        // Txn 1 wants 2's object; classic cycle, one side must time out.
+        let r1 = lm.acquire(1, oid(2), LockMode::Exclusive, T);
+        let r2 = t2.join().unwrap();
+        assert!(r1.is_err() || r2.is_err());
+    }
+
+    #[test]
+    fn release_all_clears_table() {
+        let lm = LockManager::new();
+        lm.acquire(1, oid(1), LockMode::Shared, T).unwrap();
+        lm.acquire(1, oid(2), LockMode::Exclusive, T).unwrap();
+        assert_eq!(lm.locked_objects(), 2);
+        lm.release_all(1);
+        assert_eq!(lm.locked_objects(), 0);
+        assert_eq!(lm.held(1, oid(1)), None);
+    }
+
+    #[test]
+    fn contended_counter_serializes() {
+        let lm = Arc::new(LockManager::new());
+        let counter = Arc::new(Mutex::new(0u32));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let lm = lm.clone();
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        lm.acquire(t, oid(0), LockMode::Exclusive, LONG).unwrap();
+                        {
+                            let mut c = counter.lock();
+                            let v = *c;
+                            std::thread::yield_now();
+                            *c = v + 1;
+                        }
+                        lm.release_all(t);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 400);
+    }
+}

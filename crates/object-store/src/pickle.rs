@@ -1,0 +1,342 @@
+//! Explicit pickling: the portable byte format for persistent objects.
+//!
+//! "Subclasses of Object must implement a method to pickle an object into a
+//! sequence of bytes, and a constructor to unpickle an object from a
+//! sequence of bytes … The application may choose to pickle objects in an
+//! architecture-independent format" (paper §4.1). The helpers here *are*
+//! architecture-independent (little-endian, length-prefixed), so a database
+//! written on one platform opens on another — and "TDB provides
+//! implementations of pickling and unpickling operations for basic types",
+//! which is what the method pairs below reproduce.
+
+use std::fmt;
+
+/// Error from unpickling malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PickleError(pub String);
+
+impl fmt::Display for PickleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for PickleError {}
+
+/// Serializer for object state.
+#[derive(Default)]
+pub struct Pickler {
+    buf: Vec<u8>,
+}
+
+impl Pickler {
+    /// Fresh empty pickler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finished bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Write a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` (IEEE-754 bits).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Write length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Write an object id.
+    pub fn object_id(&mut self, id: crate::ObjectId) {
+        self.u64(id.0);
+    }
+
+    /// Write `Some`/`None` followed by the value.
+    pub fn option<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                f(self, x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Write a length-prefixed sequence.
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.u32(items.len() as u32);
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// Deserializer for object state. All reads are bounds-checked: the bytes
+/// passed tamper validation, but an application bug (or schema change)
+/// must fail cleanly, not panic.
+pub struct Unpickler<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Unpickler<'a> {
+    /// Wrap pickled bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Unpickler { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PickleError> {
+        if self.remaining() < n {
+            return Err(PickleError(format!(
+                "needed {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, PickleError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `bool`.
+    pub fn bool(&mut self) -> Result<bool, PickleError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PickleError(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, PickleError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, PickleError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, PickleError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read an `i32`.
+    pub fn i32(&mut self) -> Result<i32, PickleError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, PickleError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, PickleError> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.take(8)?.try_into().expect("8"))))
+    }
+
+    /// Read length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], PickleError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, PickleError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| PickleError("invalid UTF-8".into()))
+    }
+
+    /// Read an object id.
+    pub fn object_id(&mut self) -> Result<crate::ObjectId, PickleError> {
+        Ok(crate::ChunkId(self.u64()?))
+    }
+
+    /// Read an `Option`.
+    pub fn option<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, PickleError>,
+    ) -> Result<Option<T>, PickleError> {
+        if self.bool()? {
+            Ok(Some(f(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a length-prefixed sequence.
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, PickleError>,
+    ) -> Result<Vec<T>, PickleError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            // Each element needs at least one byte... except zero-sized
+            // encodings; cap against the obvious bomb anyway.
+            if n > self.remaining().saturating_mul(8).max(1024) {
+                return Err(PickleError(format!("implausible sequence length {n}")));
+            }
+        }
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Assert all bytes were consumed (schema drift check).
+    pub fn finish(self) -> Result<(), PickleError> {
+        if self.remaining() != 0 {
+            return Err(PickleError(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut p = Pickler::new();
+        p.u8(7);
+        p.bool(true);
+        p.u16(65535);
+        p.u32(123456);
+        p.u64(u64::MAX);
+        p.i32(-5);
+        p.i64(i64::MIN);
+        p.f64(3.25);
+        p.bytes(b"raw");
+        p.string("héllo");
+        p.object_id(crate::ChunkId(42));
+        let bytes = p.into_bytes();
+
+        let mut u = Unpickler::new(&bytes);
+        assert_eq!(u.u8().unwrap(), 7);
+        assert!(u.bool().unwrap());
+        assert_eq!(u.u16().unwrap(), 65535);
+        assert_eq!(u.u32().unwrap(), 123456);
+        assert_eq!(u.u64().unwrap(), u64::MAX);
+        assert_eq!(u.i32().unwrap(), -5);
+        assert_eq!(u.i64().unwrap(), i64::MIN);
+        assert_eq!(u.f64().unwrap(), 3.25);
+        assert_eq!(u.bytes().unwrap(), b"raw");
+        assert_eq!(u.string().unwrap(), "héllo");
+        assert_eq!(u.object_id().unwrap(), crate::ChunkId(42));
+        u.finish().unwrap();
+    }
+
+    #[test]
+    fn option_and_seq_roundtrip() {
+        let mut p = Pickler::new();
+        p.option(&Some(9u32), |p, v| p.u32(*v));
+        p.option(&None::<u32>, |p, v| p.u32(*v));
+        p.seq(&[1u64, 2, 3], |p, v| p.u64(*v));
+        let bytes = p.into_bytes();
+
+        let mut u = Unpickler::new(&bytes);
+        assert_eq!(u.option(|u| u.u32()).unwrap(), Some(9));
+        assert_eq!(u.option(|u| u.u32()).unwrap(), None);
+        assert_eq!(u.seq(|u| u.u64()).unwrap(), vec![1, 2, 3]);
+        u.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_fail_cleanly() {
+        let mut p = Pickler::new();
+        p.string("hello");
+        let bytes = p.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Unpickler::new(&bytes[..cut]).string().is_err(), "cut {cut}");
+        }
+        // Bad bool byte.
+        assert!(Unpickler::new(&[9]).bool().is_err());
+        // Bad UTF-8.
+        let mut p = Pickler::new();
+        p.bytes(&[0xFF, 0xFE]);
+        assert!(Unpickler::new(&p.into_bytes()).string().is_err());
+        // Trailing bytes flagged.
+        assert!(Unpickler::new(&[0, 1]).finish().is_err());
+        // Absurd sequence length rejected without OOM.
+        let mut p = Pickler::new();
+        p.u32(u32::MAX);
+        assert!(Unpickler::new(&p.into_bytes()).seq(|u| u.u64()).is_err());
+    }
+
+    #[test]
+    fn f64_nan_roundtrips_bitwise() {
+        let mut p = Pickler::new();
+        p.f64(f64::NAN);
+        let bytes = p.into_bytes();
+        assert!(Unpickler::new(&bytes).f64().unwrap().is_nan());
+    }
+}

@@ -1,0 +1,112 @@
+//! Smart references to opened objects.
+//!
+//! "A Ref is valid only until the transaction it was generated in is
+//! committed or aborted; any attempt to use the Ref further results in a
+//! checked runtime error. This means that each transaction must start
+//! navigating objects from the root; it cannot retain object references
+//! across transactions." (paper §4.1)
+//!
+//! [`ReadonlyRef::get`] / [`WritableRef::get_mut`] panic after the owning
+//! transaction ends (the Rust analog of the paper's checked runtime error);
+//! the `try_*` variants return [`ObjectStoreError::TransactionInactive`]
+//! for applications that prefer recoverable handling.
+
+use crate::error::{ObjectStoreError, Result};
+use crate::store::ObjectCell;
+use crate::txn::TxnCore;
+use crate::{ObjectId, Persistent};
+use parking_lot::{MappedRwLockReadGuard, MappedRwLockWriteGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A reference to an object opened in read-only mode. Provides access "to
+/// a const object" — only shared access is possible through it.
+pub struct ReadonlyRef<T: Persistent> {
+    pub(crate) cell: Arc<ObjectCell>,
+    pub(crate) txn: Arc<TxnCore>,
+    pub(crate) _p: PhantomData<fn() -> T>,
+}
+
+impl<T: Persistent> ReadonlyRef<T> {
+    /// The referenced object's id.
+    pub fn id(&self) -> ObjectId {
+        self.cell.id
+    }
+
+    /// Whether the owning transaction is still active (the ref usable).
+    pub fn is_valid(&self) -> bool {
+        self.txn.active.load(Ordering::Acquire)
+    }
+
+    /// Borrow the object. Errors if the transaction has ended.
+    pub fn try_get(&self) -> Result<MappedRwLockReadGuard<'_, T>> {
+        if !self.is_valid() {
+            return Err(ObjectStoreError::TransactionInactive);
+        }
+        let guard = self.cell.data.read();
+        Ok(RwLockReadGuard::map(guard, |obj| {
+            obj.as_any().downcast_ref::<T>().expect("type checked at open")
+        }))
+    }
+
+    /// Borrow the object. Panics if the transaction has ended — the
+    /// checked runtime error of paper §4.1.
+    pub fn get(&self) -> MappedRwLockReadGuard<'_, T> {
+        self.try_get()
+            .expect("Ref used after its transaction committed or aborted")
+    }
+}
+
+/// A reference to an object opened in read-write mode.
+pub struct WritableRef<T: Persistent> {
+    pub(crate) cell: Arc<ObjectCell>,
+    pub(crate) txn: Arc<TxnCore>,
+    pub(crate) _p: PhantomData<fn() -> T>,
+}
+
+impl<T: Persistent> WritableRef<T> {
+    /// The referenced object's id.
+    pub fn id(&self) -> ObjectId {
+        self.cell.id
+    }
+
+    /// Whether the owning transaction is still active.
+    pub fn is_valid(&self) -> bool {
+        self.txn.active.load(Ordering::Acquire)
+    }
+
+    /// Borrow the object immutably.
+    pub fn try_get(&self) -> Result<MappedRwLockReadGuard<'_, T>> {
+        if !self.is_valid() {
+            return Err(ObjectStoreError::TransactionInactive);
+        }
+        let guard = self.cell.data.read();
+        Ok(RwLockReadGuard::map(guard, |obj| {
+            obj.as_any().downcast_ref::<T>().expect("type checked at open")
+        }))
+    }
+
+    /// Borrow the object immutably; panics after transaction end.
+    pub fn get(&self) -> MappedRwLockReadGuard<'_, T> {
+        self.try_get()
+            .expect("Ref used after its transaction committed or aborted")
+    }
+
+    /// Borrow the object mutably. Errors if the transaction has ended.
+    pub fn try_get_mut(&self) -> Result<MappedRwLockWriteGuard<'_, T>> {
+        if !self.is_valid() {
+            return Err(ObjectStoreError::TransactionInactive);
+        }
+        let guard = self.cell.data.write();
+        Ok(RwLockWriteGuard::map(guard, |obj| {
+            obj.as_any_mut().downcast_mut::<T>().expect("type checked at open")
+        }))
+    }
+
+    /// Borrow the object mutably; panics after transaction end.
+    pub fn get_mut(&self) -> MappedRwLockWriteGuard<'_, T> {
+        self.try_get_mut()
+            .expect("Ref used after its transaction committed or aborted")
+    }
+}

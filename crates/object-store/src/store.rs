@@ -1,0 +1,384 @@
+//! The object store: cache, roots, and transaction factory.
+
+use crate::class::{ClassRegistry, Persistent};
+use crate::error::{ObjectStoreError, Result};
+use crate::locks::LockManager;
+use crate::pickle::{Pickler, Unpickler};
+use crate::txn::{Transaction, TxnCore};
+use crate::{ChunkId, ObjectId};
+use chunk_store::ChunkStore;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for the object store.
+#[derive(Clone, Debug)]
+pub struct ObjectStoreConfig {
+    /// Enable transactional locking. "The application may even switch off
+    /// locking to avoid the locking overhead in the absence of concurrent
+    /// transactions." (paper §4.2.3)
+    pub locking: bool,
+    /// How long a lock acquisition waits before breaking a potential
+    /// deadlock with [`ObjectStoreError::LockTimeout`].
+    pub lock_timeout: Duration,
+    /// Object cache budget in (approximate, pickled) bytes. The paper's
+    /// evaluation used a 4 MB cache (§7.2).
+    pub cache_budget: usize,
+}
+
+impl Default for ObjectStoreConfig {
+    fn default() -> Self {
+        ObjectStoreConfig {
+            locking: true,
+            lock_timeout: Duration::from_millis(1000),
+            cache_budget: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A cached object: the unpickled, decrypted, validated, type-checked form
+/// ready for direct application access (§4.2.2's argument for caching
+/// objects rather than chunks).
+pub(crate) struct ObjectCell {
+    pub(crate) id: ObjectId,
+    pub(crate) data: RwLock<Box<dyn Persistent>>,
+    /// Dirty objects are pinned in the cache until their transaction
+    /// commits — the no-steal policy (§4.2.2).
+    pub(crate) dirty: AtomicBool,
+    /// Approximate pickled size for cache accounting.
+    pub(crate) size: AtomicUsize,
+}
+
+struct CacheSlot {
+    cell: Arc<ObjectCell>,
+    tick: u64,
+}
+
+pub(crate) struct StoreState {
+    cache: HashMap<u64, CacheSlot>,
+    tick: u64,
+    cache_bytes: usize,
+    /// Named root object ids, persisted in the reserved roots chunk.
+    pub(crate) roots: HashMap<String, ObjectId>,
+    next_txn: u64,
+    /// Cache statistics.
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) evictions: u64,
+}
+
+pub(crate) struct OsInner {
+    pub(crate) chunks: Arc<ChunkStore>,
+    pub(crate) registry: ClassRegistry,
+    pub(crate) state: Mutex<StoreState>,
+    pub(crate) locks: LockManager,
+    pub(crate) cfg: ObjectStoreConfig,
+    pub(crate) roots_chunk: ObjectId,
+}
+
+/// The object store handle (cheap to clone; all clones share state).
+#[derive(Clone)]
+pub struct ObjectStore {
+    pub(crate) inner: Arc<OsInner>,
+}
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Objects served from cache.
+    pub hits: u64,
+    /// Objects fetched (and unpickled) from the chunk store.
+    pub misses: u64,
+    /// Objects evicted under cache pressure.
+    pub evictions: u64,
+    /// Current approximate cache occupancy in bytes.
+    pub bytes: u64,
+    /// Currently cached objects.
+    pub objects: u64,
+}
+
+const ROOTS_MAGIC: u32 = 0x54_44_42_52; // "TDBR"
+
+impl ObjectStore {
+    /// Create an object store over a **fresh** chunk store. Reserves chunk
+    /// id 0 for the persistent root registry.
+    pub fn create(
+        chunks: Arc<ChunkStore>,
+        registry: ClassRegistry,
+        cfg: ObjectStoreConfig,
+    ) -> Result<Self> {
+        let roots_chunk = chunks.allocate_chunk_id()?;
+        if roots_chunk.0 != 0 {
+            return Err(ObjectStoreError::Chunk(
+                chunk_store::ChunkStoreError::ConfigMismatch(
+                    "ObjectStore::create requires a fresh chunk store (roots chunk must be id 0)"
+                        .into(),
+                ),
+            ));
+        }
+        let store = Self::build(chunks, registry, cfg, roots_chunk);
+        store.persist_roots_locked(&HashMap::new())?;
+        store.inner.chunks.commit(true)?;
+        Ok(store)
+    }
+
+    /// Open an object store over an existing chunk store.
+    pub fn open(
+        chunks: Arc<ChunkStore>,
+        registry: ClassRegistry,
+        cfg: ObjectStoreConfig,
+    ) -> Result<Self> {
+        let roots_chunk = ChunkId(0);
+        let bytes = chunks.read(roots_chunk)?;
+        let roots = Self::unpickle_roots(&bytes)?;
+        let store = Self::build(chunks, registry, cfg, roots_chunk);
+        store.inner.state.lock().roots = roots;
+        Ok(store)
+    }
+
+    fn build(
+        chunks: Arc<ChunkStore>,
+        registry: ClassRegistry,
+        cfg: ObjectStoreConfig,
+        roots_chunk: ObjectId,
+    ) -> Self {
+        ObjectStore {
+            inner: Arc::new(OsInner {
+                chunks,
+                registry,
+                state: Mutex::new(StoreState {
+                    cache: HashMap::new(),
+                    tick: 0,
+                    cache_bytes: 0,
+                    roots: HashMap::new(),
+                    next_txn: 1,
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                }),
+                locks: LockManager::new(),
+                cfg,
+                roots_chunk,
+            }),
+        }
+    }
+
+    fn unpickle_roots(bytes: &[u8]) -> Result<HashMap<String, ObjectId>> {
+        let mut r = Unpickler::new(bytes);
+        let magic = r.u32().map_err(ObjectStoreError::Unpickle)?;
+        if magic != ROOTS_MAGIC {
+            return Err(ObjectStoreError::Unpickle(crate::pickle::PickleError(
+                "bad roots chunk magic".into(),
+            )));
+        }
+        let n = r.u32().map_err(ObjectStoreError::Unpickle)? as usize;
+        let mut roots = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = r.string().map_err(ObjectStoreError::Unpickle)?;
+            let id = r.object_id().map_err(ObjectStoreError::Unpickle)?;
+            roots.insert(name, id);
+        }
+        r.finish().map_err(ObjectStoreError::Unpickle)?;
+        Ok(roots)
+    }
+
+    /// Stage the roots chunk write (caller commits).
+    pub(crate) fn persist_roots_locked(&self, roots: &HashMap<String, ObjectId>) -> Result<()> {
+        let mut w = Pickler::new();
+        w.u32(ROOTS_MAGIC);
+        let mut entries: Vec<(&String, &ObjectId)> = roots.iter().collect();
+        entries.sort();
+        w.u32(entries.len() as u32);
+        for (name, id) in entries {
+            w.string(name);
+            w.object_id(*id);
+        }
+        self.inner.chunks.write(self.inner.roots_chunk, &w.into_bytes())?;
+        Ok(())
+    }
+
+    /// Start a new transaction.
+    pub fn begin(&self) -> Transaction {
+        let id = {
+            let mut state = self.inner.state.lock();
+            let id = state.next_txn;
+            state.next_txn += 1;
+            id
+        };
+        Transaction::new(self.clone(), Arc::new(TxnCore::new(id)))
+    }
+
+    /// Read a registered root object id outside any transaction (roots are
+    /// store-level metadata; reading them does not need locks).
+    pub fn root(&self, name: &str) -> Option<ObjectId> {
+        self.inner.state.lock().roots.get(name).copied()
+    }
+
+    /// All registered root names.
+    pub fn root_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.state.lock().roots.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The underlying chunk store (for snapshots, backups, stats).
+    pub fn chunk_store(&self) -> &Arc<ChunkStore> {
+        &self.inner.chunks
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        let state = self.inner.state.lock();
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            bytes: state.cache_bytes as u64,
+            objects: state.cache.len() as u64,
+        }
+    }
+
+    /// Fetch a cell from cache or load (read + validate + decrypt +
+    /// unpickle) from the chunk store.
+    pub(crate) fn load_cell(&self, oid: ObjectId) -> Result<Arc<ObjectCell>> {
+        let mut state = self.inner.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(slot) = state.cache.get_mut(&oid.0) {
+            slot.tick = tick;
+            let cell = slot.cell.clone();
+            state.hits += 1;
+            return Ok(cell);
+        }
+        state.misses += 1;
+        drop(state); // do not hold the state mutex across chunk I/O
+        let bytes = self.inner.chunks.read(oid)?;
+        let obj = self.inner.registry.unpickle_object(&bytes)?;
+        let cell = Arc::new(ObjectCell {
+            id: oid,
+            data: RwLock::new(obj),
+            dirty: AtomicBool::new(false),
+            size: AtomicUsize::new(bytes.len()),
+        });
+        let mut state = self.inner.state.lock();
+        // Racing loaders: keep whichever got in first so all transactions
+        // share one cell per object.
+        if let Some(slot) = state.cache.get(&oid.0) {
+            return Ok(slot.cell.clone());
+        }
+        state.cache_bytes += bytes.len();
+        state.cache.insert(oid.0, CacheSlot { cell: cell.clone(), tick });
+        Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
+        Ok(cell)
+    }
+
+    /// Insert a fresh (dirty) cell for a newly inserted object.
+    pub(crate) fn install_cell(&self, cell: Arc<ObjectCell>) {
+        let mut state = self.inner.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        state.cache_bytes += cell.size.load(Ordering::Relaxed);
+        state.cache.insert(cell.id.0, CacheSlot { cell, tick });
+        Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
+    }
+
+    /// Drop an object from the cache (abort of a written object, or
+    /// removal).
+    pub(crate) fn evict_cell(&self, oid: ObjectId) {
+        let mut state = self.inner.state.lock();
+        if let Some(slot) = state.cache.remove(&oid.0) {
+            state.cache_bytes = state
+                .cache_bytes
+                .saturating_sub(slot.cell.size.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Update accounting after a commit re-pickled an object.
+    pub(crate) fn update_cell_size(&self, oid: ObjectId, new_size: usize) {
+        let mut state = self.inner.state.lock();
+        if let Some(slot) = state.cache.get(&oid.0) {
+            let old = slot.cell.size.swap(new_size, Ordering::Relaxed);
+            state.cache_bytes = state.cache_bytes.saturating_sub(old) + new_size;
+        }
+    }
+
+    /// LRU eviction of clean, unreferenced objects ("objects referenced by
+    /// the application are protected against eviction … using a reference
+    /// count", §4.2.2 — here the `Arc` strong count).
+    fn evict_over_budget(state: &mut StoreState, budget: usize) {
+        if state.cache_bytes <= budget {
+            return;
+        }
+        // Hysteresis: evict down to 90% of the budget so the (O(n log n))
+        // scan amortizes over many subsequent insertions instead of
+        // running on every operation at the boundary.
+        let budget = budget - budget / 10;
+        let mut candidates: Vec<(u64, u64)> = state
+            .cache
+            .iter()
+            .filter(|(_, slot)| {
+                Arc::strong_count(&slot.cell) == 1 && !slot.cell.dirty.load(Ordering::Acquire)
+            })
+            .map(|(id, slot)| (slot.tick, *id))
+            .collect();
+        candidates.sort_unstable();
+        for (_, id) in candidates {
+            if state.cache_bytes <= budget {
+                break;
+            }
+            if let Some(slot) = state.cache.remove(&id) {
+                state.cache_bytes = state
+                    .cache_bytes
+                    .saturating_sub(slot.cell.size.load(Ordering::Relaxed));
+                state.evictions += 1;
+            }
+        }
+    }
+
+    /// Run an eviction pass (called after commits release no-steal pins).
+    pub(crate) fn evict_pass(&self) {
+        let mut state = self.inner.state.lock();
+        Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
+    }
+
+    pub(crate) fn lock_timeout(&self) -> Duration {
+        self.inner.cfg.lock_timeout
+    }
+
+    pub(crate) fn locking(&self) -> bool {
+        self.inner.cfg.locking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_pickle_roundtrip() {
+        let mut roots = HashMap::new();
+        roots.insert("profile".to_string(), ChunkId(42));
+        roots.insert("collections".to_string(), ChunkId(7));
+        let mut w = Pickler::new();
+        w.u32(ROOTS_MAGIC);
+        let mut entries: Vec<_> = roots.iter().collect();
+        entries.sort();
+        w.u32(entries.len() as u32);
+        for (name, id) in entries {
+            w.string(name);
+            w.object_id(*id);
+        }
+        let parsed = ObjectStore::unpickle_roots(&w.into_bytes()).unwrap();
+        assert_eq!(parsed, roots);
+    }
+
+    #[test]
+    fn roots_bad_magic_rejected() {
+        let mut w = Pickler::new();
+        w.u32(0xDEAD);
+        w.u32(0);
+        assert!(ObjectStore::unpickle_roots(&w.into_bytes()).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Transactions over persistent objects (paper Fig. 3 / §4.2.3).
+
+use crate::class::pickle_object;
+use crate::error::{ObjectStoreError, Result};
+use crate::locks::LockMode;
+use crate::refs::{ReadonlyRef, WritableRef};
+use crate::store::{ObjectCell, ObjectStore};
+use crate::{ChunkId, ObjectId, Persistent};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared transaction state; `Ref`s hold it to check validity at deref.
+pub(crate) struct TxnCore {
+    pub(crate) id: u64,
+    pub(crate) active: AtomicBool,
+    pub(crate) sets: Mutex<TxnSets>,
+}
+
+impl TxnCore {
+    pub(crate) fn new(id: u64) -> Self {
+        TxnCore { id, active: AtomicBool::new(true), sets: Mutex::new(TxnSets::default()) }
+    }
+}
+
+/// "Each transaction remembers the ids of the objects inserted, read,
+/// written, and removed. These sets help avoid locking an object multiple
+/// times, and provide the identities of objects to be committed or removed
+/// at commit time." (§4.2.3)
+#[derive(Default)]
+pub(crate) struct TxnSets {
+    /// Objects inserted or opened writable (to pickle at commit).
+    pub written: BTreeMap<u64, Arc<ObjectCell>>,
+    /// Ids allocated by this transaction (returned to the pool on abort).
+    pub inserted: Vec<ObjectId>,
+    /// Objects removed (deallocated at commit).
+    pub removed: BTreeSet<u64>,
+    /// Ids read (diagnostic; locking dedup is handled by the lock table).
+    pub read: BTreeSet<u64>,
+    /// Root registry updates (`None` = unregister).
+    pub root_updates: HashMap<String, Option<ObjectId>>,
+}
+
+/// A transaction. Created by [`ObjectStore::begin`]; must end with
+/// [`commit`](Transaction::commit) or [`abort`](Transaction::abort)
+/// (dropping an active transaction aborts it).
+pub struct Transaction {
+    store: ObjectStore,
+    core: Arc<TxnCore>,
+}
+
+impl Transaction {
+    pub(crate) fn new(store: ObjectStore, core: Arc<TxnCore>) -> Self {
+        Transaction { store, core }
+    }
+
+    /// This transaction's numeric id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.core.id
+    }
+
+    /// Whether the transaction can still be used.
+    pub fn is_active(&self) -> bool {
+        self.core.active.load(Ordering::Acquire)
+    }
+
+    fn check_active(&self) -> Result<()> {
+        if self.is_active() {
+            Ok(())
+        } else {
+            Err(ObjectStoreError::TransactionInactive)
+        }
+    }
+
+    fn lock(&self, oid: ObjectId, mode: LockMode) -> Result<()> {
+        if self.store.locking() {
+            self.store
+                .inner
+                .locks
+                .acquire(self.core.id, oid, mode, self.store.lock_timeout())?;
+        }
+        Ok(())
+    }
+
+    /// Insert a new object; returns its persistent id (paper Fig. 3:
+    /// `insert`).
+    pub fn insert(&self, object: Box<dyn Persistent>) -> Result<ObjectId> {
+        self.check_active()?;
+        if !self.store.inner.registry.contains(object.class_id()) {
+            return Err(ObjectStoreError::ClassNotRegistered(object.class_id()));
+        }
+        let oid = self.store.inner.chunks.allocate_chunk_id()?;
+        self.lock(oid, LockMode::Exclusive)?;
+        let cell = Arc::new(ObjectCell {
+            id: oid,
+            data: RwLock::new(object),
+            dirty: AtomicBool::new(true),
+            size: AtomicUsize::new(256), // refined at commit
+        });
+        self.store.install_cell(cell.clone());
+        let mut sets = self.core.sets.lock();
+        sets.written.insert(oid.0, cell);
+        sets.inserted.push(oid);
+        Ok(oid)
+    }
+
+    fn open_cell(&self, oid: ObjectId, mode: LockMode) -> Result<Arc<ObjectCell>> {
+        self.check_active()?;
+        if self.core.sets.lock().removed.contains(&oid.0) {
+            return Err(ObjectStoreError::NotFound(oid));
+        }
+        self.lock(oid, mode)?;
+        self.store.load_cell(oid)
+    }
+
+    fn check_type<T: Persistent>(&self, cell: &Arc<ObjectCell>, oid: ObjectId) -> Result<()> {
+        let data = cell.data.read();
+        if data.as_any().downcast_ref::<T>().is_none() {
+            return Err(ObjectStoreError::TypeMismatch { id: oid, found: data.class_id() });
+        }
+        Ok(())
+    }
+
+    /// Open an object read-only with a shared lock (paper Fig. 3:
+    /// `openReadonly`). The type check replaces the paper's runtime-checked
+    /// `Ref` construction.
+    pub fn open_readonly<T: Persistent>(&self, oid: ObjectId) -> Result<ReadonlyRef<T>> {
+        let cell = self.open_cell(oid, LockMode::Shared)?;
+        self.check_type::<T>(&cell, oid)?;
+        self.core.sets.lock().read.insert(oid.0);
+        Ok(ReadonlyRef { cell, txn: self.core.clone(), _p: PhantomData })
+    }
+
+    /// Open an object read-write with an exclusive lock (paper Fig. 3:
+    /// `openWritable`). The object is marked dirty and pinned until the
+    /// transaction ends (no-steal).
+    pub fn open_writable<T: Persistent>(&self, oid: ObjectId) -> Result<WritableRef<T>> {
+        let cell = self.open_cell(oid, LockMode::Exclusive)?;
+        self.check_type::<T>(&cell, oid)?;
+        cell.dirty.store(true, Ordering::Release);
+        self.core.sets.lock().written.insert(oid.0, cell.clone());
+        Ok(WritableRef { cell, txn: self.core.clone(), _p: PhantomData })
+    }
+
+    /// Open an object read-only and apply `f` to it as a `dyn Persistent`
+    /// (shared lock held for the call). Used by layers that process objects
+    /// generically, e.g. the collection store applying extractor functions.
+    pub fn with_readonly<R>(
+        &self,
+        oid: ObjectId,
+        f: impl FnOnce(&dyn Persistent) -> R,
+    ) -> Result<R> {
+        let cell = self.open_cell(oid, LockMode::Shared)?;
+        self.core.sets.lock().read.insert(oid.0);
+        let guard = cell.data.read();
+        Ok(f(&**guard))
+    }
+
+    /// Class id of an object without naming its Rust type.
+    pub fn class_of(&self, oid: ObjectId) -> Result<crate::ClassId> {
+        self.with_readonly(oid, |obj| obj.class_id())
+    }
+
+    /// Remove an object and free its id for reuse (paper Fig. 3: `remove`).
+    pub fn remove(&self, oid: ObjectId) -> Result<()> {
+        self.check_active()?;
+        self.lock(oid, LockMode::Exclusive)?;
+        if !self.store.inner.chunks.is_allocated(oid) {
+            return Err(ObjectStoreError::NotFound(oid));
+        }
+        let mut sets = self.core.sets.lock();
+        if sets.removed.contains(&oid.0) {
+            return Err(ObjectStoreError::NotFound(oid));
+        }
+        sets.written.remove(&oid.0);
+        sets.removed.insert(oid.0);
+        Ok(())
+    }
+
+    /// Register (or update) a named root object id; applied at commit.
+    /// "The application can also register a 'root' object id with the
+    /// object store" (§4.1).
+    pub fn set_root(&self, name: &str, oid: ObjectId) -> Result<()> {
+        self.check_active()?;
+        self.core.sets.lock().root_updates.insert(name.to_string(), Some(oid));
+        Ok(())
+    }
+
+    /// Unregister a named root; applied at commit.
+    pub fn remove_root(&self, name: &str) -> Result<()> {
+        self.check_active()?;
+        self.core.sets.lock().root_updates.insert(name.to_string(), None);
+        Ok(())
+    }
+
+    /// Read a named root, seeing this transaction's pending updates.
+    pub fn root(&self, name: &str) -> Option<ObjectId> {
+        if let Some(update) = self.core.sets.lock().root_updates.get(name) {
+            return *update;
+        }
+        self.store.root(name)
+    }
+
+    /// Commit: pickle every inserted/written object into its chunk, apply
+    /// removals, and atomically commit at the chunk level. `durable`
+    /// matches the chunk store's durable/nondurable commit semantics.
+    /// Invalidates this transaction and all its `Ref`s.
+    pub fn commit(self, durable: bool) -> Result<()> {
+        self.check_active()?;
+        let sets = {
+            let mut sets = self.core.sets.lock();
+            std::mem::take(&mut *sets)
+        };
+        let chunks = &self.store.inner.chunks;
+
+        let result = (|| -> Result<Vec<(ObjectId, usize)>> {
+            let mut sizes = Vec::new();
+            for oid in &sets.removed {
+                chunks.deallocate(ChunkId(*oid))?;
+            }
+            for (oid, cell) in &sets.written {
+                if sets.removed.contains(oid) {
+                    continue;
+                }
+                let bytes = pickle_object(&**cell.data.read());
+                chunks.write(ChunkId(*oid), &bytes)?;
+                sizes.push((ChunkId(*oid), bytes.len()));
+            }
+            if !sets.root_updates.is_empty() {
+                let mut state = self.store.inner.state.lock();
+                for (name, update) in &sets.root_updates {
+                    match update {
+                        Some(id) => state.roots.insert(name.clone(), *id),
+                        None => state.roots.remove(name),
+                    };
+                }
+                let roots = state.roots.clone();
+                drop(state);
+                self.store.persist_roots_locked(&roots)?;
+            }
+            chunks.commit(durable)?;
+            Ok(sizes)
+        })();
+
+        match result {
+            Ok(sizes) => {
+                for (oid, cell) in &sets.written {
+                    cell.dirty.store(false, Ordering::Release);
+                    let _ = oid;
+                }
+                for oid in &sets.removed {
+                    self.store.evict_cell(ChunkId(*oid));
+                }
+                for (oid, size) in sizes {
+                    self.store.update_cell_size(oid, size);
+                }
+                // Release our Arc clones before the eviction pass, or the
+                // just-committed cells look externally referenced.
+                drop(sets);
+                self.finish();
+                self.store.evict_pass();
+                Ok(())
+            }
+            Err(e) => {
+                // Roll back the staged chunk operations and abort.
+                chunks.discard();
+                self.abort_with_sets(sets);
+                Err(e)
+            }
+        }
+    }
+
+    /// Undo all changes made during the transaction (paper Fig. 3:
+    /// `abort`). "The object store evicts all objects opened for writing
+    /// from the cache, deallocates the chunk ids corresponding to the
+    /// objects inserted, and releases all locks." (§4.2.3)
+    pub fn abort(self) {
+        let sets = {
+            let mut sets = self.core.sets.lock();
+            std::mem::take(&mut *sets)
+        };
+        self.abort_with_sets(sets);
+    }
+
+    fn abort_with_sets(&self, sets: TxnSets) {
+        for (oid, _) in sets.written {
+            self.store.evict_cell(ChunkId(oid));
+        }
+        self.store.inner.chunks.release_unwritten_ids(&sets.inserted);
+        self.finish();
+    }
+
+    /// Common end-of-transaction path: invalidate refs, release locks.
+    fn finish(&self) {
+        self.core.active.store(false, Ordering::Release);
+        if self.store.locking() {
+            self.store.inner.locks.release_all(self.core.id);
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if self.is_active() {
+            let sets = {
+                let mut sets = self.core.sets.lock();
+                std::mem::take(&mut *sets)
+            };
+            self.abort_with_sets(sets);
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! End-to-end object store tests: the paper's Figure 4 usage pattern,
+//! transactional semantics, ref invalidation, cache behaviour, concurrency.
+
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, ObjectId, ObjectStore, ObjectStoreConfig,
+    ObjectStoreError, Persistent, PickleError, Pickler, Unpickler,
+};
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+// --- the paper's Figure 4 classes -----------------------------------------
+
+const CLASS_METER: u32 = 0x4d455445;
+const CLASS_PROFILE: u32 = 0x50524f46;
+
+struct Meter {
+    view_count: i32,
+    print_count: i32,
+}
+
+impl Persistent for Meter {
+    impl_persistent_boilerplate!(CLASS_METER);
+    fn pickle(&self, w: &mut Pickler) {
+        w.i32(self.view_count);
+        w.i32(self.print_count);
+    }
+}
+
+fn unpickle_meter(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Meter { view_count: r.i32()?, print_count: r.i32()? }))
+}
+
+struct Profile {
+    meters: Vec<ObjectId>,
+}
+
+impl Persistent for Profile {
+    impl_persistent_boilerplate!(CLASS_PROFILE);
+    fn pickle(&self, w: &mut Pickler) {
+        w.seq(&self.meters, |w, id| w.object_id(*id));
+    }
+}
+
+fn unpickle_profile(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Profile { meters: r.seq(|r| r.object_id())? }))
+}
+
+fn registry() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.register(CLASS_METER, "Meter", unpickle_meter);
+    reg.register(CLASS_PROFILE, "Profile", unpickle_profile);
+    reg
+}
+
+struct Fixture {
+    mem: MemStore,
+    counter: VolatileCounter,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        Fixture { mem: MemStore::new(), counter: VolatileCounter::new() }
+    }
+
+    fn chunks_create(&self) -> Arc<ChunkStore> {
+        Arc::new(
+            ChunkStore::create(
+                Arc::new(self.mem.clone()),
+                &MemSecretStore::from_label("object-tests"),
+                Arc::new(self.counter.clone()),
+                ChunkStoreConfig::small_for_tests(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn chunks_open(&self) -> Arc<ChunkStore> {
+        Arc::new(
+            ChunkStore::open(
+                Arc::new(self.mem.clone()),
+                &MemSecretStore::from_label("object-tests"),
+                Arc::new(self.counter.clone()),
+                ChunkStoreConfig::small_for_tests(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn create(&self) -> ObjectStore {
+        ObjectStore::create(self.chunks_create(), registry(), ObjectStoreConfig::default())
+            .unwrap()
+    }
+
+    fn reopen(&self) -> ObjectStore {
+        ObjectStore::open(self.chunks_open(), registry(), ObjectStoreConfig::default()).unwrap()
+    }
+}
+
+/// The full Figure 4 scenario: build a profile of meters, then increment a
+/// meter's view count in a second transaction.
+#[test]
+fn figure_4_scenario() {
+    let fx = Fixture::new();
+    let store = fx.create();
+
+    // Transaction 1: insert a Meter, register a Profile root listing it.
+    let t = store.begin();
+    let meter_id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let profile_id = t.insert(Box::new(Profile { meters: vec![] })).unwrap();
+    {
+        let profile = t.open_writable::<Profile>(profile_id).unwrap();
+        profile.get_mut().meters.push(meter_id);
+    }
+    t.set_root("profile", profile_id).unwrap();
+    t.commit(true).unwrap();
+
+    // Transaction 2: navigate from the root and increment the view count.
+    let t2 = store.begin();
+    let profile_id = t2.root("profile").unwrap();
+    let meter_id = {
+        let profile = t2.open_readonly::<Profile>(profile_id).unwrap();
+        let id = profile.get().meters[0];
+        id
+    };
+    {
+        let meter = t2.open_writable::<Meter>(meter_id).unwrap();
+        meter.get_mut().view_count += 1;
+    }
+    t2.commit(true).unwrap();
+
+    // Verify across a reopen.
+    drop(store);
+    let store = fx.reopen();
+    let t3 = store.begin();
+    let profile_id = t3.root("profile").unwrap();
+    let profile = t3.open_readonly::<Profile>(profile_id).unwrap();
+    let meter_id = profile.get().meters[0];
+    let meter = t3.open_readonly::<Meter>(meter_id).unwrap();
+    assert_eq!(meter.get().view_count, 1);
+    assert_eq!(meter.get().print_count, 0);
+}
+
+#[test]
+fn refs_are_invalidated_at_transaction_end() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 5, print_count: 0 })).unwrap();
+    let r = t.open_readonly::<Meter>(id).unwrap();
+    assert_eq!(r.get().view_count, 5);
+    assert!(r.is_valid());
+    t.commit(true).unwrap();
+    assert!(!r.is_valid());
+    assert!(matches!(r.try_get(), Err(ObjectStoreError::TransactionInactive)));
+}
+
+#[test]
+#[should_panic(expected = "Ref used after its transaction")]
+fn stale_ref_get_panics() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 5, print_count: 0 })).unwrap();
+    let r = t.open_readonly::<Meter>(id).unwrap();
+    t.commit(true).unwrap();
+    let _ = r.get();
+}
+
+#[test]
+fn type_mismatch_is_checked_at_open() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    t.commit(true).unwrap();
+
+    let t = store.begin();
+    match t.open_readonly::<Profile>(id) {
+        Err(ObjectStoreError::TypeMismatch { found, .. }) => assert_eq!(found, CLASS_METER),
+        other => panic!("expected TypeMismatch, got {:?}", other.map(|_| ())),
+    }
+    // The correctly-typed open still works afterwards.
+    assert!(t.open_readonly::<Meter>(id).is_ok());
+}
+
+#[test]
+fn abort_rolls_back_everything() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 10, print_count: 0 })).unwrap();
+    t.set_root("m", id).unwrap();
+    t.commit(true).unwrap();
+
+    let t = store.begin();
+    {
+        let m = t.open_writable::<Meter>(id).unwrap();
+        m.get_mut().view_count = 999;
+    }
+    let orphan = t.insert(Box::new(Meter { view_count: 1, print_count: 1 })).unwrap();
+    t.set_root("orphan", orphan).unwrap();
+    t.abort();
+
+    let t = store.begin();
+    let m = t.open_readonly::<Meter>(id).unwrap();
+    assert_eq!(m.get().view_count, 10, "aborted write leaked");
+    drop(m);
+    assert_eq!(t.root("orphan"), None, "aborted root registration leaked");
+    assert!(t.open_readonly::<Meter>(orphan).is_err());
+    drop(t);
+
+    // The orphan's id was returned to the pool.
+    let t = store.begin();
+    let next = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    assert_eq!(next, orphan);
+    t.commit(true).unwrap();
+}
+
+#[test]
+fn drop_without_commit_aborts() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
+    t.set_root("m", id).unwrap();
+    t.commit(true).unwrap();
+
+    {
+        let t = store.begin();
+        let m = t.open_writable::<Meter>(id).unwrap();
+        m.get_mut().view_count = 777;
+        // t dropped here without commit.
+    }
+    let t = store.begin();
+    assert_eq!(t.open_readonly::<Meter>(id).unwrap().get().view_count, 1);
+}
+
+#[test]
+fn remove_frees_object_and_id() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
+    t.commit(true).unwrap();
+
+    let t = store.begin();
+    t.remove(id).unwrap();
+    // Within the same transaction the object is gone.
+    assert!(matches!(
+        t.open_readonly::<Meter>(id),
+        Err(ObjectStoreError::NotFound(_))
+    ));
+    t.commit(true).unwrap();
+
+    let t = store.begin();
+    assert!(matches!(
+        t.open_readonly::<Meter>(id),
+        Err(ObjectStoreError::NotFound(_))
+    ));
+    // Id reuse.
+    let id2 = t.insert(Box::new(Meter { view_count: 2, print_count: 0 })).unwrap();
+    assert_eq!(id2, id);
+    t.commit(true).unwrap();
+}
+
+#[test]
+fn nondurable_object_commits_die_on_crash() {
+    let fx = Fixture::new();
+    {
+        let store = fx.create();
+        let t = store.begin();
+        let id = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
+        t.set_root("m", id).unwrap();
+        t.commit(true).unwrap();
+
+        let t = store.begin();
+        let m = t.open_writable::<Meter>(t.root("m").unwrap()).unwrap();
+        m.get_mut().view_count = 100;
+        drop(m);
+        t.commit(false).unwrap(); // nondurable
+        // Crash: no durable commit follows.
+    }
+    let store = fx.reopen();
+    let t = store.begin();
+    let id = t.root("m").unwrap();
+    assert_eq!(t.open_readonly::<Meter>(id).unwrap().get().view_count, 1);
+}
+
+#[test]
+fn concurrent_transactions_conflict_and_timeout() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    t.commit(true).unwrap();
+
+    let t1 = store.begin();
+    let _w = t1.open_writable::<Meter>(id).unwrap();
+    // A second transaction cannot even read it (strict 2PL, X lock held)...
+    let store2 = store.clone();
+    let handle = std::thread::spawn(move || {
+        let t2 = store2.begin();
+        t2.open_readonly::<Meter>(id).map(|_| ())
+    });
+    let result = handle.join().unwrap();
+    assert!(matches!(result, Err(ObjectStoreError::LockTimeout(_))));
+}
+
+#[test]
+fn concurrent_shared_reads_are_allowed() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 3, print_count: 0 })).unwrap();
+    t.commit(true).unwrap();
+
+    let t1 = store.begin();
+    let r1 = t1.open_readonly::<Meter>(id).unwrap();
+    let t2 = store.begin();
+    let r2 = t2.open_readonly::<Meter>(id).unwrap();
+    assert_eq!(r1.get().view_count + r2.get().view_count, 6);
+}
+
+#[test]
+fn serialized_counter_increments_from_threads() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    t.commit(true).unwrap();
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let mut done = 0;
+                while done < 25 {
+                    let t = store.begin();
+                    match t.open_writable::<Meter>(id) {
+                        Ok(m) => {
+                            m.get_mut().view_count += 1;
+                            drop(m);
+                            t.commit(true).unwrap();
+                            done += 1;
+                        }
+                        Err(ObjectStoreError::LockTimeout(_)) => {
+                            t.abort(); // retry, as the paper prescribes
+                        }
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in threads {
+        h.join().unwrap();
+    }
+
+    let t = store.begin();
+    assert_eq!(t.open_readonly::<Meter>(id).unwrap().get().view_count, 100);
+}
+
+#[test]
+fn locking_can_be_disabled() {
+    let fx = Fixture::new();
+    let chunks = fx.chunks_create();
+    let cfg = ObjectStoreConfig { locking: false, ..Default::default() };
+    let store = ObjectStore::create(chunks, registry(), cfg).unwrap();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    t.commit(true).unwrap();
+    // Two "concurrent" writable opens would deadlock with locking on; with
+    // it off the single-threaded app is trusted.
+    let t1 = store.begin();
+    let t2 = store.begin();
+    let _a = t1.open_writable::<Meter>(id).unwrap();
+    let _b = t2.open_writable::<Meter>(id).unwrap();
+}
+
+#[test]
+fn cache_serves_repeat_opens_and_evicts_under_pressure() {
+    let fx = Fixture::new();
+    let chunks = fx.chunks_create();
+    let cfg = ObjectStoreConfig { cache_budget: 128, ..Default::default() };
+    let store = ObjectStore::create(chunks, registry(), cfg).unwrap();
+
+    let t = store.begin();
+    let ids: Vec<_> = (0..50)
+        .map(|i| t.insert(Box::new(Meter { view_count: i, print_count: 0 })).unwrap())
+        .collect();
+    t.commit(true).unwrap();
+
+    // Touch everything: far beyond a 2 KiB budget, so evictions must occur.
+    let t = store.begin();
+    for id in &ids {
+        let _ = t.open_readonly::<Meter>(*id).unwrap();
+    }
+    t.commit(true).unwrap();
+    let stats = store.cache_stats();
+    assert!(stats.evictions > 0, "no evictions under pressure: {stats:?}");
+    assert!(stats.bytes <= 512, "cache stayed far over budget: {stats:?}");
+
+    // Repeat open of a recently used object is a hit.
+    let before = store.cache_stats();
+    let t = store.begin();
+    let hot = ids[ids.len() - 1];
+    let _ = t.open_readonly::<Meter>(hot).unwrap();
+    let _ = t.open_readonly::<Meter>(hot).unwrap();
+    t.commit(true).unwrap();
+    let after = store.cache_stats();
+    assert!(after.hits > before.hits);
+}
+
+#[test]
+fn unregistered_class_rejected_at_insert() {
+    struct Alien;
+    impl Persistent for Alien {
+        impl_persistent_boilerplate!(0xDEAD_BEEF);
+        fn pickle(&self, _w: &mut Pickler) {}
+    }
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    assert!(matches!(
+        t.insert(Box::new(Alien)),
+        Err(ObjectStoreError::ClassNotRegistered(0xDEAD_BEEF))
+    ));
+}
+
+#[test]
+fn roots_survive_reopen_and_can_be_replaced() {
+    let fx = Fixture::new();
+    {
+        let store = fx.create();
+        let t = store.begin();
+        let a = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
+        let b = t.insert(Box::new(Meter { view_count: 2, print_count: 0 })).unwrap();
+        t.set_root("a", a).unwrap();
+        t.set_root("b", b).unwrap();
+        t.commit(true).unwrap();
+
+        let t = store.begin();
+        t.remove_root("a").unwrap();
+        t.commit(true).unwrap();
+    }
+    let store = fx.reopen();
+    assert_eq!(store.root("a"), None);
+    assert!(store.root("b").is_some());
+    assert_eq!(store.root_names(), vec!["b".to_string()]);
+}
+
+#[test]
+fn operations_on_inactive_transaction_fail() {
+    let fx = Fixture::new();
+    let store = fx.create();
+    let t = store.begin();
+    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    t.commit(true).unwrap();
+
+    let t = store.begin();
+    let _ = t.open_readonly::<Meter>(id).unwrap();
+    t.abort();
+    // `t` is consumed by abort; start another and abort it, then check via
+    // a fresh handle that reuse after end errors — the API consumes the
+    // transaction at commit/abort, so this is enforced statically. What we
+    // can still check dynamically: refs created before the end.
+    let t = store.begin();
+    let r = t.open_readonly::<Meter>(id).unwrap();
+    t.abort();
+    assert!(matches!(r.try_get(), Err(ObjectStoreError::TransactionInactive)));
+}
+
+#[test]
+fn many_objects_round_trip_through_reopen() {
+    let fx = Fixture::new();
+    {
+        let store = fx.create();
+        for batch in 0..10 {
+            let t = store.begin();
+            for i in 0..20 {
+                let id = t
+                    .insert(Box::new(Meter { view_count: batch * 100 + i, print_count: i }))
+                    .unwrap();
+                if batch == 0 && i == 0 {
+                    t.set_root("first", id).unwrap();
+                }
+            }
+            t.commit(true).unwrap();
+        }
+    }
+    let store = fx.reopen();
+    let t = store.begin();
+    let first = t.root("first").unwrap();
+    assert_eq!(t.open_readonly::<Meter>(first).unwrap().get().view_count, 0);
+    // Spot-check the 200 objects via chunk-level count (+1 roots chunk).
+    assert_eq!(store.chunk_store().live_chunks(), 201);
+}

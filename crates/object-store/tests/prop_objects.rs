@@ -1,0 +1,167 @@
+//! Property test: the object store against a model under random typed
+//! operations with commits, aborts, and full-stack reopens.
+
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, ObjectId, ObjectStore, ObjectStoreConfig,
+    Persistent, PickleError, Pickler, Unpickler,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+const CLASS_CELL: u32 = 0xCE11;
+
+struct Cell {
+    value: i64,
+    blob: Vec<u8>,
+}
+
+impl Persistent for Cell {
+    impl_persistent_boilerplate!(CLASS_CELL);
+    fn pickle(&self, w: &mut Pickler) {
+        w.i64(self.value);
+        w.bytes(&self.blob);
+    }
+}
+
+fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Cell { value: r.i64()?, blob: r.bytes()?.to_vec() }))
+}
+
+fn registry() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.register(CLASS_CELL, "Cell", unpickle);
+    reg
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert `n` objects and commit (or abort).
+    InsertBatch { n: usize, commit: bool },
+    /// Update pick-th object's value; maybe abort.
+    Update { pick: usize, value: i64, commit: bool },
+    /// Remove pick-th object.
+    Remove { pick: usize },
+    /// Close and reopen the whole stack.
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1usize..5, any::<bool>()).prop_map(|(n, commit)| Op::InsertBatch { n, commit }),
+        4 => (any::<usize>(), any::<i64>(), any::<bool>())
+            .prop_map(|(pick, value, commit)| Op::Update { pick, value, commit }),
+        2 => any::<usize>().prop_map(|pick| Op::Remove { pick }),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn object_ops_match_model(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mem = MemStore::new();
+        let counter = VolatileCounter::new();
+        let secret = MemSecretStore::from_label("prop-objects");
+        let open_stack = |create: bool| -> ObjectStore {
+            let chunks = Arc::new(
+                if create {
+                    ChunkStore::create(
+                        Arc::new(mem.clone()),
+                        &secret,
+                        Arc::new(counter.clone()),
+                        ChunkStoreConfig::small_for_tests(),
+                    )
+                } else {
+                    ChunkStore::open(
+                        Arc::new(mem.clone()),
+                        &secret,
+                        Arc::new(counter.clone()),
+                        ChunkStoreConfig::small_for_tests(),
+                    )
+                }
+                .unwrap(),
+            );
+            if create {
+                ObjectStore::create(chunks, registry(), ObjectStoreConfig::default())
+            } else {
+                ObjectStore::open(chunks, registry(), ObjectStoreConfig::default())
+            }
+            .unwrap()
+        };
+
+        let mut os = open_stack(true);
+        let mut model: BTreeMap<ObjectId, i64> = BTreeMap::new();
+        let mut seq = 0i64;
+
+        for op in ops {
+            match op {
+                Op::InsertBatch { n, commit } => {
+                    let t = os.begin();
+                    let mut fresh = Vec::new();
+                    for _ in 0..n {
+                        seq += 1;
+                        let id = t
+                            .insert(Box::new(Cell { value: seq, blob: vec![seq as u8; 40] }))
+                            .unwrap();
+                        fresh.push((id, seq));
+                    }
+                    if commit {
+                        t.commit(true).unwrap();
+                        model.extend(fresh);
+                    } else {
+                        t.abort();
+                    }
+                }
+                Op::Update { pick, value, commit } => {
+                    if model.is_empty() { continue; }
+                    let id = *model.keys().nth(pick % model.len()).unwrap();
+                    let t = os.begin();
+                    {
+                        let c = t.open_writable::<Cell>(id).unwrap();
+                        c.get_mut().value = value;
+                    }
+                    if commit {
+                        t.commit(true).unwrap();
+                        model.insert(id, value);
+                    } else {
+                        t.abort();
+                    }
+                }
+                Op::Remove { pick } => {
+                    if model.is_empty() { continue; }
+                    let id = *model.keys().nth(pick % model.len()).unwrap();
+                    let t = os.begin();
+                    t.remove(id).unwrap();
+                    t.commit(true).unwrap();
+                    model.remove(&id);
+                }
+                Op::Reopen => {
+                    drop(os);
+                    os = open_stack(false);
+                }
+            }
+
+            // Agreement after every step.
+            let t = os.begin();
+            for (&id, &value) in &model {
+                let c = t.open_readonly::<Cell>(id).unwrap();
+                prop_assert_eq!(c.get().value, value, "object {:?}", id);
+            }
+            t.commit(false).unwrap();
+        }
+
+        // Survives a final reopen too.
+        drop(os);
+        let os = open_stack(false);
+        let t = os.begin();
+        for (&id, &value) in &model {
+            let c = t.open_readonly::<Cell>(id).unwrap();
+            prop_assert_eq!(c.get().value, value);
+        }
+        t.commit(false).unwrap();
+    }
+}

@@ -1,0 +1,289 @@
+//! The archival store: stream-oriented storage for backups.
+//!
+//! "The archival store provides a stream-based interface to a sequential
+//! storage system. A typical implementation of the backup store may stage
+//! backups in the untrusted store and opportunistically migrate them to a
+//! remote server." (paper §2). Like the untrusted store it is fully under
+//! attacker control; the backup store validates everything it reads back.
+
+use crate::error::{PlatformError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A namespace of append-once byte streams.
+pub trait ArchivalStore: Send + Sync {
+    /// Create a new stream. Fails if the name already exists.
+    fn create(&self, name: &str) -> Result<Box<dyn Write + Send>>;
+
+    /// Open an existing stream for sequential reading.
+    fn open(&self, name: &str) -> Result<Box<dyn Read + Send>>;
+
+    /// All stream names, unordered.
+    fn list(&self) -> Result<Vec<String>>;
+
+    /// Remove a stream.
+    fn remove(&self, name: &str) -> Result<()>;
+
+    /// Whether a stream exists.
+    fn exists(&self, name: &str) -> Result<bool> {
+        Ok(self.list()?.iter().any(|n| n == name))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation
+// ---------------------------------------------------------------------------
+
+type SharedStream = Arc<Mutex<Vec<u8>>>;
+
+/// In-memory archival store for tests and simulation. Clones share state.
+#[derive(Clone, Default)]
+pub struct MemArchive {
+    streams: Arc<Mutex<HashMap<String, SharedStream>>>,
+}
+
+impl MemArchive {
+    /// Create an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flip bits in a stored stream (attacker primitive for restore tests).
+    pub fn corrupt(&self, name: &str, offset: usize, len: usize) -> Result<()> {
+        let streams = self.streams.lock();
+        let stream = streams
+            .get(name)
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))?;
+        let mut data = stream.lock();
+        if offset + len > data.len() {
+            return Err(PlatformError::ShortRead {
+                offset: offset as u64,
+                wanted: len,
+                available: data.len().saturating_sub(offset),
+            });
+        }
+        for b in &mut data[offset..offset + len] {
+            *b = !*b;
+        }
+        Ok(())
+    }
+
+    /// Truncate a stored stream (simulates a cut-off upload).
+    pub fn truncate(&self, name: &str, len: usize) -> Result<()> {
+        let streams = self.streams.lock();
+        let stream = streams
+            .get(name)
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))?;
+        stream.lock().truncate(len);
+        Ok(())
+    }
+
+    /// Length of a stored stream in bytes.
+    pub fn len_of(&self, name: &str) -> Result<usize> {
+        let streams = self.streams.lock();
+        let stream = streams
+            .get(name)
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))?;
+        let len = stream.lock().len();
+        Ok(len)
+    }
+}
+
+struct MemStreamWriter {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Write for MemStreamWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.data.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct MemStreamReader {
+    data: Arc<Mutex<Vec<u8>>>,
+    pos: usize,
+}
+
+impl Read for MemStreamReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let data = self.data.lock();
+        let available = data.len().saturating_sub(self.pos);
+        let take = available.min(buf.len());
+        buf[..take].copy_from_slice(&data[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
+    }
+}
+
+impl ArchivalStore for MemArchive {
+    fn create(&self, name: &str) -> Result<Box<dyn Write + Send>> {
+        let mut streams = self.streams.lock();
+        if streams.contains_key(name) {
+            return Err(PlatformError::AlreadyExists(name.to_string()));
+        }
+        let data = Arc::new(Mutex::new(Vec::new()));
+        streams.insert(name.to_string(), data.clone());
+        Ok(Box::new(MemStreamWriter { data }))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn Read + Send>> {
+        let streams = self.streams.lock();
+        let data = streams
+            .get(name)
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))?
+            .clone();
+        Ok(Box::new(MemStreamReader { data, pos: 0 }))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.streams.lock().keys().cloned().collect())
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.streams
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directory-backed implementation
+// ---------------------------------------------------------------------------
+
+/// Archival store backed by files in a directory — the "stage backups in the
+/// untrusted store" deployment from the paper.
+pub struct DirArchive {
+    dir: PathBuf,
+}
+
+impl DirArchive {
+    /// Open (creating if necessary) an archive rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DirArchive { dir })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        assert!(
+            !name.contains('/') && !name.contains('\\') && name != "." && name != "..",
+            "archival stream names must be flat"
+        );
+        self.dir.join(name)
+    }
+}
+
+impl ArchivalStore for DirArchive {
+    fn create(&self, name: &str) -> Result<Box<dyn Write + Send>> {
+        let path = self.path_of(name);
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    PlatformError::AlreadyExists(name.to_string())
+                } else {
+                    PlatformError::Io(e)
+                }
+            })?;
+        Ok(Box::new(std::io::BufWriter::new(file)))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn Read + Send>> {
+        let file = fs::File::open(self.path_of(name)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                PlatformError::NotFound(name.to_string())
+            } else {
+                PlatformError::Io(e)
+            }
+        })?;
+        Ok(Box::new(std::io::BufReader::new(file)))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        fs::remove_file(self.path_of(name)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                PlatformError::NotFound(name.to_string())
+            } else {
+                PlatformError::Io(e)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(archive: &dyn ArchivalStore) {
+        let mut w = archive.create("backup.1").unwrap();
+        w.write_all(b"full backup payload").unwrap();
+        w.flush().unwrap();
+        drop(w);
+
+        assert!(matches!(
+            archive.create("backup.1"),
+            Err(PlatformError::AlreadyExists(_))
+        ));
+        assert!(archive.exists("backup.1").unwrap());
+        assert!(!archive.exists("backup.2").unwrap());
+
+        let mut r = archive.open("backup.1").unwrap();
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "full backup payload");
+
+        assert!(matches!(archive.open("nope"), Err(PlatformError::NotFound(_))));
+        archive.remove("backup.1").unwrap();
+        assert!(matches!(archive.remove("backup.1"), Err(PlatformError::NotFound(_))));
+    }
+
+    #[test]
+    fn mem_archive_semantics() {
+        exercise(&MemArchive::new());
+    }
+
+    #[test]
+    fn dir_archive_semantics() {
+        let dir = tempfile::tempdir().unwrap();
+        exercise(&DirArchive::new(dir.path()).unwrap());
+    }
+
+    #[test]
+    fn mem_archive_corrupt_and_truncate() {
+        let a = MemArchive::new();
+        a.create("s").unwrap().write_all(&[0xAA; 8]).unwrap();
+        assert_eq!(a.len_of("s").unwrap(), 8);
+        a.corrupt("s", 0, 2).unwrap();
+        let mut r = a.open("s").unwrap();
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(&buf[..2], &[0x55, 0x55]);
+        a.truncate("s", 3).unwrap();
+        assert_eq!(a.len_of("s").unwrap(), 3);
+    }
+}

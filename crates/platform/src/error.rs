@@ -1,0 +1,84 @@
+//! Error type shared by the platform substrates.
+
+use std::fmt;
+
+/// Result alias used throughout the platform crate.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+/// Errors surfaced by platform substrates.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The named file or stream does not exist.
+    NotFound(String),
+    /// The named file or stream already exists and `create_new` semantics
+    /// were requested.
+    AlreadyExists(String),
+    /// A read past the end of a file was attempted.
+    ShortRead {
+        /// Byte offset of the read.
+        offset: u64,
+        /// Bytes requested.
+        wanted: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The fault-injection plan terminated the simulated device (power cut).
+    /// All further operations on the faulted store fail with this error.
+    Crashed,
+    /// The one-way counter or secret store content is structurally invalid
+    /// (e.g. wrong length) — distinct from database-level tamper detection.
+    CorruptSubstrate(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Io(e) => write!(f, "I/O error: {e}"),
+            PlatformError::NotFound(n) => write!(f, "not found: {n}"),
+            PlatformError::AlreadyExists(n) => write!(f, "already exists: {n}"),
+            PlatformError::ShortRead { offset, wanted, available } => write!(
+                f,
+                "short read at offset {offset}: wanted {wanted} bytes, only {available} available"
+            ),
+            PlatformError::Crashed => write!(f, "simulated crash: device powered off"),
+            PlatformError::CorruptSubstrate(m) => write!(f, "corrupt substrate state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PlatformError {
+    fn from(e: std::io::Error) -> Self {
+        PlatformError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PlatformError::ShortRead { offset: 10, wanted: 4, available: 2 };
+        assert!(e.to_string().contains("offset 10"));
+        assert!(PlatformError::Crashed.to_string().contains("crash"));
+        assert!(PlatformError::NotFound("log.0".into()).to_string().contains("log.0"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope");
+        let e: PlatformError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic fault injection over any untrusted store.
+//!
+//! Crash-consistency claims are only as good as the crash tests behind them.
+//! [`FaultStore`] wraps an [`UntrustedStore`] and consults a shared
+//! [`FaultPlan`]: after a configured number of written bytes, the simulated
+//! device "loses power" — the current write is truncated at the budget
+//! boundary (a torn write) and every subsequent operation fails with
+//! [`PlatformError::Crashed`]. Recovery tests then reopen the *underlying*
+//! store, which retains exactly the bytes that made it out before the cut.
+
+use crate::error::{PlatformError, Result};
+use crate::untrusted::{RandomAccessFile, UntrustedStore};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared crash schedule. `write_budget` is the number of bytes that may
+/// still be written before the power cut; `u64::MAX` means "never".
+#[derive(Clone)]
+pub struct FaultPlan {
+    write_budget: Arc<AtomicU64>,
+    crashed: Arc<AtomicBool>,
+    sync_counts: Arc<AtomicU64>,
+}
+
+impl FaultPlan {
+    /// A plan that never crashes (budget can be lowered later).
+    pub fn unlimited() -> Self {
+        FaultPlan {
+            write_budget: Arc::new(AtomicU64::new(u64::MAX)),
+            crashed: Arc::new(AtomicBool::new(false)),
+            sync_counts: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A plan that crashes after `bytes` further written bytes.
+    pub fn crash_after_bytes(bytes: u64) -> Self {
+        let plan = Self::unlimited();
+        plan.write_budget.store(bytes, Ordering::SeqCst);
+        plan
+    }
+
+    /// Rearm the plan with a new byte budget and clear the crashed flag.
+    pub fn rearm(&self, bytes: u64) {
+        self.write_budget.store(bytes, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the simulated crash has occurred.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Number of `sync` calls observed (lets tests assert durability
+    /// behaviour, e.g. "a nondurable commit must not sync").
+    pub fn sync_count(&self) -> u64 {
+        self.sync_counts.load(Ordering::SeqCst)
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.has_crashed() {
+            Err(PlatformError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consume up to `wanted` bytes of budget. Returns how many bytes may
+    /// actually be written; if fewer than `wanted`, the crash fires after
+    /// those bytes land (a torn write).
+    fn consume(&self, wanted: u64) -> u64 {
+        loop {
+            let current = self.write_budget.load(Ordering::SeqCst);
+            let allowed = current.min(wanted);
+            let next = current - allowed;
+            if self
+                .write_budget
+                .compare_exchange(current, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                if allowed < wanted {
+                    self.crashed.store(true, Ordering::SeqCst);
+                }
+                return allowed;
+            }
+        }
+    }
+}
+
+/// An untrusted store whose writes obey a [`FaultPlan`].
+pub struct FaultStore<S> {
+    inner: S,
+    plan: FaultPlan,
+}
+
+impl<S: UntrustedStore> FaultStore<S> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultStore { inner, plan }
+    }
+
+    /// Access the underlying store (post-crash inspection / reopen).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The plan, for rearming or assertions.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+struct FaultFile {
+    inner: Box<dyn RandomAccessFile>,
+    plan: FaultPlan,
+}
+
+impl RandomAccessFile for FaultFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.plan.check_alive()?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.plan.check_alive()?;
+        let allowed = self.plan.consume(data.len() as u64) as usize;
+        if allowed > 0 {
+            self.inner.write_at(offset, &data[..allowed])?;
+        }
+        if allowed < data.len() {
+            return Err(PlatformError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.plan.check_alive()?;
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.plan.check_alive()?;
+        self.inner.set_len(len)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.plan.check_alive()?;
+        self.plan.sync_counts.fetch_add(1, Ordering::SeqCst);
+        self.inner.sync()
+    }
+}
+
+impl<S: UntrustedStore> UntrustedStore for FaultStore<S> {
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn RandomAccessFile>> {
+        self.plan.check_alive()?;
+        let inner = self.inner.open(name, create)?;
+        Ok(Box::new(FaultFile { inner, plan: self.plan.clone() }))
+    }
+
+    fn exists(&self, name: &str) -> Result<bool> {
+        self.plan.check_alive()?;
+        self.inner.exists(name)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.plan.check_alive()?;
+        self.inner.remove(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.plan.check_alive()?;
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::untrusted::MemStore;
+
+    #[test]
+    fn unlimited_plan_passes_through() {
+        let mem = MemStore::new();
+        let store = FaultStore::new(mem.clone(), FaultPlan::unlimited());
+        let f = store.open("f", true).unwrap();
+        f.write_at(0, b"abcdef").unwrap();
+        f.sync().unwrap();
+        assert_eq!(store.plan().sync_count(), 1);
+        assert_eq!(mem.raw("f").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn crash_tears_the_write_at_budget_boundary() {
+        let mem = MemStore::new();
+        let store = FaultStore::new(mem.clone(), FaultPlan::crash_after_bytes(4));
+        let f = store.open("f", true).unwrap();
+        let err = f.write_at(0, b"abcdef").unwrap_err();
+        assert!(matches!(err, PlatformError::Crashed));
+        // Torn: exactly 4 bytes landed.
+        assert_eq!(mem.raw("f").unwrap(), b"abcd");
+        assert!(store.plan().has_crashed());
+    }
+
+    #[test]
+    fn everything_fails_after_crash() {
+        let mem = MemStore::new();
+        let store = FaultStore::new(mem.clone(), FaultPlan::crash_after_bytes(0));
+        let f = store.open("f", true).unwrap();
+        assert!(f.write_at(0, b"x").is_err());
+        assert!(f.read_at(0, &mut [0u8; 1]).is_err());
+        assert!(f.sync().is_err());
+        assert!(store.open("g", true).is_err());
+        assert!(store.list().is_err());
+    }
+
+    #[test]
+    fn budget_spans_multiple_writes() {
+        let mem = MemStore::new();
+        let store = FaultStore::new(mem.clone(), FaultPlan::crash_after_bytes(10));
+        let f = store.open("f", true).unwrap();
+        f.write_at(0, b"12345").unwrap();
+        f.write_at(5, b"678").unwrap();
+        // 2 bytes of budget left; this write tears.
+        assert!(f.write_at(8, b"abcde").is_err());
+        assert_eq!(mem.raw("f").unwrap(), b"12345678ab");
+    }
+
+    #[test]
+    fn rearm_revives_the_device() {
+        let mem = MemStore::new();
+        let store = FaultStore::new(mem.clone(), FaultPlan::crash_after_bytes(0));
+        // Budget 0: the first write fires the crash...
+        assert!(store.open("f", true).unwrap().write_at(0, b"x").is_err());
+        // ...after which even opens fail.
+        assert!(store.open("f", true).is_err());
+        store.plan().rearm(u64::MAX);
+        store.open("f", true).unwrap().write_at(0, b"ok").unwrap();
+        assert_eq!(mem.raw("f").unwrap(), b"ok");
+    }
+}

@@ -1,0 +1,39 @@
+//! Platform substrates assumed by the TDB architecture (paper §2, Figure 1,
+//! dashed boxes).
+//!
+//! TDB expects the hosting device to provide four infrastructure modules,
+//! none of which it trusts equally:
+//!
+//! * an **untrusted store** — file-system-like random-access storage (flash
+//!   RAM, hard disk) that an attacker may arbitrarily read and modify
+//!   ([`untrusted::UntrustedStore`]);
+//! * an **archival store** — stream-oriented sequential storage for backups,
+//!   equally untrusted ([`archival::ArchivalStore`]);
+//! * a small **secret store** readable only by authorized programs (ROM /
+//!   battery-backed SRAM in the paper) ([`secret::SecretStore`]);
+//! * a **one-way counter** that can never be decremented, used to defeat
+//!   replay of whole database states ([`counter::OneWayCounter`]).
+//!
+//! Each trait ships with a file-backed implementation (what the paper's own
+//! evaluation used — even the hardware counter was "emulated as a file",
+//! §7.2) and an in-memory implementation for tests and benches. The
+//! [`fault`] module wraps any untrusted store with deterministic crash and
+//! tamper injection so the upper layers' recovery and tamper-detection
+//! logic can be exercised.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archival;
+pub mod counter;
+pub mod error;
+pub mod fault;
+pub mod secret;
+pub mod untrusted;
+
+pub use archival::{ArchivalStore, DirArchive, MemArchive};
+pub use counter::{FileCounter, OneWayCounter, TamperableCounter, VolatileCounter};
+pub use error::{PlatformError, Result};
+pub use fault::{FaultPlan, FaultStore};
+pub use secret::{FileSecretStore, MemSecretStore, SecretStore};
+pub use untrusted::{DirStore, MemStore, RandomAccessFile, UntrustedStore};

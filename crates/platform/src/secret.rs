@@ -1,0 +1,126 @@
+//! The secret store: a small trusted-read secret.
+//!
+//! "We assume that the platform provides a small secret store, which can be
+//! read only by the database system … In most devices, the secret store can
+//! be implemented in a ROM … A more secure implementation may use a
+//! battery-backed SRAM that can be zeroed if physical tampering is
+//! detected." (paper §2). Programs that can read it are *authorized* (§3).
+//!
+//! The database derives all of its keys (chunk encryption, anchor MAC,
+//! backup MAC) from this one master secret via domain-separated HMAC — see
+//! `tdb_crypto::derive_key`.
+
+use crate::error::{PlatformError, Result};
+use std::fs;
+use std::path::PathBuf;
+
+/// Number of bytes in the master secret.
+pub const SECRET_LEN: usize = 32;
+
+/// Read access to the platform master secret.
+pub trait SecretStore: Send + Sync {
+    /// Return the 32-byte master secret.
+    fn master_secret(&self) -> Result<[u8; SECRET_LEN]>;
+}
+
+/// In-memory secret store: the "ROM" configuration, for embedding the secret
+/// in the (authorized) program image, and for tests.
+#[derive(Clone)]
+pub struct MemSecretStore {
+    secret: [u8; SECRET_LEN],
+}
+
+impl MemSecretStore {
+    /// Hold the given secret.
+    pub fn new(secret: [u8; SECRET_LEN]) -> Self {
+        MemSecretStore { secret }
+    }
+
+    /// Convenience for tests: derive a secret from a short label.
+    pub fn from_label(label: &str) -> Self {
+        let mut secret = [0u8; SECRET_LEN];
+        let bytes = label.as_bytes();
+        for (i, b) in secret.iter_mut().enumerate() {
+            *b = bytes[i % bytes.len().max(1)] ^ (i as u8).wrapping_mul(0x9d);
+        }
+        MemSecretStore { secret }
+    }
+}
+
+impl SecretStore for MemSecretStore {
+    fn master_secret(&self) -> Result<[u8; SECRET_LEN]> {
+        Ok(self.secret)
+    }
+}
+
+/// File-backed secret store. In deployment the file would live on tamper-
+/// resistant media with OS access control; for this reproduction it lets the
+/// examples persist a database across runs.
+pub struct FileSecretStore {
+    path: PathBuf,
+}
+
+impl FileSecretStore {
+    /// Use the secret in `path`, creating it with `initial` if missing.
+    pub fn open_or_init(path: impl Into<PathBuf>, initial: [u8; SECRET_LEN]) -> Result<Self> {
+        let path = path.into();
+        if !path.exists() {
+            fs::write(&path, initial)?;
+        }
+        Ok(FileSecretStore { path })
+    }
+}
+
+impl SecretStore for FileSecretStore {
+    fn master_secret(&self) -> Result<[u8; SECRET_LEN]> {
+        let data = fs::read(&self.path)?;
+        let arr: [u8; SECRET_LEN] = data.try_into().map_err(|_| {
+            PlatformError::CorruptSubstrate(format!(
+                "secret store must hold exactly {SECRET_LEN} bytes"
+            ))
+        })?;
+        Ok(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_secret_roundtrip() {
+        let s = MemSecretStore::new([7u8; SECRET_LEN]);
+        assert_eq!(s.master_secret().unwrap(), [7u8; SECRET_LEN]);
+    }
+
+    #[test]
+    fn from_label_is_deterministic_and_distinct() {
+        let a = MemSecretStore::from_label("device-a");
+        let b = MemSecretStore::from_label("device-b");
+        assert_eq!(a.master_secret().unwrap(), MemSecretStore::from_label("device-a").master_secret().unwrap());
+        assert_ne!(a.master_secret().unwrap(), b.master_secret().unwrap());
+    }
+
+    #[test]
+    fn file_secret_creates_and_persists() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("secret");
+        let s = FileSecretStore::open_or_init(&path, [3u8; SECRET_LEN]).unwrap();
+        assert_eq!(s.master_secret().unwrap(), [3u8; SECRET_LEN]);
+        // Second open does not overwrite.
+        let s2 = FileSecretStore::open_or_init(&path, [9u8; SECRET_LEN]).unwrap();
+        assert_eq!(s2.master_secret().unwrap(), [3u8; SECRET_LEN]);
+    }
+
+    #[test]
+    fn file_secret_rejects_wrong_length() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("secret");
+        fs::write(&path, b"short").unwrap();
+        let s = FileSecretStore::open_or_init(&path, [0u8; SECRET_LEN]).unwrap();
+        assert!(matches!(
+            s.master_secret(),
+            Err(PlatformError::CorruptSubstrate(_))
+        ));
+    }
+}

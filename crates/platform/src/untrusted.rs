@@ -1,0 +1,445 @@
+//! The untrusted store: file-system-like random-access storage.
+//!
+//! "We assume that the untrusted store … can be arbitrarily read or modified
+//! by an attacker" (paper §2). The chunk store layers all of its encryption,
+//! hashing, and logging on top of this interface, so the interface itself is
+//! deliberately dumb: named byte arrays with positioned reads and writes.
+
+use crate::error::{PlatformError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A single randomly accessible file in the untrusted store.
+pub trait RandomAccessFile: Send + Sync {
+    /// Read exactly `buf.len()` bytes starting at `offset`. Fails with
+    /// [`PlatformError::ShortRead`] if the file is too short.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Write `data` at `offset`, extending the file if necessary.
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Current length of the file in bytes.
+    fn len(&self) -> Result<u64>;
+
+    /// True if the file is empty.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Truncate or extend the file to `len` bytes (extension zero-fills).
+    fn set_len(&self, len: u64) -> Result<()>;
+
+    /// Force written data to stable storage. The TDB evaluation configured
+    /// log files with `WRITE_THROUGH` (§7.2); this is the portable analogue.
+    fn sync(&self) -> Result<()>;
+}
+
+/// A namespace of randomly accessible files — what the paper calls the
+/// untrusted store's "file-system-based interface" (§2).
+pub trait UntrustedStore: Send + Sync {
+    /// Open a file, creating it (empty) if `create` and it does not exist.
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn RandomAccessFile>>;
+
+    /// Whether a file with this name exists.
+    fn exists(&self, name: &str) -> Result<bool>;
+
+    /// Remove a file. Removing a missing file is an error.
+    fn remove(&self, name: &str) -> Result<()>;
+
+    /// Names of all files in the store, in unspecified order.
+    fn list(&self) -> Result<Vec<String>>;
+
+    /// Total bytes occupied across all files (the paper's "database size"
+    /// measurements in Figure 11 are exactly this quantity).
+    fn total_size(&self) -> Result<u64> {
+        let mut total = 0;
+        for name in self.list()? {
+            total += self.open(&name, false)?.len()?;
+        }
+        Ok(total)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation
+// ---------------------------------------------------------------------------
+
+type MemFileData = Arc<RwLock<Vec<u8>>>;
+
+/// An in-memory untrusted store for tests, benches, and simulation.
+///
+/// Clones share the same underlying storage, so a test can keep a handle,
+/// "crash" the database object, and reopen from the same bytes — which is
+/// exactly how the recovery tests simulate power failure. It also exposes
+/// [`MemStore::corrupt`] so adversarial tests can flip bits the way the
+/// paper's attacker would.
+#[derive(Clone, Default)]
+pub struct MemStore {
+    files: Arc<Mutex<HashMap<String, MemFileData>>>,
+}
+
+impl MemStore {
+    /// Create an empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flip the bits of `len` bytes at `offset` in the named file — the
+    /// attacker's primitive. Fails if the range is out of bounds.
+    pub fn corrupt(&self, name: &str, offset: u64, len: usize) -> Result<()> {
+        let files = self.files.lock();
+        let file = files
+            .get(name)
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))?;
+        let mut data = file.write();
+        let start = offset as usize;
+        if start + len > data.len() {
+            return Err(PlatformError::ShortRead { offset, wanted: len, available: data.len().saturating_sub(start) });
+        }
+        for b in &mut data[start..start + len] {
+            *b = !*b;
+        }
+        Ok(())
+    }
+
+    /// Byte-for-byte copy of the entire store (used by replay-attack tests:
+    /// save a copy, make purchases, restore the copy).
+    pub fn deep_clone(&self) -> MemStore {
+        let files = self.files.lock();
+        let copied: HashMap<String, MemFileData> = files
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::new(RwLock::new(v.read().clone()))))
+            .collect();
+        MemStore { files: Arc::new(Mutex::new(copied)) }
+    }
+
+    /// Replace this store's contents with those of `other` (the "replay"
+    /// half of the attack above).
+    pub fn restore_from(&self, other: &MemStore) {
+        let src = other.files.lock();
+        let copied: HashMap<String, MemFileData> = src
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::new(RwLock::new(v.read().clone()))))
+            .collect();
+        *self.files.lock() = copied;
+    }
+
+    /// Raw bytes of a file, for white-box assertions in tests.
+    pub fn raw(&self, name: &str) -> Result<Vec<u8>> {
+        let files = self.files.lock();
+        let file = files
+            .get(name)
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))?;
+        let data = file.read().clone();
+        Ok(data)
+    }
+}
+
+struct MemFile {
+    data: MemFileData,
+}
+
+impl RandomAccessFile for MemFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let data = self.data.read();
+        let start = offset as usize;
+        let end = start.checked_add(buf.len()).expect("offset overflow");
+        if end > data.len() {
+            return Err(PlatformError::ShortRead {
+                offset,
+                wanted: buf.len(),
+                available: data.len().saturating_sub(start),
+            });
+        }
+        buf.copy_from_slice(&data[start..end]);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, bytes: &[u8]) -> Result<()> {
+        let mut data = self.data.write();
+        let start = offset as usize;
+        let end = start + bytes.len();
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        data[start..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.data.read().len() as u64)
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.data.write().resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl UntrustedStore for MemStore {
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn RandomAccessFile>> {
+        let mut files = self.files.lock();
+        match files.get(name) {
+            Some(data) => Ok(Box::new(MemFile { data: data.clone() })),
+            None if create => {
+                let data: MemFileData = Arc::new(RwLock::new(Vec::new()));
+                files.insert(name.to_string(), data.clone());
+                Ok(Box::new(MemFile { data }))
+            }
+            None => Err(PlatformError::NotFound(name.to_string())),
+        }
+    }
+
+    fn exists(&self, name: &str) -> Result<bool> {
+        Ok(self.files.lock().contains_key(name))
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.files
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| PlatformError::NotFound(name.to_string()))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.files.lock().keys().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directory-backed implementation
+// ---------------------------------------------------------------------------
+
+/// An untrusted store backed by a directory on the local filesystem —
+/// the deployment configuration (flash card / hard disk in the paper).
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DirStore { dir })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        // Keep names flat; reject path traversal outright.
+        assert!(
+            !name.contains('/') && !name.contains('\\') && name != "." && name != "..",
+            "untrusted store names must be flat"
+        );
+        self.dir.join(name)
+    }
+}
+
+struct DirFile {
+    file: Mutex<fs::File>,
+}
+
+impl RandomAccessFile for DirFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let mut file = self.file.lock();
+        let len = file.metadata()?.len();
+        if offset + buf.len() as u64 > len {
+            return Err(PlatformError::ShortRead {
+                offset,
+                wanted: buf.len(),
+                available: len.saturating_sub(offset) as usize,
+            });
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.file.lock().set_len(len)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+impl UntrustedStore for DirStore {
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn RandomAccessFile>> {
+        let path = self.path_of(name);
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(create)
+            .open(&path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    PlatformError::NotFound(name.to_string())
+                } else {
+                    PlatformError::Io(e)
+                }
+            })?;
+        Ok(Box::new(DirFile { file: Mutex::new(file) }))
+    }
+
+    fn exists(&self, name: &str) -> Result<bool> {
+        Ok(self.path_of(name).exists())
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        fs::remove_file(self.path_of(name)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                PlatformError::NotFound(name.to_string())
+            } else {
+                PlatformError::Io(e)
+            }
+        })
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_store(store: &dyn UntrustedStore) {
+        // Create, write, read back.
+        let f = store.open("a", true).unwrap();
+        f.write_at(0, b"hello").unwrap();
+        f.write_at(5, b" world").unwrap();
+        let mut buf = [0u8; 11];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+        assert_eq!(f.len().unwrap(), 11);
+
+        // Sparse write zero-fills.
+        f.write_at(20, b"x").unwrap();
+        let mut gap = [1u8; 9];
+        f.read_at(11, &mut gap).unwrap();
+        assert_eq!(gap, [0u8; 9]);
+
+        // Short read is an error.
+        let mut big = [0u8; 100];
+        assert!(matches!(
+            f.read_at(0, &mut big),
+            Err(PlatformError::ShortRead { .. })
+        ));
+
+        // Truncate.
+        f.set_len(5).unwrap();
+        assert_eq!(f.len().unwrap(), 5);
+        f.sync().unwrap();
+
+        // Namespace operations.
+        assert!(store.exists("a").unwrap());
+        assert!(!store.exists("b").unwrap());
+        assert!(matches!(store.open("b", false), Err(PlatformError::NotFound(_))));
+        store.open("b", true).unwrap().write_at(0, &[9; 10]).unwrap();
+        let mut names = store.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(store.total_size().unwrap(), 15);
+        store.remove("b").unwrap();
+        assert!(matches!(store.remove("b"), Err(PlatformError::NotFound(_))));
+    }
+
+    #[test]
+    fn mem_store_semantics() {
+        exercise_store(&MemStore::new());
+    }
+
+    #[test]
+    fn dir_store_semantics() {
+        let dir = tempfile::tempdir().unwrap();
+        exercise_store(&DirStore::new(dir.path()).unwrap());
+    }
+
+    #[test]
+    fn mem_store_clones_share_state() {
+        let a = MemStore::new();
+        let b = a.clone();
+        a.open("f", true).unwrap().write_at(0, b"shared").unwrap();
+        let f = b.open("f", false).unwrap();
+        let mut buf = [0u8; 6];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared");
+    }
+
+    #[test]
+    fn mem_store_deep_clone_is_isolated() {
+        let a = MemStore::new();
+        a.open("f", true).unwrap().write_at(0, b"v1").unwrap();
+        let snapshot = a.deep_clone();
+        a.open("f", false).unwrap().write_at(0, b"v2").unwrap();
+        assert_eq!(snapshot.raw("f").unwrap(), b"v1");
+        assert_eq!(a.raw("f").unwrap(), b"v2");
+        // Replay the old state.
+        a.restore_from(&snapshot);
+        assert_eq!(a.raw("f").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn mem_store_corrupt_flips_bits() {
+        let s = MemStore::new();
+        s.open("f", true).unwrap().write_at(0, &[0xFF, 0x00]).unwrap();
+        s.corrupt("f", 0, 1).unwrap();
+        assert_eq!(s.raw("f").unwrap(), vec![0x00, 0x00]);
+        assert!(s.corrupt("f", 1, 5).is_err());
+        assert!(s.corrupt("missing", 0, 1).is_err());
+    }
+
+    #[test]
+    fn dir_store_persists_across_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let s = DirStore::new(dir.path()).unwrap();
+            s.open("f", true).unwrap().write_at(0, b"durable").unwrap();
+        }
+        let s = DirStore::new(dir.path()).unwrap();
+        let f = s.open("f", false).unwrap();
+        let mut buf = [0u8; 7];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable");
+    }
+
+    #[test]
+    #[should_panic(expected = "flat")]
+    fn dir_store_rejects_path_traversal() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = DirStore::new(dir.path()).unwrap();
+        let _ = s.open("../escape", true);
+    }
+}

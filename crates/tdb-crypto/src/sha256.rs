@@ -1,0 +1,267 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! The chunk store hashes every chunk and every Merkle-tree node with this
+//! function. It exposes both a streaming [`Sha256`] context and a one-shot
+//! [`sha256`] helper.
+
+/// Length of a SHA-256 digest in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// A SHA-256 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Streaming SHA-256 context.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh context.
+    pub fn new() -> Self {
+        Sha256 { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                // Input exhausted without completing a block; keep buffering.
+                return;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            // chunks_exact guarantees 64 bytes.
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Finish the computation and return the digest. Consumes the context.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80 then zeros then 8-byte big-endian bit length.
+        self.update_padding();
+        // After padding, buf_len is 56 mod 64; append the length.
+        self.buf[self.buf_len..self.buf_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn update_padding(&mut self) {
+        self.buf[self.buf_len] = 0x80;
+        self.buf_len += 1;
+        if self.buf_len > 56 {
+            for b in &mut self.buf[self.buf_len..] {
+                *b = 0;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        for b in &mut self.buf[self.buf_len..56] {
+            *b = 0;
+        }
+        self.buf_len = 56;
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut ctx = Sha256::new();
+    ctx.update(data);
+    ctx.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 180-4 / NIST CAVP vectors.
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut ctx = Sha256::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            ctx.update(&block);
+        }
+        assert_eq!(
+            hex(&ctx.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        let whole = sha256(&data);
+        for split in 0..data.len() {
+            let mut ctx = Sha256::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn many_tiny_updates_below_one_block() {
+        // Regression: a second update that does not complete the 64-byte
+        // buffer must not clobber the buffered byte count.
+        let mut ctx = Sha256::new();
+        for chunk in [b"ab".as_slice(), b"c"] {
+            ctx.update(chunk);
+        }
+        assert_eq!(ctx.finalize(), sha256(b"abc"));
+
+        let data: Vec<u8> = (0..200u8).collect();
+        for step in [1usize, 2, 3, 7, 13] {
+            let mut ctx = Sha256::new();
+            for chunk in data.chunks(step) {
+                ctx.update(chunk);
+            }
+            assert_eq!(ctx.finalize(), sha256(&data), "step {step}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_padding() {
+        // Messages of length 55, 56, 57, 63, 64, 65 exercise all padding paths.
+        let expect = [
+            (55usize, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"),
+            (56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"),
+            (57, "f13b2d724659eb3bf47f2dd6af1accc87b81f09f59f2b75e5c0bed6589dfe8c6"),
+            (63, "7d3e74a05d7db15bce4ad9ec0658ea98e3f06eeecf16b4c6fff2da457ddc2f34"),
+            (64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"),
+            (65, "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0"),
+        ];
+        for (n, want) in expect {
+            let msg = vec![b'a'; n];
+            assert_eq!(hex(&sha256(&msg)), want, "len {n}");
+        }
+    }
+}

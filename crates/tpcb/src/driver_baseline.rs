@@ -1,0 +1,118 @@
+//! TPC-B driver for the Berkeley-DB-like baseline: four B-tree databases
+//! keyed by the 4-byte record id, one shared write-ahead log.
+
+use crate::runner::TpcbSystem;
+use crate::schema::{history_record_bytes, record_balance, record_bytes};
+use baseline::{BaselineConfig, DbId, Env};
+use std::sync::Arc;
+use tdb_platform::UntrustedStore;
+
+/// The baseline engine under the TPC-B workload.
+pub struct BaselineDriver {
+    env: Env,
+    account: DbId,
+    teller: DbId,
+    branch: DbId,
+    history: DbId,
+}
+
+impl BaselineDriver {
+    /// Build over an untrusted store.
+    pub fn new(untrusted: Arc<dyn UntrustedStore>, cfg: BaselineConfig) -> Self {
+        let env = Env::create(untrusted, cfg).unwrap();
+        let account = env.create_db("account").unwrap();
+        let teller = env.create_db("teller").unwrap();
+        let branch = env.create_db("branch").unwrap();
+        let history = env.create_db("history").unwrap();
+        BaselineDriver { env, account, teller, branch, history }
+    }
+
+    /// The environment (post-run inspection).
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    fn update(&self, txn: &mut baseline::Txn, db: DbId, id: u32, delta: i64) {
+        let key = id.to_be_bytes();
+        let old = self.env.get(db, &key).unwrap().expect("record must exist");
+        let new = record_bytes(id, record_balance(&old) + delta);
+        self.env.put(txn, db, &key, &new).unwrap();
+    }
+}
+
+impl TpcbSystem for BaselineDriver {
+    fn load(&mut self, accounts: u32, tellers: u32, branches: u32, history: u32) {
+        for (db, size) in [
+            (self.account, accounts),
+            (self.teller, tellers),
+            (self.branch, branches),
+        ] {
+            let mut id = 0u32;
+            while id < size {
+                let mut txn = self.env.begin().unwrap();
+                let end = (id + 2000).min(size);
+                while id < end {
+                    self.env.put(&mut txn, db, &id.to_be_bytes(), &record_bytes(id, 0)).unwrap();
+                    id += 1;
+                }
+                self.env.commit(txn).unwrap();
+            }
+        }
+        let mut id = 0u32;
+        while id < history {
+            let mut txn = self.env.begin().unwrap();
+            let end = (id + 2000).min(history);
+            while id < end {
+                self.env
+                    .put(
+                        &mut txn,
+                        self.history,
+                        &id.to_be_bytes(),
+                        &history_record_bytes(id, 0, 0, 0, 0),
+                    )
+                    .unwrap();
+                id += 1;
+            }
+            self.env.commit(txn).unwrap();
+        }
+        // Loading is not measured: checkpoint (flush pages, truncate the
+        // log) so the run starts clean, exactly like TDB's post-load
+        // checkpoint. During the run itself the baseline never checkpoints
+        // (paper §7.4: "it does not checkpoint the log during the
+        // benchmark").
+        self.env.checkpoint().unwrap();
+    }
+
+    fn transaction(&mut self, account: u32, teller: u32, branch: u32, delta: i64, hist_id: u32) {
+        let mut txn = self.env.begin().unwrap();
+        self.update(&mut txn, self.account, account, delta);
+        self.update(&mut txn, self.teller, teller, delta);
+        self.update(&mut txn, self.branch, branch, delta);
+        self.env
+            .put(
+                &mut txn,
+                self.history,
+                &hist_id.to_be_bytes(),
+                &history_record_bytes(hist_id, account, teller, branch, delta),
+            )
+            .unwrap();
+        self.env.commit(txn).unwrap();
+    }
+
+    fn disk_size(&self) -> u64 {
+        self.env.disk_size().unwrap()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        let (wal, _, pages) = self.env.stats();
+        wal + pages
+    }
+
+    fn account_balance(&self, id: u32) -> i64 {
+        record_balance(&self.env.get(self.account, &id.to_be_bytes()).unwrap().unwrap())
+    }
+
+    fn branch_balance(&self, id: u32) -> i64 {
+        record_balance(&self.env.get(self.branch, &id.to_be_bytes()).unwrap().unwrap())
+    }
+}

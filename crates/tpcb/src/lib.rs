@@ -1,0 +1,28 @@
+//! The TPC-B workload of the paper's evaluation (§7.1).
+//!
+//! "The benchmark schema consists of four collections: Account, Teller,
+//! Branch and History. Objects in all four collections are 100 bytes long
+//! and contain 4-byte unique ids. A transaction reads and updates a random
+//! object from each of the Account, Branch and Teller collections and
+//! inserts a new object into the History collection." The initial sizes
+//! are scaled down to model an embedded database (paper Fig. 9):
+//! Account 100 000, Teller 1 000, Branch 100, History 252 000.
+//!
+//! Both systems get the same driver loop and the same PRNG stream, so the
+//! comparison isolates the storage engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver_baseline;
+pub mod driver_tdb;
+pub mod runner;
+pub mod schema;
+
+pub use driver_baseline::BaselineDriver;
+pub use driver_tdb::TdbDriver;
+pub use runner::{run_benchmark, BenchReport, TpcbConfig, TpcbSystem};
+pub use schema::{
+    history_record_bytes, record_bytes, register_tpcb_classes, register_tpcb_extractors,
+    HistoryRecord, TpcbRecord, TABLES,
+};

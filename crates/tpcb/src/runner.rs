@@ -1,0 +1,137 @@
+//! The shared benchmark driver: load the four tables, run transactions,
+//! report mean response time over the steady-state half (the paper runs
+//! 200 000 transactions and averages the later 100 000, §7.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A system under test (TDB or the baseline).
+pub trait TpcbSystem {
+    /// Bulk-load `account`, `teller`, `branch`, `history` with their
+    /// initial record counts.
+    fn load(&mut self, accounts: u32, tellers: u32, branches: u32, history: u32);
+
+    /// One TPC-B transaction: update the three picked records' balances by
+    /// `delta` and insert a history record with id `hist_id`.
+    fn transaction(&mut self, account: u32, teller: u32, branch: u32, delta: i64, hist_id: u32);
+
+    /// Current on-disk footprint in bytes.
+    fn disk_size(&self) -> u64;
+
+    /// Total bytes written to storage so far.
+    fn bytes_written(&self) -> u64;
+
+    /// Balance of an account (consistency checks).
+    fn account_balance(&self, id: u32) -> i64;
+
+    /// Balance of a branch (consistency checks).
+    fn branch_balance(&self, id: u32) -> i64;
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct TpcbConfig {
+    /// Scale factor on the paper's Fig. 9 table sizes (1.0 = full).
+    pub scale: f64,
+    /// Transactions to run.
+    pub transactions: u64,
+    /// PRNG seed (same seed ⇒ identical op streams on both systems).
+    pub seed: u64,
+}
+
+impl Default for TpcbConfig {
+    fn default() -> Self {
+        TpcbConfig { scale: 1.0, transactions: 200_000, seed: 0x7DB }
+    }
+}
+
+impl TpcbConfig {
+    /// Scaled initial table sizes (account, teller, branch, history).
+    pub fn sizes(&self) -> (u32, u32, u32, u32) {
+        let s = |n: u64| ((n as f64 * self.scale) as u32).max(1);
+        (s(100_000), s(1_000), s(100), s(252_000))
+    }
+}
+
+/// Results of one run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Transactions executed.
+    pub transactions: u64,
+    /// Mean response time over the steady-state (second) half, in ms.
+    pub avg_response_ms: f64,
+    /// Mean response time over all transactions, in ms.
+    pub avg_response_all_ms: f64,
+    /// Bytes written to storage per transaction (steady-state half).
+    pub bytes_per_txn: f64,
+    /// On-disk footprint after the run, in bytes.
+    pub final_disk_size: u64,
+    /// Wall-clock of the measured run in seconds (loading excluded).
+    pub run_seconds: f64,
+}
+
+/// Load and run the benchmark against `system`.
+pub fn run_benchmark(system: &mut dyn TpcbSystem, cfg: &TpcbConfig) -> BenchReport {
+    let (accounts, tellers, branches, history) = cfg.sizes();
+    system.load(accounts, tellers, branches, history);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut hist_id = history; // continue after the preloaded records
+    let total = cfg.transactions;
+    let half = total / 2;
+
+    let mut first_half_nanos = 0u128;
+    let mut second_half_nanos = 0u128;
+    let mut bytes_at_half = system.bytes_written();
+    let run_start = Instant::now();
+
+    #[allow(clippy::explicit_counter_loop)] // hist_id advances with txns by design
+    for i in 0..total {
+        let account = rng.gen_range(0..accounts);
+        let teller = rng.gen_range(0..tellers);
+        let branch = rng.gen_range(0..branches);
+        let delta = rng.gen_range(-99_999i64..=99_999);
+        let start = Instant::now();
+        system.transaction(account, teller, branch, delta, hist_id);
+        let nanos = start.elapsed().as_nanos();
+        hist_id += 1;
+        if i < half {
+            first_half_nanos += nanos;
+            if i + 1 == half {
+                bytes_at_half = system.bytes_written();
+            }
+        } else {
+            second_half_nanos += nanos;
+        }
+    }
+    let run_seconds = run_start.elapsed().as_secs_f64();
+
+    let measured = (total - half).max(1);
+    let bytes_second_half = system.bytes_written().saturating_sub(bytes_at_half);
+    BenchReport {
+        transactions: total,
+        avg_response_ms: second_half_nanos as f64 / measured as f64 / 1e6,
+        avg_response_all_ms: (first_half_nanos + second_half_nanos) as f64 / total as f64 / 1e6,
+        bytes_per_txn: bytes_second_half as f64 / measured as f64,
+        final_disk_size: system.disk_size(),
+        run_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale() {
+        let cfg = TpcbConfig { scale: 0.01, ..Default::default() };
+        assert_eq!(cfg.sizes(), (1000, 10, 1, 2520));
+        let cfg = TpcbConfig { scale: 1.0, ..Default::default() };
+        assert_eq!(cfg.sizes(), (100_000, 1_000, 100, 252_000));
+        // Tiny scales never hit zero.
+        let cfg = TpcbConfig { scale: 0.0001, ..Default::default() };
+        let (a, t, b, h) = cfg.sizes();
+        assert!(a >= 1 && t >= 1 && b >= 1 && h >= 1);
+    }
+}

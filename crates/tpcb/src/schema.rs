@@ -1,0 +1,175 @@
+//! The TPC-B schema: 100-byte records with 4-byte ids (paper §7.1).
+
+use tdb::{
+    impl_persistent_boilerplate, ClassRegistry, ExtractorRegistry, Key, Persistent, PickleError,
+    Pickler, Unpickler,
+};
+
+/// Class id of account/teller/branch records.
+pub const CLASS_TPCB_RECORD: u32 = 0x7b00_0001;
+/// Class id of history records.
+pub const CLASS_HISTORY: u32 = 0x7b00_0002;
+
+/// The four tables with their paper-specified initial sizes (Fig. 9).
+pub const TABLES: [(&str, u64); 4] =
+    [("account", 100_000), ("teller", 1_000), ("branch", 100), ("history", 252_000)];
+
+/// Padding so a record pickles to ~100 bytes like the paper's objects.
+const FILLER_LEN: usize = 80;
+
+/// An Account / Teller / Branch record: 4-byte id, balance, filler.
+pub struct TpcbRecord {
+    /// Unique id within its table.
+    pub id: u32,
+    /// Balance, updated by every transaction that picks this record.
+    pub balance: i64,
+    /// Padding up to the 100-byte record size.
+    pub filler: Vec<u8>,
+}
+
+impl TpcbRecord {
+    /// Fresh record with zero balance.
+    pub fn new(id: u32) -> Self {
+        TpcbRecord { id, balance: 0, filler: vec![0x20; FILLER_LEN] }
+    }
+}
+
+impl Persistent for TpcbRecord {
+    impl_persistent_boilerplate!(CLASS_TPCB_RECORD);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.id);
+        w.i64(self.balance);
+        w.bytes(&self.filler);
+    }
+}
+
+/// Unpickler for [`TpcbRecord`].
+pub fn unpickle_record(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(TpcbRecord { id: r.u32()?, balance: r.i64()?, filler: r.bytes()?.to_vec() }))
+}
+
+/// A History record: who moved how much where.
+pub struct HistoryRecord {
+    /// Unique id.
+    pub id: u32,
+    /// Account touched.
+    pub account: u32,
+    /// Teller touched.
+    pub teller: u32,
+    /// Branch touched.
+    pub branch: u32,
+    /// Amount moved.
+    pub delta: i64,
+    /// Padding up to ~100 bytes.
+    pub filler: Vec<u8>,
+}
+
+impl HistoryRecord {
+    /// Build a history entry.
+    pub fn new(id: u32, account: u32, teller: u32, branch: u32, delta: i64) -> Self {
+        HistoryRecord { id, account, teller, branch, delta, filler: vec![0x20; FILLER_LEN - 12] }
+    }
+}
+
+impl Persistent for HistoryRecord {
+    impl_persistent_boilerplate!(CLASS_HISTORY);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.id);
+        w.u32(self.account);
+        w.u32(self.teller);
+        w.u32(self.branch);
+        w.i64(self.delta);
+        w.bytes(&self.filler);
+    }
+}
+
+/// Unpickler for [`HistoryRecord`].
+pub fn unpickle_history(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(HistoryRecord {
+        id: r.u32()?,
+        account: r.u32()?,
+        teller: r.u32()?,
+        branch: r.u32()?,
+        delta: r.i64()?,
+        filler: r.bytes()?.to_vec(),
+    }))
+}
+
+/// Register both TPC-B classes.
+pub fn register_tpcb_classes(registry: &mut ClassRegistry) {
+    registry.register(CLASS_TPCB_RECORD, "TpcbRecord", unpickle_record);
+    registry.register(CLASS_HISTORY, "HistoryRecord", unpickle_history);
+}
+
+/// Register the id extractors ("tpcb.id", "tpcb.history.id").
+pub fn register_tpcb_extractors(registry: &mut ExtractorRegistry) {
+    registry.register("tpcb.id", |obj| {
+        tdb::extractor_typed::<TpcbRecord>(obj, |r| Key::U64(r.id as u64))
+    });
+    registry.register("tpcb.history.id", |obj| {
+        tdb::extractor_typed::<HistoryRecord>(obj, |r| Key::U64(r.id as u64))
+    });
+}
+
+/// The baseline's flat 100-byte record encoding (id, balance, filler).
+pub fn record_bytes(id: u32, balance: i64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(100);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&balance.to_le_bytes());
+    out.resize(100, 0x20);
+    out
+}
+
+/// Parse the balance back out of a baseline record.
+pub fn record_balance(bytes: &[u8]) -> i64 {
+    i64::from_le_bytes(bytes[4..12].try_into().expect("record too short"))
+}
+
+/// The baseline's history record encoding.
+pub fn history_record_bytes(id: u32, account: u32, teller: u32, branch: u32, delta: i64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(100);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&account.to_le_bytes());
+    out.extend_from_slice(&teller.to_le_bytes());
+    out.extend_from_slice(&branch.to_le_bytes());
+    out.extend_from_slice(&delta.to_le_bytes());
+    out.resize(100, 0x20);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_about_100_bytes() {
+        let mut w = Pickler::new();
+        TpcbRecord::new(1).pickle(&mut w);
+        let len = w.len();
+        assert!((95..=105).contains(&len), "record pickles to {len} bytes");
+        let mut w = Pickler::new();
+        HistoryRecord::new(1, 2, 3, 4, 5).pickle(&mut w);
+        let len = w.len();
+        assert!((95..=105).contains(&len), "history pickles to {len} bytes");
+        assert_eq!(record_bytes(1, 0).len(), 100);
+        assert_eq!(history_record_bytes(1, 2, 3, 4, 5).len(), 100);
+    }
+
+    #[test]
+    fn record_pickle_roundtrip() {
+        let mut w = Pickler::new();
+        let rec = TpcbRecord { id: 7, balance: -42, filler: vec![1; FILLER_LEN] };
+        rec.pickle(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Unpickler::new(&bytes);
+        let back = unpickle_record(&mut r).unwrap();
+        let back = back.as_any().downcast_ref::<TpcbRecord>().unwrap();
+        assert_eq!((back.id, back.balance), (7, -42));
+    }
+
+    #[test]
+    fn baseline_record_balance_roundtrip() {
+        let bytes = record_bytes(9, -123456);
+        assert_eq!(record_balance(&bytes), -123456);
+    }
+}

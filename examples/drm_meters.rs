@@ -1,0 +1,246 @@
+//! The paper's motivating DRM scenario (§1): enforce contracts like
+//! "pay-per-view", "free after first ten paid views", and a prepaid
+//! account balance — all state that has monetary value and must survive
+//! crashes, resist tampering, and stay secret on the consumer's device.
+//!
+//! ```sh
+//! cargo run --example drm_meters
+//! ```
+
+use std::sync::Arc;
+use tdb::platform::{MemSecretStore, MemStore, VolatileCounter};
+use tdb::{
+    impl_persistent_boilerplate, ClassRegistry, CollectionError, Database, DatabaseConfig,
+    ExtractorRegistry, IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, TdbError,
+    Unpickler,
+};
+
+// --- Schema ----------------------------------------------------------------
+
+const CLASS_CONTRACT: u32 = 0xD4A0_0001;
+const CLASS_WALLET: u32 = 0xD4A0_0002;
+
+/// Contract kinds from the paper's introduction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Terms {
+    PayPerView { cents: i64 },
+    FreeAfterPaidViews { cents: i64, free_after: i64 },
+}
+
+struct Contract {
+    content_id: u64,
+    terms: Terms,
+    views: i64,
+}
+
+impl Persistent for Contract {
+    impl_persistent_boilerplate!(CLASS_CONTRACT);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.content_id);
+        match self.terms {
+            Terms::PayPerView { cents } => {
+                w.u8(0);
+                w.i64(cents);
+            }
+            Terms::FreeAfterPaidViews { cents, free_after } => {
+                w.u8(1);
+                w.i64(cents);
+                w.i64(free_after);
+            }
+        }
+        w.i64(self.views);
+    }
+}
+
+fn unpickle_contract(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    let content_id = r.u64()?;
+    let terms = match r.u8()? {
+        0 => Terms::PayPerView { cents: r.i64()? },
+        1 => Terms::FreeAfterPaidViews { cents: r.i64()?, free_after: r.i64()? },
+        t => return Err(PickleError(format!("bad terms tag {t}"))),
+    };
+    Ok(Box::new(Contract { content_id, terms, views: r.i64()? }))
+}
+
+struct Wallet {
+    owner: String,
+    balance_cents: i64,
+}
+
+impl Persistent for Wallet {
+    impl_persistent_boilerplate!(CLASS_WALLET);
+    fn pickle(&self, w: &mut Pickler) {
+        w.string(&self.owner);
+        w.i64(self.balance_cents);
+    }
+}
+
+fn unpickle_wallet(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Wallet { owner: r.string()?, balance_cents: r.i64()? }))
+}
+
+// --- The consumption operation ---------------------------------------------
+
+/// One "view" of a piece of content: look up the contract, decide the
+/// price, debit the wallet, bump the meter — atomically. Insufficient
+/// funds abort the whole transaction.
+fn view(db: &Database, content_id: u64) -> Result<i64, String> {
+    let t = db.begin();
+    let price = {
+        let contracts = t.write_collection("contracts").map_err(|e| e.to_string())?;
+        let mut it = contracts
+            .exact("by-content", &Key::U64(content_id))
+            .map_err(|e| e.to_string())?;
+        if it.end() {
+            return Err(format!("no contract for content {content_id}"));
+        }
+        let price = {
+            let c = it.write::<Contract>().map_err(|e| e.to_string())?;
+            let mut c = c.get_mut();
+            let price = match c.terms {
+                Terms::PayPerView { cents } => cents,
+                Terms::FreeAfterPaidViews { cents, free_after } => {
+                    if c.views >= free_after {
+                        0
+                    } else {
+                        cents
+                    }
+                }
+            };
+            c.views += 1;
+            price
+        };
+        it.close().map_err(|e| e.to_string())?;
+        price
+    };
+
+    if price > 0 {
+        let wallet_id = t.root("wallet").expect("wallet registered");
+        let wallets = t.write_collection("wallets").map_err(|e| e.to_string())?;
+        let mut it = wallets.scan("by-owner").map_err(|e| e.to_string())?;
+        let mut debited = false;
+        while !it.end() {
+            if it.current() == Some(wallet_id) {
+                let w = it.write::<Wallet>().map_err(|e| e.to_string())?;
+                let mut w = w.get_mut();
+                if w.balance_cents < price {
+                    drop(w);
+                    drop(it);
+                    drop(wallets);
+                    t.abort(); // monetary state: all-or-nothing
+                    return Err("insufficient funds".into());
+                }
+                w.balance_cents -= price;
+                debited = true;
+            }
+            it.next();
+        }
+        it.close().map_err(|e| e.to_string())?;
+        assert!(debited);
+    }
+    t.commit(true).map_err(|e| e.to_string())?;
+    Ok(price)
+}
+
+fn main() {
+    let mut classes = ClassRegistry::new();
+    classes.register(CLASS_CONTRACT, "Contract", unpickle_contract);
+    classes.register(CLASS_WALLET, "Wallet", unpickle_wallet);
+    let mut extractors = ExtractorRegistry::new();
+    extractors.register("contract.content", |o| {
+        tdb::extractor_typed::<Contract>(o, |c| Key::U64(c.content_id))
+    });
+    extractors.register("wallet.owner", |o| {
+        tdb::extractor_typed::<Wallet>(o, |w| Key::str(w.owner.clone()))
+    });
+
+    let db = Database::create(
+        Arc::new(MemStore::new()),
+        &MemSecretStore::from_label("drm-device-0001"),
+        Arc::new(VolatileCounter::new()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    )
+    .unwrap();
+
+    // Provision the device: two contracts and a $1.00 wallet.
+    let t = db.begin();
+    let contracts = t
+        .create_collection(
+            "contracts",
+            &[IndexSpec::new("by-content", "contract.content", true, IndexKind::Hash)],
+        )
+        .unwrap();
+    contracts
+        .insert(Box::new(Contract {
+            content_id: 1,
+            terms: Terms::PayPerView { cents: 25 },
+            views: 0,
+        }))
+        .unwrap();
+    contracts
+        .insert(Box::new(Contract {
+            content_id: 2,
+            terms: Terms::FreeAfterPaidViews { cents: 30, free_after: 2 },
+            views: 0,
+        }))
+        .unwrap();
+    drop(contracts);
+    let wallets = t
+        .create_collection(
+            "wallets",
+            &[IndexSpec::new("by-owner", "wallet.owner", true, IndexKind::BTree)],
+        )
+        .unwrap();
+    let wallet_id = wallets
+        .insert(Box::new(Wallet { owner: "alice".into(), balance_cents: 100 }))
+        .unwrap();
+    drop(wallets);
+    t.set_root("wallet", wallet_id).unwrap();
+    t.commit(true).unwrap();
+
+    // Consume.
+    println!("movie #1 (pay-per-view 25c): paid {}c", view(&db, 1).unwrap());
+    println!("song  #2 (30c, free after 2): paid {}c", view(&db, 2).unwrap());
+    println!("song  #2 again:               paid {}c", view(&db, 2).unwrap());
+    println!("song  #2 third time:          paid {}c (now free)", view(&db, 2).unwrap());
+
+    // Balance is now 100 - 25 - 30 - 30 = 15, which cannot cover another
+    // 25c movie: the transaction must abort, leaving meter AND wallet
+    // untouched.
+    match view(&db, 1) {
+        Err(e) => println!("movie #1 with 15c left: rejected ({e}) — transaction aborted"),
+        Ok(_) => unreachable!(),
+    }
+
+    // The abort left the meter untouched as well: monetary invariants hold.
+    let t = db.begin();
+    let wallets = t.read_collection("wallets").unwrap();
+    let it = wallets.exact("by-owner", &Key::str("alice")).unwrap();
+    let w = it.read::<Wallet>().unwrap();
+    println!("final balance: {}c", w.get().balance_cents);
+    assert_eq!(w.get().balance_cents, 15);
+    drop(w);
+    it.close().unwrap();
+    drop(wallets);
+    let contracts = t.read_collection("contracts").unwrap();
+    let it = contracts.exact("by-content", &Key::U64(1)).unwrap();
+    let c = it.read::<Contract>().unwrap();
+    assert_eq!(c.get().views, 1, "aborted view must not count");
+    println!("movie #1 recorded views: {}", c.get().views);
+    drop(c);
+    it.close().unwrap();
+    drop(contracts);
+    t.commit(false).unwrap();
+
+    // Type errors are caught, not silently mangled (paper §4.1).
+    let t = db.begin();
+    let contracts = t.read_collection("contracts").unwrap();
+    let it = contracts.exact("by-content", &Key::U64(1)).unwrap();
+    match it.read::<Wallet>() {
+        Err(CollectionError::Object(e)) => println!("wrong-type deref rejected: {e}"),
+        other => panic!("expected TypeMismatch, got {:?}", other.map(|_| ())),
+    }
+    let _ = TdbError::Collection(CollectionError::IteratorConflict); // facade error type in scope
+}

@@ -1,0 +1,179 @@
+//! The paper's signature attack (§3): "The consumer can, for example, save
+//! a copy of the database, purchase some goods, then replay the saved copy
+//! in an attempt to erase any record of purchasing the goods. The chunk
+//! store does, however, detect tampering, including such replay attacks."
+//!
+//! This example mounts that exact attack — and shows why it only works if
+//! the hardware one-way counter can be rolled back too.
+//!
+//! ```sh
+//! cargo run --example replay_attack
+//! ```
+
+use std::sync::Arc;
+use tdb::platform::{MemSecretStore, MemStore, OneWayCounter, TamperableCounter, VolatileCounter};
+use tdb::{
+    impl_persistent_boilerplate, ChunkStoreError, ClassRegistry, Database, DatabaseConfig,
+    ExtractorRegistry, IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, TdbError,
+    Unpickler,
+};
+
+const CLASS_BALANCE: u32 = 0xBA1A_0001;
+
+struct Prepaid {
+    account: u64,
+    cents: i64,
+}
+
+impl Persistent for Prepaid {
+    impl_persistent_boilerplate!(CLASS_BALANCE);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.account);
+        w.i64(self.cents);
+    }
+}
+
+fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Prepaid { account: r.u64()?, cents: r.i64()? }))
+}
+
+fn registries() -> (ClassRegistry, ExtractorRegistry) {
+    let mut classes = ClassRegistry::new();
+    classes.register(CLASS_BALANCE, "Prepaid", unpickle);
+    let mut extractors = ExtractorRegistry::new();
+    extractors
+        .register("prepaid.account", |o| tdb::extractor_typed::<Prepaid>(o, |p| Key::U64(p.account)));
+    (classes, extractors)
+}
+
+fn spend(db: &Database, cents: i64) {
+    let t = db.begin();
+    let c = t.write_collection("prepaid").unwrap();
+    let mut it = c.exact("by-account", &Key::U64(1)).unwrap();
+    {
+        let p = it.write::<Prepaid>().unwrap();
+        p.get_mut().cents -= cents;
+    }
+    it.close().unwrap();
+    drop(c);
+    t.commit(true).unwrap();
+}
+
+fn balance(db: &Database) -> i64 {
+    let t = db.begin();
+    let c = t.read_collection("prepaid").unwrap();
+    let it = c.exact("by-account", &Key::U64(1)).unwrap();
+    let p = it.read::<Prepaid>().unwrap();
+    let cents = p.get().cents;
+    drop(p);
+    it.close().unwrap();
+    drop(c);
+    t.commit(false).unwrap();
+    cents
+}
+
+fn main() {
+    let mem = MemStore::new();
+    let secret = MemSecretStore::from_label("set-top-box");
+    let counter = VolatileCounter::new();
+    let (classes, extractors) = registries();
+    let db = Database::create(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(counter.clone()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    )
+    .unwrap();
+
+    let t = db.begin();
+    let c = t
+        .create_collection(
+            "prepaid",
+            &[IndexSpec::new("by-account", "prepaid.account", true, IndexKind::Hash)],
+        )
+        .unwrap();
+    c.insert(Box::new(Prepaid { account: 1, cents: 500 })).unwrap();
+    drop(c);
+    t.commit(true).unwrap();
+    println!("balance: {}c", balance(&db));
+
+    // The consumer images the storage while the balance is full...
+    let saved = mem.deep_clone();
+    println!("(consumer secretly images the flash card)");
+
+    // ...then buys three movies.
+    spend(&db, 150);
+    spend(&db, 150);
+    spend(&db, 150);
+    println!("after three purchases: {}c", balance(&db));
+    drop(db);
+
+    // ...and replays the saved image to get the money back.
+    mem.restore_from(&saved);
+    println!("(consumer writes the old image back)");
+    let (classes, extractors) = registries();
+    match Database::open(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(counter.clone()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    ) {
+        Err(TdbError::Chunk(ChunkStoreError::ReplayDetected {
+            anchor_counter,
+            hardware_counter,
+        })) => println!(
+            "replay detected: the image claims counter {anchor_counter}, the hardware says {hardware_counter}"
+        ),
+        other => panic!("expected replay detection, got {:?}", other.map(|_| ())),
+    }
+
+    // Control experiment: with a (hypothetical) resettable counter the
+    // attack succeeds — the whole defense rests on the one-way property.
+    let mem = MemStore::new();
+    let evil_counter = TamperableCounter::new();
+    let (classes, extractors) = registries();
+    let db = Database::create(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(evil_counter.clone()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    )
+    .unwrap();
+    let t = db.begin();
+    let c = t
+        .create_collection(
+            "prepaid",
+            &[IndexSpec::new("by-account", "prepaid.account", true, IndexKind::Hash)],
+        )
+        .unwrap();
+    c.insert(Box::new(Prepaid { account: 1, cents: 500 })).unwrap();
+    drop(c);
+    t.commit(true).unwrap();
+    let saved = mem.deep_clone();
+    let counter_at_save = evil_counter.read().unwrap();
+    spend(&db, 450);
+    drop(db);
+    mem.restore_from(&saved);
+    evil_counter.set(counter_at_save); // the hardware violation
+    let (classes, extractors) = registries();
+    let db = Database::open(
+        Arc::new(mem),
+        &secret,
+        Arc::new(evil_counter),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    )
+    .unwrap();
+    println!(
+        "with a rolled-back counter the replay sadly works: balance {}c — \
+         which is exactly why the counter must be one-way hardware",
+        balance(&db)
+    );
+}

@@ -1,0 +1,6 @@
+//! Workspace-level glue crate.
+//!
+//! This crate exists to host the repository-root `tests/` (cross-crate
+//! integration tests) and `examples/` directories. It re-exports the public
+//! facade so examples can simply `use tdb_suite as tdb;` if they wish.
+pub use tdb;

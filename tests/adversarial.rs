@@ -1,0 +1,265 @@
+//! Adversarial integration tests: the attacker owns the storage (paper
+//! §2). Every stored byte is flipped in turn; the database must either
+//! behave identically or refuse with tamper/replay detection — never
+//! silently serve corrupted state.
+
+use std::sync::Arc;
+use tdb::platform::{MemSecretStore, MemStore, OneWayCounter, UntrustedStore, VolatileCounter};
+use tdb::{
+    impl_persistent_boilerplate, ChunkStoreError, ClassRegistry, CollectionError, Database,
+    DatabaseConfig, ExtractorRegistry, IndexKind, IndexSpec, Key, ObjectStoreError, Persistent,
+    PickleError, Pickler, TdbError, Unpickler,
+};
+
+const CLASS_SECRETVAL: u32 = 0x5EC0_0001;
+
+struct SecretVal {
+    id: u64,
+    payload: Vec<u8>,
+}
+
+impl Persistent for SecretVal {
+    impl_persistent_boilerplate!(CLASS_SECRETVAL);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.id);
+        w.bytes(&self.payload);
+    }
+}
+
+fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(SecretVal { id: r.u64()?, payload: r.bytes()?.to_vec() }))
+}
+
+fn registries() -> (ClassRegistry, ExtractorRegistry) {
+    let mut classes = ClassRegistry::new();
+    classes.register(CLASS_SECRETVAL, "SecretVal", unpickle);
+    let mut extractors = ExtractorRegistry::new();
+    extractors.register("sv.id", |o| tdb::extractor_typed::<SecretVal>(o, |s| Key::U64(s.id)));
+    (classes, extractors)
+}
+
+fn build_database(mem: &MemStore, counter: &VolatileCounter) -> Vec<Vec<u8>> {
+    let (classes, extractors) = registries();
+    let secret = MemSecretStore::from_label("adversarial");
+    let db = Database::create(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(counter.clone()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    )
+    .unwrap();
+    let t = db.begin();
+    let c = t
+        .create_collection("vault", &[IndexSpec::new("by-id", "sv.id", true, IndexKind::Hash)])
+        .unwrap();
+    let mut payloads = Vec::new();
+    for id in 0..80u64 {
+        let payload = format!("content-key-{id:04}-SECRET").into_bytes();
+        c.insert(Box::new(SecretVal { id, payload: payload.clone() })).unwrap();
+        payloads.push(payload);
+    }
+    drop(c);
+    t.commit(true).unwrap();
+    payloads
+}
+
+/// Open the database and read everything back; `Ok` only if every payload
+/// matches exactly.
+fn read_all(mem: &MemStore, counter: &VolatileCounter, expect: &[Vec<u8>]) -> Result<(), String> {
+    let (classes, extractors) = registries();
+    let secret = MemSecretStore::from_label("adversarial");
+    let db = Database::open(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(counter.clone()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let t = db.begin();
+    let c = t.read_collection("vault").map_err(|e| e.to_string())?;
+    for (id, payload) in expect.iter().enumerate() {
+        let it = c.exact("by-id", &Key::U64(id as u64)).map_err(|e| e.to_string())?;
+        let sv = it.read::<SecretVal>().map_err(|e| e.to_string())?;
+        if &sv.get().payload != payload {
+            return Err(format!("SILENT CORRUPTION of value {id}"));
+        }
+        drop(sv);
+        it.close().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[test]
+fn exhaustive_bit_flip_sweep_never_corrupts_silently() {
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let payloads = build_database(&mem, &counter);
+    // Baseline sanity.
+    read_all(&mem, &counter, &payloads).expect("clean database must read");
+
+    let mut flips = 0;
+    let mut detected = 0;
+    for name in mem.list().unwrap() {
+        let len = mem.raw(&name).unwrap().len();
+        // Sweep with a stride to keep runtime bounded; prime stride avoids
+        // aliasing with record layouts.
+        for off in (0..len).step_by(37) {
+            mem.corrupt(&name, off as u64, 1).unwrap();
+            flips += 1;
+            match read_all(&mem, &counter, &payloads) {
+                Ok(()) => {} // flip landed in dead bytes — fine
+                Err(e) if e.contains("SILENT CORRUPTION") => {
+                    panic!("flip at {name}:{off} caused silent corruption")
+                }
+                Err(_) => detected += 1,
+            }
+            mem.corrupt(&name, off as u64, 1).unwrap(); // restore
+        }
+    }
+    assert!(flips > 150, "sweep too small: {flips}");
+    assert!(
+        detected > flips / 4,
+        "only {detected}/{flips} flips detected — most of the file should be live"
+    );
+    // And the restored database still reads cleanly.
+    read_all(&mem, &counter, &payloads).expect("database damaged by the sweep itself");
+}
+
+#[test]
+fn truncation_never_corrupts_silently() {
+    // Truncating a file may be harmless (the cut bytes were dead) or must
+    // be *detected* — it may never yield wrong data. Cutting the first
+    // segment to a sliver always removes live state and must error.
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let payloads = build_database(&mem, &counter);
+    for name in mem.list().unwrap() {
+        let copy = mem.deep_clone();
+        let len = copy.raw(&name).unwrap().len();
+        if len == 0 {
+            continue;
+        }
+        copy.open(&name, false).unwrap().set_len(len as u64 / 2).unwrap();
+        match read_all(&copy, &counter, &payloads) {
+            Ok(()) => {} // cut bytes were dead space
+            Err(e) => assert!(!e.contains("SILENT"), "truncating {name}: {e}"),
+        }
+    }
+    let copy = mem.deep_clone();
+    let len = copy.raw("seg.000000").unwrap().len();
+    copy.open("seg.000000", false).unwrap().set_len(len as u64 / 10).unwrap();
+    assert!(read_all(&copy, &counter, &payloads).is_err());
+}
+
+#[test]
+fn deleting_segments_is_detected() {
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let payloads = build_database(&mem, &counter);
+    for name in mem.list().unwrap() {
+        if !name.starts_with("seg.") {
+            continue;
+        }
+        if mem.raw(&name).unwrap().is_empty() {
+            continue; // free (truncated) segments hold nothing
+        }
+        let copy = mem.deep_clone();
+        copy.remove(&name).unwrap();
+        assert!(
+            read_all(&copy, &counter, &payloads).is_err(),
+            "deleting {name} went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn cross_database_splicing_is_detected() {
+    // Two databases under the same secret: splice a segment file from one
+    // into the other. Hash/chain validation must catch it.
+    let mem_a = MemStore::new();
+    let counter_a = VolatileCounter::new();
+    let payloads_a = build_database(&mem_a, &counter_a);
+    let mem_b = MemStore::new();
+    let counter_b = VolatileCounter::new();
+    let _payloads_b = build_database(&mem_b, &counter_b);
+
+    let victim = mem_a.deep_clone();
+    let donor_seg = mem_b.raw("seg.000000").unwrap();
+    victim.open("seg.000000", false).unwrap().set_len(0).unwrap();
+    victim.open("seg.000000", false).unwrap().write_at(0, &donor_seg).unwrap();
+    assert!(read_all(&victim, &counter_a, &payloads_a).is_err());
+}
+
+#[test]
+fn error_types_are_distinguishable() {
+    // The facade surfaces the paper's two distinct failure classes.
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let payloads = build_database(&mem, &counter);
+
+    // Tamper: corrupt the log heavily.
+    let copy = mem.deep_clone();
+    for off in (0..copy.raw("seg.000000").unwrap().len()).step_by(11) {
+        copy.corrupt("seg.000000", off as u64, 1).unwrap();
+    }
+    let (classes, extractors) = registries();
+    let secret = MemSecretStore::from_label("adversarial");
+    match Database::open(
+        Arc::new(copy),
+        &secret,
+        Arc::new(counter.clone()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    ) {
+        Err(TdbError::Chunk(ChunkStoreError::TamperDetected(_))) => {}
+        other => panic!("expected TamperDetected, got {:?}", other.err().map(|e| e.to_string())),
+    }
+
+    // Replay: old image, advanced counter.
+    let old = mem.deep_clone();
+    counter.increment().unwrap();
+    counter.increment().unwrap();
+    let (classes, extractors) = registries();
+    match Database::open(
+        Arc::new(old),
+        &secret,
+        Arc::new(counter.clone()),
+        classes,
+        extractors,
+        DatabaseConfig::default(),
+    ) {
+        Err(TdbError::Chunk(ChunkStoreError::ReplayDetected { .. })) => {}
+        other => panic!("expected ReplayDetected, got {:?}", other.err().map(|e| e.to_string())),
+    }
+
+    // Keep the variants nameable from the facade (compile-time check).
+    let _ = |e: TdbError| match e {
+        TdbError::Object(ObjectStoreError::LockTimeout(_)) => (),
+        TdbError::Collection(CollectionError::IteratorConflict) => (),
+        _ => (),
+    };
+    let _ = &payloads;
+}
+
+#[test]
+fn ciphertext_leaks_nothing_across_whole_stack() {
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let payloads = build_database(&mem, &counter);
+    for name in mem.list().unwrap() {
+        let raw = mem.raw(&name).unwrap();
+        for payload in &payloads {
+            assert!(
+                !raw.windows(12).any(|w| w == &payload[..12]),
+                "payload fragment visible in {name}"
+            );
+        }
+        // Even the collection/index names stay secret.
+        assert!(!raw.windows(5).any(|w| w == b"vault"), "schema name visible in {name}");
+    }
+}
