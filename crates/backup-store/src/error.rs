@@ -73,8 +73,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(BackupError::NoBaseBackup.to_string().contains("full backup"));
-        assert!(BackupError::InvalidBackup("mac".into()).to_string().contains("mac"));
-        assert!(BackupError::SequenceViolation("gap".into()).to_string().contains("gap"));
+        assert!(BackupError::NoBaseBackup
+            .to_string()
+            .contains("full backup"));
+        assert!(BackupError::InvalidBackup("mac".into())
+            .to_string()
+            .contains("mac"));
+        assert!(BackupError::SequenceViolation("gap".into())
+            .to_string()
+            .contains("gap"));
     }
 }

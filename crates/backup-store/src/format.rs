@@ -96,8 +96,7 @@ impl BackupPayload {
             *pos += n;
             Ok(s)
         };
-        let n_writes =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let n_writes = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
         if n_writes > bytes.len() {
             return Err(bad("write count exceeds body"));
         }
@@ -108,8 +107,7 @@ impl BackupPayload {
             let data = take(&mut pos, len)?.to_vec();
             writes.push((ChunkId(id), data));
         }
-        let n_removed =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let n_removed = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
         if n_removed > bytes.len() {
             return Err(bad("removed count exceeds body"));
         }
@@ -167,7 +165,14 @@ impl BackupPayload {
             .open(&signed[HEADER_LEN..])
             .map_err(|_| bad("body does not decrypt"))?;
         let (writes, removed) = Self::decode_body(&body)?;
-        Ok(BackupPayload { kind, seq, base_seq, snap_seq, writes, removed })
+        Ok(BackupPayload {
+            kind,
+            seq,
+            base_seq,
+            snap_seq,
+            writes,
+            removed,
+        })
     }
 }
 

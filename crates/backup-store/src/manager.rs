@@ -40,7 +40,12 @@ impl BackupManager {
                 next_seq = next_seq.max(seq + 1);
             }
         }
-        Ok(BackupManager { archive, ctx, last: None, next_seq })
+        Ok(BackupManager {
+            archive,
+            ctx,
+            last: None,
+            next_seq,
+        })
     }
 
     /// Stream name for a backup sequence number.

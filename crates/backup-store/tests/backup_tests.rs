@@ -29,7 +29,9 @@ fn put(store: &ChunkStore, data: &[u8]) -> ChunkId {
 #[test]
 fn full_backup_and_restore_roundtrip() {
     let store = new_store();
-    let ids: Vec<_> = (0..25).map(|i| put(&store, format!("chunk-{i}").as_bytes())).collect();
+    let ids: Vec<_> = (0..25)
+        .map(|i| put(&store, format!("chunk-{i}").as_bytes()))
+        .collect();
     store.commit(true).unwrap();
 
     let archive = Arc::new(MemArchive::new());
@@ -114,7 +116,10 @@ fn incremental_without_base_fails() {
     let store = new_store();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive, &secret(), SecurityMode::Full).unwrap();
-    assert!(matches!(mgr.backup_incremental(&store), Err(BackupError::NoBaseBackup)));
+    assert!(matches!(
+        mgr.backup_incremental(&store),
+        Err(BackupError::NoBaseBackup)
+    ));
 }
 
 #[test]
@@ -128,14 +133,9 @@ fn corrupted_backup_is_rejected_entirely() {
 
     archive.corrupt(&name, 20, 3).unwrap();
     let restored = new_store();
-    let err = BackupManager::restore_chain(
-        &*archive,
-        &secret(),
-        SecurityMode::Full,
-        &[name],
-        &restored,
-    )
-    .unwrap_err();
+    let err =
+        BackupManager::restore_chain(&*archive, &secret(), SecurityMode::Full, &[name], &restored)
+            .unwrap_err();
     assert!(matches!(err, BackupError::InvalidBackup(_)), "{err}");
     // Nothing was applied.
     assert_eq!(restored.live_chunks(), 0);
@@ -215,14 +215,9 @@ fn chain_must_start_with_full() {
     let incr = mgr.backup_incremental(&store).unwrap();
 
     let restored = new_store();
-    let err = BackupManager::restore_chain(
-        &*archive,
-        &secret(),
-        SecurityMode::Full,
-        &[incr],
-        &restored,
-    )
-    .unwrap_err();
+    let err =
+        BackupManager::restore_chain(&*archive, &secret(), SecurityMode::Full, &[incr], &restored)
+            .unwrap_err();
     assert!(matches!(err, BackupError::SequenceViolation(_)));
 }
 
@@ -318,8 +313,7 @@ fn manager_continues_sequence_from_archive() {
     let archive = Arc::new(MemArchive::new());
     let first_name;
     {
-        let mut mgr =
-            BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
+        let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
         first_name = mgr.backup_full(&store).unwrap();
     }
     // A new manager (process restart) must not collide with old names.

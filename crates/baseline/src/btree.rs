@@ -34,7 +34,10 @@ impl Node {
     fn serialized_size(&self) -> usize {
         match self {
             Node::Leaf(entries) => {
-                3 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+                3 + entries
+                    .iter()
+                    .map(|(k, v)| 4 + k.len() + v.len())
+                    .sum::<usize>()
             }
             Node::Inner { entries, .. } => {
                 3 + 4 + entries.iter().map(|(k, _)| 6 + k.len()).sum::<usize>()
@@ -215,7 +218,10 @@ pub(crate) fn put(
     match split {
         None => Ok((old, None)),
         Some((sep, right)) => {
-            let new_root = ctx.alloc_node(&Node::Inner { first: root, entries: vec![(sep, right)] })?;
+            let new_root = ctx.alloc_node(&Node::Inner {
+                first: root,
+                entries: vec![(sep, right)],
+            })?;
             Ok((old, Some(new_root)))
         }
     }
@@ -243,7 +249,9 @@ fn insert_rec(
                 ctx.write_node(no, &node)?;
                 return Ok((old, None));
             }
-            let Node::Leaf(mut entries) = node else { unreachable!() };
+            let Node::Leaf(mut entries) = node else {
+                unreachable!()
+            };
             let mid = entries.len() / 2;
             let right_entries = entries.split_off(mid);
             let sep = right_entries[0].0.clone();
@@ -263,12 +271,16 @@ fn insert_rec(
                 ctx.write_node(no, &node)?;
                 return Ok((old, None));
             }
-            let Node::Inner { first, mut entries } = node else { unreachable!() };
+            let Node::Inner { first, mut entries } = node else {
+                unreachable!()
+            };
             let mid = entries.len() / 2;
             let mut right_part = entries.split_off(mid);
             let (up_key, right_first) = right_part.remove(0);
-            let right =
-                ctx.alloc_node(&Node::Inner { first: right_first, entries: right_part })?;
+            let right = ctx.alloc_node(&Node::Inner {
+                first: right_first,
+                entries: right_part,
+            })?;
             ctx.write_node(no, &Node::Inner { first, entries })?;
             Ok((old, Some((up_key, right))))
         }
@@ -343,18 +355,29 @@ mod tests {
         }
 
         fn ctx(&mut self) -> Ctx<'_> {
-            Ctx { pool: &mut self.pool, file: &self.file, next_page: &mut self.next_page, txn: 1 }
+            Ctx {
+                pool: &mut self.pool,
+                file: &self.file,
+                next_page: &mut self.next_page,
+                txn: 1,
+            }
         }
     }
 
     #[test]
     fn node_serialization_roundtrip() {
-        let leaf = Node::Leaf(vec![(b"a".to_vec(), b"1".to_vec()), (b"bb".to_vec(), vec![9; 100])]);
+        let leaf = Node::Leaf(vec![
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"bb".to_vec(), vec![9; 100]),
+        ]);
         let mut page = vec![0u8; PAGE_SIZE];
         leaf.serialize_into(&mut page);
         assert_eq!(Node::deserialize(&page).unwrap(), leaf);
 
-        let inner = Node::Inner { first: 7, entries: vec![(b"m".to_vec(), 9), (b"t".to_vec(), 12)] };
+        let inner = Node::Inner {
+            first: 7,
+            entries: vec![(b"m".to_vec(), 9), (b"t".to_vec(), 12)],
+        };
         inner.serialize_into(&mut page);
         assert_eq!(Node::deserialize(&page).unwrap(), inner);
         assert!(Node::deserialize(&[9u8; 16]).is_err());
@@ -398,7 +421,10 @@ mod tests {
             }
         }
         for key in keys {
-            assert_eq!(get(&mut fx.ctx(), root, &key).unwrap(), model.get(&key).cloned());
+            assert_eq!(
+                get(&mut fx.ctx(), root, &key).unwrap(),
+                model.get(&key).cloned()
+            );
         }
     }
 

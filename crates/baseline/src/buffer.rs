@@ -94,7 +94,12 @@ impl BufferPool {
             self.tick += 1;
             self.frames.insert(
                 no,
-                Frame { data, dirty: false, dirty_txns: HashSet::new(), tick: self.tick },
+                Frame {
+                    data,
+                    dirty: false,
+                    dirty_txns: HashSet::new(),
+                    tick: self.tick,
+                },
             );
             self.clean_count += 1;
             self.evict_if_needed(file, no)?;
@@ -207,7 +212,10 @@ mod tests {
         // Page 0 is dirty and must still be resident, never stolen: the
         // on-disk file holds exactly the last checkpoint state.
         assert_ne!(pf.read_page(0).unwrap()[0], 42, "dirty page leaked to disk");
-        assert!(bp.resident() <= 9 + 1, "clean frames should have been evicted");
+        assert!(
+            bp.resident() <= 9 + 1,
+            "clean frames should have been evicted"
+        );
         bp.flush_all(&pf, true).unwrap();
         assert_eq!(pf.read_page(0).unwrap()[0], 42);
         assert!(bp.page_bytes_flushed >= crate::PAGE_SIZE as u64);

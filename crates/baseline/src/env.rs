@@ -100,9 +100,17 @@ impl Catalog {
 /// An undo entry for in-memory abort.
 enum Undo {
     /// Restore a previous value (or remove if `None`).
-    Put { db: DbId, key: Vec<u8>, old: Option<Vec<u8>> },
+    Put {
+        db: DbId,
+        key: Vec<u8>,
+        old: Option<Vec<u8>>,
+    },
     /// Re-insert a deleted value.
-    Del { db: DbId, key: Vec<u8>, old: Vec<u8> },
+    Del {
+        db: DbId,
+        key: Vec<u8>,
+        old: Vec<u8>,
+    },
 }
 
 /// An open transaction handle.
@@ -201,7 +209,10 @@ impl Env {
             file,
             pool: BufferPool::new(cfg.cache_pages),
             wal,
-            catalog: Catalog { names: Vec::new(), roots: Vec::new() },
+            catalog: Catalog {
+                names: Vec::new(),
+                roots: Vec::new(),
+            },
             next_page: 1,
             next_txn: 1,
             active: None,
@@ -211,7 +222,9 @@ impl Env {
         inner.pool.release_txn(0);
         inner.pool.flush_all(&inner.file, true)?;
         inner.file.sync()?;
-        Ok(Env { inner: Mutex::new(inner) })
+        Ok(Env {
+            inner: Mutex::new(inner),
+        })
     }
 
     /// Open an existing environment, running redo recovery from the log.
@@ -250,7 +263,9 @@ impl Env {
                         inner.create_db_inner(0, name)?;
                     }
                 }
-                WalRecord::Put { txn, db, key, new, .. } if committed.contains(txn) => {
+                WalRecord::Put {
+                    txn, db, key, new, ..
+                } if committed.contains(txn) => {
                     max_txn = max_txn.max(*txn);
                     inner.apply_put(0, *db, key, new)?;
                 }
@@ -263,19 +278,26 @@ impl Env {
         }
         inner.pool.release_txn(0);
         inner.next_txn = max_txn + 1;
-        Ok(Env { inner: Mutex::new(inner) })
+        Ok(Env {
+            inner: Mutex::new(inner),
+        })
     }
 
     /// Create a named database (auto-committed, like `db_create` + open).
     pub fn create_db(&self, name: &str) -> Result<DbId> {
         let mut inner = self.inner.lock();
         if inner.active.is_some() {
-            return Err(BaselineError::Corrupt("create_db during a transaction".into()));
+            return Err(BaselineError::Corrupt(
+                "create_db during a transaction".into(),
+            ));
         }
         let txn = inner.next_txn;
         inner.next_txn += 1;
         let id = inner.create_db_inner(txn, name)?;
-        inner.wal.append(&WalRecord::CreateDb { txn, name: name.to_string() });
+        inner.wal.append(&WalRecord::CreateDb {
+            txn,
+            name: name.to_string(),
+        });
         inner.wal.append(&WalRecord::Commit { txn });
         inner.wal.flush_sync()?;
         inner.pool.release_txn(txn);
@@ -307,7 +329,11 @@ impl Env {
         let id = inner.next_txn;
         inner.next_txn += 1;
         inner.active = Some(id);
-        Ok(Txn { id, undo: Vec::new(), finished: false })
+        Ok(Txn {
+            id,
+            undo: Vec::new(),
+            finished: false,
+        })
     }
 
     /// Read a key (usable inside or outside transactions).
@@ -334,7 +360,11 @@ impl Env {
             old: old.clone(),
             new: val.to_vec(),
         });
-        txn.undo.push(Undo::Put { db, key: key.to_vec(), old });
+        txn.undo.push(Undo::Put {
+            db,
+            key: key.to_vec(),
+            old,
+        });
         Ok(())
     }
 
@@ -352,7 +382,11 @@ impl Env {
                     key: key.to_vec(),
                     old: old.clone(),
                 });
-                txn.undo.push(Undo::Del { db, key: key.to_vec(), old });
+                txn.undo.push(Undo::Del {
+                    db,
+                    key: key.to_vec(),
+                    old,
+                });
                 Ok(true)
             }
             None => Ok(false),
@@ -408,13 +442,19 @@ impl Env {
     pub fn checkpoint(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.active.is_some() {
-            return Err(BaselineError::Corrupt("checkpoint during a transaction".into()));
+            return Err(BaselineError::Corrupt(
+                "checkpoint during a transaction".into(),
+            ));
         }
         if inner.meta_dirty {
             inner.write_meta(0)?;
             inner.pool.release_txn(0);
         }
-        let EnvInner { ref mut pool, ref file, .. } = *inner;
+        let EnvInner {
+            ref mut pool,
+            ref file,
+            ..
+        } = *inner;
         pool.flush_all(file, true)?;
         inner.file.sync()?;
         inner.wal.truncate()?;
@@ -432,7 +472,11 @@ impl Env {
     /// bytes-per-transaction accounting.
     pub fn stats(&self) -> (u64, u64, u64) {
         let inner = self.inner.lock();
-        (inner.wal.bytes_written, inner.wal.syncs, inner.pool.page_bytes_flushed)
+        (
+            inner.wal.bytes_written,
+            inner.wal.syncs,
+            inner.pool.page_bytes_flushed,
+        )
     }
 
     /// Visit every entry of a database in key order (table scans / tests).

@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(BaselineError::NoSuchDb("x".into()).to_string().contains('x'));
+        assert!(BaselineError::NoSuchDb("x".into())
+            .to_string()
+            .contains('x'));
         assert!(BaselineError::TooLarge(9000).to_string().contains("9000"));
     }
 }

@@ -82,7 +82,13 @@ impl WalRecord {
                 out.extend_from_slice(&txn.to_le_bytes());
                 put_bytes(&mut out, name.as_bytes());
             }
-            WalRecord::Put { txn, db, key, old, new } => {
+            WalRecord::Put {
+                txn,
+                db,
+                key,
+                old,
+                new,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&db.to_le_bytes());
@@ -134,8 +140,8 @@ impl WalRecord {
         let txn = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
         let rec = match tag {
             0 => {
-                let name = String::from_utf8(get_bytes(&mut pos)?)
-                    .map_err(|_| corrupt("bad db name"))?;
+                let name =
+                    String::from_utf8(get_bytes(&mut pos)?).map_err(|_| corrupt("bad db name"))?;
                 WalRecord::CreateDb { txn, name }
             }
             1 => {
@@ -147,7 +153,13 @@ impl WalRecord {
                     _ => return Err(corrupt("bad option tag")),
                 };
                 let new = get_bytes(&mut pos)?;
-                WalRecord::Put { txn, db, key, old, new }
+                WalRecord::Put {
+                    txn,
+                    db,
+                    key,
+                    old,
+                    new,
+                }
             }
             2 => {
                 let db = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2"));
@@ -183,13 +195,20 @@ impl Wal {
     /// Open over a log file, appending after `offset` (recovery's scan end;
     /// 0 for a fresh log).
     pub fn new(file: Box<dyn RandomAccessFile>, offset: u64) -> Self {
-        Wal { file, offset, buf: Vec::new(), bytes_written: 0, syncs: 0 }
+        Wal {
+            file,
+            offset,
+            buf: Vec::new(),
+            bytes_written: 0,
+            syncs: 0,
+        }
     }
 
     /// Append a record to the in-memory buffer.
     pub fn append(&mut self, record: &WalRecord) {
         let payload = record.encode_payload();
-        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&fnv(&payload).to_le_bytes());
         self.buf.extend_from_slice(&payload);
     }
@@ -272,8 +291,17 @@ mod tests {
 
     fn sample_records() -> Vec<WalRecord> {
         vec![
-            WalRecord::CreateDb { txn: 1, name: "account".into() },
-            WalRecord::Put { txn: 1, db: 0, key: b"k".to_vec(), old: None, new: b"v1".to_vec() },
+            WalRecord::CreateDb {
+                txn: 1,
+                name: "account".into(),
+            },
+            WalRecord::Put {
+                txn: 1,
+                db: 0,
+                key: b"k".to_vec(),
+                old: None,
+                new: b"v1".to_vec(),
+            },
             WalRecord::Put {
                 txn: 1,
                 db: 0,
@@ -281,7 +309,12 @@ mod tests {
                 old: Some(b"v1".to_vec()),
                 new: b"v2".to_vec(),
             },
-            WalRecord::Del { txn: 1, db: 0, key: b"k".to_vec(), old: b"v2".to_vec() },
+            WalRecord::Del {
+                txn: 1,
+                db: 0,
+                key: b"k".to_vec(),
+                old: b"v2".to_vec(),
+            },
             WalRecord::Commit { txn: 1 },
             WalRecord::Abort { txn: 2 },
         ]
@@ -315,7 +348,10 @@ mod tests {
         wal.flush_sync().unwrap();
         // Tear the second record.
         let raw_len = mem.raw("wal").unwrap().len();
-        mem.open("wal", false).unwrap().set_len(raw_len as u64 - 3).unwrap();
+        mem.open("wal", false)
+            .unwrap()
+            .set_len(raw_len as u64 - 3)
+            .unwrap();
 
         let file = mem.open("wal", false).unwrap();
         let (records, end) = Wal::scan(&*file).unwrap();

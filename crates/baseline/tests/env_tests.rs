@@ -41,7 +41,10 @@ fn multiple_databases_share_one_log() {
     let a = env.create_db("account").unwrap();
     let b = env.create_db("branch").unwrap();
     assert_ne!(a, b);
-    assert!(matches!(env.create_db("account"), Err(BaselineError::DbExists(_))));
+    assert!(matches!(
+        env.create_db("account"),
+        Err(BaselineError::DbExists(_))
+    ));
     assert!(matches!(env.db("teller"), Err(BaselineError::NoSuchDb(_))));
 
     let mut txn = env.begin().unwrap();
@@ -82,7 +85,13 @@ fn committed_state_survives_crash_without_checkpoint() {
         let db = env.create_db("d").unwrap();
         for i in 0..500u32 {
             let mut txn = env.begin().unwrap();
-            env.put(&mut txn, db, &i.to_be_bytes(), format!("val-{i}").as_bytes()).unwrap();
+            env.put(
+                &mut txn,
+                db,
+                &i.to_be_bytes(),
+                format!("val-{i}").as_bytes(),
+            )
+            .unwrap();
             env.commit(txn).unwrap();
         }
         // No checkpoint, no clean shutdown: drop = crash.
@@ -108,7 +117,8 @@ fn uncommitted_work_dies_on_crash() {
         env.put(&mut txn, db, b"durable", b"yes").unwrap();
         env.commit(txn).unwrap();
         let mut txn = env.begin().unwrap();
-        env.put(&mut txn, db, b"durable", b"overwritten-but-uncommitted").unwrap();
+        env.put(&mut txn, db, b"durable", b"overwritten-but-uncommitted")
+            .unwrap();
         env.put(&mut txn, db, b"phantom", b"x").unwrap();
         std::mem::forget(txn); // crash with the txn in flight
     }
@@ -170,7 +180,10 @@ fn checkpoint_truncates_log_and_persists() {
     }
     let env = reopen(&mem);
     let db = env.db("d").unwrap();
-    assert_eq!(env.get(db, &5u32.to_be_bytes()).unwrap(), Some(vec![7u8; 64]));
+    assert_eq!(
+        env.get(db, &5u32.to_be_bytes()).unwrap(),
+        Some(vec![7u8; 64])
+    );
 }
 
 #[test]
@@ -182,12 +195,16 @@ fn log_grows_without_checkpoint_figure_11_effect() {
     for round in 0..4 {
         for i in 0..200u32 {
             let mut txn = env.begin().unwrap();
-            env.put(&mut txn, db, &i.to_be_bytes(), &[round as u8; 90]).unwrap();
+            env.put(&mut txn, db, &i.to_be_bytes(), &[round as u8; 90])
+                .unwrap();
             env.commit(txn).unwrap();
         }
         sizes.push(env.disk_size().unwrap());
     }
-    assert!(sizes.windows(2).all(|w| w[0] < w[1]), "log must keep growing: {sizes:?}");
+    assert!(
+        sizes.windows(2).all(|w| w[0] < w[1]),
+        "log must keep growing: {sizes:?}"
+    );
 }
 
 #[test]
@@ -206,7 +223,10 @@ fn before_and_after_images_in_log() {
     env.commit(txn).unwrap();
     let (bytes_after, _, _) = env.stats();
     let update_bytes = bytes_after - bytes_before;
-    assert!(update_bytes > 200, "update logged only {update_bytes} bytes");
+    assert!(
+        update_bytes > 200,
+        "update logged only {update_bytes} bytes"
+    );
 }
 
 #[test]
@@ -228,8 +248,10 @@ fn scan_is_ordered() {
     }
     env.commit(txn).unwrap();
     let mut keys = Vec::new();
-    env.for_each(db, &mut |k, _| keys.push(u32::from_be_bytes(k.try_into().unwrap())))
-        .unwrap();
+    env.for_each(db, &mut |k, _| {
+        keys.push(u32::from_be_bytes(k.try_into().unwrap()))
+    })
+    .unwrap();
     assert_eq!(keys, vec![1, 3, 5, 7, 9]);
 }
 
@@ -240,15 +262,22 @@ fn large_volume_with_cache_pressure() {
     let db = env.create_db("d").unwrap();
     for i in 0..3000u32 {
         let mut txn = env.begin().unwrap();
-        env.put(&mut txn, db, &i.to_be_bytes(), &[i as u8; 100]).unwrap();
+        env.put(&mut txn, db, &i.to_be_bytes(), &[i as u8; 100])
+            .unwrap();
         env.commit(txn).unwrap();
     }
     for i in (0..3000u32).step_by(37) {
-        assert_eq!(env.get(db, &i.to_be_bytes()).unwrap(), Some(vec![i as u8; 100]));
+        assert_eq!(
+            env.get(db, &i.to_be_bytes()).unwrap(),
+            Some(vec![i as u8; 100])
+        );
     }
     env.checkpoint().unwrap();
     drop(env);
     let env = reopen(&mem);
     let db = env.db("d").unwrap();
-    assert_eq!(env.get(db, &2999u32.to_be_bytes()).unwrap(), Some(vec![2999u32 as u8; 100]));
+    assert_eq!(
+        env.get(db, &2999u32.to_be_bytes()).unwrap(),
+        Some(vec![2999u32 as u8; 100])
+    );
 }

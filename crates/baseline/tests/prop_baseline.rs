@@ -29,7 +29,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn value(key: u16, len: usize) -> Vec<u8> {
-    (0..len).map(|i| (key as u8).wrapping_add(i as u8)).collect()
+    (0..len)
+        .map(|i| (key as u8).wrapping_add(i as u8))
+        .collect()
 }
 
 proptest! {

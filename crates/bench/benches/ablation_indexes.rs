@@ -9,10 +9,14 @@ use tdb::{
     IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
 };
 
-struct Item { id: u64 }
+struct Item {
+    id: u64,
+}
 impl Persistent for Item {
     impl_persistent_boilerplate!(0x17E4);
-    fn pickle(&self, w: &mut Pickler) { w.u64(self.id); }
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.id);
+    }
 }
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
     Ok(Box::new(Item { id: r.u64()? }))
@@ -22,7 +26,9 @@ fn db() -> Database {
     let mut classes = ClassRegistry::new();
     classes.register(0x17E4, "Item", unpickle);
     let mut extractors = ExtractorRegistry::new();
-    extractors.register("item.id", |o| tdb::extractor_typed::<Item>(o, |i| Key::U64(i.id)));
+    extractors.register("item.id", |o| {
+        tdb::extractor_typed::<Item>(o, |i| Key::U64(i.id))
+    });
     Database::create(
         Arc::new(MemStore::new()),
         &MemSecretStore::from_label("bench"),
@@ -35,7 +41,11 @@ fn db() -> Database {
 }
 
 fn kinds() -> [(&'static str, IndexKind); 3] {
-    [("btree", IndexKind::BTree), ("hash", IndexKind::Hash), ("list", IndexKind::List)]
+    [
+        ("btree", IndexKind::BTree),
+        ("hash", IndexKind::Hash),
+        ("list", IndexKind::List),
+    ]
 }
 
 fn bench_insert(c: &mut Criterion) {
@@ -43,7 +53,8 @@ fn bench_insert(c: &mut Criterion) {
     for (name, kind) in kinds() {
         let database = db();
         let t = database.begin();
-        t.create_collection("c", &[IndexSpec::new("i", "item.id", false, kind)]).unwrap();
+        t.create_collection("c", &[IndexSpec::new("i", "item.id", false, kind)])
+            .unwrap();
         t.commit(true).unwrap();
         let mut next = 0u64;
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -68,7 +79,9 @@ fn bench_lookup(c: &mut Criterion) {
     for (name, kind) in kinds() {
         let database = db();
         let t = database.begin();
-        let coll = t.create_collection("c", &[IndexSpec::new("i", "item.id", false, kind)]).unwrap();
+        let coll = t
+            .create_collection("c", &[IndexSpec::new("i", "item.id", false, kind)])
+            .unwrap();
         for id in 0..N {
             coll.insert(Box::new(Item { id })).unwrap();
         }

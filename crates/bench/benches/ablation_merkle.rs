@@ -13,7 +13,10 @@ fn bench_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle_roundtrip_1KB");
     group.throughput(Throughput::Bytes(1024));
     for (name, mode) in [("off", SecurityMode::Off), ("full", SecurityMode::Full)] {
-        let cfg = ChunkStoreConfig { security: mode, ..Default::default() };
+        let cfg = ChunkStoreConfig {
+            security: mode,
+            ..Default::default()
+        };
         let store = bench_chunk_store(cfg);
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, &[7u8; 1024]).unwrap();

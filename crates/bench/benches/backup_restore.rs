@@ -35,7 +35,9 @@ fn bench_backup(c: &mut Criterion) {
         mgr.backup_full(&store).unwrap();
         let mut round = 0u32;
         b.iter(|| {
-            store.write(ids[0], &round.to_le_bytes().repeat(25)).unwrap();
+            store
+                .write(ids[0], &round.to_le_bytes().repeat(25))
+                .unwrap();
             store.commit(true).unwrap();
             round += 1;
             mgr.backup_incremental(&store).unwrap()

@@ -9,7 +9,10 @@ fn bench_write_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("chunk_write_commit_100B");
     group.throughput(Throughput::Elements(1));
     for (name, mode) in [("off", SecurityMode::Off), ("full", SecurityMode::Full)] {
-        let cfg = ChunkStoreConfig { security: mode, ..Default::default() };
+        let cfg = ChunkStoreConfig {
+            security: mode,
+            ..Default::default()
+        };
         let store = bench_chunk_store(cfg);
         let payload = vec![0x5Au8; 100];
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -26,7 +29,10 @@ fn bench_write_commit(c: &mut Criterion) {
 fn bench_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("chunk_read_100B");
     for (name, mode) in [("off", SecurityMode::Off), ("full", SecurityMode::Full)] {
-        let cfg = ChunkStoreConfig { security: mode, ..Default::default() };
+        let cfg = ChunkStoreConfig {
+            security: mode,
+            ..Default::default()
+        };
         let store = bench_chunk_store(cfg);
         let ids: Vec<_> = (0..1000)
             .map(|i| {

@@ -10,7 +10,10 @@ use object_store::{
 use std::sync::Arc;
 use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
 
-struct Rec { balance: i64, pad: Vec<u8> }
+struct Rec {
+    balance: i64,
+    pad: Vec<u8>,
+}
 impl Persistent for Rec {
     impl_persistent_boilerplate!(0xBE7C);
     fn pickle(&self, w: &mut Pickler) {
@@ -19,7 +22,10 @@ impl Persistent for Rec {
     }
 }
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Rec { balance: r.i64()?, pad: r.bytes()?.to_vec() }))
+    Ok(Box::new(Rec {
+        balance: r.i64()?,
+        pad: r.bytes()?.to_vec(),
+    }))
 }
 
 fn store() -> ObjectStore {
@@ -41,7 +47,13 @@ fn bench_object_ops(c: &mut Criterion) {
     let os = store();
     let t = os.begin();
     let ids: Vec<_> = (0..1000)
-        .map(|_| t.insert(Box::new(Rec { balance: 0, pad: vec![0; 88] })).unwrap())
+        .map(|_| {
+            t.insert(Box::new(Rec {
+                balance: 0,
+                pad: vec![0; 88],
+            }))
+            .unwrap()
+        })
         .collect();
     t.commit(true).unwrap();
 
@@ -73,7 +85,12 @@ fn bench_object_ops(c: &mut Criterion) {
     c.bench_function("object_insert_remove_cycle", |b| {
         b.iter(|| {
             let t = os.begin();
-            let id = t.insert(Box::new(Rec { balance: 1, pad: vec![0; 88] })).unwrap();
+            let id = t
+                .insert(Box::new(Rec {
+                    balance: 1,
+                    pad: vec![0; 88],
+                }))
+                .unwrap();
             t.commit(true).unwrap();
             let t = os.begin();
             t.remove(id).unwrap();

@@ -45,10 +45,15 @@ fn main() {
         transactions: env_u64("TXNS", 40_000),
         seed: env_u64("SEED", 0x7DB),
     };
-    println!("Figure 10: TPC-B average response time (scale {}, {} txns)", cfg.scale, cfg.transactions);
+    println!(
+        "Figure 10: TPC-B average response time (scale {}, {} txns)",
+        cfg.scale, cfg.transactions
+    );
     println!("================================================================");
     println!();
-    println!("paper (733 MHz P3, EIDE disk): BerkeleyDB 6.8 ms | TDB 3.8 ms (56%) | TDB-S 5.8 ms (85%)");
+    println!(
+        "paper (733 MHz P3, EIDE disk): BerkeleyDB 6.8 ms | TDB 3.8 ms (56%) | TDB-S 5.8 ms (85%)"
+    );
     println!("paper bytes/txn: BerkeleyDB ~1100 | TDB ~523");
     println!();
 
@@ -63,7 +68,11 @@ fn main() {
         "{:<12} {:>14} {:>12} {:>16} {:>14}",
         "system", "resp (ms/txn)", "% of BDB", "total bytes/txn", "disk (MB)"
     );
-    for (name, r) in [("BerkeleyDB", &bdb_report), ("TDB", &tdb_report), ("TDB-S", &tdbs_report)] {
+    for (name, r) in [
+        ("BerkeleyDB", &bdb_report),
+        ("TDB", &tdb_report),
+        ("TDB-S", &tdbs_report),
+    ] {
         println!(
             "{:<12} {:>14.4} {:>11.0}% {:>16.0} {:>14.1}",
             name,

@@ -17,7 +17,10 @@ fn main() {
         seed: env_u64("SEED", 0x7DB),
     };
     println!("Figure 11: TDB performance and database size vs utilization");
-    println!("(scale {}, {} txns; TDB without security, as in the paper)", cfg.scale, cfg.transactions);
+    println!(
+        "(scale {}, {} txns; TDB without security, as in the paper)",
+        cfg.scale, cfg.transactions
+    );
     println!("=============================================================");
     println!();
     println!("paper shape: response dips slightly to ~0.7 utilization, then climbs;");
@@ -25,7 +28,10 @@ fn main() {
     println!("(it never checkpoints its log during the benchmark).");
     println!();
 
-    let mut bdb = BaselineDriver::new(Arc::new(MemStore::new()), baseline::BaselineConfig::default());
+    let mut bdb = BaselineDriver::new(
+        Arc::new(MemStore::new()),
+        baseline::BaselineConfig::default(),
+    );
     let bdb_report = run_benchmark(&mut bdb, &cfg);
 
     println!(

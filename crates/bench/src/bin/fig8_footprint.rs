@@ -31,7 +31,9 @@ fn main() {
     println!();
     println!("paper values (C++/x86, KB):");
     println!("  Berkeley DB 186 | C-ISAM 344 | Faircom 211 | RDB 284");
-    println!("  TDB all modules 250 = collection 45 + object 41 + backup 22 + chunk 115 + support 27");
+    println!(
+        "  TDB all modules 250 = collection 45 + object 41 + backup 22 + chunk 115 + support 27"
+    );
     println!("  TDB minimal configuration (chunk + support): 142");
     println!();
 
@@ -53,14 +55,23 @@ fn main() {
     let collection = full_total - object_total - backup;
 
     println!("measured (Rust/x86-64, release, KB of executable sections):");
-    println!("  {:<38} {:>8.0}", "support utilities (platform+crypto+rt)", support);
+    println!(
+        "  {:<38} {:>8.0}",
+        "support utilities (platform+crypto+rt)", support
+    );
     println!("  {:<38} {:>8.0}", "chunk store (delta)", chunk);
     println!("  {:<38} {:>8.0}", "backup store (delta)", backup);
     println!("  {:<38} {:>8.0}", "object store (delta)", object);
     println!("  {:<38} {:>8.0}", "collection store (delta)", collection);
     println!("  {:<38} {:>8.0}", "TDB all modules", full_total);
-    println!("  {:<38} {:>8.0}", "TDB minimal config (chunk+support)", chunk_total);
-    println!("  {:<38} {:>8.0}", "baseline (Berkeley-DB-like)", baseline_total);
+    println!(
+        "  {:<38} {:>8.0}",
+        "TDB minimal config (chunk+support)", chunk_total
+    );
+    println!(
+        "  {:<38} {:>8.0}",
+        "baseline (Berkeley-DB-like)", baseline_total
+    );
     println!();
     println!("notes: Rust release binaries statically link the runtime and");
     println!("standard library, so absolute sizes exceed the paper's C++");

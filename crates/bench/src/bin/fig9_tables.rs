@@ -8,7 +8,10 @@ use tpcb::TpcbConfig;
 
 fn main() {
     let scale = env_f64("SCALE", 1.0);
-    let cfg = TpcbConfig { scale, ..Default::default() };
+    let cfg = TpcbConfig {
+        scale,
+        ..Default::default()
+    };
     let (accounts, tellers, branches, history) = cfg.sizes();
     println!("Figure 9: TPC-B tables and sizes (scale {scale})");
     println!("==============================================");

@@ -27,7 +27,13 @@ fn main() {
         ChunkStoreConfig::default(),
     )
     .unwrap();
-    BackupManager::restore_chain(&*archive, &secret, SecurityMode::Full, &[full, incr_base], &restored)
-        .unwrap();
+    BackupManager::restore_chain(
+        &*archive,
+        &secret,
+        SecurityMode::Full,
+        &[full, incr_base],
+        &restored,
+    )
+    .unwrap();
     println!("{}", restored.live_chunks());
 }

@@ -6,10 +6,14 @@ use tdb::{
     IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
 };
 
-struct Probe { n: u32 }
+struct Probe {
+    n: u32,
+}
 impl Persistent for Probe {
     impl_persistent_boilerplate!(0xF00D);
-    fn pickle(&self, w: &mut Pickler) { w.u32(self.n); }
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.n);
+    }
 }
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
     Ok(Box::new(Probe { n: r.u32()? }))
@@ -19,7 +23,9 @@ fn main() {
     let mut classes = ClassRegistry::new();
     classes.register(0xF00D, "Probe", unpickle);
     let mut extractors = ExtractorRegistry::new();
-    extractors.register("probe.n", |o| tdb::extractor_typed::<Probe>(o, |p| Key::U64(p.n as u64)));
+    extractors.register("probe.n", |o| {
+        tdb::extractor_typed::<Probe>(o, |p| Key::U64(p.n as u64))
+    });
     let secret = MemSecretStore::from_label("fp");
     let db = Database::create(
         Arc::new(MemStore::new()),
@@ -32,11 +38,14 @@ fn main() {
     .unwrap();
     let t = db.begin();
     let c = t
-        .create_collection("probe", &[
-            IndexSpec::new("bt", "probe.n", false, IndexKind::BTree),
-            IndexSpec::new("h", "probe.n", false, IndexKind::Hash),
-            IndexSpec::new("l", "probe.n", false, IndexKind::List),
-        ])
+        .create_collection(
+            "probe",
+            &[
+                IndexSpec::new("bt", "probe.n", false, IndexKind::BTree),
+                IndexSpec::new("h", "probe.n", false, IndexKind::Hash),
+                IndexSpec::new("l", "probe.n", false, IndexKind::List),
+            ],
+        )
         .unwrap();
     c.insert(Box::new(Probe { n: 7 })).unwrap();
     let it = c.exact("h", &Key::U64(7)).unwrap();
@@ -44,7 +53,9 @@ fn main() {
     it.close().unwrap();
     drop(c);
     t.commit(true).unwrap();
-    let mut mgr = db.backup_manager(Arc::new(MemArchive::new()), &secret).unwrap();
+    let mut mgr = db
+        .backup_manager(Arc::new(MemArchive::new()), &secret)
+        .unwrap();
     let _ = mgr.backup_full(db.chunk_store()).unwrap();
     println!("{n}");
 }

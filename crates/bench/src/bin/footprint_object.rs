@@ -7,10 +7,14 @@ use object_store::{
 use std::sync::Arc;
 use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
 
-struct Probe { n: u32 }
+struct Probe {
+    n: u32,
+}
 impl Persistent for Probe {
     impl_persistent_boilerplate!(0xF00D);
-    fn pickle(&self, w: &mut Pickler) { w.u32(self.n); }
+    fn pickle(&self, w: &mut Pickler) {
+        w.u32(self.n);
+    }
 }
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
     Ok(Box::new(Probe { n: r.u32()? }))

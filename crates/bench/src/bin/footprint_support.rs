@@ -1,6 +1,8 @@
 //! Footprint probe: platform substrates + crypto only ("support utilities").
 use std::sync::Arc;
-use tdb_platform::{MemSecretStore, MemStore, SecretStore, UntrustedStore, VolatileCounter, OneWayCounter};
+use tdb_platform::{
+    MemSecretStore, MemStore, OneWayCounter, SecretStore, UntrustedStore, VolatileCounter,
+};
 
 fn main() {
     let mem = MemStore::new();
@@ -13,5 +15,10 @@ fn main() {
     let key = tdb::crypto::derive_key(&secret, "probe");
     let aes = tdb::crypto::Aes128::new(&key);
     let ct = tdb::crypto::cbc_encrypt(&aes, &[0u8; 16], b"probe");
-    println!("{} {} {}", Arc::new(mem).list().unwrap().len(), tag[0], ct.len());
+    println!(
+        "{} {} {}",
+        Arc::new(mem).list().unwrap().len(),
+        tag[0],
+        ct.len()
+    );
 }

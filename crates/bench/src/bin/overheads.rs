@@ -13,7 +13,10 @@ use tdb_bench::bench_chunk_store;
 
 /// Bytes appended for one N-byte chunk write + its share of metadata.
 fn measure(mode: SecurityMode, payload: usize, chunks: u64) -> (f64, f64) {
-    let cfg = ChunkStoreConfig { security: mode, ..Default::default() };
+    let cfg = ChunkStoreConfig {
+        security: mode,
+        ..Default::default()
+    };
     let store = bench_chunk_store(cfg);
     let base = store.stats();
     for _ in 0..chunks {
@@ -43,10 +46,22 @@ fn main() {
     let (off_chunk, off_map) = measure(SecurityMode::Off, PAYLOAD, CHUNKS);
     let (on_chunk, on_map) = measure(SecurityMode::Full, PAYLOAD, CHUNKS);
     println!("measured, {PAYLOAD}-byte chunks (record header + id + IV/padding):");
-    println!("  {:<34} {:>7.1} B/chunk", "TDB   per-chunk log overhead", off_chunk);
-    println!("  {:<34} {:>7.1} B/chunk", "TDB-S per-chunk log overhead", on_chunk);
-    println!("  {:<34} {:>7.1} B/chunk", "TDB   map entry (amortized)", off_map);
-    println!("  {:<34} {:>7.1} B/chunk", "TDB-S map entry (amortized)", on_map);
+    println!(
+        "  {:<34} {:>7.1} B/chunk",
+        "TDB   per-chunk log overhead", off_chunk
+    );
+    println!(
+        "  {:<34} {:>7.1} B/chunk",
+        "TDB-S per-chunk log overhead", on_chunk
+    );
+    println!(
+        "  {:<34} {:>7.1} B/chunk",
+        "TDB   map entry (amortized)", off_map
+    );
+    println!(
+        "  {:<34} {:>7.1} B/chunk",
+        "TDB-S map entry (amortized)", on_map
+    );
     println!(
         "  {:<34} {:>7.1} B/chunk   (paper: 12, with SHA-1; ours uses SHA-256)",
         "TDB-S map hash overhead (delta)",

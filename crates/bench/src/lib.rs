@@ -25,12 +25,18 @@ pub fn bench_chunk_store(cfg: ChunkStoreConfig) -> ChunkStore {
 /// Parse `NAME=value`-style arguments from the environment with a default
 /// (keeps the figure binaries flag-light: `SCALE=1.0 TXNS=200000 fig10`).
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Integer environment parameter.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Minimal ELF section-header parser: total size of `.text` (and any other

@@ -163,8 +163,7 @@ impl AnchorState {
             }
             None => return Err(tampered("bad mode tag")),
         }
-        let body_len =
-            u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
+        let body_len = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
         let expected_total = 21 + body_len + DIGEST_LEN;
         if bytes.len() != expected_total {
             return Err(tampered("length mismatch"));
@@ -226,7 +225,10 @@ impl<'a> AnchorStore<'a> {
             }
             match AnchorState::decode(ctx, &bytes) {
                 Ok(Some(state)) => {
-                    if best.as_ref().is_none_or(|b| state.anchor_seq > b.anchor_seq) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| state.anchor_seq > b.anchor_seq)
+                    {
                         best = Some(state);
                     }
                 }
@@ -270,7 +272,12 @@ mod tests {
             anchor_seq: seq,
             segment_size: 65536,
             map_fanout: 64,
-            map_root: Location { seg: SegmentId(0), off: 16, len: 40, hash: [9; 32] },
+            map_root: Location {
+                seg: SegmentId(0),
+                off: 16,
+                len: 40,
+                hash: [9; 32],
+            },
             map_depth: 2,
             next_id: 42,
             free_ids: vec![3, 7],
@@ -319,7 +326,8 @@ mod tests {
     #[test]
     fn decode_rejects_wrong_key() {
         let c1 = ctx(SecurityMode::Full);
-        let c2 = CryptoCtx::new(SecurityMode::Full, &MemSecretStore::from_label("other"), 0).unwrap();
+        let c2 =
+            CryptoCtx::new(SecurityMode::Full, &MemSecretStore::from_label("other"), 0).unwrap();
         let bytes = sample(5).encode(&c1);
         assert!(AnchorState::decode(&c2, &bytes).is_err());
     }
@@ -348,7 +356,10 @@ mod tests {
         let mem = MemStore::new();
         let c = ctx(SecurityMode::Full);
         let anchors = AnchorStore::new(&mem);
-        assert!(matches!(anchors.read_best(&c), Err(ChunkStoreError::NoDatabase)));
+        assert!(matches!(
+            anchors.read_best(&c),
+            Err(ChunkStoreError::NoDatabase)
+        ));
         assert!(!anchors.database_exists().unwrap());
 
         anchors.write(&c, &sample(1)).unwrap();

@@ -72,8 +72,9 @@ pub(crate) fn clean_pass(inner: &mut Inner) -> Result<usize> {
     // cleaning work). Capping dead segments too would let the pass's own
     // checkpoint traffic consume more segments than it frees, growing the
     // database without bound under map-heavy workloads.
-    let (dead, mut partial): (Vec<SegmentId>, Vec<SegmentId>) =
-        candidates.into_iter().partition(|s| inner.segs.live_of(*s) == 0);
+    let (dead, mut partial): (Vec<SegmentId>, Vec<SegmentId>) = candidates
+        .into_iter()
+        .partition(|s| inner.segs.live_of(*s) == 0);
     partial.sort_by_key(|s| inner.segs.live_of(*s));
     partial.truncate(inner.cfg.cleaner_batch);
     let victims: Vec<SegmentId> = dead.into_iter().chain(partial).collect();
@@ -100,7 +101,12 @@ pub(crate) fn clean_pass(inner: &mut Inner) -> Result<usize> {
             )));
         }
         let (seg, off, len) = inner.segs.append_record(RecordKind::ChunkData, &stored)?;
-        let new_loc = Location { seg, off, len, hash: old.hash };
+        let new_loc = Location {
+            seg,
+            off,
+            len,
+            hash: old.hash,
+        };
         if let Some(superseded) = inner.map.set(id, new_loc) {
             inner.pending_dec.push(superseded);
         }
@@ -125,6 +131,8 @@ pub(crate) fn clean_pass(inner: &mut Inner) -> Result<usize> {
             add(&inner.stats.cleaner_segments_freed, 1);
         }
     }
-    inner.segs.drop_excess_free(inner.cfg.free_segment_reserve)?;
+    inner
+        .segs
+        .drop_excess_free(inner.cfg.free_segment_reserve)?;
     Ok(freed)
 }

@@ -136,13 +136,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let c = ChunkStoreConfig { segment_size: 100, ..Default::default() };
+        let c = ChunkStoreConfig {
+            segment_size: 100,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = ChunkStoreConfig { map_fanout: 1, ..Default::default() };
+        let c = ChunkStoreConfig {
+            map_fanout: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = ChunkStoreConfig { max_utilization: 0.99, ..Default::default() };
+        let c = ChunkStoreConfig {
+            max_utilization: 0.99,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = ChunkStoreConfig { initial_segments: 1, ..Default::default() };
+        let c = ChunkStoreConfig {
+            initial_segments: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

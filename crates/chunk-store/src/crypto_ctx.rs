@@ -52,9 +52,7 @@ impl CryptoCtx {
     ) -> Result<Self> {
         let master = secret_store.master_secret()?;
         let cipher = match mode {
-            SecurityMode::Full => {
-                Some(Aes128::new(&derive_key(&master, &format!("{domain}.enc"))))
-            }
+            SecurityMode::Full => Some(Aes128::new(&derive_key(&master, &format!("{domain}.enc")))),
             SecurityMode::Off => None,
         };
         let mac_secret = derive_secret(&master, &format!("{domain}.mac"));
@@ -222,7 +220,8 @@ mod tests {
     #[test]
     fn chain_depends_on_prev_and_payload_and_key() {
         let c = ctx(SecurityMode::Full);
-        let c2 = CryptoCtx::new(SecurityMode::Full, &MemSecretStore::from_label("other"), 1).unwrap();
+        let c2 =
+            CryptoCtx::new(SecurityMode::Full, &MemSecretStore::from_label("other"), 1).unwrap();
         let base = ZERO_DIGEST;
         let a = c.chain(&base, b"commit 1");
         assert_ne!(a, c.chain(&base, b"commit 2"));

@@ -95,10 +95,15 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = ChunkStoreError::ReplayDetected { anchor_counter: 3, hardware_counter: 7 };
+        let e = ChunkStoreError::ReplayDetected {
+            anchor_counter: 3,
+            hardware_counter: 7,
+        };
         assert!(e.to_string().contains("replay"));
         let e = ChunkStoreError::Platform(PlatformError::Crashed);
         assert!(std::error::Error::source(&e).is_some());
-        assert!(ChunkStoreError::TamperDetected("x".into()).to_string().contains("tamper"));
+        assert!(ChunkStoreError::TamperDetected("x".into())
+            .to_string()
+            .contains("tamper"));
     }
 }

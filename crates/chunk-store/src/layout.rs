@@ -103,7 +103,10 @@ pub fn decode_segment_header(bytes: &[u8]) -> Result<SegmentId, Malformed> {
 }
 
 /// Encode a record header.
-pub fn encode_record_header(kind: RecordKind, payload_len: u32) -> [u8; RECORD_HEADER_LEN as usize] {
+pub fn encode_record_header(
+    kind: RecordKind,
+    payload_len: u32,
+) -> [u8; RECORD_HEADER_LEN as usize] {
     let mut out = [0u8; RECORD_HEADER_LEN as usize];
     out[0] = kind.tag();
     out[1..5].copy_from_slice(&payload_len.to_le_bytes());
@@ -208,13 +211,21 @@ pub fn get_location(c: &mut Cursor<'_>, with_hash: bool) -> Result<Location, Mal
         seg: SegmentId(c.u32()?),
         off: c.u32()?,
         len: c.u32()?,
-        hash: if with_hash { c.digest()? } else { [0u8; DIGEST_LEN] },
+        hash: if with_hash {
+            c.digest()?
+        } else {
+            [0u8; DIGEST_LEN]
+        },
     })
 }
 
 /// Serialized byte size of a [`Location`].
 pub const fn location_len(with_hash: bool) -> usize {
-    if with_hash { 12 + DIGEST_LEN } else { 12 }
+    if with_hash {
+        12 + DIGEST_LEN
+    } else {
+        12
+    }
 }
 
 /// Serialized byte size of a [`Location`] with hash (anchor and tests).
@@ -311,7 +322,13 @@ impl CommitPayload {
             deallocs.push(ChunkId(c.u64()?));
         }
         c.finish()?;
-        Ok(CommitPayload { seq, durable, next_id, writes, deallocs })
+        Ok(CommitPayload {
+            seq,
+            durable,
+            next_id,
+            writes,
+            deallocs,
+        })
     }
 }
 
@@ -337,7 +354,12 @@ mod tests {
     use super::*;
 
     fn loc(seg: u32, off: u32, len: u32, h: u8) -> Location {
-        Location { seg: SegmentId(seg), off, len, hash: [h; 32] }
+        Location {
+            seg: SegmentId(seg),
+            off,
+            len,
+            hash: [h; 32],
+        }
     }
 
     #[test]
@@ -384,7 +406,10 @@ mod tests {
             seq: 99,
             durable: true,
             next_id: 1000,
-            writes: vec![(ChunkId(1), loc(0, 16, 100, 0xAA)), (ChunkId(2), loc(1, 32, 50, 0xBB))],
+            writes: vec![
+                (ChunkId(1), loc(0, 16, 100, 0xAA)),
+                (ChunkId(2), loc(1, 32, 50, 0xBB)),
+            ],
             deallocs: vec![ChunkId(3), ChunkId(4)],
         };
         let enc = payload.encode(true);
@@ -400,19 +425,39 @@ mod tests {
 
     #[test]
     fn commit_payload_empty_roundtrip() {
-        let payload = CommitPayload { seq: 1, durable: false, next_id: 0, writes: vec![], deallocs: vec![] };
-        assert_eq!(CommitPayload::decode(&payload.encode(true), true).unwrap(), payload);
-        assert_eq!(CommitPayload::decode(&payload.encode(false), false).unwrap(), payload);
+        let payload = CommitPayload {
+            seq: 1,
+            durable: false,
+            next_id: 0,
+            writes: vec![],
+            deallocs: vec![],
+        };
+        assert_eq!(
+            CommitPayload::decode(&payload.encode(true), true).unwrap(),
+            payload
+        );
+        assert_eq!(
+            CommitPayload::decode(&payload.encode(false), false).unwrap(),
+            payload
+        );
     }
 
     #[test]
     fn commit_payload_rejects_malformed() {
-        let payload =
-            CommitPayload { seq: 1, durable: true, next_id: 5, writes: vec![(ChunkId(1), loc(0, 0, 1, 1))], deallocs: vec![] };
+        let payload = CommitPayload {
+            seq: 1,
+            durable: true,
+            next_id: 5,
+            writes: vec![(ChunkId(1), loc(0, 0, 1, 1))],
+            deallocs: vec![],
+        };
         let enc = payload.encode(true);
         // Truncation at every length must fail cleanly, never panic.
         for cut in 0..enc.len() {
-            assert!(CommitPayload::decode(&enc[..cut], true).is_err(), "cut {cut}");
+            assert!(
+                CommitPayload::decode(&enc[..cut], true).is_err(),
+                "cut {cut}"
+            );
         }
         // Trailing garbage rejected.
         let mut extended = enc.clone();

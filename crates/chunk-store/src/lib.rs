@@ -63,6 +63,7 @@ pub use config::{ChunkStoreConfig, SecurityMode};
 pub use error::{ChunkStoreError, Result};
 pub use ids::{ChunkId, SegmentId};
 pub use map::Location;
+pub use recovery::RecoveryReport;
 pub use snapshot::{Snapshot, SnapshotDiff};
 pub use stats::StatsSnapshot;
 pub use store::ChunkStore;

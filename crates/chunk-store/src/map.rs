@@ -59,11 +59,17 @@ pub(crate) enum NodeKind {
 
 impl Node {
     fn new_leaf(fanout: usize) -> Node {
-        Node { disk: None, kind: NodeKind::Leaf(vec![None; fanout]) }
+        Node {
+            disk: None,
+            kind: NodeKind::Leaf(vec![None; fanout]),
+        }
     }
 
     fn new_inner(fanout: usize) -> Node {
-        Node { disk: None, kind: NodeKind::Inner(vec![None; fanout]) }
+        Node {
+            disk: None,
+            kind: NodeKind::Inner(vec![None; fanout]),
+        }
     }
 }
 
@@ -302,10 +308,7 @@ impl LocationMap {
                 return true;
             }
             if let NodeKind::Inner(children) = &node.kind {
-                children
-                    .iter()
-                    .flatten()
-                    .any(|c| subtree_touches(c, segs))
+                children.iter().flatten().any(|c| subtree_touches(c, segs))
             } else {
                 false
             }
@@ -389,7 +392,13 @@ impl LocationMap {
         reader: &dyn Fn(&Location) -> Result<Vec<u8>>,
     ) -> Result<Self> {
         let root = Self::load_node(&root_loc, depth, fanout, hashed, reader)?;
-        Ok(LocationMap { root: Arc::new(root), depth, fanout, hashed, superseded: Vec::new() })
+        Ok(LocationMap {
+            root: Arc::new(root),
+            depth,
+            fanout,
+            hashed,
+            superseded: Vec::new(),
+        })
     }
 
     fn load_node(
@@ -419,13 +428,21 @@ impl LocationMap {
                 }
                 let mut children: Vec<Option<Arc<Node>>> = vec![None; fanout];
                 for (i, cl) in child_locs {
-                    children[i] =
-                        Some(Arc::new(Self::load_node(&cl, level - 1, fanout, hashed, reader)?));
+                    children[i] = Some(Arc::new(Self::load_node(
+                        &cl,
+                        level - 1,
+                        fanout,
+                        hashed,
+                        reader,
+                    )?));
                 }
                 NodeKind::Inner(children)
             }
         };
-        Ok(Node { disk: Some(*loc), kind })
+        Ok(Node {
+            disk: Some(*loc),
+            kind,
+        })
     }
 
     // -- snapshots ----------------------------------------------------------
@@ -449,8 +466,7 @@ fn bitmap_len(fanout: usize) -> usize {
 }
 
 fn serialize_leaf(fanout: usize, hashed: bool, slots: &[Option<Location>]) -> Vec<u8> {
-    let mut out =
-        Vec::with_capacity(1 + bitmap_len(fanout) + slots.len() * location_len(hashed));
+    let mut out = Vec::with_capacity(1 + bitmap_len(fanout) + slots.len() * location_len(hashed));
     out.push(LEAF_TAG);
     push_bitmap(&mut out, fanout, &mut slots.iter().map(|s| s.is_some()));
     for loc in slots.iter().flatten() {
@@ -631,7 +647,9 @@ fn diff_nodes(
             }
         }
         (Some(a), None) => {
-            collect_all(Some(a), fanout, level, base, &mut |id, _| out.removed.push(id));
+            collect_all(Some(a), fanout, level, base, &mut |id, _| {
+                out.removed.push(id)
+            });
         }
         (None, Some(b)) => {
             collect_all(Some(b), fanout, level, base, &mut |id, loc| {
@@ -653,7 +671,13 @@ fn collect_all(
         NodeKind::Inner(children) => {
             let stride = (fanout as u128).pow(level - 1);
             for (i, child) in children.iter().enumerate() {
-                collect_all(child.as_ref(), fanout, level - 1, base + i as u128 * stride, f);
+                collect_all(
+                    child.as_ref(),
+                    fanout,
+                    level - 1,
+                    base + i as u128 * stride,
+                    f,
+                );
             }
         }
         NodeKind::Leaf(slots) => {
@@ -696,7 +720,12 @@ mod tests {
     use std::collections::HashMap;
 
     fn loc(tag: u32) -> Location {
-        Location { seg: SegmentId(tag), off: tag, len: 10, hash: [tag as u8; 32] }
+        Location {
+            seg: SegmentId(tag),
+            off: tag,
+            len: 10,
+            hash: [tag as u8; 32],
+        }
     }
 
     #[test]
@@ -752,7 +781,12 @@ mod tests {
         let mut next = 1000u32;
         let root_loc = m
             .checkpoint(&mut |bytes| {
-                let l = Location { seg: SegmentId(0), off: next, len: bytes.len() as u32, hash: [0; 32] };
+                let l = Location {
+                    seg: SegmentId(0),
+                    off: next,
+                    len: bytes.len() as u32,
+                    hash: [0; 32],
+                };
                 pages.insert(next, bytes.to_vec());
                 next += 1;
                 Ok(l)
@@ -788,7 +822,12 @@ mod tests {
         let mut writes = 0;
         m.checkpoint(&mut |bytes| {
             writes += 1;
-            Ok(Location { seg: SegmentId(0), off: writes, len: bytes.len() as u32, hash: [0; 32] })
+            Ok(Location {
+                seg: SegmentId(0),
+                off: writes,
+                len: bytes.len() as u32,
+                hash: [0; 32],
+            })
         })
         .unwrap();
         let full_writes = writes;
@@ -801,7 +840,12 @@ mod tests {
         writes = 0;
         m.checkpoint(&mut |bytes| {
             writes += 1;
-            Ok(Location { seg: SegmentId(1), off: writes, len: bytes.len() as u32, hash: [0; 32] })
+            Ok(Location {
+                seg: SegmentId(1),
+                off: writes,
+                len: bytes.len() as u32,
+                hash: [0; 32],
+            })
         })
         .unwrap();
         assert_eq!(writes, m.depth()); // path only
@@ -815,7 +859,12 @@ mod tests {
         let mut off = 0u32;
         m.checkpoint(&mut |b| {
             off += 1;
-            Ok(Location { seg: SegmentId(0), off, len: b.len() as u32, hash: [0; 32] })
+            Ok(Location {
+                seg: SegmentId(0),
+                off,
+                len: b.len() as u32,
+                hash: [0; 32],
+            })
         })
         .unwrap();
         m.set(ChunkId(1), loc(2));
@@ -833,7 +882,12 @@ mod tests {
         m.checkpoint(&mut |b| {
             seg_alloc += 1;
             // Spread pages across "segments" 0 and 1 alternately.
-            Ok(Location { seg: SegmentId(seg_alloc % 2), off: seg_alloc, len: b.len() as u32, hash: [0; 32] })
+            Ok(Location {
+                seg: SegmentId(seg_alloc % 2),
+                off: seg_alloc,
+                len: b.len() as u32,
+                hash: [0; 32],
+            })
         })
         .unwrap();
         let mut victims = std::collections::HashSet::new();
@@ -844,7 +898,12 @@ mod tests {
         let mut off = 100u32;
         m.checkpoint(&mut |b| {
             off += 1;
-            Ok(Location { seg: SegmentId(2), off, len: b.len() as u32, hash: [0; 32] })
+            Ok(Location {
+                seg: SegmentId(2),
+                off,
+                len: b.len() as u32,
+                hash: [0; 32],
+            })
         })
         .unwrap();
         m.for_each_page(&mut |l| assert_ne!(l.seg, SegmentId(0)));
@@ -860,10 +919,11 @@ mod tests {
         assert!(matches!(err, ChunkStoreError::TamperDetected(_)));
         // Inner tag at leaf level.
         let inner_bytes = serialize_inner(4, true, &[]);
-        let err =
-            LocationMap::load(loc(0), 1, 4, true, &move |_l: &Location| Ok(inner_bytes.clone()))
-                .map(|_| ())
-                .unwrap_err();
+        let err = LocationMap::load(loc(0), 1, 4, true, &move |_l: &Location| {
+            Ok(inner_bytes.clone())
+        })
+        .map(|_| ())
+        .unwrap_err();
         assert!(matches!(err, ChunkStoreError::TamperDetected(_)));
     }
 
@@ -911,7 +971,12 @@ mod tests {
         let mut off = 0u32;
         m.checkpoint(&mut |b| {
             off += 1;
-            Ok(Location { seg: SegmentId(0), off, len: b.len() as u32, hash: [0; 32] })
+            Ok(Location {
+                seg: SegmentId(0),
+                off,
+                len: b.len() as u32,
+                hash: [0; 32],
+            })
         })
         .unwrap();
         let (a, da) = m.freeze();

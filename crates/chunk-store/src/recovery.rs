@@ -31,6 +31,32 @@ use std::sync::Arc;
 use tdb_crypto::DIGEST_LEN;
 use tdb_platform::{OneWayCounter, SecretStore, UntrustedStore};
 
+/// What crash recovery found and did, for post-mortem assertions by crash
+/// tests (and diagnostics). Produced by every successful `ChunkStore::open`.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Anchor generation that recovery started from.
+    pub anchor_seq: u64,
+    /// Commit sequence at the residual-log start (last checkpoint).
+    pub base_seq: u64,
+    /// Last durable commit the anchor covers.
+    pub last_seq: u64,
+    /// Durable commits replayed from the residual log
+    /// (`last_seq - base_seq`).
+    pub commits_replayed: u64,
+    /// Well-formed, chain-authenticated commits found *past* `last_seq` and
+    /// discarded — nondurable leftovers that §3.2.2 guarantees do not
+    /// survive a crash.
+    pub nondurable_discarded: u64,
+    /// Residual-log bytes re-applied.
+    pub residual_bytes: u64,
+    /// One-way counter value the anchor was authenticated against.
+    pub counter_value: u64,
+    /// Whether recovery completed a counter increment that a crash
+    /// interrupted between the anchor write and the increment.
+    pub counter_repaired: bool,
+}
+
 pub(crate) fn open_impl(
     untrusted: Arc<dyn UntrustedStore>,
     secret: &dyn SecretStore,
@@ -57,10 +83,12 @@ pub(crate) fn open_impl(
     // Replay detection against the one-way counter (§3). `anchor == hw + 1`
     // is the benign crash window between anchor write and counter
     // increment; it is repaired by completing the increment.
+    let mut counter_repaired = false;
     if cfg.security == SecurityMode::Full {
         let hw = counter.read()?;
         if anchor.counter_value == hw + 1 {
             counter.increment()?;
+            counter_repaired = true;
         } else if anchor.counter_value != hw {
             return Err(ChunkStoreError::ReplayDetected {
                 anchor_counter: anchor.counter_value,
@@ -114,6 +142,13 @@ pub(crate) fn open_impl(
     let (mut tail_seg, mut tail_off) = (seg, off);
     let mut scanned_bytes = 0u64;
     let mut residual_bytes = 0u64;
+    // Applied (durable) cursor vs the scanning cursor: past `last_seq` the
+    // scan keeps following the chain as a *phantom* — counting nondurable
+    // leftovers for the recovery report without applying them.
+    let mut applied_seq = seq;
+    let mut applied_chain = chain;
+    let mut commits_replayed = 0u64;
+    let mut nondurable_discarded = 0u64;
 
     if !segs.check_segment_header(seg)? {
         return Err(ChunkStoreError::TamperDetected(format!(
@@ -129,7 +164,9 @@ pub(crate) fn open_impl(
         let total = RECORD_HEADER_LEN + payload.len() as u32;
         match kind {
             RecordKind::NextSegment => {
-                let Ok(next) = decode_next_segment(&payload) else { break };
+                let Ok(next) = decode_next_segment(&payload) else {
+                    break;
+                };
                 if visited.contains(&next)
                     || !segs.is_valid_segment(next)
                     || !segs.check_segment_header(next)?
@@ -147,47 +184,61 @@ pub(crate) fn open_impl(
                 }
                 let (sealed, stored_chain) = payload.split_at(payload.len() - DIGEST_LEN);
                 let computed = ctx.chain(&chain, sealed);
-                let stored: [u8; DIGEST_LEN] =
-                    stored_chain.try_into().expect("exactly 32 bytes");
+                let stored: [u8; DIGEST_LEN] = stored_chain.try_into().expect("exactly 32 bytes");
                 if !CryptoCtx::tags_equal(&computed, &stored) {
                     // Either the benign end of the log (crash garbage /
                     // tampered nondurable tail) or missing durable history;
                     // the post-loop check distinguishes them.
                     break;
                 }
-                let plain = ctx.open(sealed)?;
-                let cp = CommitPayload::decode(&plain, ctx.verifies_hashes()).map_err(|m| {
-                    ChunkStoreError::TamperDetected(format!("commit record: {}", m.0))
-                })?;
-                if cp.seq != seq + 1 {
-                    return Err(ChunkStoreError::TamperDetected(format!(
-                        "commit sequence gap: expected {}, found {}",
-                        seq + 1,
-                        cp.seq
-                    )));
+                if seq + 1 > anchor.last_seq {
+                    // Nondurable leftovers: guaranteed not to survive, but
+                    // the report counts them. Any decode anomaly in this
+                    // discarded tail is benign — it just ends the scan.
+                    let Ok(plain) = ctx.open(sealed) else { break };
+                    let Ok(cp) = CommitPayload::decode(&plain, ctx.verifies_hashes()) else {
+                        break;
+                    };
+                    if cp.seq != seq + 1 {
+                        break;
+                    }
+                    nondurable_discarded += 1;
+                    seq = cp.seq;
+                    chain = computed;
+                } else {
+                    let plain = ctx.open(sealed)?;
+                    let cp = CommitPayload::decode(&plain, ctx.verifies_hashes()).map_err(|m| {
+                        ChunkStoreError::TamperDetected(format!("commit record: {}", m.0))
+                    })?;
+                    if cp.seq != seq + 1 {
+                        return Err(ChunkStoreError::TamperDetected(format!(
+                            "commit sequence gap: expected {}, found {}",
+                            seq + 1,
+                            cp.seq
+                        )));
+                    }
+                    for (id, loc) in &cp.writes {
+                        map.set(*id, *loc);
+                        free_ids.remove(&id.0);
+                    }
+                    for id in &cp.deallocs {
+                        map.remove(*id);
+                        free_ids.insert(id.0);
+                    }
+                    // The anchor may carry a higher high-water mark than an
+                    // older replayed commit (ids allocated but only anchored
+                    // later); never move backwards.
+                    next_id = next_id.max(cp.next_id);
+                    seq = cp.seq;
+                    chain = computed;
+                    applied_seq = seq;
+                    applied_chain = chain;
+                    commits_replayed += 1;
+                    tail_seg = seg;
+                    tail_off = off + total;
+                    residual_segments = visited.clone();
+                    residual_bytes = scanned_bytes + total as u64;
                 }
-                if cp.seq > anchor.last_seq {
-                    // Nondurable leftovers: guaranteed not to survive.
-                    break;
-                }
-                for (id, loc) in &cp.writes {
-                    map.set(*id, *loc);
-                    free_ids.remove(&id.0);
-                }
-                for id in &cp.deallocs {
-                    map.remove(*id);
-                    free_ids.insert(id.0);
-                }
-                // The anchor may carry a higher high-water mark than an
-                // older replayed commit (ids allocated but only anchored
-                // later); never move backwards.
-                next_id = next_id.max(cp.next_id);
-                seq = cp.seq;
-                chain = computed;
-                tail_seg = seg;
-                tail_off = off + total;
-                residual_segments = visited.clone();
-                residual_bytes = scanned_bytes + total as u64;
             }
             RecordKind::ChunkData | RecordKind::MapPage => {}
         }
@@ -195,13 +246,14 @@ pub(crate) fn open_impl(
         scanned_bytes += total as u64;
     }
 
-    if seq != anchor.last_seq {
+    if applied_seq != anchor.last_seq {
         return Err(ChunkStoreError::TamperDetected(format!(
-            "residual log ends at commit {seq}, but the anchor covers commit {}",
+            "residual log ends at commit {applied_seq}, but the anchor covers commit {}",
             anchor.last_seq
         )));
     }
-    if seq != anchor.base_seq && !CryptoCtx::tags_equal(&chain, &anchor.last_chain) {
+    if applied_seq != anchor.base_seq && !CryptoCtx::tags_equal(&applied_chain, &anchor.last_chain)
+    {
         return Err(ChunkStoreError::TamperDetected(
             "commit chain endpoint does not match the anchor".into(),
         ));
@@ -217,6 +269,17 @@ pub(crate) fn open_impl(
 
     segs.set_tail(tail_seg, tail_off);
 
+    let report = RecoveryReport {
+        anchor_seq: anchor.anchor_seq,
+        base_seq: anchor.base_seq,
+        last_seq: anchor.last_seq,
+        commits_replayed,
+        nondurable_discarded,
+        residual_bytes,
+        counter_value: anchor.counter_value,
+        counter_repaired,
+    };
+
     Ok(Inner {
         cfg,
         ctx,
@@ -227,8 +290,8 @@ pub(crate) fn open_impl(
         next_id,
         free_ids,
         batch: Batch::default(),
-        commit_seq: seq,
-        chain,
+        commit_seq: applied_seq,
+        chain: applied_chain,
         base_seq: anchor.base_seq,
         chain_base: anchor.chain_base,
         residual_start: (anchor.residual_seg, anchor.residual_off),
@@ -240,5 +303,6 @@ pub(crate) fn open_impl(
         pending_dec: Vec::new(),
         snapshots: Vec::new(),
         stats,
+        recovery: Some(report),
     })
 }

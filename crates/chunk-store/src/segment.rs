@@ -91,7 +91,10 @@ impl SegmentManager {
             stats,
         };
         for i in 0..initial {
-            mgr.states.push(SegState { status: SegStatus::Free, live: 0 });
+            mgr.states.push(SegState {
+                status: SegStatus::Free,
+                live: 0,
+            });
             mgr.free.insert(i);
         }
         mgr.free.remove(&0);
@@ -116,7 +119,10 @@ impl SegmentManager {
         let mut max_id: Option<u32> = None;
         let mut present: HashMap<u32, u64> = HashMap::new();
         for name in store.list()? {
-            if let Some(idx) = name.strip_prefix("seg.").and_then(|s| s.parse::<u32>().ok()) {
+            if let Some(idx) = name
+                .strip_prefix("seg.")
+                .and_then(|s| s.parse::<u32>().ok())
+            {
                 let len = store.open(&name, false)?.len()?;
                 present.insert(idx, len);
                 max_id = Some(max_id.map_or(idx, |m| m.max(idx)));
@@ -129,10 +135,19 @@ impl SegmentManager {
             match present.get(&i) {
                 Some(0) => {
                     free.insert(i);
-                    states.push(SegState { status: SegStatus::Free, live: 0 });
+                    states.push(SegState {
+                        status: SegStatus::Free,
+                        live: 0,
+                    });
                 }
-                Some(_) => states.push(SegState { status: SegStatus::InUse, live: 0 }),
-                None => states.push(SegState { status: SegStatus::Dropped, live: 0 }),
+                Some(_) => states.push(SegState {
+                    status: SegStatus::InUse,
+                    live: 0,
+                }),
+                None => states.push(SegState {
+                    status: SegStatus::Dropped,
+                    live: 0,
+                }),
             }
         }
         Ok(SegmentManager {
@@ -172,8 +187,7 @@ impl SegmentManager {
         if let Some(f) = files.get(&seg.0) {
             return Ok(f.clone());
         }
-        let f: Arc<dyn RandomAccessFile> =
-            Arc::from(self.store.open(&seg.file_name(), true)?);
+        let f: Arc<dyn RandomAccessFile> = Arc::from(self.store.open(&seg.file_name(), true)?);
         files.insert(seg.0, f.clone());
         Ok(f)
     }
@@ -196,7 +210,8 @@ impl SegmentManager {
             self.roll_segment()?;
         }
         let off = self.tail_off;
-        self.pending.extend_from_slice(&encode_record_header(kind, payload.len() as u32));
+        self.pending
+            .extend_from_slice(&encode_record_header(kind, payload.len() as u32));
         self.pending.extend_from_slice(payload);
         self.tail_off += total;
         // Only chunk data and map pages are "live" (reclaimable state).
@@ -225,8 +240,10 @@ impl SegmentManager {
             None => self.grow()?,
         };
         let nxt = encode_next_segment(next);
-        self.pending
-            .extend_from_slice(&encode_record_header(RecordKind::NextSegment, nxt.len() as u32));
+        self.pending.extend_from_slice(&encode_record_header(
+            RecordKind::NextSegment,
+            nxt.len() as u32,
+        ));
         self.pending.extend_from_slice(&nxt);
         add(&self.stats.bytes_appended, NEXT_SEGMENT_RECORD_LEN as u64);
         self.flush()?;
@@ -243,7 +260,9 @@ impl SegmentManager {
     /// Allocate a brand-new segment slot (or resurrect a dropped one).
     fn grow(&mut self) -> Result<SegmentId> {
         if !self.allow_growth {
-            return Err(ChunkStoreError::OutOfSpace { needed: self.seg_size as u64 });
+            return Err(ChunkStoreError::OutOfSpace {
+                needed: self.seg_size as u64,
+            });
         }
         add(&self.stats.segments_grown, 1);
         if let Some(i) = self
@@ -251,12 +270,18 @@ impl SegmentManager {
             .iter()
             .position(|s| s.status == SegStatus::Dropped)
         {
-            self.states[i] = SegState { status: SegStatus::Free, live: 0 };
+            self.states[i] = SegState {
+                status: SegStatus::Free,
+                live: 0,
+            };
             self.store.open(&SegmentId(i as u32).file_name(), true)?;
             return Ok(SegmentId(i as u32));
         }
         let id = SegmentId(self.states.len() as u32);
-        self.states.push(SegState { status: SegStatus::Free, live: 0 });
+        self.states.push(SegState {
+            status: SegStatus::Free,
+            live: 0,
+        });
         self.store.open(&id.file_name(), true)?;
         Ok(id)
     }
@@ -306,15 +331,15 @@ impl SegmentManager {
             buf.copy_from_slice(&self.pending[start..end]);
         } else {
             let file = self.file(loc.seg)?;
-            file.read_at(loc.off as u64, &mut buf).map_err(|e| match e {
-                tdb_platform::PlatformError::ShortRead { .. } => {
-                    tampered("extends past segment end".into())
-                }
-                other => ChunkStoreError::Platform(other),
-            })?;
+            file.read_at(loc.off as u64, &mut buf)
+                .map_err(|e| match e {
+                    tdb_platform::PlatformError::ShortRead { .. } => {
+                        tampered("extends past segment end".into())
+                    }
+                    other => ChunkStoreError::Platform(other),
+                })?;
         }
-        let (kind, len) =
-            decode_record_header(&buf).map_err(|m| tampered(m.0))?;
+        let (kind, len) = decode_record_header(&buf).map_err(|m| tampered(m.0))?;
         if kind != expect {
             return Err(tampered(format!("kind {kind:?}, expected {expect:?}")));
         }
@@ -415,7 +440,11 @@ impl SegmentManager {
 
     /// live bytes / in-use capacity — the paper's database utilization.
     pub fn utilization(&self) -> f64 {
-        let in_use = self.states.iter().filter(|s| s.status == SegStatus::InUse).count();
+        let in_use = self
+            .states
+            .iter()
+            .filter(|s| s.status == SegStatus::InUse)
+            .count();
         if in_use == 0 {
             return 0.0;
         }
@@ -426,7 +455,11 @@ impl SegmentManager {
     /// only; the anchor adds a constant). This is Figure 11's "database
     /// size" metric.
     pub fn disk_size(&self) -> u64 {
-        let in_use = self.states.iter().filter(|s| s.status == SegStatus::InUse).count();
+        let in_use = self
+            .states
+            .iter()
+            .filter(|s| s.status == SegStatus::InUse)
+            .count();
         in_use as u64 * self.seg_size as u64
     }
 
@@ -480,19 +513,26 @@ mod tests {
     fn mgr(seg_size: u32, initial: u32) -> (SegmentManager, MemStore) {
         let mem = MemStore::new();
         let stats = Arc::new(Stats::default());
-        let m = SegmentManager::create(Arc::new(mem.clone()), seg_size, initial, true, stats)
-            .unwrap();
+        let m =
+            SegmentManager::create(Arc::new(mem.clone()), seg_size, initial, true, stats).unwrap();
         (m, mem)
     }
 
     fn mk_loc(pos: (SegmentId, u32, u32)) -> Location {
-        Location { seg: pos.0, off: pos.1, len: pos.2, hash: [0; 32] }
+        Location {
+            seg: pos.0,
+            off: pos.1,
+            len: pos.2,
+            hash: [0; 32],
+        }
     }
 
     #[test]
     fn append_and_read_back() {
         let (mut m, _) = mgr(4096, 2);
-        let pos = m.append_record(RecordKind::ChunkData, b"hello chunk").unwrap();
+        let pos = m
+            .append_record(RecordKind::ChunkData, b"hello chunk")
+            .unwrap();
         m.flush().unwrap();
         let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
         assert_eq!(payload, b"hello chunk");
@@ -544,8 +584,7 @@ mod tests {
     fn growth_disabled_returns_out_of_space() {
         let mem = MemStore::new();
         let stats = Arc::new(Stats::default());
-        let mut m =
-            SegmentManager::create(Arc::new(mem), 4096, 2, false, stats).unwrap();
+        let mut m = SegmentManager::create(Arc::new(mem), 4096, 2, false, stats).unwrap();
         let mut saw_oos = false;
         for _ in 0..100 {
             match m.append_record(RecordKind::ChunkData, &[1u8; 300]) {
@@ -597,7 +636,8 @@ mod tests {
     fn utilization_math() {
         let (mut m, _) = mgr(4096, 2);
         assert_eq!(m.utilization(), 0.0);
-        m.append_record(RecordKind::ChunkData, &[0u8; 1000]).unwrap();
+        m.append_record(RecordKind::ChunkData, &[0u8; 1000])
+            .unwrap();
         let u = m.utilization();
         assert!(u > 0.2 && u < 0.3, "one in-use 4k segment, ~1k live: {u}");
         assert_eq!(m.disk_size(), 4096);
@@ -610,8 +650,7 @@ mod tests {
         m.flush().unwrap();
         // seg0 in use (has bytes), seg1/2 free (zero length).
         let stats = Arc::new(Stats::default());
-        let m2 =
-            SegmentManager::open_existing(Arc::new(mem), 4096, true, stats).unwrap();
+        let m2 = SegmentManager::open_existing(Arc::new(mem), 4096, true, stats).unwrap();
         assert_eq!(m2.free_count(), 2);
         assert_eq!(m2.in_use_segments(), vec![SegmentId(0)]);
     }

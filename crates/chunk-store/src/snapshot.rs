@@ -69,7 +69,6 @@ impl Snapshot {
         self.for_each_location(&mut |_, _| empty = false);
         empty
     }
-
 }
 
 impl SnapCore {

@@ -75,6 +75,8 @@ pub(crate) struct Inner {
     pub(crate) pending_dec: Vec<Location>,
     pub(crate) snapshots: Vec<Weak<SnapCore>>,
     pub(crate) stats: SharedStats,
+    /// `Some` when this handle came from `open` (crash recovery ran).
+    pub(crate) recovery: Option<recovery::RecoveryReport>,
 }
 
 impl Inner {
@@ -147,9 +149,8 @@ impl Inner {
         };
         add(&self.stats.chunk_reads, 1);
         let plain = self.read_verified(&loc, RecordKind::ChunkData)?;
-        let (stored_id, data) = decode_chunk_payload(&plain).map_err(|m| {
-            ChunkStoreError::TamperDetected(format!("chunk {id:?}: {}", m.0))
-        })?;
+        let (stored_id, data) = decode_chunk_payload(&plain)
+            .map_err(|m| ChunkStoreError::TamperDetected(format!("chunk {id:?}: {}", m.0)))?;
         if stored_id != id {
             return Err(ChunkStoreError::TamperDetected(format!(
                 "chunk {id:?}: record claims to be {stored_id:?}"
@@ -161,8 +162,7 @@ impl Inner {
     /// Read a record's payload, verify its hash against `loc`, decrypt.
     pub(crate) fn read_verified(&self, loc: &Location, expect: RecordKind) -> Result<Vec<u8>> {
         let stored = self.segs.read_record(loc, expect)?;
-        if self.ctx.verifies_hashes()
-            && !CryptoCtx::tags_equal(&self.ctx.hash(&stored), &loc.hash)
+        if self.ctx.verifies_hashes() && !CryptoCtx::tags_equal(&self.ctx.hash(&stored), &loc.hash)
         {
             return Err(ChunkStoreError::TamperDetected(format!(
                 "hash mismatch for record at {loc:?}"
@@ -206,7 +206,12 @@ impl Inner {
                         let sealed = self.ctx.seal(&payload);
                         let (seg, off, len) =
                             self.segs.append_record(RecordKind::ChunkData, &sealed)?;
-                        let loc = Location { seg, off, len, hash: self.ctx.hash(&sealed) };
+                        let loc = Location {
+                            seg,
+                            off,
+                            len,
+                            hash: self.ctx.hash(&sealed),
+                        };
                         if let Some(old) = self.map.set(id, loc) {
                             self.pending_dec.push(old);
                         }
@@ -260,8 +265,12 @@ impl Inner {
         if self.ctx.mode() == SecurityMode::Full {
             self.counter_value += 1;
         }
-        let free_ids: Vec<u64> =
-            self.free_ids.iter().take(self.cfg.free_list_cap).copied().collect();
+        let free_ids: Vec<u64> = self
+            .free_ids
+            .iter()
+            .take(self.cfg.free_list_cap)
+            .copied()
+            .collect();
         let state = AnchorState {
             anchor_seq: self.anchor_seq,
             segment_size: self.cfg.segment_size,
@@ -298,11 +307,21 @@ impl Inner {
     /// Write the dirty location-map pages, advance the anchor to the new
     /// root, and reset the residual log.
     pub(crate) fn do_checkpoint(&mut self) -> Result<()> {
-        let Inner { ref mut map, ref mut segs, ref ctx, .. } = *self;
+        let Inner {
+            ref mut map,
+            ref mut segs,
+            ref ctx,
+            ..
+        } = *self;
         let root_loc = map.checkpoint(&mut |bytes| {
             let sealed = ctx.seal(bytes);
             let (seg, off, len) = segs.append_record(RecordKind::MapPage, &sealed)?;
-            Ok(Location { seg, off, len, hash: ctx.hash(&sealed) })
+            Ok(Location {
+                seg,
+                off,
+                len,
+                hash: ctx.hash(&sealed),
+            })
         })?;
         self.checkpointed_root = (root_loc, self.map.depth());
         self.pending_dec.extend(self.map.drain_superseded());
@@ -429,15 +448,23 @@ impl ChunkStore {
             counter_value,
             // Placeholder; the initial checkpoint below sets the real root.
             checkpointed_root: (
-                Location { seg: SegmentId(0), off: 0, len: 0, hash: [0; 32] },
+                Location {
+                    seg: SegmentId(0),
+                    off: 0,
+                    len: 0,
+                    hash: [0; 32],
+                },
                 1,
             ),
             pending_dec: Vec::new(),
             snapshots: Vec::new(),
             stats,
+            recovery: None,
         };
         inner.do_checkpoint()?;
-        Ok(ChunkStore { inner: Mutex::new(inner) })
+        Ok(ChunkStore {
+            inner: Mutex::new(inner),
+        })
     }
 
     /// Open an existing database, running crash recovery, tamper
@@ -449,7 +476,9 @@ impl ChunkStore {
         cfg: ChunkStoreConfig,
     ) -> Result<Self> {
         let inner = recovery::open_impl(untrusted, secret, counter, cfg)?;
-        Ok(ChunkStore { inner: Mutex::new(inner) })
+        Ok(ChunkStore {
+            inner: Mutex::new(inner),
+        })
     }
 
     /// Open if a database exists, otherwise create one.
@@ -528,8 +557,8 @@ impl ChunkStore {
             .location_of(cid)
             .ok_or(ChunkStoreError::NotAllocated(cid))?;
         let plain = inner.read_verified(&loc, RecordKind::ChunkData)?;
-        let (stored_id, data) = decode_chunk_payload(&plain)
-            .map_err(|m| ChunkStoreError::TamperDetected(m.0))?;
+        let (stored_id, data) =
+            decode_chunk_payload(&plain).map_err(|m| ChunkStoreError::TamperDetected(m.0))?;
         if stored_id != cid {
             return Err(ChunkStoreError::TamperDetected(format!(
                 "snapshot chunk {cid:?} record claims {stored_id:?}"
@@ -547,6 +576,12 @@ impl ChunkStore {
             new.core.depth,
             old.core.fanout,
         )
+    }
+
+    /// What crash recovery found and did, if this handle was produced by
+    /// [`ChunkStore::open`] (a freshly created store has no report).
+    pub fn recovery_report(&self) -> Option<recovery::RecoveryReport> {
+        self.inner.lock().recovery.clone()
     }
 
     /// Operation counters.
@@ -594,7 +629,9 @@ impl ChunkStore {
     pub fn debug_accounting(&self) -> (u64, u64, usize, usize, usize) {
         let inner = self.inner.lock();
         let mut walked = 0u64;
-        inner.map.for_each_entry(&mut |_, loc| walked += loc.len as u64);
+        inner
+            .map
+            .for_each_entry(&mut |_, loc| walked += loc.len as u64);
         inner.map.for_each_page(&mut |loc| walked += loc.len as u64);
         (
             inner.segs.total_live(),

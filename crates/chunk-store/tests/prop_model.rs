@@ -47,7 +47,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn content(seed: u64, len: usize) -> Vec<u8> {
-    (0..len).map(|i| (seed as u8).wrapping_mul(31).wrapping_add(i as u8)).collect()
+    (0..len)
+        .map(|i| (seed as u8).wrapping_mul(31).wrapping_add(i as u8))
+        .collect()
 }
 
 #[derive(Default, Clone)]

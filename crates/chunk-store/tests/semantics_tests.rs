@@ -18,7 +18,11 @@ struct Fx {
 
 impl Fx {
     fn new(cfg: ChunkStoreConfig) -> Self {
-        Fx { mem: MemStore::new(), counter: VolatileCounter::new(), cfg }
+        Fx {
+            mem: MemStore::new(),
+            counter: VolatileCounter::new(),
+            cfg,
+        }
     }
 
     fn create(&self) -> ChunkStore {
@@ -120,7 +124,9 @@ fn free_list_cap_leaks_ids_but_stays_correct() {
     let fx = Fx::new(cfg);
     {
         let store = fx.create();
-        let ids: Vec<ChunkId> = (0..20).map(|_| store.allocate_chunk_id().unwrap()).collect();
+        let ids: Vec<ChunkId> = (0..20)
+            .map(|_| store.allocate_chunk_id().unwrap())
+            .collect();
         for id in &ids {
             store.write(*id, b"x").unwrap();
         }
@@ -156,7 +162,7 @@ fn empty_durable_commit_still_advances_anchor() {
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"v1").unwrap();
     store.commit(false).unwrap(); // nondurable only
-    // An empty durable commit must persist the earlier nondurable one.
+                                  // An empty durable commit must persist the earlier nondurable one.
     store.commit(true).unwrap();
     drop(store);
     let store = fx.open();
@@ -167,7 +173,9 @@ fn empty_durable_commit_still_advances_anchor() {
 fn snapshot_diff_across_checkpoint_and_cleaning() {
     let fx = Fx::new(ChunkStoreConfig::small_for_tests());
     let store = fx.create();
-    let ids: Vec<ChunkId> = (0..10).map(|_| store.allocate_chunk_id().unwrap()).collect();
+    let ids: Vec<ChunkId> = (0..10)
+        .map(|_| store.allocate_chunk_id().unwrap())
+        .collect();
     for id in &ids {
         store.write(*id, b"base").unwrap();
     }
@@ -244,7 +252,12 @@ fn reopen_with_wrong_geometry_rejected() {
     let mut other = ChunkStoreConfig::small_for_tests();
     other.map_fanout *= 2;
     assert!(matches!(
-        ChunkStore::open(Arc::new(fx.mem.clone()), &secret(), Arc::new(fx.counter.clone()), other),
+        ChunkStore::open(
+            Arc::new(fx.mem.clone()),
+            &secret(),
+            Arc::new(fx.counter.clone()),
+            other
+        ),
         Err(ChunkStoreError::ConfigMismatch(_))
     ));
 }
@@ -262,7 +275,9 @@ fn many_reopen_cycles_accumulate_no_damage() {
         let store = fx.open();
         let prev = u64::from_le_bytes(store.read(ChunkId(0)).unwrap().try_into().unwrap());
         assert_eq!(prev, cycle - 1, "cycle {cycle}");
-        store.write(ChunkId(0), cycle.to_le_bytes().as_slice()).unwrap();
+        store
+            .write(ChunkId(0), cycle.to_le_bytes().as_slice())
+            .unwrap();
         // Alternate durability modes and maintenance across cycles.
         store.commit(cycle % 2 == 0).unwrap();
         if cycle % 2 == 1 {
@@ -279,4 +294,77 @@ fn many_reopen_cycles_accumulate_no_damage() {
         u64::from_le_bytes(store.read(ChunkId(0)).unwrap().try_into().unwrap()),
         30
     );
+}
+
+/// The §3.2.2 durability contract, checked at the device level: a
+/// *nondurable* commit must never reach for the disk's sync primitive
+/// (that is the whole point of offering it), while a *durable* commit
+/// must sync before acknowledging.
+#[test]
+fn nondurable_commit_never_syncs_durable_commit_does() {
+    use tdb_platform::{FaultPlan, FaultStore};
+    let plan = FaultPlan::unlimited();
+    let store = ChunkStore::create(
+        Arc::new(FaultStore::new(MemStore::new(), plan.clone())),
+        &secret(),
+        Arc::new(VolatileCounter::new()),
+        ChunkStoreConfig::small_for_tests(),
+    )
+    .unwrap();
+
+    let baseline = plan.sync_count();
+    let id = store.allocate_chunk_id().unwrap();
+    store.write(id, b"not worth a platter rotation").unwrap();
+    store.commit(false).unwrap();
+    assert_eq!(
+        plan.sync_count(),
+        baseline,
+        "nondurable commit must not sync"
+    );
+
+    store.write(id, b"worth acknowledging durably").unwrap();
+    store.commit(true).unwrap();
+    assert!(
+        plan.sync_count() > baseline,
+        "durable commit must sync before acking"
+    );
+}
+
+/// Recovery reports what it found: how many durable commits it replayed
+/// and how many chain-valid nondurable leftovers it discarded.
+#[test]
+fn recovery_report_counts_replayed_and_discarded_commits() {
+    let fx = Fx::new(ChunkStoreConfig::small_for_tests());
+    let id = {
+        let store = fx.create();
+        assert!(
+            store.recovery_report().is_none(),
+            "fresh store ran no recovery"
+        );
+        let id = store.allocate_chunk_id().unwrap();
+        for v in 0..3u32 {
+            store.write(id, &v.to_le_bytes()).unwrap();
+            store.commit(true).unwrap();
+        }
+        for v in 3..7u32 {
+            store.write(id, &v.to_le_bytes()).unwrap();
+            store.commit(false).unwrap();
+        }
+        id
+    };
+    let store = fx.open();
+    let report = store
+        .recovery_report()
+        .expect("opened store carries a report");
+    assert_eq!(report.last_seq - report.base_seq, report.commits_replayed);
+    assert_eq!(
+        report.nondurable_discarded, 4,
+        "the four nondurable leftovers are discarded, and counted: {report:?}"
+    );
+    assert!(
+        !report.counter_repaired,
+        "clean shutdown needs no counter repair"
+    );
+    // And the discard is real: the durable version survives.
+    assert_eq!(store.read(id).unwrap(), 2u32.to_le_bytes());
 }

@@ -22,7 +22,10 @@ struct Fixture {
 
 impl Fixture {
     fn new() -> Self {
-        Fixture { mem: MemStore::new(), counter: VolatileCounter::new() }
+        Fixture {
+            mem: MemStore::new(),
+            counter: VolatileCounter::new(),
+        }
     }
 
     fn create(&self) -> ChunkStore {
@@ -66,9 +69,14 @@ fn write_read_roundtrip_within_session() {
     store.commit(true).unwrap();
     assert_eq!(store.read(id).unwrap(), b"meter: 1");
     // Overwrite with different size.
-    store.write(id, b"a much longer meter state than before").unwrap();
+    store
+        .write(id, b"a much longer meter state than before")
+        .unwrap();
     store.commit(true).unwrap();
-    assert_eq!(store.read(id).unwrap(), b"a much longer meter state than before");
+    assert_eq!(
+        store.read(id).unwrap(),
+        b"a much longer meter state than before"
+    );
 }
 
 #[test]
@@ -84,7 +92,10 @@ fn state_survives_reopen() {
     }
     let store = fx.open().unwrap();
     for i in 0..50u64 {
-        assert_eq!(store.read(chunk_store::ChunkId(i)).unwrap(), vec![i as u8; 33]);
+        assert_eq!(
+            store.read(chunk_store::ChunkId(i)).unwrap(),
+            vec![i as u8; 33]
+        );
     }
     assert_eq!(store.live_chunks(), 50);
 }
@@ -94,7 +105,9 @@ fn reopen_after_checkpoint_and_more_commits() {
     let fx = Fixture::new();
     {
         let store = fx.create();
-        let ids: Vec<_> = (0..20).map(|_| store.allocate_chunk_id().unwrap()).collect();
+        let ids: Vec<_> = (0..20)
+            .map(|_| store.allocate_chunk_id().unwrap())
+            .collect();
         for (i, id) in ids.iter().enumerate() {
             store.write(*id, format!("v1-{i}").as_bytes()).unwrap();
         }
@@ -108,10 +121,16 @@ fn reopen_after_checkpoint_and_more_commits() {
     }
     let store = fx.open().unwrap();
     for i in 0..10u64 {
-        assert_eq!(store.read(chunk_store::ChunkId(i)).unwrap(), format!("v2-{i}").as_bytes());
+        assert_eq!(
+            store.read(chunk_store::ChunkId(i)).unwrap(),
+            format!("v2-{i}").as_bytes()
+        );
     }
     for i in 10..20u64 {
-        assert_eq!(store.read(chunk_store::ChunkId(i)).unwrap(), format!("v1-{i}").as_bytes());
+        assert_eq!(
+            store.read(chunk_store::ChunkId(i)).unwrap(),
+            format!("v1-{i}").as_bytes()
+        );
     }
 }
 
@@ -120,13 +139,25 @@ fn unallocated_and_unwritten_errors() {
     let fx = Fixture::new();
     let store = fx.create();
     let bogus = chunk_store::ChunkId(999);
-    assert!(matches!(store.read(bogus), Err(ChunkStoreError::NotAllocated(_))));
-    assert!(matches!(store.write(bogus, b"x"), Err(ChunkStoreError::NotAllocated(_))));
-    assert!(matches!(store.deallocate(bogus), Err(ChunkStoreError::NotAllocated(_))));
+    assert!(matches!(
+        store.read(bogus),
+        Err(ChunkStoreError::NotAllocated(_))
+    ));
+    assert!(matches!(
+        store.write(bogus, b"x"),
+        Err(ChunkStoreError::NotAllocated(_))
+    ));
+    assert!(matches!(
+        store.deallocate(bogus),
+        Err(ChunkStoreError::NotAllocated(_))
+    ));
 
     let id = store.allocate_chunk_id().unwrap();
     store.commit(true).unwrap();
-    assert!(matches!(store.read(id), Err(ChunkStoreError::NotWritten(_))));
+    assert!(matches!(
+        store.read(id),
+        Err(ChunkStoreError::NotWritten(_))
+    ));
 }
 
 #[test]
@@ -138,7 +169,10 @@ fn deallocate_frees_and_reuses_ids() {
     store.commit(true).unwrap();
     store.deallocate(a).unwrap();
     store.commit(true).unwrap();
-    assert!(matches!(store.read(a), Err(ChunkStoreError::NotAllocated(_))));
+    assert!(matches!(
+        store.read(a),
+        Err(ChunkStoreError::NotAllocated(_))
+    ));
     // The freed id is reused.
     let b = store.allocate_chunk_id().unwrap();
     assert_eq!(a, b);
@@ -175,7 +209,10 @@ fn discard_rolls_back_batch() {
     store.write(b, b"staged-new").unwrap();
     store.discard();
     assert_eq!(store.read(a).unwrap(), b"committed");
-    assert!(matches!(store.read(b), Err(ChunkStoreError::NotAllocated(_))));
+    assert!(matches!(
+        store.read(b),
+        Err(ChunkStoreError::NotAllocated(_))
+    ));
     // b's id returned to the free pool.
     assert_eq!(store.allocate_chunk_id().unwrap(), b);
 }
@@ -184,13 +221,17 @@ fn discard_rolls_back_batch() {
 fn atomic_batch_commit() {
     let fx = Fixture::new();
     let store = fx.create();
-    let ids: Vec<_> = (0..10).map(|_| store.allocate_chunk_id().unwrap()).collect();
+    let ids: Vec<_> = (0..10)
+        .map(|_| store.allocate_chunk_id().unwrap())
+        .collect();
     for id in &ids {
         store.write(*id, b"batch").unwrap();
     }
     store.commit(true).unwrap();
     // Batch larger than max-ops-per-commit still commits atomically.
-    let many: Vec<_> = (0..500).map(|_| store.allocate_chunk_id().unwrap()).collect();
+    let many: Vec<_> = (0..500)
+        .map(|_| store.allocate_chunk_id().unwrap())
+        .collect();
     for id in &many {
         store.write(*id, &[1u8; 40]).unwrap();
     }
@@ -226,13 +267,8 @@ fn crash_and_recover(
     plan.rearm(budget);
     work(&store);
     drop(store);
-    let recovered = ChunkStore::open(
-        Arc::new(mem.clone()),
-        &secret(),
-        Arc::new(counter),
-        cfg(),
-    )
-    .unwrap();
+    let recovered =
+        ChunkStore::open(Arc::new(mem.clone()), &secret(), Arc::new(counter), cfg()).unwrap();
     (recovered, mem)
 }
 
@@ -259,7 +295,10 @@ fn crash_mid_commit_loses_nothing_durable() {
         // Either the whole update survived or none of it; the old state is
         // never corrupted.
         let first = recovered.read(chunk_store::ChunkId(0)).unwrap();
-        assert!(first == vec![0u8; 20] || first == vec![0xEE; 20], "budget {budget}");
+        assert!(
+            first == vec![0u8; 20] || first == vec![0xEE; 20],
+            "budget {budget}"
+        );
         for i in 1..10u64 {
             let got = recovered.read(chunk_store::ChunkId(i)).unwrap();
             // Atomicity: all chunks agree on which version survived.
@@ -282,13 +321,18 @@ fn nondurable_commit_never_survives_crash() {
             store.commit(true).unwrap();
         },
         |store| {
-            store.write(chunk_store::ChunkId(0), b"nondurable update").unwrap();
+            store
+                .write(chunk_store::ChunkId(0), b"nondurable update")
+                .unwrap();
             store.commit(false).unwrap();
             // Crash without a durable commit: the nondurable one must die,
             // even though its bytes were fully written.
         },
     );
-    assert_eq!(recovered.read(chunk_store::ChunkId(0)).unwrap(), b"durable state");
+    assert_eq!(
+        recovered.read(chunk_store::ChunkId(0)).unwrap(),
+        b"durable state"
+    );
 }
 
 #[test]
@@ -317,9 +361,13 @@ fn crash_during_checkpoint_recovers() {
         let counter = VolatileCounter::new();
         let plan = FaultPlan::unlimited();
         let faulty = FaultStore::new(mem.clone(), plan.clone());
-        let store =
-            ChunkStore::create(Arc::new(faulty), &secret(), Arc::new(counter.clone()), cfg())
-                .unwrap();
+        let store = ChunkStore::create(
+            Arc::new(faulty),
+            &secret(),
+            Arc::new(counter.clone()),
+            cfg(),
+        )
+        .unwrap();
         for i in 0..30u8 {
             let id = store.allocate_chunk_id().unwrap();
             store.write(id, &[i; 25]).unwrap();
@@ -378,7 +426,9 @@ fn tampered_residual_log_is_detected_at_open() {
     }
     // Corrupt the log tail (where the commit record lives).
     let raw = fx.mem.raw("seg.000000").unwrap();
-    fx.mem.corrupt("seg.000000", raw.len() as u64 - 10, 4).unwrap();
+    fx.mem
+        .corrupt("seg.000000", raw.len() as u64 - 10, 4)
+        .unwrap();
     match fx.open() {
         Err(ChunkStoreError::TamperDetected(_)) => {}
         Err(e) => panic!("expected tamper detection, got {e}"),
@@ -422,7 +472,10 @@ fn whole_database_replay_is_detected() {
     // ...and replays the saved copy to get the balance back.
     fx.mem.restore_from(&saved);
     match fx.open() {
-        Err(ChunkStoreError::ReplayDetected { anchor_counter, hardware_counter }) => {
+        Err(ChunkStoreError::ReplayDetected {
+            anchor_counter,
+            hardware_counter,
+        }) => {
             assert!(anchor_counter < hardware_counter);
         }
         Err(e) => panic!("expected replay detection, got {e}"),
@@ -454,8 +507,7 @@ fn replay_succeeds_if_counter_is_also_rolled_back() {
 
     mem.restore_from(&saved);
     counter.set(counter_at_save); // the hardware violation
-    let store =
-        ChunkStore::open(Arc::new(mem), &secret(), Arc::new(counter), cfg()).unwrap();
+    let store = ChunkStore::open(Arc::new(mem), &secret(), Arc::new(counter), cfg()).unwrap();
     assert_eq!(store.read(id).unwrap(), b"balance: $100");
 }
 
@@ -493,7 +545,10 @@ fn ciphertext_reveals_nothing() {
             "plaintext leaked into {name}"
         );
         // Even a fragment must not appear.
-        assert!(!raw.windows(10).any(|w| w == &plaintext[..10]), "fragment leaked into {name}");
+        assert!(
+            !raw.windows(10).any(|w| w == &plaintext[..10]),
+            "fragment leaked into {name}"
+        );
     }
 }
 
@@ -508,7 +563,11 @@ fn security_off_stores_plaintext_and_skips_counter() {
     store.commit(true).unwrap();
     let raw = fx.mem.raw("seg.000000").unwrap();
     assert!(raw.windows(17).any(|w| w == b"VISIBLE-PLAINTEXT"));
-    assert_eq!(fx.counter.read().unwrap(), 0, "Off mode must not touch the counter");
+    assert_eq!(
+        fx.counter.read().unwrap(),
+        0,
+        "Off mode must not touch the counter"
+    );
 }
 
 #[test]
@@ -539,7 +598,9 @@ fn mode_mismatch_is_rejected() {
 fn heavy_overwrite_traffic_is_cleaned_and_bounded() {
     let fx = Fixture::new();
     let store = fx.create();
-    let ids: Vec<_> = (0..16).map(|_| store.allocate_chunk_id().unwrap()).collect();
+    let ids: Vec<_> = (0..16)
+        .map(|_| store.allocate_chunk_id().unwrap())
+        .collect();
     for id in &ids {
         store.write(*id, &[0u8; 100]).unwrap();
     }
@@ -554,7 +615,10 @@ fn heavy_overwrite_traffic_is_cleaned_and_bounded() {
     }
     let stats = store.stats();
     assert!(stats.cleaner_passes > 0, "cleaner never ran");
-    assert!(stats.cleaner_segments_freed > 0, "cleaner never freed a segment");
+    assert!(
+        stats.cleaner_segments_freed > 0,
+        "cleaner never freed a segment"
+    );
 
     // The database stays bounded: live data is ~16*~120B, so a handful of
     // segments suffices. Without cleaning we would have hundreds.
@@ -572,7 +636,9 @@ fn database_survives_reopen_after_heavy_cleaning() {
     let fx = Fixture::new();
     {
         let store = fx.create();
-        let ids: Vec<_> = (0..16).map(|_| store.allocate_chunk_id().unwrap()).collect();
+        let ids: Vec<_> = (0..16)
+            .map(|_| store.allocate_chunk_id().unwrap())
+            .collect();
         for round in 0..200u32 {
             for id in &ids {
                 store.write(*id, &round.to_le_bytes().repeat(30)).unwrap();
@@ -598,7 +664,9 @@ fn higher_max_utilization_gives_smaller_database() {
         c.max_utilization = util;
         c.free_segment_reserve = 1;
         let store = fx.create_with(c);
-        let ids: Vec<_> = (0..32).map(|_| store.allocate_chunk_id().unwrap()).collect();
+        let ids: Vec<_> = (0..32)
+            .map(|_| store.allocate_chunk_id().unwrap())
+            .collect();
         for round in 0..150u32 {
             for id in &ids {
                 store.write(*id, &round.to_le_bytes().repeat(25)).unwrap();
@@ -681,7 +749,10 @@ fn snapshot_survives_cleaning() {
     }
     assert!(store.stats().cleaner_passes > 0);
     for id in &ids {
-        assert_eq!(store.read_at_snapshot(&snap, *id).unwrap(), b"snapshotted-v0");
+        assert_eq!(
+            store.read_at_snapshot(&snap, *id).unwrap(),
+            b"snapshotted-v0"
+        );
     }
 
     // Dropping the snapshot releases the pin; later cleaning reclaims.

@@ -73,12 +73,20 @@ pub(crate) fn unpickle_node(
     for _ in 0..c {
         children.push(r.object_id()?);
     }
-    Ok(Box::new(BTreeNode { leaf, entries, children }))
+    Ok(Box::new(BTreeNode {
+        leaf,
+        entries,
+        children,
+    }))
 }
 
 /// Create an empty tree; returns the root node id.
 pub(crate) fn create(txn: &Transaction) -> Result<ObjectId> {
-    Ok(txn.insert(Box::new(BTreeNode { leaf: true, entries: Vec::new(), children: Vec::new() }))?)
+    Ok(txn.insert(Box::new(BTreeNode {
+        leaf: true,
+        entries: Vec::new(),
+        children: Vec::new(),
+    }))?)
 }
 
 fn entry_cmp(a: &(Key, ObjectId), b: &(Key, ObjectId)) -> std::cmp::Ordering {
@@ -86,11 +94,7 @@ fn entry_cmp(a: &(Key, ObjectId), b: &(Key, ObjectId)) -> std::cmp::Ordering {
 }
 
 /// Split the full child at `child_idx` of (writable) `parent`.
-fn split_child(
-    txn: &Transaction,
-    parent: &mut BTreeNode,
-    child_idx: usize,
-) -> Result<()> {
+fn split_child(txn: &Transaction, parent: &mut BTreeNode, child_idx: usize) -> Result<()> {
     let child_id = parent.children[child_idx];
     let child_ref = txn.open_writable::<BTreeNode>(child_id)?;
     let mut child = child_ref.get_mut();
@@ -103,7 +107,11 @@ fn split_child(
     } else {
         child.children.split_off(mid + 1)
     };
-    let right = BTreeNode { leaf: child.leaf, entries: right_entries, children: right_children };
+    let right = BTreeNode {
+        leaf: child.leaf,
+        entries: right_entries,
+        children: right_children,
+    };
     drop(child);
     let right_id = txn.insert(Box::new(right))?;
     parent.entries.insert(child_idx, median);
@@ -125,8 +133,11 @@ pub(crate) fn insert(
         full
     };
     let (mut node_id, new_root) = if root_full {
-        let new_root_obj =
-            BTreeNode { leaf: false, entries: Vec::new(), children: vec![root] };
+        let new_root_obj = BTreeNode {
+            leaf: false,
+            entries: Vec::new(),
+            children: vec![root],
+        };
         let new_root_id = txn.insert(Box::new(new_root_obj))?;
         {
             let nr = txn.open_writable::<BTreeNode>(new_root_id)?;
@@ -236,7 +247,11 @@ fn take_leftmost(txn: &Transaction, node_id: ObjectId) -> Result<Option<(Key, Ob
     let (leaf, first_child, has_entries) = {
         let node_ref = txn.open_readonly::<BTreeNode>(node_id)?;
         let node = node_ref.get();
-        (node.leaf, node.children.first().copied(), !node.entries.is_empty())
+        (
+            node.leaf,
+            node.children.first().copied(),
+            !node.entries.is_empty(),
+        )
     };
     if leaf {
         if !has_entries {
@@ -287,7 +302,9 @@ pub(crate) fn range(
     max: Bound<&Key>,
 ) -> Result<Vec<(Key, ObjectId)>> {
     let mut out = Vec::new();
-    range_into(txn, root, min, max, &mut |key, id| out.push((key.clone(), id)))?;
+    range_into(txn, root, min, max, &mut |key, id| {
+        out.push((key.clone(), id))
+    })?;
     Ok(out)
 }
 
@@ -364,6 +381,12 @@ pub(crate) fn destroy(txn: &Transaction, root: ObjectId) -> Result<()> {
 /// Number of entries (diagnostics / tests).
 pub(crate) fn count(txn: &Transaction, root: ObjectId) -> Result<u64> {
     let mut n = 0u64;
-    range_into(txn, root, Bound::Unbounded, Bound::Unbounded, &mut |_, _| n += 1)?;
+    range_into(
+        txn,
+        root,
+        Bound::Unbounded,
+        Bound::Unbounded,
+        &mut |_, _| n += 1,
+    )?;
     Ok(n)
 }

@@ -108,7 +108,12 @@ pub(crate) fn load_metas(ct: &CTransaction, coll: ObjectId) -> Result<Vec<IndexM
     Ok(metas)
 }
 
-fn update_root(ct: &CTransaction, coll: ObjectId, index_name: &str, new_root: ObjectId) -> Result<()> {
+fn update_root(
+    ct: &CTransaction,
+    coll: ObjectId,
+    index_name: &str,
+    new_root: ObjectId,
+) -> Result<()> {
     let c = ct.txn.open_writable::<CollectionObj>(coll)?;
     let mut c = c.get_mut();
     if let Some(meta) = c.indexes.iter_mut().find(|m| m.spec.name == index_name) {
@@ -170,7 +175,12 @@ pub(crate) fn destroy_collection(ct: &CTransaction, coll: ObjectId) -> Result<()
 
 impl<'t> Collection<'t> {
     pub(crate) fn new(ct: &'t CTransaction, oid: ObjectId, name: String, writable: bool) -> Self {
-        Collection { ct, oid, name, writable }
+        Collection {
+            ct,
+            oid,
+            name,
+            writable,
+        }
     }
 
     /// Collection name.
@@ -244,14 +254,14 @@ impl<'t> Collection<'t> {
             if meta.spec.unique
                 && !idx_lookup(&self.ct.txn, meta.spec.kind, meta.root, key)?.is_empty()
             {
-                return Err(CollectionError::DuplicateKey { index: meta.spec.name.clone() });
+                return Err(CollectionError::DuplicateKey {
+                    index: meta.spec.name.clone(),
+                });
             }
         }
         let oid = self.ct.txn.insert(object)?;
         for (meta, key) in metas.iter().zip(keys) {
-            if let Some(new_root) =
-                idx_insert(&self.ct.txn, meta.spec.kind, meta.root, key, oid)?
-            {
+            if let Some(new_root) = idx_insert(&self.ct.txn, meta.spec.kind, meta.root, key, oid)? {
                 update_root(self.ct, self.oid, &meta.spec.name, new_root)?;
             }
         }
@@ -282,11 +292,11 @@ impl<'t> Collection<'t> {
                         class_id,
                     })?;
                 if spec.unique && !seen.insert(key.clone()) {
-                    return Err(CollectionError::DuplicateKey { index: spec.name.clone() });
+                    return Err(CollectionError::DuplicateKey {
+                        index: spec.name.clone(),
+                    });
                 }
-                if let Some(new_root) =
-                    idx_insert(&self.ct.txn, spec.kind, root, key, *member)?
-                {
+                if let Some(new_root) = idx_insert(&self.ct.txn, spec.kind, root, key, *member)? {
                     root = new_root;
                 }
             }
@@ -401,7 +411,9 @@ pub(crate) fn maintain(
         // anything, so a violating object is removed cleanly. Immutable
         // indexes (snapshot `None`) cannot change by contract.
         for (i, meta) in metas.iter().enumerate() {
-            let (Some(pre), Some(post)) = (&pre_keys[i], &post_keys[i]) else { continue };
+            let (Some(pre), Some(post)) = (&pre_keys[i], &post_keys[i]) else {
+                continue;
+            };
             if pre == post || !meta.spec.unique {
                 continue;
             }
@@ -422,7 +434,9 @@ pub(crate) fn maintain(
         }
         // Pass 2: apply the redo — remove old entries, insert new ones.
         for (i, meta) in metas.iter_mut().enumerate() {
-            let (Some(pre), Some(post)) = (&pre_keys[i], &post_keys[i]) else { continue };
+            let (Some(pre), Some(post)) = (&pre_keys[i], &post_keys[i]) else {
+                continue;
+            };
             if pre == post {
                 continue;
             }
@@ -447,6 +461,8 @@ pub(crate) fn maintain(
     if violations.is_empty() {
         Ok(())
     } else {
-        Err(CollectionError::UniquenessViolation { removed: violations })
+        Err(CollectionError::UniquenessViolation {
+            removed: violations,
+        })
     }
 }

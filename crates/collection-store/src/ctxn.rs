@@ -27,7 +27,11 @@ pub struct CTransaction {
 
 impl CTransaction {
     pub(crate) fn new(txn: Transaction, extractors: Arc<ExtractorRegistry>) -> Self {
-        CTransaction { txn, extractors, iters: RefCell::new(HashMap::new()) }
+        CTransaction {
+            txn,
+            extractors,
+            iters: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Commit in the given durability mode.
@@ -72,7 +76,10 @@ impl CTransaction {
         let mut indexes = Vec::with_capacity(specs.len());
         for spec in specs {
             let root = collection::create_index_root(&self.txn, spec.kind)?;
-            indexes.push(crate::meta::IndexMeta { spec: spec.clone(), root });
+            indexes.push(crate::meta::IndexMeta {
+                spec: spec.clone(),
+                root,
+            });
         }
         let coll_id = self.txn.insert(Box::new(CollectionObj {
             name: name.to_string(),

@@ -71,7 +71,11 @@ pub(crate) fn unpickle_dir(
     for _ in 0..n {
         segments.push(r.object_id()?);
     }
-    Ok(Box::new(HashDir { level, next, segments }))
+    Ok(Box::new(HashDir {
+        level,
+        next,
+        segments,
+    }))
 }
 
 /// A directory segment: up to [`SEG_CAP`] bucket ids.
@@ -157,7 +161,9 @@ fn bucket_at(txn: &Transaction, dir: &HashDir, idx: u64) -> Result<ObjectId> {
 fn push_bucket(txn: &Transaction, dir: &mut HashDir, bucket: ObjectId) -> Result<()> {
     let idx = dir.bucket_count() as usize; // position it will occupy
     if idx / SEG_CAP >= dir.segments.len() {
-        let seg = txn.insert(Box::new(HashSeg { buckets: vec![bucket] }))?;
+        let seg = txn.insert(Box::new(HashSeg {
+            buckets: vec![bucket],
+        }))?;
         dir.segments.push(seg);
     } else {
         let seg_ref = txn.open_writable::<HashSeg>(dir.segments[idx / SEG_CAP])?;
@@ -170,10 +176,16 @@ fn push_bucket(txn: &Transaction, dir: &mut HashDir, bucket: ObjectId) -> Result
 pub(crate) fn create(txn: &Transaction) -> Result<ObjectId> {
     let mut buckets = Vec::with_capacity(INITIAL_BUCKETS as usize);
     for _ in 0..INITIAL_BUCKETS {
-        buckets.push(txn.insert(Box::new(HashBucket { entries: Vec::new() }))?);
+        buckets.push(txn.insert(Box::new(HashBucket {
+            entries: Vec::new(),
+        }))?);
     }
     let seg = txn.insert(Box::new(HashSeg { buckets }))?;
-    Ok(txn.insert(Box::new(HashDir { level: 0, next: 0, segments: vec![seg] }))?)
+    Ok(txn.insert(Box::new(HashDir {
+        level: 0,
+        next: 0,
+        segments: vec![seg],
+    }))?)
 }
 
 /// Insert an entry; splits one bucket when the target bucket overflows.
@@ -204,7 +216,9 @@ fn split_step(txn: &Transaction, dir_id: ObjectId) -> Result<()> {
 
     let split_idx = dir.next;
     let split_bucket = bucket_at(txn, &dir, split_idx)?;
-    let new_bucket = txn.insert(Box::new(HashBucket { entries: Vec::new() }))?;
+    let new_bucket = txn.insert(Box::new(HashBucket {
+        entries: Vec::new(),
+    }))?;
     push_bucket(txn, &mut dir, new_bucket)?;
 
     let low = INITIAL_BUCKETS << dir.level;
@@ -232,7 +246,12 @@ fn split_step(txn: &Transaction, dir_id: ObjectId) -> Result<()> {
 }
 
 /// Remove an entry; returns whether it was present.
-pub(crate) fn remove(txn: &Transaction, dir_id: ObjectId, key: &Key, oid: ObjectId) -> Result<bool> {
+pub(crate) fn remove(
+    txn: &Transaction,
+    dir_id: ObjectId,
+    key: &Key,
+    oid: ObjectId,
+) -> Result<bool> {
     let bucket_id = {
         let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
         let dir = dir_ref.get();

@@ -130,14 +130,19 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CollectionError::LastIndex("i".into()).to_string().contains("at least one"));
-        assert!(CollectionError::UniquenessViolation { removed: vec![ObjectId(3)] }
+        assert!(CollectionError::LastIndex("i".into())
             .to_string()
-            .contains("removed"));
-        assert!(
-            CollectionError::UnsupportedQuery { index: "h".into(), what: "range queries" }
-                .to_string()
-                .contains("range")
-        );
+            .contains("at least one"));
+        assert!(CollectionError::UniquenessViolation {
+            removed: vec![ObjectId(3)]
+        }
+        .to_string()
+        .contains("removed"));
+        assert!(CollectionError::UnsupportedQuery {
+            index: "h".into(),
+            what: "range queries"
+        }
+        .to_string()
+        .contains("range"));
     }
 }

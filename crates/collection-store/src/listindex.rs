@@ -58,7 +58,10 @@ pub(crate) fn unpickle_node(
 /// node is never replaced — spills go into a successor), so the index root
 /// recorded in collection metadata never changes.
 pub(crate) fn create(txn: &Transaction) -> Result<ObjectId> {
-    Ok(txn.insert(Box::new(ListNode { entries: Vec::new(), next: None }))?)
+    Ok(txn.insert(Box::new(ListNode {
+        entries: Vec::new(),
+        next: None,
+    }))?)
 }
 
 /// Append an entry.
@@ -89,7 +92,10 @@ pub(crate) fn remove(txn: &Transaction, head: ObjectId, key: &Key, oid: ObjectId
         let node_ref = txn.open_readonly::<ListNode>(id)?;
         let (has, next) = {
             let node = node_ref.get();
-            (node.entries.iter().any(|(k, i)| k == key && *i == oid), node.next)
+            (
+                node.entries.iter().any(|(k, i)| k == key && *i == oid),
+                node.next,
+            )
         };
         if has {
             let node_ref = txn.open_writable::<ListNode>(id)?;
@@ -110,7 +116,12 @@ pub(crate) fn lookup(txn: &Transaction, head: ObjectId, key: &Key) -> Result<Vec
     while let Some(id) = node_id {
         let node_ref = txn.open_readonly::<ListNode>(id)?;
         let node = node_ref.get();
-        out.extend(node.entries.iter().filter(|(k, _)| k == key).map(|(_, i)| *i));
+        out.extend(
+            node.entries
+                .iter()
+                .filter(|(k, _)| k == key)
+                .map(|(_, i)| *i),
+        );
         node_id = node.next;
     }
     out.sort_unstable();

@@ -170,7 +170,11 @@ pub(crate) fn unpickle_collection(
         indexes.push(IndexMeta { spec, root });
     }
     let count = r.u64()?;
-    Ok(Box::new(CollectionObj { name, indexes, count }))
+    Ok(Box::new(CollectionObj {
+        name,
+        indexes,
+        count,
+    }))
 }
 
 /// The persistent name → collection-object directory.
@@ -180,7 +184,10 @@ pub(crate) struct DirectoryObj {
 
 impl DirectoryObj {
     pub fn get(&self, name: &str) -> Option<ObjectId> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
     }
 }
 
@@ -216,11 +223,31 @@ pub(crate) fn unpickle_directory(
 pub fn register_internal_classes(registry: &mut ClassRegistry) {
     registry.register(CLASS_DIRECTORY, "tdb.Directory", unpickle_directory);
     registry.register(CLASS_COLLECTION, "tdb.Collection", unpickle_collection);
-    registry.register(CLASS_BTREE_NODE, "tdb.BTreeNode", crate::btree::unpickle_node);
-    registry.register(CLASS_HASH_DIR, "tdb.HashDirectory", crate::dynhash::unpickle_dir);
-    registry.register(CLASS_HASH_BUCKET, "tdb.HashBucket", crate::dynhash::unpickle_bucket);
-    registry.register(CLASS_HASH_SEG, "tdb.HashSegment", crate::dynhash::unpickle_seg);
-    registry.register(CLASS_LIST_NODE, "tdb.ListNode", crate::listindex::unpickle_node);
+    registry.register(
+        CLASS_BTREE_NODE,
+        "tdb.BTreeNode",
+        crate::btree::unpickle_node,
+    );
+    registry.register(
+        CLASS_HASH_DIR,
+        "tdb.HashDirectory",
+        crate::dynhash::unpickle_dir,
+    );
+    registry.register(
+        CLASS_HASH_BUCKET,
+        "tdb.HashBucket",
+        crate::dynhash::unpickle_bucket,
+    );
+    registry.register(
+        CLASS_HASH_SEG,
+        "tdb.HashSegment",
+        crate::dynhash::unpickle_seg,
+    );
+    registry.register(
+        CLASS_LIST_NODE,
+        "tdb.ListNode",
+        crate::listindex::unpickle_node,
+    );
 }
 
 #[cfg(test)]

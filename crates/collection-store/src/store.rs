@@ -30,10 +30,15 @@ impl CollectionStore {
         register_internal_classes(&mut classes);
         let objects = ObjectStore::create(chunks, classes, cfg)?;
         let txn = objects.begin();
-        let dir = txn.insert(Box::new(DirectoryObj { entries: Vec::new() }))?;
+        let dir = txn.insert(Box::new(DirectoryObj {
+            entries: Vec::new(),
+        }))?;
         txn.set_root(DIRECTORY_ROOT, dir)?;
         txn.commit(true)?;
-        Ok(CollectionStore { objects, extractors: Arc::new(extractors) })
+        Ok(CollectionStore {
+            objects,
+            extractors: Arc::new(extractors),
+        })
     }
 
     /// Open an existing collection store.
@@ -45,7 +50,10 @@ impl CollectionStore {
     ) -> Result<Self> {
         register_internal_classes(&mut classes);
         let objects = ObjectStore::open(chunks, classes, cfg)?;
-        Ok(CollectionStore { objects, extractors: Arc::new(extractors) })
+        Ok(CollectionStore {
+            objects,
+            extractors: Arc::new(extractors),
+        })
     }
 
     /// Start a collection-store transaction.

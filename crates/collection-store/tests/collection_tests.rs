@@ -4,8 +4,8 @@
 
 use chunk_store::{ChunkStore, ChunkStoreConfig};
 use collection_store::{
-    extractor::typed, CIter, CollectionError, CollectionStore, ExtractorRegistry,
-    IndexKind, IndexSpec, Key, Persistent, Pickler, Unpickler,
+    extractor::typed, CIter, CollectionError, CollectionStore, ExtractorRegistry, IndexKind,
+    IndexSpec, Key, Persistent, Pickler, Unpickler,
 };
 use object_store::{impl_persistent_boilerplate, ClassRegistry, ObjectStoreConfig, PickleError};
 use std::ops::Bound;
@@ -33,7 +33,11 @@ impl Persistent for Meter {
 }
 
 fn unpickle_meter(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Meter { id: r.i64()?, view_count: r.i64()?, print_count: r.i64()? }))
+    Ok(Box::new(Meter {
+        id: r.i64()?,
+        view_count: r.i64()?,
+        print_count: r.i64()?,
+    }))
 }
 
 // Figure 7's extractors: `idEx` and `usageCountEx` (a derived value —
@@ -62,11 +66,18 @@ struct Fixture {
 
 impl Fixture {
     fn new() -> Self {
-        Fixture { mem: MemStore::new(), counter: VolatileCounter::new() }
+        Fixture {
+            mem: MemStore::new(),
+            counter: VolatileCounter::new(),
+        }
     }
 
     fn chunks(&self, create: bool) -> Arc<ChunkStore> {
-        let make = if create { ChunkStore::create } else { ChunkStore::open };
+        let make = if create {
+            ChunkStore::create
+        } else {
+            ChunkStore::open
+        };
         Arc::new(
             make(
                 Arc::new(self.mem.clone()),
@@ -80,14 +91,24 @@ impl Fixture {
 
     fn create(&self) -> CollectionStore {
         let (classes, extractors) = registries();
-        CollectionStore::create(self.chunks(true), classes, extractors, ObjectStoreConfig::default())
-            .unwrap()
+        CollectionStore::create(
+            self.chunks(true),
+            classes,
+            extractors,
+            ObjectStoreConfig::default(),
+        )
+        .unwrap()
     }
 
     fn reopen(&self) -> CollectionStore {
         let (classes, extractors) = registries();
-        CollectionStore::open(self.chunks(false), classes, extractors, ObjectStoreConfig::default())
-            .unwrap()
+        CollectionStore::open(
+            self.chunks(false),
+            classes,
+            extractors,
+            ObjectStoreConfig::default(),
+        )
+        .unwrap()
     }
 }
 
@@ -100,7 +121,11 @@ fn usage_indexer() -> IndexSpec {
 }
 
 fn meter(id: i64, views: i64, prints: i64) -> Box<Meter> {
-    Box::new(Meter { id, view_count: views, print_count: prints })
+    Box::new(Meter {
+        id,
+        view_count: views,
+        print_count: prints,
+    })
 }
 
 /// Collect (id, usage) pairs from an iterator without mutating anything.
@@ -141,7 +166,11 @@ fn figure_7_scenario() {
     {
         let profile = t.write_collection("profile").unwrap();
         let mut i = profile
-            .range("by-usage", Bound::Excluded(&Key::I64(100)), Bound::Unbounded)
+            .range(
+                "by-usage",
+                Bound::Excluded(&Key::I64(100)),
+                Bound::Unbounded,
+            )
             .unwrap();
         let mut resets = 0;
         while !i.end() {
@@ -183,7 +212,9 @@ fn collections_survive_reopen() {
     {
         let store = fx.create();
         let t = store.begin();
-        let c = t.create_collection("profile", &[id_indexer(), usage_indexer()]).unwrap();
+        let c = t
+            .create_collection("profile", &[id_indexer(), usage_indexer()])
+            .unwrap();
         for i in 0..50 {
             c.insert(meter(i, i, i)).unwrap();
         }
@@ -201,10 +232,17 @@ fn collections_survive_reopen() {
     it.close().unwrap();
     // Ordered range over the B-tree.
     let mut it = c
-        .range("by-usage", Bound::Included(&Key::I64(90)), Bound::Included(&Key::I64(94)))
+        .range(
+            "by-usage",
+            Bound::Included(&Key::I64(90)),
+            Bound::Included(&Key::I64(94)),
+        )
         .unwrap();
     let got = drain_meters(&mut it);
-    assert_eq!(got.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![45, 46, 47]);
+    assert_eq!(
+        got.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        vec![45, 46, 47]
+    );
     it.close().unwrap();
 }
 
@@ -230,7 +268,10 @@ fn non_unique_index_accepts_duplicates() {
     let store = fx.create();
     let t = store.begin();
     let c = t
-        .create_collection("profile", &[IndexSpec::new("u", "meter.usage", false, IndexKind::BTree)])
+        .create_collection(
+            "profile",
+            &[IndexSpec::new("u", "meter.usage", false, IndexKind::BTree)],
+        )
         .unwrap();
     for i in 0..5 {
         c.insert(meter(i, 10, 0)).unwrap(); // all usage 10
@@ -248,7 +289,7 @@ fn create_index_on_nonempty_collection_checks_uniqueness() {
     let c = t.create_collection("profile", &[id_indexer()]).unwrap();
     c.insert(meter(1, 5, 0)).unwrap();
     c.insert(meter(2, 5, 0)).unwrap(); // same usage
-    // Unique usage index cannot be built over duplicate usages.
+                                       // Unique usage index cannot be built over duplicate usages.
     let err = c
         .create_index(IndexSpec::new("uu", "meter.usage", true, IndexKind::BTree))
         .unwrap_err();
@@ -264,7 +305,9 @@ fn remove_index_keeps_last_one() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let c = t.create_collection("p", &[id_indexer(), usage_indexer()]).unwrap();
+    let c = t
+        .create_collection("p", &[id_indexer(), usage_indexer()])
+        .unwrap();
     c.insert(meter(1, 1, 1)).unwrap();
     c.remove_index("by-usage").unwrap();
     assert_eq!(c.index_names().unwrap(), vec!["by-id".to_string()]);
@@ -283,7 +326,10 @@ fn read_only_collection_blocks_mutation() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    t.create_collection("p", &[id_indexer()]).unwrap().insert(meter(1, 0, 0)).unwrap();
+    t.create_collection("p", &[id_indexer()])
+        .unwrap()
+        .insert(meter(1, 0, 0))
+        .unwrap();
     t.commit(true).unwrap();
 
     let t = store.begin();
@@ -297,7 +343,10 @@ fn read_only_collection_blocks_mutation() {
         it.write::<Meter>(),
         Err(CollectionError::ReadOnlyCollection(_))
     ));
-    assert!(matches!(it.delete(), Err(CollectionError::ReadOnlyCollection(_))));
+    assert!(matches!(
+        it.delete(),
+        Err(CollectionError::ReadOnlyCollection(_))
+    ));
     // Reading is fine.
     assert_eq!(drain_meters(&mut it).len(), 1);
     it.close().unwrap();
@@ -314,7 +363,10 @@ fn writable_deref_requires_sole_iterator() {
     }
     let mut it1 = c.scan("by-id").unwrap();
     let it2 = c.scan("by-id").unwrap();
-    assert!(matches!(it1.write::<Meter>(), Err(CollectionError::IteratorConflict)));
+    assert!(matches!(
+        it1.write::<Meter>(),
+        Err(CollectionError::IteratorConflict)
+    ));
     it2.close().unwrap();
     // Now it1 is alone and may write.
     assert!(it1.write::<Meter>().is_ok());
@@ -348,7 +400,11 @@ fn iterator_is_insensitive_to_own_updates() {
 
     // After close, the index reflects the new keys.
     let it = c
-        .range("by-usage", Bound::Included(&Key::I64(1000)), Bound::Unbounded)
+        .range(
+            "by-usage",
+            Bound::Included(&Key::I64(1000)),
+            Bound::Unbounded,
+        )
         .unwrap();
     assert_eq!(it.result_len(), 10);
     it.close().unwrap();
@@ -411,7 +467,9 @@ fn delete_through_iterator() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let c = t.create_collection("p", &[id_indexer(), usage_indexer()]).unwrap();
+    let c = t
+        .create_collection("p", &[id_indexer(), usage_indexer()])
+        .unwrap();
     for i in 0..10 {
         c.insert(meter(i, i, 0)).unwrap();
     }
@@ -466,9 +524,16 @@ fn scan_exact_range_across_all_index_kinds() {
 
     // Range: B-tree ordered and inclusive/exclusive bounds honoured.
     let mut it = c
-        .range("bt", Bound::Included(&Key::I64(10)), Bound::Excluded(&Key::I64(13)))
+        .range(
+            "bt",
+            Bound::Included(&Key::I64(10)),
+            Bound::Excluded(&Key::I64(13)),
+        )
         .unwrap();
-    let got: Vec<i64> = drain_meters(&mut it).into_iter().map(|(id, _)| id).collect();
+    let got: Vec<i64> = drain_meters(&mut it)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
     assert_eq!(got, vec![10, 11, 12]);
     it.close().unwrap();
 
@@ -487,20 +552,28 @@ fn btree_scan_is_key_ordered() {
     let store = fx.create();
     let t = store.begin();
     let c = t
-        .create_collection("p", &[IndexSpec::new("bt", "meter.id", true, IndexKind::BTree)])
+        .create_collection(
+            "p",
+            &[IndexSpec::new("bt", "meter.id", true, IndexKind::BTree)],
+        )
         .unwrap();
     // Insert in scrambled order.
     let mut ids: Vec<i64> = (0..200).collect();
     let mut state = 12345u64;
     for i in (1..ids.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ids.swap(i, (state % (i as u64 + 1)) as usize);
     }
     for id in &ids {
         c.insert(meter(*id, 0, 0)).unwrap();
     }
     let mut it = c.scan("bt").unwrap();
-    let got: Vec<i64> = drain_meters(&mut it).into_iter().map(|(id, _)| id).collect();
+    let got: Vec<i64> = drain_meters(&mut it)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
     let expect: Vec<i64> = (0..200).collect();
     assert_eq!(got, expect);
     it.close().unwrap();
@@ -554,7 +627,15 @@ fn collection_management_errors() {
         Err(CollectionError::NoSuchCollection(_))
     ));
     assert!(matches!(
-        t.create_collection("q", &[IndexSpec::new("x", "no.such.extractor", false, IndexKind::List)]),
+        t.create_collection(
+            "q",
+            &[IndexSpec::new(
+                "x",
+                "no.such.extractor",
+                false,
+                IndexKind::List
+            )]
+        ),
         Err(CollectionError::ExtractorNotRegistered(_))
     ));
 }
@@ -564,7 +645,9 @@ fn remove_collection_destroys_members() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let c = t.create_collection("p", &[id_indexer(), usage_indexer()]).unwrap();
+    let c = t
+        .create_collection("p", &[id_indexer(), usage_indexer()])
+        .unwrap();
     for i in 0..30 {
         c.insert(meter(i, i, i)).unwrap();
     }
@@ -623,8 +706,7 @@ fn large_collection_stress_all_kinds() {
         .unwrap(),
     );
     let store =
-        CollectionStore::create(chunks, classes, extractors, ObjectStoreConfig::default())
-            .unwrap();
+        CollectionStore::create(chunks, classes, extractors, ObjectStoreConfig::default()).unwrap();
     let t = store.begin();
     let c = t
         .create_collection(
@@ -653,7 +735,11 @@ fn large_collection_stress_all_kinds() {
         b.close().unwrap();
     }
     let r = c
-        .range("bt", Bound::Included(&Key::I64(500)), Bound::Excluded(&Key::I64(600)))
+        .range(
+            "bt",
+            Bound::Included(&Key::I64(500)),
+            Bound::Excluded(&Key::I64(600)),
+        )
         .unwrap();
     assert_eq!(r.result_len(), 100);
     r.close().unwrap();

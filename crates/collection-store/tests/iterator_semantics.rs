@@ -33,7 +33,10 @@ impl Persistent for BaseDoc {
 }
 
 fn unpickle_base(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(BaseDoc { id: r.u64()?, rank: r.i64()? }))
+    Ok(Box::new(BaseDoc {
+        id: r.u64()?,
+        rank: r.i64()?,
+    }))
 }
 
 /// "The database schema can be evolved by subclassing the collection
@@ -55,7 +58,11 @@ impl Persistent for ExtendedDoc {
 }
 
 fn unpickle_extended(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(ExtendedDoc { id: r.u64()?, rank: r.i64()?, note: r.string()? }))
+    Ok(Box::new(ExtendedDoc {
+        id: r.u64()?,
+        rank: r.i64()?,
+        note: r.string()?,
+    }))
 }
 
 fn store() -> CollectionStore {
@@ -74,7 +81,8 @@ fn store() -> CollectionStore {
     let mut extractors = ExtractorRegistry::new();
     // Schema-polymorphic extractors: accept both classes.
     extractors.register("doc.id", |o| {
-        typed::<BaseDoc>(o, |d| Key::U64(d.id)).or_else(|| typed::<ExtendedDoc>(o, |d| Key::U64(d.id)))
+        typed::<BaseDoc>(o, |d| Key::U64(d.id))
+            .or_else(|| typed::<ExtendedDoc>(o, |d| Key::U64(d.id)))
     });
     extractors.register("doc.rank", |o| {
         typed::<BaseDoc>(o, |d| Key::I64(d.rank))
@@ -119,7 +127,11 @@ fn sequential_writable_iterators_compose() {
     let t = cs.begin();
     let c = t.create_collection("docs", &specs()).unwrap();
     for id in 0..10 {
-        c.insert(Box::new(BaseDoc { id, rank: id as i64 })).unwrap();
+        c.insert(Box::new(BaseDoc {
+            id,
+            rank: id as i64,
+        }))
+        .unwrap();
     }
     // Round 1: double every rank. Round 2: delete ranks >= 10.
     let mut it = c.scan("id").unwrap();
@@ -133,7 +145,11 @@ fn sequential_writable_iterators_compose() {
     it.close().unwrap();
 
     let mut it = c
-        .range("rank", std::ops::Bound::Included(&Key::I64(10)), std::ops::Bound::Unbounded)
+        .range(
+            "rank",
+            std::ops::Bound::Included(&Key::I64(10)),
+            std::ops::Bound::Unbounded,
+        )
         .unwrap();
     let mut deleted = 0;
     while !it.end() {
@@ -174,7 +190,11 @@ fn update_and_delete_same_object_in_one_iterator() {
     it.close().unwrap();
     assert_eq!(c.len().unwrap(), 1);
     let ghost = c.exact("rank", &Key::I64(500)).unwrap();
-    assert_eq!(ghost.result_len(), 0, "deleted object leaked into the rank index");
+    assert_eq!(
+        ghost.result_len(),
+        0,
+        "deleted object leaked into the rank index"
+    );
     ghost.close().unwrap();
     let survivor = c.exact("id", &Key::U64(2)).unwrap();
     assert_eq!(survivor.result_len(), 1);
@@ -188,7 +208,12 @@ fn schema_evolution_by_second_class() {
     let c = t.create_collection("docs", &specs()).unwrap();
     c.insert(Box::new(BaseDoc { id: 1, rank: 1 })).unwrap();
     // The "subclass": indexed by the same extractors, stored alongside.
-    c.insert(Box::new(ExtendedDoc { id: 2, rank: 2, note: "v2 schema".into() })).unwrap();
+    c.insert(Box::new(ExtendedDoc {
+        id: 2,
+        rank: 2,
+        note: "v2 schema".into(),
+    }))
+    .unwrap();
 
     let mut it = c.scan("rank").unwrap();
     assert_eq!(it.result_len(), 2);
@@ -199,7 +224,9 @@ fn schema_evolution_by_second_class() {
     // type error, as ExtendedDoc it works.
     assert!(matches!(
         it.read::<BaseDoc>(),
-        Err(CollectionError::Object(object_store::ObjectStoreError::TypeMismatch { .. }))
+        Err(CollectionError::Object(
+            object_store::ObjectStoreError::TypeMismatch { .. }
+        ))
     ));
     let d = it.read::<ExtendedDoc>().unwrap();
     assert_eq!(d.get().note, "v2 schema");
@@ -246,7 +273,11 @@ fn immutable_keys_skip_maintenance() {
     }
     it.close().unwrap();
     let old = c.exact("id", &Key::U64(1)).unwrap();
-    assert_eq!(old.result_len(), 1, "immutable index must keep the declared key");
+    assert_eq!(
+        old.result_len(),
+        1,
+        "immutable index must keep the declared key"
+    );
     old.close().unwrap();
     let new = c.exact("id", &Key::U64(42)).unwrap();
     assert_eq!(new.result_len(), 0);

@@ -32,7 +32,10 @@ impl Persistent for Item {
 }
 
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Item { uid: r.u64()?, score: r.i64()? }))
+    Ok(Box::new(Item {
+        uid: r.u64()?,
+        score: r.i64()?,
+    }))
 }
 
 fn store() -> CollectionStore {
@@ -55,10 +58,18 @@ fn store() -> CollectionStore {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { uid: u64, score: i64 },
+    Insert {
+        uid: u64,
+        score: i64,
+    },
     /// Change the score of the pick-th live item (re-keys the score index).
-    Rescore { pick: usize, score: i64 },
-    Delete { pick: usize },
+    Rescore {
+        pick: usize,
+        score: i64,
+    },
+    Delete {
+        pick: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -142,7 +153,9 @@ fn run(ops: Vec<Op>, kind: IndexKind) {
 
     // Score index agrees: range over everything, key-ordered.
     let mut scores_from_index = Vec::new();
-    let mut it = c.range("score", Bound::Unbounded, Bound::Unbounded).unwrap();
+    let mut it = c
+        .range("score", Bound::Unbounded, Bound::Unbounded)
+        .unwrap();
     while !it.end() {
         let item = it.read::<Item>().unwrap();
         scores_from_index.push(item.get().score);
@@ -222,10 +235,17 @@ fn hash_split_storm_and_reopen() {
     let cs = mk(true);
     let t = cs.begin();
     let c = t
-        .create_collection("items", &[IndexSpec::new("uid", "item.uid", true, IndexKind::Hash)])
+        .create_collection(
+            "items",
+            &[IndexSpec::new("uid", "item.uid", true, IndexKind::Hash)],
+        )
         .unwrap();
     for uid in 0..5000u64 {
-        c.insert(Box::new(Item { uid, score: (uid % 97) as i64 })).unwrap();
+        c.insert(Box::new(Item {
+            uid,
+            score: (uid % 97) as i64,
+        }))
+        .unwrap();
     }
     drop(c);
     t.commit(true).unwrap();

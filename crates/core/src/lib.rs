@@ -72,8 +72,8 @@ use std::sync::Arc;
 
 pub use backup_store::{BackupError, BackupManager};
 pub use chunk_store::{
-    ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError, SecurityMode, Snapshot, SnapshotDiff,
-    StatsSnapshot,
+    ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError, RecoveryReport, SecurityMode, Snapshot,
+    SnapshotDiff, StatsSnapshot,
 };
 pub use collection_store::{
     CIter, CTransaction, Collection, CollectionError, CollectionStore, ExtractorFn,
@@ -194,7 +194,10 @@ impl Database {
         let security = cfg.chunk.security;
         let chunks = Arc::new(ChunkStore::create(untrusted, secret, counter, cfg.chunk)?);
         let collections = CollectionStore::create(chunks, classes, extractors, cfg.object)?;
-        Ok(Database { collections, security })
+        Ok(Database {
+            collections,
+            security,
+        })
     }
 
     /// Open an existing database, running recovery and tamper/replay
@@ -210,7 +213,10 @@ impl Database {
         let security = cfg.chunk.security;
         let chunks = Arc::new(ChunkStore::open(untrusted, secret, counter, cfg.chunk)?);
         let collections = CollectionStore::open(chunks, classes, extractors, cfg.object)?;
-        Ok(Database { collections, security })
+        Ok(Database {
+            collections,
+            security,
+        })
     }
 
     /// Open if present, else create.
@@ -301,7 +307,10 @@ impl Database {
         let chunks = Arc::new(ChunkStore::create(untrusted, secret, counter, cfg.chunk)?);
         BackupManager::restore_latest(archive, secret, security, &chunks)?;
         let collections = CollectionStore::open(chunks, classes, extractors, cfg.object)?;
-        Ok(Database { collections, security })
+        Ok(Database {
+            collections,
+            security,
+        })
     }
 
     /// Build a backup manager writing to `archive` with keys derived from

@@ -60,7 +60,8 @@ macro_rules! impl_persistent_boilerplate {
 }
 
 /// An unpickling constructor: bytes → freshly allocated object.
-pub type UnpickleFn = fn(&mut Unpickler<'_>) -> std::result::Result<Box<dyn Persistent>, PickleError>;
+pub type UnpickleFn =
+    fn(&mut Unpickler<'_>) -> std::result::Result<Box<dyn Persistent>, PickleError>;
 
 /// Registry of unpickling constructors by class id (paper §4.1).
 #[derive(Default)]

@@ -41,10 +41,16 @@ impl fmt::Display for ObjectStoreError {
         match self {
             ObjectStoreError::NotFound(id) => write!(f, "object {id:?} not found"),
             ObjectStoreError::TypeMismatch { id, found } => {
-                write!(f, "object {id:?} has class id {found:#x}, not the requested type")
+                write!(
+                    f,
+                    "object {id:?} has class id {found:#x}, not the requested type"
+                )
             }
             ObjectStoreError::LockTimeout(id) => {
-                write!(f, "timed out waiting for a lock on {id:?} (possible deadlock)")
+                write!(
+                    f,
+                    "timed out waiting for a lock on {id:?} (possible deadlock)"
+                )
             }
             ObjectStoreError::TransactionInactive => {
                 write!(f, "transaction already committed or aborted")
@@ -95,6 +101,8 @@ mod tests {
         assert!(matches!(e, ObjectStoreError::NotFound(_)));
         let e: ObjectStoreError = chunk_store::ChunkStoreError::TamperDetected("x".into()).into();
         assert!(matches!(e, ObjectStoreError::Chunk(_)));
-        assert!(ObjectStoreError::LockTimeout(crate::ChunkId(1)).to_string().contains("deadlock"));
+        assert!(ObjectStoreError::LockTimeout(crate::ChunkId(1))
+            .to_string()
+            .contains("deadlock"));
     }
 }

@@ -38,7 +38,9 @@ struct LockTable {
 impl LockTable {
     /// Whether `txn` may acquire `mode` on `oid` right now.
     fn grantable(&self, oid: u64, txn: TxnId, mode: LockMode) -> bool {
-        let Some(holders) = self.locks.get(&oid) else { return true };
+        let Some(holders) = self.locks.get(&oid) else {
+            return true;
+        };
         match mode {
             LockMode::Shared => holders
                 .iter()
@@ -73,7 +75,10 @@ impl Default for LockManager {
 impl LockManager {
     /// Fresh manager.
     pub fn new() -> Self {
-        LockManager { table: Mutex::new(LockTable::default()), cond: Condvar::new() }
+        LockManager {
+            table: Mutex::new(LockTable::default()),
+            cond: Condvar::new(),
+        }
     }
 
     /// Acquire `mode` on `oid` for `txn`, waiting up to `timeout`.
@@ -114,7 +119,12 @@ impl LockManager {
 
     /// Mode `txn` holds on `oid`, if any (test/diagnostic aid).
     pub fn held(&self, txn: TxnId, oid: ObjectId) -> Option<LockMode> {
-        self.table.lock().locks.get(&oid.0).and_then(|h| h.get(&txn)).copied()
+        self.table
+            .lock()
+            .locks
+            .get(&oid.0)
+            .and_then(|h| h.get(&txn))
+            .copied()
     }
 
     /// Number of objects currently locked (diagnostics).

@@ -199,7 +199,9 @@ impl<'a> Unpickler<'a> {
 
     /// Read an `f64`.
     pub fn f64(&mut self) -> Result<f64, PickleError> {
-        Ok(f64::from_bits(u64::from_le_bytes(self.take(8)?.try_into().expect("8"))))
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8"),
+        )))
     }
 
     /// Read length-prefixed raw bytes.

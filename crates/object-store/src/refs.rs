@@ -15,7 +15,9 @@ use crate::error::{ObjectStoreError, Result};
 use crate::store::ObjectCell;
 use crate::txn::TxnCore;
 use crate::{ObjectId, Persistent};
-use parking_lot::{MappedRwLockReadGuard, MappedRwLockWriteGuard, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{
+    MappedRwLockReadGuard, MappedRwLockWriteGuard, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -46,7 +48,9 @@ impl<T: Persistent> ReadonlyRef<T> {
         }
         let guard = self.cell.data.read();
         Ok(RwLockReadGuard::map(guard, |obj| {
-            obj.as_any().downcast_ref::<T>().expect("type checked at open")
+            obj.as_any()
+                .downcast_ref::<T>()
+                .expect("type checked at open")
         }))
     }
 
@@ -83,7 +87,9 @@ impl<T: Persistent> WritableRef<T> {
         }
         let guard = self.cell.data.read();
         Ok(RwLockReadGuard::map(guard, |obj| {
-            obj.as_any().downcast_ref::<T>().expect("type checked at open")
+            obj.as_any()
+                .downcast_ref::<T>()
+                .expect("type checked at open")
         }))
     }
 
@@ -100,7 +106,9 @@ impl<T: Persistent> WritableRef<T> {
         }
         let guard = self.cell.data.write();
         Ok(RwLockWriteGuard::map(guard, |obj| {
-            obj.as_any_mut().downcast_mut::<T>().expect("type checked at open")
+            obj.as_any_mut()
+                .downcast_mut::<T>()
+                .expect("type checked at open")
         }))
     }
 

@@ -195,7 +195,9 @@ impl ObjectStore {
             w.string(name);
             w.object_id(*id);
         }
-        self.inner.chunks.write(self.inner.roots_chunk, &w.into_bytes())?;
+        self.inner
+            .chunks
+            .write(self.inner.roots_chunk, &w.into_bytes())?;
         Ok(())
     }
 
@@ -269,7 +271,13 @@ impl ObjectStore {
             return Ok(slot.cell.clone());
         }
         state.cache_bytes += bytes.len();
-        state.cache.insert(oid.0, CacheSlot { cell: cell.clone(), tick });
+        state.cache.insert(
+            oid.0,
+            CacheSlot {
+                cell: cell.clone(),
+                tick,
+            },
+        );
         Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
         Ok(cell)
     }

@@ -21,7 +21,11 @@ pub(crate) struct TxnCore {
 
 impl TxnCore {
     pub(crate) fn new(id: u64) -> Self {
-        TxnCore { id, active: AtomicBool::new(true), sets: Mutex::new(TxnSets::default()) }
+        TxnCore {
+            id,
+            active: AtomicBool::new(true),
+            sets: Mutex::new(TxnSets::default()),
+        }
     }
 }
 
@@ -118,7 +122,10 @@ impl Transaction {
     fn check_type<T: Persistent>(&self, cell: &Arc<ObjectCell>, oid: ObjectId) -> Result<()> {
         let data = cell.data.read();
         if data.as_any().downcast_ref::<T>().is_none() {
-            return Err(ObjectStoreError::TypeMismatch { id: oid, found: data.class_id() });
+            return Err(ObjectStoreError::TypeMismatch {
+                id: oid,
+                found: data.class_id(),
+            });
         }
         Ok(())
     }
@@ -130,7 +137,11 @@ impl Transaction {
         let cell = self.open_cell(oid, LockMode::Shared)?;
         self.check_type::<T>(&cell, oid)?;
         self.core.sets.lock().read.insert(oid.0);
-        Ok(ReadonlyRef { cell, txn: self.core.clone(), _p: PhantomData })
+        Ok(ReadonlyRef {
+            cell,
+            txn: self.core.clone(),
+            _p: PhantomData,
+        })
     }
 
     /// Open an object read-write with an exclusive lock (paper Fig. 3:
@@ -141,7 +152,11 @@ impl Transaction {
         self.check_type::<T>(&cell, oid)?;
         cell.dirty.store(true, Ordering::Release);
         self.core.sets.lock().written.insert(oid.0, cell.clone());
-        Ok(WritableRef { cell, txn: self.core.clone(), _p: PhantomData })
+        Ok(WritableRef {
+            cell,
+            txn: self.core.clone(),
+            _p: PhantomData,
+        })
     }
 
     /// Open an object read-only and apply `f` to it as a `dyn Persistent`
@@ -184,14 +199,22 @@ impl Transaction {
     /// object store" (§4.1).
     pub fn set_root(&self, name: &str, oid: ObjectId) -> Result<()> {
         self.check_active()?;
-        self.core.sets.lock().root_updates.insert(name.to_string(), Some(oid));
+        self.core
+            .sets
+            .lock()
+            .root_updates
+            .insert(name.to_string(), Some(oid));
         Ok(())
     }
 
     /// Unregister a named root; applied at commit.
     pub fn remove_root(&self, name: &str) -> Result<()> {
         self.check_active()?;
-        self.core.sets.lock().root_updates.insert(name.to_string(), None);
+        self.core
+            .sets
+            .lock()
+            .root_updates
+            .insert(name.to_string(), None);
         Ok(())
     }
 
@@ -288,7 +311,10 @@ impl Transaction {
         for (oid, _) in sets.written {
             self.store.evict_cell(ChunkId(oid));
         }
-        self.store.inner.chunks.release_unwritten_ids(&sets.inserted);
+        self.store
+            .inner
+            .chunks
+            .release_unwritten_ids(&sets.inserted);
         self.finish();
     }
 

@@ -26,7 +26,10 @@ impl Persistent for Blob {
 }
 
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Blob { tag: r.u32()?, data: r.bytes()?.to_vec() }))
+    Ok(Box::new(Blob {
+        tag: r.u32()?,
+        data: r.bytes()?.to_vec(),
+    }))
 }
 
 fn store_with(cfg: ObjectStoreConfig) -> ObjectStore {
@@ -48,16 +51,30 @@ fn store_with(cfg: ObjectStoreConfig) -> ObjectStore {
 /// uncommitted state must stay reachable until commit.
 #[test]
 fn dirty_objects_pinned_under_pressure() {
-    let os = store_with(ObjectStoreConfig { cache_budget: 2048, ..Default::default() });
+    let os = store_with(ObjectStoreConfig {
+        cache_budget: 2048,
+        ..Default::default()
+    });
 
     // Open a transaction that dirties one large object...
     let t = os.begin();
-    let big = t.insert(Box::new(Blob { tag: 1, data: vec![0xAA; 1500] })).unwrap();
+    let big = t
+        .insert(Box::new(Blob {
+            tag: 1,
+            data: vec![0xAA; 1500],
+        }))
+        .unwrap();
 
     // ...then blast the cache with unrelated objects from the same txn.
     let mut others = Vec::new();
     for i in 0..50u32 {
-        others.push(t.insert(Box::new(Blob { tag: i + 100, data: vec![1; 200] })).unwrap());
+        others.push(
+            t.insert(Box::new(Blob {
+                tag: i + 100,
+                data: vec![1; 200],
+            }))
+            .unwrap(),
+        );
     }
     // The dirty object's uncommitted state is still there.
     let r = t.open_readonly::<Blob>(big).unwrap();
@@ -68,28 +85,50 @@ fn dirty_objects_pinned_under_pressure() {
 
     // After commit everything is durable and re-loadable even if evicted.
     let t = os.begin();
-    assert_eq!(t.open_readonly::<Blob>(big).unwrap().get().data, vec![0xAA; 1500]);
+    assert_eq!(
+        t.open_readonly::<Blob>(big).unwrap().get().data,
+        vec![0xAA; 1500]
+    );
     for (i, id) in others.iter().enumerate() {
-        assert_eq!(t.open_readonly::<Blob>(*id).unwrap().get().tag, i as u32 + 100);
+        assert_eq!(
+            t.open_readonly::<Blob>(*id).unwrap().get().tag,
+            i as u32 + 100
+        );
     }
     let stats = os.cache_stats();
-    assert!(stats.evictions > 0, "pressure must have evicted something: {stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "pressure must have evicted something: {stats:?}"
+    );
 }
 
 /// Reference counting: an object the application holds a Ref to is never
 /// evicted, even when clean.
 #[test]
 fn referenced_objects_survive_eviction_waves() {
-    let os = store_with(ObjectStoreConfig { cache_budget: 1024, ..Default::default() });
+    let os = store_with(ObjectStoreConfig {
+        cache_budget: 1024,
+        ..Default::default()
+    });
     let t = os.begin();
-    let held = t.insert(Box::new(Blob { tag: 7, data: vec![7; 300] })).unwrap();
+    let held = t
+        .insert(Box::new(Blob {
+            tag: 7,
+            data: vec![7; 300],
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let t = os.begin();
     let held_ref = t.open_readonly::<Blob>(held).unwrap();
     // Wave of traffic that overflows the budget several times.
     for i in 0..100u32 {
-        let id = t.insert(Box::new(Blob { tag: i, data: vec![2; 200] })).unwrap();
+        let id = t
+            .insert(Box::new(Blob {
+                tag: i,
+                data: vec![2; 200],
+            }))
+            .unwrap();
         let _ = id;
     }
     // The guard still works without refetching (same cached cell).
@@ -105,7 +144,12 @@ fn lock_timeout_is_configurable() {
         ..Default::default()
     });
     let t = os.begin();
-    let id = t.insert(Box::new(Blob { tag: 0, data: vec![] })).unwrap();
+    let id = t
+        .insert(Box::new(Blob {
+            tag: 0,
+            data: vec![],
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let holder = os.begin();
@@ -119,8 +163,14 @@ fn lock_timeout_is_configurable() {
     let result = waiter.join().unwrap();
     let waited = started.elapsed();
     assert!(matches!(result, Err(ObjectStoreError::LockTimeout(_))));
-    assert!(waited >= Duration::from_millis(25), "returned too early: {waited:?}");
-    assert!(waited < Duration::from_millis(2000), "ignored the configured timeout: {waited:?}");
+    assert!(
+        waited >= Duration::from_millis(25),
+        "returned too early: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_millis(2000),
+        "ignored the configured timeout: {waited:?}"
+    );
 }
 
 /// The paper's retry guidance: after a timeout the application "may
@@ -133,7 +183,12 @@ fn retry_after_timeout_succeeds() {
         ..Default::default()
     });
     let t = os.begin();
-    let id = t.insert(Box::new(Blob { tag: 0, data: vec![] })).unwrap();
+    let id = t
+        .insert(Box::new(Blob {
+            tag: 0,
+            data: vec![],
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let holder = os.begin();
@@ -157,13 +212,21 @@ fn retry_after_timeout_succeeds() {
 fn cache_stats_accounting() {
     let os = store_with(ObjectStoreConfig::default());
     let t = os.begin();
-    let id = t.insert(Box::new(Blob { tag: 1, data: vec![0; 64] })).unwrap();
+    let id = t
+        .insert(Box::new(Blob {
+            tag: 1,
+            data: vec![0; 64],
+        }))
+        .unwrap();
     t.commit(true).unwrap();
     let s0 = os.cache_stats();
     let t = os.begin();
     let _ = t.open_readonly::<Blob>(id).unwrap();
     t.commit(false).unwrap();
     let s1 = os.cache_stats();
-    assert!(s1.hits > s0.hits, "repeat open should hit: {s0:?} -> {s1:?}");
+    assert!(
+        s1.hits > s0.hits,
+        "repeat open should hit: {s0:?} -> {s1:?}"
+    );
     assert!(s1.bytes > 0 && s1.objects > 0);
 }

@@ -28,7 +28,10 @@ impl Persistent for Meter {
 }
 
 fn unpickle_meter(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Meter { view_count: r.i32()?, print_count: r.i32()? }))
+    Ok(Box::new(Meter {
+        view_count: r.i32()?,
+        print_count: r.i32()?,
+    }))
 }
 
 struct Profile {
@@ -43,7 +46,9 @@ impl Persistent for Profile {
 }
 
 fn unpickle_profile(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Profile { meters: r.seq(|r| r.object_id())? }))
+    Ok(Box::new(Profile {
+        meters: r.seq(|r| r.object_id())?,
+    }))
 }
 
 fn registry() -> ClassRegistry {
@@ -60,7 +65,10 @@ struct Fixture {
 
 impl Fixture {
     fn new() -> Self {
-        Fixture { mem: MemStore::new(), counter: VolatileCounter::new() }
+        Fixture {
+            mem: MemStore::new(),
+            counter: VolatileCounter::new(),
+        }
     }
 
     fn chunks_create(&self) -> Arc<ChunkStore> {
@@ -88,8 +96,12 @@ impl Fixture {
     }
 
     fn create(&self) -> ObjectStore {
-        ObjectStore::create(self.chunks_create(), registry(), ObjectStoreConfig::default())
-            .unwrap()
+        ObjectStore::create(
+            self.chunks_create(),
+            registry(),
+            ObjectStoreConfig::default(),
+        )
+        .unwrap()
     }
 
     fn reopen(&self) -> ObjectStore {
@@ -106,7 +118,12 @@ fn figure_4_scenario() {
 
     // Transaction 1: insert a Meter, register a Profile root listing it.
     let t = store.begin();
-    let meter_id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let meter_id = t
+        .insert(Box::new(Meter {
+            view_count: 0,
+            print_count: 0,
+        }))
+        .unwrap();
     let profile_id = t.insert(Box::new(Profile { meters: vec![] })).unwrap();
     {
         let profile = t.open_writable::<Profile>(profile_id).unwrap();
@@ -146,13 +163,21 @@ fn refs_are_invalidated_at_transaction_end() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 5, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 5,
+            print_count: 0,
+        }))
+        .unwrap();
     let r = t.open_readonly::<Meter>(id).unwrap();
     assert_eq!(r.get().view_count, 5);
     assert!(r.is_valid());
     t.commit(true).unwrap();
     assert!(!r.is_valid());
-    assert!(matches!(r.try_get(), Err(ObjectStoreError::TransactionInactive)));
+    assert!(matches!(
+        r.try_get(),
+        Err(ObjectStoreError::TransactionInactive)
+    ));
 }
 
 #[test]
@@ -161,7 +186,12 @@ fn stale_ref_get_panics() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 5, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 5,
+            print_count: 0,
+        }))
+        .unwrap();
     let r = t.open_readonly::<Meter>(id).unwrap();
     t.commit(true).unwrap();
     let _ = r.get();
@@ -172,7 +202,12 @@ fn type_mismatch_is_checked_at_open() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 0,
+            print_count: 0,
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let t = store.begin();
@@ -189,7 +224,12 @@ fn abort_rolls_back_everything() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 10, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 10,
+            print_count: 0,
+        }))
+        .unwrap();
     t.set_root("m", id).unwrap();
     t.commit(true).unwrap();
 
@@ -198,7 +238,12 @@ fn abort_rolls_back_everything() {
         let m = t.open_writable::<Meter>(id).unwrap();
         m.get_mut().view_count = 999;
     }
-    let orphan = t.insert(Box::new(Meter { view_count: 1, print_count: 1 })).unwrap();
+    let orphan = t
+        .insert(Box::new(Meter {
+            view_count: 1,
+            print_count: 1,
+        }))
+        .unwrap();
     t.set_root("orphan", orphan).unwrap();
     t.abort();
 
@@ -212,7 +257,12 @@ fn abort_rolls_back_everything() {
 
     // The orphan's id was returned to the pool.
     let t = store.begin();
-    let next = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let next = t
+        .insert(Box::new(Meter {
+            view_count: 0,
+            print_count: 0,
+        }))
+        .unwrap();
     assert_eq!(next, orphan);
     t.commit(true).unwrap();
 }
@@ -222,7 +272,12 @@ fn drop_without_commit_aborts() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 1,
+            print_count: 0,
+        }))
+        .unwrap();
     t.set_root("m", id).unwrap();
     t.commit(true).unwrap();
 
@@ -241,7 +296,12 @@ fn remove_frees_object_and_id() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 1,
+            print_count: 0,
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let t = store.begin();
@@ -259,7 +319,12 @@ fn remove_frees_object_and_id() {
         Err(ObjectStoreError::NotFound(_))
     ));
     // Id reuse.
-    let id2 = t.insert(Box::new(Meter { view_count: 2, print_count: 0 })).unwrap();
+    let id2 = t
+        .insert(Box::new(Meter {
+            view_count: 2,
+            print_count: 0,
+        }))
+        .unwrap();
     assert_eq!(id2, id);
     t.commit(true).unwrap();
 }
@@ -270,7 +335,12 @@ fn nondurable_object_commits_die_on_crash() {
     {
         let store = fx.create();
         let t = store.begin();
-        let id = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
+        let id = t
+            .insert(Box::new(Meter {
+                view_count: 1,
+                print_count: 0,
+            }))
+            .unwrap();
         t.set_root("m", id).unwrap();
         t.commit(true).unwrap();
 
@@ -279,7 +349,7 @@ fn nondurable_object_commits_die_on_crash() {
         m.get_mut().view_count = 100;
         drop(m);
         t.commit(false).unwrap(); // nondurable
-        // Crash: no durable commit follows.
+                                  // Crash: no durable commit follows.
     }
     let store = fx.reopen();
     let t = store.begin();
@@ -292,7 +362,12 @@ fn concurrent_transactions_conflict_and_timeout() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 0,
+            print_count: 0,
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let t1 = store.begin();
@@ -312,7 +387,12 @@ fn concurrent_shared_reads_are_allowed() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 3, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 3,
+            print_count: 0,
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let t1 = store.begin();
@@ -327,7 +407,12 @@ fn serialized_counter_increments_from_threads() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 0,
+            print_count: 0,
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let threads: Vec<_> = (0..4)
@@ -365,10 +450,18 @@ fn serialized_counter_increments_from_threads() {
 fn locking_can_be_disabled() {
     let fx = Fixture::new();
     let chunks = fx.chunks_create();
-    let cfg = ObjectStoreConfig { locking: false, ..Default::default() };
+    let cfg = ObjectStoreConfig {
+        locking: false,
+        ..Default::default()
+    };
     let store = ObjectStore::create(chunks, registry(), cfg).unwrap();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 0,
+            print_count: 0,
+        }))
+        .unwrap();
     t.commit(true).unwrap();
     // Two "concurrent" writable opens would deadlock with locking on; with
     // it off the single-threaded app is trusted.
@@ -382,12 +475,21 @@ fn locking_can_be_disabled() {
 fn cache_serves_repeat_opens_and_evicts_under_pressure() {
     let fx = Fixture::new();
     let chunks = fx.chunks_create();
-    let cfg = ObjectStoreConfig { cache_budget: 128, ..Default::default() };
+    let cfg = ObjectStoreConfig {
+        cache_budget: 128,
+        ..Default::default()
+    };
     let store = ObjectStore::create(chunks, registry(), cfg).unwrap();
 
     let t = store.begin();
     let ids: Vec<_> = (0..50)
-        .map(|i| t.insert(Box::new(Meter { view_count: i, print_count: 0 })).unwrap())
+        .map(|i| {
+            t.insert(Box::new(Meter {
+                view_count: i,
+                print_count: 0,
+            }))
+            .unwrap()
+        })
         .collect();
     t.commit(true).unwrap();
 
@@ -398,8 +500,14 @@ fn cache_serves_repeat_opens_and_evicts_under_pressure() {
     }
     t.commit(true).unwrap();
     let stats = store.cache_stats();
-    assert!(stats.evictions > 0, "no evictions under pressure: {stats:?}");
-    assert!(stats.bytes <= 512, "cache stayed far over budget: {stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "no evictions under pressure: {stats:?}"
+    );
+    assert!(
+        stats.bytes <= 512,
+        "cache stayed far over budget: {stats:?}"
+    );
 
     // Repeat open of a recently used object is a hit.
     let before = store.cache_stats();
@@ -434,8 +542,18 @@ fn roots_survive_reopen_and_can_be_replaced() {
     {
         let store = fx.create();
         let t = store.begin();
-        let a = t.insert(Box::new(Meter { view_count: 1, print_count: 0 })).unwrap();
-        let b = t.insert(Box::new(Meter { view_count: 2, print_count: 0 })).unwrap();
+        let a = t
+            .insert(Box::new(Meter {
+                view_count: 1,
+                print_count: 0,
+            }))
+            .unwrap();
+        let b = t
+            .insert(Box::new(Meter {
+                view_count: 2,
+                print_count: 0,
+            }))
+            .unwrap();
         t.set_root("a", a).unwrap();
         t.set_root("b", b).unwrap();
         t.commit(true).unwrap();
@@ -455,7 +573,12 @@ fn operations_on_inactive_transaction_fail() {
     let fx = Fixture::new();
     let store = fx.create();
     let t = store.begin();
-    let id = t.insert(Box::new(Meter { view_count: 0, print_count: 0 })).unwrap();
+    let id = t
+        .insert(Box::new(Meter {
+            view_count: 0,
+            print_count: 0,
+        }))
+        .unwrap();
     t.commit(true).unwrap();
 
     let t = store.begin();
@@ -468,7 +591,10 @@ fn operations_on_inactive_transaction_fail() {
     let t = store.begin();
     let r = t.open_readonly::<Meter>(id).unwrap();
     t.abort();
-    assert!(matches!(r.try_get(), Err(ObjectStoreError::TransactionInactive)));
+    assert!(matches!(
+        r.try_get(),
+        Err(ObjectStoreError::TransactionInactive)
+    ));
 }
 
 #[test]
@@ -480,7 +606,10 @@ fn many_objects_round_trip_through_reopen() {
             let t = store.begin();
             for i in 0..20 {
                 let id = t
-                    .insert(Box::new(Meter { view_count: batch * 100 + i, print_count: i }))
+                    .insert(Box::new(Meter {
+                        view_count: batch * 100 + i,
+                        print_count: i,
+                    }))
                     .unwrap();
                 if batch == 0 && i == 0 {
                     t.set_root("first", id).unwrap();

@@ -27,7 +27,10 @@ impl Persistent for Cell {
 }
 
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Cell { value: r.i64()?, blob: r.bytes()?.to_vec() }))
+    Ok(Box::new(Cell {
+        value: r.i64()?,
+        blob: r.bytes()?.to_vec(),
+    }))
 }
 
 fn registry() -> ClassRegistry {
@@ -41,7 +44,11 @@ enum Op {
     /// Insert `n` objects and commit (or abort).
     InsertBatch { n: usize, commit: bool },
     /// Update pick-th object's value; maybe abort.
-    Update { pick: usize, value: i64, commit: bool },
+    Update {
+        pick: usize,
+        value: i64,
+        commit: bool,
+    },
     /// Remove pick-th object.
     Remove { pick: usize },
     /// Close and reopen the whole stack.

@@ -257,9 +257,15 @@ mod tests {
         r.read_to_string(&mut out).unwrap();
         assert_eq!(out, "full backup payload");
 
-        assert!(matches!(archive.open("nope"), Err(PlatformError::NotFound(_))));
+        assert!(matches!(
+            archive.open("nope"),
+            Err(PlatformError::NotFound(_))
+        ));
         archive.remove("backup.1").unwrap();
-        assert!(matches!(archive.remove("backup.1"), Err(PlatformError::NotFound(_))));
+        assert!(matches!(
+            archive.remove("backup.1"),
+            Err(PlatformError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl FileCounter {
             f.sync_data()?;
             0
         };
-        Ok(FileCounter { path, cached: Mutex::new(value) })
+        Ok(FileCounter {
+            path,
+            cached: Mutex::new(value),
+        })
     }
 }
 
@@ -117,7 +120,9 @@ pub struct TamperableCounter {
 impl TamperableCounter {
     /// Start at zero.
     pub fn new() -> Self {
-        TamperableCounter { value: Arc::new(AtomicU64::new(0)) }
+        TamperableCounter {
+            value: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Forcibly set the counter (the violation).

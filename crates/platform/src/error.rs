@@ -38,7 +38,11 @@ impl fmt::Display for PlatformError {
             PlatformError::Io(e) => write!(f, "I/O error: {e}"),
             PlatformError::NotFound(n) => write!(f, "not found: {n}"),
             PlatformError::AlreadyExists(n) => write!(f, "already exists: {n}"),
-            PlatformError::ShortRead { offset, wanted, available } => write!(
+            PlatformError::ShortRead {
+                offset,
+                wanted,
+                available,
+            } => write!(
                 f,
                 "short read at offset {offset}: wanted {wanted} bytes, only {available} available"
             ),
@@ -69,10 +73,16 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = PlatformError::ShortRead { offset: 10, wanted: 4, available: 2 };
+        let e = PlatformError::ShortRead {
+            offset: 10,
+            wanted: 4,
+            available: 2,
+        };
         assert!(e.to_string().contains("offset 10"));
         assert!(PlatformError::Crashed.to_string().contains("crash"));
-        assert!(PlatformError::NotFound("log.0".into()).to_string().contains("log.0"));
+        assert!(PlatformError::NotFound("log.0".into())
+            .to_string()
+            .contains("log.0"));
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub mod untrusted;
 pub use archival::{ArchivalStore, DirArchive, MemArchive};
 pub use counter::{FileCounter, OneWayCounter, TamperableCounter, VolatileCounter};
 pub use error::{PlatformError, Result};
-pub use fault::{FaultPlan, FaultStore};
+pub use fault::{
+    apply_tamper, CrashSchedule, FaultEvent, FaultPlan, FaultStore, TamperMode, TamperReceipt,
+    WriteEvent,
+};
 pub use secret::{FileSecretStore, MemSecretStore, SecretStore};
 pub use untrusted::{DirStore, MemStore, RandomAccessFile, UntrustedStore};

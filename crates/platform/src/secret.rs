@@ -97,7 +97,12 @@ mod tests {
     fn from_label_is_deterministic_and_distinct() {
         let a = MemSecretStore::from_label("device-a");
         let b = MemSecretStore::from_label("device-b");
-        assert_eq!(a.master_secret().unwrap(), MemSecretStore::from_label("device-a").master_secret().unwrap());
+        assert_eq!(
+            a.master_secret().unwrap(),
+            MemSecretStore::from_label("device-a")
+                .master_secret()
+                .unwrap()
+        );
         assert_ne!(a.master_secret().unwrap(), b.master_secret().unwrap());
     }
 

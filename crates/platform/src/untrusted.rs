@@ -98,7 +98,11 @@ impl MemStore {
         let mut data = file.write();
         let start = offset as usize;
         if start + len > data.len() {
-            return Err(PlatformError::ShortRead { offset, wanted: len, available: data.len().saturating_sub(start) });
+            return Err(PlatformError::ShortRead {
+                offset,
+                wanted: len,
+                available: data.len().saturating_sub(start),
+            });
         }
         for b in &mut data[start..start + len] {
             *b = !*b;
@@ -114,7 +118,9 @@ impl MemStore {
             .iter()
             .map(|(k, v)| (k.clone(), Arc::new(RwLock::new(v.read().clone()))))
             .collect();
-        MemStore { files: Arc::new(Mutex::new(copied)) }
+        MemStore {
+            files: Arc::new(Mutex::new(copied)),
+        }
     }
 
     /// Replace this store's contents with those of `other` (the "replay"
@@ -300,7 +306,9 @@ impl UntrustedStore for DirStore {
                     PlatformError::Io(e)
                 }
             })?;
-        Ok(Box::new(DirFile { file: Mutex::new(file) }))
+        Ok(Box::new(DirFile {
+            file: Mutex::new(file),
+        }))
     }
 
     fn exists(&self, name: &str) -> Result<bool> {
@@ -366,8 +374,15 @@ mod tests {
         // Namespace operations.
         assert!(store.exists("a").unwrap());
         assert!(!store.exists("b").unwrap());
-        assert!(matches!(store.open("b", false), Err(PlatformError::NotFound(_))));
-        store.open("b", true).unwrap().write_at(0, &[9; 10]).unwrap();
+        assert!(matches!(
+            store.open("b", false),
+            Err(PlatformError::NotFound(_))
+        ));
+        store
+            .open("b", true)
+            .unwrap()
+            .write_at(0, &[9; 10])
+            .unwrap();
         let mut names = store.list().unwrap();
         names.sort();
         assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
@@ -414,7 +429,10 @@ mod tests {
     #[test]
     fn mem_store_corrupt_flips_bits() {
         let s = MemStore::new();
-        s.open("f", true).unwrap().write_at(0, &[0xFF, 0x00]).unwrap();
+        s.open("f", true)
+            .unwrap()
+            .write_at(0, &[0xFF, 0x00])
+            .unwrap();
         s.corrupt("f", 0, 1).unwrap();
         assert_eq!(s.raw("f").unwrap(), vec![0x00, 0x00]);
         assert!(s.corrupt("f", 1, 5).is_err());

@@ -1,0 +1,110 @@
+//! Property tests for the fault-injection layer's torn-write semantics.
+//!
+//! The contract crash-recovery code relies on: when a [`FaultPlan`] armed
+//! with a byte budget `B` cuts a workload, the surviving file holds exactly
+//! the bytes written before the crash plus `min(B - consumed, len)` bytes
+//! of the write that exhausted the budget — a prefix, never interleaved or
+//! reordered — and every operation after the crash fails with
+//! [`PlatformError::Crashed`].
+
+use proptest::prelude::*;
+use tdb_platform::{FaultPlan, FaultStore, MemStore, PlatformError, UntrustedStore};
+
+proptest! {
+    #[test]
+    fn surviving_bytes_are_exactly_the_pre_crash_prefix(
+        writes in proptest::collection::vec((1usize..64, 0u8..=255), 1..12),
+        budget in 0u64..600,
+    ) {
+        let mem = MemStore::new();
+        let store = FaultStore::new(mem.clone(), FaultPlan::crash_after_bytes(budget));
+        let f = store.open("f", true).unwrap();
+
+        // Model: append-structured writes of `len` copies of `fill`.
+        let mut expected: Vec<u8> = Vec::new();
+        let mut remaining = budget;
+        let mut crashed = false;
+        for (len, fill) in &writes {
+            let data = vec![*fill; *len];
+            if crashed {
+                // Post-crash: the op must fail and land nothing.
+                prop_assert!(matches!(
+                    f.write_at(expected.len() as u64, &data).unwrap_err(),
+                    PlatformError::Crashed
+                ));
+                continue;
+            }
+            let offset = expected.len() as u64;
+            if (*len as u64) <= remaining {
+                f.write_at(offset, &data).unwrap();
+                remaining -= *len as u64;
+                expected.extend_from_slice(&data);
+            } else {
+                // This write exhausts the budget: torn at `remaining`.
+                prop_assert!(matches!(
+                    f.write_at(offset, &data).unwrap_err(),
+                    PlatformError::Crashed
+                ));
+                expected.extend_from_slice(&data[..remaining as usize]);
+                crashed = true;
+            }
+        }
+
+        // The underlying store holds exactly the modeled prefix.
+        let survived = if expected.is_empty() && crashed {
+            // A zero-budget plan can crash before the file is created.
+            mem.raw("f").unwrap_or_default()
+        } else {
+            mem.raw("f").unwrap()
+        };
+        prop_assert_eq!(survived, expected);
+        prop_assert_eq!(store.plan().has_crashed(), crashed);
+
+        if crashed {
+            // The whole store stays dead: reads, syncs, metadata, opens.
+            prop_assert!(matches!(
+                f.read_at(0, &mut [0u8; 1]).unwrap_err(),
+                PlatformError::Crashed
+            ));
+            prop_assert!(matches!(f.sync().unwrap_err(), PlatformError::Crashed));
+            prop_assert!(matches!(f.len().unwrap_err(), PlatformError::Crashed));
+            prop_assert!(matches!(store.open("g", true).err(), Some(PlatformError::Crashed)));
+            prop_assert!(matches!(store.list().unwrap_err(), PlatformError::Crashed));
+        } else {
+            // No crash: the plan passed everything through and stays alive.
+            f.sync().unwrap();
+            prop_assert!(store.plan().sync_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn operation_granular_cut_matches_the_byte_fraction(
+        lens in proptest::collection::vec(1usize..64, 1..10),
+        target in 0usize..10,
+        cut_num in 0u32..=4,
+    ) {
+        let target = target % lens.len();
+        let store = {
+            let plan = FaultPlan::crash_on_write(target as u64, cut_num, 4);
+            FaultStore::new(MemStore::new(), plan)
+        };
+        let f = store.open("f", true).unwrap();
+        let mut offset = 0u64;
+        for (i, len) in lens.iter().enumerate() {
+            let data = vec![0xAB; *len];
+            let r = f.write_at(offset, &data);
+            if i < target {
+                r.unwrap();
+                offset += *len as u64;
+            } else {
+                // The targeted write (and everything after) fails; exactly
+                // len * cut_num / 4 of its bytes land.
+                prop_assert!(r.is_err());
+                let landed = (*len as u64) * cut_num as u64 / 4;
+                prop_assert_eq!(store.inner().raw("f").unwrap().len() as u64, offset + landed);
+                break;
+            }
+        }
+        prop_assert!(store.plan().has_crashed());
+    }
+}

@@ -98,18 +98,14 @@ mod tests {
     fn sp800_38a_cbc_prefix() {
         let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
         let iv: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
-        let pt = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let pt = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        );
-        let expect = hex(
-            "7649abac8119b246cee98e9b12e9197d\
+             f69f2445df4f9b17ad2b417be66c3710");
+        let expect = hex("7649abac8119b246cee98e9b12e9197d\
              5086cb9b507219ee95db113a917678b2\
              73bed6b8e3c1743b7116e69e22229516\
-             3ff1caa1681fac09120eca307586e1a7",
-        );
+             3ff1caa1681fac09120eca307586e1a7");
         let aes = Aes128::new(&key);
         let ct = cbc_encrypt(&aes, &iv, &pt);
         // Our output has one extra padding block at the end.

@@ -20,7 +20,11 @@ pub struct HmacDrbg {
 impl HmacDrbg {
     /// Instantiate from seed material (entropy || nonce || personalization).
     pub fn new(seed: &[u8]) -> Self {
-        let mut drbg = HmacDrbg { k: [0u8; DIGEST_LEN], v: [1u8; DIGEST_LEN], reseed_counter: 1 };
+        let mut drbg = HmacDrbg {
+            k: [0u8; DIGEST_LEN],
+            v: [1u8; DIGEST_LEN],
+            reseed_counter: 1,
+        };
         drbg.update(Some(seed));
         drbg
     }
@@ -90,8 +94,7 @@ mod tests {
     // EntropyInput || Nonce used as seed; PersonalizationString empty.
     #[test]
     fn cavp_vector_no_reseed() {
-        let entropy =
-            "ca851911349384bffe89de1cbdc46e6831e44d34a4fb935ee285dd14b71a7488";
+        let entropy = "ca851911349384bffe89de1cbdc46e6831e44d34a4fb935ee285dd14b71a7488";
         let nonce = "659ba96c601dc69fc902940805ec0ca8";
         let expected = "e528e9abf2dece54d47c7e75e5fe302149f817ea9fb4bee6f4199697d04d5b89\
                         d54fbb978a15b5c443c9ec21036d2460b6f73ebad0dc2aba6e624abf07745bc1\

@@ -24,7 +24,13 @@ impl BaselineDriver {
         let teller = env.create_db("teller").unwrap();
         let branch = env.create_db("branch").unwrap();
         let history = env.create_db("history").unwrap();
-        BaselineDriver { env, account, teller, branch, history }
+        BaselineDriver {
+            env,
+            account,
+            teller,
+            branch,
+            history,
+        }
     }
 
     /// The environment (post-run inspection).
@@ -52,7 +58,9 @@ impl TpcbSystem for BaselineDriver {
                 let mut txn = self.env.begin().unwrap();
                 let end = (id + 2000).min(size);
                 while id < end {
-                    self.env.put(&mut txn, db, &id.to_be_bytes(), &record_bytes(id, 0)).unwrap();
+                    self.env
+                        .put(&mut txn, db, &id.to_be_bytes(), &record_bytes(id, 0))
+                        .unwrap();
                     id += 1;
                 }
                 self.env.commit(txn).unwrap();
@@ -109,10 +117,22 @@ impl TpcbSystem for BaselineDriver {
     }
 
     fn account_balance(&self, id: u32) -> i64 {
-        record_balance(&self.env.get(self.account, &id.to_be_bytes()).unwrap().unwrap())
+        record_balance(
+            &self
+                .env
+                .get(self.account, &id.to_be_bytes())
+                .unwrap()
+                .unwrap(),
+        )
     }
 
     fn branch_balance(&self, id: u32) -> i64 {
-        record_balance(&self.env.get(self.branch, &id.to_be_bytes()).unwrap().unwrap())
+        record_balance(
+            &self
+                .env
+                .get(self.branch, &id.to_be_bytes())
+                .unwrap()
+                .unwrap(),
+        )
     }
 }

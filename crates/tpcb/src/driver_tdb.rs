@@ -6,14 +6,10 @@
 //! paper's driver inherits from Berkeley DB's TPC-B implementation.
 
 use crate::runner::TpcbSystem;
-use crate::schema::{
-    register_tpcb_classes, register_tpcb_extractors, HistoryRecord, TpcbRecord,
-};
+use crate::schema::{register_tpcb_classes, register_tpcb_extractors, HistoryRecord, TpcbRecord};
 use std::sync::Arc;
 use tdb::platform::{MemSecretStore, OneWayCounter, SecretStore, UntrustedStore, VolatileCounter};
-use tdb::{
-    ClassRegistry, Database, DatabaseConfig, ExtractorRegistry, IndexKind, IndexSpec, Key,
-};
+use tdb::{ClassRegistry, Database, DatabaseConfig, ExtractorRegistry, IndexKind, IndexSpec, Key};
 
 /// TDB under the TPC-B workload.
 pub struct TdbDriver {
@@ -40,8 +36,7 @@ impl TdbDriver {
         register_tpcb_classes(&mut classes);
         let mut extractors = ExtractorRegistry::new();
         register_tpcb_extractors(&mut extractors);
-        let db =
-            Database::create(untrusted, secret, counter, classes, extractors, cfg).unwrap();
+        let db = Database::create(untrusted, secret, counter, classes, extractors, cfg).unwrap();
         TdbDriver { db, durable: true }
     }
 
@@ -50,13 +45,7 @@ impl TdbDriver {
         &self.db
     }
 
-    fn update_balance(
-        &self,
-        t: &tdb::CTransaction,
-        table: &str,
-        id: u32,
-        delta: i64,
-    ) {
+    fn update_balance(&self, t: &tdb::CTransaction, table: &str, id: u32, delta: i64) {
         let coll = t.write_collection(table).unwrap();
         let mut it = coll.exact("by-id", &Key::U64(id as u64)).unwrap();
         assert!(!it.end(), "{table} record {id} missing");
@@ -77,7 +66,11 @@ impl TpcbSystem for TdbDriver {
             ("history", history, IndexKind::List),
         ];
         for (name, size, kind) in tables {
-            let extractor = if name == "history" { "tpcb.history.id" } else { "tpcb.id" };
+            let extractor = if name == "history" {
+                "tpcb.history.id"
+            } else {
+                "tpcb.id"
+            };
             // History is an append-only audit trail: ids are generated
             // unique by the driver, so paying a uniqueness check (a linear
             // probe on a list index) per insert would be pure waste.
@@ -96,7 +89,8 @@ impl TpcbSystem for TdbDriver {
                 let end = (id + 2000).min(size);
                 while id < end {
                     if name == "history" {
-                        coll.insert(Box::new(HistoryRecord::new(id, 0, 0, 0, 0))).unwrap();
+                        coll.insert(Box::new(HistoryRecord::new(id, 0, 0, 0, 0)))
+                            .unwrap();
                     } else {
                         coll.insert(Box::new(TpcbRecord::new(id))).unwrap();
                     }
@@ -118,7 +112,9 @@ impl TpcbSystem for TdbDriver {
         self.update_balance(&t, "branch", branch, delta);
         let history = t.write_collection("history").unwrap();
         history
-            .insert(Box::new(HistoryRecord::new(hist_id, account, teller, branch, delta)))
+            .insert(Box::new(HistoryRecord::new(
+                hist_id, account, teller, branch, delta,
+            )))
             .unwrap();
         drop(history);
         t.commit(self.durable).unwrap();

@@ -42,7 +42,11 @@ pub struct TpcbConfig {
 
 impl Default for TpcbConfig {
     fn default() -> Self {
-        TpcbConfig { scale: 1.0, transactions: 200_000, seed: 0x7DB }
+        TpcbConfig {
+            scale: 1.0,
+            transactions: 200_000,
+            seed: 0x7DB,
+        }
     }
 }
 
@@ -125,12 +129,21 @@ mod tests {
 
     #[test]
     fn sizes_scale() {
-        let cfg = TpcbConfig { scale: 0.01, ..Default::default() };
+        let cfg = TpcbConfig {
+            scale: 0.01,
+            ..Default::default()
+        };
         assert_eq!(cfg.sizes(), (1000, 10, 1, 2520));
-        let cfg = TpcbConfig { scale: 1.0, ..Default::default() };
+        let cfg = TpcbConfig {
+            scale: 1.0,
+            ..Default::default()
+        };
         assert_eq!(cfg.sizes(), (100_000, 1_000, 100, 252_000));
         // Tiny scales never hit zero.
-        let cfg = TpcbConfig { scale: 0.0001, ..Default::default() };
+        let cfg = TpcbConfig {
+            scale: 0.0001,
+            ..Default::default()
+        };
         let (a, t, b, h) = cfg.sizes();
         assert!(a >= 1 && t >= 1 && b >= 1 && h >= 1);
     }

@@ -11,8 +11,12 @@ pub const CLASS_TPCB_RECORD: u32 = 0x7b00_0001;
 pub const CLASS_HISTORY: u32 = 0x7b00_0002;
 
 /// The four tables with their paper-specified initial sizes (Fig. 9).
-pub const TABLES: [(&str, u64); 4] =
-    [("account", 100_000), ("teller", 1_000), ("branch", 100), ("history", 252_000)];
+pub const TABLES: [(&str, u64); 4] = [
+    ("account", 100_000),
+    ("teller", 1_000),
+    ("branch", 100),
+    ("history", 252_000),
+];
 
 /// Padding so a record pickles to ~100 bytes like the paper's objects.
 const FILLER_LEN: usize = 80;
@@ -30,7 +34,11 @@ pub struct TpcbRecord {
 impl TpcbRecord {
     /// Fresh record with zero balance.
     pub fn new(id: u32) -> Self {
-        TpcbRecord { id, balance: 0, filler: vec![0x20; FILLER_LEN] }
+        TpcbRecord {
+            id,
+            balance: 0,
+            filler: vec![0x20; FILLER_LEN],
+        }
     }
 }
 
@@ -45,7 +53,11 @@ impl Persistent for TpcbRecord {
 
 /// Unpickler for [`TpcbRecord`].
 pub fn unpickle_record(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(TpcbRecord { id: r.u32()?, balance: r.i64()?, filler: r.bytes()?.to_vec() }))
+    Ok(Box::new(TpcbRecord {
+        id: r.u32()?,
+        balance: r.i64()?,
+        filler: r.bytes()?.to_vec(),
+    }))
 }
 
 /// A History record: who moved how much where.
@@ -67,7 +79,14 @@ pub struct HistoryRecord {
 impl HistoryRecord {
     /// Build a history entry.
     pub fn new(id: u32, account: u32, teller: u32, branch: u32, delta: i64) -> Self {
-        HistoryRecord { id, account, teller, branch, delta, filler: vec![0x20; FILLER_LEN - 12] }
+        HistoryRecord {
+            id,
+            account,
+            teller,
+            branch,
+            delta,
+            filler: vec![0x20; FILLER_LEN - 12],
+        }
     }
 }
 
@@ -126,7 +145,13 @@ pub fn record_balance(bytes: &[u8]) -> i64 {
 }
 
 /// The baseline's history record encoding.
-pub fn history_record_bytes(id: u32, account: u32, teller: u32, branch: u32, delta: i64) -> Vec<u8> {
+pub fn history_record_bytes(
+    id: u32,
+    account: u32,
+    teller: u32,
+    branch: u32,
+    delta: i64,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(100);
     out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&account.to_le_bytes());
@@ -158,7 +183,11 @@ mod tests {
     #[test]
     fn record_pickle_roundtrip() {
         let mut w = Pickler::new();
-        let rec = TpcbRecord { id: 7, balance: -42, filler: vec![1; FILLER_LEN] };
+        let rec = TpcbRecord {
+            id: 7,
+            balance: -42,
+            filler: vec![1; FILLER_LEN],
+        };
         rec.pickle(&mut w);
         let bytes = w.into_bytes();
         let mut r = Unpickler::new(&bytes);

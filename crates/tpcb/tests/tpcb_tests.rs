@@ -7,15 +7,21 @@ use tdb_platform::MemStore;
 use tpcb::{run_benchmark, BaselineDriver, TdbDriver, TpcbConfig, TpcbSystem};
 
 fn small_cfg() -> TpcbConfig {
-    TpcbConfig { scale: 0.002, transactions: 500, seed: 42 }
+    TpcbConfig {
+        scale: 0.002,
+        transactions: 500,
+        seed: 42,
+    }
 }
 
 #[test]
 fn drivers_agree_on_balances() {
     let cfg = small_cfg();
     let mut tdb_sys = TdbDriver::new(Arc::new(MemStore::new()), DatabaseConfig::default());
-    let mut bdb_sys =
-        BaselineDriver::new(Arc::new(MemStore::new()), baseline::BaselineConfig::default());
+    let mut bdb_sys = BaselineDriver::new(
+        Arc::new(MemStore::new()),
+        baseline::BaselineConfig::default(),
+    );
     let r1 = run_benchmark(&mut tdb_sys, &cfg);
     let r2 = run_benchmark(&mut bdb_sys, &cfg);
     assert_eq!(r1.transactions, r2.transactions);
@@ -45,10 +51,17 @@ fn drivers_agree_on_balances() {
 #[test]
 fn reports_are_sane() {
     let cfg = small_cfg();
-    let mut sys = TdbDriver::new(Arc::new(MemStore::new()), DatabaseConfig::without_security());
+    let mut sys = TdbDriver::new(
+        Arc::new(MemStore::new()),
+        DatabaseConfig::without_security(),
+    );
     let report = run_benchmark(&mut sys, &cfg);
     assert!(report.avg_response_ms > 0.0);
-    assert!(report.bytes_per_txn > 100.0, "bytes/txn {}", report.bytes_per_txn);
+    assert!(
+        report.bytes_per_txn > 100.0,
+        "bytes/txn {}",
+        report.bytes_per_txn
+    );
     assert!(report.final_disk_size > 0);
 }
 

@@ -30,7 +30,10 @@ impl Persistent for BookLedger {
 }
 
 fn unpickle_book(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(BookLedger { title: r.string()?, pages_read: r.i64()? }))
+    Ok(Box::new(BookLedger {
+        title: r.string()?,
+        pages_read: r.i64()?,
+    }))
 }
 
 fn registries() -> (ClassRegistry, ExtractorRegistry) {
@@ -64,10 +67,7 @@ fn new_device(label: &str) -> (Database, MemSecretStore) {
 }
 
 /// Restore the archive's latest chain onto a brand-new (empty) device.
-fn restore_device(
-    archive: &dyn ArchivalStore,
-    label: &str,
-) -> Result<Database, tdb::TdbError> {
+fn restore_device(archive: &dyn ArchivalStore, label: &str) -> Result<Database, tdb::TdbError> {
     let secret = MemSecretStore::from_label(label);
     let (classes, extractors) = registries();
     Database::restore_latest_from(
@@ -96,10 +96,17 @@ fn main() {
             ],
         )
         .unwrap();
-    for (title, pages) in
-        [("Anathem", 250), ("Permutation City", 40), ("The Dispossessed", 0)]
-    {
-        books.insert(Box::new(BookLedger { title: title.into(), pages_read: pages })).unwrap();
+    for (title, pages) in [
+        ("Anathem", 250),
+        ("Permutation City", 40),
+        ("The Dispossessed", 0),
+    ] {
+        books
+            .insert(Box::new(BookLedger {
+                title: title.into(),
+                pages_read: pages,
+            }))
+            .unwrap();
     }
     drop(books);
     t.commit(true).unwrap();
@@ -108,12 +115,17 @@ fn main() {
     let archive = Arc::new(MemArchive::new());
     let mut mgr = db.backup_manager(archive.clone(), &secret).unwrap();
     let full = mgr.backup_full(db.chunk_store()).unwrap();
-    println!("full backup:        {full} ({} bytes)", archive.len_of(&full).unwrap());
+    println!(
+        "full backup:        {full} ({} bytes)",
+        archive.len_of(&full).unwrap()
+    );
 
     // Read a few pages, take a small incremental.
     let t = db.begin();
     let books = t.write_collection("books").unwrap();
-    let mut it = books.exact("by-title", &Key::str("Permutation City")).unwrap();
+    let mut it = books
+        .exact("by-title", &Key::str("Permutation City"))
+        .unwrap();
     {
         let b = it.write::<BookLedger>().unwrap();
         b.get_mut().pages_read += 120;
@@ -131,16 +143,25 @@ fn main() {
     let replacement = restore_device(&*archive, "reader-family-secret").unwrap();
     let t = replacement.begin();
     let books = t.read_collection("books").unwrap();
-    let it = books.exact("by-title", &Key::str("Permutation City")).unwrap();
+    let it = books
+        .exact("by-title", &Key::str("Permutation City"))
+        .unwrap();
     let b = it.read::<BookLedger>().unwrap();
-    println!("restored ledger:    Permutation City at page {}", b.get().pages_read);
+    println!(
+        "restored ledger:    Permutation City at page {}",
+        b.get().pages_read
+    );
     assert_eq!(b.get().pages_read, 160);
     drop(b);
     it.close().unwrap();
 
     // Range query on the derived-progress index: books with 100+ pages read.
     let mut it = books
-        .range("by-progress", Bound::Included(&Key::I64(1)), Bound::Unbounded)
+        .range(
+            "by-progress",
+            Bound::Included(&Key::I64(1)),
+            Bound::Unbounded,
+        )
         .unwrap();
     print!("well underway:     ");
     while !it.end() {

@@ -56,10 +56,17 @@ fn unpickle_contract(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleErr
     let content_id = r.u64()?;
     let terms = match r.u8()? {
         0 => Terms::PayPerView { cents: r.i64()? },
-        1 => Terms::FreeAfterPaidViews { cents: r.i64()?, free_after: r.i64()? },
+        1 => Terms::FreeAfterPaidViews {
+            cents: r.i64()?,
+            free_after: r.i64()?,
+        },
         t => return Err(PickleError(format!("bad terms tag {t}"))),
     };
-    Ok(Box::new(Contract { content_id, terms, views: r.i64()? }))
+    Ok(Box::new(Contract {
+        content_id,
+        terms,
+        views: r.i64()?,
+    }))
 }
 
 struct Wallet {
@@ -76,7 +83,10 @@ impl Persistent for Wallet {
 }
 
 fn unpickle_wallet(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Wallet { owner: r.string()?, balance_cents: r.i64()? }))
+    Ok(Box::new(Wallet {
+        owner: r.string()?,
+        balance_cents: r.i64()?,
+    }))
 }
 
 // --- The consumption operation ---------------------------------------------
@@ -169,7 +179,12 @@ fn main() {
     let contracts = t
         .create_collection(
             "contracts",
-            &[IndexSpec::new("by-content", "contract.content", true, IndexKind::Hash)],
+            &[IndexSpec::new(
+                "by-content",
+                "contract.content",
+                true,
+                IndexKind::Hash,
+            )],
         )
         .unwrap();
     contracts
@@ -182,7 +197,10 @@ fn main() {
     contracts
         .insert(Box::new(Contract {
             content_id: 2,
-            terms: Terms::FreeAfterPaidViews { cents: 30, free_after: 2 },
+            terms: Terms::FreeAfterPaidViews {
+                cents: 30,
+                free_after: 2,
+            },
             views: 0,
         }))
         .unwrap();
@@ -190,21 +208,41 @@ fn main() {
     let wallets = t
         .create_collection(
             "wallets",
-            &[IndexSpec::new("by-owner", "wallet.owner", true, IndexKind::BTree)],
+            &[IndexSpec::new(
+                "by-owner",
+                "wallet.owner",
+                true,
+                IndexKind::BTree,
+            )],
         )
         .unwrap();
     let wallet_id = wallets
-        .insert(Box::new(Wallet { owner: "alice".into(), balance_cents: 100 }))
+        .insert(Box::new(Wallet {
+            owner: "alice".into(),
+            balance_cents: 100,
+        }))
         .unwrap();
     drop(wallets);
     t.set_root("wallet", wallet_id).unwrap();
     t.commit(true).unwrap();
 
     // Consume.
-    println!("movie #1 (pay-per-view 25c): paid {}c", view(&db, 1).unwrap());
-    println!("song  #2 (30c, free after 2): paid {}c", view(&db, 2).unwrap());
-    println!("song  #2 again:               paid {}c", view(&db, 2).unwrap());
-    println!("song  #2 third time:          paid {}c (now free)", view(&db, 2).unwrap());
+    println!(
+        "movie #1 (pay-per-view 25c): paid {}c",
+        view(&db, 1).unwrap()
+    );
+    println!(
+        "song  #2 (30c, free after 2): paid {}c",
+        view(&db, 2).unwrap()
+    );
+    println!(
+        "song  #2 again:               paid {}c",
+        view(&db, 2).unwrap()
+    );
+    println!(
+        "song  #2 third time:          paid {}c (now free)",
+        view(&db, 2).unwrap()
+    );
 
     // Balance is now 100 - 25 - 30 - 30 = 15, which cannot cover another
     // 25c movie: the transaction must abort, leaving meter AND wallet

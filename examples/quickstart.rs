@@ -30,7 +30,10 @@ impl Persistent for Meter {
 }
 
 fn unpickle_meter(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Meter { content_id: r.u64()?, view_count: r.i64()? }))
+    Ok(Box::new(Meter {
+        content_id: r.u64()?,
+        view_count: r.i64()?,
+    }))
 }
 
 fn registries() -> (ClassRegistry, ExtractorRegistry) {
@@ -69,11 +72,21 @@ fn main() {
     let meters = t
         .create_collection(
             "meters",
-            &[IndexSpec::new("by-content", "meter.content", true, IndexKind::Hash)],
+            &[IndexSpec::new(
+                "by-content",
+                "meter.content",
+                true,
+                IndexKind::Hash,
+            )],
         )
         .unwrap();
     for content_id in 1..=5u64 {
-        meters.insert(Box::new(Meter { content_id, view_count: 0 })).unwrap();
+        meters
+            .insert(Box::new(Meter {
+                content_id,
+                view_count: 0,
+            }))
+            .unwrap();
     }
     drop(meters);
     t.commit(true).unwrap();
@@ -109,7 +122,10 @@ fn main() {
     let meters = t.read_collection("meters").unwrap();
     let it = meters.exact("by-content", &Key::U64(3)).unwrap();
     let m = it.read::<Meter>().unwrap();
-    println!("after reopen: content #3 has {} view(s)", m.get().view_count);
+    println!(
+        "after reopen: content #3 has {} view(s)",
+        m.get().view_count
+    );
     assert_eq!(m.get().view_count, 1);
     drop(m);
     it.close().unwrap();
@@ -122,10 +138,8 @@ fn main() {
     // demo is self-contained; `MemStore::corrupt` is the attacker
     // primitive the test-suite uses throughout.)
     let evil = MemStore::new();
-    for name in tdb::platform::UntrustedStore::list(
-        &DirStore::new(dir.path().join("db")).unwrap(),
-    )
-    .unwrap()
+    for name in
+        tdb::platform::UntrustedStore::list(&DirStore::new(dir.path().join("db")).unwrap()).unwrap()
     {
         let src = DirStore::new(dir.path().join("db")).unwrap();
         let f = src.open(&name, false).unwrap();
@@ -151,7 +165,9 @@ fn main() {
         let t = db.begin();
         let meters = t.read_collection("meters").map_err(|e| e.to_string())?;
         for id in 1..=5u64 {
-            let it = meters.exact("by-content", &Key::U64(id)).map_err(|e| e.to_string())?;
+            let it = meters
+                .exact("by-content", &Key::U64(id))
+                .map_err(|e| e.to_string())?;
             let _ = it.read::<Meter>().map_err(|e| e.to_string())?;
         }
         Ok(())

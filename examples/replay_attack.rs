@@ -34,15 +34,19 @@ impl Persistent for Prepaid {
 }
 
 fn unpickle(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Prepaid { account: r.u64()?, cents: r.i64()? }))
+    Ok(Box::new(Prepaid {
+        account: r.u64()?,
+        cents: r.i64()?,
+    }))
 }
 
 fn registries() -> (ClassRegistry, ExtractorRegistry) {
     let mut classes = ClassRegistry::new();
     classes.register(CLASS_BALANCE, "Prepaid", unpickle);
     let mut extractors = ExtractorRegistry::new();
-    extractors
-        .register("prepaid.account", |o| tdb::extractor_typed::<Prepaid>(o, |p| Key::U64(p.account)));
+    extractors.register("prepaid.account", |o| {
+        tdb::extractor_typed::<Prepaid>(o, |p| Key::U64(p.account))
+    });
     (classes, extractors)
 }
 
@@ -91,10 +95,19 @@ fn main() {
     let c = t
         .create_collection(
             "prepaid",
-            &[IndexSpec::new("by-account", "prepaid.account", true, IndexKind::Hash)],
+            &[IndexSpec::new(
+                "by-account",
+                "prepaid.account",
+                true,
+                IndexKind::Hash,
+            )],
         )
         .unwrap();
-    c.insert(Box::new(Prepaid { account: 1, cents: 500 })).unwrap();
+    c.insert(Box::new(Prepaid {
+        account: 1,
+        cents: 500,
+    }))
+    .unwrap();
     drop(c);
     t.commit(true).unwrap();
     println!("balance: {}c", balance(&db));
@@ -149,10 +162,19 @@ fn main() {
     let c = t
         .create_collection(
             "prepaid",
-            &[IndexSpec::new("by-account", "prepaid.account", true, IndexKind::Hash)],
+            &[IndexSpec::new(
+                "by-account",
+                "prepaid.account",
+                true,
+                IndexKind::Hash,
+            )],
         )
         .unwrap();
-    c.insert(Box::new(Prepaid { account: 1, cents: 500 })).unwrap();
+    c.insert(Box::new(Prepaid {
+        account: 1,
+        cents: 500,
+    }))
+    .unwrap();
     drop(c);
     t.commit(true).unwrap();
     let saved = mem.deep_clone();

@@ -1,0 +1,210 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` (+ `throughput`/`finish`),
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple measurement
+//! loop (warm-up, then timed batches) and plain-text output. No statistics,
+//! plots, or baselines; good enough to run and eyeball the benches offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as in criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark context handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Attach a throughput to subsequent benches (reported as rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Anything usable as a bench id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render to the display string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` over this batch's iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    // Warm up and estimate a batch size targeting ~50ms of measurement.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(50);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        if per < best {
+            best = per;
+        }
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / best.as_secs_f64() / 1e6;
+            format!("  ({mbps:.1} MB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / best.as_secs_f64();
+            format!("  ({eps:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<50} {best:>12.3?}/iter{rate}");
+}
+
+/// Collect benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(1 + 2)));
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| ()));
+        group.finish();
+    }
+}

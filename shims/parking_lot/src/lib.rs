@@ -1,0 +1,409 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny subset of `parking_lot`'s API it actually uses:
+//! [`Mutex`], [`RwLock`], [`Condvar`] (with `wait_until`), and the mapped
+//! read/write guards. Semantics match `parking_lot`: guards are returned
+//! directly (no poisoning), and `Condvar::wait_until` takes a deadline.
+//!
+//! Implementation: each lock pairs a `std::sync` lock of `()` (for the
+//! blocking protocol) with an `UnsafeCell<T>` holding the data. Guards keep
+//! the raw std guard alive and expose the data through a pointer, which is
+//! what makes `RwLockReadGuard::map` / `RwLockWriteGuard::map` expressible
+//! without parking_lot's raw-lock machinery.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock with `parking_lot`-style (non-poisoning) API.
+pub struct Mutex<T: ?Sized> {
+    raw: StdMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: identical bounds to std::sync::Mutex — the raw lock serializes all
+// access to `data`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            raw: StdMutex::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let raw = match self.raw.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        MutexGuard {
+            _raw: Some(raw),
+            lock: self,
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.raw.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                _raw: Some(g),
+                lock: self,
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                _raw: Some(p.into_inner()),
+                lock: self,
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so Condvar::wait_until can temporarily hand the raw guard to
+    // the std condvar and put the reacquired one back.
+    _raw: Option<std::sync::MutexGuard<'a, ()>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: holding the raw guard grants exclusive access to `data`.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable compatible with this module's [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let raw = guard._raw.take().expect("guard always holds the raw lock");
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let (raw, result) = match self.inner.wait_timeout(raw, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poison) => {
+                let (g, r) = poison.into_inner();
+                (g, r)
+            }
+        };
+        guard._raw = Some(raw);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Block until notified.
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        let raw = guard._raw.take().expect("guard always holds the raw lock");
+        let raw = match self.inner.wait(raw) {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        guard._raw = Some(raw);
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock with `parking_lot`-style (non-poisoning) API.
+pub struct RwLock<T: ?Sized> {
+    raw: StdRwLock<()>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: same bounds as std::sync::RwLock.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            raw: StdRwLock::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let raw = match self.raw.read() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        RwLockReadGuard {
+            _raw: raw,
+            data: self.data.get(),
+        }
+    }
+
+    /// Acquire an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let raw = match self.raw.write() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        RwLockWriteGuard {
+            _raw: raw,
+            data: self.data.get(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockReadGuard<'a, ()>,
+    data: *const T,
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Narrow the guard to a component of the protected data.
+    pub fn map<U: ?Sized, F>(guard: Self, f: F) -> MappedRwLockReadGuard<'a, U>
+    where
+        F: FnOnce(&T) -> &U,
+    {
+        // Safety: the raw read guard keeps the data shared-borrowable for 'a.
+        let mapped = f(unsafe { &*guard.data }) as *const U;
+        MappedRwLockReadGuard {
+            _raw: guard._raw,
+            data: mapped,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the raw guard holds the read lock.
+        unsafe { &*self.data }
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockWriteGuard<'a, ()>,
+    data: *mut T,
+}
+
+impl<'a, T: ?Sized> RwLockWriteGuard<'a, T> {
+    /// Narrow the guard to a component of the protected data.
+    pub fn map<U: ?Sized, F>(guard: Self, f: F) -> MappedRwLockWriteGuard<'a, U>
+    where
+        F: FnOnce(&mut T) -> &mut U,
+    {
+        // Safety: the raw write guard keeps the data exclusively held for 'a.
+        let mapped = f(unsafe { &mut *guard.data }) as *mut U;
+        MappedRwLockWriteGuard {
+            _raw: guard._raw,
+            data: mapped,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the raw guard holds the write lock.
+        unsafe { &*self.data }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.data }
+    }
+}
+
+/// A read guard narrowed by [`RwLockReadGuard::map`].
+pub struct MappedRwLockReadGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockReadGuard<'a, ()>,
+    data: *const T,
+}
+
+impl<T: ?Sized> Deref for MappedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the raw guard holds the read lock.
+        unsafe { &*self.data }
+    }
+}
+
+/// A write guard narrowed by [`RwLockWriteGuard::map`].
+pub struct MappedRwLockWriteGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockWriteGuard<'a, ()>,
+    data: *mut T,
+}
+
+impl<T: ?Sized> Deref for MappedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the raw guard holds the write lock.
+        unsafe { &*self.data }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MappedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_map() {
+        let l = RwLock::new((1u32, String::from("x")));
+        let s = RwLockReadGuard::map(l.read(), |t| &t.1);
+        assert_eq!(&*s, "x");
+        drop(s);
+        let mut n = RwLockWriteGuard::map(l.write(), |t| &mut t.0);
+        *n = 7;
+        drop(n);
+        assert_eq!(l.read().0, 7);
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_wakes_waiter() {
+        let m = Arc::new(Mutex::new(false));
+        let c = Arc::new(Condvar::new());
+        let (m2, c2) = (m.clone(), c.clone());
+        let t = std::thread::spawn(move || {
+            let mut done = m2.lock();
+            while !*done {
+                let r = c2.wait_until(&mut done, Instant::now() + Duration::from_secs(5));
+                assert!(!r.timed_out(), "should be notified, not time out");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        *m.lock() = true;
+        c.notify_all();
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline shim for the `tempfile` crate: just [`tempdir`] / [`TempDir`],
+//! which is all this workspace uses. Directories are created under the
+//! system temp dir with a process-unique, monotonically numbered name and
+//! removed recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted (recursively) when the handle drops.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consume the handle without deleting the directory.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Create a fresh temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    loop {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".tdb-tmp-{}-{n}", std::process::id()));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        fs::write(path.join("f"), b"x").unwrap();
+        fs::create_dir(path.join("sub")).unwrap();
+        fs::write(path.join("sub/g"), b"y").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn distinct_dirs() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,6 +1,10 @@
 //! Workspace-level glue crate.
 //!
 //! This crate exists to host the repository-root `tests/` (cross-crate
-//! integration tests) and `examples/` directories. It re-exports the public
-//! facade so examples can simply `use tdb_suite as tdb;` if they wish.
+//! integration tests) and `examples/` directories, plus the crash-point
+//! [`torture`] harness behind the `tdb-torture` binary. It re-exports the
+//! public facade so examples can simply `use tdb_suite as tdb;` if they
+//! wish.
 pub use tdb;
+
+pub mod torture;

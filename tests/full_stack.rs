@@ -28,16 +28,22 @@ impl Persistent for Meter {
 }
 
 fn unpickle_meter(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
-    Ok(Box::new(Meter { id: r.u64()?, count: r.i64()? }))
+    Ok(Box::new(Meter {
+        id: r.u64()?,
+        count: r.i64()?,
+    }))
 }
 
 fn registries() -> (ClassRegistry, ExtractorRegistry) {
     let mut classes = ClassRegistry::new();
     classes.register(CLASS_METER, "Meter", unpickle_meter);
     let mut extractors = ExtractorRegistry::new();
-    extractors.register("meter.id", |o| tdb::extractor_typed::<Meter>(o, |m| Key::U64(m.id)));
-    extractors
-        .register("meter.count", |o| tdb::extractor_typed::<Meter>(o, |m| Key::I64(m.count)));
+    extractors.register("meter.id", |o| {
+        tdb::extractor_typed::<Meter>(o, |m| Key::U64(m.id))
+    });
+    extractors.register("meter.count", |o| {
+        tdb::extractor_typed::<Meter>(o, |m| Key::I64(m.count))
+    });
     (classes, extractors)
 }
 
@@ -158,8 +164,7 @@ fn crash_at_every_layer_boundary_preserves_invariants() {
                 let t = db.begin();
                 let result = (|| -> Result<(), String> {
                     let c = t.write_collection("meters").map_err(|e| e.to_string())?;
-                    let mut it =
-                        c.exact("by-id", &Key::U64(id)).map_err(|e| e.to_string())?;
+                    let mut it = c.exact("by-id", &Key::U64(id)).map_err(|e| e.to_string())?;
                     {
                         let m = it.write::<Meter>().map_err(|e| e.to_string())?;
                         m.get_mut().count += 1;
@@ -233,7 +238,11 @@ fn backup_cycle_through_facade() {
     let t = db.begin();
     let c = t.create_collection("meters", &specs()).unwrap();
     for id in 0..50 {
-        c.insert(Box::new(Meter { id, count: id as i64 })).unwrap();
+        c.insert(Box::new(Meter {
+            id,
+            count: id as i64,
+        }))
+        .unwrap();
     }
     drop(c);
     t.commit(true).unwrap();

@@ -1,0 +1,60 @@
+//! Acceptance tests for the crash-point torture harness (`suite/torture.rs`,
+//! also exposed as the `tdb-torture` binary).
+
+use tdb_suite::torture::{run_torture, TortureConfig};
+
+fn small() -> TortureConfig {
+    TortureConfig {
+        cells: 4,
+        steps: 6,
+        seed: 11,
+        verbose: false,
+    }
+}
+
+#[test]
+fn sweep_covers_every_boundary_with_no_silent_corruption() {
+    let report = run_torture(&small());
+    // Every recorded boundary is swept: each write twice (torn at 1/2,
+    // complete-but-unacknowledged), each sync once.
+    assert_eq!(
+        report.crash_points_swept,
+        2 * report.write_boundaries + report.sync_boundaries
+    );
+    assert!(report.write_boundaries > 0 && report.sync_boundaries > 0);
+    // Every pure crash recovered to an admissible state.
+    assert_eq!(report.recoveries_ok, report.crash_points_swept);
+    // Some crash points land exactly on the durable frontier (otherwise
+    // the workload never exercises commit-then-crash) and some fall back
+    // to an older prefix (otherwise torn tails are never discarded).
+    assert!(report.recovered_at_frontier > 0);
+    assert!(report.recovered_at_frontier < report.recoveries_ok);
+    // Tampering: plenty injected, all classified, none silently absorbed
+    // into a wrong state.
+    assert!(report.tampers_injected >= report.crash_points_swept);
+    assert_eq!(
+        report.tampers_injected,
+        report.tampers_detected + report.tampers_harmless
+    );
+    assert!(report.tampers_detected > 0);
+    assert_eq!(report.silent_corruptions, 0);
+    assert!(report.failures.is_empty());
+}
+
+#[test]
+fn sweep_is_deterministic_for_a_fixed_seed() {
+    // Two full runs from the same seed must agree on every counter: the
+    // boundary enumeration, each crash outcome, and each tamper verdict.
+    let a = run_torture(&small());
+    let b = run_torture(&small());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_change_the_tamper_picks_not_the_guarantees() {
+    let mut cfg = small();
+    cfg.seed = 12;
+    let report = run_torture(&cfg);
+    assert_eq!(report.silent_corruptions, 0);
+    assert_eq!(report.recoveries_ok, report.crash_points_swept);
+}
