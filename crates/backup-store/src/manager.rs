@@ -57,22 +57,39 @@ impl BackupManager {
         format!("backup.{seq:08}.{k}")
     }
 
-    fn write_stream(&self, name: &str, payload: &BackupPayload) -> Result<()> {
+    fn write_stream(&self, name: &str, payload: &BackupPayload) -> Result<usize> {
         let bytes = payload.encode(&self.ctx);
         let mut w = self.archive.create(name)?;
         w.write_all(&bytes)?;
         w.flush()?;
-        Ok(())
+        Ok(bytes.len())
+    }
+
+    /// Record bytes/chunks processed for a finished backup stream into the
+    /// store's observability registry (cold path; resolving by name is fine).
+    fn record_backup(
+        store: &ChunkStore,
+        hist_name: &str,
+        sw: &mut tdb_obs::Stopwatch,
+        bytes: usize,
+        chunks: usize,
+    ) {
+        let obs = store.obs();
+        obs.counter("backup.bytes_written").add(bytes as u64);
+        obs.counter("backup.chunks_written").add(chunks as u64);
+        sw.lap_into(&obs.histogram(hist_name));
     }
 
     /// Create a full backup from a fresh snapshot. Returns the stream name.
     pub fn backup_full(&mut self, store: &ChunkStore) -> Result<String> {
+        let mut sw = tdb_obs::Stopwatch::start();
         let snap = store.snapshot();
         let mut writes = Vec::new();
         for id in snap.chunk_ids() {
             writes.push((id, store.read_at_snapshot(&snap, id)?));
         }
         let seq = self.next_seq;
+        let chunks = writes.len();
         let payload = BackupPayload {
             kind: BackupKind::Full,
             seq,
@@ -82,9 +99,10 @@ impl BackupManager {
             removed: Vec::new(),
         };
         let name = Self::name_for(seq, BackupKind::Full);
-        self.write_stream(&name, &payload)?;
+        let bytes = self.write_stream(&name, &payload)?;
         self.next_seq += 1;
         self.last = Some((snap, seq));
+        Self::record_backup(store, "backup.full", &mut sw, bytes, chunks);
         Ok(name)
     }
 
@@ -92,6 +110,7 @@ impl BackupManager {
     /// previous backup taken by this manager. Fails with
     /// [`BackupError::NoBaseBackup`] if none exists.
     pub fn backup_incremental(&mut self, store: &ChunkStore) -> Result<String> {
+        let mut sw = tdb_obs::Stopwatch::start();
         let Some((base_snap, base_seq)) = &self.last else {
             return Err(BackupError::NoBaseBackup);
         };
@@ -111,9 +130,11 @@ impl BackupManager {
             removed: diff.removed,
         };
         let name = Self::name_for(seq, BackupKind::Incremental);
-        self.write_stream(&name, &payload)?;
+        let chunks = payload.writes.len();
+        let bytes = self.write_stream(&name, &payload)?;
         self.next_seq += 1;
         self.last = Some((snap, seq));
+        Self::record_backup(store, "backup.incremental", &mut sw, bytes, chunks);
         Ok(name)
     }
 
@@ -163,6 +184,7 @@ impl BackupManager {
         names: &[String],
         store: &ChunkStore,
     ) -> Result<()> {
+        let mut sw = tdb_obs::Stopwatch::start();
         let ctx = CryptoCtx::with_domain(mode, secret, 0, DOMAIN)?;
         if names.is_empty() {
             return Err(BackupError::SequenceViolation("empty chain".into()));
@@ -194,12 +216,21 @@ impl BackupManager {
             prev_seq = p.seq;
         }
 
+        let (mut chunks_applied, mut bytes_applied) = (0u64, 0u64);
         let mut iter = payloads.into_iter();
         let full = iter.next().expect("non-empty");
+        chunks_applied += full.writes.len() as u64;
+        bytes_applied += full.writes.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
         store.restore_image(full.writes)?;
         for p in iter {
+            chunks_applied += p.writes.len() as u64;
+            bytes_applied += p.writes.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
             store.apply_restore_delta(p.writes, p.removed)?;
         }
+        let obs = store.obs();
+        obs.counter("restore.chunks_applied").add(chunks_applied);
+        obs.counter("restore.bytes_applied").add(bytes_applied);
+        sw.lap_into(&obs.histogram("backup.restore"));
         Ok(())
     }
 

@@ -7,7 +7,11 @@
 //! transaction is reported alongside.
 
 use std::sync::Arc;
+use tdb::obs::{Json, RegistrySnapshot};
 use tdb::{DatabaseConfig, SecurityMode};
+use tdb_bench::telemetry::{
+    bench_doc, counters_json, histograms_json, latency_ms_json, push_result, write_bench_json,
+};
 use tdb_bench::{env_f64, env_u64};
 use tdb_platform::{DirStore, MemStore, UntrustedStore};
 use tpcb::{run_benchmark, BaselineDriver, BenchReport, TdbDriver, TpcbConfig};
@@ -29,14 +33,42 @@ fn run_tdb(
     cfg: &TpcbConfig,
     security: SecurityMode,
     keep: &mut Vec<tempfile::TempDir>,
-) -> (BenchReport, chunk_store::StatsSnapshot) {
+) -> (BenchReport, chunk_store::StatsSnapshot, RegistrySnapshot) {
     let mut db_cfg = DatabaseConfig::default();
     db_cfg.chunk.security = security;
     // 60% maximum utilization, "the default for TDB" in this experiment.
     db_cfg.chunk.max_utilization = 0.60;
     let mut driver = TdbDriver::new(make_store(keep), db_cfg);
     let report = run_benchmark(&mut driver, cfg);
-    (report, driver.database().stats())
+    let stats = driver.database().stats();
+    let obs = driver.database().obs().snapshot();
+    // The registry's `chunk.*` counters and the legacy snapshot read the
+    // same atomics — a mismatch here means the wiring regressed.
+    assert_eq!(
+        obs.counters.get("chunk.commits").copied().unwrap_or(0),
+        stats.commits,
+        "registry counters must reconcile with StatsSnapshot"
+    );
+    (report, stats, obs)
+}
+
+/// One `results[]` row of the BENCH_fig10_tpcb.json document.
+fn result_row(name: &str, r: &BenchReport, obs: Option<&RegistrySnapshot>) -> Json {
+    let mut row = Json::obj();
+    row.push("system", name);
+    row.push(
+        "throughput_txn_per_sec",
+        r.transactions as f64 / r.run_seconds.max(1e-9),
+    );
+    row.push("avg_response_ms", r.avg_response_ms);
+    row.push("bytes_per_txn", r.bytes_per_txn);
+    row.push("final_disk_size", r.final_disk_size);
+    row.push("latency_ms", latency_ms_json(&r.latency));
+    if let Some(obs) = obs {
+        row.push("phases_ns", histograms_json(obs, "commit."));
+        row.push("counters", counters_json(obs));
+    }
+    row
 }
 
 fn main() {
@@ -61,8 +93,8 @@ fn main() {
     let mut bdb = BaselineDriver::new(make_store(&mut keep), baseline::BaselineConfig::default());
     let bdb_report = run_benchmark(&mut bdb, &cfg);
 
-    let (tdb_report, tdb_stats) = run_tdb(&cfg, SecurityMode::Off, &mut keep);
-    let (tdbs_report, tdbs_stats) = run_tdb(&cfg, SecurityMode::Full, &mut keep);
+    let (tdb_report, tdb_stats, tdb_obs) = run_tdb(&cfg, SecurityMode::Off, &mut keep);
+    let (tdbs_report, tdbs_stats, tdbs_obs) = run_tdb(&cfg, SecurityMode::Full, &mut keep);
 
     println!(
         "{:<12} {:>14} {:>12} {:>16} {:>14}",
@@ -96,4 +128,14 @@ fn main() {
     }
     println!();
     println!("shape check: TDB < TDB-S < BerkeleyDB in response time, as in the paper.");
+
+    let mut config = Json::obj();
+    config.push("scale", cfg.scale);
+    config.push("transactions", cfg.transactions);
+    config.push("seed", cfg.seed);
+    let mut doc = bench_doc("fig10_tpcb", config);
+    push_result(&mut doc, result_row("BerkeleyDB", &bdb_report, None));
+    push_result(&mut doc, result_row("TDB", &tdb_report, Some(&tdb_obs)));
+    push_result(&mut doc, result_row("TDB-S", &tdbs_report, Some(&tdbs_obs)));
+    write_bench_json("fig10_tpcb", &doc).expect("write bench json");
 }

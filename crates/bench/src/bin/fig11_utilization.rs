@@ -5,7 +5,11 @@
 //! for the paper's run size; defaults are a faster shape-preserving run.
 
 use std::sync::Arc;
+use tdb::obs::Json;
 use tdb::DatabaseConfig;
+use tdb_bench::telemetry::{
+    bench_doc, counters_json, histograms_json, latency_ms_json, push_result, write_bench_json,
+};
 use tdb_bench::{env_f64, env_u64};
 use tdb_platform::MemStore;
 use tpcb::{run_benchmark, BaselineDriver, TdbDriver, TpcbConfig};
@@ -34,6 +38,12 @@ fn main() {
     );
     let bdb_report = run_benchmark(&mut bdb, &cfg);
 
+    let mut config = Json::obj();
+    config.push("scale", cfg.scale);
+    config.push("transactions", cfg.transactions);
+    config.push("seed", cfg.seed);
+    let mut doc = bench_doc("fig11_utilization", config);
+
     println!(
         "{:>11} {:>16} {:>14} {:>18}",
         "utilization", "resp (ms/txn)", "db size (MB)", "cleaner copies/txn"
@@ -55,6 +65,24 @@ fn main() {
             driver.database().disk_size() as f64 / 1e6,
             stats.cleaner_bytes_copied as f64 / cfg.transactions as f64,
         );
+        let obs = driver.database().obs().snapshot();
+        let mut row = Json::obj();
+        row.push("system", "TDB");
+        row.push("max_utilization", util);
+        row.push(
+            "throughput_txn_per_sec",
+            report.transactions as f64 / report.run_seconds.max(1e-9),
+        );
+        row.push("avg_response_ms", report.avg_response_ms);
+        row.push("final_disk_size", driver.database().disk_size());
+        row.push(
+            "cleaner_bytes_per_txn",
+            stats.cleaner_bytes_copied as f64 / cfg.transactions as f64,
+        );
+        row.push("latency_ms", latency_ms_json(&report.latency));
+        row.push("phases_ns", histograms_json(&obs, "cleaner."));
+        row.push("counters", counters_json(&obs));
+        push_result(&mut doc, row);
     }
     println!(
         "{:>11} {:>16.4} {:>14.2} {:>18}",
@@ -63,4 +91,11 @@ fn main() {
         bdb_report.final_disk_size as f64 / 1e6,
         "-"
     );
+    let mut row = Json::obj();
+    row.push("system", "BerkeleyDB");
+    row.push("avg_response_ms", bdb_report.avg_response_ms);
+    row.push("final_disk_size", bdb_report.final_disk_size);
+    row.push("latency_ms", latency_ms_json(&bdb_report.latency));
+    push_result(&mut doc, row);
+    write_bench_json("fig11_utilization", &doc).expect("write bench json");
 }

@@ -10,9 +10,13 @@
 
 use chunk_store::{ChunkStoreConfig, SecurityMode};
 use tdb_bench::bench_chunk_store;
+use tdb_bench::telemetry::{
+    bench_doc, counters_json, histograms_json, push_result, write_bench_json,
+};
+use tdb_obs::{Json, RegistrySnapshot};
 
 /// Bytes appended for one N-byte chunk write + its share of metadata.
-fn measure(mode: SecurityMode, payload: usize, chunks: u64) -> (f64, f64) {
+fn measure(mode: SecurityMode, payload: usize, chunks: u64) -> (f64, f64, RegistrySnapshot) {
     let cfg = ChunkStoreConfig {
         security: mode,
         ..Default::default()
@@ -31,7 +35,7 @@ fn measure(mode: SecurityMode, payload: usize, chunks: u64) -> (f64, f64) {
     store.checkpoint().unwrap();
     let s2 = store.stats().since(&base);
     let map_per_chunk = s2.map_bytes_appended as f64 / store.live_chunks() as f64;
-    (chunk_overhead, map_per_chunk)
+    (chunk_overhead, map_per_chunk, store.obs().snapshot())
 }
 
 fn main() {
@@ -43,8 +47,8 @@ fn main() {
     println!();
     const PAYLOAD: usize = 100;
     const CHUNKS: u64 = 2000;
-    let (off_chunk, off_map) = measure(SecurityMode::Off, PAYLOAD, CHUNKS);
-    let (on_chunk, on_map) = measure(SecurityMode::Full, PAYLOAD, CHUNKS);
+    let (off_chunk, off_map, off_obs) = measure(SecurityMode::Off, PAYLOAD, CHUNKS);
+    let (on_chunk, on_map, on_obs) = measure(SecurityMode::Full, PAYLOAD, CHUNKS);
     println!("measured, {PAYLOAD}-byte chunks (record header + id + IV/padding):");
     println!(
         "  {:<34} {:>7.1} B/chunk",
@@ -71,4 +75,22 @@ fn main() {
     println!("ours differ in absolute terms because SHA-256 digests are 32 B");
     println!("(vs SHA-1's 20 B) and AES blocks are 16 B (vs 3DES's 8 B); the");
     println!("structure of the overhead is the same.");
+
+    let mut config = Json::obj();
+    config.push("payload_bytes", PAYLOAD);
+    config.push("chunks", CHUNKS);
+    let mut doc = bench_doc("overheads", config);
+    for (name, chunk_overhead, map_per_chunk, obs) in [
+        ("TDB", off_chunk, off_map, &off_obs),
+        ("TDB-S", on_chunk, on_map, &on_obs),
+    ] {
+        let mut row = Json::obj();
+        row.push("system", name);
+        row.push("chunk_overhead_bytes", chunk_overhead);
+        row.push("map_entry_bytes", map_per_chunk);
+        row.push("phases_ns", histograms_json(obs, "commit."));
+        row.push("counters", counters_json(obs));
+        push_result(&mut doc, row);
+    }
+    write_bench_json("overheads", &doc).expect("write bench json");
 }

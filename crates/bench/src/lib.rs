@@ -11,6 +11,8 @@ use chunk_store::{ChunkStore, ChunkStoreConfig};
 use std::sync::Arc;
 use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
 
+pub mod telemetry;
+
 /// Fresh in-memory chunk store for benchmarks.
 pub fn bench_chunk_store(cfg: ChunkStoreConfig) -> ChunkStore {
     ChunkStore::create(

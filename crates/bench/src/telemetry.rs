@@ -1,0 +1,248 @@
+//! Machine-readable bench telemetry: every figure binary (and the torture
+//! harness) writes a `results/BENCH_<name>.json` document so runs can be
+//! captured, diffed, and validated in CI. The schema is deliberately tiny
+//! and stable — see [`validate_bench_doc`] for the normative description.
+
+use std::path::{Path, PathBuf};
+use tdb_obs::{hist_json, HistSnapshot, Json, RegistrySnapshot};
+
+/// Current document schema version. Bump only when a field changes meaning
+/// or a required field is added; additive optional fields don't count.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Directory bench JSON goes to: `$BENCH_OUT`, or `results/` under the
+/// current directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Start a bench document: `{schema_version, bench, config, results: []}`.
+/// Callers fill `config` and push per-system/per-phase rows into `results`.
+pub fn bench_doc(bench: &str, config: Json) -> Json {
+    let mut doc = Json::obj();
+    doc.push("schema_version", BENCH_SCHEMA_VERSION);
+    doc.push("bench", bench);
+    doc.push("config", config);
+    doc.push("results", Json::arr());
+    doc
+}
+
+/// Append a row to the document's `results` array.
+pub fn push_result(doc: &mut Json, row: Json) {
+    if let Json::Obj(fields) = doc {
+        for (k, v) in fields.iter_mut() {
+            if k == "results" {
+                if let Json::Arr(rows) = v {
+                    rows.push(row);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Latency distribution as milliseconds: count plus mean/p50/p90/p95/p99.
+/// The snapshot's samples are nanoseconds (the workspace convention).
+pub fn latency_ms_json(lat: &HistSnapshot) -> Json {
+    let ms = |ns: f64| ns / 1e6;
+    let mut o = Json::obj();
+    o.push("count", lat.count());
+    o.push("mean", ms(lat.mean()));
+    o.push("p50", ms(lat.p50()));
+    o.push("p90", ms(lat.p90()));
+    o.push("p95", ms(lat.p95()));
+    o.push("p99", ms(lat.p99()));
+    o
+}
+
+/// All histograms in a registry snapshot whose name starts with `prefix`,
+/// rendered via [`hist_json`] (nanosecond stats + percentiles). Used for the
+/// per-phase commit breakdown (`prefix = "commit."`).
+pub fn histograms_json(snap: &RegistrySnapshot, prefix: &str) -> Json {
+    let mut o = Json::obj();
+    for (name, h) in &snap.histograms {
+        if name.starts_with(prefix) && h.count() > 0 {
+            o.push(name.as_str(), hist_json(h));
+        }
+    }
+    o
+}
+
+/// All counters in a registry snapshot, as a flat name → value object.
+pub fn counters_json(snap: &RegistrySnapshot) -> Json {
+    let mut o = Json::obj();
+    for (name, v) in &snap.counters {
+        o.push(name.as_str(), *v);
+    }
+    o
+}
+
+/// Write `doc` to `<results_dir>/BENCH_<name>.json` (pretty-printed),
+/// creating the directory if needed. Returns the path written.
+pub fn write_bench_json(name: &str, doc: &Json) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.pretty())?;
+    eprintln!("telemetry: wrote {}", path.display());
+    Ok(path)
+}
+
+/// Validate a bench document against the schema every `BENCH_*.json` must
+/// satisfy:
+///
+/// - top level is an object with `schema_version` (integer, == 1),
+///   `bench` (non-empty string), and `results` (non-empty array of objects);
+/// - any `latency_ms` field in a result row is an object with numeric
+///   `count`, `p50`, `p95`, and `p99`;
+/// - any `phases_ns` field is an object whose values each carry numeric
+///   `count` and `sum`;
+/// - any `counters` field is an object with only numeric values.
+pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
+    let obj = doc.as_obj().ok_or("top level is not an object")?;
+    let field = |k: &str| {
+        obj.iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{k}`"))
+    };
+    let version = field("schema_version")?
+        .as_u64()
+        .ok_or("schema_version is not an integer")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let bench = field("bench")?.as_str().ok_or("bench is not a string")?;
+    if bench.is_empty() {
+        return Err("bench name is empty".into());
+    }
+    let results = field("results")?
+        .as_arr()
+        .ok_or("results is not an array")?;
+    if results.is_empty() {
+        return Err("results array is empty".into());
+    }
+    for (i, row) in results.iter().enumerate() {
+        let row_obj = row
+            .as_obj()
+            .ok_or_else(|| format!("results[{i}] is not an object"))?;
+        for (k, v) in row_obj {
+            match k.as_str() {
+                "latency_ms" => validate_latency(v).map_err(|e| format!("results[{i}]: {e}"))?,
+                "phases_ns" => validate_phases(v).map_err(|e| format!("results[{i}]: {e}"))?,
+                "counters" => {
+                    let c = v
+                        .as_obj()
+                        .ok_or(format!("results[{i}]: counters not an object"))?;
+                    for (name, val) in c {
+                        if val.as_f64().is_none() {
+                            return Err(format!("results[{i}]: counter `{name}` not numeric"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_latency(v: &Json) -> Result<(), String> {
+    let o = v.as_obj().ok_or("latency_ms is not an object")?;
+    for key in ["count", "p50", "p95", "p99"] {
+        let found = o.iter().find(|(n, _)| n == key).map(|(_, v)| v);
+        if found.and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("latency_ms.{key} missing or not numeric"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_phases(v: &Json) -> Result<(), String> {
+    let o = v.as_obj().ok_or("phases_ns is not an object")?;
+    for (name, ph) in o {
+        let po = ph
+            .as_obj()
+            .ok_or(format!("phases_ns.{name} is not an object"))?;
+        for key in ["count", "sum"] {
+            let found = po.iter().find(|(n, _)| n == key).map(|(_, v)| v);
+            if found.and_then(|v| v.as_f64()).is_none() {
+                return Err(format!("phases_ns.{name}.{key} missing or not numeric"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse and validate a bench JSON file on disk.
+pub fn validate_bench_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse: {e}"))?;
+    validate_bench_doc(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> Json {
+        let mut cfg = Json::obj();
+        cfg.push("scale", 0.01);
+        let mut doc = bench_doc("unit_test", cfg);
+        let lat = {
+            let h = tdb_obs::Histogram::new();
+            h.record(1_000_000);
+            h.record(2_000_000);
+            h.snapshot()
+        };
+        let mut row = Json::obj();
+        row.push("system", "tdb");
+        row.push("throughput_txn_per_sec", 123.4);
+        row.push("latency_ms", latency_ms_json(&lat));
+        push_result(&mut doc, row);
+        doc
+    }
+
+    #[test]
+    fn sample_doc_validates_and_roundtrips() {
+        let doc = sample_doc();
+        validate_bench_doc(&doc).unwrap();
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        validate_bench_doc(&parsed).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_malformed_docs() {
+        assert!(validate_bench_doc(&Json::arr()).is_err());
+        let mut doc = Json::obj();
+        doc.push("schema_version", 99u64);
+        doc.push("bench", "x");
+        doc.push("results", Json::arr());
+        assert!(validate_bench_doc(&doc).is_err());
+
+        // Valid frame, but empty results.
+        let doc = bench_doc("x", Json::obj());
+        assert!(validate_bench_doc(&doc).is_err());
+
+        // Bad latency object inside an otherwise valid row.
+        let mut doc = bench_doc("x", Json::obj());
+        let mut row = Json::obj();
+        let mut lat = Json::obj();
+        lat.push("count", 1u64);
+        row.push("latency_ms", lat); // missing p50/p95/p99
+        push_result(&mut doc, row);
+        assert!(validate_bench_doc(&doc).is_err());
+    }
+
+    #[test]
+    fn write_bench_json_emits_file() {
+        let dir = tempfile::tempdir().unwrap();
+        std::env::set_var("BENCH_OUT", dir.path());
+        let path = write_bench_json("unit_test", &sample_doc()).unwrap();
+        std::env::remove_var("BENCH_OUT");
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        validate_bench_file(&path).unwrap();
+    }
+}

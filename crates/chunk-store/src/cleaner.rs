@@ -35,13 +35,22 @@ use std::collections::HashSet;
 
 /// Run one cleaning pass. Returns the number of segments freed.
 pub(crate) fn clean_pass(inner: &mut Inner) -> Result<usize> {
+    let mut sw = tdb_obs::Stopwatch::start();
+    let out = clean_pass_inner(inner);
+    if sw.running() {
+        inner.stats.phases.cleaner_pass.record(sw.lap());
+    }
+    out
+}
+
+fn clean_pass_inner(inner: &mut Inner) -> Result<usize> {
     add(&inner.stats.cleaner_passes, 1);
     // Settle accounting: apply pending decrements under a durable anchor.
     // (A full checkpoint here would rewrite the whole dirty map a second
     // time per pass; the closing checkpoint below is the one that matters
     // for correctness.)
     inner.segs.flush()?;
-    inner.durable_anchor()?;
+    inner.durable_anchor(true)?;
 
     let seg_size = inner.segs.segment_size() as u64;
     let tail = inner.segs.tail_pos().0;

@@ -64,6 +64,9 @@ pub(crate) fn open_impl(
     cfg: ChunkStoreConfig,
 ) -> Result<Inner> {
     cfg.validate().map_err(ChunkStoreError::ConfigMismatch)?;
+    let stats: SharedStats = Arc::new(Stats::default());
+    let mut sw = tdb_obs::Stopwatch::start();
+    let mut total_ns = 0u64;
     let ctx = CryptoCtx::new(cfg.security, secret, iv_salt(&*counter))?;
     let anchor = AnchorStore::new(&*untrusted).read_best(&ctx)?;
 
@@ -97,7 +100,11 @@ pub(crate) fn open_impl(
         }
     }
 
-    let stats: SharedStats = Arc::new(Stats::default());
+    if sw.running() {
+        let ns = sw.lap();
+        total_ns += ns;
+        stats.phases.recovery_anchor.record(ns);
+    }
     let mut segs = SegmentManager::open_existing(
         untrusted.clone(),
         cfg.segment_size,
@@ -129,6 +136,11 @@ pub(crate) fn open_impl(
             &reader,
         )?
     };
+    if sw.running() {
+        let ns = sw.lap();
+        total_ns += ns;
+        stats.phases.recovery_map_load.record(ns);
+    }
 
     // ---- residual-log replay ------------------------------------------
     let mut free_ids: BTreeSet<u64> = anchor.free_ids.iter().copied().collect();
@@ -268,6 +280,12 @@ pub(crate) fn open_impl(
     map.for_each_page(&mut |loc| segs.add_live(loc.seg, loc.len as u64));
 
     segs.set_tail(tail_seg, tail_off);
+    if sw.running() {
+        let ns = sw.lap();
+        total_ns += ns;
+        stats.phases.recovery_replay.record(ns);
+        stats.phases.recovery_total.record(total_ns);
+    }
 
     let report = RecoveryReport {
         anchor_seq: anchor.anchor_seq,
@@ -301,6 +319,7 @@ pub(crate) fn open_impl(
         counter_value: anchor.counter_value,
         checkpointed_root: (anchor.map_root, anchor.map_depth),
         pending_dec: Vec::new(),
+        phase_tick: 0,
         snapshots: Vec::new(),
         stats,
         recovery: Some(report),

@@ -1,19 +1,31 @@
-//! Operation counters.
+//! Operation counters and commit-path phase timings.
 //!
 //! The paper's evaluation reports quantities like bytes written per
 //! transaction (§7.4: "Berkeley DB writes approximately twice as much data
 //! per transaction as TDB") and cleaning overhead versus utilization
 //! (Figure 11). These counters make the same quantities observable here.
+//!
+//! Counters live in a per-store [`tdb_obs::Registry`] (names prefixed
+//! `chunk.`), so the legacy [`StatsSnapshot`] API and the observability
+//! registry read the *same* atomics — deltas taken through either view
+//! reconcile by construction. The registry is created alongside `Stats` and
+//! shared downward to the object/collection/backup layers via
+//! [`ChunkStore::obs`](crate::ChunkStore::obs).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use tdb_obs::{Counter, Histogram, Registry};
 
 macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
-        /// Live atomic counters shared across chunk store components.
-        #[derive(Default)]
+        /// Live counters shared across chunk store components. Each field is
+        /// a [`Counter`] registered as `chunk.<field>` in the store's
+        /// observability registry.
         pub struct Stats {
-            $( $(#[$doc])* pub $name: AtomicU64, )*
+            registry: Arc<Registry>,
+            /// Commit-path / maintenance phase timings.
+            pub phases: Phases,
+            $( $(#[$doc])* pub $name: Counter, )*
         }
 
         /// A point-in-time copy of [`Stats`].
@@ -23,10 +35,20 @@ macro_rules! counters {
         }
 
         impl Stats {
+            /// Create stats registered in `registry` under the `chunk.`
+            /// prefix.
+            pub fn with_registry(registry: Arc<Registry>) -> Stats {
+                Stats {
+                    phases: Phases::with_registry(&registry),
+                    $( $name: registry.counter(concat!("chunk.", stringify!($name))), )*
+                    registry,
+                }
+            }
+
             /// Snapshot all counters.
             pub fn snapshot(&self) -> StatsSnapshot {
                 StatsSnapshot {
-                    $( $name: self.$name.load(Ordering::Relaxed), )*
+                    $( $name: self.$name.get(), )*
                 }
             }
         }
@@ -81,12 +103,78 @@ counters! {
     segments_dropped,
 }
 
+impl Default for Stats {
+    fn default() -> Self {
+        Stats::with_registry(Arc::new(Registry::new()))
+    }
+}
+
+impl Stats {
+    /// The observability registry these counters live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+/// Phase-span histograms (values in nanoseconds). Commit phases are
+/// accumulated per commit: e.g. one `commit.seal` sample is the total crypto
+/// time across every record sealed by that commit, so per-commit phase
+/// samples sum to (approximately) the `commit.total` sample.
+pub struct Phases {
+    /// Chunk/commit-record payload encoding time per commit.
+    pub serialize: Histogram,
+    /// Encrypt + MAC (and record hashing) time per commit.
+    pub seal: Histogram,
+    /// Log append time per commit.
+    pub append: Histogram,
+    /// `sync` time per durable anchor write.
+    pub sync: Histogram,
+    /// Anchor record write time per durable anchor write.
+    pub anchor: Histogram,
+    /// One-way counter increment time per durable anchor write.
+    pub counter: Histogram,
+    /// End-to-end durable commit time (inside the store lock).
+    pub commit_total: Histogram,
+    /// Checkpoint duration.
+    pub checkpoint: Histogram,
+    /// Cleaner pass duration.
+    pub cleaner_pass: Histogram,
+    /// Anchor scan + validation time during recovery.
+    pub recovery_anchor: Histogram,
+    /// Location-map load + Merkle validation time during recovery.
+    pub recovery_map_load: Histogram,
+    /// Residual-log replay time during recovery.
+    pub recovery_replay: Histogram,
+    /// Total open/recovery time.
+    pub recovery_total: Histogram,
+}
+
+impl Phases {
+    fn with_registry(registry: &Registry) -> Phases {
+        Phases {
+            serialize: registry.histogram("commit.serialize"),
+            seal: registry.histogram("commit.seal"),
+            append: registry.histogram("commit.append"),
+            sync: registry.histogram("commit.sync"),
+            anchor: registry.histogram("commit.anchor"),
+            counter: registry.histogram("commit.counter"),
+            commit_total: registry.histogram("commit.total"),
+            checkpoint: registry.histogram("checkpoint.total"),
+            cleaner_pass: registry.histogram("cleaner.pass"),
+            recovery_anchor: registry.histogram("recovery.anchor"),
+            recovery_map_load: registry.histogram("recovery.map_load"),
+            recovery_replay: registry.histogram("recovery.replay"),
+            recovery_total: registry.histogram("recovery.total"),
+        }
+    }
+}
+
 /// Shared handle.
 pub type SharedStats = Arc<Stats>;
 
 /// Convenience: add to a counter.
-pub(crate) fn add(counter: &AtomicU64, n: u64) {
-    counter.fetch_add(n, Ordering::Relaxed);
+pub(crate) fn add(counter: &Counter, n: u64) {
+    counter.add(n);
 }
 
 #[cfg(test)]
@@ -105,5 +193,16 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.commits, 2);
         assert_eq!(d.bytes_appended, 0);
+    }
+
+    #[test]
+    fn registry_view_matches_snapshot() {
+        let s = Stats::default();
+        add(&s.commits, 3);
+        add(&s.bytes_read, 42);
+        let reg = s.registry().snapshot();
+        assert_eq!(reg.counters["chunk.commits"], 3);
+        assert_eq!(reg.counters["chunk.bytes_read"], 42);
+        assert_eq!(s.snapshot().commits, 3);
     }
 }

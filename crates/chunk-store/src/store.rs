@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::{Arc, Weak};
 use tdb_crypto::Digest;
+use tdb_obs::Stopwatch;
 use tdb_platform::{OneWayCounter, SecretStore, UntrustedStore};
 
 /// Staged, uncommitted operations. `Some(bytes)` is a write, `None` a
@@ -75,6 +76,9 @@ pub(crate) struct Inner {
     pub(crate) pending_dec: Vec<Location>,
     pub(crate) snapshots: Vec<Weak<SnapCore>>,
     pub(crate) stats: SharedStats,
+    /// Commits until the next phase-attributed (fully timed) commit; see
+    /// [`tdb_obs::phase_sample_every`].
+    pub(crate) phase_tick: u64,
     /// `Some` when this handle came from `open` (crash recovery ran).
     pub(crate) recovery: Option<recovery::RecoveryReport>,
 }
@@ -178,21 +182,63 @@ impl Inner {
         }
     }
 
+    /// Whether this commit gets full phase attribution. The detailed laps
+    /// cost several clock reads per record — too much for every commit — so
+    /// only every [`tdb_obs::phase_sample_every`]-th commit is timed.
+    /// Everything a sampled commit records (including `commit.total` and the
+    /// `durable_anchor` phases) comes from the same commit, so per-commit
+    /// phase samples still sum to their `commit.total` sample.
+    fn sample_phases(&mut self) -> bool {
+        if !tdb_obs::enabled() {
+            return false;
+        }
+        self.phase_tick += 1;
+        if self.phase_tick >= tdb_obs::phase_sample_every() {
+            self.phase_tick = 0;
+            true
+        } else {
+            false
+        }
+    }
+
     pub(crate) fn commit(&mut self, durable: bool) -> Result<()> {
         let ops = std::mem::take(&mut self.batch.ops);
         self.batch.allocated.clear();
+        let sampled = self.sample_phases();
         if ops.is_empty() {
             if durable {
-                self.durable_anchor()?;
+                let mut sw_total = if sampled {
+                    Stopwatch::start()
+                } else {
+                    Stopwatch::inert()
+                };
+                self.durable_anchor(sampled)?;
                 self.maintain()?;
+                if sw_total.running() {
+                    self.stats.phases.commit_total.record(sw_total.lap());
+                }
             }
             return Ok(());
         }
+        let mut sw_total = if sampled {
+            Stopwatch::start()
+        } else {
+            Stopwatch::inert()
+        };
         add(&self.stats.commits, 1);
         if durable {
             add(&self.stats.durable_commits, 1);
         }
 
+        // Phase attribution: nanoseconds are accumulated across the whole
+        // group loop and recorded as one sample per phase per commit, so a
+        // commit's phase samples sum to its `commit.total` sample.
+        let (mut ser_ns, mut seal_ns, mut append_ns) = (0u64, 0u64, 0u64);
+        let mut sw = if sampled {
+            Stopwatch::start()
+        } else {
+            Stopwatch::inert()
+        };
         let max_ops = self.max_ops_per_commit();
         let ops: Vec<(u64, Option<Vec<u8>>)> = ops.into_iter().collect();
         for group in ops.chunks(max_ops) {
@@ -202,15 +248,20 @@ impl Inner {
                 let id = ChunkId(*raw_id);
                 match op {
                     Some(data) => {
+                        sw.lap();
                         let payload = encode_chunk_payload(id, data);
+                        ser_ns += sw.lap();
                         let sealed = self.ctx.seal(&payload);
+                        let hash = self.ctx.hash(&sealed);
+                        seal_ns += sw.lap();
                         let (seg, off, len) =
                             self.segs.append_record(RecordKind::ChunkData, &sealed)?;
+                        append_ns += sw.lap();
                         let loc = Location {
                             seg,
                             off,
                             len,
-                            hash: self.ctx.hash(&sealed),
+                            hash,
                         };
                         if let Some(old) = self.map.set(id, loc) {
                             self.pending_dec.push(old);
@@ -228,6 +279,7 @@ impl Inner {
                 }
             }
             self.commit_seq += 1;
+            sw.lap();
             let payload = CommitPayload {
                 seq: self.commit_seq,
                 durable,
@@ -236,21 +288,32 @@ impl Inner {
                 deallocs,
             }
             .encode(self.ctx.verifies_hashes());
+            ser_ns += sw.lap();
             let sealed = self.ctx.seal(&payload);
             let chain = self.ctx.chain(&self.chain, &sealed);
+            seal_ns += sw.lap();
             let mut record = sealed;
             record.extend_from_slice(&chain);
             let (_, _, len) = self.segs.append_record(RecordKind::Commit, &record)?;
+            append_ns += sw.lap();
             self.chain = chain;
             self.residual_bytes += len as u64;
+        }
+        if sw.running() {
+            self.stats.phases.serialize.record(ser_ns);
+            self.stats.phases.seal.record(seal_ns);
+            self.stats.phases.append.record(append_ns);
         }
         for s in self.segs.drain_entered() {
             self.residual_segments.insert(s);
         }
 
         if durable {
-            self.durable_anchor()?;
+            self.durable_anchor(sampled)?;
             self.maintain()?;
+            if sw_total.running() {
+                self.stats.phases.commit_total.record(sw_total.lap());
+            }
         } else {
             self.segs.flush()?;
         }
@@ -259,8 +322,17 @@ impl Inner {
 
     /// Sync the log and advance the trusted anchor (+ one-way counter).
     /// Everything appended so far becomes durable and recoverable.
-    pub(crate) fn durable_anchor(&mut self) -> Result<()> {
+    /// `sampled` controls phase timing (see [`Inner::sample_phases`]).
+    pub(crate) fn durable_anchor(&mut self, sampled: bool) -> Result<()> {
+        let mut sw = if sampled {
+            Stopwatch::start()
+        } else {
+            Stopwatch::inert()
+        };
         self.segs.sync_touched()?;
+        if sw.running() {
+            self.stats.phases.sync.record(sw.lap());
+        }
         self.anchor_seq += 1;
         if self.ctx.mode() == SecurityMode::Full {
             self.counter_value += 1;
@@ -289,6 +361,9 @@ impl Inner {
         };
         AnchorStore::new(&*self.untrusted).write(&self.ctx, &state)?;
         add(&self.stats.anchor_writes, 1);
+        if sw.running() {
+            self.stats.phases.anchor.record(sw.lap());
+        }
         if self.ctx.mode() == SecurityMode::Full {
             // Anchor first, then counter: a crash between the two leaves
             // `anchor == hw + 1`, which `open` repairs by bumping the
@@ -296,6 +371,9 @@ impl Inner {
             // like a replay attack.
             self.counter.increment()?;
             add(&self.stats.counter_increments, 1);
+        }
+        if sw.running() {
+            self.stats.phases.counter.record(sw.lap());
         }
         // Everything superseded before this anchor is now truly dead.
         for loc in std::mem::take(&mut self.pending_dec) {
@@ -307,6 +385,7 @@ impl Inner {
     /// Write the dirty location-map pages, advance the anchor to the new
     /// root, and reset the residual log.
     pub(crate) fn do_checkpoint(&mut self) -> Result<()> {
+        let mut sw = Stopwatch::start();
         let Inner {
             ref mut map,
             ref mut segs,
@@ -332,12 +411,15 @@ impl Inner {
         self.residual_start = self.segs.tail_pos();
         self.chain_base = self.chain;
         self.base_seq = self.commit_seq;
-        self.durable_anchor()?;
+        self.durable_anchor(true)?;
         self.residual_segments.clear();
         self.residual_segments.insert(self.segs.tail_pos().0);
         self.residual_bytes = 0;
         add(&self.stats.checkpoints, 1);
         self.segs.drop_excess_free(self.cfg.free_segment_reserve)?;
+        if sw.running() {
+            self.stats.phases.checkpoint.record(sw.lap());
+        }
         Ok(())
     }
 
@@ -457,6 +539,7 @@ impl ChunkStore {
                 1,
             ),
             pending_dec: Vec::new(),
+            phase_tick: 0,
             snapshots: Vec::new(),
             stats,
             recovery: None,
@@ -587,6 +670,14 @@ impl ChunkStore {
     /// Operation counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.lock().stats.snapshot()
+    }
+
+    /// The store's observability registry: the `chunk.*` counters behind
+    /// [`ChunkStore::stats`] plus commit/checkpoint/cleaner/recovery phase
+    /// histograms. Higher layers (object/collection/backup stores) register
+    /// their instruments here too, so one registry describes a whole stack.
+    pub fn obs(&self) -> Arc<tdb_obs::Registry> {
+        self.inner.lock().stats.registry().clone()
     }
 
     /// Current database utilization (live bytes / in-use capacity).

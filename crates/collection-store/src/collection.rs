@@ -10,7 +10,7 @@ use crate::key::Key;
 use crate::listindex;
 use crate::meta::{CollectionObj, IndexKind, IndexMeta, IndexSpec};
 use crate::ObjectId;
-use object_store::{Persistent, Transaction};
+use object_store::Persistent;
 use std::ops::Bound;
 
 /// A handle to a named collection within a [`CTransaction`].
@@ -25,7 +25,8 @@ pub struct Collection<'t> {
 // Index dispatch
 // ---------------------------------------------------------------------------
 
-pub(crate) fn create_index_root(txn: &Transaction, kind: IndexKind) -> Result<ObjectId> {
+pub(crate) fn create_index_root(ct: &CTransaction, kind: IndexKind) -> Result<ObjectId> {
+    let txn = &ct.txn;
     match kind {
         IndexKind::BTree => btree::create(txn),
         IndexKind::Hash => dynhash::create(txn),
@@ -36,12 +37,14 @@ pub(crate) fn create_index_root(txn: &Transaction, kind: IndexKind) -> Result<Ob
 /// Insert into an index; returns `Some(new_root)` if the root object
 /// changed (B-tree splits).
 fn idx_insert(
-    txn: &Transaction,
+    ct: &CTransaction,
     kind: IndexKind,
     root: ObjectId,
     key: Key,
     oid: ObjectId,
 ) -> Result<Option<ObjectId>> {
+    ct.obs.inserts.inc();
+    let txn = &ct.txn;
     match kind {
         IndexKind::BTree => btree::insert(txn, root, key, oid),
         IndexKind::Hash => {
@@ -56,12 +59,14 @@ fn idx_insert(
 }
 
 fn idx_remove(
-    txn: &Transaction,
+    ct: &CTransaction,
     kind: IndexKind,
     root: ObjectId,
     key: &Key,
     oid: ObjectId,
 ) -> Result<bool> {
+    ct.obs.removes.inc();
+    let txn = &ct.txn;
     match kind {
         IndexKind::BTree => btree::remove(txn, root, key, oid),
         IndexKind::Hash => dynhash::remove(txn, root, key, oid),
@@ -70,11 +75,13 @@ fn idx_remove(
 }
 
 fn idx_lookup(
-    txn: &Transaction,
+    ct: &CTransaction,
     kind: IndexKind,
     root: ObjectId,
     key: &Key,
 ) -> Result<Vec<ObjectId>> {
+    ct.obs.lookups.inc();
+    let txn = &ct.txn;
     match kind {
         IndexKind::BTree => btree::lookup(txn, root, key),
         IndexKind::Hash => dynhash::lookup(txn, root, key),
@@ -82,7 +89,9 @@ fn idx_lookup(
     }
 }
 
-fn idx_scan(txn: &Transaction, kind: IndexKind, root: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+fn idx_scan(ct: &CTransaction, kind: IndexKind, root: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+    ct.obs.scans.inc();
+    let txn = &ct.txn;
     match kind {
         IndexKind::BTree => btree::scan(txn, root),
         IndexKind::Hash => dynhash::scan(txn, root),
@@ -90,7 +99,8 @@ fn idx_scan(txn: &Transaction, kind: IndexKind, root: ObjectId) -> Result<Vec<(K
     }
 }
 
-fn idx_destroy(txn: &Transaction, kind: IndexKind, root: ObjectId) -> Result<()> {
+fn idx_destroy(ct: &CTransaction, kind: IndexKind, root: ObjectId) -> Result<()> {
+    let txn = &ct.txn;
     match kind {
         IndexKind::BTree => btree::destroy(txn, root),
         IndexKind::Hash => dynhash::destroy(txn, root),
@@ -162,12 +172,12 @@ pub(crate) fn key_snapshot(
 /// `removeCollection`).
 pub(crate) fn destroy_collection(ct: &CTransaction, coll: ObjectId) -> Result<()> {
     let metas = load_metas(ct, coll)?;
-    let members = idx_scan(&ct.txn, metas[0].spec.kind, metas[0].root)?;
+    let members = idx_scan(ct, metas[0].spec.kind, metas[0].root)?;
     for (_, member) in members {
         ct.txn.remove(member)?;
     }
     for meta in &metas {
-        idx_destroy(&ct.txn, meta.spec.kind, meta.root)?;
+        idx_destroy(ct, meta.spec.kind, meta.root)?;
     }
     ct.txn.remove(coll)?;
     Ok(())
@@ -201,7 +211,7 @@ impl<'t> Collection<'t> {
         let metas = load_metas(self.ct, self.oid)?;
         match metas[0].spec.kind {
             IndexKind::BTree => btree::count(&self.ct.txn, metas[0].root),
-            _ => Ok(idx_scan(&self.ct.txn, metas[0].spec.kind, metas[0].root)?.len() as u64),
+            _ => Ok(idx_scan(self.ct, metas[0].spec.kind, metas[0].root)?.len() as u64),
         }
     }
 
@@ -251,8 +261,7 @@ impl<'t> Collection<'t> {
         }
         // Uniqueness pre-check.
         for (meta, key) in metas.iter().zip(&keys) {
-            if meta.spec.unique
-                && !idx_lookup(&self.ct.txn, meta.spec.kind, meta.root, key)?.is_empty()
+            if meta.spec.unique && !idx_lookup(self.ct, meta.spec.kind, meta.root, key)?.is_empty()
             {
                 return Err(CollectionError::DuplicateKey {
                     index: meta.spec.name.clone(),
@@ -261,7 +270,7 @@ impl<'t> Collection<'t> {
         }
         let oid = self.ct.txn.insert(object)?;
         for (meta, key) in metas.iter().zip(keys) {
-            if let Some(new_root) = idx_insert(&self.ct.txn, meta.spec.kind, meta.root, key, oid)? {
+            if let Some(new_root) = idx_insert(self.ct, meta.spec.kind, meta.root, key, oid)? {
                 update_root(self.ct, self.oid, &meta.spec.name, new_root)?;
             }
         }
@@ -278,8 +287,8 @@ impl<'t> Collection<'t> {
             return Err(CollectionError::IndexExists(spec.name));
         }
         let extractor = self.ct.extractors.get(&spec.extractor)?;
-        let members = idx_scan(&self.ct.txn, metas[0].spec.kind, metas[0].root)?;
-        let mut root = create_index_root(&self.ct.txn, spec.kind)?;
+        let members = idx_scan(self.ct, metas[0].spec.kind, metas[0].root)?;
+        let mut root = create_index_root(self.ct, spec.kind)?;
         let build = (|| -> Result<ObjectId> {
             let mut seen = std::collections::BTreeSet::new();
             for (_, member) in &members {
@@ -296,7 +305,7 @@ impl<'t> Collection<'t> {
                         index: spec.name.clone(),
                     });
                 }
-                if let Some(new_root) = idx_insert(&self.ct.txn, spec.kind, root, key, *member)? {
+                if let Some(new_root) = idx_insert(self.ct, spec.kind, root, key, *member)? {
                     root = new_root;
                 }
             }
@@ -309,7 +318,7 @@ impl<'t> Collection<'t> {
                 Ok(())
             }
             Err(e) => {
-                idx_destroy(&self.ct.txn, spec.kind, root)?;
+                idx_destroy(self.ct, spec.kind, root)?;
                 Err(e)
             }
         }
@@ -327,7 +336,7 @@ impl<'t> Collection<'t> {
         if metas.len() <= 1 {
             return Err(CollectionError::LastIndex(index.to_string()));
         }
-        idx_destroy(&self.ct.txn, meta.spec.kind, meta.root)?;
+        idx_destroy(self.ct, meta.spec.kind, meta.root)?;
         let c = self.ct.txn.open_writable::<CollectionObj>(self.oid)?;
         c.get_mut().indexes.retain(|m| m.spec.name != index);
         Ok(())
@@ -342,14 +351,14 @@ impl<'t> Collection<'t> {
     /// Scan query: every member, in the index's natural order.
     pub fn scan(&self, index: &str) -> Result<CIter<'t>> {
         let meta = self.meta_named(index)?;
-        let entries = idx_scan(&self.ct.txn, meta.spec.kind, meta.root)?;
+        let entries = idx_scan(self.ct, meta.spec.kind, meta.root)?;
         Ok(self.make_iter(entries.into_iter().map(|(_, id)| id).collect()))
     }
 
     /// Exact-match query.
     pub fn exact(&self, index: &str, key: &Key) -> Result<CIter<'t>> {
         let meta = self.meta_named(index)?;
-        let ids = idx_lookup(&self.ct.txn, meta.spec.kind, meta.root, key)?;
+        let ids = idx_lookup(self.ct, meta.spec.kind, meta.root, key)?;
         Ok(self.make_iter(ids))
     }
 
@@ -375,7 +384,7 @@ impl<'t> Collection<'t> {
         let meta = self.meta_named(index)?;
         match meta.spec.kind {
             IndexKind::BTree => btree::count(&self.ct.txn, meta.root),
-            _ => Ok(idx_scan(&self.ct.txn, meta.spec.kind, meta.root)?.len() as u64),
+            _ => Ok(idx_scan(self.ct, meta.spec.kind, meta.root)?.len() as u64),
         }
     }
 }
@@ -399,6 +408,9 @@ pub(crate) fn maintain(
 ) -> Result<()> {
     let mut metas = load_metas(ct, coll)?;
     let mut violations: Vec<ObjectId> = Vec::new();
+    ct.obs
+        .maintenance
+        .add((writes.len() + deletes.len()) as u64);
 
     'objects: for (oid, pre_keys) in writes {
         if deletes.iter().any(|(d, _)| *d == oid) {
@@ -417,7 +429,7 @@ pub(crate) fn maintain(
             if pre == post || !meta.spec.unique {
                 continue;
             }
-            let holders = idx_lookup(&ct.txn, meta.spec.kind, meta.root, post)?;
+            let holders = idx_lookup(ct, meta.spec.kind, meta.root, post)?;
             if holders.iter().any(|h| *h != oid) {
                 // Violation: remove the object from the collection under
                 // its real current keys (including immutable ones).
@@ -426,7 +438,7 @@ pub(crate) fn maintain(
                     // Entries live under the pre-update key where we have
                     // one; immutable keys equal the current extraction.
                     let key = pre_keys[j].as_ref().or(all_keys[j].as_ref()).expect("some");
-                    idx_remove(&ct.txn, meta.spec.kind, meta.root, key, oid)?;
+                    idx_remove(ct, meta.spec.kind, meta.root, key, oid)?;
                 }
                 violations.push(oid);
                 continue 'objects;
@@ -440,10 +452,8 @@ pub(crate) fn maintain(
             if pre == post {
                 continue;
             }
-            idx_remove(&ct.txn, meta.spec.kind, meta.root, pre, oid)?;
-            if let Some(new_root) =
-                idx_insert(&ct.txn, meta.spec.kind, meta.root, post.clone(), oid)?
-            {
+            idx_remove(ct, meta.spec.kind, meta.root, pre, oid)?;
+            if let Some(new_root) = idx_insert(ct, meta.spec.kind, meta.root, post.clone(), oid)? {
                 meta.root = new_root;
                 update_root(ct, coll, &meta.spec.name.clone(), new_root)?;
             }
@@ -453,7 +463,7 @@ pub(crate) fn maintain(
     for (oid, keys) in deletes {
         for (i, meta) in metas.iter().enumerate() {
             let key = keys[i].as_ref().expect("delete snapshots include all keys");
-            idx_remove(&ct.txn, meta.spec.kind, meta.root, key, oid)?;
+            idx_remove(ct, meta.spec.kind, meta.root, key, oid)?;
         }
         ct.txn.remove(oid)?;
     }

@@ -16,6 +16,33 @@ use object_store::Transaction;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
+use tdb_obs::{Counter, Registry};
+
+/// Index-operation counters, registered as `index.*` in the stack's
+/// observability registry. Resolved once per [`CollectionStore`] and shared
+/// by every transaction, so incrementing is a single relaxed atomic add.
+///
+/// [`CollectionStore`]: crate::CollectionStore
+pub(crate) struct IndexCounters {
+    pub(crate) inserts: Counter,
+    pub(crate) removes: Counter,
+    pub(crate) lookups: Counter,
+    pub(crate) scans: Counter,
+    /// Objects processed by deferred index maintenance (§5.2.3).
+    pub(crate) maintenance: Counter,
+}
+
+impl IndexCounters {
+    pub(crate) fn with_registry(registry: &Registry) -> Self {
+        IndexCounters {
+            inserts: registry.counter("index.inserts"),
+            removes: registry.counter("index.removes"),
+            lookups: registry.counter("index.lookups"),
+            scans: registry.counter("index.scans"),
+            maintenance: registry.counter("index.maintenance"),
+        }
+    }
+}
 
 /// A collection-store transaction.
 pub struct CTransaction {
@@ -23,14 +50,20 @@ pub struct CTransaction {
     pub(crate) extractors: Arc<ExtractorRegistry>,
     /// Open iterators per collection (insensitivity constraint 2).
     pub(crate) iters: RefCell<HashMap<u64, usize>>,
+    pub(crate) obs: Arc<IndexCounters>,
 }
 
 impl CTransaction {
-    pub(crate) fn new(txn: Transaction, extractors: Arc<ExtractorRegistry>) -> Self {
+    pub(crate) fn new(
+        txn: Transaction,
+        extractors: Arc<ExtractorRegistry>,
+        obs: Arc<IndexCounters>,
+    ) -> Self {
         CTransaction {
             txn,
             extractors,
             iters: RefCell::new(HashMap::new()),
+            obs,
         }
     }
 
@@ -75,7 +108,7 @@ impl CTransaction {
         }
         let mut indexes = Vec::with_capacity(specs.len());
         for spec in specs {
-            let root = collection::create_index_root(&self.txn, spec.kind)?;
+            let root = collection::create_index_root(self, spec.kind)?;
             indexes.push(crate::meta::IndexMeta {
                 spec: spec.clone(),
                 root,

@@ -1,6 +1,6 @@
 //! The `CollectionStore`: the top of the TDB stack.
 
-use crate::ctxn::CTransaction;
+use crate::ctxn::{CTransaction, IndexCounters};
 use crate::error::Result;
 use crate::extractor::ExtractorRegistry;
 use crate::meta::{register_internal_classes, DirectoryObj, DIRECTORY_ROOT};
@@ -14,6 +14,7 @@ use std::sync::Arc;
 pub struct CollectionStore {
     objects: ObjectStore,
     extractors: Arc<ExtractorRegistry>,
+    obs: Arc<IndexCounters>,
 }
 
 impl CollectionStore {
@@ -35,9 +36,11 @@ impl CollectionStore {
         }))?;
         txn.set_root(DIRECTORY_ROOT, dir)?;
         txn.commit(true)?;
+        let obs = Arc::new(IndexCounters::with_registry(&objects.obs()));
         Ok(CollectionStore {
             objects,
             extractors: Arc::new(extractors),
+            obs,
         })
     }
 
@@ -50,15 +53,21 @@ impl CollectionStore {
     ) -> Result<Self> {
         register_internal_classes(&mut classes);
         let objects = ObjectStore::open(chunks, classes, cfg)?;
+        let obs = Arc::new(IndexCounters::with_registry(&objects.obs()));
         Ok(CollectionStore {
             objects,
             extractors: Arc::new(extractors),
+            obs,
         })
     }
 
     /// Start a collection-store transaction.
     pub fn begin(&self) -> CTransaction {
-        CTransaction::new(self.objects.begin(), self.extractors.clone())
+        CTransaction::new(
+            self.objects.begin(),
+            self.extractors.clone(),
+            self.obs.clone(),
+        )
     }
 
     /// The underlying object store (for direct typed-object work alongside

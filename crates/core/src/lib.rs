@@ -98,6 +98,14 @@ pub mod crypto {
     pub use tdb_crypto::*;
 }
 
+/// Observability: the metrics registry, histograms, span timers, and the
+/// JSON value type used for bench telemetry. Every layer of an open
+/// database records into one shared [`obs::Registry`], reachable via
+/// [`Database::obs`].
+pub mod obs {
+    pub use tdb_obs::*;
+}
+
 use tdb_platform::{ArchivalStore, OneWayCounter, SecretStore, UntrustedStore};
 
 /// Unified error type of the facade.
@@ -278,6 +286,12 @@ impl Database {
     /// Chunk-level operation counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.chunk_store().stats()
+    }
+
+    /// The observability registry shared by every layer of this database
+    /// (counters, gauges, and latency histograms; see [`crate::obs`]).
+    pub fn obs(&self) -> Arc<obs::Registry> {
+        self.chunk_store().obs()
     }
 
     /// Current on-disk size of the log in bytes (Figure 11's metric).

@@ -65,9 +65,10 @@ pub mod txn;
 pub use chunk_store::ChunkId;
 pub use class::{ClassId, ClassRegistry, Persistent, UnpickleFn};
 pub use error::{ObjectStoreError, Result};
+pub use locks::{LockMode, LockStats};
 pub use pickle::{PickleError, Pickler, Unpickler};
 pub use refs::{ReadonlyRef, WritableRef};
-pub use store::{ObjectStore, ObjectStoreConfig};
+pub use store::{CacheStats, ObjectStore, ObjectStoreConfig};
 pub use txn::Transaction;
 
 /// The persistent name of an object. TDB stores one object per chunk, so an

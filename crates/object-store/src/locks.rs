@@ -14,8 +14,9 @@
 use crate::error::{ObjectStoreError, Result};
 use crate::ObjectId;
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
+use tdb_obs::{Counter, Histogram, Registry, Stopwatch};
 
 /// Lock modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +34,10 @@ pub type TxnId = u64;
 struct LockTable {
     /// Per-object holders and their mode.
     locks: HashMap<u64, HashMap<TxnId, LockMode>>,
+    /// Which object each blocked transaction is currently waiting for.
+    /// Maintained by `acquire`'s slow path; used for wait-for-graph cycle
+    /// detection when a wait times out.
+    waiting: HashMap<TxnId, u64>,
 }
 
 impl LockTable {
@@ -49,13 +54,85 @@ impl LockTable {
         }
     }
 
-    fn grant(&mut self, oid: u64, txn: TxnId, mode: LockMode) {
+    /// Grant the lock; returns true when this was a shared→exclusive
+    /// upgrade of an already-held lock.
+    fn grant(&mut self, oid: u64, txn: TxnId, mode: LockMode) -> bool {
         let holders = self.locks.entry(oid).or_default();
+        let prior = holders.get(&txn).copied();
         let slot = holders.entry(txn).or_insert(mode);
         // Upgrades stick; downgrades don't (strict 2PL keeps the strongest
         // mode until release).
         if mode == LockMode::Exclusive {
             *slot = LockMode::Exclusive;
+        }
+        prior == Some(LockMode::Shared) && mode == LockMode::Exclusive
+    }
+
+    /// Whether `me` (blocked on `oid`) is part of a wait-for cycle: walk
+    /// from the holders of `oid` through the `waiting` edges; reaching `me`
+    /// again means the timeout broke a genuine deadlock rather than plain
+    /// contention. Runs under the table mutex at timeout only, so the O(n)
+    /// walk is off the hot path.
+    fn is_deadlocked(&self, me: TxnId, oid: u64) -> bool {
+        let mut stack: Vec<TxnId> = match self.locks.get(&oid) {
+            Some(holders) => holders.keys().copied().filter(|t| *t != me).collect(),
+            None => return false,
+        };
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == me {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next_oid) = self.waiting.get(&t) {
+                if let Some(holders) = self.locks.get(next_oid) {
+                    stack.extend(holders.keys().copied());
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Cumulative lock-manager statistics (see [`LockManager::stats`]).
+///
+/// Timeouts are counted distinctly: `timeouts_deadlock` when the timed-out
+/// wait was part of a wait-for cycle (the timeout broke a deadlock, §4.1),
+/// `timeouts_contention` when the holder simply never released in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Lock acquisitions requested (fast or slow path, granted or not).
+    pub acquires: u64,
+    /// Acquisitions that had to block.
+    pub waits: u64,
+    /// Successful shared→exclusive upgrades of an already-held lock.
+    pub upgrades: u64,
+    /// Waits that timed out without a wait-for cycle.
+    pub timeouts_contention: u64,
+    /// Waits that timed out while part of a wait-for cycle.
+    pub timeouts_deadlock: u64,
+}
+
+struct LockCounters {
+    acquires: Counter,
+    waits: Counter,
+    upgrades: Counter,
+    timeouts_contention: Counter,
+    timeouts_deadlock: Counter,
+    wait_time: Histogram,
+}
+
+impl LockCounters {
+    fn with_registry(registry: &Registry) -> LockCounters {
+        LockCounters {
+            acquires: registry.counter("lock.acquires"),
+            waits: registry.counter("lock.waits"),
+            upgrades: registry.counter("lock.upgrades"),
+            timeouts_contention: registry.counter("lock.timeouts_contention"),
+            timeouts_deadlock: registry.counter("lock.timeouts_deadlock"),
+            wait_time: registry.histogram("lock.wait"),
         }
     }
 }
@@ -64,6 +141,7 @@ impl LockTable {
 pub struct LockManager {
     table: Mutex<LockTable>,
     cond: Condvar,
+    obs: LockCounters,
 }
 
 impl Default for LockManager {
@@ -73,11 +151,31 @@ impl Default for LockManager {
 }
 
 impl LockManager {
-    /// Fresh manager.
+    /// Fresh manager with detached (unregistered) counters.
     pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Fresh manager whose counters live in `registry` under the `lock.`
+    /// prefix (`lock.acquires`, `lock.waits`, `lock.upgrades`,
+    /// `lock.timeouts_contention`, `lock.timeouts_deadlock`, and the
+    /// `lock.wait` wait-time histogram).
+    pub fn with_registry(registry: &Registry) -> Self {
         LockManager {
             table: Mutex::new(LockTable::default()),
             cond: Condvar::new(),
+            obs: LockCounters::with_registry(registry),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            acquires: self.obs.acquires.get(),
+            waits: self.obs.waits.get(),
+            upgrades: self.obs.upgrades.get(),
+            timeouts_contention: self.obs.timeouts_contention.get(),
+            timeouts_deadlock: self.obs.timeouts_deadlock.get(),
         }
     }
 
@@ -92,15 +190,47 @@ impl LockManager {
         mode: LockMode,
         timeout: Duration,
     ) -> Result<()> {
+        self.obs.acquires.inc();
         let deadline = Instant::now() + timeout;
         let mut table = self.table.lock();
-        loop {
-            if table.grantable(oid.0, txn, mode) {
-                table.grant(oid.0, txn, mode);
-                return Ok(());
+        if table.grantable(oid.0, txn, mode) {
+            if table.grant(oid.0, txn, mode) {
+                self.obs.upgrades.inc();
             }
+            return Ok(());
+        }
+
+        self.obs.waits.inc();
+        let mut sw = Stopwatch::start();
+        table.waiting.insert(txn, oid.0);
+        let result = loop {
             if self.cond.wait_until(&mut table, deadline).timed_out() {
-                return Err(ObjectStoreError::LockTimeout(oid));
+                // One final check: a release may have raced the timeout.
+                if table.grantable(oid.0, txn, mode) {
+                    break Ok(());
+                }
+                break Err(if table.is_deadlocked(txn, oid.0) {
+                    &self.obs.timeouts_deadlock
+                } else {
+                    &self.obs.timeouts_contention
+                });
+            }
+            if table.grantable(oid.0, txn, mode) {
+                break Ok(());
+            }
+        };
+        table.waiting.remove(&txn);
+        sw.lap_into(&self.obs.wait_time);
+        match result {
+            Ok(()) => {
+                if table.grant(oid.0, txn, mode) {
+                    self.obs.upgrades.inc();
+                }
+                Ok(())
+            }
+            Err(timeout_counter) => {
+                timeout_counter.inc();
+                Err(ObjectStoreError::LockTimeout(oid))
             }
         }
     }
@@ -217,6 +347,48 @@ mod tests {
         let r1 = lm.acquire(1, oid(2), LockMode::Exclusive, T);
         let r2 = t2.join().unwrap();
         assert!(r1.is_err() || r2.is_err());
+    }
+
+    #[test]
+    fn contention_timeout_counted_distinctly() {
+        let lm = LockManager::new();
+        lm.acquire(1, oid(1), LockMode::Exclusive, T).unwrap();
+        // Txn 1 is not waiting on anything: no cycle, plain contention.
+        assert!(lm.acquire(2, oid(1), LockMode::Shared, T).is_err());
+        let stats = lm.stats();
+        assert_eq!(stats.timeouts_contention, 1);
+        assert_eq!(stats.timeouts_deadlock, 0);
+        assert_eq!(stats.waits, 1);
+        assert_eq!(stats.acquires, 2);
+    }
+
+    #[test]
+    fn deadlock_timeout_counted_distinctly() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, oid(1), LockMode::Exclusive, T).unwrap();
+        lm.acquire(2, oid(2), LockMode::Exclusive, T).unwrap();
+        // Txn 2 blocks on txn 1's object with a long timeout...
+        let lm2 = lm.clone();
+        let t2 = std::thread::spawn(move || lm2.acquire(2, oid(1), LockMode::Exclusive, LONG));
+        std::thread::sleep(Duration::from_millis(30));
+        // ... so when txn 1 blocks on txn 2's object and times out, the
+        // wait-for graph has the cycle 1 → o2 → 2 → o1 → 1.
+        assert!(lm.acquire(1, oid(2), LockMode::Exclusive, T).is_err());
+        assert_eq!(lm.stats().timeouts_deadlock, 1);
+        assert_eq!(lm.stats().timeouts_contention, 0);
+        // Breaking the deadlock by releasing txn 1 lets txn 2 proceed.
+        lm.release_all(1);
+        t2.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn upgrades_counted() {
+        let lm = LockManager::new();
+        lm.acquire(1, oid(1), LockMode::Shared, T).unwrap();
+        lm.acquire(1, oid(1), LockMode::Exclusive, T).unwrap();
+        // Re-granting an exclusive lock is not another upgrade.
+        lm.acquire(1, oid(1), LockMode::Exclusive, T).unwrap();
+        assert_eq!(lm.stats().upgrades, 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::class::{ClassRegistry, Persistent};
 use crate::error::{ObjectStoreError, Result};
-use crate::locks::LockManager;
+use crate::locks::{LockManager, LockStats};
 use crate::pickle::{Pickler, Unpickler};
 use crate::txn::{Transaction, TxnCore};
 use crate::{ChunkId, ObjectId};
@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tdb_obs::{Counter, Gauge, Registry};
 
 /// Tuning knobs for the object store.
 #[derive(Clone, Debug)]
@@ -63,10 +64,30 @@ pub(crate) struct StoreState {
     /// Named root object ids, persisted in the reserved roots chunk.
     pub(crate) roots: HashMap<String, ObjectId>,
     next_txn: u64,
-    /// Cache statistics.
-    pub(crate) hits: u64,
-    pub(crate) misses: u64,
-    pub(crate) evictions: u64,
+    /// Cache statistics, registered as `cache.*` in the chunk store's
+    /// observability registry.
+    pub(crate) hits: Counter,
+    pub(crate) misses: Counter,
+    pub(crate) evictions: Counter,
+    bytes_gauge: Gauge,
+    pinned_gauge: Gauge,
+}
+
+impl StoreState {
+    /// Adjust `cache_bytes` and mirror it into the `cache.bytes` gauge.
+    fn set_cache_bytes(&mut self, bytes: usize) {
+        self.cache_bytes = bytes;
+        self.bytes_gauge.set(bytes as i64);
+    }
+
+    /// Bytes held by dirty (no-steal pinned) objects right now.
+    fn pinned_bytes(&self) -> usize {
+        self.cache
+            .values()
+            .filter(|slot| slot.cell.dirty.load(Ordering::Acquire))
+            .map(|slot| slot.cell.size.load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 pub(crate) struct OsInner {
@@ -95,8 +116,23 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Current approximate cache occupancy in bytes.
     pub bytes: u64,
+    /// Bytes held by dirty objects pinned under the no-steal policy
+    /// (§4.2.2); never evictable until their transaction commits.
+    pub pinned_bytes: u64,
     /// Currently cached objects.
     pub objects: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0.0 when no lookups yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 const ROOTS_MAGIC: u32 = 0x54_44_42_52; // "TDBR"
@@ -144,9 +180,9 @@ impl ObjectStore {
         cfg: ObjectStoreConfig,
         roots_chunk: ObjectId,
     ) -> Self {
+        let obs = chunks.obs();
         ObjectStore {
             inner: Arc::new(OsInner {
-                chunks,
                 registry,
                 state: Mutex::new(StoreState {
                     cache: HashMap::new(),
@@ -154,11 +190,14 @@ impl ObjectStore {
                     cache_bytes: 0,
                     roots: HashMap::new(),
                     next_txn: 1,
-                    hits: 0,
-                    misses: 0,
-                    evictions: 0,
+                    hits: obs.counter("cache.hits"),
+                    misses: obs.counter("cache.misses"),
+                    evictions: obs.counter("cache.evictions"),
+                    bytes_gauge: obs.gauge("cache.bytes"),
+                    pinned_gauge: obs.gauge("cache.pinned_bytes"),
                 }),
-                locks: LockManager::new(),
+                locks: LockManager::with_registry(&obs),
+                chunks,
                 cfg,
                 roots_chunk,
             }),
@@ -233,13 +272,27 @@ impl ObjectStore {
     /// Cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         let state = self.inner.state.lock();
+        let pinned = state.pinned_bytes();
+        state.pinned_gauge.set(pinned as i64);
         CacheStats {
-            hits: state.hits,
-            misses: state.misses,
-            evictions: state.evictions,
+            hits: state.hits.get(),
+            misses: state.misses.get(),
+            evictions: state.evictions.get(),
             bytes: state.cache_bytes as u64,
+            pinned_bytes: pinned as u64,
             objects: state.cache.len() as u64,
         }
+    }
+
+    /// Lock-manager statistics.
+    pub fn lock_stats(&self) -> LockStats {
+        self.inner.locks.stats()
+    }
+
+    /// The stack's observability registry (owned by the chunk store; the
+    /// object store's `cache.*` and `lock.*` instruments live in it too).
+    pub fn obs(&self) -> Arc<Registry> {
+        self.inner.chunks.obs()
     }
 
     /// Fetch a cell from cache or load (read + validate + decrypt +
@@ -251,10 +304,10 @@ impl ObjectStore {
         if let Some(slot) = state.cache.get_mut(&oid.0) {
             slot.tick = tick;
             let cell = slot.cell.clone();
-            state.hits += 1;
+            state.hits.inc();
             return Ok(cell);
         }
-        state.misses += 1;
+        state.misses.inc();
         drop(state); // do not hold the state mutex across chunk I/O
         let bytes = self.inner.chunks.read(oid)?;
         let obj = self.inner.registry.unpickle_object(&bytes)?;
@@ -270,7 +323,8 @@ impl ObjectStore {
         if let Some(slot) = state.cache.get(&oid.0) {
             return Ok(slot.cell.clone());
         }
-        state.cache_bytes += bytes.len();
+        let grown = state.cache_bytes + bytes.len();
+        state.set_cache_bytes(grown);
         state.cache.insert(
             oid.0,
             CacheSlot {
@@ -287,7 +341,8 @@ impl ObjectStore {
         let mut state = self.inner.state.lock();
         state.tick += 1;
         let tick = state.tick;
-        state.cache_bytes += cell.size.load(Ordering::Relaxed);
+        let grown = state.cache_bytes + cell.size.load(Ordering::Relaxed);
+        state.set_cache_bytes(grown);
         state.cache.insert(cell.id.0, CacheSlot { cell, tick });
         Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
     }
@@ -297,9 +352,10 @@ impl ObjectStore {
     pub(crate) fn evict_cell(&self, oid: ObjectId) {
         let mut state = self.inner.state.lock();
         if let Some(slot) = state.cache.remove(&oid.0) {
-            state.cache_bytes = state
+            let shrunk = state
                 .cache_bytes
                 .saturating_sub(slot.cell.size.load(Ordering::Relaxed));
+            state.set_cache_bytes(shrunk);
         }
     }
 
@@ -308,7 +364,8 @@ impl ObjectStore {
         let mut state = self.inner.state.lock();
         if let Some(slot) = state.cache.get(&oid.0) {
             let old = slot.cell.size.swap(new_size, Ordering::Relaxed);
-            state.cache_bytes = state.cache_bytes.saturating_sub(old) + new_size;
+            let adjusted = state.cache_bytes.saturating_sub(old) + new_size;
+            state.set_cache_bytes(adjusted);
         }
     }
 
@@ -337,12 +394,32 @@ impl ObjectStore {
                 break;
             }
             if let Some(slot) = state.cache.remove(&id) {
-                state.cache_bytes = state
+                let shrunk = state
                     .cache_bytes
                     .saturating_sub(slot.cell.size.load(Ordering::Relaxed));
-                state.evictions += 1;
+                state.set_cache_bytes(shrunk);
+                state.evictions.inc();
             }
         }
+    }
+
+    /// Test aid: `(accounted_bytes, recomputed_bytes, pinned_bytes)` where
+    /// `accounted_bytes` is the incrementally maintained occupancy and
+    /// `recomputed_bytes` a fresh walk of the cache. The two must agree or
+    /// eviction accounting has drifted.
+    #[doc(hidden)]
+    pub fn debug_cache_accounting(&self) -> (u64, u64, u64) {
+        let state = self.inner.state.lock();
+        let recomputed: usize = state
+            .cache
+            .values()
+            .map(|slot| slot.cell.size.load(Ordering::Relaxed))
+            .sum();
+        (
+            state.cache_bytes as u64,
+            recomputed as u64,
+            state.pinned_bytes() as u64,
+        )
     }
 
     /// Run an eviction pass (called after commits release no-steal pins).

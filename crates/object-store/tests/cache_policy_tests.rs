@@ -207,6 +207,85 @@ fn retry_after_timeout_succeeds() {
     t2.commit(false).unwrap();
 }
 
+/// Eviction accounting stays consistent while dirty objects are pinned:
+/// the incrementally maintained byte count must equal a fresh walk of the
+/// cache at every phase (pressure with pins held, after commit, after the
+/// post-commit eviction pass), pinned bytes must cover the dirty set, and
+/// eviction must never have touched a pinned object.
+#[test]
+fn eviction_accounting_consistent_under_pinning() {
+    let os = store_with(ObjectStoreConfig {
+        cache_budget: 4096,
+        ..Default::default()
+    });
+
+    let check = |phase: &str| {
+        let (accounted, recomputed, pinned) = os.debug_cache_accounting();
+        assert_eq!(
+            accounted, recomputed,
+            "cache byte accounting drifted ({phase})"
+        );
+        assert!(
+            pinned <= accounted,
+            "pinned {pinned} exceeds occupancy {accounted} ({phase})"
+        );
+        pinned
+    };
+
+    // Dirty a couple of large objects, then flood well past the budget.
+    let t = os.begin();
+    let big_a = t
+        .insert(Box::new(Blob {
+            tag: 1,
+            data: vec![0xA; 1200],
+        }))
+        .unwrap();
+    let big_b = t
+        .insert(Box::new(Blob {
+            tag: 2,
+            data: vec![0xB; 1200],
+        }))
+        .unwrap();
+    for i in 0..80u32 {
+        t.insert(Box::new(Blob {
+            tag: i + 10,
+            data: vec![3; 150],
+        }))
+        .unwrap();
+    }
+    let pinned_under_pressure = check("under pressure");
+    assert!(
+        pinned_under_pressure >= 2400,
+        "both dirty objects must be pinned: {pinned_under_pressure}"
+    );
+    let stats = os.cache_stats();
+    assert_eq!(stats.pinned_bytes, pinned_under_pressure);
+    assert!(stats.bytes >= stats.pinned_bytes);
+    assert!(stats.hit_ratio() >= 0.0 && stats.hit_ratio() <= 1.0);
+
+    // Pinned objects survived whatever eviction the flood triggered.
+    assert_eq!(
+        t.open_readonly::<Blob>(big_a).unwrap().get().data.len(),
+        1200
+    );
+    assert_eq!(
+        t.open_readonly::<Blob>(big_b).unwrap().get().data.len(),
+        1200
+    );
+
+    t.commit(true).unwrap();
+    // Commit unpins; the eviction pass may now reclaim them, but the books
+    // must still balance and nothing may remain pinned.
+    let pinned_after = check("after commit");
+    assert_eq!(pinned_after, 0, "commit must release every pin");
+    let stats = os.cache_stats();
+    assert_eq!(stats.pinned_bytes, 0);
+    assert!(
+        stats.bytes <= 4096,
+        "eviction pass must respect the budget once pins are gone: {stats:?}"
+    );
+}
+
 /// Cache statistics move in the expected directions.
 #[test]
 fn cache_stats_accounting() {

@@ -1,0 +1,252 @@
+//! tdb-obs unit and property tests: histogram bucket boundaries and
+//! percentiles (empty / one-sample / overflow), registry snapshot/delta
+//! semantics, and JSON writer↔parser roundtrips.
+
+use proptest::prelude::*;
+use tdb_obs::{bucket_bounds, bucket_index, HistSnapshot, Histogram, Json, Registry, BUCKETS};
+
+// ---------------------------------------------------------------- buckets
+
+#[test]
+fn bucket_boundaries_are_powers_of_two() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    for i in 1..BUCKETS - 1 {
+        let (lo, hi) = bucket_bounds(i);
+        // Each boundary value lands in its own bucket; one less stays below.
+        assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+        assert_eq!(bucket_index(hi - 1), i, "upper bound of bucket {i}");
+        assert_eq!(bucket_index(hi), (i + 1).min(BUCKETS - 1));
+    }
+    // Everything past the last bucket's lower bound is absorbed by it.
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    assert_eq!(bucket_index(1u64 << 60), BUCKETS - 1);
+}
+
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap.count(), 0);
+    assert_eq!(snap.mean(), 0.0);
+    assert_eq!(snap.p50(), 0.0);
+    assert_eq!(snap.p99(), 0.0);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, 0);
+}
+
+#[test]
+fn one_sample_percentiles_are_exact() {
+    let h = Histogram::new();
+    h.record(12_345);
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), 1);
+    assert_eq!(snap.min, 12_345);
+    assert_eq!(snap.max, 12_345);
+    // Clamping to [min, max] makes every percentile exact for one sample.
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(snap.percentile(q), 12_345.0, "q={q}");
+    }
+    assert_eq!(snap.mean(), 12_345.0);
+}
+
+#[test]
+fn overflow_bucket_absorbs_and_clamps() {
+    let h = Histogram::new();
+    let huge = u64::MAX / 2;
+    h.record(huge);
+    h.record(100);
+    let snap = h.snapshot();
+    assert_eq!(snap.counts[BUCKETS - 1], 1);
+    assert_eq!(snap.max, huge);
+    // p99 falls in the overflow bucket; the estimate must clamp to max
+    // rather than report the bucket's nominal (way-too-small) bound.
+    assert_eq!(snap.p99(), huge as f64);
+    // p50 lands in 100's bucket [64, 128): accurate to one bucket width.
+    assert!(
+        snap.p50() >= 100.0 && snap.p50() <= 128.0,
+        "p50 = {}",
+        snap.p50()
+    );
+}
+
+#[test]
+fn percentiles_are_monotone_and_bounded() {
+    let h = Histogram::new();
+    for v in [3u64, 17, 900, 900, 4096, 70_000, 70_001, 1_000_000] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    let mut last = 0.0f64;
+    for i in 0..=100 {
+        let p = snap.percentile(i as f64 / 100.0);
+        assert!(p >= last, "percentile must be monotone at q={i}");
+        assert!(p >= snap.min as f64 && p <= snap.max as f64);
+        last = p;
+    }
+}
+
+#[test]
+fn snapshot_since_and_merge_roundtrip() {
+    let h = Histogram::new();
+    h.record(10);
+    h.record(2000);
+    let early = h.snapshot();
+    h.record(500_000);
+    let late = h.snapshot();
+    let delta = late.since(&early);
+    assert_eq!(delta.count(), 1);
+    assert_eq!(delta.sum, 500_000);
+
+    // merge(early, delta) restores the late counts and sum.
+    let mut rebuilt = early.clone();
+    rebuilt.merge(&delta);
+    assert_eq!(rebuilt.counts, late.counts);
+    assert_eq!(rebuilt.sum, late.sum);
+
+    // Merging into an empty snapshot adopts the other's extrema.
+    let mut empty = HistSnapshot::default();
+    empty.merge(&late);
+    assert_eq!(empty.min, late.min);
+    assert_eq!(empty.max, late.max);
+}
+
+// --------------------------------------------------------------- registry
+
+#[test]
+fn registry_handles_are_get_or_register() {
+    let reg = Registry::new();
+    reg.counter("a").add(2);
+    reg.counter("a").add(3); // same underlying atomic
+    assert_eq!(reg.counter("a").get(), 5);
+    reg.gauge("g").set(-7);
+    assert_eq!(reg.gauge("g").get(), -7);
+    reg.histogram("h").record(42);
+    assert_eq!(reg.histogram("h").snapshot().count(), 1);
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counters["a"], 5);
+    assert_eq!(snap.gauges["g"], -7);
+    assert_eq!(snap.histograms["h"].count(), 1);
+}
+
+proptest! {
+    /// Delta semantics: for any interleaving of counter adds and histogram
+    /// records split into two rounds, `snapshot_after.since(&snapshot_mid)`
+    /// reports exactly the second round.
+    #[test]
+    fn registry_delta_reports_second_round(
+        round1 in proptest::collection::vec((0usize..4, 1u64..10_000), 0..24),
+        round2 in proptest::collection::vec((0usize..4, 1u64..10_000), 0..24),
+    ) {
+        let names = ["w", "x", "y", "z"];
+        let reg = Registry::new();
+        let apply = |ops: &[(usize, u64)]| {
+            for (which, v) in ops {
+                reg.counter(names[*which]).add(*v);
+                reg.histogram(names[*which]).record(*v);
+            }
+        };
+        apply(&round1);
+        let mid = reg.snapshot();
+        apply(&round2);
+        let delta = reg.snapshot().since(&mid);
+
+        for (i, name) in names.iter().enumerate() {
+            let expect_sum: u64 = round2.iter().filter(|(w, _)| *w == i).map(|(_, v)| v).sum();
+            let expect_n = round2.iter().filter(|(w, _)| *w == i).count() as u64;
+            let got = delta.counters.get(*name).copied().unwrap_or(0);
+            prop_assert_eq!(got, expect_sum, "counter {}", name);
+            let hist = delta.histograms.get(*name).cloned().unwrap_or_default();
+            prop_assert_eq!(hist.count(), expect_n, "hist count {}", name);
+            prop_assert_eq!(hist.sum, expect_sum, "hist sum {}", name);
+        }
+    }
+
+    /// Merging the two rounds' deltas equals the full-history snapshot.
+    #[test]
+    fn delta_merge_equals_total(
+        values in proptest::collection::vec(1u64..1_000_000, 1..40),
+        split in any::<usize>(),
+    ) {
+        let reg = Registry::new();
+        let cut = split % values.len();
+        for v in &values[..cut] {
+            reg.histogram("h").record(*v);
+        }
+        let mid = reg.snapshot();
+        for v in &values[cut..] {
+            reg.histogram("h").record(*v);
+        }
+        let total = reg.snapshot();
+
+        let first = mid.histograms.get("h").cloned().unwrap_or_default();
+        let second = total
+            .since(&mid)
+            .histograms
+            .get("h")
+            .cloned()
+            .unwrap_or_default();
+        let mut rebuilt = first;
+        rebuilt.merge(&second);
+        let full = total.histograms.get("h").cloned().unwrap();
+        prop_assert_eq!(rebuilt.counts, full.counts);
+        prop_assert_eq!(rebuilt.sum, full.sum);
+        prop_assert_eq!(rebuilt.count(), values.len() as u64);
+    }
+}
+
+// ------------------------------------------------------------------- json
+
+#[test]
+fn json_roundtrips_structures() {
+    let mut doc = Json::obj();
+    doc.push("int", 42u64);
+    doc.push("neg", -3i64);
+    doc.push("float", 1.5);
+    doc.push(
+        "string",
+        "with \"quotes\" and \\ and \n control \u{1} chars",
+    );
+    doc.push("bool", true);
+    doc.push("null", Json::Null);
+    doc.push("arr", Json::array([Json::from(1u64), Json::from("two")]));
+    let mut nested = Json::obj();
+    nested.push("k", "v");
+    doc.push("obj", nested);
+
+    for text in [doc.render(), doc.pretty()] {
+        let parsed = Json::parse(&text).expect("parse own output");
+        assert_eq!(parsed, doc, "roundtrip through {text:?}");
+    }
+}
+
+#[test]
+fn json_parser_rejects_garbage() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "tru",
+        "1 2",
+        "{\"a\":1,}",
+        "\"\\q\"",
+    ] {
+        assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+    }
+}
+
+#[test]
+fn registry_snapshot_to_json_is_stable_and_parseable() {
+    let reg = Registry::new();
+    reg.counter("chunk.commits").add(3);
+    reg.gauge("cache.bytes").set(4096);
+    reg.histogram("commit.total").record(1_000);
+    let a = reg.snapshot().to_json().render();
+    let b = reg.snapshot().to_json().render();
+    assert_eq!(a, b, "rendering must be deterministic");
+    Json::parse(&a).expect("snapshot JSON parses");
+}

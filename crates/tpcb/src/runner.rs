@@ -5,6 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use tdb_obs::{HistSnapshot, Histogram};
 
 /// A system under test (TDB or the baseline).
 pub trait TpcbSystem {
@@ -73,6 +74,9 @@ pub struct BenchReport {
     pub final_disk_size: u64,
     /// Wall-clock of the measured run in seconds (loading excluded).
     pub run_seconds: f64,
+    /// Per-transaction latency distribution over the steady-state half
+    /// (nanoseconds); percentiles via [`HistSnapshot::percentile`].
+    pub latency: HistSnapshot,
 }
 
 /// Load and run the benchmark against `system`.
@@ -88,6 +92,10 @@ pub fn run_benchmark(system: &mut dyn TpcbSystem, cfg: &TpcbConfig) -> BenchRepo
     let mut first_half_nanos = 0u128;
     let mut second_half_nanos = 0u128;
     let mut bytes_at_half = system.bytes_written();
+    // Detached histogram: not in any registry, so two systems benched in the
+    // same process never share buckets. Timing here uses the Instant already
+    // taken for the mean, so the histogram adds no extra clock reads.
+    let latency = Histogram::default();
     let run_start = Instant::now();
 
     #[allow(clippy::explicit_counter_loop)] // hist_id advances with txns by design
@@ -107,6 +115,7 @@ pub fn run_benchmark(system: &mut dyn TpcbSystem, cfg: &TpcbConfig) -> BenchRepo
             }
         } else {
             second_half_nanos += nanos;
+            latency.record(nanos as u64);
         }
     }
     let run_seconds = run_start.elapsed().as_secs_f64();
@@ -120,6 +129,7 @@ pub fn run_benchmark(system: &mut dyn TpcbSystem, cfg: &TpcbConfig) -> BenchRepo
         bytes_per_txn: bytes_second_half as f64 / measured as f64,
         final_disk_size: system.disk_size(),
         run_seconds,
+        latency: latency.snapshot(),
     }
 }
 

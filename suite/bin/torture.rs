@@ -8,7 +8,11 @@
 //! Exits nonzero (panics) if any crash point recovers to an inadmissible
 //! state or any injected tamper goes undetected without being harmless.
 
-use tdb_suite::torture::{run_torture, TortureConfig};
+use tdb::obs::Json;
+use tdb_bench::telemetry::{
+    bench_doc, counters_json, histograms_json, latency_ms_json, push_result, write_bench_json,
+};
+use tdb_suite::torture::{run_torture_with_obs, TortureConfig};
 
 fn main() {
     let mut cfg = TortureConfig {
@@ -37,7 +41,7 @@ fn main() {
         }
     }
 
-    let report = run_torture(&cfg);
+    let (report, obs) = run_torture_with_obs(&cfg);
     println!();
     println!("torture sweep complete (seed {})", cfg.seed);
     println!("  write boundaries     {:>6}", report.write_boundaries);
@@ -50,4 +54,25 @@ fn main() {
     println!("  … harmless           {:>6}", report.tampers_harmless);
     println!("  … skipped (no-op)    {:>6}", report.tampers_skipped);
     println!("  silent corruptions   {:>6}", report.silent_corruptions);
+
+    let mut config = Json::obj();
+    config.push("cells", cfg.cells);
+    config.push("steps", cfg.steps);
+    config.push("seed", cfg.seed);
+    let mut doc = bench_doc("torture", config);
+    let mut row = Json::obj();
+    row.push("system", "TDB");
+    row.push("crash_points_swept", report.crash_points_swept);
+    row.push("recoveries_ok", report.recoveries_ok);
+    row.push("tampers_injected", report.tampers_injected);
+    row.push("tampers_detected", report.tampers_detected);
+    row.push("silent_corruptions", report.silent_corruptions);
+    if let Some(commit) = obs.histograms.get("commit.total") {
+        row.push("latency_ms", latency_ms_json(commit));
+    }
+    row.push("phases_ns", histograms_json(&obs, "commit."));
+    row.push("recovery_ns", histograms_json(&obs, "recovery."));
+    row.push("counters", counters_json(&obs));
+    push_result(&mut doc, row);
+    write_bench_json("torture", &doc).expect("write bench json");
 }

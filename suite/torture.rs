@@ -389,6 +389,16 @@ fn counter_at(value: u64) -> VolatileCounter {
 /// Run the full torture sweep. Panics (with context) on any violated
 /// invariant so test harnesses fail loudly; returns the report otherwise.
 pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
+    run_torture_with_obs(cfg).0
+}
+
+/// [`run_torture`], additionally returning the merged observability
+/// snapshot of every workload rig and every pure-crash recovery — commit
+/// phase spans from the sweeps plus `recovery.*` timings from each re-open.
+/// (Tamper-attack opens are excluded: their timings describe sabotaged
+/// inputs.) Kept out of [`TortureReport`] so the report stays `Eq` for the
+/// determinism double-run check.
+pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::RegistrySnapshot) {
     assert!(
         cfg.cells > 0,
         "torture workload needs at least one cell (--cells)"
@@ -396,6 +406,10 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     let steps = script(cfg);
     let states = oracle_states(cfg, &steps);
     let (writes, syncs, points) = enumerate_boundaries(cfg, &steps);
+    // Torture runs few commits and wants full phase attribution for the
+    // telemetry report, so disable hot-path sampling.
+    tdb::obs::set_phase_sample_every(1);
+    let mut obs = tdb::obs::RegistrySnapshot::default();
     let mut report = TortureReport {
         write_boundaries: writes,
         sync_boundaries: syncs,
@@ -467,7 +481,9 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
             "{}: recovery report inconsistent: {rr:?}",
             point.label
         );
+        obs.merge(&db.obs().snapshot());
         drop(db);
+        obs.merge(&rig.db.obs().snapshot());
 
         // ---- post-crash tampers ---------------------------------------
         let mut rng =
@@ -561,5 +577,5 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         report.tampers_detected + report.tampers_harmless,
         "every injected tamper must be classified"
     );
-    report
+    (report, obs)
 }
