@@ -14,32 +14,61 @@ use tdb_bench::telemetry::{
 };
 use tdb_bench::{env_f64, env_u64};
 use tdb_platform::{DirStore, MemStore, UntrustedStore};
-use tpcb::{run_benchmark, BaselineDriver, BenchReport, TdbDriver, TpcbConfig};
+use tpcb::{
+    run_benchmark, run_benchmark_threaded, BaselineDriver, BenchReport, TdbDriver, TpcbConfig,
+};
+
+/// Worker threads: `--threads N` wins over `THREADS=N`; default 1.
+fn threads_arg() -> usize {
+    let mut threads = std::env::var("THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--threads" {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                threads = v;
+            }
+        }
+    }
+    threads.max(1)
+}
 
 /// `STORE=dir` runs on real files in a temp directory (slower but closer
 /// to the paper's disk-backed setup); default is in-memory.
 fn make_store(keep: &mut Vec<tempfile::TempDir>) -> Arc<dyn UntrustedStore> {
     if std::env::var("STORE").as_deref() == Ok("dir") {
-        let dir = tempfile::tempdir().expect("tempdir");
-        let store = Arc::new(DirStore::new(dir.path()).unwrap());
-        keep.push(dir);
-        store
+        make_dir_store(keep)
     } else {
         Arc::new(MemStore::new())
     }
 }
 
+/// A file-backed store regardless of `STORE` — used for the group-commit
+/// comparison, which is only meaningful when a log sync has real latency.
+fn make_dir_store(keep: &mut Vec<tempfile::TempDir>) -> Arc<dyn UntrustedStore> {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let store = Arc::new(DirStore::new(dir.path()).unwrap());
+    keep.push(dir);
+    store
+}
+
 fn run_tdb(
     cfg: &TpcbConfig,
     security: SecurityMode,
-    keep: &mut Vec<tempfile::TempDir>,
+    store: Arc<dyn UntrustedStore>,
 ) -> (BenchReport, chunk_store::StatsSnapshot, RegistrySnapshot) {
     let mut db_cfg = DatabaseConfig::default();
     db_cfg.chunk.security = security;
     // 60% maximum utilization, "the default for TDB" in this experiment.
     db_cfg.chunk.max_utilization = 0.60;
-    let mut driver = TdbDriver::new(make_store(keep), db_cfg);
-    let report = run_benchmark(&mut driver, cfg);
+    let mut driver = TdbDriver::new(store, db_cfg);
+    let report = if cfg.threads > 1 {
+        run_benchmark_threaded(&mut driver, cfg)
+    } else {
+        run_benchmark(&mut driver, cfg)
+    };
     let stats = driver.database().stats();
     let obs = driver.database().obs().snapshot();
     // The registry's `chunk.*` counters and the legacy snapshot read the
@@ -64,6 +93,7 @@ fn result_row(name: &str, r: &BenchReport, obs: Option<&RegistrySnapshot>) -> Js
     row.push("bytes_per_txn", r.bytes_per_txn);
     row.push("final_disk_size", r.final_disk_size);
     row.push("latency_ms", latency_ms_json(&r.latency));
+    row.push("threads", r.threads as u64);
     if let Some(obs) = obs {
         row.push("phases_ns", histograms_json(obs, "commit."));
         row.push("counters", counters_json(obs));
@@ -72,13 +102,15 @@ fn result_row(name: &str, r: &BenchReport, obs: Option<&RegistrySnapshot>) -> Js
 }
 
 fn main() {
+    let threads = threads_arg();
     let cfg = TpcbConfig {
         scale: env_f64("SCALE", 0.1),
         transactions: env_u64("TXNS", 40_000),
         seed: env_u64("SEED", 0x7DB),
+        threads: 1,
     };
     println!(
-        "Figure 10: TPC-B average response time (scale {}, {} txns)",
+        "Figure 10: TPC-B average response time (scale {}, {} txns, {threads} thread(s))",
         cfg.scale, cfg.transactions
     );
     println!("================================================================");
@@ -93,8 +125,9 @@ fn main() {
     let mut bdb = BaselineDriver::new(make_store(&mut keep), baseline::BaselineConfig::default());
     let bdb_report = run_benchmark(&mut bdb, &cfg);
 
-    let (tdb_report, tdb_stats, tdb_obs) = run_tdb(&cfg, SecurityMode::Off, &mut keep);
-    let (tdbs_report, tdbs_stats, tdbs_obs) = run_tdb(&cfg, SecurityMode::Full, &mut keep);
+    let (tdb_report, tdb_stats, tdb_obs) = run_tdb(&cfg, SecurityMode::Off, make_store(&mut keep));
+    let (tdbs_report, tdbs_stats, tdbs_obs) =
+        run_tdb(&cfg, SecurityMode::Full, make_store(&mut keep));
 
     println!(
         "{:<12} {:>14} {:>12} {:>16} {:>14}",
@@ -129,13 +162,51 @@ fn main() {
     println!();
     println!("shape check: TDB < TDB-S < BerkeleyDB in response time, as in the paper.");
 
+    // Multi-threaded group-commit comparison. Group commit amortizes the
+    // *durable* half of a commit — the log sync and the anchor/counter
+    // round — so both sides run on the file-backed store, where each sync
+    // has real latency for the group to share (on the in-memory store a
+    // "sync" is free and the comparison only measures scheduler noise).
+    let mt = if threads > 1 {
+        let mt_cfg = TpcbConfig {
+            threads,
+            ..cfg.clone()
+        };
+        let (one_report, _, one_obs) = run_tdb(&cfg, SecurityMode::Off, make_dir_store(&mut keep));
+        let (mt_report, _, mt_obs) = run_tdb(&mt_cfg, SecurityMode::Off, make_dir_store(&mut keep));
+        let single = one_report.transactions as f64 / one_report.run_seconds.max(1e-9);
+        let multi = mt_report.transactions as f64 / mt_report.run_seconds.max(1e-9);
+        let group_mean = mt_obs
+            .histograms
+            .get("commit.group_size")
+            .map(|h| h.sum as f64 / h.count().max(1) as f64)
+            .unwrap_or(0.0);
+        println!();
+        println!(
+            "group commit (file-backed store): TDB x{threads} {multi:.0} txn/s vs x1 {single:.0} \
+             txn/s ({:.2}x, mean group size {group_mean:.2})",
+            multi / single.max(1e-9)
+        );
+        Some((one_report, one_obs, mt_report, mt_obs))
+    } else {
+        None
+    };
+
     let mut config = Json::obj();
     config.push("scale", cfg.scale);
     config.push("transactions", cfg.transactions);
     config.push("seed", cfg.seed);
+    config.push("threads", threads as u64);
     let mut doc = bench_doc("fig10_tpcb", config);
     push_result(&mut doc, result_row("BerkeleyDB", &bdb_report, None));
     push_result(&mut doc, result_row("TDB", &tdb_report, Some(&tdb_obs)));
     push_result(&mut doc, result_row("TDB-S", &tdbs_report, Some(&tdbs_obs)));
+    if let Some((one_report, one_obs, mt_report, mt_obs)) = &mt {
+        push_result(
+            &mut doc,
+            result_row("TDB-durable", one_report, Some(one_obs)),
+        );
+        push_result(&mut doc, result_row("TDB-mt", mt_report, Some(mt_obs)));
+    }
     write_bench_json("fig10_tpcb", &doc).expect("write bench json");
 }

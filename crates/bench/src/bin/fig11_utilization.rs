@@ -19,6 +19,7 @@ fn main() {
         scale: env_f64("SCALE", 0.1),
         transactions: env_u64("TXNS", 40_000),
         seed: env_u64("SEED", 0x7DB),
+        threads: 1,
     };
     println!("Figure 11: TDB performance and database size vs utilization");
     println!(

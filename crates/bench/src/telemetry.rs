@@ -99,7 +99,10 @@ pub fn write_bench_json(name: &str, doc: &Json) -> std::io::Result<PathBuf> {
 ///   `count`, `p50`, `p95`, and `p99`;
 /// - any `phases_ns` field is an object whose values each carry numeric
 ///   `count` and `sum`;
-/// - any `counters` field is an object with only numeric values.
+/// - any `counters` field is an object with only numeric values;
+/// - any `threads` field in a result row is a positive integer (worker
+///   threads the row was measured with; rows omitting it are single-run
+///   rows from before the field existed).
 pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
     let obj = doc.as_obj().ok_or("top level is not an object")?;
     let field = |k: &str| {
@@ -132,6 +135,9 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
             match k.as_str() {
                 "latency_ms" => validate_latency(v).map_err(|e| format!("results[{i}]: {e}"))?,
                 "phases_ns" => validate_phases(v).map_err(|e| format!("results[{i}]: {e}"))?,
+                "threads" if v.as_u64().filter(|t| *t >= 1).is_none() => {
+                    return Err(format!("results[{i}]: threads not a positive integer"));
+                }
                 "counters" => {
                     let c = v
                         .as_obj()

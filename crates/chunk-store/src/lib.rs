@@ -66,4 +66,4 @@ pub use map::Location;
 pub use recovery::RecoveryReport;
 pub use snapshot::{Snapshot, SnapshotDiff};
 pub use stats::StatsSnapshot;
-pub use store::ChunkStore;
+pub use store::{ChunkStore, CommitTicket, WriteBatch};

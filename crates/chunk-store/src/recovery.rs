@@ -25,7 +25,7 @@ use crate::layout::{
 use crate::map::{Location, LocationMap};
 use crate::segment::SegmentManager;
 use crate::stats::{SharedStats, Stats};
-use crate::store::{iv_salt, Batch, Inner};
+use crate::store::{iv_salt, Inner};
 use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 use tdb_crypto::DIGEST_LEN;
@@ -300,14 +300,13 @@ pub(crate) fn open_impl(
 
     Ok(Inner {
         cfg,
-        ctx,
+        ctx: Arc::new(ctx),
         counter,
         untrusted,
         segs,
         map,
         next_id,
         free_ids,
-        batch: Batch::default(),
         commit_seq: applied_seq,
         chain: applied_chain,
         base_seq: anchor.base_seq,
@@ -319,8 +318,9 @@ pub(crate) fn open_impl(
         counter_value: anchor.counter_value,
         checkpointed_root: (anchor.map_root, anchor.map_depth),
         pending_dec: Vec::new(),
-        phase_tick: 0,
         snapshots: Vec::new(),
+        sync_inflight: std::collections::BTreeSet::new(),
+        anchor_io: std::sync::Arc::new(parking_lot::Mutex::new(())),
         stats,
         recovery: Some(report),
     })

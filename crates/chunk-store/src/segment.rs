@@ -233,20 +233,28 @@ impl SegmentManager {
     }
 
     /// Close the tail with a `NextSegment` record and continue in a free
-    /// (or newly grown) segment.
+    /// (or newly grown) segment. Failure-atomic: if the flush fails (e.g.
+    /// the store is down mid-commit), the pointer record is removed from
+    /// the write buffer and `next` returns to the free pool, so the tail
+    /// stays open and a later append can retry the roll.
     fn roll_segment(&mut self) -> Result<()> {
         let next = match self.free.pop_first() {
             Some(i) => SegmentId(i),
             None => self.grow()?,
         };
         let nxt = encode_next_segment(next);
+        let mark = self.pending.len();
         self.pending.extend_from_slice(&encode_record_header(
             RecordKind::NextSegment,
             nxt.len() as u32,
         ));
         self.pending.extend_from_slice(&nxt);
+        if let Err(e) = self.flush() {
+            self.pending.truncate(mark);
+            self.free.insert(next.0);
+            return Err(e);
+        }
         add(&self.stats.bytes_appended, NEXT_SEGMENT_RECORD_LEN as u64);
-        self.flush()?;
 
         self.states[next.0 as usize].status = SegStatus::InUse;
         self.tail = next;
@@ -304,6 +312,43 @@ impl SegmentManager {
         self.flush()?;
         for seg in std::mem::take(&mut self.touched) {
             self.file(SegmentId(seg))?.sync()?;
+            add(&self.stats.syncs, 1);
+        }
+        Ok(())
+    }
+
+    /// Flush the tail and hand the touched segments' file handles to the
+    /// caller for an out-of-lock sync (the group-commit leader's overlap:
+    /// appenders keep the manager while the leader syncs). The touched set
+    /// transfers with the handles — on a failed sync the caller must give
+    /// the ids back via [`SegmentManager::restore_touched`].
+    pub fn take_touched(&mut self) -> Result<Vec<(u32, Arc<dyn RandomAccessFile>)>> {
+        self.flush()?;
+        let ids: Vec<u32> = std::mem::take(&mut self.touched).into_iter().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for seg in &ids {
+            match self.file(SegmentId(*seg)) {
+                Ok(f) => out.push((*seg, f)),
+                Err(e) => {
+                    self.touched.extend(ids);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-mark segments dirty after a failed out-of-lock sync.
+    pub fn restore_touched(&mut self, ids: impl IntoIterator<Item = u32>) {
+        self.touched.extend(ids);
+    }
+
+    /// Sync specific segments without touching the dirty bookkeeping (used
+    /// to cover another thread's in-flight out-of-lock sync: syncing a
+    /// segment twice is harmless, skipping one is not).
+    pub fn sync_ids<'a>(&self, ids: impl IntoIterator<Item = &'a u32>) -> Result<()> {
+        for seg in ids {
+            self.file(SegmentId(*seg))?.sync()?;
             add(&self.stats.syncs, 1);
         }
         Ok(())

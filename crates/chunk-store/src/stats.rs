@@ -133,8 +133,17 @@ pub struct Phases {
     pub anchor: Histogram,
     /// One-way counter increment time per durable anchor write.
     pub counter: Histogram,
-    /// End-to-end durable commit time (inside the store lock).
+    /// End-to-end durable commit time (staging seal through group
+    /// durability).
     pub commit_total: Histogram,
+    /// Commits made durable per group-commit anchor round (a value of 1
+    /// means the leader anchored alone; >1 means followers amortized the
+    /// sync/anchor/counter round).
+    pub group_size: Histogram,
+    /// Time a durable committer spends between finishing its log append
+    /// and its group becoming durable (leader: its own anchor round;
+    /// follower: waiting on the leader).
+    pub group_wait: Histogram,
     /// Checkpoint duration.
     pub checkpoint: Histogram,
     /// Cleaner pass duration.
@@ -159,6 +168,8 @@ impl Phases {
             anchor: registry.histogram("commit.anchor"),
             counter: registry.histogram("commit.counter"),
             commit_total: registry.histogram("commit.total"),
+            group_size: registry.histogram("commit.group_size"),
+            group_wait: registry.histogram("commit.group_wait"),
             checkpoint: registry.histogram("checkpoint.total"),
             cleaner_pass: registry.histogram("cleaner.pass"),
             recovery_anchor: registry.histogram("recovery.anchor"),

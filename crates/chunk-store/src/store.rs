@@ -1,15 +1,23 @@
-//! The public `ChunkStore`: batching, commits, checkpoints, snapshots.
+//! The public `ChunkStore`: per-batch staging, group commits, checkpoints,
+//! snapshots.
 //!
 //! See the crate docs for the big picture. This module owns the write path:
 //!
-//! * operations (`write`, `deallocate`) stage into a batch;
-//! * `commit` appends the batch's chunk versions plus a chain-authenticated
-//!   commit record to the log (splitting very large batches into several
-//!   chained commit records that still become durable atomically, because
-//!   recovery only applies commits the anchor's `last_seq` covers);
-//! * a *durable* commit syncs the log, advances the trusted anchor, and
-//!   bumps the one-way counter; a *nondurable* commit does none of those and
-//!   is discarded by recovery until a later durable commit covers it;
+//! * operations (`write`, `deallocate`) stage into a [`WriteBatch`] — each
+//!   transaction gets its own, so staging takes no shared lock (the legacy
+//!   single-handle API stages into a store-owned default batch);
+//! * `commit_batch` seals the batch's chunk records *outside* the store
+//!   lock, then appends them plus a chain-authenticated commit record to the
+//!   log under a short append lock (splitting very large batches into
+//!   several chained commit records that still become durable atomically,
+//!   because recovery only applies commits the anchor's `last_seq` covers);
+//! * a *durable* commit then enters the group-commit coordinator: one
+//!   leader syncs the log, advances the trusted anchor, and bumps the
+//!   one-way counter for every commit record appended so far, waking the
+//!   followers its anchor covered. Recovery is unchanged by grouping — a
+//!   group is just consecutive chained commit records under one anchor;
+//! * a *nondurable* commit only flushes and is discarded by recovery until
+//!   a later durable commit covers it;
 //! * the residual log is checkpointed when it exceeds the configured
 //!   threshold, and the cleaner runs when free space runs out while
 //!   utilization is below the configured maximum (§3.2.1).
@@ -28,8 +36,9 @@ use crate::recovery;
 use crate::segment::SegmentManager;
 use crate::snapshot::{SnapCore, Snapshot, SnapshotDiff};
 use crate::stats::{add, SharedStats, Stats, StatsSnapshot};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use tdb_crypto::Digest;
 use tdb_obs::Stopwatch;
@@ -43,17 +52,52 @@ pub(crate) struct Batch {
     pub(crate) allocated: Vec<u64>,
 }
 
+/// A chunk record sealed ahead of the log append — encoding, encryption,
+/// and hashing all happen outside the store lock ([`CryptoCtx`] is
+/// internally synchronized), so concurrent committers only serialize on
+/// the short append itself.
+enum SealedOp {
+    Write {
+        id: ChunkId,
+        sealed: Vec<u8>,
+        hash: Digest,
+    },
+    Dealloc(ChunkId),
+}
+
+/// Accumulated phase laps for one (sampled) commit.
+struct CommitLap {
+    sw: Stopwatch,
+    ser_ns: u64,
+    seal_ns: u64,
+    append_ns: u64,
+}
+
+impl CommitLap {
+    fn new(sampled: bool) -> CommitLap {
+        CommitLap {
+            sw: if sampled {
+                Stopwatch::start()
+            } else {
+                Stopwatch::inert()
+            },
+            ser_ns: 0,
+            seal_ns: 0,
+            append_ns: 0,
+        }
+    }
+}
+
 /// Everything behind the store's state mutex.
 pub(crate) struct Inner {
     pub(crate) cfg: ChunkStoreConfig,
-    pub(crate) ctx: CryptoCtx,
+    pub(crate) ctx: Arc<CryptoCtx>,
     pub(crate) counter: Arc<dyn OneWayCounter>,
     pub(crate) untrusted: Arc<dyn UntrustedStore>,
     pub(crate) segs: SegmentManager,
     pub(crate) map: LocationMap,
     pub(crate) next_id: u64,
     pub(crate) free_ids: BTreeSet<u64>,
-    pub(crate) batch: Batch,
     /// Sequence of the last appended commit.
     pub(crate) commit_seq: u64,
     /// Chain value of the last appended commit.
@@ -76,11 +120,16 @@ pub(crate) struct Inner {
     pub(crate) pending_dec: Vec<Location>,
     pub(crate) snapshots: Vec<Weak<SnapCore>>,
     pub(crate) stats: SharedStats,
-    /// Commits until the next phase-attributed (fully timed) commit; see
-    /// [`tdb_obs::phase_sample_every`].
-    pub(crate) phase_tick: u64,
     /// `Some` when this handle came from `open` (crash recovery ran).
     pub(crate) recovery: Option<recovery::RecoveryReport>,
+    /// Segments handed to a group leader's out-of-lock sync that has not
+    /// completed yet. An anchor round running under the store lock must
+    /// sync these too — it cannot assume the in-flight sync finished.
+    pub(crate) sync_inflight: BTreeSet<u32>,
+    /// Serializes the anchor-write + counter-bump pair across the in-lock
+    /// and out-of-lock anchor paths (leaf lock: taken with the store lock
+    /// held, never the reverse).
+    pub(crate) anchor_io: Arc<Mutex<()>>,
 }
 
 impl Inner {
@@ -94,8 +143,11 @@ impl Inner {
         (budget / (8 + LOCATION_LEN)).max(8)
     }
 
-    fn is_allocated(&self, id: ChunkId) -> bool {
-        match self.batch.ops.get(&id.0) {
+    /// Allocation check against committed state overlaid with `staged`
+    /// operations. Ids handed out by `allocate_into` are globally visible
+    /// (they left the free pool), so every batch agrees on them.
+    fn is_allocated_with(&self, staged: &Batch, id: ChunkId) -> bool {
+        match staged.ops.get(&id.0) {
             Some(Some(_)) => return true,
             Some(None) => return false,
             None => {}
@@ -103,7 +155,7 @@ impl Inner {
         id.0 < self.next_id && !self.free_ids.contains(&id.0)
     }
 
-    pub(crate) fn allocate_chunk_id(&mut self) -> ChunkId {
+    pub(crate) fn allocate_into(&mut self, staged: &mut Batch) -> ChunkId {
         let id = match self.free_ids.pop_first() {
             Some(id) => id,
             None => {
@@ -112,12 +164,17 @@ impl Inner {
                 id
             }
         };
-        self.batch.allocated.push(id);
+        staged.allocated.push(id);
         ChunkId(id)
     }
 
-    pub(crate) fn write(&mut self, id: ChunkId, data: &[u8]) -> Result<()> {
-        if !self.is_allocated(id) {
+    pub(crate) fn stage_write(
+        &mut self,
+        staged: &mut Batch,
+        id: ChunkId,
+        data: &[u8],
+    ) -> Result<()> {
+        if !self.is_allocated_with(staged, id) {
             return Err(ChunkStoreError::NotAllocated(id));
         }
         if data.len() > self.max_chunk_size() {
@@ -126,26 +183,26 @@ impl Inner {
                 max: self.max_chunk_size(),
             });
         }
-        self.batch.ops.insert(id.0, Some(data.to_vec()));
+        staged.ops.insert(id.0, Some(data.to_vec()));
         Ok(())
     }
 
-    pub(crate) fn deallocate(&mut self, id: ChunkId) -> Result<()> {
-        if !self.is_allocated(id) {
+    pub(crate) fn stage_dealloc(&mut self, staged: &mut Batch, id: ChunkId) -> Result<()> {
+        if !self.is_allocated_with(staged, id) {
             return Err(ChunkStoreError::NotAllocated(id));
         }
-        self.batch.ops.insert(id.0, None);
+        staged.ops.insert(id.0, None);
         Ok(())
     }
 
-    pub(crate) fn read(&mut self, id: ChunkId) -> Result<Vec<u8>> {
-        match self.batch.ops.get(&id.0) {
+    pub(crate) fn read_with(&mut self, staged: &Batch, id: ChunkId) -> Result<Vec<u8>> {
+        match staged.ops.get(&id.0) {
             Some(Some(data)) => return Ok(data.clone()),
             Some(None) => return Err(ChunkStoreError::NotAllocated(id)),
             None => {}
         }
         let Some(loc) = self.map.get(id) else {
-            return if self.is_allocated(id) {
+            return if self.is_allocated_with(staged, id) {
                 Err(ChunkStoreError::NotWritten(id))
             } else {
                 Err(ChunkStoreError::NotAllocated(id))
@@ -175,154 +232,119 @@ impl Inner {
         self.ctx.open(&stored)
     }
 
-    pub(crate) fn discard(&mut self) {
-        self.batch.ops.clear();
-        for id in std::mem::take(&mut self.batch.allocated) {
+    /// Drop a batch's staged operations and return its allocated ids to
+    /// the free pool (they were never committed, or `allocated` would have
+    /// been cleared).
+    fn free_batch(&mut self, staged: &mut Batch) {
+        staged.ops.clear();
+        for id in std::mem::take(&mut staged.allocated) {
             self.free_ids.insert(id);
         }
     }
 
-    /// Whether this commit gets full phase attribution. The detailed laps
-    /// cost several clock reads per record — too much for every commit — so
-    /// only every [`tdb_obs::phase_sample_every`]-th commit is timed.
-    /// Everything a sampled commit records (including `commit.total` and the
-    /// `durable_anchor` phases) comes from the same commit, so per-commit
-    /// phase samples still sum to their `commit.total` sample.
-    fn sample_phases(&mut self) -> bool {
-        if !tdb_obs::enabled() {
-            return false;
-        }
-        self.phase_tick += 1;
-        if self.phase_tick >= tdb_obs::phase_sample_every() {
-            self.phase_tick = 0;
-            true
-        } else {
-            false
-        }
-    }
-
-    pub(crate) fn commit(&mut self, durable: bool) -> Result<()> {
-        let ops = std::mem::take(&mut self.batch.ops);
-        self.batch.allocated.clear();
-        let sampled = self.sample_phases();
-        if ops.is_empty() {
-            if durable {
-                let mut sw_total = if sampled {
-                    Stopwatch::start()
-                } else {
-                    Stopwatch::inert()
-                };
-                self.durable_anchor(sampled)?;
-                self.maintain()?;
-                if sw_total.running() {
-                    self.stats.phases.commit_total.record(sw_total.lap());
-                }
+    /// Append pre-sealed chunk records plus chained commit record(s) to the
+    /// log tail. The in-memory map and free list are updated only *after*
+    /// each group's commit record lands, so a failed append leaves the
+    /// committed state untouched (the orphaned chunk records are dead bytes
+    /// for the cleaner). Returns the sequence of the last commit record —
+    /// the caller's ticket into the group-commit coordinator.
+    fn append_sealed(
+        &mut self,
+        sealed_ops: &[SealedOp],
+        durable: bool,
+        lap: &mut CommitLap,
+    ) -> Result<u64> {
+        // Rollback for a failed half-appended group: the appended chunk
+        // records were counted live but no commit record covers them.
+        fn unwind(inner: &mut Inner, appended: &[(ChunkId, Location)]) {
+            for (_, loc) in appended {
+                inner.segs.sub_live(loc.seg, loc.len as u64);
             }
-            return Ok(());
-        }
-        let mut sw_total = if sampled {
-            Stopwatch::start()
-        } else {
-            Stopwatch::inert()
-        };
-        add(&self.stats.commits, 1);
-        if durable {
-            add(&self.stats.durable_commits, 1);
+            for s in inner.segs.drain_entered() {
+                inner.residual_segments.insert(s);
+            }
         }
 
-        // Phase attribution: nanoseconds are accumulated across the whole
-        // group loop and recorded as one sample per phase per commit, so a
-        // commit's phase samples sum to its `commit.total` sample.
-        let (mut ser_ns, mut seal_ns, mut append_ns) = (0u64, 0u64, 0u64);
-        let mut sw = if sampled {
-            Stopwatch::start()
-        } else {
-            Stopwatch::inert()
-        };
         let max_ops = self.max_ops_per_commit();
-        let ops: Vec<(u64, Option<Vec<u8>>)> = ops.into_iter().collect();
-        for group in ops.chunks(max_ops) {
-            let mut writes = Vec::new();
-            let mut deallocs = Vec::new();
-            for (raw_id, op) in group {
-                let id = ChunkId(*raw_id);
+        for group in sealed_ops.chunks(max_ops) {
+            let mut writes: Vec<(ChunkId, Location)> = Vec::new();
+            let mut deallocs: Vec<ChunkId> = Vec::new();
+            for op in group {
                 match op {
-                    Some(data) => {
-                        sw.lap();
-                        let payload = encode_chunk_payload(id, data);
-                        ser_ns += sw.lap();
-                        let sealed = self.ctx.seal(&payload);
-                        let hash = self.ctx.hash(&sealed);
-                        seal_ns += sw.lap();
-                        let (seg, off, len) =
-                            self.segs.append_record(RecordKind::ChunkData, &sealed)?;
-                        append_ns += sw.lap();
-                        let loc = Location {
-                            seg,
-                            off,
-                            len,
-                            hash,
+                    SealedOp::Write { id, sealed, hash } => {
+                        lap.sw.lap();
+                        let res = self.segs.append_record(RecordKind::ChunkData, sealed);
+                        lap.append_ns += lap.sw.lap();
+                        let (seg, off, len) = match res {
+                            Ok(v) => v,
+                            Err(e) => {
+                                unwind(self, &writes);
+                                return Err(e);
+                            }
                         };
-                        if let Some(old) = self.map.set(id, loc) {
-                            self.pending_dec.push(old);
-                        }
-                        writes.push((id, loc));
-                        self.residual_bytes += len as u64;
+                        writes.push((
+                            *id,
+                            Location {
+                                seg,
+                                off,
+                                len,
+                                hash: *hash,
+                            },
+                        ));
                     }
-                    None => {
-                        if let Some(old) = self.map.remove(id) {
-                            self.pending_dec.push(old);
-                        }
-                        self.free_ids.insert(id.0);
-                        deallocs.push(id);
-                    }
+                    SealedOp::Dealloc(id) => deallocs.push(*id),
                 }
             }
-            self.commit_seq += 1;
-            sw.lap();
+            lap.sw.lap();
             let payload = CommitPayload {
-                seq: self.commit_seq,
+                seq: self.commit_seq + 1,
                 durable,
                 next_id: self.next_id,
-                writes,
-                deallocs,
+                writes: writes.clone(),
+                deallocs: deallocs.clone(),
             }
             .encode(self.ctx.verifies_hashes());
-            ser_ns += sw.lap();
+            lap.ser_ns += lap.sw.lap();
             let sealed = self.ctx.seal(&payload);
             let chain = self.ctx.chain(&self.chain, &sealed);
-            seal_ns += sw.lap();
+            lap.seal_ns += lap.sw.lap();
             let mut record = sealed;
             record.extend_from_slice(&chain);
-            let (_, _, len) = self.segs.append_record(RecordKind::Commit, &record)?;
-            append_ns += sw.lap();
+            let res = self.segs.append_record(RecordKind::Commit, &record);
+            lap.append_ns += lap.sw.lap();
+            let (_, _, commit_len) = match res {
+                Ok(v) => v,
+                Err(e) => {
+                    unwind(self, &writes);
+                    return Err(e);
+                }
+            };
+            // The group's commit record is in the log: apply its effects.
+            self.commit_seq += 1;
             self.chain = chain;
-            self.residual_bytes += len as u64;
-        }
-        if sw.running() {
-            self.stats.phases.serialize.record(ser_ns);
-            self.stats.phases.seal.record(seal_ns);
-            self.stats.phases.append.record(append_ns);
+            for (id, loc) in writes {
+                if let Some(old) = self.map.set(id, loc) {
+                    self.pending_dec.push(old);
+                }
+                self.residual_bytes += loc.len as u64;
+            }
+            for id in deallocs {
+                if let Some(old) = self.map.remove(id) {
+                    self.pending_dec.push(old);
+                }
+                self.free_ids.insert(id.0);
+            }
+            self.residual_bytes += commit_len as u64;
         }
         for s in self.segs.drain_entered() {
             self.residual_segments.insert(s);
         }
-
-        if durable {
-            self.durable_anchor(sampled)?;
-            self.maintain()?;
-            if sw_total.running() {
-                self.stats.phases.commit_total.record(sw_total.lap());
-            }
-        } else {
-            self.segs.flush()?;
-        }
-        Ok(())
+        Ok(self.commit_seq)
     }
 
     /// Sync the log and advance the trusted anchor (+ one-way counter).
     /// Everything appended so far becomes durable and recoverable.
-    /// `sampled` controls phase timing (see [`Inner::sample_phases`]).
+    /// `sampled` controls phase timing (see [`StoreCore::sample_phases`]).
     pub(crate) fn durable_anchor(&mut self, sampled: bool) -> Result<()> {
         let mut sw = if sampled {
             Stopwatch::start()
@@ -330,6 +352,10 @@ impl Inner {
             Stopwatch::inert()
         };
         self.segs.sync_touched()?;
+        // Cover a group leader's in-flight out-of-lock sync: this anchor's
+        // `last_seq` spans those records too, so their segments must be on
+        // disk before it is written (double-syncing is harmless).
+        self.segs.sync_ids(&self.sync_inflight)?;
         if sw.running() {
             self.stats.phases.sync.record(sw.lap());
         }
@@ -359,18 +385,22 @@ impl Inner {
             last_chain: self.chain,
             counter_value: self.counter_value,
         };
-        AnchorStore::new(&*self.untrusted).write(&self.ctx, &state)?;
-        add(&self.stats.anchor_writes, 1);
-        if sw.running() {
-            self.stats.phases.anchor.record(sw.lap());
-        }
-        if self.ctx.mode() == SecurityMode::Full {
-            // Anchor first, then counter: a crash between the two leaves
-            // `anchor == hw + 1`, which `open` repairs by bumping the
-            // counter. The reverse order would make a crash window look
-            // like a replay attack.
-            self.counter.increment()?;
-            add(&self.stats.counter_increments, 1);
+        {
+            let io = self.anchor_io.clone();
+            let _io = io.lock();
+            AnchorStore::new(&*self.untrusted).write(&self.ctx, &state)?;
+            add(&self.stats.anchor_writes, 1);
+            if sw.running() {
+                self.stats.phases.anchor.record(sw.lap());
+            }
+            if self.ctx.mode() == SecurityMode::Full {
+                // Anchor first, then counter: a crash between the two leaves
+                // `anchor == hw + 1`, which `open` repairs by bumping the
+                // counter. The reverse order would make a crash window look
+                // like a replay attack.
+                self.counter.increment()?;
+                add(&self.stats.counter_increments, 1);
+            }
         }
         if sw.running() {
             self.stats.phases.counter.record(sw.lap());
@@ -380,6 +410,53 @@ impl Inner {
             self.segs.sub_live(loc.seg, loc.len as u64);
         }
         Ok(())
+    }
+
+    /// Snapshot everything an anchor round needs so the group-commit
+    /// leader can run the round's slow half (data-segment sync, anchor
+    /// write, counter bump) without holding the store lock. Appenders
+    /// proceed concurrently; their records land after `covered` and are
+    /// simply not covered by this anchor. Anchor-state fields are captured
+    /// here, under the lock, so they are mutually consistent.
+    fn prepare_anchor(&mut self) -> Result<PreparedAnchor> {
+        let files = self.segs.take_touched()?;
+        self.sync_inflight.extend(files.iter().map(|(s, _)| *s));
+        self.anchor_seq += 1;
+        if self.ctx.mode() == SecurityMode::Full {
+            self.counter_value += 1;
+        }
+        let free_ids: Vec<u64> = self
+            .free_ids
+            .iter()
+            .take(self.cfg.free_list_cap)
+            .copied()
+            .collect();
+        let state = AnchorState {
+            anchor_seq: self.anchor_seq,
+            segment_size: self.cfg.segment_size,
+            map_fanout: self.cfg.map_fanout as u32,
+            map_root: self.checkpointed_root.0,
+            map_depth: self.checkpointed_root.1,
+            next_id: self.next_id,
+            free_ids,
+            residual_seg: self.residual_start.0,
+            residual_off: self.residual_start.1,
+            base_seq: self.base_seq,
+            chain_base: self.chain_base,
+            last_seq: self.commit_seq,
+            last_chain: self.chain,
+            counter_value: self.counter_value,
+        };
+        Ok(PreparedAnchor {
+            state,
+            files,
+            pending_dec: std::mem::take(&mut self.pending_dec),
+            untrusted: self.untrusted.clone(),
+            counter: self.counter.clone(),
+            anchor_io: self.anchor_io.clone(),
+            bump_counter: self.ctx.mode() == SecurityMode::Full,
+            covered: self.commit_seq,
+        })
     }
 
     /// Write the dirty location-map pages, advance the anchor to the new
@@ -476,12 +553,452 @@ pub(crate) fn iv_salt(counter: &dyn OneWayCounter) -> u64 {
     nanos ^ counter.read().unwrap_or(0).rotate_left(32)
 }
 
+/// An anchor round snapshotted under the store lock, to be completed by
+/// the group-commit leader outside it (see [`Inner::prepare_anchor`]).
+struct PreparedAnchor {
+    state: AnchorState,
+    files: Vec<(u32, Arc<dyn tdb_platform::RandomAccessFile>)>,
+    pending_dec: Vec<Location>,
+    untrusted: Arc<dyn UntrustedStore>,
+    counter: Arc<dyn OneWayCounter>,
+    anchor_io: Arc<Mutex<()>>,
+    bump_counter: bool,
+    covered: u64,
+}
+
+/// Group-commit coordinator state (guarded by [`StoreCore::group`]).
+///
+/// Durable committers register their commit sequence and wait until
+/// `durable_seq` covers it. Whoever finds no leader active becomes the
+/// leader: it drops this lock, takes the store lock, and runs one
+/// sync/anchor/counter round, which makes *every* commit record appended
+/// so far durable (durability is by anchor coverage, `last_seq`). It then
+/// publishes the covered sequence and wakes the followers. Lock ordering:
+/// the group lock and the store lock are never held together.
+#[derive(Default)]
+struct GroupState {
+    /// A leader is between "decided to anchor" and "published its result".
+    leader_active: bool,
+    /// Commit sequences of committers currently waiting for durability.
+    waiters: Vec<u64>,
+}
+
+/// State shared by the store handle and every outstanding [`WriteBatch`].
+pub(crate) struct StoreCore {
+    pub(crate) inner: Mutex<Inner>,
+    ctx: Arc<CryptoCtx>,
+    stats: SharedStats,
+    /// Commits until the next phase-attributed (fully timed) commit; see
+    /// [`tdb_obs::phase_sample_every`].
+    phase_tick: AtomicU64,
+    /// Highest commit sequence covered by a written anchor. Outside the
+    /// group mutex so committers can check coverage (and spin briefly on
+    /// an in-flight anchor round) without any lock traffic.
+    durable_seq: AtomicU64,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+}
+
+impl StoreCore {
+    /// Whether this commit gets full phase attribution. The detailed laps
+    /// cost several clock reads per record — too much for every commit — so
+    /// only every [`tdb_obs::phase_sample_every`]-th commit is timed.
+    /// Everything a sampled commit records (including `commit.total` and the
+    /// `durable_anchor` phases when it leads its own group) comes from the
+    /// same commit, so per-commit phase samples still sum to their
+    /// `commit.total` sample in single-threaded runs.
+    fn sample_phases(&self) -> bool {
+        if !tdb_obs::enabled() {
+            return false;
+        }
+        let tick = self.phase_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        tick.is_multiple_of(tdb_obs::phase_sample_every())
+    }
+
+    /// Seal a batch's staged operations outside any store lock.
+    fn seal_ops(&self, ops: BTreeMap<u64, Option<Vec<u8>>>, lap: &mut CommitLap) -> Vec<SealedOp> {
+        let mut sealed_ops = Vec::with_capacity(ops.len());
+        for (raw_id, op) in ops {
+            let id = ChunkId(raw_id);
+            match op {
+                Some(data) => {
+                    lap.sw.lap();
+                    let payload = encode_chunk_payload(id, &data);
+                    lap.ser_ns += lap.sw.lap();
+                    let sealed = self.ctx.seal(&payload);
+                    let hash = self.ctx.hash(&sealed);
+                    lap.seal_ns += lap.sw.lap();
+                    sealed_ops.push(SealedOp::Write { id, sealed, hash });
+                }
+                None => sealed_ops.push(SealedOp::Dealloc(id)),
+            }
+        }
+        sealed_ops
+    }
+
+    /// Seal and append `ops` as one atomic commit; returns the ticket for
+    /// [`StoreCore::wait_ticket`]. For nondurable commits the log is
+    /// flushed (not synced) before returning, matching §3.2.2.
+    fn append_ops(
+        &self,
+        ops: BTreeMap<u64, Option<Vec<u8>>>,
+        durable: bool,
+    ) -> Result<CommitTicket> {
+        let sampled = self.sample_phases();
+        let total = if sampled {
+            Stopwatch::start()
+        } else {
+            Stopwatch::inert()
+        };
+        if ops.is_empty() {
+            return Ok(CommitTicket {
+                seq: 0,
+                empty: true,
+                durable,
+                sampled,
+                total,
+            });
+        }
+        add(&self.stats.commits, 1);
+        if durable {
+            add(&self.stats.durable_commits, 1);
+        }
+        let mut lap = CommitLap::new(sampled);
+        let sealed_ops = self.seal_ops(ops, &mut lap);
+        let seq = {
+            let mut inner = self.inner.lock();
+            let seq = inner.append_sealed(&sealed_ops, durable, &mut lap)?;
+            if !durable {
+                inner.segs.flush()?;
+            }
+            seq
+        };
+        if lap.sw.running() {
+            self.stats.phases.serialize.record(lap.ser_ns);
+            self.stats.phases.seal.record(lap.seal_ns);
+            self.stats.phases.append.record(lap.append_ns);
+        }
+        Ok(CommitTicket {
+            seq,
+            empty: false,
+            durable,
+            sampled,
+            total,
+        })
+    }
+
+    /// Complete a commit: no-op for nondurable tickets; group-commit wait
+    /// (leading an anchor round if nobody else is) for durable ones.
+    fn wait_ticket(&self, ticket: CommitTicket) -> Result<()> {
+        let CommitTicket {
+            seq,
+            empty,
+            durable,
+            sampled,
+            mut total,
+        } = ticket;
+        if !durable {
+            return Ok(());
+        }
+        if empty {
+            // Legacy semantics: an empty durable commit still forces a
+            // sync/anchor/counter round (callers use it as a barrier).
+            let covered = {
+                let mut inner = self.inner.lock();
+                inner.durable_anchor(sampled)?;
+                let covered = inner.commit_seq;
+                inner.maintain()?;
+                covered
+            };
+            self.publish_durable(covered);
+            if total.running() {
+                self.stats.phases.commit_total.record(total.lap());
+            }
+            return Ok(());
+        }
+        self.wait_durable_seq(seq, sampled)?;
+        if total.running() {
+            self.stats.phases.commit_total.record(total.lap());
+        }
+        Ok(())
+    }
+
+    /// Block until an anchor covers `my_seq`, leading the anchor round if
+    /// no leader is active. See [`GroupState`] for the protocol.
+    fn wait_durable_seq(&self, my_seq: u64, sampled: bool) -> Result<()> {
+        let obs_on = tdb_obs::enabled();
+        let mut wait_sw = if obs_on {
+            Stopwatch::start()
+        } else {
+            Stopwatch::inert()
+        };
+        // Lock-free fast path: a concurrent leader that locked the store
+        // after our append has already anchored past us.
+        if self.durable_seq.load(Ordering::Acquire) >= my_seq {
+            if wait_sw.running() {
+                self.stats.phases.group_wait.record(wait_sw.lap());
+            }
+            return Ok(());
+        }
+        // Brief spin before any blocking: on a fast store (memory, warm
+        // page cache) an in-flight anchor round completes in well under the
+        // cost of a condvar sleep/wake, so parking immediately would turn
+        // group commit into a context-switch tax. The budget is small
+        // enough that a real disk sync falls through to the sleep path.
+        for _ in 0..500 {
+            std::hint::spin_loop();
+            if self.durable_seq.load(Ordering::Acquire) >= my_seq {
+                if wait_sw.running() {
+                    self.stats.phases.group_wait.record(wait_sw.lap());
+                }
+                return Ok(());
+            }
+        }
+        fn unregister(waiters: &mut Vec<u64>, seq: u64) {
+            if let Some(at) = waiters.iter().position(|s| *s == seq) {
+                waiters.swap_remove(at);
+            }
+        }
+        let mut g = self.group.lock();
+        g.waiters.push(my_seq);
+        loop {
+            if self.durable_seq.load(Ordering::Acquire) >= my_seq {
+                // A leader's anchor covered us (group follower).
+                unregister(&mut g.waiters, my_seq);
+                drop(g);
+                if wait_sw.running() {
+                    self.stats.phases.group_wait.record(wait_sw.lap());
+                }
+                return Ok(());
+            }
+            if !g.leader_active {
+                // Become the leader: anchor once for everyone appended so
+                // far. The group lock is dropped across the anchor round so
+                // new committers can append and enqueue meanwhile.
+                g.leader_active = true;
+                drop(g);
+                let anchored: Result<u64> = self.leader_anchor_round(sampled);
+                let mut g = self.group.lock();
+                g.leader_active = false;
+                let covered = match anchored {
+                    Ok(covered) => covered,
+                    Err(e) => {
+                        // Our round failed; let a follower try to lead.
+                        unregister(&mut g.waiters, my_seq);
+                        self.group_cv.notify_all();
+                        return Err(e);
+                    }
+                };
+                // Group size = commit records this anchor newly covered
+                // (commit_seq advances by one per commit), which counts
+                // spin-path committers that never registered as waiters.
+                let prev = self.durable_seq.fetch_max(covered, Ordering::AcqRel);
+                let group_size = covered.saturating_sub(prev);
+                unregister(&mut g.waiters, my_seq);
+                self.group_cv.notify_all();
+                drop(g);
+                if obs_on {
+                    self.stats.phases.group_size.record(group_size.max(1));
+                    if wait_sw.running() {
+                        self.stats.phases.group_wait.record(wait_sw.lap());
+                    }
+                }
+                // Housekeeping (checkpoint / cleaner) runs outside the
+                // group window so followers wake at durability, not after
+                // maintenance, and new appends overlap with it.
+                let mut inner = self.inner.lock();
+                return inner.maintain();
+            }
+            self.group_cv.wait(&mut g);
+        }
+    }
+
+    /// One overlapped anchor round: snapshot under the store lock, then
+    /// sync the data segments and write the anchor *outside* it, so
+    /// concurrent committers keep appending — and pile into the next
+    /// group — while this round's sync is in flight. Rounds are serialized
+    /// by `leader_active`; the in-lock anchor paths coexist via
+    /// `Inner::sync_inflight` and the `anchor_io` leaf lock.
+    fn leader_anchor_round(&self, sampled: bool) -> Result<u64> {
+        let mut sw = if sampled {
+            Stopwatch::start()
+        } else {
+            Stopwatch::inert()
+        };
+        let prep = {
+            let mut inner = self.inner.lock();
+            inner.prepare_anchor()
+        }?;
+        let synced: Result<()> = prep.files.iter().try_for_each(|(_, f)| {
+            f.sync()?;
+            add(&self.stats.syncs, 1);
+            Ok(())
+        });
+        if sw.running() {
+            self.stats.phases.sync.record(sw.lap());
+        }
+        if let Err(e) = synced {
+            let mut inner = self.inner.lock();
+            inner
+                .segs
+                .restore_touched(prep.files.iter().map(|(s, _)| *s));
+            for (s, _) in &prep.files {
+                inner.sync_inflight.remove(s);
+            }
+            inner.pending_dec.extend(prep.pending_dec);
+            return Err(e);
+        }
+        let io_result: Result<()> = (|| {
+            let _io = prep.anchor_io.lock();
+            AnchorStore::new(&*prep.untrusted).write(&self.ctx, &prep.state)?;
+            add(&self.stats.anchor_writes, 1);
+            if sw.running() {
+                self.stats.phases.anchor.record(sw.lap());
+            }
+            if prep.bump_counter {
+                prep.counter.increment()?;
+                add(&self.stats.counter_increments, 1);
+            }
+            Ok(())
+        })();
+        if sw.running() {
+            self.stats.phases.counter.record(sw.lap());
+        }
+        let mut inner = self.inner.lock();
+        for (s, _) in &prep.files {
+            inner.sync_inflight.remove(s);
+        }
+        match io_result {
+            Ok(()) => {
+                // Everything superseded before this anchor is now truly
+                // dead (mirrors the tail of `Inner::durable_anchor`).
+                for loc in prep.pending_dec {
+                    inner.segs.sub_live(loc.seg, loc.len as u64);
+                }
+                Ok(prep.covered)
+            }
+            Err(e) => {
+                inner.pending_dec.extend(prep.pending_dec);
+                Err(e)
+            }
+        }
+    }
+
+    /// Record that an anchor has covered `covered` (used by paths that
+    /// anchor outside the coordinator: checkpoints, empty durable commits).
+    /// The notify is taken under the group lock so it cannot slip between a
+    /// waiter's coverage check and its sleep.
+    fn publish_durable(&self, covered: u64) {
+        if self.durable_seq.fetch_max(covered, Ordering::AcqRel) < covered {
+            let _g = self.group.lock();
+            self.group_cv.notify_all();
+        }
+    }
+}
+
+/// A per-transaction staging area (paper Fig. 2's operations, scoped to
+/// one committer). Writes and deallocations stage here without taking the
+/// store-wide lock; [`ChunkStore::commit_batch`] applies them atomically.
+/// Dropping an uncommitted batch discards its staged operations and
+/// returns its allocated ids to the free pool.
+pub struct WriteBatch {
+    core: Arc<StoreCore>,
+    staged: Batch,
+}
+
+impl WriteBatch {
+    /// Allocate an unused chunk id (paper Fig. 2: `allocateChunkId`). The
+    /// id is reserved store-wide immediately; it returns to the free pool
+    /// if the batch is dropped without committing.
+    pub fn allocate_chunk_id(&mut self) -> Result<ChunkId> {
+        Ok(self.core.inner.lock().allocate_into(&mut self.staged))
+    }
+
+    /// Stage a write of `cid`'s state. Takes effect when the batch commits.
+    /// Signals if `cid` is not allocated.
+    pub fn write(&mut self, cid: ChunkId, bytes: &[u8]) -> Result<()> {
+        self.core
+            .inner
+            .lock()
+            .stage_write(&mut self.staged, cid, bytes)
+    }
+
+    /// Stage a deallocation of `cid`. Takes effect when the batch commits.
+    pub fn deallocate(&mut self, cid: ChunkId) -> Result<()> {
+        self.core.inner.lock().stage_dealloc(&mut self.staged, cid)
+    }
+
+    /// Read through this batch: staged writes win over committed state.
+    pub fn read(&self, cid: ChunkId) -> Result<Vec<u8>> {
+        self.core.inner.lock().read_with(&self.staged, cid)
+    }
+
+    /// Whether anything is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.ops.is_empty()
+    }
+
+    /// Staged operations (writes + deallocations).
+    pub fn staged_ops(&self) -> usize {
+        self.staged.ops.len()
+    }
+
+    /// Explicitly discard this batch (equivalent to dropping it): staged
+    /// operations vanish, allocated ids return to the free pool. Only this
+    /// batch is affected — other batches' staged writes are untouched.
+    pub fn discard(self) {}
+}
+
+impl Drop for WriteBatch {
+    fn drop(&mut self) {
+        if !self.staged.ops.is_empty() || !self.staged.allocated.is_empty() {
+            self.core.inner.lock().free_batch(&mut self.staged);
+        }
+    }
+}
+
+/// A claim ticket from [`ChunkStore::append_batch`]: the batch's commit
+/// record(s) are in the log; redeem with [`ChunkStore::wait_durable`] to
+/// block until a group anchor covers them.
+#[must_use = "a durable commit is not durable until wait_durable returns"]
+pub struct CommitTicket {
+    seq: u64,
+    empty: bool,
+    durable: bool,
+    sampled: bool,
+    total: Stopwatch,
+}
+
 /// The trusted chunk store (paper §3). See the crate docs for an example.
+///
+/// Concurrency: any number of [`WriteBatch`] handles may stage
+/// independently; commits serialize only on the short log-tail append,
+/// and concurrent durable commits share sync/anchor/counter rounds via
+/// the group-commit coordinator. The inherent `write`/`commit`/… methods
+/// are the legacy single-handle API over a store-owned default batch.
 pub struct ChunkStore {
-    inner: Mutex<Inner>,
+    core: Arc<StoreCore>,
+    /// Staging area for the legacy single-handle API.
+    default_batch: Mutex<Batch>,
 }
 
 impl ChunkStore {
+    fn from_inner(inner: Inner) -> ChunkStore {
+        let core = StoreCore {
+            ctx: inner.ctx.clone(),
+            stats: inner.stats.clone(),
+            phase_tick: AtomicU64::new(0),
+            durable_seq: AtomicU64::new(inner.commit_seq),
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
+            inner: Mutex::new(inner),
+        };
+        ChunkStore {
+            core: Arc::new(core),
+            default_batch: Mutex::new(Batch::default()),
+        }
+    }
+
     /// Create a fresh database. Fails if one already exists in `untrusted`.
     pub fn create(
         untrusted: Arc<dyn UntrustedStore>,
@@ -495,7 +1012,7 @@ impl ChunkStore {
                 "a database already exists in this untrusted store".into(),
             ));
         }
-        let ctx = CryptoCtx::new(cfg.security, secret, iv_salt(&*counter))?;
+        let ctx = Arc::new(CryptoCtx::new(cfg.security, secret, iv_salt(&*counter))?);
         let stats: SharedStats = Arc::new(Stats::default());
         let segs = SegmentManager::create(
             untrusted.clone(),
@@ -518,7 +1035,6 @@ impl ChunkStore {
             map,
             next_id: 0,
             free_ids: BTreeSet::new(),
-            batch: Batch::default(),
             commit_seq: 0,
             chain: [0u8; 32],
             base_seq: 0,
@@ -539,15 +1055,14 @@ impl ChunkStore {
                 1,
             ),
             pending_dec: Vec::new(),
-            phase_tick: 0,
             snapshots: Vec::new(),
+            sync_inflight: BTreeSet::new(),
+            anchor_io: Arc::new(Mutex::new(())),
             stats,
             recovery: None,
         };
         inner.do_checkpoint()?;
-        Ok(ChunkStore {
-            inner: Mutex::new(inner),
-        })
+        Ok(ChunkStore::from_inner(inner))
     }
 
     /// Open an existing database, running crash recovery, tamper
@@ -559,9 +1074,7 @@ impl ChunkStore {
         cfg: ChunkStoreConfig,
     ) -> Result<Self> {
         let inner = recovery::open_impl(untrusted, secret, counter, cfg)?;
-        Ok(ChunkStore {
-            inner: Mutex::new(inner),
-        })
+        Ok(ChunkStore::from_inner(inner))
     }
 
     /// Open if a database exists, otherwise create one.
@@ -578,64 +1091,134 @@ impl ChunkStore {
         }
     }
 
+    // ---- per-transaction batches ------------------------------------
+
+    /// Start an independent staging area. Concurrent batches stage without
+    /// contending; see [`WriteBatch`].
+    pub fn begin_batch(&self) -> WriteBatch {
+        WriteBatch {
+            core: self.core.clone(),
+            staged: Batch::default(),
+        }
+    }
+
+    /// Atomically apply a batch's staged operations. `durable` commits
+    /// return once a group anchor covers them (one sync/anchor/counter
+    /// round may cover many concurrent committers); nondurable commits
+    /// return after the flush. A failed commit affects only this batch.
+    pub fn commit_batch(&self, batch: WriteBatch, durable: bool) -> Result<()> {
+        let ticket = self.append_batch(batch, durable)?;
+        self.wait_durable(ticket)
+    }
+
+    /// First half of [`ChunkStore::commit_batch`]: seal and append the
+    /// batch's commit record(s) to the log — the commit point — and
+    /// return a ticket. Callers that must order other work (e.g. 2PL lock
+    /// release) against the commit point but not against durability can
+    /// do it between `append_batch` and [`ChunkStore::wait_durable`].
+    pub fn append_batch(&self, mut batch: WriteBatch, durable: bool) -> Result<CommitTicket> {
+        let ops = std::mem::take(&mut batch.staged.ops);
+        // Allocations become permanent at commit (even a failed append may
+        // have committed earlier record groups, so ids never return to the
+        // free pool here — exactly the legacy single-batch behavior).
+        batch.staged.allocated.clear();
+        self.core.append_ops(ops, durable)
+    }
+
+    /// Second half of [`ChunkStore::commit_batch`]: block until the
+    /// ticket's commit records are durable (joining or leading a group
+    /// anchor round). No-op for nondurable tickets.
+    pub fn wait_durable(&self, ticket: CommitTicket) -> Result<()> {
+        self.core.wait_ticket(ticket)
+    }
+
+    // ---- legacy single-handle API (store-owned default batch) --------
+
     /// Allocate an unused chunk id (paper Fig. 2: `allocateChunkId`).
     pub fn allocate_chunk_id(&self) -> Result<ChunkId> {
-        Ok(self.inner.lock().allocate_chunk_id())
+        let mut staged = self.default_batch.lock();
+        Ok(self.core.inner.lock().allocate_into(&mut staged))
     }
 
     /// Stage a write of `cid`'s state. Takes effect at the next commit.
     /// Signals if `cid` is not allocated.
     pub fn write(&self, cid: ChunkId, bytes: &[u8]) -> Result<()> {
-        self.inner.lock().write(cid, bytes)
+        let mut staged = self.default_batch.lock();
+        self.core.inner.lock().stage_write(&mut staged, cid, bytes)
     }
 
     /// Return the last written state of `cid` (staged writes included).
     /// Signals if the chunk is unallocated, unwritten, or tampered with.
     pub fn read(&self, cid: ChunkId) -> Result<Vec<u8>> {
-        self.inner.lock().read(cid)
+        let staged = self.default_batch.lock();
+        self.core.inner.lock().read_with(&staged, cid)
     }
 
     /// Stage a deallocation of `cid`. Takes effect at the next commit.
     pub fn deallocate(&self, cid: ChunkId) -> Result<()> {
-        self.inner.lock().deallocate(cid)
+        let mut staged = self.default_batch.lock();
+        self.core.inner.lock().stage_dealloc(&mut staged, cid)
     }
 
-    /// Atomically apply all staged operations. See the module docs for the
-    /// durable/nondurable distinction.
+    /// Atomically apply all operations staged through the single-handle
+    /// API. See the module docs for the durable/nondurable distinction.
     pub fn commit(&self, durable: bool) -> Result<()> {
-        self.inner.lock().commit(durable)
+        let ops = {
+            let mut staged = self.default_batch.lock();
+            staged.allocated.clear();
+            std::mem::take(&mut staged.ops)
+        };
+        let ticket = self.core.append_ops(ops, durable)?;
+        self.core.wait_ticket(ticket)
     }
 
-    /// Drop all staged operations and return batch-allocated ids.
+    /// Drop all staged single-handle operations and return batch-allocated
+    /// ids to the free pool.
     pub fn discard(&self) {
-        self.inner.lock().discard()
+        let mut staged = self.default_batch.lock();
+        self.core.inner.lock().free_batch(&mut staged);
     }
 
     /// Force a checkpoint of the location map (normally automatic; exposed
     /// for idle-time maintenance as the paper suggests deferring
     /// reorganization to idle periods).
     pub fn checkpoint(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if !inner.batch.ops.is_empty() {
-            inner.commit(false)?;
+        let ops = {
+            let mut staged = self.default_batch.lock();
+            if staged.ops.is_empty() {
+                BTreeMap::new()
+            } else {
+                staged.allocated.clear();
+                std::mem::take(&mut staged.ops)
+            }
+        };
+        if !ops.is_empty() {
+            let ticket = self.core.append_ops(ops, false)?;
+            self.core.wait_ticket(ticket)?;
         }
-        inner.do_checkpoint()
+        let covered = {
+            let mut inner = self.core.inner.lock();
+            inner.do_checkpoint()?;
+            inner.commit_seq
+        };
+        self.core.publish_durable(covered);
+        Ok(())
     }
 
     /// Run one cleaner pass (normally automatic). Returns segments freed.
     pub fn clean(&self) -> Result<usize> {
-        cleaner::clean_pass(&mut self.inner.lock())
+        cleaner::clean_pass(&mut self.core.inner.lock())
     }
 
     /// Take a copy-on-write snapshot of the committed database state.
     /// Staged (uncommitted) operations are not included.
     pub fn snapshot(&self) -> Snapshot {
-        self.inner.lock().take_snapshot()
+        self.core.inner.lock().take_snapshot()
     }
 
     /// Read a chunk's state as of `snap`.
     pub fn read_at_snapshot(&self, snap: &Snapshot, cid: ChunkId) -> Result<Vec<u8>> {
-        let inner = self.inner.lock();
+        let inner = self.core.inner.lock();
         let loc = snap
             .location_of(cid)
             .ok_or(ChunkStoreError::NotAllocated(cid))?;
@@ -664,12 +1247,12 @@ impl ChunkStore {
     /// What crash recovery found and did, if this handle was produced by
     /// [`ChunkStore::open`] (a freshly created store has no report).
     pub fn recovery_report(&self) -> Option<recovery::RecoveryReport> {
-        self.inner.lock().recovery.clone()
+        self.core.inner.lock().recovery.clone()
     }
 
     /// Operation counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.lock().stats.snapshot()
+        self.core.stats.snapshot()
     }
 
     /// The store's observability registry: the `chunk.*` counters behind
@@ -677,37 +1260,39 @@ impl ChunkStore {
     /// histograms. Higher layers (object/collection/backup stores) register
     /// their instruments here too, so one registry describes a whole stack.
     pub fn obs(&self) -> Arc<tdb_obs::Registry> {
-        self.inner.lock().stats.registry().clone()
+        self.core.stats.registry().clone()
     }
 
     /// Current database utilization (live bytes / in-use capacity).
     pub fn utilization(&self) -> f64 {
-        self.inner.lock().segs.utilization()
+        self.core.inner.lock().segs.utilization()
     }
 
     /// On-disk footprint of the log in bytes.
     pub fn disk_size(&self) -> u64 {
-        self.inner.lock().segs.disk_size()
+        self.core.inner.lock().segs.disk_size()
     }
 
     /// Number of live chunks.
     pub fn live_chunks(&self) -> u64 {
-        self.inner.lock().map.live_count()
+        self.core.inner.lock().map.live_count()
     }
 
     /// The security mode the store runs in.
     pub fn security(&self) -> SecurityMode {
-        self.inner.lock().cfg.security
+        self.core.inner.lock().cfg.security
     }
 
-    /// Whether `cid` is currently allocated (committed or staged).
+    /// Whether `cid` is currently allocated (committed or staged through
+    /// the single-handle API).
     pub fn is_allocated(&self, cid: ChunkId) -> bool {
-        self.inner.lock().is_allocated(cid)
+        let staged = self.default_batch.lock();
+        self.core.inner.lock().is_allocated_with(&staged, cid)
     }
 
     /// Largest chunk this configuration accepts.
     pub fn max_chunk_size(&self) -> usize {
-        self.inner.lock().max_chunk_size()
+        self.core.inner.lock().max_chunk_size()
     }
 
     /// Accounting audit (diagnostics): `(accounted_live, walked_live,
@@ -718,7 +1303,7 @@ impl ChunkStore {
     /// batch staged) the two must agree exactly.
     #[doc(hidden)]
     pub fn debug_accounting(&self) -> (u64, u64, usize, usize, usize) {
-        let inner = self.inner.lock();
+        let inner = self.core.inner.lock();
         let mut walked = 0u64;
         inner
             .map
@@ -737,11 +1322,12 @@ impl ChunkStore {
     /// pool (used by the object store when a transaction that inserted
     /// objects aborts). Ids with committed or staged state are ignored.
     pub fn release_unwritten_ids(&self, ids: &[ChunkId]) {
-        let mut inner = self.inner.lock();
+        let staged = self.default_batch.lock();
+        let mut inner = self.core.inner.lock();
         for id in ids {
             if id.0 < inner.next_id
                 && inner.map.get(*id).is_none()
-                && !inner.batch.ops.contains_key(&id.0)
+                && !staged.ops.contains_key(&id.0)
             {
                 inner.free_ids.insert(id.0);
             }
@@ -753,22 +1339,28 @@ impl ChunkStore {
     /// `create`). Ids below the restored high-water mark that are absent
     /// from the image become free.
     pub fn restore_image(&self, chunks: Vec<(ChunkId, Vec<u8>)>) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.map.live_count() != 0 || !inner.batch.ops.is_empty() {
-            return Err(ChunkStoreError::ConfigMismatch(
-                "restore_image requires an empty store".into(),
-            ));
+        let staged = self.default_batch.lock();
+        let mut ops: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+        {
+            let mut inner = self.core.inner.lock();
+            if inner.map.live_count() != 0 || !staged.ops.is_empty() {
+                return Err(ChunkStoreError::ConfigMismatch(
+                    "restore_image requires an empty store".into(),
+                ));
+            }
+            let max_id = chunks.iter().map(|(id, _)| id.0).max();
+            if let Some(max_id) = max_id {
+                let present: HashSet<u64> = chunks.iter().map(|(id, _)| id.0).collect();
+                inner.next_id = max_id + 1;
+                inner.free_ids = (0..=max_id).filter(|i| !present.contains(i)).collect();
+            }
         }
-        let max_id = chunks.iter().map(|(id, _)| id.0).max();
-        if let Some(max_id) = max_id {
-            let present: HashSet<u64> = chunks.iter().map(|(id, _)| id.0).collect();
-            inner.next_id = max_id + 1;
-            inner.free_ids = (0..=max_id).filter(|i| !present.contains(i)).collect();
-        }
+        drop(staged);
         for (id, data) in chunks {
-            inner.batch.ops.insert(id.0, Some(data));
+            ops.insert(id.0, Some(data));
         }
-        inner.commit(true)
+        let ticket = self.core.append_ops(ops, true)?;
+        self.core.wait_ticket(ticket)
     }
 
     /// Apply an incremental delta at exact chunk ids (backup restore). Ids
@@ -778,25 +1370,33 @@ impl ChunkStore {
         writes: Vec<(ChunkId, Vec<u8>)>,
         removes: Vec<ChunkId>,
     ) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if !inner.batch.ops.is_empty() {
-            return Err(ChunkStoreError::ConfigMismatch(
-                "apply_restore_delta with operations staged".into(),
-            ));
-        }
-        for (id, data) in writes {
-            if id.0 >= inner.next_id {
-                for gap in inner.next_id..id.0 {
-                    inner.free_ids.insert(gap);
-                }
-                inner.next_id = id.0 + 1;
+        let staged = self.default_batch.lock();
+        let mut ops: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+        {
+            let mut inner = self.core.inner.lock();
+            if !staged.ops.is_empty() {
+                return Err(ChunkStoreError::ConfigMismatch(
+                    "apply_restore_delta with operations staged".into(),
+                ));
             }
-            inner.free_ids.remove(&id.0);
-            inner.batch.ops.insert(id.0, Some(data));
+            for (id, _) in &writes {
+                if id.0 >= inner.next_id {
+                    for gap in inner.next_id..id.0 {
+                        inner.free_ids.insert(gap);
+                    }
+                    inner.next_id = id.0 + 1;
+                }
+                inner.free_ids.remove(&id.0);
+            }
+        }
+        drop(staged);
+        for (id, data) in writes {
+            ops.insert(id.0, Some(data));
         }
         for id in removes {
-            inner.batch.ops.insert(id.0, None);
+            ops.insert(id.0, None);
         }
-        inner.commit(true)
+        let ticket = self.core.append_ops(ops, true)?;
+        self.core.wait_ticket(ticket)
     }
 }

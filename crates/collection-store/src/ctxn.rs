@@ -6,6 +6,13 @@
 //! which is why the wrapped object-store transaction is crate-private:
 //! writable references to collection objects can only be obtained by
 //! dereferencing an iterator.
+//!
+//! Concurrency-wise a `CTransaction` is self-contained: the wrapped
+//! object-store transaction carries its own chunk-level `WriteBatch`, so
+//! collection mutations (objects, index nodes, directory updates) stage
+//! privately and only meet other transactions at the log-tail append and
+//! the shared group-commit round. A failed or aborted `CTransaction`
+//! discards just its own staged writes.
 
 use crate::collection::{self, Collection};
 use crate::error::{CollectionError, Result};

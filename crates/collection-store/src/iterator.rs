@@ -110,12 +110,19 @@ impl<'t> CIter<'t> {
             return Err(CollectionError::IteratorConflict);
         }
         let oid = self.current_or_end()?;
+        // Take the exclusive lock *before* snapshotting keys: snapshotting
+        // first would read the object under a shared lock and then upgrade,
+        // and two transactions doing that to the same object deadlock
+        // (each waits for the other's shared lock to drain). The object is
+        // unmodified until the caller mutates it through the returned ref,
+        // so the snapshot still captures the pre-update keys.
+        let wref = self.ct.txn.open_writable::<T>(oid)?;
         if !self.writes.iter().any(|(o, _)| *o == oid) {
             let metas = load_metas(self.ct, self.coll)?;
             let pre = key_snapshot(self.ct, &self.coll_name, &metas, oid, false)?;
             self.writes.push((oid, pre));
         }
-        Ok(self.ct.txn.open_writable::<T>(oid)?)
+        Ok(wref)
     }
 
     /// Delete the currently enumerated object from the collection (and the

@@ -30,14 +30,35 @@ pub enum LockMode {
 /// Identifier of a lock owner (a transaction).
 pub type TxnId = u64;
 
+/// Number of independent lock-table shards. Objects hash to a shard; all
+/// state for one object (holders, waiters, doomed marks) lives in exactly
+/// one shard, so the hot acquire/release paths of transactions touching
+/// different objects never contend on a common mutex. 16 shards is plenty
+/// for the thread counts this store targets (the paper's workload is a
+/// handful of concurrent client transactions).
+const SHARD_COUNT: usize = 16;
+
+/// Shard index for an object id (Fibonacci hash; ids are often sequential,
+/// so a plain modulo would stripe neighbouring — frequently co-accessed —
+/// objects onto the same shard).
+fn shard_of(oid: u64) -> usize {
+    (oid.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
+}
+
 #[derive(Default)]
 struct LockTable {
     /// Per-object holders and their mode.
     locks: HashMap<u64, HashMap<TxnId, LockMode>>,
     /// Which object each blocked transaction is currently waiting for.
     /// Maintained by `acquire`'s slow path; used for wait-for-graph cycle
-    /// detection when a wait times out.
+    /// detection when a wait times out. A transaction waits on the shard
+    /// of the object it is blocked on, so this map is per-shard too.
     waiting: HashMap<TxnId, u64>,
+    /// Blocked transactions wounded by an older rival upgrader; they must
+    /// fail their wait immediately instead of sleeping out the timeout
+    /// (see `acquire`'s upgrade-deadlock fast path). Upgrade rivals by
+    /// definition block on the same object, hence the same shard.
+    doomed: HashSet<TxnId>,
 }
 
 impl LockTable {
@@ -66,33 +87,6 @@ impl LockTable {
             *slot = LockMode::Exclusive;
         }
         prior == Some(LockMode::Shared) && mode == LockMode::Exclusive
-    }
-
-    /// Whether `me` (blocked on `oid`) is part of a wait-for cycle: walk
-    /// from the holders of `oid` through the `waiting` edges; reaching `me`
-    /// again means the timeout broke a genuine deadlock rather than plain
-    /// contention. Runs under the table mutex at timeout only, so the O(n)
-    /// walk is off the hot path.
-    fn is_deadlocked(&self, me: TxnId, oid: u64) -> bool {
-        let mut stack: Vec<TxnId> = match self.locks.get(&oid) {
-            Some(holders) => holders.keys().copied().filter(|t| *t != me).collect(),
-            None => return false,
-        };
-        let mut seen: HashSet<TxnId> = HashSet::new();
-        while let Some(t) = stack.pop() {
-            if t == me {
-                return true;
-            }
-            if !seen.insert(t) {
-                continue;
-            }
-            if let Some(next_oid) = self.waiting.get(&t) {
-                if let Some(holders) = self.locks.get(next_oid) {
-                    stack.extend(holders.keys().copied());
-                }
-            }
-        }
-        false
     }
 }
 
@@ -137,10 +131,17 @@ impl LockCounters {
     }
 }
 
-/// The lock manager.
-pub struct LockManager {
+/// One lock-table shard: its slice of the table plus the condvar its
+/// blocked transactions sleep on.
+#[derive(Default)]
+struct Shard {
     table: Mutex<LockTable>,
     cond: Condvar,
+}
+
+/// The lock manager.
+pub struct LockManager {
+    shards: Vec<Shard>,
     obs: LockCounters,
 }
 
@@ -162,10 +163,47 @@ impl LockManager {
     /// `lock.wait` wait-time histogram).
     pub fn with_registry(registry: &Registry) -> Self {
         LockManager {
-            table: Mutex::new(LockTable::default()),
-            cond: Condvar::new(),
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             obs: LockCounters::with_registry(registry),
         }
+    }
+
+    /// Whether `me` (blocked on `oid`) was part of a wait-for cycle: walk
+    /// from the holders of `oid` through the `waiting` edges over a
+    /// point-in-time snapshot of every shard; reaching `me` again means the
+    /// timeout broke a genuine deadlock rather than plain contention. Runs
+    /// only after a timeout (cold path), without any shard mutex held by
+    /// the caller — shards are snapshotted one at a time, so the graph is
+    /// mildly racy, exactly as graph-free timeout classification has to be.
+    fn was_deadlocked(&self, me: TxnId, oid: u64) -> bool {
+        let mut holders: HashMap<u64, Vec<TxnId>> = HashMap::new();
+        let mut waiting: HashMap<TxnId, u64> = HashMap::new();
+        for shard in &self.shards {
+            let table = shard.table.lock();
+            for (o, h) in &table.locks {
+                holders.insert(*o, h.keys().copied().collect());
+            }
+            waiting.extend(table.waiting.iter().map(|(t, o)| (*t, *o)));
+        }
+        let mut stack: Vec<TxnId> = match holders.get(&oid) {
+            Some(h) => h.iter().copied().filter(|t| *t != me).collect(),
+            None => return false,
+        };
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == me {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next_oid) = waiting.get(&t) {
+                if let Some(h) = holders.get(next_oid) {
+                    stack.extend(h.iter().copied());
+                }
+            }
+        }
+        false
     }
 
     /// Cumulative statistics.
@@ -192,7 +230,8 @@ impl LockManager {
     ) -> Result<()> {
         self.obs.acquires.inc();
         let deadline = Instant::now() + timeout;
-        let mut table = self.table.lock();
+        let shard = &self.shards[shard_of(oid.0)];
+        let mut table = shard.table.lock();
         if table.grantable(oid.0, txn, mode) {
             if table.grant(oid.0, txn, mode) {
                 self.obs.upgrades.inc();
@@ -203,33 +242,81 @@ impl LockManager {
         self.obs.waits.inc();
         let mut sw = Stopwatch::start();
         table.waiting.insert(txn, oid.0);
-        let result = loop {
-            if self.cond.wait_until(&mut table, deadline).timed_out() {
+
+        // Upgrade-deadlock fast path. Two transactions that both hold
+        // `Shared` on `oid` and both request `Exclusive` can never drain
+        // each other: that cycle is certain the moment the second upgrader
+        // registers, so waiting out the timeout (and retrying into the same
+        // cycle, in lockstep) would livelock. Resolve it wound-wait style
+        // by transaction id: the older upgrader wins, every younger rival
+        // fails its acquire immediately (counted as a deadlock timeout).
+        let upgrading = mode == LockMode::Exclusive
+            && table
+                .locks
+                .get(&oid.0)
+                .is_some_and(|h| h.get(&txn) == Some(&LockMode::Shared));
+        if upgrading {
+            let rivals: Vec<TxnId> = table.locks[&oid.0]
+                .keys()
+                .filter(|t| **t != txn && table.waiting.get(t) == Some(&oid.0))
+                .copied()
+                .collect();
+            if rivals.iter().any(|t| *t < txn) {
+                table.waiting.remove(&txn);
+                sw.lap_into(&self.obs.wait_time);
+                self.obs.timeouts_deadlock.inc();
+                return Err(ObjectStoreError::LockTimeout(oid));
+            }
+            if !rivals.is_empty() {
+                table.doomed.extend(rivals);
+                shard.cond.notify_all();
+            }
+        }
+
+        enum Wait {
+            Granted,
+            Doomed,
+            TimedOut,
+        }
+        let outcome = loop {
+            if table.doomed.remove(&txn) {
+                break Wait::Doomed;
+            }
+            if shard.cond.wait_until(&mut table, deadline).timed_out() {
                 // One final check: a release may have raced the timeout.
                 if table.grantable(oid.0, txn, mode) {
-                    break Ok(());
+                    break Wait::Granted;
                 }
-                break Err(if table.is_deadlocked(txn, oid.0) {
-                    &self.obs.timeouts_deadlock
-                } else {
-                    &self.obs.timeouts_contention
-                });
+                break Wait::TimedOut;
             }
             if table.grantable(oid.0, txn, mode) {
-                break Ok(());
+                break Wait::Granted;
             }
         };
         table.waiting.remove(&txn);
+        table.doomed.remove(&txn);
         sw.lap_into(&self.obs.wait_time);
-        match result {
-            Ok(()) => {
+        match outcome {
+            Wait::Granted => {
                 if table.grant(oid.0, txn, mode) {
                     self.obs.upgrades.inc();
                 }
                 Ok(())
             }
-            Err(timeout_counter) => {
-                timeout_counter.inc();
+            Wait::Doomed => {
+                self.obs.timeouts_deadlock.inc();
+                Err(ObjectStoreError::LockTimeout(oid))
+            }
+            Wait::TimedOut => {
+                // Classify without the shard mutex: the wait-for graph may
+                // span shards, and snapshotting them all while holding one
+                // would order shard locks against each other.
+                drop(table);
+                if self.was_deadlocked(txn, oid.0) {
+                    self.obs.timeouts_deadlock.inc();
+                } else {
+                    self.obs.timeouts_contention.inc();
+                }
                 Err(ObjectStoreError::LockTimeout(oid))
             }
         }
@@ -238,18 +325,27 @@ impl LockManager {
     /// Release every lock `txn` holds (strict 2PL: all at end of
     /// transaction, never earlier).
     pub fn release_all(&self, txn: TxnId) {
-        let mut table = self.table.lock();
-        table.locks.retain(|_, holders| {
-            holders.remove(&txn);
-            !holders.is_empty()
-        });
-        drop(table);
-        self.cond.notify_all();
+        for shard in &self.shards {
+            let mut table = shard.table.lock();
+            let mut released = false;
+            table.locks.retain(|_, holders| {
+                released |= holders.remove(&txn).is_some();
+                !holders.is_empty()
+            });
+            drop(table);
+            // A waiter can only be unblocked by a lock this release dropped
+            // (doomed wakeups are notified at doom time), so untouched
+            // shards are not woken.
+            if released {
+                shard.cond.notify_all();
+            }
+        }
     }
 
     /// Mode `txn` holds on `oid`, if any (test/diagnostic aid).
     pub fn held(&self, txn: TxnId, oid: ObjectId) -> Option<LockMode> {
-        self.table
+        self.shards[shard_of(oid.0)]
+            .table
             .lock()
             .locks
             .get(&oid.0)
@@ -259,7 +355,7 @@ impl LockManager {
 
     /// Number of objects currently locked (diagnostics).
     pub fn locked_objects(&self) -> usize {
-        self.table.lock().locks.len()
+        self.shards.iter().map(|s| s.table.lock().locks.len()).sum()
     }
 }
 

@@ -9,7 +9,7 @@ use crate::{ChunkId, ObjectId};
 use chunk_store::ChunkStore;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tdb_obs::{Counter, Gauge, Registry};
@@ -57,29 +57,28 @@ struct CacheSlot {
     tick: u64,
 }
 
-pub(crate) struct StoreState {
-    cache: HashMap<u64, CacheSlot>,
-    tick: u64,
-    cache_bytes: usize,
-    /// Named root object ids, persisted in the reserved roots chunk.
-    pub(crate) roots: HashMap<String, ObjectId>,
-    next_txn: u64,
-    /// Cache statistics, registered as `cache.*` in the chunk store's
-    /// observability registry.
-    pub(crate) hits: Counter,
-    pub(crate) misses: Counter,
-    pub(crate) evictions: Counter,
-    bytes_gauge: Gauge,
-    pinned_gauge: Gauge,
+/// Number of independent cache shards. Objects hash to a shard, each with
+/// its own mutex, LRU clock and slice of the byte budget, so concurrent
+/// transactions dereferencing different objects never serialize on a
+/// common cache lock (the cache-hit path used to be a store-wide critical
+/// section, which flattened multi-threaded throughput).
+const CACHE_SHARDS: usize = 16;
+
+/// Shard index for an object id (Fibonacci hash — ids are sequential, so
+/// plain modulo would put neighbouring, co-accessed objects together).
+fn cache_shard_of(oid: u64) -> usize {
+    (oid.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
 }
 
-impl StoreState {
-    /// Adjust `cache_bytes` and mirror it into the `cache.bytes` gauge.
-    fn set_cache_bytes(&mut self, bytes: usize) {
-        self.cache_bytes = bytes;
-        self.bytes_gauge.set(bytes as i64);
-    }
+/// One cache shard: its slice of the object cache plus LRU bookkeeping.
+#[derive(Default)]
+struct CacheShard {
+    cache: HashMap<u64, CacheSlot>,
+    tick: u64,
+    bytes: usize,
+}
 
+impl CacheShard {
     /// Bytes held by dirty (no-steal pinned) objects right now.
     fn pinned_bytes(&self) -> usize {
         self.cache
@@ -90,10 +89,30 @@ impl StoreState {
     }
 }
 
+/// Cache instruments, registered as `cache.*` in the chunk store's
+/// observability registry. Clones share cells, so shards update them
+/// without any shared lock.
+struct CacheObs {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    /// Mirrors the summed shard occupancy via deltas.
+    bytes_gauge: Gauge,
+    pinned_gauge: Gauge,
+}
+
+pub(crate) struct StoreState {
+    /// Named root object ids, persisted in the reserved roots chunk.
+    pub(crate) roots: HashMap<String, ObjectId>,
+}
+
 pub(crate) struct OsInner {
     pub(crate) chunks: Arc<ChunkStore>,
     pub(crate) registry: ClassRegistry,
     pub(crate) state: Mutex<StoreState>,
+    cache_shards: Vec<Mutex<CacheShard>>,
+    cache_obs: CacheObs,
+    next_txn: AtomicU64,
     pub(crate) locks: LockManager,
     pub(crate) cfg: ObjectStoreConfig,
     pub(crate) roots_chunk: ObjectId,
@@ -145,7 +164,8 @@ impl ObjectStore {
         registry: ClassRegistry,
         cfg: ObjectStoreConfig,
     ) -> Result<Self> {
-        let roots_chunk = chunks.allocate_chunk_id()?;
+        let mut batch = chunks.begin_batch();
+        let roots_chunk = batch.allocate_chunk_id()?;
         if roots_chunk.0 != 0 {
             return Err(ObjectStoreError::Chunk(
                 chunk_store::ChunkStoreError::ConfigMismatch(
@@ -154,10 +174,9 @@ impl ObjectStore {
                 ),
             ));
         }
-        let store = Self::build(chunks, registry, cfg, roots_chunk);
-        store.persist_roots_locked(&HashMap::new())?;
-        store.inner.chunks.commit(true)?;
-        Ok(store)
+        Self::persist_roots_into(&HashMap::new(), roots_chunk, &mut batch)?;
+        chunks.commit_batch(batch, true)?;
+        Ok(Self::build(chunks, registry, cfg, roots_chunk))
     }
 
     /// Open an object store over an existing chunk store.
@@ -185,17 +204,17 @@ impl ObjectStore {
             inner: Arc::new(OsInner {
                 registry,
                 state: Mutex::new(StoreState {
-                    cache: HashMap::new(),
-                    tick: 0,
-                    cache_bytes: 0,
                     roots: HashMap::new(),
-                    next_txn: 1,
+                }),
+                cache_shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+                cache_obs: CacheObs {
                     hits: obs.counter("cache.hits"),
                     misses: obs.counter("cache.misses"),
                     evictions: obs.counter("cache.evictions"),
                     bytes_gauge: obs.gauge("cache.bytes"),
                     pinned_gauge: obs.gauge("cache.pinned_bytes"),
-                }),
+                },
+                next_txn: AtomicU64::new(1),
                 locks: LockManager::with_registry(&obs),
                 chunks,
                 cfg,
@@ -223,8 +242,12 @@ impl ObjectStore {
         Ok(roots)
     }
 
-    /// Stage the roots chunk write (caller commits).
-    pub(crate) fn persist_roots_locked(&self, roots: &HashMap<String, ObjectId>) -> Result<()> {
+    /// Stage the roots chunk write into `batch` (caller commits the batch).
+    pub(crate) fn persist_roots_into(
+        roots: &HashMap<String, ObjectId>,
+        roots_chunk: ObjectId,
+        batch: &mut chunk_store::WriteBatch,
+    ) -> Result<()> {
         let mut w = Pickler::new();
         w.u32(ROOTS_MAGIC);
         let mut entries: Vec<(&String, &ObjectId)> = roots.iter().collect();
@@ -234,20 +257,60 @@ impl ObjectStore {
             w.string(name);
             w.object_id(*id);
         }
-        self.inner
-            .chunks
-            .write(self.inner.roots_chunk, &w.into_bytes())?;
+        batch.write(roots_chunk, &w.into_bytes())?;
         Ok(())
+    }
+
+    /// Apply a transaction's root-registry updates under the state lock
+    /// and stage the new roots chunk into `batch` — the pickling happens
+    /// directly from the guarded map, no clone. Returns the undo list
+    /// (`(name, previous value)`); if staging fails the updates are
+    /// already reverted.
+    pub(crate) fn apply_root_updates(
+        &self,
+        updates: &HashMap<String, Option<ObjectId>>,
+        batch: &mut chunk_store::WriteBatch,
+    ) -> Result<Vec<(String, Option<ObjectId>)>> {
+        let mut state = self.inner.state.lock();
+        let mut undo = Vec::with_capacity(updates.len());
+        for (name, update) in updates {
+            let prev = match update {
+                Some(id) => state.roots.insert(name.clone(), *id),
+                None => state.roots.remove(name),
+            };
+            undo.push((name.clone(), prev));
+        }
+        match Self::persist_roots_into(&state.roots, self.inner.roots_chunk, batch) {
+            Ok(()) => Ok(undo),
+            Err(e) => {
+                Self::undo_root_updates(&mut state, undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll back root updates applied by [`ObjectStore::apply_root_updates`]
+    /// after a later commit step failed.
+    pub(crate) fn revert_roots(&self, undo: Vec<(String, Option<ObjectId>)>) {
+        if undo.is_empty() {
+            return;
+        }
+        let mut state = self.inner.state.lock();
+        Self::undo_root_updates(&mut state, undo);
+    }
+
+    fn undo_root_updates(state: &mut StoreState, undo: Vec<(String, Option<ObjectId>)>) {
+        for (name, prev) in undo {
+            match prev {
+                Some(id) => state.roots.insert(name, id),
+                None => state.roots.remove(&name),
+            };
+        }
     }
 
     /// Start a new transaction.
     pub fn begin(&self) -> Transaction {
-        let id = {
-            let mut state = self.inner.state.lock();
-            let id = state.next_txn;
-            state.next_txn += 1;
-            id
-        };
+        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
         Transaction::new(self.clone(), Arc::new(TxnCore::new(id)))
     }
 
@@ -269,18 +332,26 @@ impl ObjectStore {
         &self.inner.chunks
     }
 
-    /// Cache statistics.
+    /// Cache statistics (summed over the shards).
     pub fn cache_stats(&self) -> CacheStats {
-        let state = self.inner.state.lock();
-        let pinned = state.pinned_bytes();
-        state.pinned_gauge.set(pinned as i64);
+        let mut bytes = 0usize;
+        let mut pinned = 0usize;
+        let mut objects = 0u64;
+        for shard in &self.inner.cache_shards {
+            let shard = shard.lock();
+            bytes += shard.bytes;
+            pinned += shard.pinned_bytes();
+            objects += shard.cache.len() as u64;
+        }
+        let obs = &self.inner.cache_obs;
+        obs.pinned_gauge.set(pinned as i64);
         CacheStats {
-            hits: state.hits.get(),
-            misses: state.misses.get(),
-            evictions: state.evictions.get(),
-            bytes: state.cache_bytes as u64,
+            hits: obs.hits.get(),
+            misses: obs.misses.get(),
+            evictions: obs.evictions.get(),
+            bytes: bytes as u64,
             pinned_bytes: pinned as u64,
-            objects: state.cache.len() as u64,
+            objects,
         }
     }
 
@@ -295,20 +366,28 @@ impl ObjectStore {
         self.inner.chunks.obs()
     }
 
+    /// Byte budget of one cache shard.
+    fn shard_budget(&self) -> usize {
+        self.inner.cfg.cache_budget / CACHE_SHARDS
+    }
+
     /// Fetch a cell from cache or load (read + validate + decrypt +
     /// unpickle) from the chunk store.
     pub(crate) fn load_cell(&self, oid: ObjectId) -> Result<Arc<ObjectCell>> {
-        let mut state = self.inner.state.lock();
-        state.tick += 1;
-        let tick = state.tick;
-        if let Some(slot) = state.cache.get_mut(&oid.0) {
+        let obs = &self.inner.cache_obs;
+        let shard_mutex = &self.inner.cache_shards[cache_shard_of(oid.0)];
+        let mut shard = shard_mutex.lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(slot) = shard.cache.get_mut(&oid.0) {
             slot.tick = tick;
             let cell = slot.cell.clone();
-            state.hits.inc();
+            drop(shard);
+            obs.hits.inc();
             return Ok(cell);
         }
-        state.misses.inc();
-        drop(state); // do not hold the state mutex across chunk I/O
+        drop(shard); // do not hold the shard mutex across chunk I/O
+        obs.misses.inc();
         let bytes = self.inner.chunks.read(oid)?;
         let obj = self.inner.registry.unpickle_object(&bytes)?;
         let cell = Arc::new(ObjectCell {
@@ -317,70 +396,75 @@ impl ObjectStore {
             dirty: AtomicBool::new(false),
             size: AtomicUsize::new(bytes.len()),
         });
-        let mut state = self.inner.state.lock();
+        let mut shard = shard_mutex.lock();
         // Racing loaders: keep whichever got in first so all transactions
         // share one cell per object.
-        if let Some(slot) = state.cache.get(&oid.0) {
+        if let Some(slot) = shard.cache.get(&oid.0) {
             return Ok(slot.cell.clone());
         }
-        let grown = state.cache_bytes + bytes.len();
-        state.set_cache_bytes(grown);
-        state.cache.insert(
+        shard.bytes += bytes.len();
+        obs.bytes_gauge.add(bytes.len() as i64);
+        shard.cache.insert(
             oid.0,
             CacheSlot {
                 cell: cell.clone(),
                 tick,
             },
         );
-        Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
+        Self::evict_over_budget(&mut shard, self.shard_budget(), obs);
         Ok(cell)
     }
 
     /// Insert a fresh (dirty) cell for a newly inserted object.
     pub(crate) fn install_cell(&self, cell: Arc<ObjectCell>) {
-        let mut state = self.inner.state.lock();
-        state.tick += 1;
-        let tick = state.tick;
-        let grown = state.cache_bytes + cell.size.load(Ordering::Relaxed);
-        state.set_cache_bytes(grown);
-        state.cache.insert(cell.id.0, CacheSlot { cell, tick });
-        Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
+        let obs = &self.inner.cache_obs;
+        let mut shard = self.inner.cache_shards[cache_shard_of(cell.id.0)].lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let grown = cell.size.load(Ordering::Relaxed);
+        shard.bytes += grown;
+        obs.bytes_gauge.add(grown as i64);
+        shard.cache.insert(cell.id.0, CacheSlot { cell, tick });
+        Self::evict_over_budget(&mut shard, self.shard_budget(), obs);
     }
 
     /// Drop an object from the cache (abort of a written object, or
     /// removal).
     pub(crate) fn evict_cell(&self, oid: ObjectId) {
-        let mut state = self.inner.state.lock();
-        if let Some(slot) = state.cache.remove(&oid.0) {
-            let shrunk = state
-                .cache_bytes
-                .saturating_sub(slot.cell.size.load(Ordering::Relaxed));
-            state.set_cache_bytes(shrunk);
+        let mut shard = self.inner.cache_shards[cache_shard_of(oid.0)].lock();
+        if let Some(slot) = shard.cache.remove(&oid.0) {
+            let size = slot.cell.size.load(Ordering::Relaxed);
+            shard.bytes = shard.bytes.saturating_sub(size);
+            self.inner.cache_obs.bytes_gauge.add(-(size as i64));
         }
     }
 
     /// Update accounting after a commit re-pickled an object.
     pub(crate) fn update_cell_size(&self, oid: ObjectId, new_size: usize) {
-        let mut state = self.inner.state.lock();
-        if let Some(slot) = state.cache.get(&oid.0) {
+        let mut shard = self.inner.cache_shards[cache_shard_of(oid.0)].lock();
+        if let Some(slot) = shard.cache.get(&oid.0) {
             let old = slot.cell.size.swap(new_size, Ordering::Relaxed);
-            let adjusted = state.cache_bytes.saturating_sub(old) + new_size;
-            state.set_cache_bytes(adjusted);
+            shard.bytes = shard.bytes.saturating_sub(old) + new_size;
+            self.inner
+                .cache_obs
+                .bytes_gauge
+                .add(new_size as i64 - old as i64);
         }
     }
 
     /// LRU eviction of clean, unreferenced objects ("objects referenced by
     /// the application are protected against eviction … using a reference
-    /// count", §4.2.2 — here the `Arc` strong count).
-    fn evict_over_budget(state: &mut StoreState, budget: usize) {
-        if state.cache_bytes <= budget {
+    /// count", §4.2.2 — here the `Arc` strong count). Per shard, against
+    /// the shard's slice of the byte budget.
+    fn evict_over_budget(shard: &mut CacheShard, budget: usize, obs: &CacheObs) {
+        if shard.bytes <= budget {
             return;
         }
         // Hysteresis: evict down to 90% of the budget so the (O(n log n))
         // scan amortizes over many subsequent insertions instead of
         // running on every operation at the boundary.
         let budget = budget - budget / 10;
-        let mut candidates: Vec<(u64, u64)> = state
+        let mut candidates: Vec<(u64, u64)> = shard
             .cache
             .iter()
             .filter(|(_, slot)| {
@@ -390,15 +474,14 @@ impl ObjectStore {
             .collect();
         candidates.sort_unstable();
         for (_, id) in candidates {
-            if state.cache_bytes <= budget {
+            if shard.bytes <= budget {
                 break;
             }
-            if let Some(slot) = state.cache.remove(&id) {
-                let shrunk = state
-                    .cache_bytes
-                    .saturating_sub(slot.cell.size.load(Ordering::Relaxed));
-                state.set_cache_bytes(shrunk);
-                state.evictions.inc();
+            if let Some(slot) = shard.cache.remove(&id) {
+                let size = slot.cell.size.load(Ordering::Relaxed);
+                shard.bytes = shard.bytes.saturating_sub(size);
+                obs.bytes_gauge.add(-(size as i64));
+                obs.evictions.inc();
             }
         }
     }
@@ -409,23 +492,28 @@ impl ObjectStore {
     /// eviction accounting has drifted.
     #[doc(hidden)]
     pub fn debug_cache_accounting(&self) -> (u64, u64, u64) {
-        let state = self.inner.state.lock();
-        let recomputed: usize = state
-            .cache
-            .values()
-            .map(|slot| slot.cell.size.load(Ordering::Relaxed))
-            .sum();
-        (
-            state.cache_bytes as u64,
-            recomputed as u64,
-            state.pinned_bytes() as u64,
-        )
+        let mut accounted = 0usize;
+        let mut recomputed = 0usize;
+        let mut pinned = 0usize;
+        for shard in &self.inner.cache_shards {
+            let shard = shard.lock();
+            accounted += shard.bytes;
+            recomputed += shard
+                .cache
+                .values()
+                .map(|slot| slot.cell.size.load(Ordering::Relaxed))
+                .sum::<usize>();
+            pinned += shard.pinned_bytes();
+        }
+        (accounted as u64, recomputed as u64, pinned as u64)
     }
 
     /// Run an eviction pass (called after commits release no-steal pins).
     pub(crate) fn evict_pass(&self) {
-        let mut state = self.inner.state.lock();
-        Self::evict_over_budget(&mut state, self.inner.cfg.cache_budget);
+        let budget = self.shard_budget();
+        for shard in &self.inner.cache_shards {
+            Self::evict_over_budget(&mut shard.lock(), budget, &self.inner.cache_obs);
+        }
     }
 
     pub(crate) fn lock_timeout(&self) -> Duration {

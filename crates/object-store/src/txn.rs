@@ -6,6 +6,7 @@ use crate::locks::LockMode;
 use crate::refs::{ReadonlyRef, WritableRef};
 use crate::store::{ObjectCell, ObjectStore};
 use crate::{ChunkId, ObjectId, Persistent};
+use chunk_store::WriteBatch;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::marker::PhantomData;
@@ -53,11 +54,20 @@ pub(crate) struct TxnSets {
 pub struct Transaction {
     store: ObjectStore,
     core: Arc<TxnCore>,
+    /// This transaction's private chunk staging area. Ids allocate from it
+    /// and pickled objects stage into it, so concurrent transactions never
+    /// share write state; `None` once commit has consumed it.
+    batch: Mutex<Option<WriteBatch>>,
 }
 
 impl Transaction {
     pub(crate) fn new(store: ObjectStore, core: Arc<TxnCore>) -> Self {
-        Transaction { store, core }
+        let batch = store.inner.chunks.begin_batch();
+        Transaction {
+            store,
+            core,
+            batch: Mutex::new(Some(batch)),
+        }
     }
 
     /// This transaction's numeric id (diagnostics).
@@ -95,7 +105,13 @@ impl Transaction {
         if !self.store.inner.registry.contains(object.class_id()) {
             return Err(ObjectStoreError::ClassNotRegistered(object.class_id()));
         }
-        let oid = self.store.inner.chunks.allocate_chunk_id()?;
+        let oid = {
+            let mut batch = self.batch.lock();
+            batch
+                .as_mut()
+                .expect("active transaction owns its batch")
+                .allocate_chunk_id()?
+        };
         self.lock(oid, LockMode::Exclusive)?;
         let cell = Arc::new(ObjectCell {
             id: oid,
@@ -226,73 +242,93 @@ impl Transaction {
         self.store.root(name)
     }
 
-    /// Commit: pickle every inserted/written object into its chunk, apply
-    /// removals, and atomically commit at the chunk level. `durable`
-    /// matches the chunk store's durable/nondurable commit semantics.
-    /// Invalidates this transaction and all its `Ref`s.
+    /// Commit: pickle every inserted/written object into this
+    /// transaction's private chunk batch, apply removals, and atomically
+    /// commit the batch at the chunk level. `durable` matches the chunk
+    /// store's durable/nondurable commit semantics (a durable commit may
+    /// share its sync/anchor round with concurrent committers via group
+    /// commit). Invalidates this transaction and all its `Ref`s.
     pub fn commit(self, durable: bool) -> Result<()> {
         self.check_active()?;
         let sets = {
             let mut sets = self.core.sets.lock();
             std::mem::take(&mut *sets)
         };
+        let mut batch = self
+            .batch
+            .lock()
+            .take()
+            .expect("active transaction owns its batch");
         let chunks = &self.store.inner.chunks;
 
-        let result = (|| -> Result<Vec<(ObjectId, usize)>> {
+        // Stage everything into the private batch: removals, pickled
+        // writes, the roots chunk. Pickling and (at append time) sealing
+        // happen outside any store-wide critical path.
+        let mut roots_undo = Vec::new();
+        let staged = (|| -> Result<Vec<(ObjectId, usize)>> {
             let mut sizes = Vec::new();
             for oid in &sets.removed {
-                chunks.deallocate(ChunkId(*oid))?;
+                batch.deallocate(ChunkId(*oid))?;
             }
             for (oid, cell) in &sets.written {
                 if sets.removed.contains(oid) {
                     continue;
                 }
                 let bytes = pickle_object(&**cell.data.read());
-                chunks.write(ChunkId(*oid), &bytes)?;
+                batch.write(ChunkId(*oid), &bytes)?;
                 sizes.push((ChunkId(*oid), bytes.len()));
             }
             if !sets.root_updates.is_empty() {
-                let mut state = self.store.inner.state.lock();
-                for (name, update) in &sets.root_updates {
-                    match update {
-                        Some(id) => state.roots.insert(name.clone(), *id),
-                        None => state.roots.remove(name),
-                    };
-                }
-                let roots = state.roots.clone();
-                drop(state);
-                self.store.persist_roots_locked(&roots)?;
+                roots_undo = self
+                    .store
+                    .apply_root_updates(&sets.root_updates, &mut batch)?;
             }
-            chunks.commit(durable)?;
             Ok(sizes)
         })();
 
-        match result {
-            Ok(sizes) => {
-                for (oid, cell) in &sets.written {
-                    cell.dirty.store(false, Ordering::Release);
-                    let _ = oid;
-                }
-                for oid in &sets.removed {
-                    self.store.evict_cell(ChunkId(*oid));
-                }
-                for (oid, size) in sizes {
-                    self.store.update_cell_size(oid, size);
-                }
-                // Release our Arc clones before the eviction pass, or the
-                // just-committed cells look externally referenced.
-                drop(sets);
-                self.finish();
-                self.store.evict_pass();
-                Ok(())
-            }
+        let sizes = match staged {
+            Ok(sizes) => sizes,
             Err(e) => {
-                // Roll back the staged chunk operations and abort.
-                chunks.discard();
+                // Roll back *this* transaction only: its batch and its
+                // root updates. Other transactions' staged writes live in
+                // their own batches and are untouched.
+                self.store.revert_roots(roots_undo);
+                batch.discard();
                 self.abort_with_sets(sets);
-                Err(e)
+                return Err(e);
             }
+        };
+
+        // Append the batch's commit record to the log — the commit point.
+        let ticket = match chunks.append_batch(batch, durable) {
+            Ok(ticket) => ticket,
+            Err(e) => {
+                self.store.revert_roots(roots_undo);
+                self.abort_with_sets(sets);
+                return Err(e.into());
+            }
+        };
+
+        for cell in sets.written.values() {
+            cell.dirty.store(false, Ordering::Release);
         }
+        for oid in &sets.removed {
+            self.store.evict_cell(ChunkId(*oid));
+        }
+        for (oid, size) in sizes {
+            self.store.update_cell_size(oid, size);
+        }
+        // Release our Arc clones before the eviction pass, or the
+        // just-committed cells look externally referenced.
+        drop(sets);
+        // Strict 2PL releases at the commit point (our records are in the
+        // log), *before* waiting out group durability: any later
+        // transaction that reads our writes appends after us in log
+        // order, so the durable anchor that covers it covers us first.
+        self.finish();
+        let result = chunks.wait_durable(ticket);
+        self.store.evict_pass();
+        result.map_err(Into::into)
     }
 
     /// Undo all changes made during the transaction (paper Fig. 3:
@@ -308,6 +344,10 @@ impl Transaction {
     }
 
     fn abort_with_sets(&self, sets: TxnSets) {
+        // Dropping the batch discards its staged operations and returns
+        // its allocated ids to the free pool (no-op if commit already
+        // consumed it).
+        drop(self.batch.lock().take());
         for (oid, _) in sets.written {
             self.store.evict_cell(ChunkId(oid));
         }

@@ -5,11 +5,14 @@
 //! audit records, enumerated by scan) — the same access-method choices the
 //! paper's driver inherits from Berkeley DB's TPC-B implementation.
 
-use crate::runner::TpcbSystem;
+use crate::runner::{ParallelTpcbSystem, TpcbSystem, TpcbWorker};
 use crate::schema::{register_tpcb_classes, register_tpcb_extractors, HistoryRecord, TpcbRecord};
 use std::sync::Arc;
 use tdb::platform::{MemSecretStore, OneWayCounter, SecretStore, UntrustedStore, VolatileCounter};
-use tdb::{ClassRegistry, Database, DatabaseConfig, ExtractorRegistry, IndexKind, IndexSpec, Key};
+use tdb::{
+    ClassRegistry, CollectionError, Database, DatabaseConfig, ExtractorRegistry, IndexKind,
+    IndexSpec, Key, ObjectStoreError,
+};
 
 /// TDB under the TPC-B workload.
 pub struct TdbDriver {
@@ -54,6 +57,98 @@ impl TdbDriver {
             rec.get_mut().balance += delta;
         }
         it.close().unwrap();
+    }
+}
+
+/// One fallible transfer attempt; aborts the transaction on any error so
+/// the caller can retry (lock-contention timeouts) or fail.
+fn try_transfer(
+    db: &Database,
+    durable: bool,
+    account: u32,
+    teller: u32,
+    branch: u32,
+    delta: i64,
+    hist_id: u32,
+) -> Result<(), CollectionError> {
+    let t = db.begin();
+    let staged = (|| -> Result<(), CollectionError> {
+        for (table, id) in [("account", account), ("teller", teller), ("branch", branch)] {
+            let coll = t.write_collection(table)?;
+            let mut it = coll.exact("by-id", &Key::U64(id as u64))?;
+            assert!(!it.end(), "{table} record {id} missing");
+            {
+                let rec = it.write::<TpcbRecord>()?;
+                rec.get_mut().balance += delta;
+            }
+            it.close()?;
+        }
+        let history = t.write_collection("history")?;
+        history.insert(Box::new(HistoryRecord::new(
+            hist_id, account, teller, branch, delta,
+        )))?;
+        Ok(())
+    })();
+    match staged {
+        Ok(()) => t.commit(durable),
+        Err(e) => {
+            t.abort();
+            Err(e)
+        }
+    }
+}
+
+/// A concurrent benchmark worker over the driver's shared database.
+///
+/// Transfers acquire locks in a globally consistent class order
+/// (account → teller → branch → history), so concurrent workers can
+/// contend but never deadlock; lock-timeout errors are therefore pure
+/// contention and safe to retry. Any other error is a real failure.
+pub struct TdbWorker {
+    db: Database,
+    durable: bool,
+}
+
+impl TpcbWorker for TdbWorker {
+    fn transaction(&mut self, account: u32, teller: u32, branch: u32, delta: i64, hist_id: u32) {
+        let mut attempt = 0u32;
+        loop {
+            match try_transfer(
+                &self.db,
+                self.durable,
+                account,
+                teller,
+                branch,
+                delta,
+                hist_id,
+            ) {
+                Ok(()) => return,
+                Err(CollectionError::Object(ObjectStoreError::LockTimeout(_))) => {
+                    // Jittered backoff before retrying: contending workers
+                    // that timed out together would otherwise retry in
+                    // lockstep and recreate the same conflict. The jitter
+                    // is a hash of (transfer, attempt) so each worker's
+                    // delay differs deterministically.
+                    attempt += 1;
+                    let h = (u64::from(hist_id) << 32 | u64::from(attempt))
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let cap = 1u64 << attempt.min(6); // 2..64 "slots"
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        (h >> 32) % (cap * 50) + 1,
+                    ));
+                }
+                Err(e) => panic!("TPC-B transfer failed: {e}"),
+            }
+        }
+    }
+}
+
+impl ParallelTpcbSystem for TdbDriver {
+    fn worker(&self) -> Box<dyn TpcbWorker> {
+        Box::new(TdbWorker {
+            db: self.db.clone(),
+            durable: self.durable,
+        })
     }
 }
 

@@ -20,8 +20,11 @@ pub mod runner;
 pub mod schema;
 
 pub use driver_baseline::BaselineDriver;
-pub use driver_tdb::TdbDriver;
-pub use runner::{run_benchmark, BenchReport, TpcbConfig, TpcbSystem};
+pub use driver_tdb::{TdbDriver, TdbWorker};
+pub use runner::{
+    run_benchmark, run_benchmark_threaded, BenchReport, ParallelTpcbSystem, TpcbConfig, TpcbSystem,
+    TpcbWorker,
+};
 pub use schema::{
     history_record_bytes, record_bytes, register_tpcb_classes, register_tpcb_extractors,
     HistoryRecord, TpcbRecord, TABLES,

@@ -1,6 +1,11 @@
 //! The shared benchmark driver: load the four tables, run transactions,
 //! report mean response time over the steady-state half (the paper runs
 //! 200 000 transactions and averages the later 100 000, §7.3).
+//!
+//! With [`TpcbConfig::threads`] > 1 and a [`ParallelTpcbSystem`],
+//! [`run_benchmark_threaded`] splits the transaction stream across worker
+//! threads sharing one store — the workload that exercises per-transaction
+//! write staging and group commit.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +44,9 @@ pub struct TpcbConfig {
     pub transactions: u64,
     /// PRNG seed (same seed ⇒ identical op streams on both systems).
     pub seed: u64,
+    /// Concurrent worker threads sharing one store (1 = the classic
+    /// single-threaded run; >1 requires a [`ParallelTpcbSystem`]).
+    pub threads: usize,
 }
 
 impl Default for TpcbConfig {
@@ -47,6 +55,7 @@ impl Default for TpcbConfig {
             scale: 1.0,
             transactions: 200_000,
             seed: 0x7DB,
+            threads: 1,
         }
     }
 }
@@ -77,6 +86,8 @@ pub struct BenchReport {
     /// Per-transaction latency distribution over the steady-state half
     /// (nanoseconds); percentiles via [`HistSnapshot::percentile`].
     pub latency: HistSnapshot,
+    /// Worker threads that produced this report.
+    pub threads: usize,
 }
 
 /// Load and run the benchmark against `system`.
@@ -130,6 +141,135 @@ pub fn run_benchmark(system: &mut dyn TpcbSystem, cfg: &TpcbConfig) -> BenchRepo
         final_disk_size: system.disk_size(),
         run_seconds,
         latency: latency.snapshot(),
+        threads: 1,
+    }
+}
+
+/// One worker's handle onto a shared system: runs transactions
+/// concurrently with its siblings. Created by
+/// [`ParallelTpcbSystem::worker`]; internal retry (e.g. on lock-contention
+/// timeouts) is the implementation's responsibility — when `transaction`
+/// returns, the transfer is committed.
+pub trait TpcbWorker: Send {
+    /// One TPC-B transaction (same contract as
+    /// [`TpcbSystem::transaction`]).
+    fn transaction(&mut self, account: u32, teller: u32, branch: u32, delta: i64, hist_id: u32);
+}
+
+/// A system that supports concurrent workers over one shared store.
+pub trait ParallelTpcbSystem: TpcbSystem {
+    /// A new worker sharing this system's store.
+    fn worker(&self) -> Box<dyn TpcbWorker>;
+}
+
+/// Like [`run_benchmark`], but with `cfg.threads` workers sharing the
+/// store. Each worker gets a disjoint `hist_id` range and an independent
+/// PRNG stream; per-thread steady-state latencies are merged into one
+/// distribution. After the run the balance-sum invariant is checked:
+/// the branch balances must sum to exactly the sum of all applied deltas
+/// (any lost update breaks this). Falls back to the single-threaded
+/// driver when `cfg.threads <= 1`.
+pub fn run_benchmark_threaded(
+    system: &mut dyn ParallelTpcbSystem,
+    cfg: &TpcbConfig,
+) -> BenchReport {
+    let threads = cfg.threads.max(1);
+    if threads == 1 {
+        return run_benchmark(system, cfg);
+    }
+    let (accounts, tellers, branches, history) = cfg.sizes();
+    system.load(accounts, tellers, branches, history);
+
+    let total = cfg.transactions;
+    let per_thread = total.div_ceil(threads as u64);
+
+    struct ThreadResult {
+        ran: u64,
+        steady_nanos: u128,
+        all_nanos: u128,
+        latency: HistSnapshot,
+        delta_sum: i64,
+    }
+
+    let bytes_before = system.bytes_written();
+    let run_start = Instant::now();
+    let results: Vec<ThreadResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut worker = system.worker();
+                scope.spawn(move || {
+                    let start_at = t as u64 * per_thread;
+                    let count = per_thread.min(total.saturating_sub(start_at));
+                    let half = count / 2;
+                    // Distinct, deterministic stream per worker.
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1),
+                    );
+                    let latency = Histogram::default();
+                    let mut steady_nanos = 0u128;
+                    let mut all_nanos = 0u128;
+                    let mut delta_sum = 0i64;
+                    for i in 0..count {
+                        let account = rng.gen_range(0..accounts);
+                        let teller = rng.gen_range(0..tellers);
+                        let branch = rng.gen_range(0..branches);
+                        let delta = rng.gen_range(-99_999i64..=99_999);
+                        // Disjoint id space per thread keeps history
+                        // inserts collision-free.
+                        let hist_id = history + (start_at + i) as u32;
+                        let start = Instant::now();
+                        worker.transaction(account, teller, branch, delta, hist_id);
+                        let nanos = start.elapsed().as_nanos();
+                        all_nanos += nanos;
+                        delta_sum += delta;
+                        if i >= half {
+                            steady_nanos += nanos;
+                            latency.record(nanos as u64);
+                        }
+                    }
+                    ThreadResult {
+                        ran: count,
+                        steady_nanos,
+                        all_nanos,
+                        latency: latency.snapshot(),
+                        delta_sum,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let run_seconds = run_start.elapsed().as_secs_f64();
+
+    // Balance-sum invariant: every applied delta must be visible in its
+    // branch balance; a lost update under concurrency breaks the equality.
+    let expected: i64 = results.iter().map(|r| r.delta_sum).sum();
+    let actual: i64 = (0..branches).map(|b| system.branch_balance(b)).sum();
+    assert_eq!(
+        actual, expected,
+        "balance-sum invariant violated: branches sum to {actual}, deltas sum to {expected}"
+    );
+
+    let ran: u64 = results.iter().map(|r| r.ran).sum();
+    let steady: u64 = results.iter().map(|r| r.latency.count()).sum();
+    let steady_nanos: u128 = results.iter().map(|r| r.steady_nanos).sum();
+    let all_nanos: u128 = results.iter().map(|r| r.all_nanos).sum();
+    let mut latency = HistSnapshot::default();
+    for r in &results {
+        latency.merge(&r.latency);
+    }
+    // Per-half byte accounting needs a global half boundary, which a
+    // threaded run does not have; report whole-run bytes per transaction.
+    let bytes = system.bytes_written().saturating_sub(bytes_before);
+    BenchReport {
+        transactions: ran,
+        avg_response_ms: steady_nanos as f64 / steady.max(1) as f64 / 1e6,
+        avg_response_all_ms: all_nanos as f64 / ran.max(1) as f64 / 1e6,
+        bytes_per_txn: bytes as f64 / ran.max(1) as f64,
+        final_disk_size: system.disk_size(),
+        run_seconds,
+        latency,
+        threads,
     }
 }
 

@@ -11,6 +11,7 @@ fn small_cfg() -> TpcbConfig {
         scale: 0.002,
         transactions: 500,
         seed: 42,
+        threads: 1,
     }
 }
 

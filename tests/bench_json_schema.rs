@@ -24,10 +24,12 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
         {
           "system": "TDB",
           "throughput_txn_per_sec": 812.5,
+          "threads": 4,
           "latency_ms": {"count": 100, "mean": 1.2, "p50": 1.0, "p90": 2.0, "p95": 2.5, "p99": 4.0},
           "phases_ns": {
             "commit.seal": {"count": 100, "sum": 12345678, "min": 1000, "max": 99999, "mean": 123456.78, "p50": 1.0, "p90": 1.0, "p95": 1.0, "p99": 1.0},
-            "commit.sync": {"count": 100, "sum": 345678}
+            "commit.sync": {"count": 100, "sum": 345678},
+            "commit.group_size": {"count": 50, "sum": 100}
           },
           "counters": {"chunk.commits": 100, "chunk.bytes_appended": 51200}
         }
@@ -53,6 +55,14 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
     corrupt(&|t| t.replace("\"sum\": 345678", "\"sum\": null"));
     corrupt(&|t| t.replace("\"chunk.commits\": 100", "\"chunk.commits\": \"100\""));
     corrupt(&|t| t.replace("\"results\": [", "\"results\": \"none\", \"unused\": ["));
+    corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": \"four\""));
+    corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": 0"));
+    corrupt(&|t| {
+        t.replace(
+            "\"commit.group_size\": {\"count\": 50, \"sum\": 100}",
+            "\"commit.group_size\": {\"count\": 50}",
+        )
+    });
 }
 
 /// Every bench JSON document in `results/` must satisfy the schema. With

@@ -176,6 +176,7 @@ fn overhead_guard_instrumentation_under_two_percent() {
         scale: 0.02,
         transactions: 6_000,
         seed: 0x0B5,
+        threads: 1,
     };
     let run = |enabled: bool| {
         obs::set_enabled(enabled);
