@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 use tdb::obs::{Json, RegistrySnapshot};
-use tdb::{DatabaseConfig, SecurityMode};
+use tdb::{ChunkStoreConfig, DatabaseConfig, SecurityMode};
 use tdb_bench::telemetry::{
     bench_doc, counters_json, histograms_json, latency_ms_json, push_result, write_bench_json,
 };
@@ -59,10 +59,24 @@ fn run_tdb(
     security: SecurityMode,
     store: Arc<dyn UntrustedStore>,
 ) -> (BenchReport, chunk_store::StatsSnapshot, RegistrySnapshot) {
-    let mut db_cfg = DatabaseConfig::default();
-    db_cfg.chunk.security = security;
     // 60% maximum utilization, "the default for TDB" in this experiment.
-    db_cfg.chunk.max_utilization = 0.60;
+    let chunk = ChunkStoreConfig {
+        security,
+        max_utilization: 0.60,
+        ..ChunkStoreConfig::default()
+    };
+    run_tdb_chunk(cfg, chunk, store)
+}
+
+fn run_tdb_chunk(
+    cfg: &TpcbConfig,
+    chunk: ChunkStoreConfig,
+    store: Arc<dyn UntrustedStore>,
+) -> (BenchReport, chunk_store::StatsSnapshot, RegistrySnapshot) {
+    let db_cfg = DatabaseConfig {
+        chunk,
+        ..DatabaseConfig::default()
+    };
     let mut driver = TdbDriver::new(store, db_cfg);
     let report = if cfg.threads > 1 {
         run_benchmark_threaded(&mut driver, cfg)
@@ -99,6 +113,38 @@ fn result_row(name: &str, r: &BenchReport, obs: Option<&RegistrySnapshot>) -> Js
         row.push("counters", counters_json(obs));
     }
     row
+}
+
+/// The background-maintenance counters a row was measured under — the
+/// schema's optional `maintenance` object (numeric values only).
+fn maintenance_json(s: &chunk_store::StatsSnapshot) -> Json {
+    let mut o = Json::obj();
+    o.push("wakeups", s.maintenance_wakeups);
+    o.push("stalls", s.maintenance_stalls);
+    o.push("gave_up", s.maintenance_gave_up);
+    o.push("checkpoints", s.checkpoints);
+    o.push("cleaner_passes", s.cleaner_passes);
+    o.push("cleaner_slices", s.cleaner_slices);
+    o.push("cleaner_segments_freed", s.cleaner_segments_freed);
+    o.push("cleaner_bytes_copied", s.cleaner_bytes_copied);
+    o
+}
+
+/// A chunk configuration that forces the cleaner to run continuously under
+/// the TPC-B update stream: small segments, a low checkpoint threshold, and
+/// tight free-segment watermarks. Only `background_maintenance` differs
+/// between the two compared runs.
+fn forced_cleaning_chunk(background: bool) -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        security: SecurityMode::Off,
+        max_utilization: 0.60,
+        segment_size: 64 * 1024,
+        checkpoint_threshold: 512 * 1024,
+        background_maintenance: background,
+        clean_low_free: 2,
+        clean_high_free: 4,
+        ..ChunkStoreConfig::default()
+    }
 }
 
 fn main() {
@@ -192,6 +238,62 @@ fn main() {
         None
     };
 
+    // Maintenance tail-latency comparison: the same threaded workload on a
+    // file-backed store with cleaning forced active, differing only in
+    // where maintenance runs. Inline maintenance (the pre-thread behavior)
+    // charges whole cleaning passes and checkpoints to whichever commit
+    // trips the trigger — visible as the p99/p999 response-time tail —
+    // while the background thread keeps the commit path to watermark
+    // checks and kicks.
+    let maint = if threads > 1 {
+        let mt_cfg = TpcbConfig {
+            threads,
+            ..cfg.clone()
+        };
+        let (inline_r, inline_s, inline_obs) = run_tdb_chunk(
+            &mt_cfg,
+            forced_cleaning_chunk(false),
+            make_dir_store(&mut keep),
+        );
+        let (bg_r, bg_s, bg_obs) = run_tdb_chunk(
+            &mt_cfg,
+            forced_cleaning_chunk(true),
+            make_dir_store(&mut keep),
+        );
+        println!();
+        println!("maintenance off the commit path (file-backed store, cleaner forced active):");
+        println!(
+            "{:<18} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+            "system", "txn/s", "p50 ms", "p99 ms", "p999 ms", "passes", "stalls"
+        );
+        for (name, r, s) in [
+            ("inline", &inline_r, &inline_s),
+            ("background", &bg_r, &bg_s),
+        ] {
+            println!(
+                "{:<18} {:>12.0} {:>10.3} {:>10.3} {:>10.3} {:>8} {:>8}",
+                name,
+                r.transactions as f64 / r.run_seconds.max(1e-9),
+                r.latency.percentile(0.50) / 1e6,
+                r.latency.percentile(0.99) / 1e6,
+                r.latency.percentile(0.999) / 1e6,
+                s.cleaner_passes,
+                s.maintenance_stalls,
+            );
+        }
+        let p99_inline = inline_r.latency.percentile(0.99);
+        let p99_bg = bg_r.latency.percentile(0.99);
+        println!(
+            "p99 response: background {:.3} ms vs inline {:.3} ms ({:+.0}%)",
+            p99_bg / 1e6,
+            p99_inline / 1e6,
+            100.0 * (p99_bg - p99_inline) / p99_inline.max(1e-9)
+        );
+        Some(((inline_r, inline_s, inline_obs), (bg_r, bg_s, bg_obs)))
+    } else {
+        None
+    };
+
     let mut config = Json::obj();
     config.push("scale", cfg.scale);
     config.push("transactions", cfg.transactions);
@@ -207,6 +309,14 @@ fn main() {
             result_row("TDB-durable", one_report, Some(one_obs)),
         );
         push_result(&mut doc, result_row("TDB-mt", mt_report, Some(mt_obs)));
+    }
+    if let Some(((inline_r, inline_s, inline_obs), (bg_r, bg_s, bg_obs))) = &maint {
+        let mut row = result_row("TDB-maint-inline", inline_r, Some(inline_obs));
+        row.push("maintenance", maintenance_json(inline_s));
+        push_result(&mut doc, row);
+        let mut row = result_row("TDB-maint-bg", bg_r, Some(bg_obs));
+        row.push("maintenance", maintenance_json(bg_s));
+        push_result(&mut doc, row);
     }
     write_bench_json("fig10_tpcb", &doc).expect("write bench json");
 }

@@ -43,8 +43,10 @@ pub fn push_result(doc: &mut Json, row: Json) {
     }
 }
 
-/// Latency distribution as milliseconds: count plus mean/p50/p90/p95/p99.
-/// The snapshot's samples are nanoseconds (the workspace convention).
+/// Latency distribution as milliseconds: count plus
+/// mean/p50/p90/p95/p99/p999. The snapshot's samples are nanoseconds (the
+/// workspace convention). `p999` is the tail the background-maintenance
+/// work targets — an inline cleaning pass shows up there first.
 pub fn latency_ms_json(lat: &HistSnapshot) -> Json {
     let ms = |ns: f64| ns / 1e6;
     let mut o = Json::obj();
@@ -54,6 +56,7 @@ pub fn latency_ms_json(lat: &HistSnapshot) -> Json {
     o.push("p90", ms(lat.p90()));
     o.push("p95", ms(lat.p95()));
     o.push("p99", ms(lat.p99()));
+    o.push("p999", ms(lat.percentile(0.999)));
     o
 }
 
@@ -96,10 +99,13 @@ pub fn write_bench_json(name: &str, doc: &Json) -> std::io::Result<PathBuf> {
 /// - top level is an object with `schema_version` (integer, == 1),
 ///   `bench` (non-empty string), and `results` (non-empty array of objects);
 /// - any `latency_ms` field in a result row is an object with numeric
-///   `count`, `p50`, `p95`, and `p99`;
+///   `count`, `p50`, `p95`, and `p99` (and a numeric `p999` when present —
+///   rows written before the tail-latency work omit it);
 /// - any `phases_ns` field is an object whose values each carry numeric
 ///   `count` and `sum`;
-/// - any `counters` field is an object with only numeric values;
+/// - any `counters` or `maintenance` field is an object with only numeric
+///   values (`maintenance` carries the background-maintenance counters a
+///   row was measured under: wakeups, stalls, cleaner passes/slices, ...);
 /// - any `threads` field in a result row is a positive integer (worker
 ///   threads the row was measured with; rows omitting it are single-run
 ///   rows from before the field existed).
@@ -138,13 +144,13 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
                 "threads" if v.as_u64().filter(|t| *t >= 1).is_none() => {
                     return Err(format!("results[{i}]: threads not a positive integer"));
                 }
-                "counters" => {
+                "counters" | "maintenance" => {
                     let c = v
                         .as_obj()
-                        .ok_or(format!("results[{i}]: counters not an object"))?;
+                        .ok_or(format!("results[{i}]: {k} not an object"))?;
                     for (name, val) in c {
                         if val.as_f64().is_none() {
-                            return Err(format!("results[{i}]: counter `{name}` not numeric"));
+                            return Err(format!("results[{i}]: {k} entry `{name}` not numeric"));
                         }
                     }
                 }
@@ -161,6 +167,12 @@ fn validate_latency(v: &Json) -> Result<(), String> {
         let found = o.iter().find(|(n, _)| n == key).map(|(_, v)| v);
         if found.and_then(|v| v.as_f64()).is_none() {
             return Err(format!("latency_ms.{key} missing or not numeric"));
+        }
+    }
+    // Optional tail percentile: must be numeric when present.
+    if let Some((_, v)) = o.iter().find(|(n, _)| n == "p999") {
+        if v.as_f64().is_none() {
+            return Err("latency_ms.p999 present but not numeric".into());
         }
     }
     Ok(())
@@ -240,6 +252,48 @@ mod tests {
         row.push("latency_ms", lat); // missing p50/p95/p99
         push_result(&mut doc, row);
         assert!(validate_bench_doc(&doc).is_err());
+
+        // p999 is optional, but must be numeric when present.
+        let mut doc = bench_doc("x", Json::obj());
+        let mut row = Json::obj();
+        let mut lat = Json::obj();
+        for key in ["count", "p50", "p95", "p99"] {
+            lat.push(key, 1.0);
+        }
+        lat.push("p999", "fast");
+        row.push("latency_ms", lat);
+        push_result(&mut doc, row);
+        assert!(validate_bench_doc(&doc).is_err());
+
+        // A maintenance object must hold only numeric values.
+        let mut doc = bench_doc("x", Json::obj());
+        let mut row = Json::obj();
+        let mut maint = Json::obj();
+        maint.push("maintenance_stalls", "lots");
+        row.push("maintenance", maint);
+        push_result(&mut doc, row);
+        assert!(validate_bench_doc(&doc).is_err());
+    }
+
+    #[test]
+    fn latency_json_carries_the_tail_percentile() {
+        let h = tdb_obs::Histogram::new();
+        for i in 0..1000u64 {
+            h.record(i * 1_000);
+        }
+        let lat = latency_ms_json(&h.snapshot());
+        let o = lat.as_obj().unwrap();
+        let p999 = o
+            .iter()
+            .find(|(n, _)| n == "p999")
+            .and_then(|(_, v)| v.as_f64())
+            .expect("p999 emitted and numeric");
+        let p50 = o
+            .iter()
+            .find(|(n, _)| n == "p50")
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap();
+        assert!(p999 >= p50);
     }
 
     #[test]

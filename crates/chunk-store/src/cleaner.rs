@@ -4,21 +4,28 @@
 //! obsolete. Periodically, obsolete chunk versions must be reclaimed by a
 //! log cleaner." (paper §3.2.1)
 //!
-//! A pass:
+//! A pass is three phases, so the background maintenance thread can run it
+//! incrementally (releasing the store lock between relocation slices)
+//! while the synchronous path runs all three under one lock hold:
 //!
-//! 1. settles accounting with a durable anchor (pending-dead extents are
-//!    subtracted; nothing nondurable remains reclaim-blocked — the §3.2.2
-//!    rule);
-//! 2. picks victims: **all** fully dead segments (freed without copying),
-//!    plus the lowest-live partial segments capped at `cleaner_batch`
-//!    (excluding the tail, residual-log segments, and segments pinned by
-//!    live snapshots) — the cap bounds per-commit cleaning cost (§3.2.1);
-//! 3. relocates live chunk records verbatim (same sealed bytes, same hash —
-//!    only the location changes) and dirties live map pages so the closing
-//!    checkpoint rewrites them at the tail;
-//! 4. checkpoints — the new anchor references only the new locations, so a
-//!    crash at any point leaves a recoverable database — and frees the
-//!    now-dead victims, truncating their files.
+//! 1. [`select_victims`] settles accounting with a durable anchor
+//!    (pending-dead extents are subtracted; nothing nondurable remains
+//!    reclaim-blocked — the §3.2.2 rule), then picks victims: **all**
+//!    fully dead segments (freed without copying), plus the lowest-live
+//!    partial segments capped at `cleaner_batch` (excluding the tail,
+//!    residual-log segments, and segments pinned by live snapshots) — the
+//!    cap bounds per-pass cleaning cost (§3.2.1);
+//! 2. [`relocate_slice`] relocates up to a bounded number of live chunk
+//!    records verbatim (same sealed bytes, same hash — only the location
+//!    changes). Each slice re-checks snapshot pins — a snapshot opened
+//!    between slices still references old locations, so its victims are
+//!    dropped from the plan — and re-fetches every chunk's current
+//!    location, skipping chunks rewritten or deallocated since selection;
+//! 3. [`finish_pass`] dirties the victims' live map pages and checkpoints —
+//!    the new anchor references only the new locations, so a crash at any
+//!    point leaves a recoverable database (an abandoned pass is just dead
+//!    log tail) — then frees the still-dead, still-unpinned victims,
+//!    truncating their files.
 //!
 //! Fully dead segments are freed without any copying, which is why low
 //! database utilization makes cleaning nearly free (the Figure 11 effect:
@@ -33,35 +40,56 @@ use crate::store::Inner;
 use crate::ChunkId;
 use std::collections::HashSet;
 
-/// Run one cleaning pass. Returns the number of segments freed.
-pub(crate) fn clean_pass(inner: &mut Inner) -> Result<usize> {
-    let mut sw = tdb_obs::Stopwatch::start();
-    let out = clean_pass_inner(inner);
-    if sw.running() {
-        inner.stats.phases.cleaner_pass.record(sw.lap());
-    }
-    out
+/// What a completed cleaning pass means for the caller. `Freed(0)` is not
+/// the same as `NoGarbage`: victims existed but could not be freed (all
+/// pinned mid-pass, or the pass's own checkpoint traffic re-used them), so
+/// an out-of-space caller must treat the round as *gave up*, not clean.
+pub(crate) enum CleanOutcome {
+    /// Nothing reclaimable: every in-use segment is the tail, residual,
+    /// pinned, or too full to be worth copying.
+    NoGarbage,
+    /// A pass ran to completion and freed this many segments.
+    Freed(usize),
 }
 
-fn clean_pass_inner(inner: &mut Inner) -> Result<usize> {
-    add(&inner.stats.cleaner_passes, 1);
-    // Settle accounting: apply pending decrements under a durable anchor.
-    // (A full checkpoint here would rewrite the whole dirty map a second
-    // time per pass; the closing checkpoint below is the one that matters
-    // for correctness.)
-    inner.segs.flush()?;
-    inner.durable_anchor(true)?;
+/// The persistent state of one in-flight cleaning pass: victims chosen by
+/// [`select_victims`], chunk ids still to relocate. Locations are *not*
+/// cached — each slice re-fetches them from the live map, so the plan
+/// survives interleaved commits that rewrite or deallocate its chunks.
+pub(crate) struct CleanPlan {
+    victims: Vec<SegmentId>,
+    victim_set: HashSet<SegmentId>,
+    moves: Vec<ChunkId>,
+    /// Cursor into `moves`: everything before it has been handled.
+    next: usize,
+}
 
-    let seg_size = inner.segs.segment_size() as u64;
-    let tail = inner.segs.tail_pos().0;
-
+/// Segments a live snapshot (or backup walking one) still references.
+fn pinned_segments(inner: &mut Inner) -> HashSet<SegmentId> {
     inner.prune_snapshots();
-    let mut pinned: HashSet<SegmentId> = HashSet::new();
+    let mut pinned = HashSet::new();
     for weak in &inner.snapshots {
         if let Some(core) = weak.upgrade() {
             pinned.extend(core.referenced_segments());
         }
     }
+    pinned
+}
+
+/// Phase 1: settle accounting and choose victims. Returns `None` when
+/// there is nothing worth cleaning.
+pub(crate) fn select_victims(inner: &mut Inner) -> Result<Option<CleanPlan>> {
+    add(&inner.stats.cleaner_passes, 1);
+    // Settle accounting: apply pending decrements under a durable anchor.
+    // (A full checkpoint here would rewrite the whole dirty map a second
+    // time per pass; the closing checkpoint is the one that matters for
+    // correctness.)
+    inner.segs.flush()?;
+    inner.durable_anchor(true)?;
+
+    let seg_size = inner.segs.segment_size() as u64;
+    let tail = inner.segs.tail_pos().0;
+    let pinned = pinned_segments(inner);
 
     let candidates: Vec<SegmentId> = inner
         .segs
@@ -77,7 +105,7 @@ fn clean_pass_inner(inner: &mut Inner) -> Result<usize> {
         .collect();
     // Fully dead segments are freed without copying and cost (almost)
     // nothing — take them all, every pass. Only *copy-requiring* victims
-    // are capped by `cleaner_batch` (the §3.2.1 bound on per-commit
+    // are capped by `cleaner_batch` (the §3.2.1 bound on per-pass
     // cleaning work). Capping dead segments too would let the pass's own
     // checkpoint traffic consume more segments than it frees, growing the
     // database without bound under map-heavy workloads.
@@ -88,19 +116,59 @@ fn clean_pass_inner(inner: &mut Inner) -> Result<usize> {
     partial.truncate(inner.cfg.cleaner_batch);
     let victims: Vec<SegmentId> = dead.into_iter().chain(partial).collect();
     if victims.is_empty() {
-        return Ok(0);
+        return Ok(None);
     }
     let victim_set: HashSet<SegmentId> = victims.iter().copied().collect();
 
-    // Relocate live chunk versions. The sealed bytes move verbatim, so the
-    // hash in the map entry stays valid.
-    let mut moves: Vec<(ChunkId, Location)> = Vec::new();
+    let mut moves: Vec<ChunkId> = Vec::new();
     inner.map.for_each_entry(&mut |id, loc| {
         if victim_set.contains(&loc.seg) {
-            moves.push((id, *loc));
+            moves.push(id);
         }
     });
-    for (id, old) in moves {
+    Ok(Some(CleanPlan {
+        victims,
+        victim_set,
+        moves,
+        next: 0,
+    }))
+}
+
+/// Phase 2: relocate up to `max_chunks` live chunk records. Returns `true`
+/// once the plan has no moves left. Safe to interleave with commits: a
+/// snapshot opened since the previous slice drops its victims from the
+/// plan, and every chunk's location is re-fetched from the live map.
+pub(crate) fn relocate_slice(
+    inner: &mut Inner,
+    plan: &mut CleanPlan,
+    max_chunks: usize,
+) -> Result<bool> {
+    let mut sw = tdb_obs::Stopwatch::start();
+    let pinned = pinned_segments(inner);
+    if !pinned.is_empty() {
+        plan.victims.retain(|v| {
+            if pinned.contains(v) {
+                plan.victim_set.remove(v);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    let mut done = 0usize;
+    while done < max_chunks.max(1) && plan.next < plan.moves.len() {
+        let id = plan.moves[plan.next];
+        plan.next += 1;
+        // Re-fetch: the chunk may have been rewritten or deallocated (or
+        // its victim dropped from the plan) since selection.
+        let Some(old) = inner.map.get(id) else {
+            continue;
+        };
+        if !plan.victim_set.contains(&old.seg) {
+            continue;
+        }
+        // The sealed bytes move verbatim, so the hash in the map entry
+        // stays valid.
         let stored = inner.segs.read_record(&old, RecordKind::ChunkData)?;
         if inner.ctx.verifies_hashes()
             && !crate::crypto_ctx::CryptoCtx::tags_equal(&inner.ctx.hash(&stored), &old.hash)
@@ -120,22 +188,45 @@ fn clean_pass_inner(inner: &mut Inner) -> Result<usize> {
             inner.pending_dec.push(superseded);
         }
         add(&inner.stats.cleaner_bytes_copied, len as u64);
+        done += 1;
     }
     for s in inner.segs.drain_entered() {
         inner.residual_segments.insert(s);
     }
+    add(&inner.stats.cleaner_slices, 1);
+    if sw.running() {
+        inner.stats.phases.cleaner_slice.record(sw.lap());
+    }
+    Ok(plan.next >= plan.moves.len())
+}
 
+/// Phase 3: make the relocations the anchored truth, then reclaim.
+/// Returns the number of segments freed. A victim that a late snapshot
+/// pinned, another pass freed, or the checkpoint re-used as the tail is
+/// simply left alone — a future pass retries it.
+pub(crate) fn finish_pass(inner: &mut Inner, plan: &CleanPlan) -> Result<usize> {
+    if plan.victims.is_empty() {
+        // Everything got pinned mid-pass. The relocations already
+        // appended are ordinary log traffic for the next checkpoint; no
+        // forced checkpoint needed.
+        return Ok(0);
+    }
+    // Snapshots take the store lock, so the pin set cannot change between
+    // this check and the frees below.
+    let pinned = pinned_segments(inner);
     // Live map pages in victims are relocated by the closing checkpoint.
-    inner.map.dirty_pages_in(&victim_set);
-
-    // Make the relocations the anchored truth, then reclaim.
+    inner.map.dirty_pages_in(&plan.victim_set);
     inner.do_checkpoint()?;
 
     let mut freed = 0;
     let tail_now = inner.segs.tail_pos().0;
-    for v in victims {
-        if v != tail_now && inner.segs.live_of(v) == 0 {
-            inner.segs.free_segment(v)?;
+    for v in &plan.victims {
+        if *v != tail_now
+            && !pinned.contains(v)
+            && inner.segs.is_in_use(*v)
+            && inner.segs.live_of(*v) == 0
+        {
+            inner.segs.free_segment(*v)?;
             freed += 1;
             add(&inner.stats.cleaner_segments_freed, 1);
         }
@@ -144,4 +235,26 @@ fn clean_pass_inner(inner: &mut Inner) -> Result<usize> {
         .segs
         .drop_excess_free(inner.cfg.free_segment_reserve)?;
     Ok(freed)
+}
+
+/// Run one synchronous cleaning pass under a continuous lock hold (the
+/// inline-maintenance path; the background thread drives the same three
+/// phases through `maintenance::incremental_pass`, unlocking between
+/// slices).
+pub(crate) fn clean_pass(inner: &mut Inner) -> Result<CleanOutcome> {
+    let mut sw = tdb_obs::Stopwatch::start();
+    let out = clean_pass_inner(inner);
+    if sw.running() {
+        inner.stats.phases.cleaner_pass.record(sw.lap());
+    }
+    out
+}
+
+fn clean_pass_inner(inner: &mut Inner) -> Result<CleanOutcome> {
+    let Some(mut plan) = select_victims(inner)? else {
+        return Ok(CleanOutcome::NoGarbage);
+    };
+    let slice = inner.cfg.maintenance_slice_chunks;
+    while !relocate_slice(inner, &mut plan, slice)? {}
+    finish_pass(inner, &plan).map(CleanOutcome::Freed)
 }

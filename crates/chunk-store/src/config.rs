@@ -72,6 +72,22 @@ pub struct ChunkStoreConfig {
     /// away; bounds on-disk size after bursts (Figure 11's "resulting
     /// database size").
     pub free_segment_reserve: usize,
+    /// Run checkpointing and cleaning on a dedicated maintenance thread.
+    /// Commits only kick the thread (watermark checks are cheap); the
+    /// thread relocates in bounded slices, releasing the store lock
+    /// between slices so committers interleave. When false, maintenance
+    /// runs inline on the committing thread (the pre-thread behavior,
+    /// kept for deterministic tests and the tail-latency baseline).
+    pub background_maintenance: bool,
+    /// Low watermark: the maintenance thread starts cleaning when the
+    /// free-segment count falls below this (and utilization permits).
+    pub clean_low_free: usize,
+    /// High watermark: cleaning passes continue until the free-segment
+    /// count reaches this (or no garbage remains).
+    pub clean_high_free: usize,
+    /// Chunks relocated per maintenance slice. Bounds how long the store
+    /// lock is held by one slice of a background cleaning pass.
+    pub maintenance_slice_chunks: usize,
 }
 
 impl Default for ChunkStoreConfig {
@@ -87,6 +103,10 @@ impl Default for ChunkStoreConfig {
             allow_growth: true,
             free_list_cap: 4096,
             free_segment_reserve: 4,
+            background_maintenance: true,
+            clean_low_free: 1,
+            clean_high_free: 2,
+            maintenance_slice_chunks: 64,
         }
     }
 }
@@ -102,6 +122,9 @@ impl ChunkStoreConfig {
             initial_segments: 2,
             cleaner_batch: 4,
             free_segment_reserve: 2,
+            // Inline maintenance: unit tests (and the torture sweep) need
+            // every checkpoint/clean to happen at a deterministic point.
+            background_maintenance: false,
             ..Default::default()
         }
     }
@@ -119,6 +142,12 @@ impl ChunkStoreConfig {
         }
         if self.initial_segments < 2 {
             return Err("initial_segments must be at least 2".into());
+        }
+        if self.clean_high_free < self.clean_low_free {
+            return Err("clean_high_free must be at least clean_low_free".into());
+        }
+        if self.maintenance_slice_chunks == 0 {
+            return Err("maintenance_slice_chunks must be at least 1".into());
         }
         Ok(())
     }
@@ -153,6 +182,17 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ChunkStoreConfig {
             initial_segments: 1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ChunkStoreConfig {
+            clean_low_free: 4,
+            clean_high_free: 2,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ChunkStoreConfig {
+            maintenance_slice_chunks: 0,
             ..Default::default()
         };
         assert!(c.validate().is_err());

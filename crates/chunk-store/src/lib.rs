@@ -52,6 +52,7 @@ pub mod crypto_ctx;
 pub mod error;
 pub mod ids;
 pub mod layout;
+pub(crate) mod maintenance;
 pub mod map;
 pub mod recovery;
 pub mod segment;

@@ -1,0 +1,284 @@
+//! The background maintenance thread: checkpointing and cleaning off the
+//! commit path.
+//!
+//! Committers never run maintenance when `background_maintenance` is on —
+//! the group-commit leader only checks two cheap watermarks after its
+//! round and *kicks* this thread:
+//!
+//! * residual log ≥ `checkpoint_threshold` → checkpoint;
+//! * free segments < `clean_low_free` (and utilization ≤ the configured
+//!   maximum) → clean until `clean_high_free` free segments exist or no
+//!   garbage remains.
+//!
+//! A cleaning pass runs *incrementally*: victim selection, then bounded
+//! relocation slices of `maintenance_slice_chunks` chunks each — the
+//! store lock is released between slices so committers interleave — then
+//! the closing checkpoint and the frees. Each slice re-checks snapshot
+//! pins and chunk locations, so commits and snapshots taken mid-pass are
+//! always honored (see `cleaner`). Crash-safety is unchanged from the
+//! synchronous cleaner: only the closing checkpoint anchors the
+//! relocations, so an abandoned pass is just dead log tail.
+//!
+//! Backpressure: a committer that hits `OutOfSpace` kicks the thread and
+//! blocks on [`MaintShared`]'s progress condvar until a maintenance round
+//! completes (bounded; see `StoreCore::stall_for_space`), then retries
+//! its append. Shutdown (`ChunkStore::close` or drop) sets the shutdown
+//! flag and joins: an in-flight pass notices between slices and abandons.
+
+use crate::cleaner::{self, CleanPlan};
+use crate::error::Result;
+use crate::stats::add;
+use crate::store::StoreCore;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handshake state between committers, the maintenance thread, and
+/// shutdown. A leaf lock: never held while taking the store lock.
+pub(crate) struct MaintShared {
+    state: Mutex<MaintState>,
+    /// Wakes the maintenance thread (kick or shutdown).
+    wake: Condvar,
+    /// Wakes committers stalled for space (progress or shutdown).
+    progress: Condvar,
+}
+
+#[derive(Default)]
+struct MaintState {
+    kicked: bool,
+    shutdown: bool,
+    thread_running: bool,
+    /// Completed maintenance rounds (bumped even for fruitless ones, so
+    /// stalled committers re-check instead of sleeping forever).
+    rounds: u64,
+}
+
+impl MaintShared {
+    pub(crate) fn new() -> MaintShared {
+        MaintShared {
+            state: Mutex::new(MaintState::default()),
+            wake: Condvar::new(),
+            progress: Condvar::new(),
+        }
+    }
+
+    /// Mark the thread as live. Called before spawning it so a commit
+    /// racing store construction kicks instead of maintaining inline.
+    pub(crate) fn set_thread_running(&self) {
+        self.state.lock().thread_running = true;
+    }
+
+    pub(crate) fn thread_running(&self) -> bool {
+        self.state.lock().thread_running
+    }
+
+    /// Request a maintenance round (idempotent while one is pending).
+    pub(crate) fn kick(&self) {
+        let mut st = self.state.lock();
+        if !st.kicked {
+            st.kicked = true;
+            self.wake.notify_one();
+        }
+    }
+
+    /// Ask the thread to exit (it abandons an in-flight pass between
+    /// slices) and wake everyone so nothing sleeps through the shutdown.
+    pub(crate) fn request_shutdown(&self) {
+        let mut st = self.state.lock();
+        st.shutdown = true;
+        self.wake.notify_all();
+        self.progress.notify_all();
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.state.lock().shutdown
+    }
+
+    /// Kick the thread and block until one maintenance round completes
+    /// (or `timeout` passes, or the thread goes away). Returns `false` if
+    /// no thread was running — the caller must maintain inline.
+    pub(crate) fn kick_and_wait_round(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        if !st.thread_running {
+            return false;
+        }
+        let before = st.rounds;
+        if !st.kicked {
+            st.kicked = true;
+            self.wake.notify_one();
+        }
+        while st.rounds == before && st.thread_running && !st.shutdown {
+            if self.progress.wait_until(&mut st, deadline).timed_out() {
+                break;
+            }
+        }
+        true
+    }
+}
+
+/// Thread body. Holds an `Arc<StoreCore>` (not the `ChunkStore` handle),
+/// so dropping the store still reaches `ChunkStore::close`'s join.
+pub(crate) fn run(core: Arc<StoreCore>) {
+    loop {
+        {
+            let mut st = core.maint.state.lock();
+            while !st.kicked && !st.shutdown {
+                core.maint.wake.wait(&mut st);
+            }
+            if st.shutdown {
+                st.thread_running = false;
+                core.maint.progress.notify_all();
+                return;
+            }
+            st.kicked = false;
+        }
+        add(&core.stats.maintenance_wakeups, 1);
+        // A store failure here (the untrusted store erroring) is not
+        // fatal to the thread: the round's work stays retryable (the
+        // closing checkpoint is the only anchored truth), committers see
+        // the same error on their own operations, and the backpressure
+        // path surfaces persistent out-of-space as an error.
+        let _ = one_round(&core);
+        {
+            let mut st = core.maint.state.lock();
+            st.rounds += 1;
+            core.maint.progress.notify_all();
+        }
+    }
+}
+
+/// One maintenance round: checkpoint if the residual log is long, then
+/// clean up to the high watermark, one incremental pass at a time.
+fn one_round(core: &StoreCore) -> Result<()> {
+    let covered = {
+        let mut inner = core.inner.lock();
+        if inner.residual_bytes >= inner.cfg.checkpoint_threshold {
+            inner.do_checkpoint()?;
+            Some(inner.commit_seq)
+        } else {
+            None
+        }
+    };
+    if let Some(covered) = covered {
+        core.publish_durable(covered);
+    }
+    let mut forced_checkpoint = false;
+    loop {
+        if core.maint.shutdown_requested() {
+            return Ok(());
+        }
+        {
+            let inner = core.inner.lock();
+            if inner.segs.free_count() >= inner.cfg.clean_high_free
+                || inner.segs.utilization() > inner.cfg.max_utilization
+            {
+                return Ok(());
+            }
+        }
+        match incremental_pass(core, &mut |_| !core.maint.shutdown_requested())? {
+            PassResult::NoGarbage => {
+                // The garbage may all sit in still-residual segments (no
+                // checkpoint since it was made), which the cleaner skips.
+                // Below the low watermark that is space pressure, not
+                // cleanliness: shrink the residual set once and retry.
+                let covered = {
+                    let mut inner = core.inner.lock();
+                    if forced_checkpoint
+                        || inner.residual_segments.len() <= 1
+                        || inner.segs.free_count() >= inner.cfg.clean_low_free
+                    {
+                        return Ok(());
+                    }
+                    forced_checkpoint = true;
+                    inner.do_checkpoint()?;
+                    inner.commit_seq
+                };
+                core.publish_durable(covered);
+            }
+            PassResult::Abandoned => return Ok(()),
+            PassResult::Freed(0) => {
+                // Victims existed but none could be freed (pinned, or
+                // re-used by the pass's own checkpoint); retrying
+                // immediately would spin. The next kick retries.
+                add(&core.stats.maintenance_gave_up, 1);
+                return Ok(());
+            }
+            PassResult::Freed(_) => {}
+        }
+    }
+}
+
+/// How an incremental pass ended.
+pub(crate) enum PassResult {
+    /// Nothing to clean (or another pass is already in flight).
+    NoGarbage,
+    /// The pass completed; this many segments were freed.
+    Freed(usize),
+    /// `keep_going` said stop (shutdown); the relocations already
+    /// appended are dead log tail until a later pass redoes them.
+    Abandoned,
+}
+
+/// Drive one cleaning pass slice by slice, releasing the store lock
+/// between slices. `keep_going` is consulted before each slice with its
+/// index; returning `false` abandons the pass (also the test hook for
+/// mid-pass snapshots — it runs with the store unlocked).
+pub(crate) fn incremental_pass(
+    core: &StoreCore,
+    keep_going: &mut dyn FnMut(usize) -> bool,
+) -> Result<PassResult> {
+    let mut sw = tdb_obs::Stopwatch::start();
+    let slice_cap;
+    let mut plan = {
+        let mut inner = core.inner.lock();
+        if inner.pass_active {
+            // A concurrent pass (manual `clean()` racing the thread) is
+            // already doing this work; don't double-free its victims.
+            return Ok(PassResult::NoGarbage);
+        }
+        slice_cap = inner.cfg.maintenance_slice_chunks;
+        match cleaner::select_victims(&mut inner)? {
+            None => return Ok(PassResult::NoGarbage),
+            Some(plan) => {
+                inner.pass_active = true;
+                plan
+            }
+        }
+    };
+    let result = drive_slices(core, &mut plan, slice_cap, keep_going);
+    core.inner.lock().pass_active = false;
+    if sw.running() {
+        core.stats.phases.cleaner_pass.record(sw.lap());
+    }
+    result
+}
+
+fn drive_slices(
+    core: &StoreCore,
+    plan: &mut CleanPlan,
+    slice_cap: usize,
+    keep_going: &mut dyn FnMut(usize) -> bool,
+) -> Result<PassResult> {
+    let mut slice = 0usize;
+    loop {
+        if !keep_going(slice) {
+            return Ok(PassResult::Abandoned);
+        }
+        let mut inner = core.inner.lock();
+        let done = cleaner::relocate_slice(&mut inner, plan, slice_cap)?;
+        if done {
+            let freed = cleaner::finish_pass(&mut inner, plan)?;
+            let covered = inner.commit_seq;
+            drop(inner);
+            // The closing checkpoint anchored everything appended so far;
+            // wake followers it covered.
+            core.publish_durable(covered);
+            return Ok(PassResult::Freed(freed));
+        }
+        drop(inner);
+        // Give committers the lock between slices.
+        std::thread::yield_now();
+        slice += 1;
+    }
+}

@@ -321,6 +321,7 @@ pub(crate) fn open_impl(
         snapshots: Vec::new(),
         sync_inflight: std::collections::BTreeSet::new(),
         anchor_io: std::sync::Arc::new(parking_lot::Mutex::new(())),
+        pass_active: false,
         stats,
         recovery: Some(report),
     })

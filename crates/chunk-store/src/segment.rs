@@ -307,11 +307,16 @@ impl SegmentManager {
         Ok(())
     }
 
-    /// Sync every segment written since the last call.
+    /// Sync every segment written since the last call. On error the
+    /// not-yet-synced segments stay in the touched set, so a later anchor
+    /// cannot cover data that never reached disk (re-syncing the ones
+    /// that did succeed would be harmless; skipping one is not).
     pub fn sync_touched(&mut self) -> Result<()> {
         self.flush()?;
-        for seg in std::mem::take(&mut self.touched) {
+        let ids: Vec<u32> = self.touched.iter().copied().collect();
+        for seg in ids {
             self.file(SegmentId(seg))?.sync()?;
+            self.touched.remove(&seg);
             add(&self.stats.syncs, 1);
         }
         Ok(())
@@ -481,6 +486,12 @@ impl SegmentManager {
     /// Number of free segments ready for reuse.
     pub fn free_count(&self) -> usize {
         self.free.len()
+    }
+
+    /// Whether `seg` currently holds data (a cleaning pass re-checks this
+    /// before freeing a victim: another pass may have freed it meanwhile).
+    pub fn is_in_use(&self, seg: SegmentId) -> bool {
+        self.states[seg.0 as usize].status == SegStatus::InUse
     }
 
     /// live bytes / in-use capacity — the paper's database utilization.

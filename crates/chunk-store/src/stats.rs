@@ -101,6 +101,16 @@ counters! {
     segments_grown,
     /// Free segment files dropped to shrink the database.
     segments_dropped,
+    /// Bounded relocation slices executed by cleaning passes.
+    cleaner_slices,
+    /// Times the maintenance thread woke to a kick (or shutdown).
+    maintenance_wakeups,
+    /// Maintenance rounds that ended with no free segment despite garbage
+    /// existing (victims all pinned/tail, or the pass cap was hit).
+    maintenance_gave_up,
+    /// Commits that blocked on the maintenance backpressure path because
+    /// the log was out of segments.
+    maintenance_stalls,
 }
 
 impl Default for Stats {
@@ -148,6 +158,11 @@ pub struct Phases {
     pub checkpoint: Histogram,
     /// Cleaner pass duration.
     pub cleaner_pass: Histogram,
+    /// One bounded relocation slice of a cleaning pass (store lock held).
+    pub cleaner_slice: Histogram,
+    /// Time a committer spent stalled waiting for maintenance to free a
+    /// segment (the out-of-space backpressure path).
+    pub stall: Histogram,
     /// Anchor scan + validation time during recovery.
     pub recovery_anchor: Histogram,
     /// Location-map load + Merkle validation time during recovery.
@@ -172,6 +187,8 @@ impl Phases {
             group_wait: registry.histogram("commit.group_wait"),
             checkpoint: registry.histogram("checkpoint.total"),
             cleaner_pass: registry.histogram("cleaner.pass"),
+            cleaner_slice: registry.histogram("cleaner.slice"),
+            stall: registry.histogram("commit.stall"),
             recovery_anchor: registry.histogram("recovery.anchor"),
             recovery_map_load: registry.histogram("recovery.map_load"),
             recovery_replay: registry.histogram("recovery.replay"),

@@ -31,6 +31,7 @@ use crate::ids::{ChunkId, SegmentId};
 use crate::layout::{
     decode_chunk_payload, encode_chunk_payload, CommitPayload, RecordKind, LOCATION_LEN,
 };
+use crate::maintenance::{self, MaintShared, PassResult};
 use crate::map::{diff_roots, Location, LocationMap};
 use crate::recovery;
 use crate::segment::SegmentManager;
@@ -130,6 +131,10 @@ pub(crate) struct Inner {
     /// and out-of-lock anchor paths (leaf lock: taken with the store lock
     /// held, never the reverse).
     pub(crate) anchor_io: Arc<Mutex<()>>,
+    /// An incremental cleaning pass is in flight (its driver holds a
+    /// `CleanPlan` and will re-take this lock for the next slice).
+    /// Serializes passes so two never free each other's victims.
+    pub(crate) pass_active: bool,
 }
 
 impl Inner {
@@ -246,13 +251,17 @@ impl Inner {
     /// log tail. The in-memory map and free list are updated only *after*
     /// each group's commit record lands, so a failed append leaves the
     /// committed state untouched (the orphaned chunk records are dead bytes
-    /// for the cleaner). Returns the sequence of the last commit record —
-    /// the caller's ticket into the group-commit coordinator.
+    /// for the cleaner). `consumed` counts fully committed ops: on error
+    /// the caller may retry with the same arguments (after freeing space)
+    /// and the append resumes at the first uncommitted group. Returns the
+    /// sequence of the last commit record — the caller's ticket into the
+    /// group-commit coordinator.
     fn append_sealed(
         &mut self,
         sealed_ops: &[SealedOp],
         durable: bool,
         lap: &mut CommitLap,
+        consumed: &mut usize,
     ) -> Result<u64> {
         // Rollback for a failed half-appended group: the appended chunk
         // records were counted live but no commit record covers them.
@@ -266,7 +275,8 @@ impl Inner {
         }
 
         let max_ops = self.max_ops_per_commit();
-        for group in sealed_ops.chunks(max_ops) {
+        while *consumed < sealed_ops.len() {
+            let group = &sealed_ops[*consumed..(*consumed + max_ops).min(sealed_ops.len())];
             let mut writes: Vec<(ChunkId, Location)> = Vec::new();
             let mut deallocs: Vec<ChunkId> = Vec::new();
             for op in group {
@@ -335,6 +345,7 @@ impl Inner {
                 self.free_ids.insert(id.0);
             }
             self.residual_bytes += commit_len as u64;
+            *consumed += group.len();
         }
         for s in self.segs.drain_entered() {
             self.residual_segments.insert(s);
@@ -359,8 +370,9 @@ impl Inner {
         if sw.running() {
             self.stats.phases.sync.record(sw.lap());
         }
+        let bump_counter = self.ctx.mode() == SecurityMode::Full;
         self.anchor_seq += 1;
-        if self.ctx.mode() == SecurityMode::Full {
+        if bump_counter {
             self.counter_value += 1;
         }
         let free_ids: Vec<u64> = self
@@ -385,7 +397,7 @@ impl Inner {
             last_chain: self.chain,
             counter_value: self.counter_value,
         };
-        {
+        let io_result: Result<()> = (|| {
             let io = self.anchor_io.clone();
             let _io = io.lock();
             AnchorStore::new(&*self.untrusted).write(&self.ctx, &state)?;
@@ -393,17 +405,29 @@ impl Inner {
             if sw.running() {
                 self.stats.phases.anchor.record(sw.lap());
             }
-            if self.ctx.mode() == SecurityMode::Full {
+            if bump_counter {
                 // Anchor first, then counter: a crash between the two leaves
                 // `anchor == hw + 1`, which `open` repairs by bumping the
                 // counter. The reverse order would make a crash window look
                 // like a replay attack.
                 self.counter.increment()?;
                 add(&self.stats.counter_increments, 1);
+                if sw.running() {
+                    self.stats.phases.counter.record(sw.lap());
+                }
             }
-        }
-        if sw.running() {
-            self.stats.phases.counter.record(sw.lap());
+            Ok(())
+        })();
+        if let Err(e) = io_result {
+            // Roll back the speculative advance: a retried anchor must not
+            // drift past the hardware counter (recovery only repairs a
+            // `+1` gap; repeated failed rounds would otherwise read as a
+            // replay attack).
+            self.anchor_seq -= 1;
+            if bump_counter {
+                self.counter_value -= 1;
+            }
+            return Err(e);
         }
         // Everything superseded before this anchor is now truly dead.
         for loc in std::mem::take(&mut self.pending_dec) {
@@ -501,27 +525,58 @@ impl Inner {
     }
 
     /// Post-durable-commit housekeeping: checkpoint when the residual log
-    /// is long; clean when free space ran out but garbage exists.
-    fn maintain(&mut self) -> Result<()> {
+    /// is long; clean when free space ran out but garbage exists. The
+    /// outcome distinguishes "nothing left to reclaim" from "gave up with
+    /// the store still out of free segments" — a caller on the
+    /// out-of-space backpressure path must not read the latter as success.
+    pub(crate) fn maintain(&mut self) -> Result<MaintainOutcome> {
+        let mut out = MaintainOutcome {
+            freed: 0,
+            gave_up: false,
+        };
         if self.residual_bytes >= self.cfg.checkpoint_threshold {
             self.do_checkpoint()?;
         }
-        // Clean until a free segment exists (or cleaning stops making
-        // progress). A single bounded pass can free less than its own
+        // Clean until a free segment exists (or there is provably nothing
+        // to reclaim). A single bounded pass can free less than its own
         // checkpoint traffic consumed on map-heavy workloads, which would
-        // grow the database without bound.
+        // grow the database without bound — so "a pass freed nothing" and
+        // "no garbage" must part ways here: the former ends the round as
+        // `gave_up`, not as success.
         let mut passes = 0;
-        while self.segs.free_count() == 0
-            && self.segs.utilization() <= self.cfg.max_utilization
-            && passes < 4
-        {
-            let freed = cleaner::clean_pass(self)?;
-            passes += 1;
-            if freed == 0 {
+        let mut forced_checkpoint = false;
+        while self.segs.free_count() == 0 && self.segs.utilization() <= self.cfg.max_utilization {
+            if passes >= 16 {
+                out.gave_up = true;
+                add(&self.stats.maintenance_gave_up, 1);
                 break;
             }
+            passes += 1;
+            match cleaner::clean_pass(self)? {
+                cleaner::CleanOutcome::NoGarbage => {
+                    // Every in-use segment may simply still be residual
+                    // (no checkpoint since the garbage was made). Under
+                    // genuine space pressure, shrink the residual set once
+                    // and retry before concluding there is no garbage.
+                    if !forced_checkpoint && self.residual_segments.len() > 1 {
+                        forced_checkpoint = true;
+                        self.do_checkpoint()?;
+                        continue;
+                    }
+                    break;
+                }
+                cleaner::CleanOutcome::Freed(0) => {
+                    // Victims existed but none could be freed (pinned by a
+                    // snapshot, or re-used by the pass's own checkpoint);
+                    // an immediate retry would pick the same victims.
+                    out.gave_up = true;
+                    add(&self.stats.maintenance_gave_up, 1);
+                    break;
+                }
+                cleaner::CleanOutcome::Freed(n) => out.freed += n,
+            }
         }
-        Ok(())
+        Ok(out)
     }
 
     pub(crate) fn prune_snapshots(&mut self) {
@@ -540,6 +595,15 @@ impl Inner {
         self.snapshots.push(Arc::downgrade(&core));
         Snapshot { core }
     }
+}
+
+/// What [`Inner::maintain`] accomplished.
+pub(crate) struct MaintainOutcome {
+    /// Segments freed by cleaning passes this round.
+    pub(crate) freed: usize,
+    /// The round ended with `free_count() == 0` even though garbage
+    /// existed (victims pinned, or the pass cap was hit).
+    pub(crate) gave_up: bool,
 }
 
 /// Entropy for the IV stream: wall-clock nanoseconds. Combined with the
@@ -583,11 +647,12 @@ struct GroupState {
     waiters: Vec<u64>,
 }
 
-/// State shared by the store handle and every outstanding [`WriteBatch`].
+/// State shared by the store handle, every outstanding [`WriteBatch`],
+/// and the background maintenance thread.
 pub(crate) struct StoreCore {
     pub(crate) inner: Mutex<Inner>,
     ctx: Arc<CryptoCtx>,
-    stats: SharedStats,
+    pub(crate) stats: SharedStats,
     /// Commits until the next phase-attributed (fully timed) commit; see
     /// [`tdb_obs::phase_sample_every`].
     phase_tick: AtomicU64,
@@ -597,6 +662,10 @@ pub(crate) struct StoreCore {
     durable_seq: AtomicU64,
     group: Mutex<GroupState>,
     group_cv: Condvar,
+    /// Handshake with the background maintenance thread (kick, stall,
+    /// shutdown). Present even with `background_maintenance` off — the
+    /// thread is simply never spawned and commits maintain inline.
+    pub(crate) maint: MaintShared,
 }
 
 impl StoreCore {
@@ -665,13 +734,31 @@ impl StoreCore {
         }
         let mut lap = CommitLap::new(sampled);
         let sealed_ops = self.seal_ops(ops, &mut lap);
-        let seq = {
-            let mut inner = self.inner.lock();
-            let seq = inner.append_sealed(&sealed_ops, durable, &mut lap)?;
-            if !durable {
-                inner.segs.flush()?;
+        let mut consumed = 0usize;
+        let seq = loop {
+            let res = {
+                let mut inner = self.inner.lock();
+                inner
+                    .append_sealed(&sealed_ops, durable, &mut lap, &mut consumed)
+                    .and_then(|seq| {
+                        if !durable {
+                            inner.segs.flush()?;
+                        }
+                        Ok(seq)
+                    })
+            };
+            match res {
+                Ok(seq) => break seq,
+                // Out of segments: block until maintenance frees one, then
+                // resume the append at the first uncommitted group. Only a
+                // round that says "nothing reclaimable" lets the error out.
+                Err(e @ ChunkStoreError::OutOfSpace { .. }) => {
+                    if !self.stall_for_space()? {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
             }
-            seq
         };
         if lap.sw.running() {
             self.stats.phases.serialize.record(lap.ser_ns);
@@ -706,11 +793,10 @@ impl StoreCore {
             let covered = {
                 let mut inner = self.inner.lock();
                 inner.durable_anchor(sampled)?;
-                let covered = inner.commit_seq;
-                inner.maintain()?;
-                covered
+                inner.commit_seq
             };
             self.publish_durable(covered);
+            self.after_commit_maintenance()?;
             if total.running() {
                 self.stats.phases.commit_total.record(total.lap());
             }
@@ -805,9 +891,10 @@ impl StoreCore {
                 }
                 // Housekeeping (checkpoint / cleaner) runs outside the
                 // group window so followers wake at durability, not after
-                // maintenance, and new appends overlap with it.
-                let mut inner = self.inner.lock();
-                return inner.maintain();
+                // maintenance, and new appends overlap with it. With the
+                // maintenance thread running this is only a watermark
+                // check and a kick.
+                return self.after_commit_maintenance();
             }
             self.group_cv.wait(&mut g);
         }
@@ -846,6 +933,14 @@ impl StoreCore {
                 inner.sync_inflight.remove(s);
             }
             inner.pending_dec.extend(prep.pending_dec);
+            // Same speculative-advance rollback as the anchor-io failure
+            // path below: the prepared anchor was never written.
+            if inner.anchor_seq == prep.state.anchor_seq {
+                inner.anchor_seq -= 1;
+            }
+            if prep.bump_counter {
+                inner.counter_value -= 1;
+            }
             return Err(e);
         }
         let io_result: Result<()> = (|| {
@@ -858,12 +953,15 @@ impl StoreCore {
             if prep.bump_counter {
                 prep.counter.increment()?;
                 add(&self.stats.counter_increments, 1);
+                // Counter laps are recorded only here, on the success path
+                // of an actual increment — an error (or a round that never
+                // bumps) must not pollute the histogram with ~0 samples.
+                if sw.running() {
+                    self.stats.phases.counter.record(sw.lap());
+                }
             }
             Ok(())
         })();
-        if sw.running() {
-            self.stats.phases.counter.record(sw.lap());
-        }
         let mut inner = self.inner.lock();
         for (s, _) in &prep.files {
             inner.sync_inflight.remove(s);
@@ -879,16 +977,81 @@ impl StoreCore {
             }
             Err(e) => {
                 inner.pending_dec.extend(prep.pending_dec);
+                // Undo the prepared round's speculative advance so retries
+                // cannot drift past the hardware counter. `anchor_seq`
+                // only rolls back if no in-lock anchor ran meanwhile —
+                // a skipped sequence is harmless, a reused one is not.
+                if inner.anchor_seq == prep.state.anchor_seq {
+                    inner.anchor_seq -= 1;
+                }
+                if prep.bump_counter {
+                    inner.counter_value -= 1;
+                }
                 Err(e)
             }
         }
+    }
+
+    /// Post-commit housekeeping. With the maintenance thread running, the
+    /// committer pays a watermark check and (at most) a kick — the
+    /// checkpoint and cleaning happen off the commit path. Otherwise the
+    /// legacy inline behavior: this committer maintains under the lock.
+    fn after_commit_maintenance(&self) -> Result<()> {
+        if self.maint.thread_running() {
+            let need = {
+                let inner = self.inner.lock();
+                inner.residual_bytes >= inner.cfg.checkpoint_threshold
+                    || (inner.segs.free_count() < inner.cfg.clean_low_free
+                        && inner.segs.utilization() <= inner.cfg.max_utilization)
+            };
+            if need {
+                self.maint.kick();
+            }
+            return Ok(());
+        }
+        self.inner.lock().maintain().map(|_| ())
+    }
+
+    /// Commit-path backpressure: the append ran out of segments. Kick the
+    /// maintenance thread and block (bounded) for its rounds — or, with no
+    /// thread, maintain inline — and say whether the caller should retry.
+    /// `false` means maintenance completed without yielding a free segment:
+    /// a true out-of-space condition, not a pacing artifact.
+    fn stall_for_space(&self) -> Result<bool> {
+        add(&self.stats.maintenance_stalls, 1);
+        let mut sw = if tdb_obs::enabled() {
+            Stopwatch::start()
+        } else {
+            Stopwatch::inert()
+        };
+        let mut retry = false;
+        for _ in 0..8 {
+            if !self
+                .maint
+                .kick_and_wait_round(std::time::Duration::from_millis(500))
+            {
+                // No thread running: this committer maintains inline.
+                let mut inner = self.inner.lock();
+                let out = inner.maintain()?;
+                retry = out.freed > 0 || inner.segs.free_count() > 0;
+                break;
+            }
+            if self.inner.lock().segs.free_count() > 0 {
+                retry = true;
+                break;
+            }
+        }
+        if sw.running() {
+            self.stats.phases.stall.record(sw.lap());
+        }
+        Ok(retry)
     }
 
     /// Record that an anchor has covered `covered` (used by paths that
     /// anchor outside the coordinator: checkpoints, empty durable commits).
     /// The notify is taken under the group lock so it cannot slip between a
     /// waiter's coverage check and its sleep.
-    fn publish_durable(&self, covered: u64) {
+    pub(crate) fn publish_durable(&self, covered: u64) {
         if self.durable_seq.fetch_max(covered, Ordering::AcqRel) < covered {
             let _g = self.group.lock();
             self.group_cv.notify_all();
@@ -980,22 +1143,42 @@ pub struct ChunkStore {
     core: Arc<StoreCore>,
     /// Staging area for the legacy single-handle API.
     default_batch: Mutex<Batch>,
+    /// The background maintenance thread, when `background_maintenance`
+    /// is configured. Joined by [`ChunkStore::close`] (and drop).
+    maint_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl ChunkStore {
     fn from_inner(inner: Inner) -> ChunkStore {
-        let core = StoreCore {
+        let background = inner.cfg.background_maintenance;
+        let core = Arc::new(StoreCore {
             ctx: inner.ctx.clone(),
             stats: inner.stats.clone(),
             phase_tick: AtomicU64::new(0),
             durable_seq: AtomicU64::new(inner.commit_seq),
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
+            maint: MaintShared::new(),
             inner: Mutex::new(inner),
+        });
+        let maint_thread = if background {
+            // Marked running before the spawn so a commit racing store
+            // construction kicks the thread instead of maintaining inline.
+            core.maint.set_thread_running();
+            let thread_core = core.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("tdb-maintenance".into())
+                    .spawn(move || maintenance::run(thread_core))
+                    .expect("spawn maintenance thread"),
+            )
+        } else {
+            None
         };
         ChunkStore {
-            core: Arc::new(core),
+            core,
             default_batch: Mutex::new(Batch::default()),
+            maint_thread: Mutex::new(maint_thread),
         }
     }
 
@@ -1058,6 +1241,7 @@ impl ChunkStore {
             snapshots: Vec::new(),
             sync_inflight: BTreeSet::new(),
             anchor_io: Arc::new(Mutex::new(())),
+            pass_active: false,
             stats,
             recovery: None,
         };
@@ -1206,8 +1390,45 @@ impl ChunkStore {
     }
 
     /// Run one cleaner pass (normally automatic). Returns segments freed.
+    /// Runs the same incremental slice protocol as the maintenance
+    /// thread; if a background pass is already in flight this returns 0
+    /// rather than racing it for the victims.
     pub fn clean(&self) -> Result<usize> {
-        cleaner::clean_pass(&mut self.core.inner.lock())
+        match maintenance::incremental_pass(&self.core, &mut |_| true)? {
+            PassResult::Freed(n) => Ok(n),
+            PassResult::NoGarbage | PassResult::Abandoned => Ok(0),
+        }
+    }
+
+    /// Drive one incremental cleaning pass, calling `between` with the
+    /// store *unlocked* before every relocation slice after the first —
+    /// a test hook for the mid-pass snapshot/commit interleavings the
+    /// background thread produces nondeterministically.
+    #[doc(hidden)]
+    pub fn clean_incremental_with(&self, between: &mut dyn FnMut(usize)) -> Result<usize> {
+        let mut hook = |slice: usize| {
+            if slice > 0 {
+                between(slice);
+            }
+            true
+        };
+        match maintenance::incremental_pass(&self.core, &mut hook)? {
+            PassResult::Freed(n) => Ok(n),
+            PassResult::NoGarbage | PassResult::Abandoned => Ok(0),
+        }
+    }
+
+    /// Quiesce and join the background maintenance thread, if one is
+    /// running: an in-flight cleaning pass is abandoned at the next slice
+    /// boundary (safe — only the closing checkpoint anchors a pass, so an
+    /// abandoned slice is dead log tail for recovery and for the next
+    /// pass). The store remains usable; maintenance falls back inline.
+    /// Called automatically when the store is dropped.
+    pub fn close(&self) {
+        self.core.maint.request_shutdown();
+        if let Some(handle) = self.maint_thread.lock().take() {
+            let _ = handle.join();
+        }
     }
 
     /// Take a copy-on-write snapshot of the committed database state.
@@ -1398,5 +1619,11 @@ impl ChunkStore {
         }
         let ticket = self.core.append_ops(ops, true)?;
         self.core.wait_ticket(ticket)
+    }
+}
+
+impl Drop for ChunkStore {
+    fn drop(&mut self) {
+        self.close();
     }
 }

@@ -465,6 +465,37 @@ fn written_regions(trace: &[FaultEvent]) -> Vec<(&str, u64, u64)> {
         .collect()
 }
 
+/// Clip traced regions to bytes the store still holds. Maintenance may
+/// remove or truncate a file after the traced write (freed segments,
+/// `drop_excess_free`), and a tamper can only target bytes that exist at
+/// apply time.
+fn live_regions<'a>(
+    store: &dyn UntrustedStore,
+    trace: &'a [FaultEvent],
+) -> Result<Vec<(&'a str, u64, u64)>> {
+    let mut lens: Vec<(&'a str, u64)> = Vec::new();
+    let mut out = Vec::new();
+    for (file, offset, len) in written_regions(trace) {
+        let flen = match lens.iter().find(|(f, _)| *f == file) {
+            Some((_, l)) => *l,
+            None => {
+                let l = if store.exists(file)? {
+                    store.open(file, false)?.len()?
+                } else {
+                    0
+                };
+                lens.push((file, l));
+                l
+            }
+        };
+        let clipped = len.min(flen.saturating_sub(offset));
+        if clipped > 0 {
+            out.push((file, offset, clipped));
+        }
+    }
+    Ok(out)
+}
+
 /// Map a flat byte pick onto (region, byte-within-region).
 fn pick_byte<'a>(regions: &[(&'a str, u64, u64)], pick: u64) -> Option<(&'a str, u64)> {
     let total: u64 = regions.iter().map(|(_, _, len)| len).sum();
@@ -490,7 +521,7 @@ pub fn apply_tamper(
     trace: &[FaultEvent],
     mode: &TamperMode,
 ) -> Result<Option<TamperReceipt>> {
-    let regions = written_regions(trace);
+    let regions = live_regions(store, trace)?;
     match mode {
         TamperMode::BitFlip { pick } => {
             let Some((file, offset)) = pick_byte(&regions, *pick) else {
@@ -575,6 +606,15 @@ pub fn apply_tamper(
                     .count()
                     >= 2
             });
+            // A file maintenance has since removed can't be rolled back —
+            // there is no current version to regress.
+            let mut existing = Vec::with_capacity(files.len());
+            for f in files {
+                if store.exists(f)? {
+                    existing.push(f);
+                }
+            }
+            let files = existing;
             if files.is_empty() {
                 return Ok(None);
             }
@@ -595,10 +635,16 @@ pub fn apply_tamper(
                     continue;
                 }
                 let live = w.pre_image.len().min(w.written as usize);
-                let mut current = vec![0u8; live];
                 if live > 0 {
-                    f.read_at(w.offset, &mut current)?;
-                    if current != w.pre_image[..live] {
+                    // The file may have been truncated since this write
+                    // (cleaner frees); only the still-present prefix can be
+                    // compared, but the whole pre-image is restored.
+                    let readable = live.min(f.len()?.saturating_sub(w.offset) as usize);
+                    let mut current = vec![0u8; readable];
+                    if readable > 0 {
+                        f.read_at(w.offset, &mut current)?;
+                    }
+                    if readable < live || current != w.pre_image[..readable] {
                         changed = true;
                     }
                     f.write_at(w.offset, &w.pre_image[..live])?;

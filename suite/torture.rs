@@ -103,12 +103,16 @@ impl Default for TortureConfig {
 
 /// What one scripted transaction does. Derived deterministically from the
 /// seed; `durable` mixes §3.2.2 durable and nondurable commits so crash
-/// points fall in both regimes.
+/// points fall in both regimes, and `maintain` steps run an explicit
+/// checkpoint + cleaning pass afterwards so the sweep also enumerates
+/// crash points inside maintenance: victim selection's settling anchor,
+/// every relocation slice, the closing checkpoint, and the frees.
 #[derive(Clone, Debug)]
 struct Step {
     insert: Option<u64>,
     bump: Option<(u64, i64)>,
     durable: bool,
+    maintain: bool,
 }
 
 /// Oracle state: cell id → value.
@@ -119,17 +123,20 @@ fn script(cfg: &TortureConfig) -> Vec<Step> {
     (1..=cfg.steps)
         .map(|i| {
             let r = rng.next_u64();
+            let maintain = i % 5 == 0;
             if i % 4 == 0 {
                 Step {
                     insert: Some(1_000 + i),
                     bump: None,
                     durable: r % 3 != 0,
+                    maintain,
                 }
             } else {
                 Step {
                     insert: None,
                     bump: Some((r % cfg.cells, (r % 97) as i64 + 1)),
                     durable: r % 3 != 0,
+                    maintain,
                 }
             }
         })
@@ -253,6 +260,30 @@ fn run_script(db: &Database, steps: &[Step]) -> RunResult {
             Ok(()) => {
                 if step.durable {
                     last_durable_acked = i + 1;
+                }
+                if step.maintain {
+                    // Maintenance mutates no data, but an acknowledged
+                    // checkpoint is a durable event: it hardens every
+                    // commit so far, including nondurable ones, so the
+                    // oracle's durable frontier advances to this step. A
+                    // crash inside the checkpoint or the cleaning pass
+                    // surfaces here like any other crash; the admissible
+                    // range still covers this step inclusively (its
+                    // maintenance may have hardened state before dying).
+                    let chunks = db.chunk_store();
+                    if chunks.checkpoint().is_err() {
+                        return RunResult {
+                            last_durable_acked,
+                            crashed_step: i + 1,
+                        };
+                    }
+                    last_durable_acked = i + 1;
+                    if chunks.clean().is_err() {
+                        return RunResult {
+                            last_durable_acked,
+                            crashed_step: i + 1,
+                        };
+                    }
                 }
             }
             Err(_) => {

@@ -25,13 +25,15 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
           "system": "TDB",
           "throughput_txn_per_sec": 812.5,
           "threads": 4,
-          "latency_ms": {"count": 100, "mean": 1.2, "p50": 1.0, "p90": 2.0, "p95": 2.5, "p99": 4.0},
+          "latency_ms": {"count": 100, "mean": 1.2, "p50": 1.0, "p90": 2.0, "p95": 2.5, "p99": 4.0, "p999": 9.5},
           "phases_ns": {
             "commit.seal": {"count": 100, "sum": 12345678, "min": 1000, "max": 99999, "mean": 123456.78, "p50": 1.0, "p90": 1.0, "p95": 1.0, "p99": 1.0},
             "commit.sync": {"count": 100, "sum": 345678},
+            "commit.stall": {"count": 3, "sum": 4500000},
             "commit.group_size": {"count": 50, "sum": 100}
           },
-          "counters": {"chunk.commits": 100, "chunk.bytes_appended": 51200}
+          "counters": {"chunk.commits": 100, "chunk.bytes_appended": 51200},
+          "maintenance": {"wakeups": 12, "stalls": 3, "gave_up": 0, "checkpoints": 7, "cleaner_passes": 5, "cleaner_slices": 40, "cleaner_segments_freed": 9, "cleaner_bytes_copied": 262144}
         }
       ]
     }"#;
@@ -57,6 +59,14 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
     corrupt(&|t| t.replace("\"results\": [", "\"results\": \"none\", \"unused\": ["));
     corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": \"four\""));
     corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": 0"));
+    corrupt(&|t| t.replace("\"p999\": 9.5", "\"p999\": \"tail\""));
+    corrupt(&|t| t.replace("\"stalls\": 3", "\"stalls\": \"some\""));
+    corrupt(&|t| {
+        t.replace(
+            "\"commit.stall\": {\"count\": 3, \"sum\": 4500000}",
+            "\"commit.stall\": {\"count\": 3}",
+        )
+    });
     corrupt(&|t| {
         t.replace(
             "\"commit.group_size\": {\"count\": 50, \"sum\": 100}",
