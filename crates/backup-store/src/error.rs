@@ -67,6 +67,26 @@ impl From<std::io::Error> for BackupError {
     }
 }
 
+impl BackupError {
+    /// Stable, layer-independent classification (see [`tdb_core::ErrorKind`]).
+    pub fn kind(&self) -> tdb_core::ErrorKind {
+        use tdb_core::ErrorKind;
+        match self {
+            BackupError::InvalidBackup(_) => ErrorKind::Tamper,
+            BackupError::SequenceViolation(_) | BackupError::NoBaseBackup => ErrorKind::Usage,
+            BackupError::Chunk(e) => e.kind(),
+            BackupError::Platform(e) => e.kind(),
+            BackupError::Io(_) => ErrorKind::Io,
+        }
+    }
+}
+
+impl From<BackupError> for tdb_core::Error {
+    fn from(e: BackupError) -> Self {
+        tdb_core::Error::with_source(e.kind(), e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

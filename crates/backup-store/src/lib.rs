@@ -19,7 +19,7 @@
 //!
 //! ```
 //! use backup_store::BackupManager;
-//! use chunk_store::{ChunkStore, ChunkStoreConfig};
+//! use chunk_store::{ChunkStore, ChunkStoreConfig, Durability};
 //! use tdb_platform::{MemArchive, MemSecretStore, MemStore, VolatileCounter};
 //! use std::sync::Arc;
 //!
@@ -29,7 +29,7 @@
 //!     Arc::new(VolatileCounter::new()), ChunkStoreConfig::default()).unwrap();
 //! let id = store.allocate_chunk_id().unwrap();
 //! store.write(id, b"meter").unwrap();
-//! store.commit(true).unwrap();
+//! store.commit(Durability::Durable).unwrap();
 //!
 //! let archive = Arc::new(MemArchive::new());
 //! let mut mgr = BackupManager::new(archive.clone(), &secret,

@@ -2,6 +2,7 @@
 //! incremental efficiency, and adversarial archives.
 
 use backup_store::{BackupError, BackupManager};
+use chunk_store::Durability;
 use chunk_store::{ChunkId, ChunkStore, ChunkStoreConfig, SecurityMode};
 use std::sync::Arc;
 use tdb_platform::{ArchivalStore, MemArchive, MemSecretStore, MemStore, VolatileCounter};
@@ -32,7 +33,7 @@ fn full_backup_and_restore_roundtrip() {
     let ids: Vec<_> = (0..25)
         .map(|i| put(&store, format!("chunk-{i}").as_bytes()))
         .collect();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
@@ -56,7 +57,7 @@ fn incremental_chain_restores_in_order() {
     let store = new_store();
     let a = put(&store, b"a-v1");
     let b = put(&store, b"b-v1");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
@@ -65,13 +66,13 @@ fn incremental_chain_restores_in_order() {
     // Change 1: update a, add c.
     store.write(a, b"a-v2").unwrap();
     let c = put(&store, b"c-v1");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let incr1 = mgr.backup_incremental(&store).unwrap();
 
     // Change 2: remove b, update c.
     store.deallocate(b).unwrap();
     store.write(c, b"c-v2").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let incr2 = mgr.backup_incremental(&store).unwrap();
 
     let restored = new_store();
@@ -93,14 +94,14 @@ fn incremental_chain_restores_in_order() {
 fn incremental_is_small() {
     let store = new_store();
     let ids: Vec<_> = (0..200).map(|i| put(&store, &[i as u8; 100])).collect();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let full = mgr.backup_full(&store).unwrap();
 
     store.write(ids[7], b"tiny change").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let incr = mgr.backup_incremental(&store).unwrap();
 
     let full_len = archive.len_of(&full).unwrap();
@@ -126,7 +127,7 @@ fn incremental_without_base_fails() {
 fn corrupted_backup_is_rejected_entirely() {
     let store = new_store();
     put(&store, b"precious");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let name = mgr.backup_full(&store).unwrap();
@@ -145,7 +146,7 @@ fn corrupted_backup_is_rejected_entirely() {
 fn truncated_backup_is_rejected() {
     let store = new_store();
     put(&store, b"precious");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let name = mgr.backup_full(&store).unwrap();
@@ -166,15 +167,15 @@ fn truncated_backup_is_rejected() {
 fn out_of_order_incrementals_are_rejected() {
     let store = new_store();
     let a = put(&store, b"v1");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let full = mgr.backup_full(&store).unwrap();
     store.write(a, b"v2").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let incr1 = mgr.backup_incremental(&store).unwrap();
     store.write(a, b"v3").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let incr2 = mgr.backup_incremental(&store).unwrap();
 
     // Swapped order.
@@ -206,12 +207,12 @@ fn out_of_order_incrementals_are_rejected() {
 fn chain_must_start_with_full() {
     let store = new_store();
     let a = put(&store, b"v1");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let _full = mgr.backup_full(&store).unwrap();
     store.write(a, b"v2").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let incr = mgr.backup_incremental(&store).unwrap();
 
     let restored = new_store();
@@ -225,17 +226,17 @@ fn chain_must_start_with_full() {
 fn latest_chain_discovery() {
     let store = new_store();
     let a = put(&store, b"v1");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     mgr.backup_full(&store).unwrap();
     store.write(a, b"v2").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     mgr.backup_incremental(&store).unwrap();
     // Second full resets the chain.
     mgr.backup_full(&store).unwrap();
     store.write(a, b"v3").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     mgr.backup_incremental(&store).unwrap();
 
     let chain = BackupManager::latest_chain(&*archive).unwrap();
@@ -252,7 +253,7 @@ fn latest_chain_discovery() {
 fn backup_under_wrong_secret_cannot_restore() {
     let store = new_store();
     put(&store, b"x");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let name = mgr.backup_full(&store).unwrap();
@@ -273,7 +274,7 @@ fn backup_under_wrong_secret_cannot_restore() {
 fn backup_streams_are_encrypted() {
     let store = new_store();
     put(&store, b"DO-NOT-LEAK-ME-0123456789");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let name = mgr.backup_full(&store).unwrap();
@@ -287,14 +288,14 @@ fn backup_streams_are_encrypted() {
 fn restore_into_nonempty_store_fails() {
     let store = new_store();
     put(&store, b"x");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
     let name = mgr.backup_full(&store).unwrap();
 
     let target = new_store();
     put(&target, b"already here");
-    target.commit(true).unwrap();
+    target.commit(Durability::Durable).unwrap();
     assert!(BackupManager::restore_chain(
         &*archive,
         &secret(),
@@ -309,7 +310,7 @@ fn restore_into_nonempty_store_fails() {
 fn manager_continues_sequence_from_archive() {
     let store = new_store();
     put(&store, b"x");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let first_name;
     {
@@ -327,21 +328,21 @@ fn manager_continues_sequence_from_archive() {
 fn prune_keeps_newest_chains() {
     let store = new_store();
     let a = put(&store, b"v1");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Full).unwrap();
 
     // Chain 1: full + incr. Chain 2: full + 2 incrs. Chain 3: full.
     mgr.backup_full(&store).unwrap();
     store.write(a, b"v2").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     mgr.backup_incremental(&store).unwrap();
     mgr.backup_full(&store).unwrap();
     store.write(a, b"v3").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     mgr.backup_incremental(&store).unwrap();
     store.write(a, b"v4").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     mgr.backup_incremental(&store).unwrap();
     mgr.backup_full(&store).unwrap();
     assert_eq!(BackupManager::list_backups(&*archive).unwrap().len(), 6);
@@ -374,7 +375,7 @@ fn off_mode_backup_roundtrip() {
     )
     .unwrap();
     let id = put(&store, b"plain");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret(), SecurityMode::Off).unwrap();
     let name = mgr.backup_full(&store).unwrap();

@@ -7,6 +7,7 @@
 //! whole, as §4.2.1's recomposition argument describes).
 
 use chunk_store::ChunkStoreConfig;
+use chunk_store::Durability;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tdb_bench::bench_chunk_store;
 
@@ -23,11 +24,11 @@ fn bench_packing(c: &mut Criterion) {
                 id
             })
             .collect();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         group.bench_function(BenchmarkId::new("single_object_chunks", n), |b| {
             b.iter(|| {
                 store.write(ids[0], &[2u8; OBJ]).unwrap();
-                store.commit(true).unwrap();
+                store.commit(Durability::Durable).unwrap();
             })
         });
 
@@ -35,13 +36,13 @@ fn bench_packing(c: &mut Criterion) {
         let store = bench_chunk_store(ChunkStoreConfig::default());
         let packed = store.allocate_chunk_id().unwrap();
         store.write(packed, &vec![1u8; OBJ * n]).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         group.bench_function(BenchmarkId::new("multi_object_chunk", n), |b| {
             b.iter(|| {
                 let mut all = store.read(packed).unwrap();
                 all[..OBJ].copy_from_slice(&[2u8; OBJ]);
                 store.write(packed, &all).unwrap();
-                store.commit(true).unwrap();
+                store.commit(Durability::Durable).unwrap();
             })
         });
     }

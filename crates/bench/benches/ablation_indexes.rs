@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use tdb::platform::{MemSecretStore, MemStore, VolatileCounter};
+use tdb::Durability;
 use tdb::{
     impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, ExtractorRegistry,
     IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
@@ -55,7 +56,7 @@ fn bench_insert(c: &mut Criterion) {
         let t = database.begin();
         t.create_collection("c", &[IndexSpec::new("i", "item.id", false, kind)])
             .unwrap();
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
         let mut next = 0u64;
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
@@ -64,7 +65,7 @@ fn bench_insert(c: &mut Criterion) {
                 coll.insert(Box::new(Item { id: next })).unwrap();
                 next += 1;
                 drop(coll);
-                t.commit(true).unwrap();
+                t.commit(Durability::Durable).unwrap();
             })
         });
     }
@@ -86,7 +87,7 @@ fn bench_lookup(c: &mut Criterion) {
             coll.insert(Box::new(Item { id })).unwrap();
         }
         drop(coll);
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
         let mut probe = 0u64;
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
@@ -97,7 +98,7 @@ fn bench_lookup(c: &mut Criterion) {
                 let n = it.result_len();
                 it.close().unwrap();
                 drop(coll);
-                t.commit(false).unwrap();
+                t.commit(Durability::Lazy).unwrap();
                 n
             })
         });

@@ -5,6 +5,7 @@
 //! overhead)" on their disk-bound runs; on a memory-backed store the CPU
 //! delta is fully visible.
 
+use chunk_store::Durability;
 use chunk_store::{ChunkStoreConfig, SecurityMode};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tdb_bench::bench_chunk_store;
@@ -20,11 +21,11 @@ fn bench_roundtrip(c: &mut Criterion) {
         let store = bench_chunk_store(cfg);
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, &[7u8; 1024]).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 store.write(id, &[7u8; 1024]).unwrap();
-                store.commit(true).unwrap();
+                store.commit(Durability::Durable).unwrap();
                 store.read(id).unwrap()
             })
         });

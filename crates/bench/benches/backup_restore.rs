@@ -3,6 +3,7 @@
 //! and validated restore.
 
 use backup_store::BackupManager;
+use chunk_store::Durability;
 use chunk_store::{ChunkStoreConfig, SecurityMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -19,7 +20,7 @@ fn bench_backup(c: &mut Criterion) {
             id
         })
         .collect();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     c.bench_function("backup_full_2k_chunks", |b| {
         b.iter(|| {
@@ -38,7 +39,7 @@ fn bench_backup(c: &mut Criterion) {
             store
                 .write(ids[0], &round.to_le_bytes().repeat(25))
                 .unwrap();
-            store.commit(true).unwrap();
+            store.commit(Durability::Durable).unwrap();
             round += 1;
             mgr.backup_incremental(&store).unwrap()
         })

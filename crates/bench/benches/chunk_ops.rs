@@ -1,6 +1,7 @@
 //! Microbenchmarks of chunk store primitives (write/commit, read,
 //! checkpoint) in both security modes.
 
+use chunk_store::Durability;
 use chunk_store::{ChunkStoreConfig, SecurityMode};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tdb_bench::bench_chunk_store;
@@ -19,7 +20,7 @@ fn bench_write_commit(c: &mut Criterion) {
             b.iter(|| {
                 let id = store.allocate_chunk_id().unwrap();
                 store.write(id, &payload).unwrap();
-                store.commit(true).unwrap();
+                store.commit(Durability::Durable).unwrap();
             })
         });
     }
@@ -41,7 +42,7 @@ fn bench_read(c: &mut Criterion) {
                 id
             })
             .collect();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         let mut i = 0usize;
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
@@ -59,12 +60,12 @@ fn bench_checkpoint(c: &mut Criterion) {
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, &i.to_le_bytes().repeat(25)).unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     c.bench_function("chunk_checkpoint_after_one_commit", |b| {
         b.iter(|| {
             let id = chunk_store::ChunkId(0);
             store.write(id, b"dirty one path").unwrap();
-            store.commit(true).unwrap();
+            store.commit(Durability::Durable).unwrap();
             store.checkpoint().unwrap();
         })
     });

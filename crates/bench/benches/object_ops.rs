@@ -3,6 +3,7 @@
 
 use chunk_store::{ChunkStore, ChunkStoreConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
+use object_store::Durability;
 use object_store::{
     impl_persistent_boilerplate, ClassRegistry, ObjectStore, ObjectStoreConfig, Persistent,
     PickleError, Pickler, Unpickler,
@@ -55,7 +56,7 @@ fn bench_object_ops(c: &mut Criterion) {
             .unwrap()
         })
         .collect();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let mut i = 0usize;
     c.bench_function("object_cached_read", |b| {
@@ -65,7 +66,7 @@ fn bench_object_ops(c: &mut Criterion) {
             let r = t.open_readonly::<Rec>(ids[i]).unwrap();
             let v = r.get().balance;
             drop(r);
-            t.commit(false).unwrap();
+            t.commit(Durability::Lazy).unwrap();
             v
         })
     });
@@ -78,7 +79,7 @@ fn bench_object_ops(c: &mut Criterion) {
             let r = t.open_writable::<Rec>(ids[j]).unwrap();
             r.get_mut().balance += 1;
             drop(r);
-            t.commit(true).unwrap();
+            t.commit(Durability::Durable).unwrap();
         })
     });
 
@@ -91,10 +92,10 @@ fn bench_object_ops(c: &mut Criterion) {
                     pad: vec![0; 88],
                 }))
                 .unwrap();
-            t.commit(true).unwrap();
+            t.commit(Durability::Durable).unwrap();
             let t = os.begin();
             t.remove(id).unwrap();
-            t.commit(true).unwrap();
+            t.commit(Durability::Durable).unwrap();
         })
     });
 }

@@ -1,0 +1,393 @@
+//! **Readers figure**: snapshot-read scaling — N lock-free read-only
+//! transactions (account point lookups + range scans) against 1 TPC-B
+//! writer on the same store.
+//!
+//! Read-only transactions pin a chunk-store snapshot and never touch the
+//! lock manager, so read throughput should scale near-linearly with reader
+//! threads while the writer's response time stays at its writer-only
+//! baseline. `SCALE=1.0 RUN_MS=2000 cargo run --release -p tdb-bench --bin
+//! fig_readers` runs the full-size tables; the default SCALE=0.1 / 1 s
+//! windows keep the same shape.
+//!
+//! Readers run closed-loop with a per-operation client think time
+//! (`THINK_US`, default 1000 µs), the classic latency-bound-client model:
+//! scaling then measures the absence of *lock* interference — on a 2PL
+//! system concurrent readers would stall on the writer's exclusive locks
+//! (and inflate its p99) no matter how much think time they have. On a
+//! multi-core machine `THINK_US=0` additionally measures raw CPU
+//! parallelism of the snapshot read path.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::hint::black_box;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use tdb::obs::{Json, RegistrySnapshot};
+use tdb::platform::MemStore;
+use tdb::{
+    ChunkStoreConfig, ClassRegistry, CollectionError, Database, DatabaseConfig, Durability,
+    ErrorKind, ExtractorRegistry, IndexKind, IndexSpec, Key, SecurityMode,
+};
+use tdb_bench::telemetry::{
+    bench_doc, counters_json, latency_ms_json, push_result, write_bench_json,
+};
+use tdb_bench::{env_f64, env_u64};
+use tdb_obs::{HistSnapshot, Histogram};
+use tpcb::{register_tpcb_classes, register_tpcb_extractors, HistoryRecord, TpcbRecord};
+
+fn open_db() -> Database {
+    let mut classes = ClassRegistry::new();
+    register_tpcb_classes(&mut classes);
+    let mut extractors = ExtractorRegistry::new();
+    register_tpcb_extractors(&mut extractors);
+    let cfg = DatabaseConfig {
+        chunk: ChunkStoreConfig {
+            security: SecurityMode::Full,
+            max_utilization: 0.60,
+            ..ChunkStoreConfig::default()
+        },
+        ..DatabaseConfig::default()
+    };
+    Database::create(
+        Arc::new(MemStore::new()),
+        &tdb::platform::MemSecretStore::from_label("fig-readers"),
+        Arc::new(tdb::platform::VolatileCounter::new()),
+        classes,
+        extractors,
+        cfg,
+    )
+    .unwrap()
+}
+
+/// Load the TPC-B tables. Unlike the Fig. 10 driver, `account` gets a
+/// **B-tree** id index so readers can issue range scans as well as point
+/// lookups; teller/branch keep the paper's dynamic-hash access method.
+fn load(db: &Database, accounts: u32, tellers: u32, branches: u32) {
+    let tables: [(&str, u32, IndexKind, &str); 4] = [
+        ("account", accounts, IndexKind::BTree, "tpcb.id"),
+        ("teller", tellers, IndexKind::Hash, "tpcb.id"),
+        ("branch", branches, IndexKind::Hash, "tpcb.id"),
+        ("history", 0, IndexKind::List, "tpcb.history.id"),
+    ];
+    for (name, size, kind, extractor) in tables {
+        let unique = name != "history";
+        let t = db.begin();
+        let spec = IndexSpec::new("by-id", extractor, unique, kind).immutable();
+        t.create_collection(name, &[spec]).unwrap();
+        t.commit(Durability::Durable).unwrap();
+        let mut id = 0u32;
+        while id < size {
+            let t = db.begin();
+            let coll = t.write_collection(name).unwrap();
+            let end = (id + 2000).min(size);
+            while id < end {
+                coll.insert(Box::new(TpcbRecord::new(id))).unwrap();
+                id += 1;
+            }
+            drop(coll);
+            t.commit(Durability::Durable).unwrap();
+        }
+    }
+    db.checkpoint().unwrap();
+}
+
+/// One TPC-B transfer; retried only on lock-contention timeouts (which a
+/// single writer can only hit against itself — i.e. never — so any error
+/// here is a real failure unless its kind says otherwise).
+fn transfer(db: &Database, account: u32, teller: u32, branch: u32, delta: i64, hist_id: u32) {
+    loop {
+        let t = db.begin();
+        let staged = (|| -> Result<(), CollectionError> {
+            for (table, id) in [("account", account), ("teller", teller), ("branch", branch)] {
+                let coll = t.write_collection(table)?;
+                let mut it = coll.exact("by-id", &Key::U64(id as u64))?;
+                assert!(!it.end(), "{table} record {id} missing");
+                {
+                    let rec = it.write::<TpcbRecord>()?;
+                    rec.get_mut().balance += delta;
+                }
+                it.close()?;
+            }
+            let history = t.write_collection("history")?;
+            history.insert(Box::new(HistoryRecord::new(
+                hist_id, account, teller, branch, delta,
+            )))?;
+            Ok(())
+        })();
+        match staged {
+            Ok(()) => match t.commit(Durability::Durable) {
+                Ok(()) => return,
+                Err(e) if e.kind() == ErrorKind::LockTimeout => continue,
+                Err(e) => panic!("writer commit failed: {e}"),
+            },
+            Err(e) => {
+                t.abort();
+                if e.kind() == ErrorKind::LockTimeout {
+                    continue;
+                }
+                panic!("writer transfer failed: {e}");
+            }
+        }
+    }
+}
+
+/// Shared parameters of one mixed readers-vs-writer window.
+struct MixConfig {
+    run_ms: u64,
+    naccounts: u32,
+    seed: u64,
+    think_us: u64,
+    lookups: u64,
+    range_len: u64,
+}
+
+struct RunOutcome {
+    writer_txns: u64,
+    writer_latency: HistSnapshot,
+    reader_ops: u64,
+    run_seconds: f64,
+}
+
+/// Run 1 writer + `readers` snapshot readers for `run_ms`. Readers loop:
+/// open a read-only transaction, do `lookups` point lookups and one
+/// `range_len`-key range scan against the pinned snapshot, finish, then
+/// think for `think_us` before the next request.
+fn run_mixed(db: &Database, readers: usize, cfg: &MixConfig) -> RunOutcome {
+    let &MixConfig {
+        run_ms,
+        naccounts,
+        seed,
+        think_us,
+        lookups,
+        range_len,
+    } = cfg;
+    let seed = seed ^ readers as u64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(readers + 2));
+    let reader_ops = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+
+    for ri in 0..readers {
+        let db = db.clone();
+        let stop = stop.clone();
+        let start = start.clone();
+        let ops = reader_ops.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ (ri as u64 + 1).wrapping_mul(0xA5A5));
+            let mut sink = 0i64;
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let r = db.collections().begin_read();
+                let accounts = r.read_collection("account").unwrap();
+                for _ in 0..lookups {
+                    let id = rng.next_u64() % naccounts as u64;
+                    let ids = accounts.exact("by-id", &Key::U64(id)).unwrap();
+                    sink += accounts
+                        .get::<TpcbRecord, _>(ids[0], |a| a.balance)
+                        .unwrap();
+                }
+                let lo = rng.next_u64() % naccounts as u64;
+                let hits = accounts
+                    .range(
+                        "by-id",
+                        Bound::Included(&Key::U64(lo)),
+                        Bound::Excluded(&Key::U64(lo + range_len)),
+                    )
+                    .unwrap();
+                sink += hits.len() as i64;
+                r.finish();
+                ops.fetch_add(1, Ordering::Relaxed);
+                if think_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(think_us));
+                }
+            }
+            black_box(sink);
+        }));
+    }
+
+    // The single TPC-B writer.
+    let writer = {
+        let db = db.clone();
+        let stop = stop.clone();
+        let start = start.clone();
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let latency = Histogram::default();
+            let mut txns = 0u64;
+            let mut hist_id = 1_000_000u32;
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let account = (rng.next_u64() % naccounts as u64) as u32;
+                let teller = (rng.next_u64() % 100) as u32;
+                let branch = (rng.next_u64() % 10) as u32;
+                let began = Instant::now();
+                transfer(&db, account, teller, branch, 10, hist_id);
+                latency.record(began.elapsed().as_nanos() as u64);
+                txns += 1;
+                hist_id += 1;
+            }
+            (txns, latency.snapshot())
+        })
+    };
+
+    start.wait();
+    let began = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(run_ms));
+    stop.store(true, Ordering::Relaxed);
+    let run_seconds = began.elapsed().as_secs_f64();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (writer_txns, writer_latency) = writer.join().unwrap();
+    RunOutcome {
+        writer_txns,
+        writer_latency,
+        reader_ops: reader_ops.load(Ordering::Relaxed),
+        run_seconds,
+    }
+}
+
+fn result_row(system: &str, readers: u64, out: &RunOutcome, obs: &RegistrySnapshot) -> Json {
+    let mut row = Json::obj();
+    row.push("system", system);
+    row.push("readers", readers);
+    row.push("threads", readers + 1);
+    row.push(
+        "reader_ops_per_sec",
+        out.reader_ops as f64 / out.run_seconds.max(1e-9),
+    );
+    row.push(
+        "writer_txn_per_sec",
+        out.writer_txns as f64 / out.run_seconds.max(1e-9),
+    );
+    row.push("latency_ms", latency_ms_json(&out.writer_latency));
+    row.push("counters", counters_json(obs));
+    row
+}
+
+fn main() {
+    let scale = env_f64("SCALE", 0.1);
+    let run_ms = env_u64("RUN_MS", 1000);
+    let seed = env_u64("SEED", 0x7DB);
+    let think_us = env_u64("THINK_US", 4000);
+    let lookups = env_u64("READ_LOOKUPS", 2);
+    let range_len = env_u64("READ_RANGE", 16);
+    let naccounts = ((100_000.0 * scale) as u32).max(1_000);
+    let tellers = ((1_000.0 * scale) as u32).max(100);
+    let branches = ((100.0 * scale) as u32).max(10);
+
+    println!(
+        "Readers figure: snapshot-read scaling vs 1 TPC-B writer \
+         ({naccounts} accounts, {run_ms} ms windows, {think_us} us think time)"
+    );
+    println!("================================================================");
+    println!();
+
+    let db = open_db();
+    load(&db, naccounts, tellers, branches);
+    let mix = MixConfig {
+        run_ms,
+        naccounts,
+        seed,
+        think_us,
+        lookups,
+        range_len,
+    };
+
+    // Writer-only baseline: the p99 yardstick the mixed runs must hold.
+    let baseline = run_mixed(&db, 0, &mix);
+    let baseline_obs = db.obs().snapshot();
+    let baseline_p99 = baseline.writer_latency.p99();
+    println!(
+        "writer-only baseline: {:.0} txn/s, p50 {:.3} ms, p99 {:.3} ms",
+        baseline.writer_txns as f64 / baseline.run_seconds,
+        baseline.writer_latency.p50() / 1e6,
+        baseline_p99 / 1e6,
+    );
+    println!();
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12} {:>14}",
+        "readers", "reads/s", "scaling", "writer tx/s", "wr p99 ms", "p99 vs base"
+    );
+
+    let reader_counts = [1usize, 2, 4];
+    let mut outcomes = Vec::new();
+    let mut per_reader_1 = 0.0f64;
+    for &n in &reader_counts {
+        let out = run_mixed(&db, n, &mix);
+        let obs = db.obs().snapshot();
+        let reads = out.reader_ops as f64 / out.run_seconds.max(1e-9);
+        if n == 1 {
+            per_reader_1 = reads;
+        }
+        let p99 = out.writer_latency.p99();
+        println!(
+            "{:<10} {:>14.0} {:>13.2}x {:>12.0} {:>12.3} {:>+13.0}%",
+            n,
+            reads,
+            reads / per_reader_1.max(1e-9),
+            out.writer_txns as f64 / out.run_seconds.max(1e-9),
+            p99 / 1e6,
+            100.0 * (p99 - baseline_p99) / baseline_p99.max(1e-9),
+        );
+        outcomes.push((n, out, obs));
+    }
+
+    let reads_at = |n: usize| {
+        outcomes
+            .iter()
+            .find(|(c, _, _)| *c == n)
+            .map(|(_, o, _)| o.reader_ops as f64 / o.run_seconds.max(1e-9))
+            .unwrap_or(0.0)
+    };
+    let scaling = reads_at(4) / reads_at(1).max(1e-9);
+    let p99_at_4 = outcomes
+        .iter()
+        .find(|(c, _, _)| *c == 4)
+        .map(|(_, o, _)| o.writer_latency.p99())
+        .unwrap_or(0.0);
+    let p99_ratio = p99_at_4 / baseline_p99.max(1e-9);
+    println!();
+    println!(
+        "shape check: 1→4 reader scaling {scaling:.2}x (want ≥3x); writer p99 at 4 readers \
+         {:.2}x baseline (want ≤1.15x)",
+        p99_ratio
+    );
+    let snap = db.obs().snapshot();
+    let fast = snap.counters.get("read.cache_fast").copied().unwrap_or(0);
+    let fallback = snap
+        .counters
+        .get("read.snapshot_fallbacks")
+        .copied()
+        .unwrap_or(0);
+    println!("snapshot read path: {fast} cache-fast hits, {fallback} chunk-read fallbacks");
+
+    let mut config = Json::obj();
+    config.push("scale", scale);
+    config.push("run_ms", run_ms);
+    config.push("seed", seed);
+    config.push("think_us", think_us);
+    config.push("accounts", naccounts as u64);
+    config.push("range_len", range_len);
+    config.push("lookups_per_snapshot", lookups);
+    let mut doc = bench_doc("fig_readers", config);
+    push_result(
+        &mut doc,
+        result_row("TDB-writer-only", 0, &baseline, &baseline_obs),
+    );
+    for (n, out, obs) in &outcomes {
+        push_result(
+            &mut doc,
+            result_row(&format!("TDB-{n}r-1w"), *n as u64, out, obs),
+        );
+    }
+    let mut summary = Json::obj();
+    summary.push("system", "summary");
+    summary.push("read_scaling_1_to_4", scaling);
+    summary.push("writer_p99_ratio_at_4_readers", p99_ratio);
+    summary.push("reads_per_sec_at_4", reads_at(4));
+    push_result(&mut doc, summary);
+    write_bench_json("fig_readers", &doc).expect("write bench json");
+}

@@ -1,5 +1,6 @@
 //! Footprint probe: chunk store + backup store.
 use backup_store::BackupManager;
+use chunk_store::Durability;
 use chunk_store::{ChunkStore, ChunkStoreConfig, SecurityMode};
 use std::sync::Arc;
 use tdb_platform::{MemArchive, MemSecretStore, MemStore, VolatileCounter};
@@ -15,7 +16,7 @@ fn main() {
     .unwrap();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"probe").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let archive = Arc::new(MemArchive::new());
     let mut mgr = BackupManager::new(archive.clone(), &secret, SecurityMode::Full).unwrap();
     let full = mgr.backup_full(&store).unwrap();

@@ -1,4 +1,5 @@
 //! Footprint probe: the chunk store (TDB's minimal configuration).
+use chunk_store::Durability;
 use chunk_store::{ChunkStore, ChunkStoreConfig};
 use std::sync::Arc;
 use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
@@ -13,7 +14,7 @@ fn main() {
     .unwrap();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"probe").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let snap = store.snapshot();
     store.checkpoint().unwrap();
     store.clean().unwrap();

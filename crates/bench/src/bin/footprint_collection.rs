@@ -1,6 +1,7 @@
 //! Footprint probe: the full TDB stack (all modules).
 use std::sync::Arc;
 use tdb::platform::{MemArchive, MemSecretStore, MemStore, VolatileCounter};
+use tdb::Durability;
 use tdb::{
     impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, ExtractorRegistry,
     IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
@@ -52,7 +53,7 @@ fn main() {
     let n = it.read::<Probe>().unwrap().get().n;
     it.close().unwrap();
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let mut mgr = db
         .backup_manager(Arc::new(MemArchive::new()), &secret)
         .unwrap();

@@ -1,5 +1,6 @@
 //! Footprint probe: chunk store + object store.
 use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::Durability;
 use object_store::{
     impl_persistent_boilerplate, ClassRegistry, ObjectStore, ObjectStoreConfig, Persistent,
     PickleError, Pickler, Unpickler,
@@ -36,7 +37,7 @@ fn main() {
     let t = store.begin();
     let id = t.insert(Box::new(Probe { n: 7 })).unwrap();
     t.set_root("probe", id).unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let t = store.begin();
     println!("{}", t.open_readonly::<Probe>(id).unwrap().get().n);
 }

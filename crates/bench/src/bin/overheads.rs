@@ -8,6 +8,7 @@
 //! map"; "there is extra storage overhead of 6 bytes per chunk on top of
 //! the space required for storing a one-way hash" for the map entry.
 
+use chunk_store::Durability;
 use chunk_store::{ChunkStoreConfig, SecurityMode};
 use tdb_bench::bench_chunk_store;
 use tdb_bench::telemetry::{
@@ -26,7 +27,7 @@ fn measure(mode: SecurityMode, payload: usize, chunks: u64) -> (f64, f64, Regist
     for _ in 0..chunks {
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, &vec![0xABu8; payload]).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let s = store.stats().since(&base);
     let chunk_overhead =

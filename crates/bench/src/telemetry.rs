@@ -144,6 +144,17 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
                 "threads" if v.as_u64().filter(|t| *t >= 1).is_none() => {
                     return Err(format!("results[{i}]: threads not a positive integer"));
                 }
+                "readers" if v.as_u64().is_none() => {
+                    return Err(format!("results[{i}]: readers not a non-negative integer"));
+                }
+                "reader_ops_per_sec"
+                | "writer_txn_per_sec"
+                | "read_scaling_1_to_4"
+                | "writer_p99_ratio_at_4_readers"
+                    if v.as_f64().is_none() =>
+                {
+                    return Err(format!("results[{i}]: {k} not numeric"));
+                }
                 "counters" | "maintenance" => {
                     let c = v
                         .as_obj()

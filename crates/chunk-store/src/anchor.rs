@@ -154,15 +154,10 @@ impl AnchorState {
             return Err(tampered("bad magic"));
         }
         let mode_tag = bytes[16];
-        match SecurityMode::from_tag(mode_tag) {
-            Some(mode) if mode == ctx.mode() => {}
-            Some(_) => {
-                return Err(ChunkStoreError::ConfigMismatch(
-                    "database was created with a different security mode".into(),
-                ))
-            }
+        let claimed = match SecurityMode::from_tag(mode_tag) {
+            Some(mode) => mode,
             None => return Err(tampered("bad mode tag")),
-        }
+        };
         let body_len = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
         let expected_total = 21 + body_len + DIGEST_LEN;
         if bytes.len() != expected_total {
@@ -170,8 +165,17 @@ impl AnchorState {
         }
         let (signed, tag_bytes) = bytes.split_at(21 + body_len);
         let tag: Digest = tag_bytes.try_into().expect("32 bytes");
-        if !CryptoCtx::tags_equal(&ctx.anchor_tag(signed), &tag) {
+        // Authenticate under the mode the slot *claims* before trusting the
+        // claim: a corrupted mode byte must read as tampering, while an
+        // authentic slot written under a different mode is a genuine
+        // configuration mismatch.
+        if !CryptoCtx::tags_equal(&ctx.anchor_tag_for_mode(claimed, signed), &tag) {
             return Err(tampered("authentication tag mismatch"));
+        }
+        if claimed != ctx.mode() {
+            return Err(ChunkStoreError::ConfigMismatch(
+                "database was created with a different security mode".into(),
+            ));
         }
         let body = ctx.open(&signed[21..])?;
         let state = Self::decode_body(&body).map_err(|m| tampered(&m.0))?;
@@ -340,6 +344,29 @@ mod tests {
         assert!(matches!(
             AnchorState::decode(&off, &bytes),
             Err(ChunkStoreError::ConfigMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_mode_byte_is_tamper_not_config_mismatch() {
+        // Overwriting the plaintext mode byte with the *other* valid tag is
+        // an attack on unauthenticated metadata, not a user misconfiguration:
+        // the tag no longer verifies under the claimed mode, so it must
+        // surface as TamperDetected.
+        let full = ctx(SecurityMode::Full);
+        let mut bytes = sample(5).encode(&full);
+        assert_eq!(bytes[16], SecurityMode::Full.tag());
+        bytes[16] = SecurityMode::Off.tag();
+        assert!(matches!(
+            AnchorState::decode(&full, &bytes),
+            Err(ChunkStoreError::TamperDetected(_))
+        ));
+        // Same story when the opener's configured mode happens to match the
+        // forged claim.
+        let off = ctx(SecurityMode::Off);
+        assert!(matches!(
+            AnchorState::decode(&off, &bytes),
+            Err(ChunkStoreError::TamperDetected(_))
         ));
     }
 

@@ -152,7 +152,15 @@ impl CryptoCtx {
 
     /// Authentication tag over the anchor bytes.
     pub fn anchor_tag(&self, bytes: &[u8]) -> Digest {
-        match self.mode {
+        self.anchor_tag_for_mode(self.mode, bytes)
+    }
+
+    /// Anchor tag as a store created in `mode` (with this context's key
+    /// material) would have computed it. Lets anchor decoding authenticate a
+    /// slot under its *claimed* mode before deciding whether a mode
+    /// difference is a genuine configuration mismatch or tampering.
+    pub fn anchor_tag_for_mode(&self, mode: SecurityMode, bytes: &[u8]) -> Digest {
+        match mode {
             SecurityMode::Full => hmac_sha256(&self.mac_secret, bytes),
             SecurityMode::Off => sha256(bytes),
         }

@@ -89,6 +89,32 @@ impl From<PlatformError> for ChunkStoreError {
     }
 }
 
+impl ChunkStoreError {
+    /// Stable, layer-independent classification (see [`tdb_core::ErrorKind`]).
+    pub fn kind(&self) -> tdb_core::ErrorKind {
+        use tdb_core::ErrorKind;
+        match self {
+            ChunkStoreError::TamperDetected(_) => ErrorKind::Tamper,
+            ChunkStoreError::ReplayDetected { .. } => ErrorKind::Replay,
+            ChunkStoreError::NotAllocated(_) | ChunkStoreError::NotWritten(_) => {
+                ErrorKind::NotFound
+            }
+            ChunkStoreError::OutOfSpace { .. } => ErrorKind::OutOfSpace,
+            ChunkStoreError::ChunkTooLarge { .. } | ChunkStoreError::ConfigMismatch(_) => {
+                ErrorKind::Usage
+            }
+            ChunkStoreError::Platform(_) => ErrorKind::Io,
+            ChunkStoreError::NoDatabase => ErrorKind::NotFound,
+        }
+    }
+}
+
+impl From<ChunkStoreError> for tdb_core::Error {
+    fn from(e: ChunkStoreError) -> Self {
+        tdb_core::Error::with_source(e.kind(), e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

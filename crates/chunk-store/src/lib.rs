@@ -25,7 +25,7 @@
 //!   free enough space the store grows instead (§3.2.1).
 //!
 //! ```
-//! use chunk_store::{ChunkStore, ChunkStoreConfig};
+//! use chunk_store::{ChunkStore, ChunkStoreConfig, Durability};
 //! use tdb_platform::{MemStore, MemSecretStore, VolatileCounter};
 //! use std::sync::Arc;
 //!
@@ -38,7 +38,7 @@
 //!
 //! let id = store.allocate_chunk_id().unwrap();
 //! store.write(id, b"pay-per-view meter: 3").unwrap();
-//! store.commit(true).unwrap();
+//! store.commit(Durability::Durable).unwrap();
 //! assert_eq!(store.read(id).unwrap(), b"pay-per-view meter: 3");
 //! ```
 
@@ -68,3 +68,4 @@ pub use recovery::RecoveryReport;
 pub use snapshot::{Snapshot, SnapshotDiff};
 pub use stats::StatsSnapshot;
 pub use store::{ChunkStore, CommitTicket, WriteBatch};
+pub use tdb_core::Durability;

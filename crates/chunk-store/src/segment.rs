@@ -25,6 +25,47 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use tdb_platform::{RandomAccessFile, UntrustedStore};
 
+/// Where an out-of-lock record read gets its bytes: copied out of the tail
+/// write buffer (while the store lock was held), or a file handle to read
+/// from after the lock is released.
+pub enum ReadSource {
+    /// Record bytes already copied out of the unflushed tail buffer.
+    Buffered(Vec<u8>),
+    /// File holding the record.
+    File(Arc<dyn RandomAccessFile>),
+}
+
+/// Second half of an out-of-lock record read: fetch the bytes and check
+/// the record framing. A free function on purpose — it must not touch the
+/// `SegmentManager` (the store lock may have been released since
+/// [`SegmentManager::prepare_read`]).
+pub fn complete_read(src: ReadSource, loc: &Location, expect: RecordKind) -> Result<Vec<u8>> {
+    let tampered =
+        |what: String| ChunkStoreError::TamperDetected(format!("record at {loc:?}: {what}"));
+    let mut buf = match src {
+        ReadSource::Buffered(bytes) => bytes,
+        ReadSource::File(file) => {
+            let mut buf = vec![0u8; loc.len as usize];
+            file.read_at(loc.off as u64, &mut buf)
+                .map_err(|e| match e {
+                    tdb_platform::PlatformError::ShortRead { .. } => {
+                        tampered("extends past segment end".into())
+                    }
+                    other => ChunkStoreError::Platform(other),
+                })?;
+            buf
+        }
+    };
+    let (kind, len) = decode_record_header(&buf).map_err(|m| tampered(m.0))?;
+    if kind != expect {
+        return Err(tampered(format!("kind {kind:?}, expected {expect:?}")));
+    }
+    if len != loc.len - RECORD_HEADER_LEN {
+        return Err(tampered("payload length mismatch".into()));
+    }
+    Ok(buf.split_off(RECORD_HEADER_LEN as usize))
+}
+
 /// Lifecycle state of a segment slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SegStatus {
@@ -364,12 +405,25 @@ impl SegmentManager {
     /// the caller (who knows the expected digest). Bytes still sitting in
     /// the tail write buffer are served from memory.
     pub fn read_record(&self, loc: &Location, expect: RecordKind) -> Result<Vec<u8>> {
+        let src = self.prepare_read(loc)?;
+        let out = complete_read(src, loc, expect)?;
+        add(&self.stats.bytes_read, loc.len as u64);
+        Ok(out)
+    }
+
+    /// First half of an out-of-lock record read (call with the store lock
+    /// held): resolve `loc` to a [`ReadSource`]. Bytes still in the tail
+    /// write buffer are copied out now; everything else yields a clonable
+    /// file handle so the I/O, hash check, and decryption can run after
+    /// the lock is released ([`complete_read`]). The caller must keep the
+    /// segment from being freed meanwhile (snapshot readers do: the
+    /// snapshot pins its segments against the cleaner).
+    pub fn prepare_read(&self, loc: &Location) -> Result<ReadSource> {
         let tampered =
             |what: String| ChunkStoreError::TamperDetected(format!("record at {loc:?}: {what}"));
         if loc.len < RECORD_HEADER_LEN {
             return Err(tampered("impossible length".into()));
         }
-        let mut buf = vec![0u8; loc.len as usize];
         if loc.seg == self.tail && loc.off >= self.pending_start && !self.pending.is_empty() {
             // Unflushed tail bytes: records are appended whole, so the
             // record lies entirely within `pending`.
@@ -378,26 +432,10 @@ impl SegmentManager {
             if end > self.pending.len() {
                 return Err(tampered("extends past the write buffer".into()));
             }
-            buf.copy_from_slice(&self.pending[start..end]);
+            Ok(ReadSource::Buffered(self.pending[start..end].to_vec()))
         } else {
-            let file = self.file(loc.seg)?;
-            file.read_at(loc.off as u64, &mut buf)
-                .map_err(|e| match e {
-                    tdb_platform::PlatformError::ShortRead { .. } => {
-                        tampered("extends past segment end".into())
-                    }
-                    other => ChunkStoreError::Platform(other),
-                })?;
+            Ok(ReadSource::File(self.file(loc.seg)?))
         }
-        let (kind, len) = decode_record_header(&buf).map_err(|m| tampered(m.0))?;
-        if kind != expect {
-            return Err(tampered(format!("kind {kind:?}, expected {expect:?}")));
-        }
-        if len != loc.len - RECORD_HEADER_LEN {
-            return Err(tampered("payload length mismatch".into()));
-        }
-        add(&self.stats.bytes_read, loc.len as u64);
-        Ok(buf.split_off(RECORD_HEADER_LEN as usize))
     }
 
     /// Raw read used by recovery's sequential scan: `(kind, payload)` at an

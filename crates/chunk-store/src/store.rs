@@ -34,13 +34,14 @@ use crate::layout::{
 use crate::maintenance::{self, MaintShared, PassResult};
 use crate::map::{diff_roots, Location, LocationMap};
 use crate::recovery;
-use crate::segment::SegmentManager;
+use crate::segment::{self, SegmentManager};
 use crate::snapshot::{SnapCore, Snapshot, SnapshotDiff};
 use crate::stats::{add, SharedStats, Stats, StatsSnapshot};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use tdb_core::Durability;
 use tdb_crypto::Digest;
 use tdb_obs::Stopwatch;
 use tdb_platform::{OneWayCounter, SecretStore, UntrustedStore};
@@ -1132,6 +1133,14 @@ pub struct CommitTicket {
     total: Stopwatch,
 }
 
+impl CommitTicket {
+    /// Sequence of the batch's last commit record — the version stamp of
+    /// every chunk the batch wrote (see [`ChunkStore::read_versioned`]).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// The trusted chunk store (paper §3). See the crate docs for an example.
 ///
 /// Concurrency: any number of [`WriteBatch`] handles may stage
@@ -1286,13 +1295,20 @@ impl ChunkStore {
         }
     }
 
-    /// Atomically apply a batch's staged operations. `durable` commits
-    /// return once a group anchor covers them (one sync/anchor/counter
-    /// round may cover many concurrent committers); nondurable commits
-    /// return after the flush. A failed commit affects only this batch.
-    pub fn commit_batch(&self, batch: WriteBatch, durable: bool) -> Result<()> {
-        let ticket = self.append_batch(batch, durable)?;
+    /// Atomically apply a batch's staged operations. [`Durability::Durable`]
+    /// commits return once a group anchor covers them (one
+    /// sync/anchor/counter round may cover many concurrent committers);
+    /// [`Durability::Lazy`] commits return after the flush. A failed commit
+    /// affects only this batch.
+    pub fn commit_batch(&self, batch: WriteBatch, durability: Durability) -> Result<()> {
+        let ticket = self.append_batch(batch, durability)?;
         self.wait_durable(ticket)
+    }
+
+    /// Deprecated boolean form of [`ChunkStore::commit_batch`].
+    #[deprecated(note = "pass `Durability::{Durable, Lazy}` to `commit_batch` instead")]
+    pub fn commit_batch_bool(&self, batch: WriteBatch, durable: bool) -> Result<()> {
+        self.commit_batch(batch, Durability::from(durable))
     }
 
     /// First half of [`ChunkStore::commit_batch`]: seal and append the
@@ -1300,13 +1316,17 @@ impl ChunkStore {
     /// return a ticket. Callers that must order other work (e.g. 2PL lock
     /// release) against the commit point but not against durability can
     /// do it between `append_batch` and [`ChunkStore::wait_durable`].
-    pub fn append_batch(&self, mut batch: WriteBatch, durable: bool) -> Result<CommitTicket> {
+    pub fn append_batch(
+        &self,
+        mut batch: WriteBatch,
+        durability: Durability,
+    ) -> Result<CommitTicket> {
         let ops = std::mem::take(&mut batch.staged.ops);
         // Allocations become permanent at commit (even a failed append may
         // have committed earlier record groups, so ids never return to the
         // free pool here — exactly the legacy single-batch behavior).
         batch.staged.allocated.clear();
-        self.core.append_ops(ops, durable)
+        self.core.append_ops(ops, durability.is_durable())
     }
 
     /// Second half of [`ChunkStore::commit_batch`]: block until the
@@ -1346,14 +1366,20 @@ impl ChunkStore {
 
     /// Atomically apply all operations staged through the single-handle
     /// API. See the module docs for the durable/nondurable distinction.
-    pub fn commit(&self, durable: bool) -> Result<()> {
+    pub fn commit(&self, durability: Durability) -> Result<()> {
         let ops = {
             let mut staged = self.default_batch.lock();
             staged.allocated.clear();
             std::mem::take(&mut staged.ops)
         };
-        let ticket = self.core.append_ops(ops, durable)?;
+        let ticket = self.core.append_ops(ops, durability.is_durable())?;
         self.core.wait_ticket(ticket)
+    }
+
+    /// Deprecated boolean form of [`ChunkStore::commit`].
+    #[deprecated(note = "pass `Durability::{Durable, Lazy}` to `commit` instead")]
+    pub fn commit_bool(&self, durable: bool) -> Result<()> {
+        self.commit(Durability::from(durable))
     }
 
     /// Drop all staged single-handle operations and return batch-allocated
@@ -1438,12 +1464,30 @@ impl ChunkStore {
     }
 
     /// Read a chunk's state as of `snap`.
+    ///
+    /// The read path is built for concurrent snapshot readers: the frozen
+    /// snapshot resolves the location without any lock, the store lock is
+    /// held only long enough to resolve the location to a file handle (or
+    /// copy unflushed tail bytes), and the I/O, hash verification, and
+    /// decryption all run outside it. The snapshot's segment pins keep the
+    /// cleaner from freeing or truncating the segment meanwhile.
     pub fn read_at_snapshot(&self, snap: &Snapshot, cid: ChunkId) -> Result<Vec<u8>> {
-        let inner = self.core.inner.lock();
         let loc = snap
             .location_of(cid)
             .ok_or(ChunkStoreError::NotAllocated(cid))?;
-        let plain = inner.read_verified(&loc, RecordKind::ChunkData)?;
+        let src = {
+            let inner = self.core.inner.lock();
+            add(&inner.stats.chunk_reads, 1);
+            inner.segs.prepare_read(&loc)?
+        };
+        let stored = segment::complete_read(src, &loc, RecordKind::ChunkData)?;
+        let ctx = &self.core.ctx;
+        if ctx.verifies_hashes() && !CryptoCtx::tags_equal(&ctx.hash(&stored), &loc.hash) {
+            return Err(ChunkStoreError::TamperDetected(format!(
+                "hash mismatch for snapshot record at {loc:?}"
+            )));
+        }
+        let plain = ctx.open(&stored)?;
         let (stored_id, data) =
             decode_chunk_payload(&plain).map_err(|m| ChunkStoreError::TamperDetected(m.0))?;
         if stored_id != cid {
@@ -1452,6 +1496,20 @@ impl ChunkStore {
             )));
         }
         Ok(data.to_vec())
+    }
+
+    /// Read a chunk's last *committed* state plus the store's commit
+    /// sequence at the time of the read (staged single-handle operations
+    /// are ignored). The sequence is an upper bound on the commit that
+    /// produced the returned bytes — the contract snapshot readers use to
+    /// decide whether a cached object version is visible at their
+    /// snapshot: a version stamped `v` is visible at any snapshot with
+    /// `commit_seq() >= v`.
+    pub fn read_versioned(&self, cid: ChunkId) -> Result<(Vec<u8>, u64)> {
+        let mut inner = self.core.inner.lock();
+        let seq = inner.commit_seq;
+        let bytes = inner.read_with(&Batch::default(), cid)?;
+        Ok((bytes, seq))
     }
 
     /// Compare two snapshots (the engine of incremental backups).

@@ -4,6 +4,7 @@
 //! commit-latency bugfixes (phase-lap pollution, anchor/counter rollback,
 //! gave-up-vs-clean maintenance outcomes).
 
+use chunk_store::Durability;
 use chunk_store::{ChunkId, ChunkStore, ChunkStoreConfig, SecurityMode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -54,7 +55,7 @@ fn counter_laps_follow_real_counter_work_only() {
         let store = create_on(Arc::new(MemStore::new()), &counter, &cfg);
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, b"anchor fodder").unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
 
         let base = store.obs().snapshot();
         store.checkpoint().unwrap();
@@ -97,12 +98,12 @@ fn failed_anchor_rounds_record_no_phase_laps() {
     );
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"soon to fail").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // Kill the next sync: the round dies in `sync_touched`, before the
     // anchor write or counter increment.
     store.write(id, b"fresh garbage to flush").unwrap();
-    store.commit(false).unwrap();
+    store.commit(Durability::Lazy).unwrap();
     let base = store.obs().snapshot();
     plan.rearm_with(CrashSchedule::OnSync { index: 0 });
     store.checkpoint().unwrap_err();
@@ -137,21 +138,21 @@ fn failed_anchor_rounds_do_not_drift_replay_detection() {
     );
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"v0").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     for round in 0..3u32 {
         store
             .write(id, format!("doomed {round}").as_bytes())
             .unwrap();
         plan.rearm_with(CrashSchedule::OnSync { index: 0 });
-        store.commit(true).unwrap_err();
+        store.commit(Durability::Durable).unwrap_err();
         plan.rearm_with(CrashSchedule::Never);
         // The device is healthy again; the retried round must succeed and
         // land exactly one counter increment.
         store
             .write(id, format!("landed {round}").as_bytes())
             .unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
 
     drop(store);
@@ -183,17 +184,17 @@ fn mass_free_then_overwrites_never_spuriously_out_of_space() {
         store.write(id, &i.to_le_bytes().repeat(64)).unwrap();
         ids.push(id);
         if i % 5 == 4 {
-            store.commit(true).unwrap();
+            store.commit(Durability::Durable).unwrap();
         }
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // Free all but two chunks.
     let survivors = [ids[0], ids[1]];
     for id in &ids[2..] {
         store.deallocate(*id).unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // Overwrite the survivors repeatedly: continuous garbage generation
     // that is only sustainable if reclamation actually frees segments.
@@ -203,7 +204,7 @@ fn mass_free_then_overwrites_never_spuriously_out_of_space() {
             store.write(*id, &payload).unwrap();
         }
         store
-            .commit(round % 4 == 0)
+            .commit(Durability::from(round % 4 == 0))
             .unwrap_or_else(|e| panic!("commit {round} failed: {e}"));
     }
     assert!(store.stats().cleaner_passes > 0, "cleaning must have run");
@@ -253,7 +254,7 @@ fn failed_cleaning_pass_is_retryable_at_every_write() {
             expected.insert(id, v);
             ids.push(id);
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         store.checkpoint().unwrap();
         for (i, id) in ids.iter().enumerate() {
             if i % 2 == 0 {
@@ -266,7 +267,7 @@ fn failed_cleaning_pass_is_retryable_at_every_write() {
             store.deallocate(*id).unwrap();
             expected.remove(id);
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
 
         plan.rearm_with(CrashSchedule::OnWrite {
             index: k,
@@ -327,7 +328,7 @@ fn snapshot_between_slices_pins_remaining_victims() {
         store.write(id, &i.to_le_bytes().repeat(75)).unwrap();
         ids.push(id);
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     store.checkpoint().unwrap();
     // Overwrite half: the old versions become garbage spread across the
     // early segments, leaving live chunks in partial victims to relocate.
@@ -338,7 +339,7 @@ fn snapshot_between_slices_pins_remaining_victims() {
                 .unwrap();
         }
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     let mut snap = None;
     let store_ref = &store;
@@ -398,7 +399,7 @@ fn commits_between_slices_survive_the_pass() {
         store.write(id, &i.to_le_bytes().repeat(75)).unwrap();
         ids.push(id);
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     store.checkpoint().unwrap();
     for (i, id) in ids.iter().enumerate() {
         if i % 2 == 0 {
@@ -407,7 +408,7 @@ fn commits_between_slices_survive_the_pass() {
                 .unwrap();
         }
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // Every slice boundary overwrites one chunk the pass may be about to
     // relocate.
@@ -420,12 +421,12 @@ fn commits_between_slices_survive_the_pass() {
             store_ref
                 .write(id, format!("mid-pass {turn}").as_bytes())
                 .unwrap();
-            store_ref.commit(false).unwrap();
+            store_ref.commit(Durability::Lazy).unwrap();
             turn += 1;
         })
         .unwrap();
     assert!(turn > 0, "pass must have had slice boundaries");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     let mut expected: BTreeMap<ChunkId, Vec<u8>> = BTreeMap::new();
     for (i, id) in ids.iter().enumerate() {
@@ -470,7 +471,7 @@ fn background_thread_checkpoints_by_watermark_and_close_quiesces() {
     let id = store.allocate_chunk_id().unwrap();
     for i in 0..60u32 {
         store.write(id, &i.to_le_bytes().repeat(100)).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
 
     // The checkpoint happens asynchronously; wait for it.
@@ -494,7 +495,7 @@ fn background_thread_checkpoints_by_watermark_and_close_quiesces() {
     store.close();
     // Still fully usable; maintenance is inline now.
     store.write(id, b"after close").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert_eq!(store.read(id).unwrap(), b"after close");
     store.close();
 }
@@ -526,10 +527,10 @@ fn backpressure_under_background_cleaning() {
             .write(b, &(round * 2 + 1).to_le_bytes().repeat(64))
             .unwrap();
         store
-            .commit(round % 8 == 0)
+            .commit(Durability::from(round % 8 == 0))
             .unwrap_or_else(|e| panic!("commit {round} failed under backpressure: {e}"));
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert!(store.stats().cleaner_passes > 0, "cleaning must have run");
     assert_eq!(store.read(a).unwrap(), 598u32.to_le_bytes().repeat(64));
     assert_eq!(store.read(b).unwrap(), 599u32.to_le_bytes().repeat(64));

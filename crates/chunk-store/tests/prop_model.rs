@@ -6,6 +6,7 @@
 //! exercise recovery, and `CrashReopen` steps drop everything since the last
 //! durable commit before checking the model agreement.
 
+use chunk_store::Durability;
 use chunk_store::{ChunkId, ChunkStore, ChunkStoreConfig, SecurityMode};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -148,7 +149,7 @@ fn run_scenario(ops: Vec<Op>, security: SecurityMode) {
                 model.staged.insert(id, None);
             }
             Op::Commit { durable } => {
-                store.commit(durable).unwrap();
+                store.commit(Durability::from(durable)).unwrap();
                 for (id, op) in model.staged.drain() {
                     match op {
                         Some(data) => {
@@ -185,7 +186,7 @@ fn run_scenario(ops: Vec<Op>, security: SecurityMode) {
             }
             Op::Reopen => {
                 // Make the state durable first so reopen is lossless.
-                store.commit(true).unwrap();
+                store.commit(Durability::Durable).unwrap();
                 for (id, op) in model.staged.drain() {
                     match op {
                         Some(data) => {
@@ -225,7 +226,7 @@ fn run_scenario(ops: Vec<Op>, security: SecurityMode) {
     }
 
     // Final durable shutdown must round-trip everything.
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     for (id, op) in model.staged.drain() {
         match op {
             Some(data) => {

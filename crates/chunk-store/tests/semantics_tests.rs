@@ -2,6 +2,7 @@
 //! explicitly: the §3.2.2 nondurable-commit/cleaner interaction, free-list
 //! bounds, chunk size limits, and snapshot/checkpoint interplay.
 
+use chunk_store::Durability;
 use chunk_store::{ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError};
 use std::sync::Arc;
 use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
@@ -58,16 +59,16 @@ fn nondurable_versions_survive_cleaning_pressure() {
     let store = fx.create();
     let a = store.allocate_chunk_id().unwrap();
     store.write(a, b"version A (durable)").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // Nondurable overwrite, then heavy traffic + explicit cleaning that
     // would love to reclaim A's extent.
     store.write(a, b"version A' (nondurable)").unwrap();
-    store.commit(false).unwrap();
+    store.commit(Durability::Lazy).unwrap();
     for i in 0..50u32 {
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, &i.to_le_bytes().repeat(30)).unwrap();
-        store.commit(false).unwrap();
+        store.commit(Durability::Lazy).unwrap();
     }
     store.clean().unwrap();
 
@@ -87,9 +88,9 @@ fn nondurable_overwrite_crash_recovers_old_version() {
     let store = fx.create();
     let a = store.allocate_chunk_id().unwrap();
     store.write(a, b"version A (durable)").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     store.write(a, b"version A' (nondurable)").unwrap();
-    store.commit(false).unwrap();
+    store.commit(Durability::Lazy).unwrap();
     drop(store);
     let store = fx.open();
     assert_eq!(store.read(a).unwrap(), b"version A (durable)");
@@ -103,7 +104,7 @@ fn chunk_size_limit_enforced_and_boundary_works() {
     let id = store.allocate_chunk_id().unwrap();
     // Exactly max: fine.
     store.write(id, &vec![7u8; max]).unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert_eq!(store.read(id).unwrap().len(), max);
     // One over: clean error.
     assert!(matches!(
@@ -113,7 +114,7 @@ fn chunk_size_limit_enforced_and_boundary_works() {
     // Zero-length chunks are legal.
     let z = store.allocate_chunk_id().unwrap();
     store.write(z, b"").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert_eq!(store.read(z).unwrap(), b"");
 }
 
@@ -130,11 +131,11 @@ fn free_list_cap_leaks_ids_but_stays_correct() {
         for id in &ids {
             store.write(*id, b"x").unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         for id in &ids {
             store.deallocate(*id).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         // The cap applies to the *anchored* free list; without a
         // checkpoint the deallocations would simply be replayed from the
         // residual log and nothing would leak.
@@ -150,7 +151,7 @@ fn free_list_cap_leaks_ids_but_stays_correct() {
         }
         store.write(id, b"y").unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert!(reused <= 4, "cap violated: {reused}");
     assert!(store.live_chunks() == 20);
 }
@@ -161,9 +162,9 @@ fn empty_durable_commit_still_advances_anchor() {
     let store = fx.create();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"v1").unwrap();
-    store.commit(false).unwrap(); // nondurable only
-                                  // An empty durable commit must persist the earlier nondurable one.
-    store.commit(true).unwrap();
+    store.commit(Durability::Lazy).unwrap(); // nondurable only
+                                             // An empty durable commit must persist the earlier nondurable one.
+    store.commit(Durability::Durable).unwrap();
     drop(store);
     let store = fx.open();
     assert_eq!(store.read(id).unwrap(), b"v1");
@@ -179,19 +180,19 @@ fn snapshot_diff_across_checkpoint_and_cleaning() {
     for id in &ids {
         store.write(*id, b"base").unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let before = store.snapshot();
 
     store.write(ids[3], b"changed").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     store.checkpoint().unwrap();
     // Churn + clean: relocations must not show up as spurious diffs.
     for round in 0..100u32 {
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, &round.to_le_bytes().repeat(20)).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         store.deallocate(id).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     store.clean().unwrap();
     let after = store.snapshot();
@@ -216,7 +217,7 @@ fn reopen_in_wrong_mode_rejected_without_damage() {
         let store = fx.create();
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, b"precious").unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let mut off = ChunkStoreConfig::small_for_tests();
     off.security = chunk_store::SecurityMode::Off;
@@ -269,7 +270,7 @@ fn many_reopen_cycles_accumulate_no_damage() {
         let store = fx.create();
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, 0u64.to_le_bytes().as_slice()).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     for cycle in 1..=30u64 {
         let store = fx.open();
@@ -279,7 +280,7 @@ fn many_reopen_cycles_accumulate_no_damage() {
             .write(ChunkId(0), cycle.to_le_bytes().as_slice())
             .unwrap();
         // Alternate durability modes and maintenance across cycles.
-        store.commit(cycle % 2 == 0).unwrap();
+        store.commit(Durability::from(cycle % 2 == 0)).unwrap();
         if cycle % 2 == 1 {
             // Nondurable would be lost on crash; make it durable via an
             // explicit checkpoint half the time to exercise both paths.
@@ -315,7 +316,7 @@ fn nondurable_commit_never_syncs_durable_commit_does() {
     let baseline = plan.sync_count();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"not worth a platter rotation").unwrap();
-    store.commit(false).unwrap();
+    store.commit(Durability::Lazy).unwrap();
     assert_eq!(
         plan.sync_count(),
         baseline,
@@ -323,7 +324,7 @@ fn nondurable_commit_never_syncs_durable_commit_does() {
     );
 
     store.write(id, b"worth acknowledging durably").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert!(
         plan.sync_count() > baseline,
         "durable commit must sync before acking"
@@ -344,11 +345,11 @@ fn recovery_report_counts_replayed_and_discarded_commits() {
         let id = store.allocate_chunk_id().unwrap();
         for v in 0..3u32 {
             store.write(id, &v.to_le_bytes()).unwrap();
-            store.commit(true).unwrap();
+            store.commit(Durability::Durable).unwrap();
         }
         for v in 3..7u32 {
             store.write(id, &v.to_le_bytes()).unwrap();
-            store.commit(false).unwrap();
+            store.commit(Durability::Lazy).unwrap();
         }
         id
     };

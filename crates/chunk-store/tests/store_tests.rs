@@ -1,5 +1,6 @@
 //! End-to-end chunk store tests: the trusted-storage guarantees of paper §3.
 
+use chunk_store::Durability;
 use chunk_store::{ChunkStore, ChunkStoreConfig, ChunkStoreError, SecurityMode};
 use std::sync::Arc;
 use tdb_platform::{
@@ -66,13 +67,13 @@ fn write_read_roundtrip_within_session() {
     store.write(id, b"meter: 1").unwrap();
     // Read-your-writes before commit.
     assert_eq!(store.read(id).unwrap(), b"meter: 1");
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert_eq!(store.read(id).unwrap(), b"meter: 1");
     // Overwrite with different size.
     store
         .write(id, b"a much longer meter state than before")
         .unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert_eq!(
         store.read(id).unwrap(),
         b"a much longer meter state than before"
@@ -88,7 +89,7 @@ fn state_survives_reopen() {
             let id = store.allocate_chunk_id().unwrap();
             store.write(id, &[i; 33]).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let store = fx.open().unwrap();
     for i in 0..50u64 {
@@ -111,13 +112,13 @@ fn reopen_after_checkpoint_and_more_commits() {
         for (i, id) in ids.iter().enumerate() {
             store.write(*id, format!("v1-{i}").as_bytes()).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         store.checkpoint().unwrap();
         // Post-checkpoint updates live only in the residual log.
         for (i, id) in ids.iter().enumerate().take(10) {
             store.write(*id, format!("v2-{i}").as_bytes()).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let store = fx.open().unwrap();
     for i in 0..10u64 {
@@ -153,7 +154,7 @@ fn unallocated_and_unwritten_errors() {
     ));
 
     let id = store.allocate_chunk_id().unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert!(matches!(
         store.read(id),
         Err(ChunkStoreError::NotWritten(_))
@@ -166,9 +167,9 @@ fn deallocate_frees_and_reuses_ids() {
     let store = fx.create();
     let a = store.allocate_chunk_id().unwrap();
     store.write(a, b"gone soon").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     store.deallocate(a).unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     assert!(matches!(
         store.read(a),
         Err(ChunkStoreError::NotAllocated(_))
@@ -187,9 +188,9 @@ fn free_ids_survive_reopen() {
         let b = store.allocate_chunk_id().unwrap();
         store.write(a, b"a").unwrap();
         store.write(b, b"b").unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         store.deallocate(a).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let store = fx.open().unwrap();
     let c = store.allocate_chunk_id().unwrap();
@@ -202,7 +203,7 @@ fn discard_rolls_back_batch() {
     let store = fx.create();
     let a = store.allocate_chunk_id().unwrap();
     store.write(a, b"committed").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     store.write(a, b"staged").unwrap();
     let b = store.allocate_chunk_id().unwrap();
@@ -227,7 +228,7 @@ fn atomic_batch_commit() {
     for id in &ids {
         store.write(*id, b"batch").unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     // Batch larger than max-ops-per-commit still commits atomically.
     let many: Vec<_> = (0..500)
         .map(|_| store.allocate_chunk_id().unwrap())
@@ -235,7 +236,7 @@ fn atomic_batch_commit() {
     for id in &many {
         store.write(*id, &[1u8; 40]).unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     for id in many {
         assert_eq!(store.read(id).unwrap(), vec![1u8; 40]);
     }
@@ -282,14 +283,14 @@ fn crash_mid_commit_loses_nothing_durable() {
                     let id = store.allocate_chunk_id().unwrap();
                     store.write(id, &[i; 20]).unwrap();
                 }
-                store.commit(true).unwrap();
+                store.commit(Durability::Durable).unwrap();
             },
             |store| {
                 // This durable commit crashes partway.
                 for i in 0..10u64 {
                     store.write(chunk_store::ChunkId(i), &[0xEE; 20]).unwrap();
                 }
-                let _ = store.commit(true);
+                let _ = store.commit(Durability::Durable);
             },
         );
         // Either the whole update survived or none of it; the old state is
@@ -318,13 +319,13 @@ fn nondurable_commit_never_survives_crash() {
         |store| {
             let id = store.allocate_chunk_id().unwrap();
             store.write(id, b"durable state").unwrap();
-            store.commit(true).unwrap();
+            store.commit(Durability::Durable).unwrap();
         },
         |store| {
             store
                 .write(chunk_store::ChunkId(0), b"nondurable update")
                 .unwrap();
-            store.commit(false).unwrap();
+            store.commit(Durability::Lazy).unwrap();
             // Crash without a durable commit: the nondurable one must die,
             // even though its bytes were fully written.
         },
@@ -342,12 +343,12 @@ fn durable_commit_persists_prior_nondurable_commits() {
         let store = fx.create();
         let a = store.allocate_chunk_id().unwrap();
         store.write(a, b"v1").unwrap();
-        store.commit(false).unwrap();
+        store.commit(Durability::Lazy).unwrap();
         store.write(a, b"v2").unwrap();
-        store.commit(false).unwrap();
+        store.commit(Durability::Lazy).unwrap();
         let b = store.allocate_chunk_id().unwrap();
         store.write(b, b"w").unwrap();
-        store.commit(true).unwrap(); // makes v2 + w durable
+        store.commit(Durability::Durable).unwrap(); // makes v2 + w durable
     }
     let store = fx.open().unwrap();
     assert_eq!(store.read(chunk_store::ChunkId(0)).unwrap(), b"v2");
@@ -372,7 +373,7 @@ fn crash_during_checkpoint_recovers() {
             let id = store.allocate_chunk_id().unwrap();
             store.write(id, &[i; 25]).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
         plan.rearm(budget);
         let _ = store.checkpoint();
         drop(store);
@@ -398,7 +399,7 @@ fn bit_flip_in_chunk_data_is_detected_on_read() {
     let store = fx.create();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, &[0x55; 200]).unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // Flip bits throughout segment 0; at least the chunk read must fail.
     let raw = fx.mem.raw("seg.000000").unwrap();
@@ -422,7 +423,7 @@ fn tampered_residual_log_is_detected_at_open() {
         let store = fx.create();
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, b"pay-per-view count: 10").unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     // Corrupt the log tail (where the commit record lives).
     let raw = fx.mem.raw("seg.000000").unwrap();
@@ -443,7 +444,7 @@ fn tampered_anchor_is_detected() {
         let store = fx.create();
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, b"x").unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     fx.mem.corrupt("anchor.a", 30, 2).unwrap();
     fx.mem.corrupt("anchor.b", 30, 2).unwrap();
@@ -459,14 +460,14 @@ fn whole_database_replay_is_detected() {
     let store = fx.create();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"balance: $100").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // Consumer saves a copy of the database...
     let saved = fx.mem.deep_clone();
 
     // ...spends money...
     store.write(id, b"balance: $0").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     drop(store);
 
     // ...and replays the saved copy to get the balance back.
@@ -498,11 +499,11 @@ fn replay_succeeds_if_counter_is_also_rolled_back() {
     .unwrap();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"balance: $100").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let saved = mem.deep_clone();
     let counter_at_save = counter.read().unwrap();
     store.write(id, b"balance: $0").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     drop(store);
 
     mem.restore_from(&saved);
@@ -518,7 +519,7 @@ fn wrong_secret_cannot_open() {
         let store = fx.create();
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, b"secret data").unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let result = ChunkStore::open(
         Arc::new(fx.mem.clone()),
@@ -536,7 +537,7 @@ fn ciphertext_reveals_nothing() {
     let id = store.allocate_chunk_id().unwrap();
     let plaintext = b"TOP-SECRET-CONTENT-KEY-0123456789";
     store.write(id, plaintext).unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     store.checkpoint().unwrap();
     for name in fx.mem.list().unwrap() {
         let raw = fx.mem.raw(&name).unwrap();
@@ -560,7 +561,7 @@ fn security_off_stores_plaintext_and_skips_counter() {
     let store = fx.create_with(c);
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"VISIBLE-PLAINTEXT").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let raw = fx.mem.raw("seg.000000").unwrap();
     assert!(raw.windows(17).any(|w| w == b"VISIBLE-PLAINTEXT"));
     assert_eq!(
@@ -604,14 +605,14 @@ fn heavy_overwrite_traffic_is_cleaned_and_bounded() {
     for id in &ids {
         store.write(*id, &[0u8; 100]).unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     // 400 rounds of overwrites: ~6.4 MB of writes through 4 KiB segments.
     for round in 0..400u32 {
         for id in &ids {
             store.write(*id, &round.to_le_bytes().repeat(25)).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let stats = store.stats();
     assert!(stats.cleaner_passes > 0, "cleaner never ran");
@@ -643,7 +644,7 @@ fn database_survives_reopen_after_heavy_cleaning() {
             for id in &ids {
                 store.write(*id, &round.to_le_bytes().repeat(30)).unwrap();
             }
-            store.commit(true).unwrap();
+            store.commit(Durability::Durable).unwrap();
         }
     }
     let store = fx.open().unwrap();
@@ -671,7 +672,7 @@ fn higher_max_utilization_gives_smaller_database() {
             for id in &ids {
                 store.write(*id, &round.to_le_bytes().repeat(25)).unwrap();
             }
-            store.commit(true).unwrap();
+            store.commit(Durability::Durable).unwrap();
         }
         store.checkpoint().unwrap();
         sizes.push(store.disk_size());
@@ -700,7 +701,10 @@ fn out_of_space_when_growth_disabled() {
                 break;
             }
         };
-        if let Err(e) = store.write(id, &[1u8; 64]).and_then(|_| store.commit(true)) {
+        if let Err(e) = store
+            .write(id, &[1u8; 64])
+            .and_then(|_| store.commit(Durability::Durable))
+        {
             result = Err(e);
             break;
         }
@@ -719,11 +723,11 @@ fn snapshot_isolation_and_reads() {
     let store = fx.create();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, b"version 1").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     let snap = store.snapshot();
     store.write(id, b"version 2").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
 
     assert_eq!(store.read(id).unwrap(), b"version 2");
     assert_eq!(store.read_at_snapshot(&snap, id).unwrap(), b"version 1");
@@ -737,7 +741,7 @@ fn snapshot_survives_cleaning() {
     for id in &ids {
         store.write(*id, b"snapshotted-v0").unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let snap = store.snapshot();
 
     // Churn enough to force cleaning.
@@ -745,7 +749,7 @@ fn snapshot_survives_cleaning() {
         for id in &ids {
             store.write(*id, &round.to_le_bytes().repeat(20)).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     assert!(store.stats().cleaner_passes > 0);
     for id in &ids {
@@ -761,7 +765,7 @@ fn snapshot_survives_cleaning() {
         for id in &ids {
             store.write(*id, &round.to_le_bytes().repeat(20)).unwrap();
         }
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     assert!(store.disk_size() < 60 * 4096);
 }
@@ -774,19 +778,19 @@ fn snapshot_diff_lists_changes() {
     for id in &ids {
         store.write(*id, b"base").unwrap();
     }
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let before = store.snapshot();
 
     store.write(ids[1], b"changed").unwrap();
     store.deallocate(ids[4]).unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     // Deallocation takes effect at commit; the freed id is now reusable.
     let new_id = store.allocate_chunk_id().unwrap();
     assert_eq!(new_id, ids[4], "dealloc'd id reused after commit");
     store.write(new_id, b"recreated").unwrap();
     let fresh = store.allocate_chunk_id().unwrap();
     store.write(fresh, b"brand new").unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let after = store.snapshot();
 
     let diff = store.diff_snapshots(&before, &after);
@@ -821,7 +825,7 @@ fn stats_track_write_amplification_sources() {
     let before = store.stats();
     let id = store.allocate_chunk_id().unwrap();
     store.write(id, &[7u8; 100]).unwrap();
-    store.commit(true).unwrap();
+    store.commit(Durability::Durable).unwrap();
     let after = store.stats();
     let delta = after.since(&before);
     assert_eq!(delta.commits, 1);
@@ -841,7 +845,7 @@ fn nondurable_commits_do_not_sync_or_touch_counter() {
     store.write(id, b"x").unwrap();
     let before = store.stats();
     let counter_before = fx.counter.read().unwrap();
-    store.commit(false).unwrap();
+    store.commit(Durability::Lazy).unwrap();
     let delta = store.stats().since(&before);
     assert_eq!(delta.syncs, 0, "nondurable commit must not sync");
     assert_eq!(delta.anchor_writes, 0);
@@ -855,7 +859,7 @@ fn utilization_reported_in_unit_range() {
     for _ in 0..50 {
         let id = store.allocate_chunk_id().unwrap();
         store.write(id, &[1u8; 80]).unwrap();
-        store.commit(true).unwrap();
+        store.commit(Durability::Durable).unwrap();
     }
     let u = store.utilization();
     assert!(u > 0.0 && u <= 1.0, "utilization {u}");

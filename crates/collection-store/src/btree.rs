@@ -18,7 +18,8 @@ use crate::key::Key;
 use crate::meta::CLASS_BTREE_NODE;
 use crate::ObjectId;
 use object_store::{
-    impl_persistent_boilerplate, Persistent, PickleError, Pickler, Transaction, Unpickler,
+    impl_persistent_boilerplate, ObjectReader, Persistent, PickleError, Pickler, Transaction,
+    Unpickler,
 };
 use std::ops::Bound;
 
@@ -282,10 +283,14 @@ fn take_leftmost(txn: &Transaction, node_id: ObjectId) -> Result<Option<(Key, Ob
 }
 
 /// All object ids whose key equals `key`, in id order.
-pub(crate) fn lookup(txn: &Transaction, root: ObjectId, key: &Key) -> Result<Vec<ObjectId>> {
+pub(crate) fn lookup(
+    reader: &impl ObjectReader,
+    root: ObjectId,
+    key: &Key,
+) -> Result<Vec<ObjectId>> {
     let mut out = Vec::new();
     range_into(
-        txn,
+        reader,
         root,
         Bound::Included(key),
         Bound::Included(key),
@@ -296,13 +301,13 @@ pub(crate) fn lookup(txn: &Transaction, root: ObjectId, key: &Key) -> Result<Vec
 
 /// All `(key, id)` entries with `min <= key <= max`, in key order.
 pub(crate) fn range(
-    txn: &Transaction,
+    reader: &impl ObjectReader,
     root: ObjectId,
     min: Bound<&Key>,
     max: Bound<&Key>,
 ) -> Result<Vec<(Key, ObjectId)>> {
     let mut out = Vec::new();
-    range_into(txn, root, min, max, &mut |key, id| {
+    range_into(reader, root, min, max, &mut |key, id| {
         out.push((key.clone(), id))
     })?;
     Ok(out)
@@ -325,17 +330,22 @@ fn above_max(key: &Key, max: Bound<&Key>) -> bool {
 }
 
 fn range_into(
-    txn: &Transaction,
+    reader: &impl ObjectReader,
     node_id: ObjectId,
     min: Bound<&Key>,
     max: Bound<&Key>,
     f: &mut impl FnMut(&Key, ObjectId),
 ) -> Result<()> {
-    let node_ref = txn.open_readonly::<BTreeNode>(node_id)?;
-    let node = node_ref.get();
-    for (i, (key, id)) in node.entries.iter().enumerate() {
-        if !node.leaf && !below_min(key, min) {
-            range_into(txn, node.children[i], min, max, f)?;
+    // Clone the (small, <= MAX_ENTRIES) node state out under a short read
+    // guard, then recurse with no guard held: snapshot readers must never
+    // hold an object's read lock across child I/O, or a long scan could
+    // stall a writer committing to the same node.
+    let (leaf, entries, children) = reader.with_object::<BTreeNode, _>(node_id, |node| {
+        (node.leaf, node.entries.clone(), node.children.clone())
+    })?;
+    for (i, (key, id)) in entries.iter().enumerate() {
+        if !leaf && !below_min(key, min) {
+            range_into(reader, children[i], min, max, f)?;
         }
         if above_max(key, max) {
             return Ok(());
@@ -344,15 +354,15 @@ fn range_into(
             f(key, *id);
         }
     }
-    if !node.leaf {
-        if let Some(last) = node.children.last() {
+    if !leaf {
+        if let Some(last) = children.last() {
             // Visit the rightmost child unless its whole range is above max.
-            let visit = match (node.entries.last(), max) {
+            let visit = match (entries.last(), max) {
                 (Some((last_key, _)), m) => !above_max(last_key, m) || m == Bound::Unbounded,
                 (None, _) => true,
             };
             if visit {
-                range_into(txn, *last, min, max, f)?;
+                range_into(reader, *last, min, max, f)?;
             }
         }
     }
@@ -360,8 +370,8 @@ fn range_into(
 }
 
 /// Every entry in key order (scan query).
-pub(crate) fn scan(txn: &Transaction, root: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
-    range(txn, root, Bound::Unbounded, Bound::Unbounded)
+pub(crate) fn scan(reader: &impl ObjectReader, root: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+    range(reader, root, Bound::Unbounded, Bound::Unbounded)
 }
 
 /// Delete every node of the tree (index removal).
@@ -379,10 +389,10 @@ pub(crate) fn destroy(txn: &Transaction, root: ObjectId) -> Result<()> {
 }
 
 /// Number of entries (diagnostics / tests).
-pub(crate) fn count(txn: &Transaction, root: ObjectId) -> Result<u64> {
+pub(crate) fn count(reader: &impl ObjectReader, root: ObjectId) -> Result<u64> {
     let mut n = 0u64;
     range_into(
-        txn,
+        reader,
         root,
         Bound::Unbounded,
         Bound::Unbounded,

@@ -19,7 +19,7 @@ use crate::error::{CollectionError, Result};
 use crate::extractor::ExtractorRegistry;
 use crate::meta::{CollectionObj, DirectoryObj, IndexSpec, DIRECTORY_ROOT};
 use crate::ObjectId;
-use object_store::Transaction;
+use object_store::{Durability, Transaction};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -75,8 +75,15 @@ impl CTransaction {
     }
 
     /// Commit in the given durability mode.
-    pub fn commit(self, durable: bool) -> Result<()> {
-        self.txn.commit(durable).map_err(CollectionError::from)
+    pub fn commit(self, durability: Durability) -> Result<()> {
+        self.txn.commit(durability).map_err(CollectionError::from)
+    }
+
+    /// Deprecated bool-flavoured commit; use
+    /// [`commit`](CTransaction::commit) with a [`Durability`].
+    #[deprecated(note = "use commit(Durability::{Durable, Lazy}) instead")]
+    pub fn commit_bool(self, durable: bool) -> Result<()> {
+        self.commit(Durability::from(durable))
     }
 
     /// Abort the transaction.

@@ -21,7 +21,8 @@ use crate::key::Key;
 use crate::meta::{CLASS_HASH_BUCKET, CLASS_HASH_DIR, CLASS_HASH_SEG};
 use crate::ObjectId;
 use object_store::{
-    impl_persistent_boilerplate, Persistent, PickleError, Pickler, Transaction, Unpickler,
+    impl_persistent_boilerplate, ObjectReader, Persistent, PickleError, Pickler, Transaction,
+    Unpickler,
 };
 
 /// Initial number of buckets.
@@ -150,10 +151,9 @@ fn bucket_index(dir: &HashDir, h: u64) -> u64 {
 }
 
 /// Resolve a bucket index to its bucket object id.
-fn bucket_at(txn: &Transaction, dir: &HashDir, idx: u64) -> Result<ObjectId> {
+fn bucket_at(reader: &impl ObjectReader, dir: &HashDir, idx: u64) -> Result<ObjectId> {
     let seg = dir.segments[(idx as usize) / SEG_CAP];
-    let seg_ref = txn.open_readonly::<HashSeg>(seg)?;
-    let id = seg_ref.get().buckets[(idx as usize) % SEG_CAP];
+    let id = reader.with_object::<HashSeg, _>(seg, |seg| seg.buckets[(idx as usize) % SEG_CAP])?;
     Ok(id)
 }
 
@@ -266,45 +266,50 @@ pub(crate) fn remove(
 }
 
 /// All ids with this exact key.
-pub(crate) fn lookup(txn: &Transaction, dir_id: ObjectId, key: &Key) -> Result<Vec<ObjectId>> {
+pub(crate) fn lookup(
+    reader: &impl ObjectReader,
+    dir_id: ObjectId,
+    key: &Key,
+) -> Result<Vec<ObjectId>> {
     let bucket_id = {
-        let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
-        let dir = dir_ref.get();
-        let idx = bucket_index(&dir, key.stable_hash());
-        bucket_at(txn, &dir, idx)?
+        let hash = key.stable_hash();
+        // One guard for the directory: compute the bucket index and the
+        // owning segment together so they come from a consistent state.
+        let (idx, seg) = reader.with_object::<HashDir, _>(dir_id, |dir| {
+            let idx = bucket_index(dir, hash);
+            (idx, dir.segments[(idx as usize) / SEG_CAP])
+        })?;
+        reader.with_object::<HashSeg, _>(seg, |seg| seg.buckets[(idx as usize) % SEG_CAP])?
     };
-    let bucket_ref = txn.open_readonly::<HashBucket>(bucket_id)?;
-    let bucket = bucket_ref.get();
-    let mut out: Vec<ObjectId> = bucket
-        .entries
-        .iter()
-        .filter(|(k, _)| k == key)
-        .map(|(_, id)| *id)
-        .collect();
+    let mut out: Vec<ObjectId> = reader.with_object::<HashBucket, _>(bucket_id, |bucket| {
+        bucket
+            .entries
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, id)| *id)
+            .collect()
+    })?;
     out.sort_unstable();
     Ok(out)
 }
 
-fn all_buckets(txn: &Transaction, dir_id: ObjectId) -> Result<Vec<ObjectId>> {
-    let segments = {
-        let dir_ref = txn.open_readonly::<HashDir>(dir_id)?;
-        let segments = dir_ref.get().segments.clone();
-        segments
-    };
+fn all_buckets(reader: &impl ObjectReader, dir_id: ObjectId) -> Result<Vec<ObjectId>> {
+    let segments = reader.with_object::<HashDir, _>(dir_id, |dir| dir.segments.clone())?;
     let mut buckets = Vec::new();
     for seg in segments {
-        let seg_ref = txn.open_readonly::<HashSeg>(seg)?;
-        buckets.extend(seg_ref.get().buckets.iter().copied());
+        let ids = reader.with_object::<HashSeg, _>(seg, |seg| seg.buckets.clone())?;
+        buckets.extend(ids);
     }
     Ok(buckets)
 }
 
 /// Every entry (scan query). Order is arbitrary but deterministic.
-pub(crate) fn scan(txn: &Transaction, dir_id: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+pub(crate) fn scan(reader: &impl ObjectReader, dir_id: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
     let mut out = Vec::new();
-    for bucket_id in all_buckets(txn, dir_id)? {
-        let bucket_ref = txn.open_readonly::<HashBucket>(bucket_id)?;
-        out.extend(bucket_ref.get().entries.iter().cloned());
+    for bucket_id in all_buckets(reader, dir_id)? {
+        let entries =
+            reader.with_object::<HashBucket, _>(bucket_id, |bucket| bucket.entries.clone())?;
+        out.extend(entries);
     }
     Ok(out)
 }

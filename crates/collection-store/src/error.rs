@@ -124,6 +124,36 @@ impl From<object_store::ObjectStoreError> for CollectionError {
     }
 }
 
+impl CollectionError {
+    /// Stable, layer-independent classification (see [`tdb_core::ErrorKind`]).
+    pub fn kind(&self) -> tdb_core::ErrorKind {
+        use tdb_core::ErrorKind;
+        match self {
+            CollectionError::NoSuchCollection(_) | CollectionError::NoSuchIndex(_) => {
+                ErrorKind::NotFound
+            }
+            CollectionError::CollectionExists(_)
+            | CollectionError::IndexExists(_)
+            | CollectionError::LastIndex(_)
+            | CollectionError::NeedsIndex(_)
+            | CollectionError::ExtractorNotRegistered(_)
+            | CollectionError::UnsupportedQuery { .. }
+            | CollectionError::IteratorConflict
+            | CollectionError::ReadOnlyCollection(_) => ErrorKind::Usage,
+            CollectionError::SchemaMismatch { .. }
+            | CollectionError::DuplicateKey { .. }
+            | CollectionError::UniquenessViolation { .. } => ErrorKind::Constraint,
+            CollectionError::Object(e) => e.kind(),
+        }
+    }
+}
+
+impl From<CollectionError> for tdb_core::Error {
+    fn from(e: CollectionError) -> Self {
+        tdb_core::Error::with_source(e.kind(), e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,7 @@ pub mod iterator;
 pub mod key;
 pub mod listindex;
 pub mod meta;
+pub mod read;
 pub mod store;
 
 pub use collection::Collection;
@@ -45,6 +46,7 @@ pub use extractor::{ExtractorFn, ExtractorRegistry};
 pub use iterator::CIter;
 pub use key::Key;
 pub use meta::{IndexKind, IndexSpec};
+pub use read::{ReadCTransaction, ReadCollection};
 pub use store::CollectionStore;
 
-pub use object_store::{ChunkId as ObjectId, Persistent, Pickler, Unpickler};
+pub use object_store::{ChunkId as ObjectId, Durability, Persistent, Pickler, Unpickler};

@@ -11,7 +11,8 @@ use crate::key::Key;
 use crate::meta::CLASS_LIST_NODE;
 use crate::ObjectId;
 use object_store::{
-    impl_persistent_boilerplate, Persistent, PickleError, Pickler, Transaction, Unpickler,
+    impl_persistent_boilerplate, ObjectReader, Persistent, PickleError, Pickler, Transaction,
+    Unpickler,
 };
 
 /// Entries per node before spilling. Small, so that the head-node rewrite
@@ -110,33 +111,39 @@ pub(crate) fn remove(txn: &Transaction, head: ObjectId, key: &Key, oid: ObjectId
 }
 
 /// All ids with this exact key (linear).
-pub(crate) fn lookup(txn: &Transaction, head: ObjectId, key: &Key) -> Result<Vec<ObjectId>> {
+pub(crate) fn lookup(
+    reader: &impl ObjectReader,
+    head: ObjectId,
+    key: &Key,
+) -> Result<Vec<ObjectId>> {
     let mut out = Vec::new();
     let mut node_id = Some(head);
     while let Some(id) = node_id {
-        let node_ref = txn.open_readonly::<ListNode>(id)?;
-        let node = node_ref.get();
-        out.extend(
-            node.entries
-                .iter()
-                .filter(|(k, _)| k == key)
-                .map(|(_, i)| *i),
-        );
-        node_id = node.next;
+        let next = reader.with_object::<ListNode, _>(id, |node| {
+            out.extend(
+                node.entries
+                    .iter()
+                    .filter(|(k, _)| k == key)
+                    .map(|(_, i)| *i),
+            );
+            node.next
+        })?;
+        node_id = next;
     }
     out.sort_unstable();
     Ok(out)
 }
 
 /// Every entry, newest-first within the head then older nodes.
-pub(crate) fn scan(txn: &Transaction, head: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
+pub(crate) fn scan(reader: &impl ObjectReader, head: ObjectId) -> Result<Vec<(Key, ObjectId)>> {
     let mut out = Vec::new();
     let mut node_id = Some(head);
     while let Some(id) = node_id {
-        let node_ref = txn.open_readonly::<ListNode>(id)?;
-        let node = node_ref.get();
-        out.extend(node.entries.iter().cloned());
-        node_id = node.next;
+        let next = reader.with_object::<ListNode, _>(id, |node| {
+            out.extend(node.entries.iter().cloned());
+            node.next
+        })?;
+        node_id = next;
     }
     Ok(out)
 }

@@ -4,7 +4,8 @@ use crate::ctxn::{CTransaction, IndexCounters};
 use crate::error::Result;
 use crate::extractor::ExtractorRegistry;
 use crate::meta::{register_internal_classes, DirectoryObj, DIRECTORY_ROOT};
-use chunk_store::ChunkStore;
+use crate::read::ReadCTransaction;
+use chunk_store::{ChunkStore, Durability};
 use object_store::{ClassRegistry, ObjectStore, ObjectStoreConfig};
 use std::sync::Arc;
 
@@ -35,7 +36,7 @@ impl CollectionStore {
             entries: Vec::new(),
         }))?;
         txn.set_root(DIRECTORY_ROOT, dir)?;
-        txn.commit(true)?;
+        txn.commit(Durability::Durable)?;
         let obs = Arc::new(IndexCounters::with_registry(&objects.obs()));
         Ok(CollectionStore {
             objects,
@@ -68,6 +69,13 @@ impl CollectionStore {
             self.extractors.clone(),
             self.obs.clone(),
         )
+    }
+
+    /// Start a snapshot-isolated read-only transaction: collection lookups
+    /// and scans against a pinned snapshot, with zero locks. Concurrent
+    /// writers and the log cleaner do not affect what this reader sees.
+    pub fn begin_read(&self) -> ReadCTransaction {
+        ReadCTransaction::new(self.objects.begin_read(), self.obs.clone())
     }
 
     /// The underlying object store (for direct typed-object work alongside

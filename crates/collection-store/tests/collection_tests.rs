@@ -3,6 +3,7 @@
 //! index on id and a non-unique B-tree index on derived total usage.
 
 use chunk_store::{ChunkStore, ChunkStoreConfig};
+use collection_store::Durability;
 use collection_store::{
     extractor::typed, CIter, CollectionError, CollectionStore, ExtractorRegistry, IndexKind,
     IndexSpec, Key, Persistent, Pickler, Unpickler,
@@ -159,7 +160,7 @@ fn figure_7_scenario() {
         // Create a new non-unique B-tree index on derived total usage.
         profile.create_index(usage_indexer()).unwrap();
     }
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     // "Reset all Meter objects that have total count exceeding 100."
     let t = store.begin();
@@ -187,7 +188,7 @@ fn figure_7_scenario() {
         assert_eq!(resets, 10);
         i.close().unwrap();
     }
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     // Verify: usage index reflects the resets (Halloween-free).
     let t = store.begin();
@@ -203,7 +204,7 @@ fn figure_7_scenario() {
         assert_eq!(hit.result_len(), 1, "meter {i}");
         hit.close().unwrap();
     }
-    t.commit(false).unwrap();
+    t.commit(Durability::Lazy).unwrap();
 }
 
 #[test]
@@ -218,7 +219,7 @@ fn collections_survive_reopen() {
         for i in 0..50 {
             c.insert(meter(i, i, i)).unwrap();
         }
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
     }
     let store = fx.reopen();
     let t = store.begin();
@@ -330,7 +331,7 @@ fn read_only_collection_blocks_mutation() {
         .unwrap()
         .insert(meter(1, 0, 0))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     let c = t.read_collection("p").unwrap();
@@ -651,12 +652,12 @@ fn remove_collection_destroys_members() {
     for i in 0..30 {
         c.insert(meter(i, i, i)).unwrap();
     }
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let live_before = store.chunk_store().live_chunks();
 
     let t = store.begin();
     t.remove_collection("p").unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let live_after = store.chunk_store().live_chunks();
     assert!(
         live_after + 30 <= live_before,
@@ -673,7 +674,7 @@ fn abort_rolls_back_collection_changes() {
     let t = store.begin();
     let c = t.create_collection("p", &[id_indexer()]).unwrap();
     c.insert(meter(1, 0, 0)).unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     {
@@ -720,7 +721,7 @@ fn large_collection_stress_all_kinds() {
     for i in 0..2000 {
         c.insert(meter(i, i % 7, 0)).unwrap();
     }
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     let c = t.read_collection("big").unwrap();

@@ -3,6 +3,7 @@
 //! collection API (including the deferred-maintenance path).
 
 use chunk_store::{ChunkStore, ChunkStoreConfig};
+use collection_store::Durability;
 use collection_store::{
     extractor::typed, CollectionStore, ExtractorRegistry, IndexKind, IndexSpec, Key,
 };
@@ -248,7 +249,7 @@ fn hash_split_storm_and_reopen() {
         .unwrap();
     }
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     drop(cs);
 
     let cs = mk(false);

@@ -1,0 +1,215 @@
+//! Read-only collection transactions over a snapshot: lookups, scans and
+//! range queries must be stable while writers commit, indexes split, and
+//! the log cleaner relocates chunks.
+
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use collection_store::{
+    extractor::typed, CollectionError, CollectionStore, Durability, ExtractorRegistry, IndexKind,
+    IndexSpec, Key, Persistent, Pickler, Unpickler,
+};
+use object_store::{impl_persistent_boilerplate, ClassRegistry, ObjectStoreConfig, PickleError};
+use std::ops::Bound;
+use std::sync::Arc;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+const CLASS_ACCT: u32 = 0xACC7_0001;
+
+struct Account {
+    id: i64,
+    balance: i64,
+}
+
+impl Persistent for Account {
+    impl_persistent_boilerplate!(CLASS_ACCT);
+    fn pickle(&self, w: &mut Pickler) {
+        w.i64(self.id);
+        w.i64(self.balance);
+    }
+}
+
+fn unpickle_account(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Account {
+        id: r.i64()?,
+        balance: r.i64()?,
+    }))
+}
+
+fn store() -> CollectionStore {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()),
+            &MemSecretStore::from_label("read-coll-tests"),
+            Arc::new(VolatileCounter::new()),
+            ChunkStoreConfig::small_for_tests(),
+        )
+        .unwrap(),
+    );
+    let mut classes = ClassRegistry::new();
+    classes.register(CLASS_ACCT, "Account", unpickle_account);
+    let mut extractors = ExtractorRegistry::new();
+    extractors.register("acct.id", |o| typed::<Account>(o, |a| Key::I64(a.id)));
+    CollectionStore::create(chunks, classes, extractors, ObjectStoreConfig::default()).unwrap()
+}
+
+fn setup(store: &CollectionStore, n: i64, kind: IndexKind) {
+    let t = store.begin();
+    let c = t
+        .create_collection(
+            "accounts",
+            &[IndexSpec::new("by-id", "acct.id", true, kind)],
+        )
+        .unwrap();
+    for id in 0..n {
+        c.insert(Box::new(Account {
+            id,
+            balance: id * 10,
+        }))
+        .unwrap();
+    }
+    drop(c);
+    t.commit(Durability::Durable).unwrap();
+}
+
+#[test]
+fn snapshot_scan_lookup_range_len() {
+    let store = store();
+    setup(&store, 50, IndexKind::BTree);
+
+    let r = store.begin_read();
+    let accounts = r.read_collection("accounts").unwrap();
+    assert_eq!(accounts.len().unwrap(), 50);
+    assert!(!accounts.is_empty().unwrap());
+    assert_eq!(accounts.index_names().unwrap(), vec!["by-id".to_string()]);
+
+    // Exact lookup + typed read.
+    let ids = accounts.exact("by-id", &Key::I64(7)).unwrap();
+    assert_eq!(ids.len(), 1);
+    assert_eq!(
+        accounts.get::<Account, _>(ids[0], |a| a.balance).unwrap(),
+        70
+    );
+
+    // Full scan in key order.
+    let entries = accounts.scan("by-id").unwrap();
+    assert_eq!(entries.len(), 50);
+    let keys: Vec<_> = entries.iter().map(|(k, _)| k.clone()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "B-tree scan must be in key order");
+
+    // Range query.
+    let range = accounts
+        .range(
+            "by-id",
+            Bound::Included(&Key::I64(10)),
+            Bound::Excluded(&Key::I64(20)),
+        )
+        .unwrap();
+    assert_eq!(range.len(), 10);
+}
+
+#[test]
+fn hash_and_range_rules_match_writable_side() {
+    let store = store();
+    setup(&store, 10, IndexKind::Hash);
+    let r = store.begin_read();
+    let accounts = r.read_collection("accounts").unwrap();
+    assert_eq!(accounts.exact("by-id", &Key::I64(3)).unwrap().len(), 1);
+    match accounts.range("by-id", Bound::Unbounded, Bound::Unbounded) {
+        Err(CollectionError::UnsupportedQuery { .. }) => {}
+        other => panic!("hash range must be UnsupportedQuery, got {other:?}"),
+    }
+    match r.read_collection("nope") {
+        Err(CollectionError::NoSuchCollection(_)) => {}
+        other => panic!("expected NoSuchCollection, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn reader_is_stable_across_commits_and_index_splits() {
+    let store = store();
+    setup(&store, 20, IndexKind::BTree);
+
+    let r = store.begin_read();
+    let before = r
+        .read_collection("accounts")
+        .unwrap()
+        .scan("by-id")
+        .unwrap();
+    assert_eq!(before.len(), 20);
+
+    // A writer inserts enough members to split B-tree nodes several times,
+    // updates balances, and commits — repeatedly.
+    for round in 0..5 {
+        let t = store.begin();
+        let c = t.write_collection("accounts").unwrap();
+        for id in 0..30 {
+            c.insert(Box::new(Account {
+                id: 1000 + round * 100 + id,
+                balance: 1,
+            }))
+            .unwrap();
+        }
+        drop(c);
+        t.commit(Durability::Durable).unwrap();
+        store.chunk_store().checkpoint().unwrap();
+        store.chunk_store().clean().unwrap();
+    }
+
+    // The open reader's view is unchanged: same members, same results.
+    let accounts = r.read_collection("accounts").unwrap();
+    assert_eq!(accounts.len().unwrap(), 20);
+    let after = accounts.scan("by-id").unwrap();
+    assert_eq!(
+        before, after,
+        "snapshot scan changed under concurrent writes"
+    );
+    for id in 0..20 {
+        assert_eq!(
+            accounts.exact("by-id", &Key::I64(id)).unwrap().len(),
+            1,
+            "account {id} lookup changed under concurrent writes"
+        );
+    }
+
+    // A fresh reader sees all 170 members.
+    let r2 = store.begin_read();
+    assert_eq!(r2.read_collection("accounts").unwrap().len().unwrap(), 170);
+}
+
+#[test]
+fn reader_sees_collections_dropped_after_snapshot() {
+    let store = store();
+    setup(&store, 5, IndexKind::BTree);
+
+    let r = store.begin_read();
+    let t = store.begin();
+    t.remove_collection("accounts").unwrap();
+    t.commit(Durability::Durable).unwrap();
+
+    // As of the snapshot the collection exists and is fully readable.
+    assert_eq!(r.collection_names().unwrap(), vec!["accounts".to_string()]);
+    assert_eq!(r.read_collection("accounts").unwrap().len().unwrap(), 5);
+
+    // A fresh reader agrees with the drop.
+    let r2 = store.begin_read();
+    assert!(r2.collection_names().unwrap().is_empty());
+}
+
+#[test]
+fn object_reader_alongside_collection_reads() {
+    let store = store();
+    setup(&store, 3, IndexKind::BTree);
+
+    let r = store.begin_read();
+    let accounts = r.read_collection("accounts").unwrap();
+    let ids = accounts.exact("by-id", &Key::I64(2)).unwrap();
+    // The wrapped object-store reader serves direct typed reads too.
+    let via_obj = r
+        .object_reader()
+        .read::<Account, _>(ids[0], |a| a.balance)
+        .unwrap();
+    assert_eq!(via_obj, 20);
+    assert_eq!(r.commit_seq(), r.object_reader().commit_seq());
+    r.finish();
+}

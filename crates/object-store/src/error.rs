@@ -26,8 +26,14 @@ pub enum ObjectStoreError {
     /// exception after a timeout interval" (§4.1). The application may
     /// retry the operation or abort the transaction.
     LockTimeout(ObjectId),
+    /// A lock wait timed out **and** the waits-for graph contained a cycle
+    /// through this transaction — a genuine deadlock, not mere contention.
+    /// Retrying after aborting is the expected response.
+    Deadlock(ObjectId),
     /// The transaction already committed or aborted.
     TransactionInactive,
+    /// Invalid store configuration (see [`StoreOptions`](crate::StoreOptions)).
+    Config(String),
     /// An object's stored class id has no registered unpickler.
     ClassNotRegistered(ClassId),
     /// The stored bytes do not unpickle as the registered class claims.
@@ -52,9 +58,13 @@ impl fmt::Display for ObjectStoreError {
                     "timed out waiting for a lock on {id:?} (possible deadlock)"
                 )
             }
+            ObjectStoreError::Deadlock(id) => {
+                write!(f, "deadlock detected while waiting for a lock on {id:?}")
+            }
             ObjectStoreError::TransactionInactive => {
                 write!(f, "transaction already committed or aborted")
             }
+            ObjectStoreError::Config(m) => write!(f, "invalid store configuration: {m}"),
             ObjectStoreError::ClassNotRegistered(cid) => {
                 write!(f, "no unpickler registered for class id {cid:#x}")
             }
@@ -87,6 +97,30 @@ impl From<chunk_store::ChunkStoreError> for ObjectStoreError {
 impl From<crate::pickle::PickleError> for ObjectStoreError {
     fn from(e: crate::pickle::PickleError) -> Self {
         ObjectStoreError::Unpickle(e)
+    }
+}
+
+impl ObjectStoreError {
+    /// Stable, layer-independent classification (see [`tdb_core::ErrorKind`]).
+    pub fn kind(&self) -> tdb_core::ErrorKind {
+        use tdb_core::ErrorKind;
+        match self {
+            ObjectStoreError::NotFound(_) => ErrorKind::NotFound,
+            ObjectStoreError::TypeMismatch { .. } => ErrorKind::Usage,
+            ObjectStoreError::LockTimeout(_) => ErrorKind::LockTimeout,
+            ObjectStoreError::Deadlock(_) => ErrorKind::Deadlock,
+            ObjectStoreError::TransactionInactive => ErrorKind::Usage,
+            ObjectStoreError::ClassNotRegistered(_) => ErrorKind::Usage,
+            ObjectStoreError::Config(_) => ErrorKind::Usage,
+            ObjectStoreError::Unpickle(_) => ErrorKind::Codec,
+            ObjectStoreError::Chunk(e) => e.kind(),
+        }
+    }
+}
+
+impl From<ObjectStoreError> for tdb_core::Error {
+    fn from(e: ObjectStoreError) -> Self {
+        tdb_core::Error::with_source(e.kind(), e)
     }
 }
 

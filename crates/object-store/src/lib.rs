@@ -20,7 +20,7 @@
 //! ```
 //! use object_store::{ClassRegistry, ObjectStore, ObjectStoreConfig, Persistent, Pickler,
 //!                    Unpickler, PickleError, impl_persistent_boilerplate};
-//! use chunk_store::{ChunkStore, ChunkStoreConfig};
+//! use chunk_store::{ChunkStore, ChunkStoreConfig, Durability};
 //! use tdb_platform::{MemStore, MemSecretStore, VolatileCounter};
 //! use std::sync::Arc;
 //!
@@ -42,13 +42,17 @@
 //!
 //! let txn = store.begin();
 //! let id = txn.insert(Box::new(Meter { views: 0 })).unwrap();
-//! txn.commit(true).unwrap();
+//! txn.commit(Durability::Durable).unwrap();
 //!
 //! let txn = store.begin();
 //! let meter = txn.open_writable::<Meter>(id).unwrap();
 //! meter.get_mut().views += 1;
 //! drop(meter);
-//! txn.commit(true).unwrap();
+//! txn.commit(Durability::Durable).unwrap();
+//!
+//! // Snapshot-isolated read: no locks, unaffected by later commits.
+//! let reader = store.begin_read();
+//! assert_eq!(reader.read::<Meter, _>(id, |m| m.views).unwrap(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,17 +62,21 @@ pub mod class;
 pub mod error;
 pub mod locks;
 pub mod pickle;
+pub mod read_txn;
+pub mod reader;
 pub mod refs;
 pub mod store;
 pub mod txn;
 
-pub use chunk_store::ChunkId;
+pub use chunk_store::{ChunkId, Durability};
 pub use class::{ClassId, ClassRegistry, Persistent, UnpickleFn};
 pub use error::{ObjectStoreError, Result};
 pub use locks::{LockMode, LockStats};
 pub use pickle::{PickleError, Pickler, Unpickler};
+pub use read_txn::ReadTransaction;
+pub use reader::ObjectReader;
 pub use refs::{ReadonlyRef, WritableRef};
-pub use store::{CacheStats, ObjectStore, ObjectStoreConfig};
+pub use store::{CacheStats, ObjectStore, ObjectStoreConfig, StoreOptions};
 pub use txn::Transaction;
 
 /// The persistent name of an object. TDB stores one object per chunk, so an

@@ -265,7 +265,7 @@ impl LockManager {
                 table.waiting.remove(&txn);
                 sw.lap_into(&self.obs.wait_time);
                 self.obs.timeouts_deadlock.inc();
-                return Err(ObjectStoreError::LockTimeout(oid));
+                return Err(ObjectStoreError::Deadlock(oid));
             }
             if !rivals.is_empty() {
                 table.doomed.extend(rivals);
@@ -305,7 +305,7 @@ impl LockManager {
             }
             Wait::Doomed => {
                 self.obs.timeouts_deadlock.inc();
-                Err(ObjectStoreError::LockTimeout(oid))
+                Err(ObjectStoreError::Deadlock(oid))
             }
             Wait::TimedOut => {
                 // Classify without the shard mutex: the wait-for graph may
@@ -314,10 +314,11 @@ impl LockManager {
                 drop(table);
                 if self.was_deadlocked(txn, oid.0) {
                     self.obs.timeouts_deadlock.inc();
+                    Err(ObjectStoreError::Deadlock(oid))
                 } else {
                     self.obs.timeouts_contention.inc();
+                    Err(ObjectStoreError::LockTimeout(oid))
                 }
-                Err(ObjectStoreError::LockTimeout(oid))
             }
         }
     }

@@ -1,0 +1,68 @@
+//! [`ObjectReader`]: the read-side capability shared by locking
+//! transactions and snapshot readers.
+//!
+//! Layers that only *read* objects (index traversals, extractor
+//! application, scans) are written against this trait, so the same code
+//! serves both a [`Transaction`] (2PL shared locks, sees its own writes)
+//! and a [`ReadTransaction`](crate::ReadTransaction) (lock-free,
+//! snapshot-isolated).
+
+use crate::error::{ObjectStoreError, Result};
+use crate::txn::Transaction;
+use crate::{ObjectId, Persistent};
+
+/// Read access to persistent objects, independent of isolation mechanism.
+///
+/// All access is closure-scoped: implementations may hold internal guards
+/// for the duration of the call only, so callers can never accidentally
+/// pin an object (and, for snapshot readers, never block a writer for
+/// longer than one closure).
+pub trait ObjectReader {
+    /// Apply `f` to the object as a `dyn Persistent` (e.g. for extractor
+    /// functions that don't know the concrete type).
+    fn with_persistent<R>(&self, oid: ObjectId, f: impl FnOnce(&dyn Persistent) -> R) -> Result<R>;
+
+    /// Apply `f` to the object downcast to `T`; fails with
+    /// [`ObjectStoreError::TypeMismatch`] when the stored object is of a
+    /// different class.
+    fn with_object<T: Persistent, R>(&self, oid: ObjectId, f: impl FnOnce(&T) -> R) -> Result<R> {
+        self.try_with_object(oid, |t| Ok(f(t)))
+    }
+
+    /// Like [`with_object`](ObjectReader::with_object) but `f` itself may
+    /// fail; the error propagates unchanged.
+    fn try_with_object<T: Persistent, R>(
+        &self,
+        oid: ObjectId,
+        f: impl FnOnce(&T) -> Result<R>,
+    ) -> Result<R>;
+
+    /// Read a named root object id, as visible to this reader (a locking
+    /// transaction sees its own pending root updates; a snapshot reader
+    /// sees the roots as of its snapshot).
+    fn root_id(&self, name: &str) -> Option<ObjectId>;
+}
+
+impl ObjectReader for Transaction {
+    fn with_persistent<R>(&self, oid: ObjectId, f: impl FnOnce(&dyn Persistent) -> R) -> Result<R> {
+        self.with_readonly(oid, f)
+    }
+
+    fn try_with_object<T: Persistent, R>(
+        &self,
+        oid: ObjectId,
+        f: impl FnOnce(&T) -> Result<R>,
+    ) -> Result<R> {
+        self.with_readonly(oid, |obj| match obj.as_any().downcast_ref::<T>() {
+            Some(t) => f(t),
+            None => Err(ObjectStoreError::TypeMismatch {
+                id: oid,
+                found: obj.class_id(),
+            }),
+        })?
+    }
+
+    fn root_id(&self, name: &str) -> Option<ObjectId> {
+        self.root(name)
+    }
+}

@@ -6,7 +6,7 @@ use crate::locks::{LockManager, LockStats};
 use crate::pickle::{Pickler, Unpickler};
 use crate::txn::{Transaction, TxnCore};
 use crate::{ChunkId, ObjectId};
-use chunk_store::ChunkStore;
+use chunk_store::{ChunkStore, Durability};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -15,6 +15,9 @@ use std::time::Duration;
 use tdb_obs::{Counter, Gauge, Registry};
 
 /// Tuning knobs for the object store.
+///
+/// Prefer building one through [`StoreOptions`], which validates the values
+/// and can pull overrides from `TDB_*` environment variables.
 #[derive(Clone, Debug)]
 pub struct ObjectStoreConfig {
     /// Enable transactional locking. "The application may even switch off
@@ -27,6 +30,10 @@ pub struct ObjectStoreConfig {
     /// Object cache budget in (approximate, pickled) bytes. The paper's
     /// evaluation used a 4 MB cache (§7.2).
     pub cache_budget: usize,
+    /// Number of independent object-cache shards (power of two). More
+    /// shards reduce mutex contention on the cache-hit path at the cost of
+    /// coarser per-shard byte budgets.
+    pub cache_shards: usize,
 }
 
 impl Default for ObjectStoreConfig {
@@ -35,7 +42,113 @@ impl Default for ObjectStoreConfig {
             locking: true,
             lock_timeout: Duration::from_millis(1000),
             cache_budget: 4 * 1024 * 1024,
+            cache_shards: DEFAULT_CACHE_SHARDS,
         }
+    }
+}
+
+/// Builder for [`ObjectStoreConfig`] with validation and environment
+/// overrides. Replaces ad-hoc field poking and scattered `TDB_*` parsing:
+///
+/// ```
+/// use object_store::StoreOptions;
+/// let cfg = StoreOptions::new()
+///     .cache_bytes(8 * 1024 * 1024)
+///     .cache_shards(32)
+///     .lock_timeout_ms(250)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.cache_shards, 32);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StoreOptions {
+    locking: Option<bool>,
+    lock_timeout: Option<Duration>,
+    cache_budget: Option<usize>,
+    cache_shards: Option<usize>,
+}
+
+impl StoreOptions {
+    /// Start from the defaults of [`ObjectStoreConfig`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable or disable transactional locking (default: enabled).
+    pub fn locking(mut self, on: bool) -> Self {
+        self.locking = Some(on);
+        self
+    }
+
+    /// Lock wait before deadlock-breaking timeout (default: 1000 ms).
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = Some(timeout);
+        self
+    }
+
+    /// Convenience: lock timeout in milliseconds.
+    pub fn lock_timeout_ms(self, ms: u64) -> Self {
+        self.lock_timeout(Duration::from_millis(ms))
+    }
+
+    /// Object cache budget in bytes (default: 4 MiB).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_budget = Some(bytes);
+        self
+    }
+
+    /// Number of cache shards; must be a power of two in `1..=1024`
+    /// (default: 16).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = Some(shards);
+        self
+    }
+
+    /// Apply overrides from the environment: `TDB_CACHE_BYTES`,
+    /// `TDB_CACHE_SHARDS`, `TDB_LOCK_TIMEOUT_MS`, `TDB_LOCKING` (`0`/`off`
+    /// disables). Unset or unparsable variables leave the current value.
+    pub fn from_env(mut self) -> Self {
+        fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        if let Some(b) = parse::<usize>("TDB_CACHE_BYTES") {
+            self.cache_budget = Some(b);
+        }
+        if let Some(s) = parse::<usize>("TDB_CACHE_SHARDS") {
+            self.cache_shards = Some(s);
+        }
+        if let Some(ms) = parse::<u64>("TDB_LOCK_TIMEOUT_MS") {
+            self.lock_timeout = Some(Duration::from_millis(ms));
+        }
+        if let Ok(v) = std::env::var("TDB_LOCKING") {
+            self.locking = Some(!matches!(v.trim(), "0" | "off" | "false"));
+        }
+        self
+    }
+
+    /// Validate and produce the config. Fails with
+    /// [`ObjectStoreError::Config`] on out-of-range values.
+    pub fn build(self) -> Result<ObjectStoreConfig> {
+        let defaults = ObjectStoreConfig::default();
+        let shards = self.cache_shards.unwrap_or(defaults.cache_shards);
+        if !shards.is_power_of_two() || shards > 1024 {
+            return Err(ObjectStoreError::Config(format!(
+                "cache_shards must be a power of two in 1..=1024, got {shards}"
+            )));
+        }
+        let budget = self.cache_budget.unwrap_or(defaults.cache_budget);
+        let timeout = self.lock_timeout.unwrap_or(defaults.lock_timeout);
+        if timeout.is_zero() {
+            return Err(ObjectStoreError::Config(
+                "lock_timeout must be non-zero".into(),
+            ));
+        }
+        Ok(ObjectStoreConfig {
+            locking: self.locking.unwrap_or(defaults.locking),
+            lock_timeout: timeout,
+            cache_budget: budget,
+            cache_shards: shards,
+        })
     }
 }
 
@@ -50,6 +163,15 @@ pub(crate) struct ObjectCell {
     pub(crate) dirty: AtomicBool,
     /// Approximate pickled size for cache accounting.
     pub(crate) size: AtomicUsize,
+    /// Upper bound on the chunk-store commit sequence at which this cached
+    /// (clean) content became current. Snapshot readers use it for their
+    /// lock-free cache fast path: if `version <= snapshot.commit_seq()` and
+    /// the cell is clean, the cached content is exactly what the snapshot
+    /// would read. The stamp is conservative — commit stamps the precise
+    /// commit sequence, loads stamp the store's current sequence (≥ the
+    /// writing commit) — so a too-new stamp only forces the slower
+    /// snapshot-chunk-read fallback, never a wrong read.
+    pub(crate) version: AtomicU64,
 }
 
 struct CacheSlot {
@@ -57,17 +179,21 @@ struct CacheSlot {
     tick: u64,
 }
 
-/// Number of independent cache shards. Objects hash to a shard, each with
-/// its own mutex, LRU clock and slice of the byte budget, so concurrent
-/// transactions dereferencing different objects never serialize on a
-/// common cache lock (the cache-hit path used to be a store-wide critical
-/// section, which flattened multi-threaded throughput).
-const CACHE_SHARDS: usize = 16;
+/// Default number of independent cache shards. Objects hash to a shard,
+/// each with its own mutex, LRU clock and slice of the byte budget, so
+/// concurrent transactions dereferencing different objects never serialize
+/// on a common cache lock (the cache-hit path used to be a store-wide
+/// critical section, which flattened multi-threaded throughput).
+const DEFAULT_CACHE_SHARDS: usize = 16;
 
 /// Shard index for an object id (Fibonacci hash — ids are sequential, so
 /// plain modulo would put neighbouring, co-accessed objects together).
-fn cache_shard_of(oid: u64) -> usize {
-    (oid.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
+/// `shards` must be a power of two.
+fn cache_shard_of(oid: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (oid.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - shards.trailing_zeros())) as usize
 }
 
 /// One cache shard: its slice of the object cache plus LRU bookkeeping.
@@ -175,7 +301,7 @@ impl ObjectStore {
             ));
         }
         Self::persist_roots_into(&HashMap::new(), roots_chunk, &mut batch)?;
-        chunks.commit_batch(batch, true)?;
+        chunks.commit_batch(batch, Durability::Durable)?;
         Ok(Self::build(chunks, registry, cfg, roots_chunk))
     }
 
@@ -196,9 +322,15 @@ impl ObjectStore {
     fn build(
         chunks: Arc<ChunkStore>,
         registry: ClassRegistry,
-        cfg: ObjectStoreConfig,
+        mut cfg: ObjectStoreConfig,
         roots_chunk: ObjectId,
     ) -> Self {
+        // Defensive normalization for configs built by hand rather than
+        // through the validating `StoreOptions` builder.
+        if !cfg.cache_shards.is_power_of_two() || cfg.cache_shards > 1024 {
+            cfg.cache_shards = cfg.cache_shards.next_power_of_two().clamp(1, 1024);
+        }
+        let shards = cfg.cache_shards;
         let obs = chunks.obs();
         ObjectStore {
             inner: Arc::new(OsInner {
@@ -206,7 +338,7 @@ impl ObjectStore {
                 state: Mutex::new(StoreState {
                     roots: HashMap::new(),
                 }),
-                cache_shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+                cache_shards: (0..shards).map(|_| Mutex::default()).collect(),
                 cache_obs: CacheObs {
                     hits: obs.counter("cache.hits"),
                     misses: obs.counter("cache.misses"),
@@ -223,7 +355,7 @@ impl ObjectStore {
         }
     }
 
-    fn unpickle_roots(bytes: &[u8]) -> Result<HashMap<String, ObjectId>> {
+    pub(crate) fn unpickle_roots(bytes: &[u8]) -> Result<HashMap<String, ObjectId>> {
         let mut r = Unpickler::new(bytes);
         let magic = r.u32().map_err(ObjectStoreError::Unpickle)?;
         if magic != ROOTS_MAGIC {
@@ -314,6 +446,16 @@ impl ObjectStore {
         Transaction::new(self.clone(), Arc::new(TxnCore::new(id)))
     }
 
+    /// Start a snapshot-isolated read-only transaction.
+    ///
+    /// The reader pins a copy-on-write chunk-store snapshot and never
+    /// touches the lock manager: it sees the database exactly as of the
+    /// last commit, regardless of concurrent writers or the log cleaner.
+    /// See [`ReadTransaction`](crate::ReadTransaction).
+    pub fn begin_read(&self) -> crate::read_txn::ReadTransaction {
+        crate::read_txn::ReadTransaction::new(self.clone(), self.inner.chunks.snapshot())
+    }
+
     /// Read a registered root object id outside any transaction (roots are
     /// store-level metadata; reading them does not need locks).
     pub fn root(&self, name: &str) -> Option<ObjectId> {
@@ -368,14 +510,32 @@ impl ObjectStore {
 
     /// Byte budget of one cache shard.
     fn shard_budget(&self) -> usize {
-        self.inner.cfg.cache_budget / CACHE_SHARDS
+        self.inner.cfg.cache_budget / self.inner.cache_shards.len()
+    }
+
+    /// The cache shard responsible for an object id.
+    fn shard_for(&self, oid: ObjectId) -> &Mutex<CacheShard> {
+        &self.inner.cache_shards[cache_shard_of(oid.0, self.inner.cache_shards.len())]
+    }
+
+    /// Probe the cache without populating on miss (bumps the LRU clock on
+    /// hit). Snapshot readers use this: they must not install content that
+    /// was loaded *bypassing* their snapshot, and a miss falls back to a
+    /// snapshot chunk read that is private to the reader.
+    pub(crate) fn lookup_cell(&self, oid: ObjectId) -> Option<Arc<ObjectCell>> {
+        let mut shard = self.shard_for(oid).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let slot = shard.cache.get_mut(&oid.0)?;
+        slot.tick = tick;
+        Some(slot.cell.clone())
     }
 
     /// Fetch a cell from cache or load (read + validate + decrypt +
     /// unpickle) from the chunk store.
     pub(crate) fn load_cell(&self, oid: ObjectId) -> Result<Arc<ObjectCell>> {
         let obs = &self.inner.cache_obs;
-        let shard_mutex = &self.inner.cache_shards[cache_shard_of(oid.0)];
+        let shard_mutex = self.shard_for(oid);
         let mut shard = shard_mutex.lock();
         shard.tick += 1;
         let tick = shard.tick;
@@ -388,13 +548,17 @@ impl ObjectStore {
         }
         drop(shard); // do not hold the shard mutex across chunk I/O
         obs.misses.inc();
-        let bytes = self.inner.chunks.read(oid)?;
+        // Read the chunk together with an upper bound on the commit
+        // sequence that produced it, so snapshot readers can trust the
+        // cached copy for snapshots at least that recent.
+        let (bytes, seq) = self.inner.chunks.read_versioned(oid)?;
         let obj = self.inner.registry.unpickle_object(&bytes)?;
         let cell = Arc::new(ObjectCell {
             id: oid,
             data: RwLock::new(obj),
             dirty: AtomicBool::new(false),
             size: AtomicUsize::new(bytes.len()),
+            version: AtomicU64::new(seq),
         });
         let mut shard = shard_mutex.lock();
         // Racing loaders: keep whichever got in first so all transactions
@@ -418,7 +582,7 @@ impl ObjectStore {
     /// Insert a fresh (dirty) cell for a newly inserted object.
     pub(crate) fn install_cell(&self, cell: Arc<ObjectCell>) {
         let obs = &self.inner.cache_obs;
-        let mut shard = self.inner.cache_shards[cache_shard_of(cell.id.0)].lock();
+        let mut shard = self.shard_for(cell.id).lock();
         shard.tick += 1;
         let tick = shard.tick;
         let grown = cell.size.load(Ordering::Relaxed);
@@ -431,7 +595,7 @@ impl ObjectStore {
     /// Drop an object from the cache (abort of a written object, or
     /// removal).
     pub(crate) fn evict_cell(&self, oid: ObjectId) {
-        let mut shard = self.inner.cache_shards[cache_shard_of(oid.0)].lock();
+        let mut shard = self.shard_for(oid).lock();
         if let Some(slot) = shard.cache.remove(&oid.0) {
             let size = slot.cell.size.load(Ordering::Relaxed);
             shard.bytes = shard.bytes.saturating_sub(size);
@@ -441,7 +605,7 @@ impl ObjectStore {
 
     /// Update accounting after a commit re-pickled an object.
     pub(crate) fn update_cell_size(&self, oid: ObjectId, new_size: usize) {
-        let mut shard = self.inner.cache_shards[cache_shard_of(oid.0)].lock();
+        let mut shard = self.shard_for(oid).lock();
         if let Some(slot) = shard.cache.get(&oid.0) {
             let old = slot.cell.size.swap(new_size, Ordering::Relaxed);
             shard.bytes = shard.bytes.saturating_sub(old) + new_size;

@@ -6,11 +6,11 @@ use crate::locks::LockMode;
 use crate::refs::{ReadonlyRef, WritableRef};
 use crate::store::{ObjectCell, ObjectStore};
 use crate::{ChunkId, ObjectId, Persistent};
-use chunk_store::WriteBatch;
+use chunk_store::{Durability, WriteBatch};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Shared transaction state; `Ref`s hold it to check validity at deref.
@@ -118,6 +118,10 @@ impl Transaction {
             data: RwLock::new(object),
             dirty: AtomicBool::new(true),
             size: AtomicUsize::new(256), // refined at commit
+            // Dirty content has no committed version yet; the commit stamps
+            // the real sequence. MAX keeps snapshot readers off it even if
+            // they race the dirty flag.
+            version: AtomicU64::new(u64::MAX),
         });
         self.store.install_cell(cell.clone());
         let mut sets = self.core.sets.lock();
@@ -244,11 +248,11 @@ impl Transaction {
 
     /// Commit: pickle every inserted/written object into this
     /// transaction's private chunk batch, apply removals, and atomically
-    /// commit the batch at the chunk level. `durable` matches the chunk
+    /// commit the batch at the chunk level. `durability` matches the chunk
     /// store's durable/nondurable commit semantics (a durable commit may
     /// share its sync/anchor round with concurrent committers via group
     /// commit). Invalidates this transaction and all its `Ref`s.
-    pub fn commit(self, durable: bool) -> Result<()> {
+    pub fn commit(self, durability: Durability) -> Result<()> {
         self.check_active()?;
         let sets = {
             let mut sets = self.core.sets.lock();
@@ -300,7 +304,7 @@ impl Transaction {
         };
 
         // Append the batch's commit record to the log — the commit point.
-        let ticket = match chunks.append_batch(batch, durable) {
+        let ticket = match chunks.append_batch(batch, durability) {
             Ok(ticket) => ticket,
             Err(e) => {
                 self.store.revert_roots(roots_undo);
@@ -310,6 +314,10 @@ impl Transaction {
         };
 
         for cell in sets.written.values() {
+            // Stamp the commit sequence *before* clearing dirty: a snapshot
+            // reader that observes `!dirty` must also observe a version
+            // that tells it whether its snapshot predates this commit.
+            cell.version.store(ticket.seq(), Ordering::Release);
             cell.dirty.store(false, Ordering::Release);
         }
         for oid in &sets.removed {
@@ -329,6 +337,13 @@ impl Transaction {
         let result = chunks.wait_durable(ticket);
         self.store.evict_pass();
         result.map_err(Into::into)
+    }
+
+    /// Deprecated bool-flavoured commit; use
+    /// [`commit`](Transaction::commit) with a [`Durability`].
+    #[deprecated(note = "use commit(Durability::{Durable, Lazy}) instead")]
+    pub fn commit_bool(self, durable: bool) -> Result<()> {
+        self.commit(Durability::from(durable))
     }
 
     /// Undo all changes made during the transaction (paper Fig. 3:

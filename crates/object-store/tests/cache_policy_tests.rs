@@ -2,6 +2,7 @@
 //! protection, and lock-timeout configurability.
 
 use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::Durability;
 use object_store::{
     impl_persistent_boilerplate, ClassRegistry, ObjectStore, ObjectStoreConfig, ObjectStoreError,
     Persistent, PickleError, Pickler, Unpickler,
@@ -81,7 +82,7 @@ fn dirty_objects_pinned_under_pressure() {
     assert_eq!(r.get().data.len(), 1500);
     assert_eq!(r.get().tag, 1);
     drop(r);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     // After commit everything is durable and re-loadable even if evicted.
     let t = os.begin();
@@ -117,7 +118,7 @@ fn referenced_objects_survive_eviction_waves() {
             data: vec![7; 300],
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = os.begin();
     let held_ref = t.open_readonly::<Blob>(held).unwrap();
@@ -134,7 +135,7 @@ fn referenced_objects_survive_eviction_waves() {
     // The guard still works without refetching (same cached cell).
     assert_eq!(held_ref.get().tag, 7);
     drop(held_ref);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 }
 
 #[test]
@@ -150,7 +151,7 @@ fn lock_timeout_is_configurable() {
             data: vec![],
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let holder = os.begin();
     let _guard = holder.open_writable::<Blob>(id).unwrap();
@@ -189,7 +190,7 @@ fn retry_after_timeout_succeeds() {
             data: vec![],
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let holder = os.begin();
     let guard = holder.open_writable::<Blob>(id).unwrap();
@@ -201,10 +202,10 @@ fn retry_after_timeout_succeeds() {
     ));
     // ...the holder finishes...
     drop(guard);
-    holder.commit(true).unwrap();
+    holder.commit(Durability::Durable).unwrap();
     // ...and the *same transaction* retries the failed operation.
     assert!(t2.open_readonly::<Blob>(id).is_ok());
-    t2.commit(false).unwrap();
+    t2.commit(Durability::Lazy).unwrap();
 }
 
 /// Eviction accounting stays consistent while dirty objects are pinned:
@@ -273,7 +274,7 @@ fn eviction_accounting_consistent_under_pinning() {
         1200
     );
 
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     // Commit unpins; the eviction pass may now reclaim them, but the books
     // must still balance and nothing may remain pinned.
     let pinned_after = check("after commit");
@@ -297,11 +298,11 @@ fn cache_stats_accounting() {
             data: vec![0; 64],
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let s0 = os.cache_stats();
     let t = os.begin();
     let _ = t.open_readonly::<Blob>(id).unwrap();
-    t.commit(false).unwrap();
+    t.commit(Durability::Lazy).unwrap();
     let s1 = os.cache_stats();
     assert!(
         s1.hits > s0.hits,

@@ -2,6 +2,7 @@
 //! transactional semantics, ref invalidation, cache behaviour, concurrency.
 
 use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::Durability;
 use object_store::{
     impl_persistent_boilerplate, ClassRegistry, ObjectId, ObjectStore, ObjectStoreConfig,
     ObjectStoreError, Persistent, PickleError, Pickler, Unpickler,
@@ -130,7 +131,7 @@ fn figure_4_scenario() {
         profile.get_mut().meters.push(meter_id);
     }
     t.set_root("profile", profile_id).unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     // Transaction 2: navigate from the root and increment the view count.
     let t2 = store.begin();
@@ -144,7 +145,7 @@ fn figure_4_scenario() {
         let meter = t2.open_writable::<Meter>(meter_id).unwrap();
         meter.get_mut().view_count += 1;
     }
-    t2.commit(true).unwrap();
+    t2.commit(Durability::Durable).unwrap();
 
     // Verify across a reopen.
     drop(store);
@@ -172,7 +173,7 @@ fn refs_are_invalidated_at_transaction_end() {
     let r = t.open_readonly::<Meter>(id).unwrap();
     assert_eq!(r.get().view_count, 5);
     assert!(r.is_valid());
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     assert!(!r.is_valid());
     assert!(matches!(
         r.try_get(),
@@ -193,7 +194,7 @@ fn stale_ref_get_panics() {
         }))
         .unwrap();
     let r = t.open_readonly::<Meter>(id).unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let _ = r.get();
 }
 
@@ -208,7 +209,7 @@ fn type_mismatch_is_checked_at_open() {
             print_count: 0,
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     match t.open_readonly::<Profile>(id) {
@@ -231,7 +232,7 @@ fn abort_rolls_back_everything() {
         }))
         .unwrap();
     t.set_root("m", id).unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     {
@@ -264,7 +265,7 @@ fn abort_rolls_back_everything() {
         }))
         .unwrap();
     assert_eq!(next, orphan);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 }
 
 #[test]
@@ -279,7 +280,7 @@ fn drop_without_commit_aborts() {
         }))
         .unwrap();
     t.set_root("m", id).unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     {
         let t = store.begin();
@@ -302,7 +303,7 @@ fn remove_frees_object_and_id() {
             print_count: 0,
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     t.remove(id).unwrap();
@@ -311,7 +312,7 @@ fn remove_frees_object_and_id() {
         t.open_readonly::<Meter>(id),
         Err(ObjectStoreError::NotFound(_))
     ));
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     assert!(matches!(
@@ -326,7 +327,7 @@ fn remove_frees_object_and_id() {
         }))
         .unwrap();
     assert_eq!(id2, id);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 }
 
 #[test]
@@ -342,14 +343,14 @@ fn nondurable_object_commits_die_on_crash() {
             }))
             .unwrap();
         t.set_root("m", id).unwrap();
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
 
         let t = store.begin();
         let m = t.open_writable::<Meter>(t.root("m").unwrap()).unwrap();
         m.get_mut().view_count = 100;
         drop(m);
-        t.commit(false).unwrap(); // nondurable
-                                  // Crash: no durable commit follows.
+        t.commit(Durability::Lazy).unwrap(); // nondurable
+                                             // Crash: no durable commit follows.
     }
     let store = fx.reopen();
     let t = store.begin();
@@ -368,7 +369,7 @@ fn concurrent_transactions_conflict_and_timeout() {
             print_count: 0,
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t1 = store.begin();
     let _w = t1.open_writable::<Meter>(id).unwrap();
@@ -393,7 +394,7 @@ fn concurrent_shared_reads_are_allowed() {
             print_count: 0,
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t1 = store.begin();
     let r1 = t1.open_readonly::<Meter>(id).unwrap();
@@ -413,7 +414,7 @@ fn serialized_counter_increments_from_threads() {
             print_count: 0,
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let threads: Vec<_> = (0..4)
         .map(|_| {
@@ -426,7 +427,7 @@ fn serialized_counter_increments_from_threads() {
                         Ok(m) => {
                             m.get_mut().view_count += 1;
                             drop(m);
-                            t.commit(true).unwrap();
+                            t.commit(Durability::Durable).unwrap();
                             done += 1;
                         }
                         Err(ObjectStoreError::LockTimeout(_)) => {
@@ -462,7 +463,7 @@ fn locking_can_be_disabled() {
             print_count: 0,
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     // Two "concurrent" writable opens would deadlock with locking on; with
     // it off the single-threaded app is trusted.
     let t1 = store.begin();
@@ -491,14 +492,14 @@ fn cache_serves_repeat_opens_and_evicts_under_pressure() {
             .unwrap()
         })
         .collect();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     // Touch everything: far beyond a 2 KiB budget, so evictions must occur.
     let t = store.begin();
     for id in &ids {
         let _ = t.open_readonly::<Meter>(*id).unwrap();
     }
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let stats = store.cache_stats();
     assert!(
         stats.evictions > 0,
@@ -515,7 +516,7 @@ fn cache_serves_repeat_opens_and_evicts_under_pressure() {
     let hot = ids[ids.len() - 1];
     let _ = t.open_readonly::<Meter>(hot).unwrap();
     let _ = t.open_readonly::<Meter>(hot).unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let after = store.cache_stats();
     assert!(after.hits > before.hits);
 }
@@ -556,11 +557,11 @@ fn roots_survive_reopen_and_can_be_replaced() {
             .unwrap();
         t.set_root("a", a).unwrap();
         t.set_root("b", b).unwrap();
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
 
         let t = store.begin();
         t.remove_root("a").unwrap();
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
     }
     let store = fx.reopen();
     assert_eq!(store.root("a"), None);
@@ -579,7 +580,7 @@ fn operations_on_inactive_transaction_fail() {
             print_count: 0,
         }))
         .unwrap();
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let t = store.begin();
     let _ = t.open_readonly::<Meter>(id).unwrap();
@@ -615,7 +616,7 @@ fn many_objects_round_trip_through_reopen() {
                     t.set_root("first", id).unwrap();
                 }
             }
-            t.commit(true).unwrap();
+            t.commit(Durability::Durable).unwrap();
         }
     }
     let store = fx.reopen();

@@ -2,6 +2,7 @@
 //! operations with commits, aborts, and full-stack reopens.
 
 use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::Durability;
 use object_store::{
     impl_persistent_boilerplate, ClassRegistry, ObjectId, ObjectStore, ObjectStoreConfig,
     Persistent, PickleError, Pickler, Unpickler,
@@ -117,7 +118,7 @@ proptest! {
                         fresh.push((id, seq));
                     }
                     if commit {
-                        t.commit(true).unwrap();
+                        t.commit(Durability::Durable).unwrap();
                         model.extend(fresh);
                     } else {
                         t.abort();
@@ -132,7 +133,7 @@ proptest! {
                         c.get_mut().value = value;
                     }
                     if commit {
-                        t.commit(true).unwrap();
+                        t.commit(Durability::Durable).unwrap();
                         model.insert(id, value);
                     } else {
                         t.abort();
@@ -143,7 +144,7 @@ proptest! {
                     let id = *model.keys().nth(pick % model.len()).unwrap();
                     let t = os.begin();
                     t.remove(id).unwrap();
-                    t.commit(true).unwrap();
+                    t.commit(Durability::Durable).unwrap();
                     model.remove(&id);
                 }
                 Op::Reopen => {
@@ -158,7 +159,7 @@ proptest! {
                 let c = t.open_readonly::<Cell>(id).unwrap();
                 prop_assert_eq!(c.get().value, value, "object {:?}", id);
             }
-            t.commit(false).unwrap();
+            t.commit(Durability::Lazy).unwrap();
         }
 
         // Survives a final reopen too.
@@ -169,6 +170,6 @@ proptest! {
             let c = t.open_readonly::<Cell>(id).unwrap();
             prop_assert_eq!(c.get().value, value);
         }
-        t.commit(false).unwrap();
+        t.commit(Durability::Lazy).unwrap();
     }
 }

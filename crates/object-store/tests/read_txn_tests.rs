@@ -1,0 +1,367 @@
+//! Snapshot-isolated read-only transactions: isolation semantics, the
+//! lock-free guarantee, fast-path/fallback correctness, and the pin
+//! lifecycle (snapshots must release their segment pins on drop so the
+//! cleaner can make progress — and an abandoned reader must never strand
+//! them).
+
+use chunk_store::{ChunkStore, ChunkStoreConfig};
+use object_store::{
+    impl_persistent_boilerplate, ClassRegistry, Durability, ObjectStore, ObjectStoreConfig,
+    Persistent, PickleError, Pickler, Unpickler,
+};
+use std::sync::Arc;
+use std::time::Duration;
+use tdb_platform::{MemSecretStore, MemStore, VolatileCounter};
+
+const CLASS_CELL: u32 = 0xCE11_0001;
+
+struct Cell {
+    val: i64,
+    pad: Vec<u8>,
+}
+
+impl Persistent for Cell {
+    impl_persistent_boilerplate!(CLASS_CELL);
+    fn pickle(&self, w: &mut Pickler) {
+        w.i64(self.val);
+        w.bytes(&self.pad);
+    }
+}
+
+fn unpickle_cell(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Cell {
+        val: r.i64()?,
+        pad: r.bytes()?.to_vec(),
+    }))
+}
+
+fn registry() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.register(CLASS_CELL, "Cell", unpickle_cell);
+    reg
+}
+
+fn store() -> ObjectStore {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()),
+            &MemSecretStore::from_label("read-txn-tests"),
+            Arc::new(VolatileCounter::new()),
+            ChunkStoreConfig::small_for_tests(),
+        )
+        .unwrap(),
+    );
+    ObjectStore::create(chunks, registry(), ObjectStoreConfig::default()).unwrap()
+}
+
+fn cell(val: i64) -> Box<Cell> {
+    Box::new(Cell {
+        val,
+        pad: Vec::new(),
+    })
+}
+
+fn fat_cell(val: i64) -> Box<Cell> {
+    Box::new(Cell {
+        val,
+        pad: vec![val as u8; 512],
+    })
+}
+
+// --- Isolation semantics ---------------------------------------------------
+
+#[test]
+fn reader_sees_snapshot_not_later_commits() {
+    let store = store();
+    let t = store.begin();
+    let id = t.insert(cell(1)).unwrap();
+    t.set_root("cell", id).unwrap();
+    t.commit(Durability::Durable).unwrap();
+
+    let r = store.begin_read();
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 1);
+
+    // A writer commits a new value while the reader is open.
+    let t = store.begin();
+    t.open_writable::<Cell>(id).unwrap().get_mut().val = 2;
+    t.commit(Durability::Durable).unwrap();
+
+    // The old reader still sees the snapshot value; a new reader sees the
+    // committed one.
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 1);
+    assert_eq!(r.root("cell"), Some(id));
+    let r2 = store.begin_read();
+    assert_eq!(r2.read::<Cell, _>(id, |c| c.val).unwrap(), 2);
+    assert!(r2.commit_seq() > r.commit_seq());
+}
+
+#[test]
+fn reader_sees_objects_deleted_after_its_snapshot() {
+    let store = store();
+    let t = store.begin();
+    let id = t.insert(cell(7)).unwrap();
+    t.set_root("cell", id).unwrap();
+    t.commit(Durability::Durable).unwrap();
+
+    let r = store.begin_read();
+    let t = store.begin();
+    t.remove(id).unwrap();
+    t.remove_root("cell").unwrap();
+    t.commit(Durability::Durable).unwrap();
+
+    // As of the snapshot the object (and the root) still exist.
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 7);
+    assert_eq!(r.root("cell"), Some(id));
+    // A fresh reader agrees with the deletion.
+    let r2 = store.begin_read();
+    assert!(r2.root("cell").is_none());
+}
+
+#[test]
+fn uncommitted_writes_are_invisible_to_readers() {
+    let store = store();
+    let t = store.begin();
+    let id = t.insert(cell(1)).unwrap();
+    t.commit(Durability::Durable).unwrap();
+
+    let t = store.begin();
+    t.open_writable::<Cell>(id).unwrap().get_mut().val = 99;
+    // Transaction still open: a reader (snapshot or cache fast path) must
+    // not observe the dirty value.
+    let r = store.begin_read();
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 1);
+    t.abort();
+    let r2 = store.begin_read();
+    assert_eq!(r2.read::<Cell, _>(id, |c| c.val).unwrap(), 1);
+}
+
+// --- The lock-free guarantee ----------------------------------------------
+
+#[test]
+fn reader_never_blocks_writer_and_vice_versa() {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()),
+            &MemSecretStore::from_label("read-txn-locks"),
+            Arc::new(VolatileCounter::new()),
+            ChunkStoreConfig::small_for_tests(),
+        )
+        .unwrap(),
+    );
+    let cfg = ObjectStoreConfig {
+        lock_timeout: Duration::from_millis(200),
+        ..Default::default()
+    };
+    let store = ObjectStore::create(chunks, registry(), cfg).unwrap();
+
+    let t = store.begin();
+    let id = t.insert(cell(5)).unwrap();
+    t.commit(Durability::Durable).unwrap();
+
+    // Reader holds the snapshot open across a writer's entire lifetime.
+    let r = store.begin_read();
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 5);
+
+    // The writer takes the exclusive 2PL lock without contending with the
+    // reader (a 2PL read transaction would block it for lock_timeout).
+    let t = store.begin();
+    t.open_writable::<Cell>(id).unwrap().get_mut().val = 6;
+    t.commit(Durability::Durable).unwrap();
+
+    // And the reader keeps reading the pinned version afterwards.
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 5);
+
+    // The writer's lock must have been released at commit: another writer
+    // gets it instantly even with the reader still open.
+    let t = store.begin();
+    t.open_writable::<Cell>(id).unwrap().get_mut().val = 7;
+    t.commit(Durability::Durable).unwrap();
+    drop(r);
+}
+
+// --- Fast path / fallback accounting ---------------------------------------
+
+#[test]
+fn fast_path_and_fallback_counters() {
+    let store = store();
+    let t = store.begin();
+    let id = t.insert(cell(1)).unwrap();
+    t.commit(Durability::Durable).unwrap();
+
+    let obs = store.obs();
+    let fast = obs.counter("read.cache_fast");
+    let fallback = obs.counter("read.snapshot_fallbacks");
+
+    // Clean cache, version <= snapshot seq: the reader uses the shared
+    // cache fast path.
+    let r = store.begin_read();
+    let fast0 = fast.get();
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 1);
+    assert!(fast.get() > fast0, "expected a cache fast-path read");
+
+    // After a concurrent commit the cached version is newer than the
+    // snapshot: the same reader must fall back to a snapshot chunk read.
+    let t = store.begin();
+    t.open_writable::<Cell>(id).unwrap().get_mut().val = 2;
+    t.commit(Durability::Durable).unwrap();
+    let fb0 = fallback.get();
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 1);
+    assert!(fallback.get() > fb0, "expected a snapshot fallback read");
+
+    // Fallback cells are memoized per-reader: a second read of the same
+    // object takes no additional fallback.
+    let fb1 = fallback.get();
+    assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), 1);
+    assert_eq!(fallback.get(), fb1);
+}
+
+// --- Pin lifecycle ----------------------------------------------------------
+
+/// Build a store with dead segments that are pinned only by `r`'s
+/// snapshot: fill segments with fat cells, snapshot, then overwrite
+/// everything so the old versions become garbage.
+fn store_with_pinned_garbage() -> (
+    ObjectStore,
+    object_store::ReadTransaction,
+    Vec<object_store::ObjectId>,
+) {
+    let store = store();
+    let t = store.begin();
+    let ids: Vec<_> = (0..24).map(|i| t.insert(fat_cell(i)).unwrap()).collect();
+    t.commit(Durability::Durable).unwrap();
+
+    let r = store.begin_read();
+    // Touch every object through the snapshot so the pin is exercised.
+    for &id in &ids {
+        r.read::<Cell, _>(id, |c| c.val).unwrap();
+    }
+
+    // Overwrite everything twice: the snapshot's versions are now dead in
+    // the current state, and only the snapshot pins their segments.
+    for round in 1..=2 {
+        let t = store.begin();
+        for &id in &ids {
+            t.open_writable::<Cell>(id).unwrap().get_mut().val += 100 * round;
+        }
+        t.commit(Durability::Durable).unwrap();
+    }
+    store.chunk_store().checkpoint().unwrap();
+    (store, r, ids)
+}
+
+#[test]
+fn dropping_reader_releases_pins_and_unblocks_cleaning() {
+    let (store, r, ids) = store_with_pinned_garbage();
+    let chunks = store.chunk_store().clone();
+
+    // While the reader lives, repeated cleaning passes cannot free the
+    // pinned segments (they may free unpinned ones; the pinned garbage
+    // stays). Record how far cleaning gets...
+    let mut freed_while_pinned = 0;
+    for _ in 0..8 {
+        freed_while_pinned += chunks.clean().unwrap();
+    }
+    let disk_while_pinned = chunks.disk_size();
+
+    // The reader still sees its snapshot afterwards (relocations must have
+    // skipped every pinned chunk).
+    for (i, &id) in ids.iter().enumerate() {
+        assert_eq!(r.read::<Cell, _>(id, |c| c.val).unwrap(), i as i64);
+    }
+
+    // ...then drop the pin and clean again: now strictly more space is
+    // reclaimable than before.
+    drop(r);
+    let mut freed_after_drop = 0;
+    for _ in 0..8 {
+        freed_after_drop += chunks.clean().unwrap();
+    }
+    chunks.checkpoint().unwrap();
+    for _ in 0..8 {
+        freed_after_drop += chunks.clean().unwrap();
+    }
+    assert!(
+        freed_after_drop > 0,
+        "dropping the snapshot must unblock the cleaner \
+         (freed {freed_while_pinned} while pinned, {freed_after_drop} after drop, \
+          disk was {disk_while_pinned}, now {})",
+        chunks.disk_size()
+    );
+}
+
+#[test]
+fn abandoned_reader_never_strands_pins() {
+    let (store, r, _ids) = store_with_pinned_garbage();
+    let chunks = store.chunk_store().clone();
+
+    // Simulate an aborted/forgotten reader: no finish(), just drop —
+    // including one that was moved into a thread that panicked.
+    let handle = std::thread::spawn(move || {
+        let _moved_in = r;
+        panic!("reader thread dies without cleanup");
+    });
+    assert!(handle.join().is_err());
+
+    // The Weak registration must be gone: cleaning makes progress.
+    let mut freed = 0;
+    for _ in 0..8 {
+        freed += chunks.clean().unwrap();
+    }
+    chunks.checkpoint().unwrap();
+    for _ in 0..8 {
+        freed += chunks.clean().unwrap();
+    }
+    assert!(
+        freed > 0,
+        "a dead reader thread must not strand segment pins"
+    );
+}
+
+#[test]
+fn finish_releases_pin_like_drop() {
+    let (store, r, _ids) = store_with_pinned_garbage();
+    let chunks = store.chunk_store().clone();
+    r.finish();
+    let mut freed = 0;
+    for _ in 0..8 {
+        freed += chunks.clean().unwrap();
+    }
+    chunks.checkpoint().unwrap();
+    for _ in 0..8 {
+        freed += chunks.clean().unwrap();
+    }
+    assert!(freed > 0, "finish() must release the snapshot pin");
+}
+
+// --- Reads during cleaning --------------------------------------------------
+
+#[test]
+fn snapshot_reads_survive_cleaner_relocation() {
+    let store = store();
+    let t = store.begin();
+    let ids: Vec<_> = (0..24).map(|i| t.insert(fat_cell(i)).unwrap()).collect();
+    t.commit(Durability::Durable).unwrap();
+
+    let r = store.begin_read();
+
+    // Generate garbage and force cleaning while the reader is open. The
+    // cleaner relocates live chunks; every pinned chunk must remain
+    // readable at its snapshot location or its relocated one.
+    for round in 0..6 {
+        let t = store.begin();
+        for &id in &ids {
+            t.open_writable::<Cell>(id).unwrap().get_mut().val += round;
+        }
+        t.commit(Durability::Durable).unwrap();
+        store.chunk_store().checkpoint().unwrap();
+        store.chunk_store().clean().unwrap();
+    }
+
+    for (i, &id) in ids.iter().enumerate() {
+        assert_eq!(
+            r.read::<Cell, _>(id, |c| c.val).unwrap(),
+            i as i64,
+            "snapshot read of object {i} changed under cleaning"
+        );
+    }
+}

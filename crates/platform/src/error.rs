@@ -67,6 +67,27 @@ impl From<std::io::Error> for PlatformError {
     }
 }
 
+impl PlatformError {
+    /// Stable, layer-independent classification (see [`tdb_core::ErrorKind`]).
+    pub fn kind(&self) -> tdb_core::ErrorKind {
+        use tdb_core::ErrorKind;
+        match self {
+            PlatformError::Io(_)
+            | PlatformError::ShortRead { .. }
+            | PlatformError::Crashed
+            | PlatformError::AlreadyExists(_) => ErrorKind::Io,
+            PlatformError::NotFound(_) => ErrorKind::NotFound,
+            PlatformError::CorruptSubstrate(_) => ErrorKind::Tamper,
+        }
+    }
+}
+
+impl From<PlatformError> for tdb_core::Error {
+    fn from(e: PlatformError) -> Self {
+        tdb_core::Error::with_source(e.kind(), e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,217 @@
+//! Shared vocabulary types of the TDB stack.
+//!
+//! Every store crate (`chunk-store`, `object-store`, `collection-store`,
+//! `backup-store`, `tdb-platform`) keeps its own precise error enum, but
+//! callers rarely want to match on crate-specific variants: a license
+//! server cares whether a failure was *tamper*, *replay*, *out of space*,
+//! or *contention*, not which layer noticed first. This leaf crate defines
+//! the stable classification ([`ErrorKind`]) and a unified [`Error`] every
+//! store error converts into, plus the [`Durability`] commit mode that
+//! replaces the old `commit(durable: bool)` parameters.
+//!
+//! The crate sits *below* the stores (it depends on nothing), so each
+//! store crate can implement `From<ItsError> for tdb_core::Error` locally
+//! and accept [`Durability`] in its public API without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Commit durability mode (paper §3.1: durable vs. nondurable commits).
+///
+/// Replaces the historical `commit(durable: bool)` parameters — bools at
+/// call sites were unreadable and were mis-ordered at least once in bench
+/// code. `Durable` blocks until a group anchor (sync + MAC'd anchor +
+/// one-way counter bump) covers the commit; `Lazy` returns once the commit
+/// record is in the log buffer, durable no later than the next durable
+/// commit, checkpoint, or clean shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Durability {
+    /// Block until the commit is anchored (survives crash + replay check).
+    #[default]
+    Durable,
+    /// Nondurable ("lazy") commit: atomic, but may be lost in a crash
+    /// until a later anchor covers it. An order of magnitude cheaper.
+    Lazy,
+}
+
+impl Durability {
+    /// `true` for [`Durability::Durable`]. Bridge for internal code that
+    /// still plumbs a boolean.
+    pub fn is_durable(self) -> bool {
+        matches!(self, Durability::Durable)
+    }
+}
+
+impl From<bool> for Durability {
+    /// `true` → `Durable`, `false` → `Lazy` (the historical encoding).
+    fn from(durable: bool) -> Self {
+        if durable {
+            Durability::Durable
+        } else {
+            Durability::Lazy
+        }
+    }
+}
+
+impl fmt::Display for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Durability::Durable => write!(f, "durable"),
+            Durability::Lazy => write!(f, "lazy"),
+        }
+    }
+}
+
+/// Stable, layer-independent classification of a TDB failure.
+///
+/// The set is part of the public API contract: tests (including the crash
+/// torture harness) and applications classify by kind instead of matching
+/// crate-specific enum variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Stored state failed hash/MAC verification, or records are
+    /// structurally impossible: the untrusted store was modified.
+    Tamper,
+    /// The database is internally consistent but *old*: its anchor counter
+    /// is behind the hardware one-way counter (a replayed copy).
+    Replay,
+    /// The store cannot grow and no space could be reclaimed.
+    OutOfSpace,
+    /// A 2PL lock wait timed out due to plain contention.
+    LockTimeout,
+    /// A 2PL lock wait was part of a wait-for cycle; the timeout broke a
+    /// genuine deadlock. Retrying the whole transaction is appropriate.
+    Deadlock,
+    /// The underlying platform store failed (I/O, missing file, short
+    /// read/write).
+    Io,
+    /// Pickling/unpickling failed: unknown class id, malformed bytes, or a
+    /// type mismatch on open.
+    Codec,
+    /// A referenced chunk, object, collection, index, root, or backup does
+    /// not exist.
+    NotFound,
+    /// A uniqueness or schema constraint was violated.
+    Constraint,
+    /// The API was misused (inactive transaction, read-only handle,
+    /// iterator conflict, invalid configuration, ...).
+    Usage,
+    /// Anything not covered above.
+    Other,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Tamper => "tamper",
+            ErrorKind::Replay => "replay",
+            ErrorKind::OutOfSpace => "out-of-space",
+            ErrorKind::LockTimeout => "lock-timeout",
+            ErrorKind::Deadlock => "deadlock",
+            ErrorKind::Io => "io",
+            ErrorKind::Codec => "codec",
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::Constraint => "constraint",
+            ErrorKind::Usage => "usage",
+            ErrorKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The unified TDB error: a stable [`ErrorKind`] plus the precise message
+/// (and source error, when one exists) from the layer that failed.
+#[derive(Debug)]
+pub struct Error {
+    kind: ErrorKind,
+    message: String,
+    source: Option<Box<dyn std::error::Error + Send + Sync + 'static>>,
+}
+
+impl Error {
+    /// Build an error from a kind and message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Error {
+            kind,
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Build an error wrapping the precise lower-layer error as `source`.
+    pub fn with_source(
+        kind: ErrorKind,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        Error {
+            kind,
+            message: source.to_string(),
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// The stable classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The precise message from the failing layer.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Whether retrying the enclosing transaction is reasonable (lock
+    /// timeouts and broken deadlocks).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.kind, ErrorKind::LockTimeout | ErrorKind::Deadlock)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+/// Result alias over the unified [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_round_trips_the_bool_encoding() {
+        assert!(Durability::from(true).is_durable());
+        assert!(!Durability::from(false).is_durable());
+        assert_eq!(Durability::default(), Durability::Durable);
+    }
+
+    #[test]
+    fn error_kind_and_display() {
+        let e = Error::new(ErrorKind::Tamper, "hash mismatch at seg 3");
+        assert_eq!(e.kind(), ErrorKind::Tamper);
+        assert_eq!(e.to_string(), "tamper: hash mismatch at seg 3");
+        assert!(!e.is_retryable());
+        assert!(Error::new(ErrorKind::Deadlock, "cycle").is_retryable());
+    }
+
+    #[test]
+    fn error_preserves_source() {
+        let io = std::io::Error::other("disk gone");
+        let e = Error::with_source(ErrorKind::Io, io);
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(e.message(), "disk gone");
+    }
+}

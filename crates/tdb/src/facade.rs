@@ -1,0 +1,486 @@
+//! The coherent top-level API: [`Db`], [`Options`], [`Txn`], [`ReadTxn`],
+//! and typed [`CollectionHandle`]s.
+//!
+//! This is the recommended entry point for applications. It wraps the
+//! layered stores ([`Database`] remains available for code that wants the
+//! layers spelled out) behind four nouns:
+//!
+//! * [`Options`] — one builder for substrates (in-memory, directory, or
+//!   custom), class/extractor registries, security mode, and tuning knobs
+//!   ([`StoreOptions`], [`ChunkStoreConfig`]).
+//! * [`Db::open`] — open-or-create from an [`Options`].
+//! * [`Db::begin`] → [`Txn`] — a read-write transaction (strict 2PL),
+//!   committed with an explicit [`Durability`].
+//! * [`Db::begin_read`] → [`ReadTxn`] — a snapshot-isolated read-only
+//!   transaction: zero locks, stable scans, never blocks or aborts writers.
+//!
+//! [`Db::collection`] produces a typed [`CollectionHandle<K, V>`] binding a
+//! collection name to a key type `K` (convertible to [`Key`]) and a member
+//! object type `V` ([`Persistent`]), so lookups and inserts are checked at
+//! the facade instead of sprinkling downcasts through application code.
+
+use crate::{
+    CIter, CTransaction, ChunkStoreConfig, ClassRegistry, Collection, Database, DatabaseConfig,
+    ExtractorRegistry, IndexSpec, Key, ObjectId, Persistent, ReadCTransaction, ReadCollection,
+    Result, SecurityMode, StoreOptions, TdbError,
+};
+use chunk_store::Durability;
+use std::marker::PhantomData;
+use std::ops::Bound;
+use std::path::PathBuf;
+use std::sync::Arc;
+use tdb_platform::secret::SECRET_LEN;
+use tdb_platform::{
+    DirStore, FileCounter, FileSecretStore, MemSecretStore, MemStore, OneWayCounter, SecretStore,
+    UntrustedStore, VolatileCounter,
+};
+
+enum Substrates {
+    /// Volatile in-memory substrates (tests, examples, benches).
+    Memory { label: String },
+    /// Directory-backed substrates: `DirStore` for the log, a secret file,
+    /// and a file-backed one-way counter.
+    Dir { dir: PathBuf },
+    /// Caller-supplied substrates (fault injection, custom hardware).
+    Custom {
+        untrusted: Arc<dyn UntrustedStore>,
+        secret: Box<dyn SecretStore>,
+        counter: Arc<dyn OneWayCounter>,
+    },
+}
+
+/// Builder for opening a [`Db`]. Collects the platform substrates, the
+/// application's class and extractor registries, and every tuning knob in
+/// one place with validated defaults.
+pub struct Options {
+    substrates: Substrates,
+    classes: ClassRegistry,
+    extractors: ExtractorRegistry,
+    chunk: ChunkStoreConfig,
+    store: StoreOptions,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::in_memory()
+    }
+}
+
+/// The pieces [`Options`] resolves into for [`Database::open_or_create`].
+type OpenParts = (
+    Arc<dyn UntrustedStore>,
+    Box<dyn SecretStore>,
+    Arc<dyn OneWayCounter>,
+    ClassRegistry,
+    ExtractorRegistry,
+    DatabaseConfig,
+);
+
+impl Options {
+    /// Volatile in-memory database (the default): `MemStore`, a secret
+    /// derived from a fixed label, and a volatile one-way counter. Ideal
+    /// for tests and examples; nothing survives the process.
+    pub fn in_memory() -> Self {
+        Options {
+            substrates: Substrates::Memory {
+                label: "tdb".to_string(),
+            },
+            classes: ClassRegistry::new(),
+            extractors: ExtractorRegistry::new(),
+            chunk: ChunkStoreConfig::default(),
+            store: StoreOptions::new(),
+        }
+    }
+
+    /// Derive the in-memory secret from `label` instead of the default
+    /// (distinct labels give cryptographically unrelated databases).
+    pub fn secret_label(mut self, label: impl Into<String>) -> Self {
+        if let Substrates::Memory { label: l } = &mut self.substrates {
+            *l = label.into();
+        }
+        self
+    }
+
+    /// Store the database under `dir`: the log in `DirStore`, the platform
+    /// secret in `dir/secret.key` (created on first open), and the one-way
+    /// counter in `dir/counter`.
+    pub fn at_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.substrates = Substrates::Dir { dir: dir.into() };
+        self
+    }
+
+    /// Use caller-supplied platform substrates (e.g. fault-injection
+    /// wrappers or real hardware bindings).
+    pub fn with_substrates(
+        mut self,
+        untrusted: Arc<dyn UntrustedStore>,
+        secret: impl SecretStore + 'static,
+        counter: Arc<dyn OneWayCounter>,
+    ) -> Self {
+        self.substrates = Substrates::Custom {
+            untrusted,
+            secret: Box::new(secret),
+            counter,
+        };
+        self
+    }
+
+    /// Replace the class registry wholesale.
+    pub fn classes(mut self, classes: ClassRegistry) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Register one persistent class (see [`ClassRegistry::register`]).
+    pub fn register_class(
+        mut self,
+        id: crate::ClassId,
+        name: &'static str,
+        unpickler: object_store::UnpickleFn,
+    ) -> Self {
+        self.classes.register(id, name, unpickler);
+        self
+    }
+
+    /// Replace the extractor registry wholesale.
+    pub fn extractors(mut self, extractors: ExtractorRegistry) -> Self {
+        self.extractors = extractors;
+        self
+    }
+
+    /// Register one functional-index extractor.
+    pub fn register_extractor(mut self, name: &str, f: crate::ExtractorFn) -> Self {
+        self.extractors.register(name, f);
+        self
+    }
+
+    /// Set the security mode (default: full encryption + tamper detection).
+    pub fn security(mut self, mode: SecurityMode) -> Self {
+        self.chunk.security = mode;
+        self
+    }
+
+    /// Replace the chunk-store configuration (segment size, utilization,
+    /// checkpoint threshold, ...).
+    pub fn chunk_config(mut self, chunk: ChunkStoreConfig) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Replace the object-store tuning knobs (cache budget, shard count,
+    /// lock timeout, locking on/off).
+    pub fn store_options(mut self, store: StoreOptions) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Overlay `TDB_*` environment variables onto the store options (see
+    /// [`StoreOptions::from_env`]).
+    pub fn from_env(mut self) -> Self {
+        self.store = self.store.from_env();
+        self
+    }
+
+    fn into_parts(self) -> Result<OpenParts> {
+        let object = self.store.build().map_err(TdbError::Object)?;
+        let cfg = DatabaseConfig {
+            chunk: self.chunk,
+            object,
+        };
+        let (untrusted, secret, counter): (
+            Arc<dyn UntrustedStore>,
+            Box<dyn SecretStore>,
+            Arc<dyn OneWayCounter>,
+        ) = match self.substrates {
+            Substrates::Memory { label } => (
+                Arc::new(MemStore::new()),
+                Box::new(MemSecretStore::from_label(&label)),
+                Arc::new(VolatileCounter::new()),
+            ),
+            Substrates::Dir { dir } => {
+                let untrusted =
+                    Arc::new(DirStore::new(&dir).map_err(chunk_store::ChunkStoreError::from)?);
+                // First open seeds the secret file from a per-directory
+                // label; it is the file's presence that carries the secret
+                // afterwards, exactly like a provisioning step would.
+                let seed = MemSecretStore::from_label(&format!("tdb-dir:{}", dir.display()))
+                    .master_secret()
+                    .map_err(chunk_store::ChunkStoreError::from)?;
+                let mut initial = [0u8; SECRET_LEN];
+                initial.copy_from_slice(&seed);
+                let secret = FileSecretStore::open_or_init(dir.join("secret.key"), initial)
+                    .map_err(chunk_store::ChunkStoreError::from)?;
+                let counter = FileCounter::open(dir.join("counter"))
+                    .map_err(chunk_store::ChunkStoreError::from)?;
+                (untrusted, Box::new(secret), Arc::new(counter))
+            }
+            Substrates::Custom {
+                untrusted,
+                secret,
+                counter,
+            } => (untrusted, secret, counter),
+        };
+        Ok((
+            untrusted,
+            secret,
+            counter,
+            self.classes,
+            self.extractors,
+            cfg,
+        ))
+    }
+}
+
+/// An open TDB database. Cheap to clone; all clones share the same store.
+#[derive(Clone)]
+pub struct Db {
+    inner: Database,
+}
+
+impl Db {
+    /// Open the database described by `options`, creating it if it does not
+    /// exist yet. Opening runs recovery plus tamper and replay validation.
+    pub fn open(options: Options) -> Result<Self> {
+        let (untrusted, secret, counter, classes, extractors, cfg) = options.into_parts()?;
+        let inner = Database::open_or_create(
+            untrusted,
+            secret.as_ref(),
+            counter,
+            classes,
+            extractors,
+            cfg,
+        )?;
+        Ok(Db { inner })
+    }
+
+    /// Start a read-write transaction (strict 2PL, private write staging).
+    pub fn begin(&self) -> Txn {
+        Txn {
+            inner: self.inner.collections().begin(),
+        }
+    }
+
+    /// Start a snapshot-isolated read-only transaction. The returned
+    /// [`ReadTxn`] observes the latest committed state, takes **no** locks,
+    /// and pins its snapshot's segments against relocation by the cleaner
+    /// until it is dropped or [`ReadTxn::finish`]ed.
+    pub fn begin_read(&self) -> ReadTxn {
+        ReadTxn {
+            inner: self.inner.collections().begin_read(),
+        }
+    }
+
+    /// A typed handle to the collection `name`, keyed by `K` through its
+    /// functional indexes with members of type `V`. The handle itself does
+    /// no I/O — pair it with a [`Txn`] or [`ReadTxn`].
+    pub fn collection<K, V>(&self, name: impl Into<String>) -> CollectionHandle<K, V>
+    where
+        K: Into<Key>,
+        V: Persistent,
+    {
+        CollectionHandle {
+            name: name.into(),
+            _types: PhantomData,
+        }
+    }
+
+    /// The layered view of this database ([`Database`]), for operations the
+    /// facade does not wrap (backups, maintenance, stats, observability).
+    pub fn layers(&self) -> &Database {
+        &self.inner
+    }
+}
+
+impl std::ops::Deref for Db {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        &self.inner
+    }
+}
+
+/// A read-write transaction. Dereferences to [`CTransaction`], so every
+/// collection-store operation (create/read/write collections, roots) is
+/// available directly; commit takes an explicit [`Durability`].
+pub struct Txn {
+    inner: CTransaction,
+}
+
+impl Txn {
+    /// Commit in the given durability mode.
+    pub fn commit(self, durability: Durability) -> Result<()> {
+        self.inner.commit(durability).map_err(TdbError::Collection)
+    }
+
+    /// Abort, discarding all staged writes.
+    pub fn abort(self) {
+        self.inner.abort()
+    }
+
+    /// The wrapped collection-store transaction (by value, for APIs that
+    /// consume it).
+    pub fn into_inner(self) -> CTransaction {
+        self.inner
+    }
+}
+
+impl std::ops::Deref for Txn {
+    type Target = CTransaction;
+    fn deref(&self) -> &CTransaction {
+        &self.inner
+    }
+}
+
+/// A snapshot-isolated read-only transaction. Dereferences to
+/// [`ReadCTransaction`]; dropping it releases the snapshot pin.
+pub struct ReadTxn {
+    inner: ReadCTransaction,
+}
+
+impl ReadTxn {
+    /// The chunk-store commit sequence this reader observes.
+    pub fn commit_seq(&self) -> u64 {
+        self.inner.commit_seq()
+    }
+
+    /// End the transaction, releasing the snapshot pin (same as dropping).
+    pub fn finish(self) {}
+}
+
+impl std::ops::Deref for ReadTxn {
+    type Target = ReadCTransaction;
+    fn deref(&self) -> &ReadCTransaction {
+        &self.inner
+    }
+}
+
+/// A typed, I/O-free binding of a collection name to a key type `K` and a
+/// member type `V`. Obtained from [`Db::collection`].
+pub struct CollectionHandle<K, V> {
+    name: String,
+    _types: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Clone for CollectionHandle<K, V> {
+    fn clone(&self) -> Self {
+        CollectionHandle {
+            name: self.name.clone(),
+            _types: PhantomData,
+        }
+    }
+}
+
+impl<K, V> CollectionHandle<K, V>
+where
+    K: Into<Key>,
+    V: Persistent,
+{
+    /// The collection name this handle binds.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Create the collection with `specs` if it does not exist yet.
+    pub fn ensure(&self, txn: &Txn, specs: &[IndexSpec]) -> Result<()> {
+        match txn.create_collection(&self.name, specs) {
+            Ok(_) => Ok(()),
+            Err(crate::CollectionError::CollectionExists(_)) => Ok(()),
+            Err(e) => Err(TdbError::Collection(e)),
+        }
+    }
+
+    /// Insert a member object.
+    pub fn insert(&self, txn: &Txn, object: V) -> Result<ObjectId> {
+        let coll = txn
+            .write_collection(&self.name)
+            .map_err(TdbError::Collection)?;
+        coll.insert(Box::new(object)).map_err(TdbError::Collection)
+    }
+
+    /// Writable iterator-based handle within a read-write transaction.
+    pub fn write<'t>(&self, txn: &'t Txn) -> Result<Collection<'t>> {
+        txn.write_collection(&self.name)
+            .map_err(TdbError::Collection)
+    }
+
+    /// Snapshot handle within a read-only transaction.
+    pub fn read<'t>(&self, rt: &'t ReadTxn) -> Result<ReadCollection<'t>> {
+        rt.read_collection(&self.name).map_err(TdbError::Collection)
+    }
+
+    /// Apply `f` to the first member whose `index` key equals `key`, as of
+    /// the snapshot. Returns `None` if no member matches.
+    pub fn get<R>(
+        &self,
+        rt: &ReadTxn,
+        index: &str,
+        key: K,
+        f: impl FnOnce(&V) -> R,
+    ) -> Result<Option<R>> {
+        let coll = self.read(rt)?;
+        let ids = coll
+            .exact(index, &key.into())
+            .map_err(TdbError::Collection)?;
+        match ids.first() {
+            Some(&oid) => Ok(Some(
+                coll.get::<V, R>(oid, f).map_err(TdbError::Collection)?,
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// `(key, id)` entries of `index` in its natural order, as of the
+    /// snapshot.
+    pub fn scan(&self, rt: &ReadTxn, index: &str) -> Result<Vec<(Key, ObjectId)>> {
+        self.read(rt)?.scan(index).map_err(TdbError::Collection)
+    }
+
+    /// Range query over an ordered index, as of the snapshot.
+    pub fn range(
+        &self,
+        rt: &ReadTxn,
+        index: &str,
+        min: Bound<&Key>,
+        max: Bound<&Key>,
+    ) -> Result<Vec<(Key, ObjectId)>> {
+        self.read(rt)?
+            .range(index, min, max)
+            .map_err(TdbError::Collection)
+    }
+
+    /// Member count as of the snapshot.
+    pub fn len(&self, rt: &ReadTxn) -> Result<u64> {
+        self.read(rt)?.len().map_err(TdbError::Collection)
+    }
+
+    /// Whether the collection is empty as of the snapshot.
+    pub fn is_empty(&self, rt: &ReadTxn) -> Result<bool> {
+        Ok(self.len(rt)? == 0)
+    }
+
+    /// Update in place: apply `f` to every member whose `index` key equals
+    /// `key`, through a writable insensitive iterator. Returns the number
+    /// of members updated. Index maintenance runs when the iterator closes.
+    pub fn update(
+        &self,
+        txn: &Txn,
+        index: &str,
+        key: K,
+        mut f: impl FnMut(&mut V),
+    ) -> Result<usize> {
+        let coll = self.write(txn)?;
+        let mut iter: CIter<'_> = coll
+            .exact(index, &key.into())
+            .map_err(TdbError::Collection)?;
+        let mut updated = 0;
+        while !iter.end() {
+            {
+                let obj = iter.write::<V>().map_err(TdbError::Collection)?;
+                f(&mut obj.get_mut());
+                updated += 1;
+            }
+            iter.next();
+        }
+        iter.close().map_err(TdbError::Collection)?;
+        Ok(updated)
+    }
+}

@@ -26,14 +26,15 @@
 //! architecture (Fig. 1) so "applications link only with the modules they
 //! require": [`tdb_platform`], [`tdb_crypto`], [`chunk_store`],
 //! [`backup_store`], [`object_store`], [`collection_store`]. This crate
-//! re-exports them and adds the [`Database`] convenience facade.
+//! re-exports them and adds two facades: the recommended [`Db`] /
+//! [`Options`] / [`Txn`] / [`ReadTxn`] API, and the layer-explicit
+//! [`Database`].
+//!
+//! # Quickstart
 //!
 //! ```
-//! use tdb::{Database, DatabaseConfig};
-//! use tdb::platform::{MemStore, MemSecretStore, VolatileCounter};
-//! use tdb::{ClassRegistry, ExtractorRegistry, IndexKind, IndexSpec, Key};
+//! use tdb::{Db, Durability, IndexKind, IndexSpec, Key, Options};
 //! use tdb::{impl_persistent_boilerplate, Persistent, Pickler, Unpickler, PickleError};
-//! use std::sync::Arc;
 //!
 //! struct Meter { id: i64, views: i64 }
 //! impl Persistent for Meter {
@@ -44,31 +45,36 @@
 //!     Ok(Box::new(Meter { id: r.i64()?, views: r.i64()? }))
 //! }
 //!
-//! let mut classes = ClassRegistry::new();
-//! classes.register(0x4D45_0001, "Meter", unpickle_meter);
-//! let mut extractors = ExtractorRegistry::new();
-//! extractors.register("meter.id", |obj| {
-//!     tdb::extractor_typed::<Meter>(obj, |m| Key::I64(m.id))
-//! });
+//! let db = Db::open(Options::in_memory()
+//!     .register_class(0x4D45_0001, "Meter", unpickle_meter)
+//!     .register_extractor("meter.id", |obj| {
+//!         tdb::extractor_typed::<Meter>(obj, |m| Key::I64(m.id))
+//!     })).unwrap();
+//! let meters = db.collection::<i64, Meter>("meters");
 //!
-//! let db = Database::create(
-//!     Arc::new(MemStore::new()),
-//!     &MemSecretStore::from_label("doc"),
-//!     Arc::new(VolatileCounter::new()),
-//!     classes, extractors, DatabaseConfig::default(),
-//! ).unwrap();
-//!
+//! // Read-write transaction: strict 2PL, explicit durability.
 //! let t = db.begin();
-//! let meters = t.create_collection("meters",
-//!     &[IndexSpec::new("by-id", "meter.id", true, IndexKind::Hash)]).unwrap();
-//! meters.insert(Box::new(Meter { id: 1, views: 0 })).unwrap();
-//! t.commit(true).unwrap();
+//! meters.ensure(&t, &[IndexSpec::new("by-id", "meter.id", true, IndexKind::BTree)]).unwrap();
+//! meters.insert(&t, Meter { id: 1, views: 7 }).unwrap();
+//! t.commit(Durability::Durable).unwrap();
+//!
+//! // Snapshot-isolated read: zero locks, stable against concurrent
+//! // writers and the log cleaner.
+//! let r = db.begin_read();
+//! assert_eq!(meters.get(&r, "by-id", 1, |m| m.views).unwrap(), Some(7));
+//! assert_eq!(meters.len(&r).unwrap(), 1);
+//! r.finish();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::Arc;
+
+pub mod facade;
+
+pub use facade::{CollectionHandle, Db, Options, ReadTxn, Txn};
+pub use tdb_core::{Durability, Error, ErrorKind};
 
 pub use backup_store::{BackupError, BackupManager};
 pub use chunk_store::{
@@ -77,12 +83,12 @@ pub use chunk_store::{
 };
 pub use collection_store::{
     CIter, CTransaction, Collection, CollectionError, CollectionStore, ExtractorFn,
-    ExtractorRegistry, IndexKind, IndexSpec, Key, ObjectId,
+    ExtractorRegistry, IndexKind, IndexSpec, Key, ObjectId, ReadCTransaction, ReadCollection,
 };
 pub use object_store::{
-    impl_persistent_boilerplate, ClassId, ClassRegistry, ObjectStore, ObjectStoreConfig,
-    ObjectStoreError, Persistent, PickleError, Pickler, ReadonlyRef, Transaction, Unpickler,
-    WritableRef,
+    impl_persistent_boilerplate, ClassId, ClassRegistry, ObjectReader, ObjectStore,
+    ObjectStoreConfig, ObjectStoreError, Persistent, PickleError, Pickler, ReadTransaction,
+    ReadonlyRef, StoreOptions, Transaction, Unpickler, WritableRef,
 };
 
 pub use collection_store::extractor::typed as extractor_typed;
@@ -155,6 +161,34 @@ impl From<CollectionError> for TdbError {
 impl From<BackupError> for TdbError {
     fn from(e: BackupError) -> Self {
         TdbError::Backup(e)
+    }
+}
+
+impl TdbError {
+    /// Stable, layer-independent classification (see [`ErrorKind`]).
+    /// Applications should branch on this — e.g. retry on
+    /// [`ErrorKind::LockTimeout`] / [`ErrorKind::Deadlock`], refuse to open
+    /// on [`ErrorKind::Tamper`] / [`ErrorKind::Replay`] — instead of
+    /// matching layer-specific variants.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            TdbError::Chunk(e) => e.kind(),
+            TdbError::Object(e) => e.kind(),
+            TdbError::Collection(e) => e.kind(),
+            TdbError::Backup(e) => e.kind(),
+        }
+    }
+
+    /// Whether retrying the transaction is reasonable (lock timeouts and
+    /// deadlock victims).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.kind(), ErrorKind::LockTimeout | ErrorKind::Deadlock)
+    }
+}
+
+impl From<TdbError> for Error {
+    fn from(e: TdbError) -> Self {
+        Error::with_source(e.kind(), e)
     }
 }
 

@@ -10,8 +10,8 @@ use crate::schema::{register_tpcb_classes, register_tpcb_extractors, HistoryReco
 use std::sync::Arc;
 use tdb::platform::{MemSecretStore, OneWayCounter, SecretStore, UntrustedStore, VolatileCounter};
 use tdb::{
-    ClassRegistry, CollectionError, Database, DatabaseConfig, ExtractorRegistry, IndexKind,
-    IndexSpec, Key, ObjectStoreError,
+    ClassRegistry, CollectionError, Database, DatabaseConfig, Durability, ExtractorRegistry,
+    IndexKind, IndexSpec, Key, ObjectStoreError,
 };
 
 /// TDB under the TPC-B workload.
@@ -90,7 +90,7 @@ fn try_transfer(
         Ok(())
     })();
     match staged {
-        Ok(()) => t.commit(durable),
+        Ok(()) => t.commit(Durability::from(durable)),
         Err(e) => {
             t.abort();
             Err(e)
@@ -175,7 +175,7 @@ impl TpcbSystem for TdbDriver {
             // iterator snapshots skip it (the paper's §5.2.3 optimization).
             let spec = IndexSpec::new("by-id", extractor, unique, kind).immutable();
             t.create_collection(name, &[spec]).unwrap();
-            t.commit(true).unwrap();
+            t.commit(Durability::Durable).unwrap();
             // Bulk load in batches to keep individual commits reasonable.
             let mut id = 0u32;
             while id < size {
@@ -192,7 +192,7 @@ impl TpcbSystem for TdbDriver {
                     id += 1;
                 }
                 drop(coll);
-                t.commit(true).unwrap();
+                t.commit(Durability::Durable).unwrap();
             }
         }
         // Loading is not part of the measurement: checkpoint so the
@@ -212,7 +212,7 @@ impl TpcbSystem for TdbDriver {
             )))
             .unwrap();
         drop(history);
-        t.commit(self.durable).unwrap();
+        t.commit(Durability::from(self.durable)).unwrap();
     }
 
     fn disk_size(&self) -> u64 {
@@ -241,7 +241,7 @@ impl TdbDriver {
         let balance = rec.get().balance;
         drop(rec);
         it.close().unwrap();
-        t.commit(false).unwrap();
+        t.commit(Durability::Lazy).unwrap();
         balance
     }
 }

@@ -10,8 +10,9 @@ use std::ops::Bound;
 use std::sync::Arc;
 use tdb::platform::{ArchivalStore, MemArchive, MemSecretStore, MemStore, VolatileCounter};
 use tdb::{
-    impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, ExtractorRegistry,
-    IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
+    impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, Db, Durability,
+    ExtractorRegistry, IndexKind, IndexSpec, Key, Options, Persistent, PickleError, Pickler,
+    Unpickler,
 };
 
 const CLASS_BOOK: u32 = 0xB00C_0001;
@@ -51,16 +52,18 @@ fn registries() -> (ClassRegistry, ExtractorRegistry) {
     (classes, extractors)
 }
 
-fn new_device(label: &str) -> (Database, MemSecretStore) {
+fn new_device(label: &str) -> (Db, MemSecretStore) {
     let secret = MemSecretStore::from_label(label);
     let (classes, extractors) = registries();
-    let db = Database::create(
-        Arc::new(MemStore::new()),
-        &secret,
-        Arc::new(VolatileCounter::new()),
-        classes,
-        extractors,
-        DatabaseConfig::default(),
+    let db = Db::open(
+        Options::in_memory()
+            .with_substrates(
+                Arc::new(MemStore::new()),
+                secret.clone(),
+                Arc::new(VolatileCounter::new()),
+            )
+            .classes(classes)
+            .extractors(extractors),
     )
     .unwrap();
     (db, secret)
@@ -109,7 +112,7 @@ fn main() {
             .unwrap();
     }
     drop(books);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     // Nightly full backup to the archival store.
     let archive = Arc::new(MemArchive::new());
@@ -132,7 +135,7 @@ fn main() {
     }
     it.close().unwrap();
     drop(books);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let incr = mgr.backup_incremental(db.chunk_store()).unwrap();
     println!(
         "incremental backup: {incr} ({} bytes — snapshot-diff pruned)",
@@ -141,39 +144,36 @@ fn main() {
 
     // The reader is dropped in a lake. Restore onto a new device.
     let replacement = restore_device(&*archive, "reader-family-secret").unwrap();
-    let t = replacement.begin();
-    let books = t.read_collection("books").unwrap();
-    let it = books
+    // Verify through a snapshot-isolated read transaction (layer API — the
+    // restore handed back a `Database`).
+    let r = replacement.collections().begin_read();
+    let books = r.read_collection("books").unwrap();
+    let ids = books
         .exact("by-title", &Key::str("Permutation City"))
         .unwrap();
-    let b = it.read::<BookLedger>().unwrap();
-    println!(
-        "restored ledger:    Permutation City at page {}",
-        b.get().pages_read
-    );
-    assert_eq!(b.get().pages_read, 160);
-    drop(b);
-    it.close().unwrap();
+    let pages = books
+        .get::<BookLedger, _>(ids[0], |b| b.pages_read)
+        .unwrap();
+    println!("restored ledger:    Permutation City at page {pages}");
+    assert_eq!(pages, 160);
 
     // Range query on the derived-progress index: books with 100+ pages read.
-    let mut it = books
+    print!("well underway:     ");
+    for (_key, oid) in books
         .range(
             "by-progress",
             Bound::Included(&Key::I64(1)),
             Bound::Unbounded,
         )
-        .unwrap();
-    print!("well underway:     ");
-    while !it.end() {
-        let b = it.read::<BookLedger>().unwrap();
-        print!(" {:?}", b.get().title);
-        drop(b);
-        it.next();
+        .unwrap()
+    {
+        let title = books
+            .get::<BookLedger, _>(oid, |b| b.title.clone())
+            .unwrap();
+        print!(" {title:?}");
     }
     println!();
-    it.close().unwrap();
-    drop(books);
-    t.commit(false).unwrap();
+    r.finish();
 
     // A corrupted backup never restores, and never half-restores.
     archive.corrupt(&full, 50, 4).unwrap();

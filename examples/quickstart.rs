@@ -1,15 +1,16 @@
 //! Quickstart: create a TDB database on disk, store typed objects in an
-//! indexed collection, reopen it, and watch tamper detection fire.
+//! indexed collection, read it through a snapshot-isolated read
+//! transaction, reopen it, and watch tamper detection fire.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use std::sync::Arc;
-use tdb::platform::{DirStore, FileCounter, FileSecretStore, MemStore, UntrustedStore};
+use tdb::platform::{DirStore, MemStore, UntrustedStore};
 use tdb::{
-    impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, ExtractorRegistry,
-    IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
+    impl_persistent_boilerplate, ClassRegistry, Db, Durability, ExtractorRegistry, IndexKind,
+    IndexSpec, Key, Options, Persistent, PickleError, Pickler, Unpickler,
 };
 
 // --- 1. Define a persistent class (the paper's Fig. 4 `Meter`). -----------
@@ -46,32 +47,29 @@ fn registries() -> (ClassRegistry, ExtractorRegistry) {
     (classes, extractors)
 }
 
-fn main() {
-    // --- 2. Platform substrates: a directory as the untrusted store, a
-    // file-backed secret and one-way counter (exactly how the paper's own
-    // evaluation emulated the counter, §7.2).
-    let dir = tempfile::tempdir().expect("tempdir");
-    println!("database lives in {:?}", dir.path());
-    let untrusted = Arc::new(DirStore::new(dir.path().join("db")).unwrap());
-    let secret = FileSecretStore::open_or_init(dir.path().join("secret"), [42u8; 32]).unwrap();
-    let counter = Arc::new(FileCounter::open(dir.path().join("counter")).unwrap());
-
-    // --- 3. Create the database and a collection with a unique hash index.
+fn options(dir: &std::path::Path) -> Options {
     let (classes, extractors) = registries();
-    let db = Database::create(
-        untrusted.clone(),
-        &secret,
-        counter.clone(),
-        classes,
-        extractors,
-        DatabaseConfig::default(),
-    )
-    .unwrap();
+    Options::in_memory()
+        .at_dir(dir)
+        .classes(classes)
+        .extractors(extractors)
+}
 
+fn main() {
+    // --- 2. Open (creating) a directory-backed database: the log, the
+    // platform secret, and the one-way counter all live under `dir`
+    // (exactly how the paper's own evaluation emulated the counter, §7.2).
+    let tmp = tempfile::tempdir().expect("tempdir");
+    let dir = tmp.path().join("db");
+    println!("database lives in {dir:?}");
+    let db = Db::open(options(&dir)).unwrap();
+
+    // --- 3. Create a collection with a unique hash index and fill it.
+    let meters = db.collection::<u64, Meter>("meters");
     let t = db.begin();
-    let meters = t
-        .create_collection(
-            "meters",
+    meters
+        .ensure(
+            &t,
             &[IndexSpec::new(
                 "by-content",
                 "meter.content",
@@ -82,66 +80,59 @@ fn main() {
         .unwrap();
     for content_id in 1..=5u64 {
         meters
-            .insert(Box::new(Meter {
-                content_id,
-                view_count: 0,
-            }))
+            .insert(
+                &t,
+                Meter {
+                    content_id,
+                    view_count: 0,
+                },
+            )
             .unwrap();
     }
-    drop(meters);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     println!("created 5 meters");
 
-    // --- 4. A consumer views content #3: find by key, update through the
-    // iterator (the only writable path — see paper §5.2.2), commit durably.
+    // --- 4. A consumer views content #3: typed in-place update through a
+    // writable insensitive iterator, committed durably.
     let t = db.begin();
-    let meters = t.write_collection("meters").unwrap();
-    let mut it = meters.exact("by-content", &Key::U64(3)).unwrap();
-    {
-        let m = it.write::<Meter>().unwrap();
-        m.get_mut().view_count += 1;
-    }
-    it.close().unwrap();
-    drop(meters);
-    t.commit(true).unwrap();
+    let updated = meters
+        .update(&t, "by-content", 3, |m| m.view_count += 1)
+        .unwrap();
+    assert_eq!(updated, 1);
+    t.commit(Durability::Durable).unwrap();
     println!("content #3 viewed once");
 
-    // --- 5. Reopen (recovery + tamper validation) and read it back.
+    // --- 5. Snapshot-isolated read: zero locks, stable against concurrent
+    // writers and the log cleaner.
+    let r = db.begin_read();
+    let views = meters
+        .get(&r, "by-content", 3, |m| m.view_count)
+        .unwrap()
+        .expect("meter 3 exists");
+    println!("snapshot read: content #3 has {views} view(s)");
+    assert_eq!(views, 1);
+    assert_eq!(meters.len(&r).unwrap(), 5);
+    r.finish();
+
+    // --- 6. Reopen (recovery + tamper validation) and read it back.
     drop(db);
-    let (classes, extractors) = registries();
-    let db = Database::open(
-        untrusted,
-        &secret,
-        counter.clone(),
-        classes,
-        extractors,
-        DatabaseConfig::default(),
-    )
-    .unwrap();
-    let t = db.begin();
-    let meters = t.read_collection("meters").unwrap();
-    let it = meters.exact("by-content", &Key::U64(3)).unwrap();
-    let m = it.read::<Meter>().unwrap();
-    println!(
-        "after reopen: content #3 has {} view(s)",
-        m.get().view_count
+    let db = Db::open(options(&dir)).unwrap();
+    let r = db.begin_read();
+    assert_eq!(
+        meters.get(&r, "by-content", 3, |m| m.view_count).unwrap(),
+        Some(1)
     );
-    assert_eq!(m.get().view_count, 1);
-    drop(m);
-    it.close().unwrap();
-    drop(meters);
-    t.commit(false).unwrap();
+    println!("after reopen: content #3 still has 1 view");
+    r.finish();
     drop(db);
 
-    // --- 6. The attacker's turn: flip one byte of the stored log and try
+    // --- 7. The attacker's turn: flip one byte of the stored log and try
     // to open the database again. (Using an in-memory copy here so the
     // demo is self-contained; `MemStore::corrupt` is the attacker
     // primitive the test-suite uses throughout.)
     let evil = MemStore::new();
-    for name in
-        tdb::platform::UntrustedStore::list(&DirStore::new(dir.path().join("db")).unwrap()).unwrap()
-    {
-        let src = DirStore::new(dir.path().join("db")).unwrap();
+    for name in tdb::platform::UntrustedStore::list(&DirStore::new(&dir).unwrap()).unwrap() {
+        let src = DirStore::new(&dir).unwrap();
         let f = src.open(&name, false).unwrap();
         let len = f.len().unwrap() as usize;
         let mut buf = vec![0u8; len];
@@ -149,26 +140,27 @@ fn main() {
         evil.open(&name, true).unwrap().write_at(0, &buf).unwrap();
     }
     evil.corrupt("seg.000000", 100, 64).unwrap();
+    // Same secret + counter files, but the tampered in-memory log copy.
+    let secret =
+        tdb::platform::FileSecretStore::open_or_init(dir.join("secret.key"), [0u8; 32]).unwrap();
+    let counter = Arc::new(tdb::platform::FileCounter::open(dir.join("counter")).unwrap());
     let (classes, extractors) = registries();
-    let tamper_result = Database::open(
-        Arc::new(evil),
-        &secret,
-        counter,
-        classes,
-        extractors,
-        DatabaseConfig::default(),
+    let tamper_result = Db::open(
+        Options::in_memory()
+            .with_substrates(Arc::new(evil), secret, counter)
+            .classes(classes)
+            .extractors(extractors),
     )
     .map_err(|e| e.to_string())
     .and_then(|db| {
         // If the flipped bytes hit a dead log region, the open succeeds —
         // but reading every meter must then trip the Merkle check.
-        let t = db.begin();
-        let meters = t.read_collection("meters").map_err(|e| e.to_string())?;
+        let meters = db.collection::<u64, Meter>("meters");
+        let r = db.begin_read();
         for id in 1..=5u64 {
-            let it = meters
-                .exact("by-content", &Key::U64(id))
+            meters
+                .get(&r, "by-content", id, |m| m.view_count)
                 .map_err(|e| e.to_string())?;
-            let _ = it.read::<Meter>().map_err(|e| e.to_string())?;
         }
         Ok(())
     });

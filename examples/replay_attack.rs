@@ -13,9 +13,9 @@
 use std::sync::Arc;
 use tdb::platform::{MemSecretStore, MemStore, OneWayCounter, TamperableCounter, VolatileCounter};
 use tdb::{
-    impl_persistent_boilerplate, ChunkStoreError, ClassRegistry, Database, DatabaseConfig,
-    ExtractorRegistry, IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, TdbError,
-    Unpickler,
+    impl_persistent_boilerplate, ChunkStoreError, ClassRegistry, Db, Durability, ErrorKind,
+    ExtractorRegistry, IndexKind, IndexSpec, Key, Options, Persistent, PickleError, Pickler,
+    TdbError, Unpickler,
 };
 
 const CLASS_BALANCE: u32 = 0xBA1A_0001;
@@ -50,7 +50,7 @@ fn registries() -> (ClassRegistry, ExtractorRegistry) {
     (classes, extractors)
 }
 
-fn spend(db: &Database, cents: i64) {
+fn spend(db: &Db, cents: i64) {
     let t = db.begin();
     let c = t.write_collection("prepaid").unwrap();
     let mut it = c.exact("by-account", &Key::U64(1)).unwrap();
@@ -60,20 +60,16 @@ fn spend(db: &Database, cents: i64) {
     }
     it.close().unwrap();
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 }
 
-fn balance(db: &Database) -> i64 {
-    let t = db.begin();
-    let c = t.read_collection("prepaid").unwrap();
-    let it = c.exact("by-account", &Key::U64(1)).unwrap();
-    let p = it.read::<Prepaid>().unwrap();
-    let cents = p.get().cents;
-    drop(p);
-    it.close().unwrap();
-    drop(c);
-    t.commit(false).unwrap();
-    cents
+fn balance(db: &Db) -> i64 {
+    // Snapshot-isolated read: no locks, no commit needed.
+    let r = db.begin_read();
+    db.collection::<u64, Prepaid>("prepaid")
+        .get(&r, "by-account", 1, |p| p.cents)
+        .unwrap()
+        .expect("account 1 exists")
 }
 
 fn main() {
@@ -81,13 +77,15 @@ fn main() {
     let secret = MemSecretStore::from_label("set-top-box");
     let counter = VolatileCounter::new();
     let (classes, extractors) = registries();
-    let db = Database::create(
-        Arc::new(mem.clone()),
-        &secret,
-        Arc::new(counter.clone()),
-        classes,
-        extractors,
-        DatabaseConfig::default(),
+    let db = Db::open(
+        Options::in_memory()
+            .with_substrates(
+                Arc::new(mem.clone()),
+                secret.clone(),
+                Arc::new(counter.clone()),
+            )
+            .classes(classes)
+            .extractors(extractors),
     )
     .unwrap();
 
@@ -109,7 +107,7 @@ fn main() {
     }))
     .unwrap();
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     println!("balance: {}c", balance(&db));
 
     // The consumer images the storage while the balance is full...
@@ -127,20 +125,28 @@ fn main() {
     mem.restore_from(&saved);
     println!("(consumer writes the old image back)");
     let (classes, extractors) = registries();
-    match Database::open(
-        Arc::new(mem.clone()),
-        &secret,
-        Arc::new(counter.clone()),
-        classes,
-        extractors,
-        DatabaseConfig::default(),
+    match Db::open(
+        Options::in_memory()
+            .with_substrates(
+                Arc::new(mem.clone()),
+                secret.clone(),
+                Arc::new(counter.clone()),
+            )
+            .classes(classes)
+            .extractors(extractors),
     ) {
-        Err(TdbError::Chunk(ChunkStoreError::ReplayDetected {
-            anchor_counter,
-            hardware_counter,
-        })) => println!(
-            "replay detected: the image claims counter {anchor_counter}, the hardware says {hardware_counter}"
-        ),
+        Err(
+            e @ TdbError::Chunk(ChunkStoreError::ReplayDetected {
+                anchor_counter,
+                hardware_counter,
+            }),
+        ) => {
+            // The stable classification survives every layer of wrapping.
+            assert_eq!(e.kind(), ErrorKind::Replay);
+            println!(
+                "replay detected: the image claims counter {anchor_counter}, the hardware says {hardware_counter}"
+            );
+        }
         other => panic!("expected replay detection, got {:?}", other.map(|_| ())),
     }
 
@@ -149,13 +155,15 @@ fn main() {
     let mem = MemStore::new();
     let evil_counter = TamperableCounter::new();
     let (classes, extractors) = registries();
-    let db = Database::create(
-        Arc::new(mem.clone()),
-        &secret,
-        Arc::new(evil_counter.clone()),
-        classes,
-        extractors,
-        DatabaseConfig::default(),
+    let db = Db::open(
+        Options::in_memory()
+            .with_substrates(
+                Arc::new(mem.clone()),
+                secret.clone(),
+                Arc::new(evil_counter.clone()),
+            )
+            .classes(classes)
+            .extractors(extractors),
     )
     .unwrap();
     let t = db.begin();
@@ -176,7 +184,7 @@ fn main() {
     }))
     .unwrap();
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     let saved = mem.deep_clone();
     let counter_at_save = evil_counter.read().unwrap();
     spend(&db, 450);
@@ -184,13 +192,11 @@ fn main() {
     mem.restore_from(&saved);
     evil_counter.set(counter_at_save); // the hardware violation
     let (classes, extractors) = registries();
-    let db = Database::open(
-        Arc::new(mem),
-        &secret,
-        Arc::new(evil_counter),
-        classes,
-        extractors,
-        DatabaseConfig::default(),
+    let db = Db::open(
+        Options::in_memory()
+            .with_substrates(Arc::new(mem), secret.clone(), Arc::new(evil_counter))
+            .classes(classes)
+            .extractors(extractors),
     )
     .unwrap();
     println!(

@@ -51,6 +51,9 @@ fn main() {
     println!("  … at durable frontier{:>6}", report.recovered_at_frontier);
     println!("  tampers injected     {:>6}", report.tampers_injected);
     println!("  … detected           {:>6}", report.tampers_detected);
+    for (kind, n) in &report.tampers_detected_by_kind {
+        println!("    … as {:<12}    {:>6}", kind, n);
+    }
     println!("  … harmless           {:>6}", report.tampers_harmless);
     println!("  … skipped (no-op)    {:>6}", report.tampers_skipped);
     println!("  silent corruptions   {:>6}", report.silent_corruptions);
@@ -66,6 +69,11 @@ fn main() {
     row.push("recoveries_ok", report.recoveries_ok);
     row.push("tampers_injected", report.tampers_injected);
     row.push("tampers_detected", report.tampers_detected);
+    let mut by_kind = Json::obj();
+    for (kind, n) in &report.tampers_detected_by_kind {
+        by_kind.push(kind, *n);
+    }
+    row.push("tampers_detected_by_kind", by_kind);
     row.push("silent_corruptions", report.silent_corruptions);
     if let Some(commit) = obs.histograms.get("commit.total") {
         row.push("latency_ms", latency_ms_json(commit));

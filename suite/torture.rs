@@ -38,7 +38,8 @@ use tdb::platform::{
 };
 use tdb::{
     impl_persistent_boilerplate, ChunkStoreConfig, ClassRegistry, Database, DatabaseConfig,
-    ExtractorRegistry, IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
+    Durability, ErrorKind, ExtractorRegistry, IndexKind, IndexSpec, Key, Persistent, PickleError,
+    Pickler, TdbError, Unpickler,
 };
 
 const CLASS_CELL: u32 = 0x70B7_0001;
@@ -205,7 +206,7 @@ impl Rig {
                 .expect("setup insert");
         }
         drop(c);
-        t.commit(true).expect("setup commit");
+        t.commit(Durability::Durable).expect("setup commit");
         let setup_trace = plan.take_trace();
         (
             Rig {
@@ -240,7 +241,8 @@ fn run_step(db: &Database, step: &Step) -> Result<(), String> {
         Ok(())
     })();
     body?;
-    t.commit(step.durable).map_err(|e| e.to_string())
+    t.commit(Durability::from(step.durable))
+        .map_err(|e| e.to_string())
 }
 
 /// How far the workload got before the crash fired.
@@ -301,19 +303,20 @@ fn run_script(db: &Database, steps: &[Step]) -> RunResult {
 }
 
 /// Read the full recovered state back (every readable cell). A read-side
-/// tamper detection surfaces as `Err`.
-fn read_state(db: &Database) -> Result<State, String> {
+/// tamper detection surfaces as `Err` carrying the layer error, so callers
+/// can classify it by [`tdb::ErrorKind`].
+fn read_state(db: &Database) -> Result<State, TdbError> {
     let t = db.begin();
-    let c = t.read_collection("cells").map_err(|e| e.to_string())?;
+    let c = t.read_collection("cells")?;
     let mut state = State::new();
-    let mut it = c.scan("by-id").map_err(|e| e.to_string())?;
+    let mut it = c.scan("by-id")?;
     while !it.end() {
-        let cell = it.read::<Cell>().map_err(|e| e.to_string())?;
+        let cell = it.read::<Cell>()?;
         state.insert(cell.get().id, cell.get().val);
         drop(cell);
         it.next();
     }
-    it.close().map_err(|e| e.to_string())?;
+    it.close()?;
     Ok(state)
 }
 
@@ -348,6 +351,11 @@ pub struct TortureReport {
     pub tampers_injected: u64,
     /// Injected tampers rejected at recovery or read time.
     pub tampers_detected: u64,
+    /// Detected tampers broken down by the stable [`ErrorKind`] the
+    /// rejection surfaced as (key is the kind's `Debug` name). Every
+    /// detection must classify as a security kind — `Tamper`, `Replay` or
+    /// `Io` — never as a usage or not-found error.
+    pub tampers_detected_by_kind: BTreeMap<String, u64>,
     /// Injected tampers recovery absorbed while still producing an
     /// admissible state (the mutation only touched discarded bytes).
     pub tampers_harmless: u64,
@@ -555,9 +563,9 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
                 db_config(),
             );
             let verdict = match outcome {
-                Err(_) => Ok(()),
+                Err(e) => Ok(e.kind()),
                 Ok(db) => match read_state(&db) {
-                    Err(_) => Ok(()),
+                    Err(e) => Ok(e.kind()),
                     Ok(state) => {
                         if admissible.contains(&state) {
                             Err(true) // absorbed, but harmless
@@ -568,7 +576,20 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
                 },
             };
             match verdict {
-                Ok(()) => report.tampers_detected += 1,
+                Ok(kind) => {
+                    assert!(
+                        matches!(kind, ErrorKind::Tamper | ErrorKind::Replay | ErrorKind::Io),
+                        "{}: tamper rejection surfaced as {kind:?}, not a security kind \
+                         ({})",
+                        point.label,
+                        receipt.description
+                    );
+                    report.tampers_detected += 1;
+                    *report
+                        .tampers_detected_by_kind
+                        .entry(format!("{kind:?}"))
+                        .or_insert(0) += 1;
+                }
                 Err(true) => report.tampers_harmless += 1,
                 Err(false) => {
                     report.silent_corruptions += 1;
@@ -602,6 +623,11 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
         0,
         "torture sweep found silent corruptions:\n{}",
         report.failures.join("\n")
+    );
+    assert_eq!(
+        report.tampers_detected_by_kind.values().sum::<u64>(),
+        report.tampers_detected,
+        "per-kind detection counts must cover every detection"
     );
     assert_eq!(
         report.tampers_injected,

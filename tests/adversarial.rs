@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 use tdb::platform::{MemSecretStore, MemStore, OneWayCounter, UntrustedStore, VolatileCounter};
+use tdb::Durability;
 use tdb::{
     impl_persistent_boilerplate, ChunkStoreError, ClassRegistry, CollectionError, Database,
     DatabaseConfig, ExtractorRegistry, IndexKind, IndexSpec, Key, ObjectStoreError, Persistent,
@@ -73,7 +74,7 @@ fn build_database(mem: &MemStore, counter: &VolatileCounter) -> Vec<Vec<u8>> {
         payloads.push(payload);
     }
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
     payloads
 }
 
@@ -350,7 +351,7 @@ fn stale_segment_replay_is_detected_and_distinguishable() {
                 it.close().unwrap();
             }
             drop(c);
-            t.commit(true).unwrap();
+            t.commit(Durability::Durable).unwrap();
         }
         db.checkpoint().unwrap();
     }

@@ -25,6 +25,9 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
           "system": "TDB",
           "throughput_txn_per_sec": 812.5,
           "threads": 4,
+          "readers": 3,
+          "reader_ops_per_sec": 856.0,
+          "writer_txn_per_sec": 5248.0,
           "latency_ms": {"count": 100, "mean": 1.2, "p50": 1.0, "p90": 2.0, "p95": 2.5, "p99": 4.0, "p999": 9.5},
           "phases_ns": {
             "commit.seal": {"count": 100, "sum": 12345678, "min": 1000, "max": 99999, "mean": 123456.78, "p50": 1.0, "p90": 1.0, "p95": 1.0, "p99": 1.0},
@@ -59,6 +62,19 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
     corrupt(&|t| t.replace("\"results\": [", "\"results\": \"none\", \"unused\": ["));
     corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": \"four\""));
     corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": 0"));
+    corrupt(&|t| t.replace("\"readers\": 3", "\"readers\": \"three\""));
+    corrupt(&|t| {
+        t.replace(
+            "\"reader_ops_per_sec\": 856.0",
+            "\"reader_ops_per_sec\": null",
+        )
+    });
+    corrupt(&|t| {
+        t.replace(
+            "\"writer_txn_per_sec\": 5248.0",
+            "\"writer_txn_per_sec\": \"fast\"",
+        )
+    });
     corrupt(&|t| t.replace("\"p999\": 9.5", "\"p999\": \"tail\""));
     corrupt(&|t| t.replace("\"stalls\": 3", "\"stalls\": \"some\""));
     corrupt(&|t| {
@@ -95,7 +111,11 @@ fn emitted_bench_json_validates() {
     }
 
     if require {
-        for want in ["BENCH_overheads.json", "BENCH_fig10_tpcb.json"] {
+        for want in [
+            "BENCH_overheads.json",
+            "BENCH_fig10_tpcb.json",
+            "BENCH_fig_readers.json",
+        ] {
             assert!(
                 seen.iter().any(|n| n == want),
                 "REQUIRE_BENCH_JSON=1 but {want} is missing from {} (found: {seen:?})",

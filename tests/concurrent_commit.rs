@@ -9,6 +9,7 @@ use std::time::Duration;
 use tdb::platform::{
     FaultPlan, FaultStore, MemSecretStore, MemStore, UntrustedStore, VolatileCounter,
 };
+use tdb::Durability;
 use tdb::{
     impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, ExtractorRegistry,
     IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
@@ -90,7 +91,7 @@ fn create_accounts(db: &Database, n: u64) {
         c.insert(Box::new(Account::new(id))).unwrap();
     }
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 }
 
 /// One TPC-B-style transfer: move one unit from `from` to `to`, bumping
@@ -117,7 +118,7 @@ fn transfer(db: &Database, from: u64, to: u64) -> Result<(), String> {
         Ok(())
     })();
     match result {
-        Ok(()) => t.commit(true).map_err(|e| e.to_string()),
+        Ok(()) => t.commit(Durability::Durable).map_err(|e| e.to_string()),
         Err(e) => {
             t.abort();
             Err(e)
@@ -150,7 +151,7 @@ fn scan_accounts(db: &Database) -> (usize, i64, i64, Vec<(i64, i64)>) {
     }
     it.close().unwrap();
     drop(c);
-    t.commit(false).unwrap();
+    t.commit(Durability::Lazy).unwrap();
     per.sort_by_key(|(id, _, _)| *id);
     (
         seen,
@@ -354,12 +355,12 @@ fn failed_commit_discards_only_its_own_batch() {
             beta_ids.push(id);
         }
         plan.rearm(0);
-        assert!(store.commit_batch(b, true).is_err());
+        assert!(store.commit_batch(b, Durability::Durable).is_err());
         plan.rearm(u64::MAX);
 
         // a's staged write is untouched by b's failure and commits fine.
         assert_eq!(a.read(alpha).unwrap(), b"alpha survives");
-        store.commit_batch(a, true).unwrap();
+        store.commit_batch(a, Durability::Durable).unwrap();
         assert_eq!(store.read(alpha).unwrap(), b"alpha survives");
         for id in beta_ids {
             assert!(
@@ -419,10 +420,10 @@ fn interleaved_txn_failure_leaves_other_txn_intact() {
         bump(&t2, id, 99, 800).unwrap();
     }
     plan.rearm(0);
-    assert!(t2.commit(true).is_err());
+    assert!(t2.commit(Durability::Durable).is_err());
     plan.rearm(u64::MAX);
     // t1 is interleaved but must be immune.
-    t1.commit(true).unwrap();
+    t1.commit(Durability::Durable).unwrap();
 
     let (_, balance_sum, _, per) = scan_accounts(&db);
     assert_eq!(per[0].0, 10, "t1's committed update must survive");
@@ -436,7 +437,7 @@ fn interleaved_txn_failure_leaves_other_txn_intact() {
     // re-read above saw 0, not t2's in-flight 99).
     let t3 = db.begin();
     bump(&t3, 2, 1, 0).unwrap();
-    t3.commit(true).unwrap();
+    t3.commit(Durability::Durable).unwrap();
     let (_, _, _, per) = scan_accounts(&db);
     assert_eq!(per[2].0, 1);
 }
@@ -516,7 +517,7 @@ fn crossed_acquisition_timeout_classified_as_deadlock() {
                         drop(a);
                         it.close().unwrap();
                         drop(c);
-                        t.commit(true).unwrap();
+                        t.commit(Durability::Durable).unwrap();
                     }
                     Err(_) => {
                         failures.fetch_add(1, Ordering::Relaxed);

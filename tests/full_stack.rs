@@ -7,6 +7,7 @@ use tdb::platform::{
     DirStore, FaultPlan, FaultStore, FileCounter, FileSecretStore, MemArchive, MemSecretStore,
     MemStore, VolatileCounter,
 };
+use tdb::Durability;
 use tdb::{
     impl_persistent_boilerplate, ClassRegistry, Database, DatabaseConfig, ExtractorRegistry,
     IndexKind, IndexSpec, Key, Persistent, PickleError, Pickler, Unpickler,
@@ -64,7 +65,7 @@ fn bump(db: &Database, id: u64, delta: i64) {
     }
     it.close().unwrap();
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 }
 
 fn count_of(db: &Database, id: u64) -> i64 {
@@ -76,7 +77,7 @@ fn count_of(db: &Database, id: u64) -> i64 {
     drop(m);
     it.close().unwrap();
     drop(c);
-    t.commit(false).unwrap();
+    t.commit(Durability::Lazy).unwrap();
     n
 }
 
@@ -102,7 +103,7 @@ fn full_stack_on_real_files() {
             c.insert(Box::new(Meter { id, count: 0 })).unwrap();
         }
         drop(c);
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
         for round in 0..10 {
             bump(&db, round % 100, 1);
         }
@@ -155,7 +156,7 @@ fn crash_at_every_layer_boundary_preserves_invariants() {
                 c.insert(Box::new(Meter { id, count: 0 })).unwrap();
             }
             drop(c);
-            t.commit(true).unwrap();
+            t.commit(Durability::Durable).unwrap();
 
             plan.rearm(budget);
             let mut committed = 0i64;
@@ -175,7 +176,7 @@ fn crash_at_every_layer_boundary_preserves_invariants() {
                 if result.is_err() {
                     break;
                 }
-                match t.commit(true) {
+                match t.commit(Durability::Durable) {
                     Ok(()) => committed += 1,
                     Err(_) => break,
                 }
@@ -245,7 +246,7 @@ fn backup_cycle_through_facade() {
         .unwrap();
     }
     drop(c);
-    t.commit(true).unwrap();
+    t.commit(Durability::Durable).unwrap();
 
     let archive = Arc::new(MemArchive::new());
     let mut mgr = db.backup_manager(archive.clone(), &secret).unwrap();
@@ -311,7 +312,7 @@ fn mixed_object_and_collection_access() {
         let special = c.insert(Box::new(Meter { id: 999, count: -5 })).unwrap();
         drop(c);
         t.set_root("special-meter", special).unwrap();
-        t.commit(true).unwrap();
+        t.commit(Durability::Durable).unwrap();
         special
     };
 
@@ -322,5 +323,5 @@ fn mixed_object_and_collection_access() {
     let m = t.open_readonly::<Meter>(special).unwrap();
     assert_eq!(m.get().count, -5);
     drop(m);
-    t.commit(false).unwrap();
+    t.commit(Durability::Lazy).unwrap();
 }

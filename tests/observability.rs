@@ -7,6 +7,7 @@
 use std::sync::Arc;
 use tdb::obs;
 use tdb::platform::{MemSecretStore, MemStore, VolatileCounter};
+use tdb::Durability;
 use tdb::{ChunkStore, ChunkStoreConfig, SecurityMode};
 
 fn store(cfg: ChunkStoreConfig) -> ChunkStore {
@@ -42,7 +43,7 @@ fn commit_phase_spans_sum_close_to_total() {
     for _ in 0..40 {
         let id = st.allocate_chunk_id().unwrap();
         st.write(id, &payload).unwrap();
-        st.commit(true).unwrap();
+        st.commit(Durability::Durable).unwrap();
     }
     let snap = st.obs().snapshot().since(&base);
 
@@ -82,14 +83,14 @@ fn registry_counter_deltas_reconcile_with_stats_snapshot() {
     // Warm-up traffic so the deltas start from nonzero bases.
     let id0 = st.allocate_chunk_id().unwrap();
     st.write(id0, b"warmup").unwrap();
-    st.commit(true).unwrap();
+    st.commit(Durability::Durable).unwrap();
 
     let stats_base = st.stats();
     let obs_base = st.obs().snapshot();
     for i in 0..7 {
         let id = st.allocate_chunk_id().unwrap();
         st.write(id, &vec![i as u8; 512]).unwrap();
-        st.commit(i % 2 == 0).unwrap();
+        st.commit(Durability::from(i % 2 == 0)).unwrap();
     }
     st.checkpoint().unwrap();
 
@@ -130,7 +131,7 @@ fn recovery_phases_recorded_on_open() {
         .unwrap();
         let id = st.allocate_chunk_id().unwrap();
         st.write(id, b"persisted").unwrap();
-        st.commit(true).unwrap();
+        st.commit(Durability::Durable).unwrap();
     }
     let st = ChunkStore::open(mem, &secret, counter, ChunkStoreConfig::default()).unwrap();
     let snap = st.obs().snapshot();

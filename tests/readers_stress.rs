@@ -1,0 +1,209 @@
+//! Stress: snapshot-isolated readers racing read-write transactions and
+//! forced log cleaning, with a money-conservation oracle.
+//!
+//! Writers transfer balance between accounts (the total is invariant);
+//! every reader snapshot must observe a transaction-consistent state, i.e.
+//! the sum of all balances always equals the initial total — regardless of
+//! how many transfers commit or how often the cleaner relocates chunks
+//! while the reader is open. Run with `--release` in CI.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use tdb::{
+    impl_persistent_boilerplate, Db, Durability, IndexKind, IndexSpec, Key, Options, Persistent,
+    PickleError, Pickler, Unpickler,
+};
+
+const CLASS_ACCOUNT: u32 = 0xACC7_0002;
+const ACCOUNTS: i64 = 8;
+const INITIAL: i64 = 1_000;
+
+struct Account {
+    id: i64,
+    balance: i64,
+}
+
+impl Persistent for Account {
+    impl_persistent_boilerplate!(CLASS_ACCOUNT);
+    fn pickle(&self, w: &mut Pickler) {
+        w.i64(self.id);
+        w.i64(self.balance);
+    }
+}
+
+fn unpickle_account(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Account {
+        id: r.i64()?,
+        balance: r.i64()?,
+    }))
+}
+
+fn open_db() -> Db {
+    // Tiny segments force the cleaner to actually relocate live chunks
+    // under the open snapshots.
+    Db::open(
+        Options::in_memory()
+            .secret_label("readers-stress")
+            .chunk_config(tdb::ChunkStoreConfig::small_for_tests())
+            .register_class(CLASS_ACCOUNT, "Account", unpickle_account)
+            .register_extractor("acct.id", |o| {
+                tdb::extractor_typed::<Account>(o, |a| Key::I64(a.id))
+            }),
+    )
+    .unwrap()
+}
+
+#[test]
+fn readers_vs_writers_vs_cleaner() {
+    let db = open_db();
+    let accounts = db.collection::<i64, Account>("accounts");
+
+    let t = db.begin();
+    accounts
+        .ensure(
+            &t,
+            &[IndexSpec::new("by-id", "acct.id", true, IndexKind::BTree)],
+        )
+        .unwrap();
+    for id in 0..ACCOUNTS {
+        accounts
+            .insert(
+                &t,
+                Account {
+                    id,
+                    balance: INITIAL,
+                },
+            )
+            .unwrap();
+    }
+    t.commit(Durability::Durable).unwrap();
+
+    let writers = 2;
+    let readers = 4;
+    let transfers_per_writer: u64 = if cfg!(debug_assertions) { 150 } else { 600 };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let snapshots_checked = Arc::new(AtomicU64::new(0));
+    let start = Arc::new(Barrier::new(writers + readers + 2));
+    let mut handles = Vec::new();
+
+    // Writers: random-ish transfers keep the total invariant.
+    for w in 0..writers {
+        let db = db.clone();
+        let accounts = accounts.clone();
+        let start = start.clone();
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            let mut state = 0x9E37_79B9u64.wrapping_add(w as u64);
+            let mut rand = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut done: u64 = 0;
+            while done < transfers_per_writer {
+                let from = (rand() % ACCOUNTS as u64) as i64;
+                let to = (rand() % ACCOUNTS as u64) as i64;
+                if from == to {
+                    continue;
+                }
+                let amount = (rand() % 50) as i64 + 1;
+                let t = db.begin();
+                let moved = (|| -> Result<bool, tdb::TdbError> {
+                    let a = accounts.update(&t, "by-id", from, |acc| acc.balance -= amount)?;
+                    let b = accounts.update(&t, "by-id", to, |acc| acc.balance += amount)?;
+                    Ok(a == 1 && b == 1)
+                })();
+                match moved {
+                    Ok(true) => {
+                        // Alternate durable / lazy commits.
+                        let durability = Durability::from(done.is_multiple_of(2));
+                        if t.commit(durability).is_ok() {
+                            done += 1;
+                        }
+                    }
+                    Ok(false) => t.abort(),
+                    Err(e) if e.is_retryable() => t.abort(),
+                    Err(e) => panic!("writer failed: {e}"),
+                }
+            }
+        }));
+    }
+
+    // Readers: every snapshot must conserve money and see all accounts.
+    for _ in 0..readers {
+        let db = db.clone();
+        let accounts = accounts.clone();
+        let stop = stop.clone();
+        let start = start.clone();
+        let checked = snapshots_checked.clone();
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let r = db.begin_read();
+                let entries = accounts.scan(&r, "by-id").unwrap();
+                assert_eq!(entries.len(), ACCOUNTS as usize);
+                let coll = accounts.read(&r).unwrap();
+                let mut total = 0i64;
+                for (_key, oid) in &entries {
+                    total += coll.get::<Account, _>(*oid, |a| a.balance).unwrap();
+                }
+                assert_eq!(
+                    total,
+                    ACCOUNTS * INITIAL,
+                    "snapshot at seq {} is not transaction-consistent",
+                    r.commit_seq()
+                );
+                // Point lookups against the same snapshot agree with the scan.
+                let probe = (r.commit_seq() % ACCOUNTS as u64) as i64;
+                assert!(accounts
+                    .get(&r, "by-id", probe, |a| a.balance)
+                    .unwrap()
+                    .is_some());
+                r.finish();
+                checked.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // Cleaner: force checkpoint + cleaning passes the whole time.
+    {
+        let db = db.clone();
+        let stop = stop.clone();
+        let start = start.clone();
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let _ = db.checkpoint();
+                let _ = db.clean();
+                std::thread::yield_now();
+            }
+        }));
+    }
+
+    start.wait();
+    // Main thread: wait for writers (the first `writers` handles).
+    let mut handles = handles.into_iter();
+    for _ in 0..writers {
+        handles.next().unwrap().join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert!(
+        snapshots_checked.load(Ordering::Relaxed) > 0,
+        "readers never completed a snapshot check"
+    );
+
+    // Final ground truth through a fresh snapshot.
+    let r = db.begin_read();
+    let coll = accounts.read(&r).unwrap();
+    let mut total = 0;
+    for (_k, oid) in coll.scan("by-id").unwrap() {
+        total += coll.get::<Account, _>(oid, |a| a.balance).unwrap();
+    }
+    assert_eq!(total, ACCOUNTS * INITIAL);
+}
