@@ -20,19 +20,29 @@ use tpcb::{
 
 /// Worker threads: `--threads N` wins over `THREADS=N`; default 1.
 fn threads_arg() -> usize {
-    let mut threads = std::env::var("THREADS")
+    arg_or_env("--threads", "THREADS", 1)
+}
+
+/// Chunk-store shards for the extra sharded row: `--shards N` wins over
+/// `SHARDS=N`; default 1 (no sharded row).
+fn shards_arg() -> usize {
+    arg_or_env("--shards", "SHARDS", 1)
+}
+
+fn arg_or_env(flag: &str, env: &str, default: usize) -> usize {
+    let mut value = std::env::var(env)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+        .unwrap_or(default);
     let args: Vec<String> = std::env::args().collect();
     for i in 0..args.len() {
-        if args[i] == "--threads" {
+        if args[i] == flag {
             if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-                threads = v;
+                value = v;
             }
         }
     }
-    threads.max(1)
+    value.max(1)
 }
 
 /// `STORE=dir` runs on real files in a temp directory (slower but closer
@@ -83,16 +93,78 @@ fn run_tdb_chunk(
     } else {
         run_benchmark(&mut driver, cfg)
     };
+    // The registry's `chunk.*` counters and the legacy snapshot read the
+    // same atomics — a mismatch here means the wiring regressed. Each shard
+    // owns its own registry, so the reconciliation is per shard (at the
+    // default single shard this is exactly the whole-store check).
+    let chunks = driver.database().chunk_store();
+    for i in 0..chunks.shards() {
+        let shard = chunks.shard(i);
+        assert_eq!(
+            shard
+                .obs()
+                .snapshot()
+                .counters
+                .get("chunk.commits")
+                .copied()
+                .unwrap_or(0),
+            shard.stats().commits,
+            "shard {i}: registry counters must reconcile with StatsSnapshot"
+        );
+    }
     let stats = driver.database().stats();
     let obs = driver.database().obs().snapshot();
-    // The registry's `chunk.*` counters and the legacy snapshot read the
-    // same atomics — a mismatch here means the wiring regressed.
-    assert_eq!(
-        obs.counters.get("chunk.commits").copied().unwrap_or(0),
-        stats.commits,
-        "registry counters must reconcile with StatsSnapshot"
-    );
     (report, stats, obs)
+}
+
+/// Run TPC-B on an `n`-shard store and collect the per-shard telemetry the
+/// aggregate snapshot flattens: each shard's commit count and its
+/// group-commit histogram (every shard runs its own group-commit
+/// coordinator, so group sizes are only meaningful per shard).
+fn run_tdb_sharded(
+    cfg: &TpcbConfig,
+    n: usize,
+    store: Arc<dyn UntrustedStore>,
+) -> (
+    BenchReport,
+    chunk_store::StatsSnapshot,
+    RegistrySnapshot,
+    Json,
+) {
+    let chunk = ChunkStoreConfig {
+        security: SecurityMode::Off,
+        max_utilization: 0.60,
+        shards: n,
+        ..ChunkStoreConfig::default()
+    };
+    let db_cfg = DatabaseConfig {
+        chunk,
+        ..DatabaseConfig::default()
+    };
+    let mut driver = TdbDriver::new(store, db_cfg);
+    let report = if cfg.threads > 1 {
+        run_benchmark_threaded(&mut driver, cfg)
+    } else {
+        run_benchmark(&mut driver, cfg)
+    };
+    let chunks = driver.database().chunk_store();
+    let per_shard = Json::array((0..chunks.shards()).map(|i| {
+        let shard = chunks.shard(i);
+        let s = shard.stats();
+        let snap = shard.obs().snapshot();
+        let mut o = Json::obj();
+        o.push("shard", i as u64);
+        o.push("commits", s.commits);
+        o.push("bytes_appended", s.chunk_bytes_appended);
+        if let Some(h) = snap.histograms.get("commit.group_size") {
+            o.push("group_commits", h.count());
+            o.push("group_size_mean", h.sum as f64 / h.count().max(1) as f64);
+        }
+        o
+    }));
+    let stats = driver.database().stats();
+    let obs = driver.database().obs().snapshot();
+    (report, stats, obs, per_shard)
 }
 
 /// One `results[]` row of the BENCH_fig10_tpcb.json document.
@@ -149,6 +221,7 @@ fn forced_cleaning_chunk(background: bool) -> ChunkStoreConfig {
 
 fn main() {
     let threads = threads_arg();
+    let shards = shards_arg();
     let cfg = TpcbConfig {
         scale: env_f64("SCALE", 0.1),
         transactions: env_u64("TXNS", 40_000),
@@ -238,6 +311,28 @@ fn main() {
         None
     };
 
+    // Sharded comparison: the same workload on an N-shard store (each
+    // shard with its own log, location map, and group-commit coordinator,
+    // all under the one root-of-roots). Single-shard TPC-B transactions
+    // keep the fast path; the row records shard count and the per-shard
+    // commit/group-size telemetry the aggregate snapshot flattens.
+    let sharded = if shards > 1 {
+        let s_cfg = TpcbConfig {
+            threads,
+            ..cfg.clone()
+        };
+        let (r, s, obs, per_shard) = run_tdb_sharded(&s_cfg, shards, make_store(&mut keep));
+        println!();
+        println!(
+            "sharded ({shards} shards, {threads} thread(s)): {:.4} ms/txn vs unsharded {:.4} ms/txn, \
+             {:.0} bytes/txn",
+            r.avg_response_ms, tdb_report.avg_response_ms, r.bytes_per_txn
+        );
+        Some((r, s, obs, per_shard))
+    } else {
+        None
+    };
+
     // Maintenance tail-latency comparison: the same threaded workload on a
     // file-backed store with cleaning forced active, differing only in
     // where maintenance runs. Inline maintenance (the pre-thread behavior)
@@ -299,6 +394,7 @@ fn main() {
     config.push("transactions", cfg.transactions);
     config.push("seed", cfg.seed);
     config.push("threads", threads as u64);
+    config.push("shards", shards as u64);
     let mut doc = bench_doc("fig10_tpcb", config);
     push_result(&mut doc, result_row("BerkeleyDB", &bdb_report, None));
     push_result(&mut doc, result_row("TDB", &tdb_report, Some(&tdb_obs)));
@@ -309,6 +405,13 @@ fn main() {
             result_row("TDB-durable", one_report, Some(one_obs)),
         );
         push_result(&mut doc, result_row("TDB-mt", mt_report, Some(mt_obs)));
+    }
+    if let Some((r, s, obs, per_shard)) = sharded {
+        let mut row = result_row("TDB-sharded", &r, Some(&obs));
+        row.push("shards", shards as u64);
+        row.push("per_shard", per_shard);
+        row.push("maintenance", maintenance_json(&s));
+        push_result(&mut doc, row);
     }
     if let Some(((inline_r, inline_s, inline_obs), (bg_r, bg_s, bg_obs))) = &maint {
         let mut row = result_row("TDB-maint-inline", inline_r, Some(inline_obs));

@@ -57,6 +57,8 @@ fn main() {
     let mut mgr = db
         .backup_manager(Arc::new(MemArchive::new()), &secret)
         .unwrap();
-    let _ = mgr.backup_full(db.chunk_store()).unwrap();
+    let _ = mgr
+        .backup_full(db.chunk_store().unsharded().unwrap())
+        .unwrap();
     println!("{n}");
 }

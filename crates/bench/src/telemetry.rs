@@ -108,7 +108,11 @@ pub fn write_bench_json(name: &str, doc: &Json) -> std::io::Result<PathBuf> {
 ///   row was measured under: wakeups, stalls, cleaner passes/slices, ...);
 /// - any `threads` field in a result row is a positive integer (worker
 ///   threads the row was measured with; rows omitting it are single-run
-///   rows from before the field existed).
+///   rows from before the field existed);
+/// - any `shards` field in a result row is a positive integer (chunk-store
+///   shards the row was measured with; unsharded rows omit it);
+/// - any `per_shard` field is an array of objects with only numeric values
+///   (one entry per shard: commit counts, group-commit sizes, ...).
 pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
     let obj = doc.as_obj().ok_or("top level is not an object")?;
     let field = |k: &str| {
@@ -143,6 +147,26 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
                 "phases_ns" => validate_phases(v).map_err(|e| format!("results[{i}]: {e}"))?,
                 "threads" if v.as_u64().filter(|t| *t >= 1).is_none() => {
                     return Err(format!("results[{i}]: threads not a positive integer"));
+                }
+                "shards" if v.as_u64().filter(|s| *s >= 1).is_none() => {
+                    return Err(format!("results[{i}]: shards not a positive integer"));
+                }
+                "per_shard" => {
+                    let arr = v
+                        .as_arr()
+                        .ok_or(format!("results[{i}]: per_shard not an array"))?;
+                    for (j, entry) in arr.iter().enumerate() {
+                        let eo = entry
+                            .as_obj()
+                            .ok_or(format!("results[{i}]: per_shard[{j}] not an object"))?;
+                        for (name, val) in eo {
+                            if val.as_f64().is_none() {
+                                return Err(format!(
+                                    "results[{i}]: per_shard[{j}] entry `{name}` not numeric"
+                                ));
+                            }
+                        }
+                    }
                 }
                 "readers" if v.as_u64().is_none() => {
                     return Err(format!("results[{i}]: readers not a non-negative integer"));
@@ -284,6 +308,49 @@ mod tests {
         row.push("maintenance", maint);
         push_result(&mut doc, row);
         assert!(validate_bench_doc(&doc).is_err());
+
+        // A shard count of zero is as malformed as a non-numeric one.
+        let mut doc = bench_doc("x", Json::obj());
+        let mut row = Json::obj();
+        row.push("shards", 0u64);
+        push_result(&mut doc, row);
+        assert!(validate_bench_doc(&doc).is_err());
+
+        // per_shard must be an array of numeric-valued objects.
+        let mut doc = bench_doc("x", Json::obj());
+        let mut row = Json::obj();
+        row.push("per_shard", "two of them");
+        push_result(&mut doc, row);
+        assert!(validate_bench_doc(&doc).is_err());
+
+        let mut doc = bench_doc("x", Json::obj());
+        let mut row = Json::obj();
+        let mut entry = Json::obj();
+        entry.push("shard", 0u64);
+        entry.push("group_size_mean", "big");
+        row.push("per_shard", Json::array([entry]));
+        push_result(&mut doc, row);
+        assert!(validate_bench_doc(&doc).is_err());
+    }
+
+    #[test]
+    fn sharded_rows_validate() {
+        let mut doc = bench_doc("x", Json::obj());
+        let mut row = Json::obj();
+        row.push("system", "TDB-sharded");
+        row.push("shards", 2u64);
+        row.push(
+            "per_shard",
+            Json::array((0..2u64).map(|i| {
+                let mut o = Json::obj();
+                o.push("shard", i);
+                o.push("commits", 50u64);
+                o.push("group_size_mean", 1.5);
+                o
+            })),
+        );
+        push_result(&mut doc, row);
+        validate_bench_doc(&doc).unwrap();
     }
 
     #[test]

@@ -88,6 +88,13 @@ pub struct ChunkStoreConfig {
     /// Chunks relocated per maintenance slice. Bounds how long the store
     /// lock is held by one slice of a background cleaning pass.
     pub maintenance_slice_chunks: usize,
+    /// Number of independent chunk-store shards the object space is
+    /// partitioned across (see [`ShardedChunkStore`](crate::ShardedChunkStore)).
+    /// Each shard gets its own log, location map, and group-commit
+    /// coordinator; a root-of-roots record binds the per-shard anchors to
+    /// the single one-way counter. 1 (the default) is today's unsharded
+    /// layout, bit-for-bit.
+    pub shards: usize,
 }
 
 impl Default for ChunkStoreConfig {
@@ -107,6 +114,7 @@ impl Default for ChunkStoreConfig {
             clean_low_free: 1,
             clean_high_free: 2,
             maintenance_slice_chunks: 64,
+            shards: 1,
         }
     }
 }
@@ -148,6 +156,9 @@ impl ChunkStoreConfig {
         }
         if self.maintenance_slice_chunks == 0 {
             return Err("maintenance_slice_chunks must be at least 1".into());
+        }
+        if !(1..=64).contains(&self.shards) {
+            return Err("shards must be between 1 and 64".into());
         }
         Ok(())
     }
@@ -196,6 +207,13 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        for shards in [0usize, 65] {
+            let c = ChunkStoreConfig {
+                shards,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]

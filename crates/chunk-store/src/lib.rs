@@ -56,6 +56,7 @@ pub(crate) mod maintenance;
 pub mod map;
 pub mod recovery;
 pub mod segment;
+pub mod sharded;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -65,6 +66,7 @@ pub use error::{ChunkStoreError, Result};
 pub use ids::{ChunkId, SegmentId};
 pub use map::Location;
 pub use recovery::RecoveryReport;
+pub use sharded::{ShardedChunkStore, ShardedCommitTicket, ShardedSnapshot, ShardedWriteBatch};
 pub use snapshot::{Snapshot, SnapshotDiff};
 pub use stats::StatsSnapshot;
 pub use store::{ChunkStore, CommitTicket, WriteBatch};

@@ -60,6 +60,14 @@ macro_rules! counters {
                     $( $name: self.$name.wrapping_sub(earlier.$name), )*
                 }
             }
+
+            /// Field-wise sum — aggregation across the shards of a
+            /// [`ShardedChunkStore`](crate::ShardedChunkStore).
+            pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.wrapping_add(other.$name), )*
+                }
+            }
         }
     };
 }

@@ -1642,6 +1642,26 @@ impl ChunkStore {
         self.core.wait_ticket(ticket)
     }
 
+    /// Whether commit records exist past the last written anchor. Cheap
+    /// (one lock, one atomic load); the sharded store uses it to decide
+    /// which sibling shards a durable commit must harden.
+    pub(crate) fn needs_anchor(&self) -> bool {
+        let commit_seq = self.core.inner.lock().commit_seq;
+        commit_seq > self.core.durable_seq.load(Ordering::Acquire)
+    }
+
+    /// Force one sync/anchor/counter round covering everything appended so
+    /// far — the empty-durable-commit barrier, callable without a batch.
+    pub(crate) fn harden(&self) -> Result<()> {
+        self.core.wait_ticket(CommitTicket {
+            seq: 0,
+            empty: true,
+            durable: true,
+            sampled: false,
+            total: Stopwatch::inert(),
+        })
+    }
+
     /// Apply an incremental delta at exact chunk ids (backup restore). Ids
     /// newly above the high-water mark extend it; removed ids become free.
     pub fn apply_restore_delta(

@@ -1,0 +1,347 @@
+//! Property tests for the sharded chunk store's router: stable routing
+//! across reopen, observable equivalence of `shards = 1` with the plain
+//! store, and rejection of shard-count changes on an existing database.
+
+use chunk_store::{
+    ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError, Durability, ShardedChunkStore,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tdb_core::ErrorKind;
+use tdb_platform::{MemSecretStore, MemStore, UntrustedStore, VolatileCounter};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a chunk and commit `len` bytes of deterministic content.
+    Insert { len: usize },
+    /// Overwrite the i-th live chunk (mod live count).
+    Update { pick: usize, len: usize },
+    /// Deallocate the i-th live chunk.
+    Remove { pick: usize },
+    /// Close and reopen (recovery; durable state must round-trip).
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (1usize..200).prop_map(|len| Op::Insert { len }),
+        4 => (any::<usize>(), 1usize..200).prop_map(|(pick, len)| Op::Update { pick, len }),
+        2 => any::<usize>().prop_map(|pick| Op::Remove { pick }),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn content(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed as u8).wrapping_mul(31).wrapping_add(i as u8))
+        .collect()
+}
+
+fn cfg(shards: usize) -> ChunkStoreConfig {
+    let mut cfg = ChunkStoreConfig::small_for_tests();
+    cfg.shards = shards;
+    cfg
+}
+
+fn pick_id(model: &HashMap<u64, Vec<u8>>, pick: usize) -> Option<ChunkId> {
+    if model.is_empty() {
+        return None;
+    }
+    let mut ids: Vec<u64> = model.keys().copied().collect();
+    ids.sort_unstable();
+    Some(ChunkId(ids[pick % ids.len()]))
+}
+
+/// Apply one op as its own durable batch commit. Returns the commit
+/// sequence, or `None` for ops that committed nothing.
+fn apply(
+    store: &ShardedChunkStore,
+    model: &mut HashMap<u64, Vec<u8>>,
+    op: &Op,
+    seed: u64,
+) -> Option<u64> {
+    let mut batch = store.begin_batch();
+    match op {
+        Op::Insert { len } => {
+            let id = batch.allocate_chunk_id().unwrap();
+            let data = content(seed, *len);
+            batch.write(id, &data).unwrap();
+            model.insert(id.0, data);
+        }
+        Op::Update { pick, len } => {
+            let Some(id) = pick_id(model, *pick) else {
+                batch.discard();
+                return None;
+            };
+            let data = content(seed ^ 0xA5, *len);
+            batch.write(id, &data).unwrap();
+            model.insert(id.0, data);
+        }
+        Op::Remove { pick } => {
+            let Some(id) = pick_id(model, *pick) else {
+                batch.discard();
+                return None;
+            };
+            batch.deallocate(id).unwrap();
+            model.remove(&id.0);
+        }
+        Op::Reopen => unreachable!("handled by the caller"),
+    }
+    let ticket = store.append_batch(batch, Durability::Durable).unwrap();
+    let seq = ticket.seq();
+    store.wait_durable(ticket).unwrap();
+    Some(seq)
+}
+
+fn check(store: &ShardedChunkStore, model: &HashMap<u64, Vec<u8>>, reserved: u64, ctx: &str) {
+    for (id, data) in model {
+        let got = store
+            .read(ChunkId(*id))
+            .unwrap_or_else(|e| panic!("{ctx}: chunk {id} unreadable: {e}"));
+        assert_eq!(&got, data, "{ctx}: chunk {id} content mismatch");
+    }
+    assert_eq!(
+        store.live_chunks(),
+        model.len() as u64 + reserved,
+        "{ctx}: live chunk count"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random ops against a 3-shard store: every committed chunk must read
+    /// back across arbitrarily many reopens, i.e. the global-id routing
+    /// must be a pure function of id and shard count, never of history.
+    #[test]
+    fn routing_is_stable_under_reopen(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mem = MemStore::new();
+        let counter = VolatileCounter::new();
+        let secret = MemSecretStore::from_label("router-reopen");
+        let mut store = ShardedChunkStore::create(
+            Arc::new(mem.clone()),
+            &secret,
+            Arc::new(counter.clone()),
+            cfg(3),
+        )
+        .unwrap();
+        // 3 shards reserve one local chunk each (coordination directory +
+        // witness rings).
+        let reserved = 3;
+        let mut model = HashMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            let ctx = format!("step {step} ({op:?})");
+            if matches!(op, Op::Reopen) {
+                store.close();
+                drop(store);
+                store = ShardedChunkStore::open(
+                    Arc::new(mem.clone()),
+                    &secret,
+                    Arc::new(counter.clone()),
+                    cfg(3),
+                )
+                .unwrap();
+            } else {
+                apply(&store, &mut model, op, step as u64);
+            }
+            check(&store, &model, reserved, &ctx);
+        }
+        store.close();
+        drop(store);
+        let store = ShardedChunkStore::open(Arc::new(mem), &secret, Arc::new(counter), cfg(3))
+            .unwrap();
+        check(&store, &model, reserved, "final reopen");
+    }
+
+    /// A 1-shard `ShardedChunkStore` must be observably identical to the
+    /// plain `ChunkStore` under the same op sequence: same contents, same
+    /// commit sequences, same live counts, same file name set, and the
+    /// same recovery report after reopen. (Byte-level equality is not
+    /// expected — IVs are salted per process clock.)
+    #[test]
+    fn one_shard_store_matches_the_unsharded_store(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mem_s = MemStore::new();
+        let mem_p = MemStore::new();
+        let counter_s = VolatileCounter::new();
+        let counter_p = VolatileCounter::new();
+        let secret = MemSecretStore::from_label("router-equiv");
+        let mut sharded = ShardedChunkStore::create(
+            Arc::new(mem_s.clone()),
+            &secret,
+            Arc::new(counter_s.clone()),
+            cfg(1),
+        )
+        .unwrap();
+        let mut plain = ChunkStore::create(
+            Arc::new(mem_p.clone()),
+            &secret,
+            Arc::new(counter_p.clone()),
+            cfg(1),
+        )
+        .unwrap();
+
+        let mut model = HashMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            let ctx = format!("step {step} ({op:?})");
+            if matches!(op, Op::Reopen) {
+                sharded.close();
+                plain.close();
+                drop(sharded);
+                drop(plain);
+                sharded = ShardedChunkStore::open(
+                    Arc::new(mem_s.clone()),
+                    &secret,
+                    Arc::new(counter_s.clone()),
+                    cfg(1),
+                )
+                .unwrap();
+                plain = ChunkStore::open(
+                    Arc::new(mem_p.clone()),
+                    &secret,
+                    Arc::new(counter_p.clone()),
+                    cfg(1),
+                )
+                .unwrap();
+                let rs = sharded.recovery_report().unwrap();
+                let rp = plain.recovery_report().unwrap();
+                assert_eq!(
+                    (rs.base_seq, rs.last_seq, rs.commits_replayed, rs.nondurable_discarded),
+                    (rp.base_seq, rp.last_seq, rp.commits_replayed, rp.nondurable_discarded),
+                    "{ctx}: recovery reports diverge"
+                );
+                continue;
+            }
+            let mut model_plain = model.clone();
+            let seq_s = apply(&sharded, &mut model, op, step as u64);
+            // Mirror the op against the plain store with the same picks.
+            let seq_p = {
+                let mut batch = plain.begin_batch();
+                let committed = match op {
+                    Op::Insert { len } => {
+                        let id = batch.allocate_chunk_id().unwrap();
+                        let data = content(step as u64, *len);
+                        batch.write(id, &data).unwrap();
+                        model_plain.insert(id.0, data);
+                        true
+                    }
+                    Op::Update { pick, len } => match pick_id(&model_plain, *pick) {
+                        Some(id) => {
+                            let data = content(step as u64 ^ 0xA5, *len);
+                            batch.write(id, &data).unwrap();
+                            model_plain.insert(id.0, data);
+                            true
+                        }
+                        None => false,
+                    },
+                    Op::Remove { pick } => match pick_id(&model_plain, *pick) {
+                        Some(id) => {
+                            batch.deallocate(id).unwrap();
+                            model_plain.remove(&id.0);
+                            true
+                        }
+                        None => false,
+                    },
+                    Op::Reopen => unreachable!(),
+                };
+                if committed {
+                    let ticket = plain.append_batch(batch, Durability::Durable).unwrap();
+                    let seq = ticket.seq();
+                    plain.wait_durable(ticket).unwrap();
+                    Some(seq)
+                } else {
+                    batch.discard();
+                    None
+                }
+            };
+            assert_eq!(model, model_plain, "{ctx}: models diverge (id allocation)");
+            assert_eq!(seq_s, seq_p, "{ctx}: commit sequences diverge");
+            assert_eq!(sharded.live_chunks(), plain.live_chunks(), "{ctx}: live counts");
+            for (id, data) in &model {
+                assert_eq!(&sharded.read(ChunkId(*id)).unwrap(), data, "{ctx}: sharded read");
+                assert_eq!(&plain.read(ChunkId(*id)).unwrap(), data, "{ctx}: plain read");
+            }
+        }
+        let mut names_s = mem_s.list().unwrap();
+        let mut names_p = mem_p.list().unwrap();
+        names_s.sort();
+        names_p.sort();
+        assert_eq!(names_s, names_p, "file name sets diverge");
+        assert!(
+            names_s.iter().all(|n| !n.contains("--") && !n.starts_with("rr.")),
+            "1-shard store must not use shard prefixes or a root-of-roots: {names_s:?}"
+        );
+    }
+}
+
+/// Changing the shard count of an existing database must be rejected as a
+/// usage error at open, for every direction of the change.
+#[test]
+fn shard_count_changes_are_rejected_at_open() {
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let secret = MemSecretStore::from_label("router-mismatch");
+    let store = ShardedChunkStore::create(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(counter.clone()),
+        cfg(2),
+    )
+    .unwrap();
+    store.close();
+    drop(store);
+    for wrong in [1usize, 3, 4] {
+        let err = match ShardedChunkStore::open(
+            Arc::new(mem.clone()),
+            &secret,
+            Arc::new(counter.clone()),
+            cfg(wrong),
+        ) {
+            Ok(_) => panic!("open with a different shard count must fail"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, ChunkStoreError::ConfigMismatch(_)),
+            "open with {wrong} shards surfaced {err:?}"
+        );
+        assert_eq!(err.kind(), ErrorKind::Usage);
+    }
+    // The right count still opens.
+    ShardedChunkStore::open(Arc::new(mem), &secret, Arc::new(counter), cfg(2)).unwrap();
+}
+
+/// An unsharded database reopened with `shards > 1` (and vice versa) is a
+/// configuration error, not data loss or a fresh create.
+#[test]
+fn sharding_an_existing_unsharded_database_is_rejected() {
+    let mem = MemStore::new();
+    let counter = VolatileCounter::new();
+    let secret = MemSecretStore::from_label("router-upgrade");
+    let store = ShardedChunkStore::create(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(counter.clone()),
+        cfg(1),
+    )
+    .unwrap();
+    store.close();
+    drop(store);
+    let err = match ShardedChunkStore::open(
+        Arc::new(mem.clone()),
+        &secret,
+        Arc::new(counter.clone()),
+        cfg(2),
+    ) {
+        Ok(_) => panic!("sharding an unsharded database must fail"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), ErrorKind::Usage, "surfaced {err:?}");
+    // And creating over it is equally rejected.
+    let err = match ShardedChunkStore::create(Arc::new(mem), &secret, Arc::new(counter), cfg(2)) {
+        Ok(_) => panic!("creating over an existing database must fail"),
+        Err(e) => e,
+    };
+    assert!(!matches!(err.kind(), ErrorKind::Tamper | ErrorKind::Replay));
+}

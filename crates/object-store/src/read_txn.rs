@@ -24,7 +24,7 @@ use crate::error::{ObjectStoreError, Result};
 use crate::reader::ObjectReader;
 use crate::store::{ObjectCell, ObjectStore};
 use crate::{ObjectId, Persistent};
-use chunk_store::Snapshot;
+use chunk_store::ShardedSnapshot;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -39,7 +39,7 @@ use tdb_obs::Counter;
 /// when dropped (or via [`finish`](ReadTransaction::finish)).
 pub struct ReadTransaction {
     store: ObjectStore,
-    snap: Snapshot,
+    snap: ShardedSnapshot,
     /// Snapshot-private cells decoded via the fallback path, memoized so a
     /// scan touching the same node twice unpickles once.
     fallback: Mutex<HashMap<u64, Arc<ObjectCell>>>,
@@ -50,7 +50,7 @@ pub struct ReadTransaction {
 }
 
 impl ReadTransaction {
-    pub(crate) fn new(store: ObjectStore, snap: Snapshot) -> Self {
+    pub(crate) fn new(store: ObjectStore, snap: ShardedSnapshot) -> Self {
         let obs = store.obs();
         ReadTransaction {
             store,
@@ -62,14 +62,17 @@ impl ReadTransaction {
         }
     }
 
-    /// The chunk-store commit sequence this reader observes: every commit
-    /// with sequence `<=` this value is visible, every later one is not.
+    /// The highest chunk-store commit sequence this reader observes
+    /// across shards. On an unsharded store every commit with sequence
+    /// `<=` this value is visible, every later one is not; at shard
+    /// counts above 1 visibility is per shard (see
+    /// [`ShardedSnapshot::seq_for`]).
     pub fn commit_seq(&self) -> u64 {
         self.snap.commit_seq()
     }
 
     /// The underlying pinned snapshot (for diffing/backup interop).
-    pub fn snapshot(&self) -> &Snapshot {
+    pub fn snapshot(&self) -> &ShardedSnapshot {
         &self.snap
     }
 
@@ -149,7 +152,7 @@ impl ReadTransaction {
             // stamp describes.
             let guard = cell.data.read();
             if !cell.dirty.load(Ordering::Acquire)
-                && cell.version.load(Ordering::Acquire) <= self.snap.commit_seq()
+                && cell.version.load(Ordering::Acquire) <= self.snap.seq_for(oid)
             {
                 self.fast_hits.inc();
                 return f(&**guard);
@@ -181,7 +184,7 @@ impl ReadTransaction {
             data: RwLock::new(obj),
             dirty: AtomicBool::new(false),
             size: AtomicUsize::new(bytes.len()),
-            version: AtomicU64::new(self.snap.commit_seq()),
+            version: AtomicU64::new(self.snap.seq_for(oid)),
         });
         Ok(self.fallback.lock().entry(oid.0).or_insert(cell).clone())
     }

@@ -6,7 +6,7 @@ use crate::locks::{LockManager, LockStats};
 use crate::pickle::{Pickler, Unpickler};
 use crate::txn::{Transaction, TxnCore};
 use crate::{ChunkId, ObjectId};
-use chunk_store::{ChunkStore, Durability};
+use chunk_store::{ChunkStore, Durability, ShardedChunkStore};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -233,7 +233,7 @@ pub(crate) struct StoreState {
 }
 
 pub(crate) struct OsInner {
-    pub(crate) chunks: Arc<ChunkStore>,
+    pub(crate) chunks: Arc<ShardedChunkStore>,
     pub(crate) registry: ClassRegistry,
     pub(crate) state: Mutex<StoreState>,
     cache_shards: Vec<Mutex<CacheShard>>,
@@ -290,6 +290,19 @@ impl ObjectStore {
         registry: ClassRegistry,
         cfg: ObjectStoreConfig,
     ) -> Result<Self> {
+        Self::create_sharded(
+            Arc::new(ShardedChunkStore::from_single(chunks)),
+            registry,
+            cfg,
+        )
+    }
+
+    /// Create an object store over a fresh, possibly sharded chunk store.
+    pub fn create_sharded(
+        chunks: Arc<ShardedChunkStore>,
+        registry: ClassRegistry,
+        cfg: ObjectStoreConfig,
+    ) -> Result<Self> {
         let mut batch = chunks.begin_batch();
         let roots_chunk = batch.allocate_chunk_id()?;
         if roots_chunk.0 != 0 {
@@ -311,6 +324,19 @@ impl ObjectStore {
         registry: ClassRegistry,
         cfg: ObjectStoreConfig,
     ) -> Result<Self> {
+        Self::open_sharded(
+            Arc::new(ShardedChunkStore::from_single(chunks)),
+            registry,
+            cfg,
+        )
+    }
+
+    /// Open an object store over an existing, possibly sharded chunk store.
+    pub fn open_sharded(
+        chunks: Arc<ShardedChunkStore>,
+        registry: ClassRegistry,
+        cfg: ObjectStoreConfig,
+    ) -> Result<Self> {
         let roots_chunk = ChunkId(0);
         let bytes = chunks.read(roots_chunk)?;
         let roots = Self::unpickle_roots(&bytes)?;
@@ -320,7 +346,7 @@ impl ObjectStore {
     }
 
     fn build(
-        chunks: Arc<ChunkStore>,
+        chunks: Arc<ShardedChunkStore>,
         registry: ClassRegistry,
         mut cfg: ObjectStoreConfig,
         roots_chunk: ObjectId,
@@ -378,7 +404,7 @@ impl ObjectStore {
     pub(crate) fn persist_roots_into(
         roots: &HashMap<String, ObjectId>,
         roots_chunk: ObjectId,
-        batch: &mut chunk_store::WriteBatch,
+        batch: &mut chunk_store::ShardedWriteBatch,
     ) -> Result<()> {
         let mut w = Pickler::new();
         w.u32(ROOTS_MAGIC);
@@ -401,7 +427,7 @@ impl ObjectStore {
     pub(crate) fn apply_root_updates(
         &self,
         updates: &HashMap<String, Option<ObjectId>>,
-        batch: &mut chunk_store::WriteBatch,
+        batch: &mut chunk_store::ShardedWriteBatch,
     ) -> Result<Vec<(String, Option<ObjectId>)>> {
         let mut state = self.inner.state.lock();
         let mut undo = Vec::with_capacity(updates.len());
@@ -469,8 +495,10 @@ impl ObjectStore {
         names
     }
 
-    /// The underlying chunk store (for snapshots, backups, stats).
-    pub fn chunk_store(&self) -> &Arc<ChunkStore> {
+    /// The underlying (sharded) chunk store — for snapshots, backups,
+    /// stats. At shard count 1 this is a transparent wrapper around the
+    /// plain [`ChunkStore`].
+    pub fn chunk_store(&self) -> &Arc<ShardedChunkStore> {
         &self.inner.chunks
     }
 

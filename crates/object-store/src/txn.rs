@@ -6,7 +6,7 @@ use crate::locks::LockMode;
 use crate::refs::{ReadonlyRef, WritableRef};
 use crate::store::{ObjectCell, ObjectStore};
 use crate::{ChunkId, ObjectId, Persistent};
-use chunk_store::{Durability, WriteBatch};
+use chunk_store::{Durability, ShardedWriteBatch};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::marker::PhantomData;
@@ -57,7 +57,7 @@ pub struct Transaction {
     /// This transaction's private chunk staging area. Ids allocate from it
     /// and pickled objects stage into it, so concurrent transactions never
     /// share write state; `None` once commit has consumed it.
-    batch: Mutex<Option<WriteBatch>>,
+    batch: Mutex<Option<ShardedWriteBatch>>,
 }
 
 impl Transaction {
@@ -313,11 +313,15 @@ impl Transaction {
             }
         };
 
-        for cell in sets.written.values() {
+        for (oid, cell) in sets.written.iter() {
             // Stamp the commit sequence *before* clearing dirty: a snapshot
             // reader that observes `!dirty` must also observe a version
-            // that tells it whether its snapshot predates this commit.
-            cell.version.store(ticket.seq(), Ordering::Release);
+            // that tells it whether its snapshot predates this commit. The
+            // stamp is per object: in a sharded store each shard has its
+            // own sequence space, so the version must be the sequence the
+            // object's *own* shard assigned to this commit.
+            cell.version
+                .store(ticket.seq_for(ChunkId(*oid)), Ordering::Release);
             cell.dirty.store(false, Ordering::Release);
         }
         for oid in &sets.removed {

@@ -39,4 +39,4 @@ pub use fault::{
     WriteEvent,
 };
 pub use secret::{FileSecretStore, MemSecretStore, SecretStore};
-pub use untrusted::{DirStore, MemStore, RandomAccessFile, UntrustedStore};
+pub use untrusted::{DirStore, MemStore, PrefixedStore, RandomAccessFile, UntrustedStore};

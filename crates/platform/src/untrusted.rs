@@ -222,6 +222,72 @@ impl UntrustedStore for MemStore {
 }
 
 // ---------------------------------------------------------------------------
+// Name-prefixed view
+// ---------------------------------------------------------------------------
+
+/// A view of an untrusted store under a flat name prefix.
+///
+/// Every file name is prepended with `prefix` on the way in and stripped on
+/// the way out of [`list`](UntrustedStore::list), so several independent
+/// stores (e.g. the shards of a sharded chunk store) can share one backing
+/// namespace without colliding. The prefix stays flat — no separators that
+/// [`DirStore`] would reject — and because the wrapping happens *above* the
+/// backing store, fault-injection wrappers underneath observe the prefixed
+/// names and can attribute every write to its shard.
+pub struct PrefixedStore {
+    inner: Arc<dyn UntrustedStore>,
+    prefix: String,
+}
+
+impl PrefixedStore {
+    /// View `inner` under `prefix`. The prefix must be flat (no path
+    /// separators) so prefixed names stay valid for every backing store.
+    pub fn new(inner: Arc<dyn UntrustedStore>, prefix: impl Into<String>) -> Self {
+        let prefix = prefix.into();
+        assert!(
+            !prefix.contains('/') && !prefix.contains('\\'),
+            "prefixes must be flat"
+        );
+        PrefixedStore { inner, prefix }
+    }
+
+    fn full(&self, name: &str) -> String {
+        format!("{}{}", self.prefix, name)
+    }
+}
+
+impl UntrustedStore for PrefixedStore {
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn RandomAccessFile>> {
+        self.inner.open(&self.full(name), create)
+    }
+
+    fn exists(&self, name: &str) -> Result<bool> {
+        self.inner.exists(&self.full(name))
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.inner.remove(&self.full(name))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .list()?
+            .into_iter()
+            .filter_map(|n| n.strip_prefix(&self.prefix).map(str::to_string))
+            .collect())
+    }
+
+    fn total_size(&self) -> Result<u64> {
+        let mut total = 0;
+        for name in self.list()? {
+            total += self.open(&name, false)?.len()?;
+        }
+        Ok(total)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Directory-backed implementation
 // ---------------------------------------------------------------------------
 
@@ -394,6 +460,24 @@ mod tests {
     #[test]
     fn mem_store_semantics() {
         exercise_store(&MemStore::new());
+    }
+
+    #[test]
+    fn prefixed_store_isolates_namespaces() {
+        let backing = Arc::new(MemStore::new());
+        let a = PrefixedStore::new(backing.clone(), "a--");
+        let b = PrefixedStore::new(backing.clone(), "b--");
+        exercise_store(&a);
+        a.open("f", true).unwrap().write_at(0, b"in a").unwrap();
+        assert!(!b.exists("f").unwrap());
+        b.open("f", true).unwrap().write_at(0, b"in b!").unwrap();
+        // The backing store sees both, under their prefixed names.
+        assert!(backing.exists("a--f").unwrap());
+        assert_eq!(backing.raw("b--f").unwrap(), b"in b!");
+        // Each view lists only its own names, stripped.
+        assert!(b.list().unwrap().contains(&"f".to_string()));
+        assert!(!a.list().unwrap().contains(&"b--f".to_string()));
+        assert_eq!(b.total_size().unwrap(), 5);
     }
 
     #[test]

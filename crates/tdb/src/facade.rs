@@ -167,6 +167,15 @@ impl Options {
         self
     }
 
+    /// Partition the chunk store across `n` shards, each with its own log,
+    /// location map, and commit pipeline, all anchored under one
+    /// root-of-roots and one one-way counter (default: 1, unsharded). The
+    /// count is fixed at creation; reopening with a different count fails.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.chunk.shards = n;
+        self
+    }
+
     /// Replace the object-store tuning knobs (cache budget, shard count,
     /// lock timeout, locking on/off).
     pub fn store_options(mut self, store: StoreOptions) -> Self {
@@ -175,9 +184,16 @@ impl Options {
     }
 
     /// Overlay `TDB_*` environment variables onto the store options (see
-    /// [`StoreOptions::from_env`]).
+    /// [`StoreOptions::from_env`]) and the chunk configuration
+    /// (`TDB_SHARDS`). Unset or unparsable variables leave current values.
     pub fn from_env(mut self) -> Self {
         self.store = self.store.from_env();
+        if let Some(n) = std::env::var("TDB_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            self.chunk.shards = n;
+        }
         self
     }
 

@@ -78,8 +78,8 @@ pub use tdb_core::{Durability, Error, ErrorKind};
 
 pub use backup_store::{BackupError, BackupManager};
 pub use chunk_store::{
-    ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError, RecoveryReport, SecurityMode, Snapshot,
-    SnapshotDiff, StatsSnapshot,
+    ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError, RecoveryReport, SecurityMode,
+    ShardedChunkStore, ShardedSnapshot, Snapshot, SnapshotDiff, StatsSnapshot,
 };
 pub use collection_store::{
     CIter, CTransaction, Collection, CollectionError, CollectionStore, ExtractorFn,
@@ -234,8 +234,10 @@ impl Database {
         cfg: DatabaseConfig,
     ) -> Result<Self> {
         let security = cfg.chunk.security;
-        let chunks = Arc::new(ChunkStore::create(untrusted, secret, counter, cfg.chunk)?);
-        let collections = CollectionStore::create(chunks, classes, extractors, cfg.object)?;
+        let chunks = Arc::new(ShardedChunkStore::create(
+            untrusted, secret, counter, cfg.chunk,
+        )?);
+        let collections = CollectionStore::create_sharded(chunks, classes, extractors, cfg.object)?;
         Ok(Database {
             collections,
             security,
@@ -253,8 +255,10 @@ impl Database {
         cfg: DatabaseConfig,
     ) -> Result<Self> {
         let security = cfg.chunk.security;
-        let chunks = Arc::new(ChunkStore::open(untrusted, secret, counter, cfg.chunk)?);
-        let collections = CollectionStore::open(chunks, classes, extractors, cfg.object)?;
+        let chunks = Arc::new(ShardedChunkStore::open(
+            untrusted, secret, counter, cfg.chunk,
+        )?);
+        let collections = CollectionStore::open_sharded(chunks, classes, extractors, cfg.object)?;
         Ok(Database {
             collections,
             security,
@@ -270,8 +274,7 @@ impl Database {
         extractors: ExtractorRegistry,
         cfg: DatabaseConfig,
     ) -> Result<Self> {
-        let exists = untrusted.exists("anchor.a").unwrap_or(false)
-            || untrusted.exists("anchor.b").unwrap_or(false);
+        let exists = ShardedChunkStore::database_exists(untrusted.as_ref()).unwrap_or(false);
         if exists {
             Self::open(untrusted, secret, counter, classes, extractors, cfg)
         } else {
@@ -295,8 +298,10 @@ impl Database {
         self.collections.object_store()
     }
 
-    /// The chunk store.
-    pub fn chunk_store(&self) -> &Arc<ChunkStore> {
+    /// The (sharded) chunk store. At shard count 1 — the default — it is a
+    /// transparent wrapper around the single underlying [`ChunkStore`],
+    /// reachable via [`ShardedChunkStore::unsharded`].
+    pub fn chunk_store(&self) -> &Arc<ShardedChunkStore> {
         self.collections.chunk_store()
     }
 
@@ -351,6 +356,11 @@ impl Database {
         extractors: ExtractorRegistry,
         cfg: DatabaseConfig,
     ) -> Result<Self> {
+        if cfg.chunk.shards != 1 {
+            return Err(TdbError::Chunk(ChunkStoreError::ConfigMismatch(
+                "restore targets an unsharded database; set shards = 1".into(),
+            )));
+        }
         let security = cfg.chunk.security;
         let chunks = Arc::new(ChunkStore::create(untrusted, secret, counter, cfg.chunk)?);
         BackupManager::restore_latest(archive, secret, security, &chunks)?;

@@ -2,7 +2,7 @@
 //! stack. See `suite/torture.rs` for the harness itself.
 //!
 //! ```text
-//! tdb-torture [--cells N] [--steps N] [--seed N] [--quiet]
+//! tdb-torture [--cells N] [--steps N] [--seed N] [--shards N] [--quiet]
 //! ```
 //!
 //! Exits nonzero (panics) if any crash point recovers to an inadmissible
@@ -19,6 +19,7 @@ fn main() {
         cells: 6,
         steps: 16,
         seed: 7,
+        shards: 1,
         verbose: true,
     };
     let mut args = std::env::args().skip(1);
@@ -32,9 +33,12 @@ fn main() {
             "--cells" => cfg.cells = num("--cells"),
             "--steps" => cfg.steps = num("--steps"),
             "--seed" => cfg.seed = num("--seed"),
+            "--shards" => cfg.shards = num("--shards") as usize,
             "--quiet" => cfg.verbose = false,
             "--help" | "-h" => {
-                println!("usage: tdb-torture [--cells N] [--steps N] [--seed N] [--quiet]");
+                println!(
+                    "usage: tdb-torture [--cells N] [--steps N] [--seed N] [--shards N] [--quiet]"
+                );
                 return;
             }
             other => panic!("unknown argument {other:?} (try --help)"),
@@ -62,6 +66,7 @@ fn main() {
     config.push("cells", cfg.cells);
     config.push("steps", cfg.steps);
     config.push("seed", cfg.seed);
+    config.push("shards", cfg.shards as u64);
     let mut doc = bench_doc("torture", config);
     let mut row = Json::obj();
     row.push("system", "TDB");

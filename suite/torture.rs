@@ -87,6 +87,11 @@ pub struct TortureConfig {
     pub steps: u64,
     /// Master seed; fixes the script and every tamper pick.
     pub seed: u64,
+    /// Chunk-store shards. At 1 (the default) the oracle demands an exact
+    /// script prefix; at 2+ the script adds cross-shard transfers and the
+    /// oracle relaxes to per-cell admissible windows plus all-or-nothing
+    /// atomicity (see [`admissible_at`]).
+    pub shards: usize,
     /// Print one line per crash point.
     pub verbose: bool,
 }
@@ -97,6 +102,7 @@ impl Default for TortureConfig {
             cells: 4,
             steps: 10,
             seed: 7,
+            shards: 1,
             verbose: false,
         }
     }
@@ -112,6 +118,10 @@ impl Default for TortureConfig {
 struct Step {
     insert: Option<u64>,
     bump: Option<(u64, i64)>,
+    /// Balanced transfer `a += d, b -= d` in one transaction — the
+    /// cross-shard workload for sharded runs (consecutive cell ids land on
+    /// different shards under round-robin chunk routing).
+    transfer: Option<(u64, u64, i64)>,
     durable: bool,
     maintain: bool,
 }
@@ -125,18 +135,34 @@ fn script(cfg: &TortureConfig) -> Vec<Step> {
         .map(|i| {
             let r = rng.next_u64();
             let maintain = i % 5 == 0;
+            let durable = r % 3 != 0;
             if i % 4 == 0 {
                 Step {
                     insert: Some(1_000 + i),
                     bump: None,
-                    durable: r % 3 != 0,
+                    transfer: None,
+                    durable,
+                    maintain,
+                }
+            } else if cfg.shards >= 2 && i % 3 != 0 {
+                // Adjacent cells have consecutive chunk ids, which
+                // round-robin routing places on different shards: every
+                // transfer is a cross-shard commit at 2 shards.
+                let a = r % cfg.cells;
+                let b = (a + 1) % cfg.cells;
+                Step {
+                    insert: None,
+                    bump: None,
+                    transfer: Some((a, b, (r % 97) as i64 + 1)),
+                    durable,
                     maintain,
                 }
             } else {
                 Step {
                     insert: None,
                     bump: Some((r % cfg.cells, (r % 97) as i64 + 1)),
-                    durable: r % 3 != 0,
+                    transfer: None,
+                    durable,
                     maintain,
                 }
             }
@@ -156,6 +182,10 @@ fn oracle_states(cfg: &TortureConfig, steps: &[Step]) -> Vec<State> {
         if let Some((id, delta)) = s.bump {
             *state.get_mut(&id).expect("bump target exists") += delta;
         }
+        if let Some((a, b, delta)) = s.transfer {
+            *state.get_mut(&a).expect("transfer source exists") += delta;
+            *state.get_mut(&b).expect("transfer target exists") -= delta;
+        }
         states.push(state.clone());
     }
     states
@@ -170,9 +200,11 @@ struct Rig {
     db: Database,
 }
 
-fn db_config() -> DatabaseConfig {
+fn db_config(shards: usize) -> DatabaseConfig {
+    let mut chunk = ChunkStoreConfig::small_for_tests();
+    chunk.shards = shards;
     DatabaseConfig {
-        chunk: ChunkStoreConfig::small_for_tests(),
+        chunk,
         ..Default::default()
     }
 }
@@ -194,7 +226,7 @@ impl Rig {
             Arc::new(counter.clone()),
             classes,
             extractors,
-            db_config(),
+            db_config(cfg.shards),
         )
         .expect("fault-free create");
         let t = db.begin();
@@ -237,6 +269,16 @@ fn run_step(db: &Database, step: &Step) -> Result<(), String> {
                 cell.get_mut().val += delta;
             }
             it.close().map_err(|e| e.to_string())?;
+        }
+        if let Some((a, b, delta)) = step.transfer {
+            for (id, d) in [(a, delta), (b, -delta)] {
+                let mut it = c.exact("by-id", &Key::U64(id)).map_err(|e| e.to_string())?;
+                {
+                    let cell = it.write::<Cell>().map_err(|e| e.to_string())?;
+                    cell.get_mut().val += d;
+                }
+                it.close().map_err(|e| e.to_string())?;
+            }
         }
         Ok(())
     })();
@@ -318,6 +360,94 @@ fn read_state(db: &Database) -> Result<State, TdbError> {
     }
     it.close()?;
     Ok(state)
+}
+
+/// Whether `state` is admissible given `window`, the oracle states
+/// `states[lo..]` from the durable frontier (step `lo`) through the
+/// crashed step (oldest first). Returns `Ok(Some(i))` for an exact match
+/// with `window[i]`, `Ok(None)` for a relaxed-only match, `Err(why)` for
+/// an inadmissible state.
+///
+/// With one shard the recovered state must be an **exact script prefix**:
+/// one of the window states, nothing torn or merged. With 2+ shards each
+/// shard replays its own log to its own frontier (a checkpoint on one
+/// shard hardens lazy commits the others lost), so the exact-prefix demand
+/// is unsound; the oracle relaxes to what the sharded store does
+/// guarantee:
+///
+/// * **per-cell windows** — every cell's recovered value appears for that
+///   cell in some window state, cells present at the durable frontier are
+///   present, and no cell exists that the window never contains;
+/// * **all-or-nothing transfers** — for every transfer step in the
+///   window, the positions its two cells' recovered values can occupy in
+///   the window must agree on whether the transfer applied. A torn
+///   transfer (one leg applied, the other lost) pins one cell before the
+///   step and the other at-or-after it, and is rejected.
+fn admissible_at(
+    cfg: &TortureConfig,
+    steps: &[Step],
+    lo: usize,
+    window: &[State],
+    state: &State,
+) -> Result<Option<usize>, String> {
+    if let Some(at) = window.iter().position(|s| s == state) {
+        return Ok(Some(at));
+    }
+    if cfg.shards == 1 {
+        return Err("state matches no admissible script prefix".into());
+    }
+    let frontier = window.first().expect("window is never empty");
+    for id in frontier.keys() {
+        if !state.contains_key(id) {
+            return Err(format!(
+                "cell {id} present at the durable frontier is missing"
+            ));
+        }
+    }
+    for (id, val) in state {
+        if !window.iter().any(|s| s.get(id) == Some(val)) {
+            return Err(format!(
+                "cell {id} recovered as {val}, which no admissible state contains"
+            ));
+        }
+    }
+    for (t, step) in steps.iter().enumerate().map(|(i, s)| (i + 1, s)) {
+        let Some((a, b, _)) = step.transfer else {
+            continue;
+        };
+        if t <= lo {
+            continue; // durably applied before the window
+        }
+        let wt = t - lo;
+        if wt >= window.len() {
+            break; // never executed; later steps are out of the window too
+        }
+        // Window positions each cell's recovered value can occupy, split
+        // at the transfer: positions < wt exclude it, >= wt include it.
+        let spans = |id: u64| -> (bool, bool) {
+            let mut pre = false;
+            let mut post = false;
+            for (j, s) in window.iter().enumerate() {
+                if s.get(&id) == state.get(&id) {
+                    if j < wt {
+                        pre = true;
+                    } else {
+                        post = true;
+                    }
+                }
+            }
+            (pre, post)
+        };
+        let (a_pre, a_post) = spans(a);
+        let (b_pre, b_post) = spans(b);
+        if !((a_pre && b_pre) || (a_post && b_post)) {
+            return Err(format!(
+                "transfer atomicity violated at step {t}: cells {a} and {b} disagree \
+                 on whether the transfer applied"
+            ));
+        }
+    }
+    Ok(None)
 }
 
 /// One swept crash point.
@@ -442,6 +572,10 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
         cfg.cells > 0,
         "torture workload needs at least one cell (--cells)"
     );
+    assert!(
+        cfg.shards == 1 || cfg.cells >= 2,
+        "sharded torture transfers need at least two cells (--cells)"
+    );
     let steps = script(cfg);
     let states = oracle_states(cfg, &steps);
     let (writes, syncs, points) = enumerate_boundaries(cfg, &steps);
@@ -489,7 +623,7 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
                 Arc::new(counter_at(hw)),
                 classes,
                 extractors,
-                db_config(),
+                db_config(cfg.shards),
             )
         };
         let db = match recovered {
@@ -498,28 +632,29 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
         };
         let state = read_state(&db)
             .unwrap_or_else(|e| panic!("{}: pure-crash read-back failed: {e}", point.label));
-        let Some(at) = admissible.iter().position(|s| *s == state) else {
-            panic!(
-                "{}: SILENT CORRUPTION on pure crash — recovered state matches no \
-                 admissible prefix (durable frontier {} .. crashed step {})\n\
+        let at = match admissible_at(cfg, &steps, run.last_durable_acked, admissible, &state) {
+            Ok(at) => at,
+            Err(why) => panic!(
+                "{}: SILENT CORRUPTION on pure crash — {why} \
+                 (durable frontier {} .. crashed step {})\n\
                  recovered: {state:?}\nadmissible: {admissible:?}",
                 point.label, run.last_durable_acked, run.crashed_step
-            );
+            ),
         };
         report.recoveries_ok += 1;
-        if at + 1 == admissible.len() {
+        if at == Some(admissible.len() - 1) {
             report.recovered_at_frontier += 1;
         }
         let chunks = db.chunk_store();
-        let rr = chunks
-            .recovery_report()
-            .expect("opened store carries a recovery report");
-        assert_eq!(
-            rr.last_seq - rr.base_seq,
-            rr.commits_replayed,
-            "{}: recovery report inconsistent: {rr:?}",
-            point.label
-        );
+        for (shard, rr) in chunks.recovery_reports().into_iter().enumerate() {
+            let rr = rr.expect("opened store carries a recovery report per shard");
+            assert_eq!(
+                rr.last_seq - rr.base_seq,
+                rr.commits_replayed,
+                "{}: shard {shard} recovery report inconsistent: {rr:?}",
+                point.label
+            );
+        }
         obs.merge(&db.obs().snapshot());
         drop(db);
         obs.merge(&rig.db.obs().snapshot());
@@ -560,14 +695,16 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
                 Arc::new(counter_at(hw)),
                 classes,
                 extractors,
-                db_config(),
+                db_config(cfg.shards),
             );
             let verdict = match outcome {
                 Err(e) => Ok(e.kind()),
                 Ok(db) => match read_state(&db) {
                     Err(e) => Ok(e.kind()),
                     Ok(state) => {
-                        if admissible.contains(&state) {
+                        if admissible_at(cfg, &steps, run.last_durable_acked, admissible, &state)
+                            .is_ok()
+                        {
                             Err(true) // absorbed, but harmless
                         } else {
                             Err(false) // silent corruption

@@ -25,6 +25,11 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
           "system": "TDB",
           "throughput_txn_per_sec": 812.5,
           "threads": 4,
+          "shards": 2,
+          "per_shard": [
+            {"shard": 0, "commits": 55, "group_commits": 20, "group_size_mean": 1.6},
+            {"shard": 1, "commits": 45, "group_commits": 18, "group_size_mean": 1.4}
+          ],
           "readers": 3,
           "reader_ops_per_sec": 856.0,
           "writer_txn_per_sec": 5248.0,
@@ -62,6 +67,15 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
     corrupt(&|t| t.replace("\"results\": [", "\"results\": \"none\", \"unused\": ["));
     corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": \"four\""));
     corrupt(&|t| t.replace("\"threads\": 4", "\"threads\": 0"));
+    corrupt(&|t| t.replace("\"shards\": 2", "\"shards\": 0"));
+    corrupt(&|t| t.replace("\"shards\": 2", "\"shards\": \"two\""));
+    corrupt(&|t| t.replace("\"group_size_mean\": 1.4", "\"group_size_mean\": \"small\""));
+    corrupt(&|t| {
+        t.replace(
+            "\"per_shard\": [",
+            "\"per_shard\": \"both\", \"unused2\": [",
+        )
+    });
     corrupt(&|t| t.replace("\"readers\": 3", "\"readers\": \"three\""));
     corrupt(&|t| {
         t.replace(

@@ -8,7 +8,15 @@ fn small() -> TortureConfig {
         cells: 4,
         steps: 6,
         seed: 11,
+        shards: 1,
         verbose: false,
+    }
+}
+
+fn small_sharded() -> TortureConfig {
+    TortureConfig {
+        shards: 2,
+        ..small()
     }
 }
 
@@ -57,4 +65,36 @@ fn different_seeds_change_the_tamper_picks_not_the_guarantees() {
     let report = run_torture(&cfg);
     assert_eq!(report.silent_corruptions, 0);
     assert_eq!(report.recoveries_ok, report.crash_points_swept);
+}
+
+#[test]
+fn cross_shard_sweep_has_no_silent_corruption() {
+    // Two shards: the script mixes cross-shard transfers (two-phase
+    // commits with a coordination record on the anchor shard) with
+    // single-shard bumps and inserts. Every crash point must recover to a
+    // state the relaxed oracle admits — per-shard durable frontiers,
+    // all-or-nothing transfers — and every injected tamper must be
+    // detected or provably harmless.
+    let report = run_torture(&small_sharded());
+    assert_eq!(
+        report.crash_points_swept,
+        2 * report.write_boundaries + report.sync_boundaries
+    );
+    assert!(report.write_boundaries > 0 && report.sync_boundaries > 0);
+    assert_eq!(report.recoveries_ok, report.crash_points_swept);
+    assert!(report.tampers_injected > 0);
+    assert_eq!(
+        report.tampers_injected,
+        report.tampers_detected + report.tampers_harmless
+    );
+    assert!(report.tampers_detected > 0);
+    assert_eq!(report.silent_corruptions, 0);
+    assert!(report.failures.is_empty());
+}
+
+#[test]
+fn cross_shard_sweep_is_deterministic_for_a_fixed_seed() {
+    let a = run_torture(&small_sharded());
+    let b = run_torture(&small_sharded());
+    assert_eq!(a, b);
 }
