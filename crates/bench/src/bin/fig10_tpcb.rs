@@ -148,6 +148,25 @@ fn run_tdb_sharded(
         run_benchmark(&mut driver, cfg)
     };
     let chunks = driver.database().chunk_store();
+    // The merged registry re-exports each shard's instruments as
+    // `shard{k}.chunk.*` (shared handles), and `obs_snapshot` folds them
+    // back into aggregate names. Both views must reconcile with the
+    // legacy per-shard StatsSnapshot — same atomics throughout.
+    let merged = chunks.obs_snapshot();
+    let commits_sum: u64 = (0..chunks.shards())
+        .map(|i| {
+            merged
+                .counters
+                .get(&format!("shard{i}.chunk.commits"))
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        merged.counters.get("chunk.commits").copied().unwrap_or(0),
+        commits_sum,
+        "aggregate view must equal the per-shard sum"
+    );
     let per_shard = Json::array((0..chunks.shards()).map(|i| {
         let shard = chunks.shard(i);
         let s = shard.stats();
@@ -163,8 +182,7 @@ fn run_tdb_sharded(
         o
     }));
     let stats = driver.database().stats();
-    let obs = driver.database().obs().snapshot();
-    (report, stats, obs, per_shard)
+    (report, stats, merged, per_shard)
 }
 
 /// One `results[]` row of the BENCH_fig10_tpcb.json document.

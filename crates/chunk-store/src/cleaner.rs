@@ -138,6 +138,17 @@ pub(crate) fn select_victims(inner: &mut Inner) -> Result<Option<CleanPlan>> {
 /// once the plan has no moves left. Safe to interleave with commits: a
 /// snapshot opened since the previous slice drops its victims from the
 /// plan, and every chunk's location is re-fetched from the live map.
+///
+/// Relocation appends obey the same last-segment reserve as ordinary
+/// commits (see `SegmentManager::maintenance_mode`): on a fixed-size log
+/// the final free segment is kept for the pass's *closing checkpoint*,
+/// because only that checkpoint turns relocations into freed segments. A
+/// relocation that hits out-of-space therefore does not abort the pass —
+/// it truncates the remaining moves and reports the plan complete, so
+/// [`finish_pass`] still checkpoints and frees the fully dead victims.
+/// (The pre-reserve behavior — relocation consuming the last segment and
+/// the whole pass erroring out before any free — wedged fixed logs at
+/// zero free segments permanently.)
 pub(crate) fn relocate_slice(
     inner: &mut Inner,
     plan: &mut CleanPlan,
@@ -177,7 +188,19 @@ pub(crate) fn relocate_slice(
                 "cleaner found corrupted chunk {id:?} at {old:?}"
             )));
         }
-        let (seg, off, len) = inner.segs.append_record(RecordKind::ChunkData, &stored)?;
+        let (seg, off, len) = match inner.segs.append_record(RecordKind::ChunkData, &stored) {
+            Ok(t) => t,
+            Err(e) if e.kind() == tdb_core::ErrorKind::OutOfSpace => {
+                // No room to copy more live data. Stop moving and let the
+                // pass close: the checkpoint (which may use the reserved
+                // last segment) anchors what was already relocated, and
+                // the fully dead victims still get freed.
+                add(&inner.stats.cleaner_move_stalls, 1);
+                plan.next = plan.moves.len();
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         let new_loc = Location {
             seg,
             off,
@@ -194,6 +217,13 @@ pub(crate) fn relocate_slice(
         inner.residual_segments.insert(s);
     }
     add(&inner.stats.cleaner_slices, 1);
+    tdb_obs::trace::emit(
+        tdb_obs::TraceLayer::Maint,
+        tdb_obs::TraceKind::MaintSlice,
+        0,
+        done as u64,
+        (plan.moves.len() - plan.next) as u64,
+    );
     if sw.running() {
         inner.stats.phases.cleaner_slice.record(sw.lap());
     }
@@ -229,6 +259,13 @@ pub(crate) fn finish_pass(inner: &mut Inner, plan: &CleanPlan) -> Result<usize> 
             inner.segs.free_segment(*v)?;
             freed += 1;
             add(&inner.stats.cleaner_segments_freed, 1);
+            tdb_obs::trace::emit(
+                tdb_obs::TraceLayer::Maint,
+                tdb_obs::TraceKind::SegFree,
+                0,
+                v.0 as u64,
+                inner.segs.free_count() as u64,
+            );
         }
     }
     inner

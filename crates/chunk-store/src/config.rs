@@ -137,6 +137,29 @@ impl ChunkStoreConfig {
         }
     }
 
+    /// Free segments permanently reserved for maintenance traffic: on a
+    /// fixed-size log, ordinary commits may not take the last free segment
+    /// (the cleaner needs it to relocate into and the checkpoint to write
+    /// map pages into — see `SegmentManager::maintenance_mode`). Zero when
+    /// the log can grow, because growth makes the reserve unnecessary.
+    pub(crate) fn maintenance_reserve(&self) -> usize {
+        usize::from(!self.allow_growth)
+    }
+
+    /// [`clean_low_free`](Self::clean_low_free) shifted up by the
+    /// maintenance reserve: commits on a fixed-size log block one segment
+    /// earlier, so cleaning must also start one segment higher to preserve
+    /// the configured headroom.
+    pub(crate) fn effective_low_free(&self) -> usize {
+        self.clean_low_free + self.maintenance_reserve()
+    }
+
+    /// [`clean_high_free`](Self::clean_high_free) shifted up by the
+    /// maintenance reserve (see [`effective_low_free`](Self::effective_low_free)).
+    pub(crate) fn effective_high_free(&self) -> usize {
+        self.clean_high_free + self.maintenance_reserve()
+    }
+
     /// Validate invariants; called by the store constructors.
     pub fn validate(&self) -> Result<(), String> {
         if self.segment_size < 4096 {

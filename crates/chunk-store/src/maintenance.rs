@@ -20,10 +20,28 @@
 //! relocations, so an abandoned pass is just dead log tail.
 //!
 //! Backpressure: a committer that hits `OutOfSpace` kicks the thread and
-//! blocks on [`MaintShared`]'s progress condvar until a maintenance round
-//! completes (bounded; see `StoreCore::stall_for_space`), then retries
-//! its append. Shutdown (`ChunkStore::close` or drop) sets the shutdown
-//! flag and joins: an in-flight pass notices between slices and abandons.
+//! blocks on [`MaintShared`]'s progress condvar until segments are freed
+//! or a maintenance round completes (see `StoreCore::stall_for_space`),
+//! then retries its append. The stall protocol is epoch-based to rule out
+//! lost wakeups: the waiter snapshots the `(rounds, free_epoch)` pair
+//! *under the handshake lock* before checking for free segments, and every
+//! notification advances one of the epochs under that same lock — so
+//! progress that lands between the waiter's check and its sleep makes the
+//! wait return immediately instead of being missed. Crucially,
+//! [`MaintShared::note_freed`] re-notifies after *every* segment free
+//! (mid-round, from the pass's closing checkpoint), not just at round end —
+//! the round-granular notify was the 1-CPU release hang: a waiter could
+//! sleep a full timeout (and, bounded at 8 tries, surface a spurious
+//! `OutOfSpace`) while free segments already existed.
+//!
+//! The thread also polls the [`tdb_obs::watchdog`] between kicks: when any
+//! registered operation (commit, stall, cross-shard commit) exceeds the
+//! `TDB_WATCHDOG_MS` threshold it assembles a diagnostic dump — flight
+//! recorder window, per-thread last events, every registered store's
+//! anchor/counter/free-segment state — and writes it to `TDB_DIAG_DIR`.
+//!
+//! Shutdown (`ChunkStore::close` or drop) sets the shutdown flag and
+//! joins: an in-flight pass notices between slices and abandons.
 
 use crate::cleaner::{self, CleanPlan};
 use crate::error::Result;
@@ -32,6 +50,7 @@ use crate::store::StoreCore;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdb_obs::{trace, watchdog, TraceKind, TraceLayer};
 
 /// Handshake state between committers, the maintenance thread, and
 /// shutdown. A leaf lock: never held while taking the store lock.
@@ -51,6 +70,26 @@ struct MaintState {
     /// Completed maintenance rounds (bumped even for fruitless ones, so
     /// stalled committers re-check instead of sleeping forever).
     rounds: u64,
+    /// Bumped (with a notify) every time segments are freed — including
+    /// mid-round — so stalled committers wake at the first free, not at
+    /// round end.
+    free_epoch: u64,
+    /// Segments freed by the most recently completed round. Stalled
+    /// committers use it to tell "round ran and reclaimed nothing" (give
+    /// up: true out-of-space) from "round still pending".
+    last_round_freed: u64,
+}
+
+/// A stalled committer's view of maintenance progress (see
+/// [`MaintShared::observe_and_kick`] / [`MaintShared::wait_progress`]).
+#[derive(Clone, Copy)]
+pub(crate) struct StallProgress {
+    /// Completed rounds at observation time.
+    pub(crate) rounds: u64,
+    /// Free epoch at observation time.
+    pub(crate) free_epoch: u64,
+    /// Whether the maintenance thread was alive.
+    pub(crate) thread_running: bool,
 }
 
 impl MaintShared {
@@ -94,26 +133,125 @@ impl MaintShared {
         self.state.lock().shutdown
     }
 
-    /// Kick the thread and block until one maintenance round completes
-    /// (or `timeout` passes, or the thread goes away). Returns `false` if
-    /// no thread was running — the caller must maintain inline.
-    pub(crate) fn kick_and_wait_round(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock();
-        if !st.thread_running {
-            return false;
+    /// Segments were freed: advance the free epoch and wake every stalled
+    /// committer. The notify happens under the handshake lock — the same
+    /// lock a staller's epoch snapshot and sleep use — so it can never
+    /// land in the gap between a staller's check and its wait.
+    pub(crate) fn note_freed(&self, n: u64) {
+        if n == 0 {
+            return;
         }
-        let before = st.rounds;
-        if !st.kicked {
+        let mut st = self.state.lock();
+        st.free_epoch += 1;
+        self.progress.notify_all();
+    }
+
+    /// Snapshot the progress epochs and (re-)kick the thread. The epochs
+    /// are read under the handshake lock *before* the caller checks the
+    /// store's free count, so any progress that lands after this call is
+    /// guaranteed to make the next [`Self::wait_progress`] return
+    /// immediately.
+    pub(crate) fn observe_and_kick(&self) -> StallProgress {
+        let mut st = self.state.lock();
+        if st.thread_running && !st.kicked {
             st.kicked = true;
             self.wake.notify_one();
         }
-        while st.rounds == before && st.thread_running && !st.shutdown {
+        StallProgress {
+            rounds: st.rounds,
+            free_epoch: st.free_epoch,
+            thread_running: st.thread_running,
+        }
+    }
+
+    /// Block until progress advances past `seen` (a segment free or a
+    /// completed round), or `timeout` passes, or the thread goes away.
+    /// Returns the latest view; the caller compares epochs against `seen`.
+    pub(crate) fn wait_progress(&self, seen: StallProgress, timeout: Duration) -> StallProgress {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while st.rounds == seen.rounds
+            && st.free_epoch == seen.free_epoch
+            && st.thread_running
+            && !st.shutdown
+        {
             if self.progress.wait_until(&mut st, deadline).timed_out() {
                 break;
             }
         }
-        true
+        StallProgress {
+            rounds: st.rounds,
+            free_epoch: st.free_epoch,
+            thread_running: st.thread_running,
+        }
+    }
+
+    /// Handshake state for diagnostic dumps. Non-blocking: reports
+    /// `{"locked": true}` if the state lock is held (the dump path must
+    /// never wedge on the locks it is diagnosing).
+    pub(crate) fn diag_json(&self) -> tdb_obs::Json {
+        match self.state.try_lock() {
+            Some(st) => {
+                let mut j = tdb_obs::Json::obj();
+                j.push("thread_running", st.thread_running);
+                j.push("kicked", st.kicked);
+                j.push("shutdown", st.shutdown);
+                j.push("rounds", st.rounds);
+                j.push("free_epoch", st.free_epoch);
+                j.push("last_round_freed", st.last_round_freed);
+                j
+            }
+            None => tdb_obs::Json::object([("locked", tdb_obs::Json::from(true))]),
+        }
+    }
+}
+
+/// How long the thread sleeps between watchdog polls when idle. Tight
+/// thresholds poll proportionally faster so a stall is caught within
+/// ~1.25× the threshold.
+fn watchdog_poll_interval() -> Duration {
+    let thr = watchdog::threshold_ms();
+    if thr == 0 {
+        return Duration::from_secs(60); // watchdog off: just re-check config
+    }
+    Duration::from_millis((thr / 4).clamp(25, 1000))
+}
+
+/// Scan the watchdog's in-flight op table and emit a diagnostic dump if
+/// anything exceeded the threshold. Rate-limited process-wide by
+/// [`watchdog::claim_dump`], so N stores' maintenance threads do not
+/// write N copies.
+fn watchdog_poll(core: &StoreCore) {
+    let thr_ms = watchdog::threshold_ms();
+    if thr_ms == 0 {
+        return;
+    }
+    let stalled = watchdog::stalled_ops(thr_ms.saturating_mul(1_000_000));
+    if stalled.is_empty() || !watchdog::claim_dump() {
+        return;
+    }
+    add(&core.stats.watchdog_dumps, 1);
+    let worst = &stalled[0];
+    trace::emit(
+        TraceLayer::Maint,
+        TraceKind::WatchdogDump,
+        worst.xid,
+        stalled.len() as u64,
+        worst.age_ns / 1_000_000,
+    );
+    let reason = format!(
+        "watchdog: {} on t{} in flight {:.0}ms (threshold {}ms); {} op(s) stalled",
+        worst.kind.name(),
+        worst.tid,
+        worst.age_ns as f64 / 1e6,
+        thr_ms,
+        stalled.len()
+    );
+    let dump = tdb_obs::diag::collect_with(&reason, &stalled);
+    match tdb_obs::diag::write_dump(&dump, worst.kind.name()) {
+        Ok(Some(path)) => eprintln!("tdb-diag: {reason} -> {}", path.display()),
+        Ok(None) => eprintln!("tdb-diag: {reason} (set TDB_DIAG_DIR to persist dumps)"),
+        Err(e) => eprintln!("tdb-diag: {reason} (failed to write dump: {e})"),
     }
 }
 
@@ -121,41 +259,85 @@ impl MaintShared {
 /// so dropping the store still reaches `ChunkStore::close`'s join.
 pub(crate) fn run(core: Arc<StoreCore>) {
     loop {
-        {
+        let kicked = {
             let mut st = core.maint.state.lock();
+            let deadline = Instant::now() + watchdog_poll_interval();
             while !st.kicked && !st.shutdown {
-                core.maint.wake.wait(&mut st);
+                if core.maint.wake.wait_until(&mut st, deadline).timed_out() {
+                    break;
+                }
             }
             if st.shutdown {
                 st.thread_running = false;
                 core.maint.progress.notify_all();
                 return;
             }
+            let kicked = st.kicked;
             st.kicked = false;
+            kicked
+        };
+        if kicked {
+            add(&core.stats.maintenance_wakeups, 1);
+            let round = core.maint.state.lock().rounds;
+            trace::emit(TraceLayer::Maint, TraceKind::MaintRound, 0, round, 0);
+            // A store failure here (the untrusted store erroring) is not
+            // fatal to the thread: the round's work stays retryable (the
+            // closing checkpoint is the only anchored truth), committers
+            // see the same error on their own operations, and the
+            // backpressure path surfaces persistent out-of-space as an
+            // error.
+            let freed = match one_round(&core) {
+                Ok(n) => n,
+                Err(e) => {
+                    // Not fatal to the thread (see the comment above), but
+                    // it must not be invisible either: record it in the
+                    // flight recorder and, when asked, on stderr.
+                    let free = core.inner.lock().segs.free_count();
+                    trace::emit(
+                        TraceLayer::Maint,
+                        TraceKind::MaintError,
+                        0,
+                        round,
+                        free as u64,
+                    );
+                    if std::env::var_os("TDB_MAINT_DEBUG").is_some() {
+                        eprintln!("tdb-maint: round {round} failed (free={free}): {e}");
+                    }
+                    0
+                }
+            };
+            trace::emit(TraceLayer::Maint, TraceKind::MaintRoundEnd, 0, round, freed);
+            {
+                let mut st = core.maint.state.lock();
+                st.rounds += 1;
+                st.last_round_freed = freed;
+                core.maint.progress.notify_all();
+            }
         }
-        add(&core.stats.maintenance_wakeups, 1);
-        // A store failure here (the untrusted store erroring) is not
-        // fatal to the thread: the round's work stays retryable (the
-        // closing checkpoint is the only anchored truth), committers see
-        // the same error on their own operations, and the backpressure
-        // path surfaces persistent out-of-space as an error.
-        let _ = one_round(&core);
-        {
-            let mut st = core.maint.state.lock();
-            st.rounds += 1;
-            core.maint.progress.notify_all();
-        }
+        // Poll the stall watchdog on every wakeup (kick or timer): commits
+        // and stalls register in the global in-flight table, and this
+        // thread is the one actor guaranteed to stay responsive.
+        watchdog_poll(&core);
     }
 }
 
 /// One maintenance round: checkpoint if the residual log is long, then
 /// clean up to the high watermark, one incremental pass at a time.
-fn one_round(core: &StoreCore) -> Result<()> {
+/// Returns the number of segments freed.
+fn one_round(core: &StoreCore) -> Result<u64> {
+    let mut total_freed = 0u64;
     let covered = {
         let mut inner = core.inner.lock();
         if inner.residual_bytes >= inner.cfg.checkpoint_threshold {
-            inner.do_checkpoint()?;
-            Some(inner.commit_seq)
+            match inner.do_checkpoint() {
+                Ok(()) => Some(inner.commit_seq),
+                // A full fixed-size log can refuse the threshold
+                // checkpoint; that is space pressure, not a reason to skip
+                // the round — cleaning below may free dead segments whose
+                // smaller closing checkpoint still fits.
+                Err(e) if e.kind() == tdb_core::ErrorKind::OutOfSpace => None,
+                Err(e) => return Err(e),
+            }
         } else {
             None
         }
@@ -166,14 +348,14 @@ fn one_round(core: &StoreCore) -> Result<()> {
     let mut forced_checkpoint = false;
     loop {
         if core.maint.shutdown_requested() {
-            return Ok(());
+            return Ok(total_freed);
         }
         {
             let inner = core.inner.lock();
-            if inner.segs.free_count() >= inner.cfg.clean_high_free
+            if inner.segs.free_count() >= inner.cfg.effective_high_free()
                 || inner.segs.utilization() > inner.cfg.max_utilization
             {
-                return Ok(());
+                return Ok(total_freed);
             }
         }
         match incremental_pass(core, &mut |_| !core.maint.shutdown_requested())? {
@@ -186,9 +368,9 @@ fn one_round(core: &StoreCore) -> Result<()> {
                     let mut inner = core.inner.lock();
                     if forced_checkpoint
                         || inner.residual_segments.len() <= 1
-                        || inner.segs.free_count() >= inner.cfg.clean_low_free
+                        || inner.segs.free_count() >= inner.cfg.effective_low_free()
                     {
-                        return Ok(());
+                        return Ok(total_freed);
                     }
                     forced_checkpoint = true;
                     inner.do_checkpoint()?;
@@ -196,15 +378,15 @@ fn one_round(core: &StoreCore) -> Result<()> {
                 };
                 core.publish_durable(covered);
             }
-            PassResult::Abandoned => return Ok(()),
+            PassResult::Abandoned => return Ok(total_freed),
             PassResult::Freed(0) => {
                 // Victims existed but none could be freed (pinned, or
                 // re-used by the pass's own checkpoint); retrying
                 // immediately would spin. The next kick retries.
                 add(&core.stats.maintenance_gave_up, 1);
-                return Ok(());
+                return Ok(total_freed);
             }
-            PassResult::Freed(_) => {}
+            PassResult::Freed(n) => total_freed += n as u64,
         }
     }
 }
@@ -272,7 +454,10 @@ fn drive_slices(
             let covered = inner.commit_seq;
             drop(inner);
             // The closing checkpoint anchored everything appended so far;
-            // wake followers it covered.
+            // wake followers it covered — and, before anything else, wake
+            // committers stalled for space: each freed segment must
+            // re-notify so a staller never sleeps through available space.
+            core.maint.note_freed(freed as u64);
             core.publish_durable(covered);
             return Ok(PassResult::Freed(freed));
         }

@@ -104,6 +104,15 @@ pub struct SegmentManager {
     touched: BTreeSet<u32>,
     /// Segments the tail entered since the last drain (residual tracking).
     entered: Vec<SegmentId>,
+    /// While a *checkpoint* drives the log it may roll into the last free
+    /// segment. Nothing else on a fixed-size log may — not ordinary
+    /// commits and not the cleaner's relocation appends: that segment is
+    /// reserved for the checkpoint that turns relocations into freed
+    /// segments. Relocations become reclaimable only through a checkpoint
+    /// that itself needs log space, so letting anything else consume the
+    /// final segment wedges the store in out-of-space with the log almost
+    /// empty (the cleaner runs forever, frees nothing).
+    maintenance_mode: bool,
     stats: SharedStats,
 }
 
@@ -129,6 +138,7 @@ impl SegmentManager {
             files: Mutex::new(HashMap::new()),
             touched: BTreeSet::new(),
             entered: vec![SegmentId(0)],
+            maintenance_mode: false,
             stats,
         };
         for i in 0..initial {
@@ -204,6 +214,7 @@ impl SegmentManager {
             files: Mutex::new(HashMap::new()),
             touched: BTreeSet::new(),
             entered: Vec::new(),
+            maintenance_mode: false,
             stats,
         })
     }
@@ -279,6 +290,16 @@ impl SegmentManager {
     /// the write buffer and `next` returns to the free pool, so the tail
     /// stays open and a later append can retry the roll.
     fn roll_segment(&mut self) -> Result<()> {
+        // On a fixed-size log the last free segment is reserved for
+        // checkpoints (see `maintenance_mode`): an ordinary commit or a
+        // cleaner relocation that needs it stops instead, keeping the
+        // closing checkpoint — the step that actually frees segments —
+        // able to make progress.
+        if !self.allow_growth && !self.maintenance_mode && self.free.len() <= 1 {
+            return Err(ChunkStoreError::OutOfSpace {
+                needed: self.seg_size as u64,
+            });
+        }
         let next = match self.free.pop_first() {
             Some(i) => SegmentId(i),
             None => self.grow()?,
@@ -526,6 +547,13 @@ impl SegmentManager {
         self.free.len()
     }
 
+    /// Enter/leave checkpoint mode (see the `maintenance_mode` field);
+    /// returns the previous value so nested sections restore correctly.
+    /// Only `Inner::do_checkpoint` should set this.
+    pub fn set_maintenance(&mut self, on: bool) -> bool {
+        std::mem::replace(&mut self.maintenance_mode, on)
+    }
+
     /// Whether `seg` currently holds data (a cleaning pass re-checks this
     /// before freeing a victim: another pass may have freed it meanwhile).
     pub fn is_in_use(&self, seg: SegmentId) -> bool {
@@ -573,6 +601,14 @@ impl SegmentManager {
     /// Delete free segment files beyond `reserve`, shrinking the on-disk
     /// footprint. Returns how many were dropped.
     pub fn drop_excess_free(&mut self, reserve: usize) -> Result<usize> {
+        // Shrinking is only sound when the log can grow back: `grow`
+        // refuses to resurrect dropped slots on a fixed-size log, so
+        // dropping here would permanently lose capacity — eventually
+        // leaving the cleaner no free segment to relocate into and
+        // wedging the store in out-of-space at low utilization.
+        if !self.allow_growth {
+            return Ok(0);
+        }
         let mut dropped = 0;
         while self.free.len() > reserve {
             let idx = *self.free.iter().next_back().expect("non-empty");

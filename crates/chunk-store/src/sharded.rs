@@ -64,6 +64,7 @@ use crate::recovery::RecoveryReport;
 use crate::snapshot::Snapshot;
 use crate::stats::StatsSnapshot;
 use crate::store::{iv_salt, ChunkStore, CommitTicket, WriteBatch};
+use tdb_obs::{trace, watchdog, TraceKind, TraceLayer};
 
 /// Magic prefix of a root-of-roots slot.
 const RR_MAGIC: [u8; 8] = *b"TDBRR001";
@@ -559,9 +560,30 @@ struct MultiCore {
     cursor: AtomicUsize,
     next_xid: AtomicU64,
     epoch: u32,
+    /// Merged observability registry: every shard's instruments adopted
+    /// under a `shard{k}.` prefix (shared handles, so deltas through
+    /// either view reconcile), plus anything upper layers register here
+    /// directly. See [`ShardedChunkStore::obs`].
+    merged_obs: Arc<tdb_obs::Registry>,
 }
 
 impl MultiCore {
+    fn assemble(shards: Vec<Arc<ChunkStore>>, epoch: u32) -> MultiCore {
+        let merged_obs = Arc::new(tdb_obs::Registry::new());
+        for (k, s) in shards.iter().enumerate() {
+            s.set_diag_label(format!("shard{k}"));
+            merged_obs.adopt_all_prefixed(&s.obs(), &format!("shard{k}."));
+        }
+        MultiCore {
+            shards,
+            xlock: RwLock::new(()),
+            cursor: AtomicUsize::new(0),
+            next_xid: AtomicU64::new(0),
+            epoch,
+            merged_obs,
+        }
+    }
+
     fn n(&self) -> usize {
         self.shards.len()
     }
@@ -598,6 +620,44 @@ impl MultiCore {
         }
         self.shards[0].commit_batch(b, Durability::Lazy)
     }
+}
+
+/// Fold `shard{k}.X` instruments into aggregate `X` entries (in addition
+/// to, not instead of, the per-shard names). See
+/// [`ShardedChunkStore::obs_snapshot`].
+fn fold_shard_metrics(mut snap: tdb_obs::RegistrySnapshot, n: usize) -> tdb_obs::RegistrySnapshot {
+    let prefixes: Vec<String> = (0..n).map(|k| format!("shard{k}.")).collect();
+    let strip = |key: &str| -> Option<String> {
+        prefixes
+            .iter()
+            .find_map(|p| key.strip_prefix(p.as_str()))
+            .map(String::from)
+    };
+    let folded_counters: Vec<(String, u64)> = snap
+        .counters
+        .iter()
+        .filter_map(|(k, v)| strip(k).map(|agg| (agg, *v)))
+        .collect();
+    for (agg, v) in folded_counters {
+        *snap.counters.entry(agg).or_insert(0) += v;
+    }
+    let folded_gauges: Vec<(String, i64)> = snap
+        .gauges
+        .iter()
+        .filter_map(|(k, v)| strip(k).map(|agg| (agg, *v)))
+        .collect();
+    for (agg, v) in folded_gauges {
+        *snap.gauges.entry(agg).or_insert(0) += v;
+    }
+    let folded_hists: Vec<(String, tdb_obs::HistSnapshot)> = snap
+        .histograms
+        .iter()
+        .filter_map(|(k, h)| strip(k).map(|agg| (agg, h.clone())))
+        .collect();
+    for (agg, h) in folded_hists {
+        snap.histograms.entry(agg).or_default().merge(&h);
+    }
+    snap
 }
 
 // ---------------------------------------------------------------------
@@ -816,13 +876,7 @@ impl ShardedChunkStore {
             shard.commit_batch(b, Durability::Durable)?;
         }
         Ok(ShardedChunkStore {
-            repr: Repr::Multi(Arc::new(MultiCore {
-                shards,
-                xlock: RwLock::new(()),
-                cursor: AtomicUsize::new(0),
-                next_xid: AtomicU64::new(0),
-                epoch: 1,
-            })),
+            repr: Repr::Multi(Arc::new(MultiCore::assemble(shards, 1))),
         })
     }
 
@@ -936,13 +990,7 @@ impl ShardedChunkStore {
                 &untrusted, secret, &combiner, k, &cfg, false,
             )?));
         }
-        let core = MultiCore {
-            shards,
-            xlock: RwLock::new(()),
-            cursor: AtomicUsize::new(0),
-            next_xid: AtomicU64::new(0),
-            epoch,
-        };
+        let core = MultiCore::assemble(shards, epoch);
         Self::redo_cross_shard(&core)?;
         Ok(ShardedChunkStore {
             repr: Repr::Multi(Arc::new(core)),
@@ -995,6 +1043,7 @@ impl ShardedChunkStore {
                 if dec_ring(&shard.read(RESERVED)?)?.contains(xid) {
                     continue;
                 }
+                trace::emit(TraceLayer::Shard, TraceKind::XRedo, *xid, s as u64, 0);
                 Self::apply_participant_redo(shard, *xid, sec)?;
             }
         }
@@ -1163,6 +1212,7 @@ impl ShardedChunkStore {
             .collect();
         let record = enc_coord(xid, &sections);
 
+        let _op = watchdog::op_begin(watchdog::OpKind::CrossShardCommit, xid);
         let guard = core.xlock.write();
         // Phase A: commit the coordination record + directory entry +
         // shard 0's own data in one durable commit — the commit point.
@@ -1182,6 +1232,13 @@ impl ShardedChunkStore {
         let t0 = core.shards[0].append_batch(b0, Durability::Durable)?;
         let seq0 = t0.seq();
         core.shards[0].wait_durable(t0)?;
+        trace::emit(
+            TraceLayer::Shard,
+            TraceKind::XPhaseA,
+            xid,
+            seq0,
+            touched.len() as u64,
+        );
 
         // Phase B: append each participant's data, then its witness-ring
         // entry in a second commit. The ring entry is the participant's
@@ -1215,6 +1272,7 @@ impl ShardedChunkStore {
                 Ok(tr) => tickets.push((s, tr)),
                 Err(e) => Self::force_ring_entry(shard, xid, e)?,
             }
+            trace::emit(TraceLayer::Shard, TraceKind::XPhaseB, xid, s as u64, 0);
         }
         drop(guard);
         Ok(ShardedCommitTicket {
@@ -1235,6 +1293,13 @@ impl ShardedChunkStore {
         let mut ring = dec_ring(&bs.read(RESERVED)?)?;
         ring_push(&mut ring, xid, ring_cap_for(shard.max_chunk_size()));
         bs.write(RESERVED, &enc_ring(&ring))?;
+        trace::emit(
+            TraceLayer::Shard,
+            TraceKind::XWitness,
+            xid,
+            ring.len() as u64,
+            0,
+        );
         shard.append_batch(bs, Durability::Durable)
     }
 
@@ -1487,10 +1552,35 @@ impl ShardedChunkStore {
         }
     }
 
-    /// Shard 0's observability registry (per-shard registries via
-    /// [`shard`](Self::shard)`(i).obs()`).
+    /// The store's observability registry.
+    ///
+    /// Unsharded: the wrapped store's own registry, unchanged. Sharded:
+    /// a merged registry in which every shard's instruments appear under
+    /// a `shard{k}.` prefix (`shard0.chunk.commits`, …). The merged view
+    /// adopts the shards' *handles*, not copies, so per-shard deltas
+    /// taken through either view reconcile by construction. Upper layers
+    /// (object/collection/backup stores) register their instruments here
+    /// too, un-prefixed. Use [`obs_snapshot`](Self::obs_snapshot) for a
+    /// view that also folds the shard metrics into aggregate names.
     pub fn obs(&self) -> Arc<tdb_obs::Registry> {
-        self.shard(0).obs()
+        match &self.repr {
+            Repr::Single(store) => store.obs(),
+            Repr::Multi(core) => core.merged_obs.clone(),
+        }
+    }
+
+    /// Snapshot of [`obs`](Self::obs) with every `shard{k}.X` instrument
+    /// additionally folded into an aggregate `X` (counters and gauges
+    /// sum, histograms merge). Both the per-shard and the aggregate names
+    /// coexist in the returned snapshot, so an unsharded consumer reading
+    /// `chunk.commits` and a per-shard consumer reading
+    /// `shard1.chunk.commits` see consistent numbers from one snapshot.
+    pub fn obs_snapshot(&self) -> tdb_obs::RegistrySnapshot {
+        let snap = self.obs().snapshot();
+        match &self.repr {
+            Repr::Single(_) => snap,
+            Repr::Multi(core) => fold_shard_metrics(snap, core.n()),
+        }
     }
 
     /// Shard 0's recovery report (per-shard reports via

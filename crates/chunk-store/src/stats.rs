@@ -111,6 +111,9 @@ counters! {
     segments_dropped,
     /// Bounded relocation slices executed by cleaning passes.
     cleaner_slices,
+    /// Relocation slices cut short by out-of-space on a fixed-size log;
+    /// the pass still closes (checkpoint + frees) instead of aborting.
+    cleaner_move_stalls,
     /// Times the maintenance thread woke to a kick (or shutdown).
     maintenance_wakeups,
     /// Maintenance rounds that ended with no free segment despite garbage
@@ -119,6 +122,8 @@ counters! {
     /// Commits that blocked on the maintenance backpressure path because
     /// the log was out of segments.
     maintenance_stalls,
+    /// Diagnostic dumps emitted by the stall watchdog.
+    watchdog_dumps,
 }
 
 impl Default for Stats {

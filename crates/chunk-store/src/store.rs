@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use tdb_core::Durability;
 use tdb_crypto::Digest;
-use tdb_obs::Stopwatch;
+use tdb_obs::{trace, watchdog, Stopwatch, TraceKind, TraceLayer};
 use tdb_platform::{OneWayCounter, SecretStore, UntrustedStore};
 
 /// Staged, uncommitted operations. `Some(bytes)` is a write, `None` a
@@ -430,6 +430,22 @@ impl Inner {
             }
             return Err(e);
         }
+        trace::emit(
+            TraceLayer::Chunk,
+            TraceKind::AnchorRound,
+            0,
+            self.anchor_seq,
+            self.commit_seq,
+        );
+        if bump_counter {
+            trace::emit(
+                TraceLayer::Chunk,
+                TraceKind::CounterInc,
+                0,
+                self.counter_value,
+                0,
+            );
+        }
         // Everything superseded before this anchor is now truly dead.
         for loc in std::mem::take(&mut self.pending_dec) {
             self.segs.sub_live(loc.seg, loc.len as u64);
@@ -487,7 +503,21 @@ impl Inner {
     /// Write the dirty location-map pages, advance the anchor to the new
     /// root, and reset the residual log.
     pub(crate) fn do_checkpoint(&mut self) -> Result<()> {
+        let prev_mode = self.segs.set_maintenance(true);
+        let r = self.do_checkpoint_inner();
+        self.segs.set_maintenance(prev_mode);
+        r
+    }
+
+    fn do_checkpoint_inner(&mut self) -> Result<()> {
         let mut sw = Stopwatch::start();
+        trace::emit(
+            TraceLayer::Maint,
+            TraceKind::CheckpointBegin,
+            0,
+            self.residual_bytes,
+            0,
+        );
         let Inner {
             ref mut map,
             ref mut segs,
@@ -519,6 +549,13 @@ impl Inner {
         self.residual_bytes = 0;
         add(&self.stats.checkpoints, 1);
         self.segs.drop_excess_free(self.cfg.free_segment_reserve)?;
+        trace::emit(
+            TraceLayer::Maint,
+            TraceKind::CheckpointEnd,
+            0,
+            self.commit_seq,
+            self.segs.free_count() as u64,
+        );
         if sw.running() {
             self.stats.phases.checkpoint.record(sw.lap());
         }
@@ -546,7 +583,9 @@ impl Inner {
         // `gave_up`, not as success.
         let mut passes = 0;
         let mut forced_checkpoint = false;
-        while self.segs.free_count() == 0 && self.segs.utilization() <= self.cfg.max_utilization {
+        while self.segs.free_count() <= self.cfg.maintenance_reserve()
+            && self.segs.utilization() <= self.cfg.max_utilization
+        {
             if passes >= 16 {
                 out.gave_up = true;
                 add(&self.stats.maintenance_gave_up, 1);
@@ -667,6 +706,12 @@ pub(crate) struct StoreCore {
     /// shutdown). Present even with `background_maintenance` off — the
     /// thread is simply never spawned and commits maintain inline.
     pub(crate) maint: MaintShared,
+    /// Name under which this store reports in diagnostic dumps
+    /// (`chunk{N}` by default; shards get `shard{k}` labels).
+    diag_label: Mutex<String>,
+    /// Strong reference keeping the dump provider registered for the
+    /// store's lifetime; the diag registry only holds a `Weak`.
+    diag_keeper: Mutex<Option<Arc<tdb_obs::diag::DiagFn>>>,
 }
 
 impl StoreCore {
@@ -733,6 +778,13 @@ impl StoreCore {
         if durable {
             add(&self.stats.durable_commits, 1);
         }
+        trace::emit(
+            TraceLayer::Chunk,
+            TraceKind::CommitBegin,
+            0,
+            ops.len() as u64,
+            durable as u64,
+        );
         let mut lap = CommitLap::new(sampled);
         let sealed_ops = self.seal_ops(ops, &mut lap);
         let mut consumed = 0usize;
@@ -761,6 +813,13 @@ impl StoreCore {
                 Err(e) => return Err(e),
             }
         };
+        trace::emit(
+            TraceLayer::Chunk,
+            TraceKind::CommitEnd,
+            seq,
+            seq,
+            durable as u64,
+        );
         if lap.sw.running() {
             self.stats.phases.serialize.record(lap.ser_ns);
             self.stats.phases.seal.record(lap.seal_ns);
@@ -846,13 +905,20 @@ impl StoreCore {
                 waiters.swap_remove(at);
             }
         }
+        // Slow path: this commit will park on the group condvar (or lead an
+        // anchor round itself) — exactly the window where a lost wakeup or a
+        // wedged sync manifests as a hang, so it is watchdog-registered.
+        let _op = watchdog::op_begin(watchdog::OpKind::Commit, my_seq);
+        let mut announced_follower = false;
         let mut g = self.group.lock();
         g.waiters.push(my_seq);
         loop {
-            if self.durable_seq.load(Ordering::Acquire) >= my_seq {
+            let durable = self.durable_seq.load(Ordering::Acquire);
+            if durable >= my_seq {
                 // A leader's anchor covered us (group follower).
                 unregister(&mut g.waiters, my_seq);
                 drop(g);
+                trace::emit(TraceLayer::Chunk, TraceKind::GroupWake, my_seq, durable, 0);
                 if wait_sw.running() {
                     self.stats.phases.group_wait.record(wait_sw.lap());
                 }
@@ -864,6 +930,7 @@ impl StoreCore {
                 // new committers can append and enqueue meanwhile.
                 g.leader_active = true;
                 drop(g);
+                trace::emit(TraceLayer::Chunk, TraceKind::GroupLeader, my_seq, my_seq, 0);
                 let anchored: Result<u64> = self.leader_anchor_round(sampled);
                 let mut g = self.group.lock();
                 g.leader_active = false;
@@ -884,6 +951,13 @@ impl StoreCore {
                 unregister(&mut g.waiters, my_seq);
                 self.group_cv.notify_all();
                 drop(g);
+                trace::emit(
+                    TraceLayer::Chunk,
+                    TraceKind::GroupPublish,
+                    my_seq,
+                    covered,
+                    group_size,
+                );
                 if obs_on {
                     self.stats.phases.group_size.record(group_size.max(1));
                     if wait_sw.running() {
@@ -896,6 +970,19 @@ impl StoreCore {
                 // maintenance thread running this is only a watermark
                 // check and a kick.
                 return self.after_commit_maintenance();
+            }
+            // Only a commit that actually parks behind another leader is a
+            // follower worth tracing — the common uncontended commit goes
+            // straight to leading and stays two events (leader, publish).
+            if !announced_follower {
+                announced_follower = true;
+                trace::emit(
+                    TraceLayer::Chunk,
+                    TraceKind::GroupFollower,
+                    my_seq,
+                    my_seq,
+                    0,
+                );
             }
             self.group_cv.wait(&mut g);
         }
@@ -969,6 +1056,22 @@ impl StoreCore {
         }
         match io_result {
             Ok(()) => {
+                trace::emit(
+                    TraceLayer::Chunk,
+                    TraceKind::AnchorRound,
+                    0,
+                    prep.state.anchor_seq,
+                    prep.covered,
+                );
+                if prep.bump_counter {
+                    trace::emit(
+                        TraceLayer::Chunk,
+                        TraceKind::CounterInc,
+                        0,
+                        prep.state.counter_value,
+                        0,
+                    );
+                }
                 // Everything superseded before this anchor is now truly
                 // dead (mirrors the tail of `Inner::durable_anchor`).
                 for loc in prep.pending_dec {
@@ -993,6 +1096,48 @@ impl StoreCore {
         }
     }
 
+    /// Point-in-time health summary for diagnostic dumps. Never blocks:
+    /// every lock is `try_lock`, and a held lock is reported as such —
+    /// in a stall dump, *which* lock is held is itself the signal.
+    pub(crate) fn diag_state(&self) -> tdb_obs::Json {
+        use tdb_obs::Json;
+        let mut out = Json::obj();
+        out.push("label", self.diag_label.lock().clone());
+        out.push("durable_seq", self.durable_seq.load(Ordering::Acquire));
+        match self.inner.try_lock() {
+            Some(inner) => {
+                out.push("commit_seq", inner.commit_seq);
+                out.push("anchor_seq", inner.anchor_seq);
+                out.push("counter_value", inner.counter_value);
+                out.push("free_segments", inner.segs.free_count());
+                out.push("in_use_segments", inner.segs.in_use_segments().len());
+                out.push("utilization", inner.segs.utilization());
+                out.push("residual_bytes", inner.residual_bytes);
+                out.push("residual_segments", inner.residual_segments.len());
+                out.push("pending_dec", inner.pending_dec.len());
+                out.push(
+                    "live_snapshots",
+                    inner
+                        .snapshots
+                        .iter()
+                        .filter(|w| w.strong_count() > 0)
+                        .count(),
+                );
+                out.push("cleaner_pass_active", inner.pass_active);
+            }
+            None => out.push("store_lock", "held"),
+        }
+        match self.group.try_lock() {
+            Some(g) => {
+                out.push("group_leader_active", g.leader_active);
+                out.push("group_waiters", g.waiters.len());
+            }
+            None => out.push("group_lock", "held"),
+        }
+        out.push("maintenance", self.maint.diag_json());
+        out
+    }
+
     /// Post-commit housekeeping. With the maintenance thread running, the
     /// committer pays a watermark check and (at most) a kick — the
     /// checkpoint and cleaning happen off the commit path. Otherwise the
@@ -1002,7 +1147,7 @@ impl StoreCore {
             let need = {
                 let inner = self.inner.lock();
                 inner.residual_bytes >= inner.cfg.checkpoint_threshold
-                    || (inner.segs.free_count() < inner.cfg.clean_low_free
+                    || (inner.segs.free_count() < inner.cfg.effective_low_free()
                         && inner.segs.utilization() <= inner.cfg.max_utilization)
             };
             if need {
@@ -1014,34 +1159,108 @@ impl StoreCore {
     }
 
     /// Commit-path backpressure: the append ran out of segments. Kick the
-    /// maintenance thread and block (bounded) for its rounds — or, with no
-    /// thread, maintain inline — and say whether the caller should retry.
-    /// `false` means maintenance completed without yielding a free segment:
-    /// a true out-of-space condition, not a pacing artifact.
+    /// maintenance thread and block for its progress — or, with no thread,
+    /// maintain inline — and say whether the caller should retry. `false`
+    /// means maintenance completed without yielding a free segment: a true
+    /// out-of-space condition, not a pacing artifact.
+    ///
+    /// The wait is epoch-based to rule out lost wakeups (the ROADMAP's
+    /// 1-CPU release hang): the progress epochs are snapshotted *before*
+    /// the free-count check, and every notification advances an epoch
+    /// under the same lock the snapshot and the sleep use
+    /// ([`MaintShared::note_freed`] fires on every segment free, not just
+    /// at round end). Progress landing between the check and the sleep
+    /// therefore makes the wait return immediately. The give-up condition
+    /// is structural rather than a timeout: two consecutive completed
+    /// rounds that freed nothing while the store stayed out of segments.
     fn stall_for_space(&self) -> Result<bool> {
         add(&self.stats.maintenance_stalls, 1);
+        let _op = tdb_obs::watchdog::op_begin(tdb_obs::watchdog::OpKind::Stall, 0);
         let mut sw = if tdb_obs::enabled() {
             Stopwatch::start()
         } else {
             Stopwatch::inert()
         };
-        let mut retry = false;
-        for _ in 0..8 {
-            if !self
-                .maint
-                .kick_and_wait_round(std::time::Duration::from_millis(500))
-            {
-                // No thread running: this committer maintains inline.
+        trace::emit(
+            TraceLayer::Chunk,
+            TraceKind::StallEnter,
+            0,
+            self.inner.lock().segs.free_count() as u64,
+            0,
+        );
+        trace::emit(TraceLayer::Maint, TraceKind::MaintKick, 0, 0, 0);
+        let mut seen = self.maint.observe_and_kick();
+        let mut waits = 0u64;
+        let mut fruitless_rounds = 0u32;
+        let mut idle_waits = 0u32;
+        let retry = loop {
+            if !seen.thread_running {
+                // No thread: this committer maintains inline.
                 let mut inner = self.inner.lock();
                 let out = inner.maintain()?;
-                retry = out.freed > 0 || inner.segs.free_count() > 0;
-                break;
+                break out.freed > 0 || inner.segs.free_count() > inner.cfg.maintenance_reserve();
             }
-            if self.inner.lock().segs.free_count() > 0 {
-                retry = true;
-                break;
+            // Check for space strictly *after* the epoch snapshot above:
+            // any free or round completion since then advances an epoch,
+            // so the wait below cannot sleep through it.
+            // `free > reserve`: on a fixed-size log the last free segment
+            // is the maintenance reserve and a retried append still could
+            // not take it.
+            let (free, reserve) = {
+                let inner = self.inner.lock();
+                (inner.segs.free_count(), inner.cfg.maintenance_reserve())
+            };
+            if free > reserve {
+                trace::emit(
+                    TraceLayer::Chunk,
+                    TraceKind::StallWake,
+                    0,
+                    seen.free_epoch,
+                    free as u64,
+                );
+                break true;
             }
-        }
+            if fruitless_rounds >= 2 || waits >= 256 {
+                // Two whole rounds reclaimed nothing and the store is
+                // still out of segments (or we have waited absurdly long):
+                // surface OutOfSpace instead of wedging the committer.
+                trace::emit(TraceLayer::Chunk, TraceKind::StallGiveUp, 0, waits, 0);
+                break false;
+            }
+            let next = self
+                .maint
+                .wait_progress(seen, std::time::Duration::from_millis(500));
+            waits += 1;
+            let advanced = next.rounds != seen.rounds || next.free_epoch != seen.free_epoch;
+            if advanced {
+                idle_waits = 0;
+                if next.rounds != seen.rounds && next.free_epoch == seen.free_epoch {
+                    // A round completed without freeing anything.
+                    fruitless_rounds += 1;
+                } else {
+                    fruitless_rounds = 0;
+                }
+                trace::emit(
+                    TraceLayer::Chunk,
+                    TraceKind::StallRetry,
+                    0,
+                    waits,
+                    next.rounds.wrapping_sub(seen.rounds),
+                );
+            } else {
+                // Timed out with no progress at all. Tolerate a few (the
+                // round may genuinely be slow), then treat it as wedged
+                // maintenance and give up rather than block forever.
+                idle_waits += 1;
+                if idle_waits >= 8 {
+                    trace::emit(TraceLayer::Chunk, TraceKind::StallGiveUp, 0, waits, 1);
+                    break false;
+                }
+            }
+            // Re-observe and re-kick: a completed round consumed the kick
+            // flag, but our out-of-space condition persists.
+            seen = self.maint.observe_and_kick();
+        };
         if sw.running() {
             self.stats.phases.stall.record(sw.lap());
         }
@@ -1159,7 +1378,9 @@ pub struct ChunkStore {
 
 impl ChunkStore {
     fn from_inner(inner: Inner) -> ChunkStore {
+        static DIAG_ID: AtomicU64 = AtomicU64::new(0);
         let background = inner.cfg.background_maintenance;
+        let label = format!("chunk{}", DIAG_ID.fetch_add(1, Ordering::Relaxed));
         let core = Arc::new(StoreCore {
             ctx: inner.ctx.clone(),
             stats: inner.stats.clone(),
@@ -1168,8 +1389,22 @@ impl ChunkStore {
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
             maint: MaintShared::new(),
+            diag_label: Mutex::new(label.clone()),
+            diag_keeper: Mutex::new(None),
             inner: Mutex::new(inner),
         });
+        // Register this store with the diagnostic registry. The registry
+        // holds a `Weak`, so a dropped store silently disappears from
+        // future dumps; the keeper Arc pins the provider to our lifetime.
+        {
+            let weak = Arc::downgrade(&core);
+            let provider: Arc<tdb_obs::diag::DiagFn> = Arc::new(move || match weak.upgrade() {
+                Some(core) => core.diag_state(),
+                None => tdb_obs::Json::obj(),
+            });
+            tdb_obs::diag::register_provider(&label, &provider);
+            *core.diag_keeper.lock() = Some(provider);
+        }
         let maint_thread = if background {
             // Marked running before the spawn so a commit racing store
             // construction kicks the thread instead of maintaining inline.
@@ -1540,6 +1775,18 @@ impl ChunkStore {
     /// their instruments here too, so one registry describes a whole stack.
     pub fn obs(&self) -> Arc<tdb_obs::Registry> {
         self.core.stats.registry().clone()
+    }
+
+    /// Non-blocking health summary of this store (the same object this
+    /// store contributes to watchdog diagnostic dumps).
+    pub fn diag_state(&self) -> tdb_obs::Json {
+        self.core.diag_state()
+    }
+
+    /// Rename this store in diagnostic dumps (e.g. `shard3` instead of
+    /// the default `chunk{N}`).
+    pub fn set_diag_label(&self, label: impl Into<String>) {
+        *self.core.diag_label.lock() = label.into();
     }
 
     /// Current database utilization (live bytes / in-use capacity).

@@ -240,6 +240,13 @@ impl LockManager {
         }
 
         self.obs.waits.inc();
+        tdb_obs::trace::emit(
+            tdb_obs::TraceLayer::Object,
+            tdb_obs::TraceKind::LockWait,
+            txn,
+            oid.0,
+            mode as u64,
+        );
         let mut sw = Stopwatch::start();
         table.waiting.insert(txn, oid.0);
 
@@ -265,6 +272,13 @@ impl LockManager {
                 table.waiting.remove(&txn);
                 sw.lap_into(&self.obs.wait_time);
                 self.obs.timeouts_deadlock.inc();
+                tdb_obs::trace::emit(
+                    tdb_obs::TraceLayer::Object,
+                    tdb_obs::TraceKind::LockDeadlock,
+                    txn,
+                    oid.0,
+                    2,
+                );
                 return Err(ObjectStoreError::Deadlock(oid));
             }
             if !rivals.is_empty() {
@@ -296,15 +310,18 @@ impl LockManager {
         table.waiting.remove(&txn);
         table.doomed.remove(&txn);
         sw.lap_into(&self.obs.wait_time);
+        use tdb_obs::{TraceKind, TraceLayer};
         match outcome {
             Wait::Granted => {
                 if table.grant(oid.0, txn, mode) {
                     self.obs.upgrades.inc();
                 }
+                tdb_obs::trace::emit(TraceLayer::Object, TraceKind::LockGrant, txn, oid.0, 0);
                 Ok(())
             }
             Wait::Doomed => {
                 self.obs.timeouts_deadlock.inc();
+                tdb_obs::trace::emit(TraceLayer::Object, TraceKind::LockDeadlock, txn, oid.0, 0);
                 Err(ObjectStoreError::Deadlock(oid))
             }
             Wait::TimedOut => {
@@ -314,9 +331,17 @@ impl LockManager {
                 drop(table);
                 if self.was_deadlocked(txn, oid.0) {
                     self.obs.timeouts_deadlock.inc();
+                    tdb_obs::trace::emit(
+                        TraceLayer::Object,
+                        TraceKind::LockDeadlock,
+                        txn,
+                        oid.0,
+                        1,
+                    );
                     Err(ObjectStoreError::Deadlock(oid))
                 } else {
                     self.obs.timeouts_contention.inc();
+                    tdb_obs::trace::emit(TraceLayer::Object, TraceKind::LockTimeout, txn, oid.0, 0);
                     Err(ObjectStoreError::LockTimeout(oid))
                 }
             }

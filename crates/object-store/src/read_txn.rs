@@ -52,6 +52,13 @@ pub struct ReadTransaction {
 impl ReadTransaction {
     pub(crate) fn new(store: ObjectStore, snap: ShardedSnapshot) -> Self {
         let obs = store.obs();
+        tdb_obs::trace::emit(
+            tdb_obs::TraceLayer::Object,
+            tdb_obs::TraceKind::SnapPin,
+            0,
+            snap.commit_seq(),
+            0,
+        );
         ReadTransaction {
             store,
             snap,
@@ -187,6 +194,18 @@ impl ReadTransaction {
             version: AtomicU64::new(self.snap.seq_for(oid)),
         });
         Ok(self.fallback.lock().entry(oid.0).or_insert(cell).clone())
+    }
+}
+
+impl Drop for ReadTransaction {
+    fn drop(&mut self) {
+        tdb_obs::trace::emit(
+            tdb_obs::TraceLayer::Object,
+            tdb_obs::TraceKind::SnapUnpin,
+            0,
+            self.snap.commit_seq(),
+            0,
+        );
     }
 }
 

@@ -23,11 +23,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 mod hist;
 mod json;
+pub mod trace;
+pub mod watchdog;
 
 pub use hist::{bucket_bounds, bucket_index, HistSnapshot, Histogram, SpanGuard, BUCKETS};
 pub use json::Json;
+pub use trace::{
+    emit, set_trace_enabled, trace_enabled, trace_tid, TraceEvent, TraceKind, TraceLayer,
+    TraceRecorder, TraceSnapshot,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
@@ -291,6 +298,54 @@ impl Registry {
     /// RAII span recording into the histogram `name` on drop.
     pub fn span(&self, name: &str) -> SpanGuard {
         self.histogram(name).span()
+    }
+
+    /// Register an *existing* counter handle under `name` (shared cell, not
+    /// a copy). This is how a merged view adopts another registry's
+    /// instruments — e.g. a sharded store re-exporting each shard's
+    /// `chunk.*` counters as `shard{k}.chunk.*`. Replaces any instrument
+    /// previously at `name`.
+    pub fn adopt_counter(&self, name: &str, c: &Counter) {
+        self.maps
+            .write()
+            .unwrap()
+            .counters
+            .insert(name.to_string(), c.clone());
+    }
+
+    /// Register an existing gauge handle under `name`. See [`Registry::adopt_counter`].
+    pub fn adopt_gauge(&self, name: &str, g: &Gauge) {
+        self.maps
+            .write()
+            .unwrap()
+            .gauges
+            .insert(name.to_string(), g.clone());
+    }
+
+    /// Register an existing histogram handle under `name`. See [`Registry::adopt_counter`].
+    pub fn adopt_histogram(&self, name: &str, h: &Histogram) {
+        self.maps
+            .write()
+            .unwrap()
+            .histograms
+            .insert(name.to_string(), h.clone());
+    }
+
+    /// Adopt every instrument of `other` under `prefix` + its name.
+    /// Handles are shared, so the adopted names read the same atomics as
+    /// the originals — snapshots through either registry reconcile.
+    pub fn adopt_all_prefixed(&self, other: &Registry, prefix: &str) {
+        let theirs = other.maps.read().unwrap();
+        let mut ours = self.maps.write().unwrap();
+        for (k, c) in &theirs.counters {
+            ours.counters.insert(format!("{prefix}{k}"), c.clone());
+        }
+        for (k, g) in &theirs.gauges {
+            ours.gauges.insert(format!("{prefix}{k}"), g.clone());
+        }
+        for (k, h) in &theirs.histograms {
+            ours.histograms.insert(format!("{prefix}{k}"), h.clone());
+        }
     }
 
     /// Point-in-time snapshot of every registered instrument.

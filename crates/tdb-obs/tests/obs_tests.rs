@@ -250,3 +250,141 @@ fn registry_snapshot_to_json_is_stable_and_parseable() {
     assert_eq!(a, b, "rendering must be deterministic");
     Json::parse(&a).expect("snapshot JSON parses");
 }
+
+// ---------------------------------------------------------------- trace ring
+
+mod trace_ring {
+    use super::*;
+    use std::sync::Arc;
+    use tdb_obs::trace::TraceRecorder;
+    use tdb_obs::{TraceKind, TraceLayer};
+
+    // Single-writer wraparound is deterministic: after `n` records into a
+    // ring of `cap` slots, the snapshot holds exactly the last
+    // `min(n, cap)` events, in order, payloads intact.
+    proptest! {
+        #[test]
+        fn wraparound_keeps_exactly_the_last_capacity_events(
+            cap_pow in 6u32..9,
+            n in 0u64..1500,
+        ) {
+            let cap = 1u64 << cap_pow;
+            let rec = TraceRecorder::with_capacity(cap as usize);
+            prop_assert_eq!(rec.capacity() as u64, cap);
+            for i in 0..n {
+                rec.record(TraceLayer::App, TraceKind::Mark, i, i.wrapping_mul(3), i ^ 0x5A);
+            }
+            prop_assert_eq!(rec.recorded(), n);
+            let snap = rec.snapshot();
+            prop_assert_eq!(snap.events.len() as u64, n.min(cap));
+            let first = n.saturating_sub(cap);
+            for (ev, i) in snap.events.iter().zip(first..n) {
+                prop_assert_eq!(ev.seq, i);
+                prop_assert_eq!(ev.xid, i);
+                prop_assert_eq!(ev.a, i.wrapping_mul(3));
+                prop_assert_eq!(ev.b, i ^ 0x5A);
+                prop_assert_eq!(ev.kind, TraceKind::Mark);
+                prop_assert_eq!(ev.layer, TraceLayer::App);
+            }
+        }
+    }
+
+    /// Concurrent writers lapping a tiny ring many times over: nothing
+    /// decoded may be torn. Every surviving event must carry exactly the
+    /// payload some writer published (`b == xid * 1000 + a`), sequence
+    /// numbers must be unique, and the total recorded count must be exact.
+    #[test]
+    fn concurrent_writers_never_produce_torn_events() {
+        const THREADS: u64 = 4;
+        const PER: u64 = 4_000;
+        let rec = Arc::new(TraceRecorder::with_capacity(64));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        rec.record(TraceLayer::App, TraceKind::Mark, t, i, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.recorded(), THREADS * PER);
+        let snap = rec.snapshot();
+        assert!(!snap.events.is_empty());
+        assert!(snap.events.len() <= rec.capacity());
+        let mut seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(
+            seqs.len(),
+            snap.events.len(),
+            "duplicate ring slots decoded"
+        );
+        for ev in &snap.events {
+            assert!(
+                ev.xid < THREADS && ev.a < PER,
+                "payload from nowhere: {ev:?}"
+            );
+            assert_eq!(ev.b, ev.xid * 1000 + ev.a, "torn payload survived: {ev:?}");
+        }
+    }
+
+    /// Snapshots taken *while* writers are lapping the ring must each be
+    /// internally consistent: only fully-published events decode, and a
+    /// thread's own events appear in program order in its timeline.
+    #[test]
+    fn snapshot_while_recording_is_consistent() {
+        const PER: u64 = 20_000;
+        let rec = Arc::new(TraceRecorder::with_capacity(128));
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        rec.record(TraceLayer::App, TraceKind::Mark, t, i, t * 1_000_000 + i);
+                    }
+                });
+            }
+            // Snapshot continuously until both writers have finished, so
+            // some snapshots race live wraparound no matter how the
+            // scheduler interleaves us (this box may have one CPU).
+            while rec.recorded() < 2 * PER {
+                let snap = rec.snapshot();
+                for ev in &snap.events {
+                    assert_eq!(ev.b, ev.xid * 1_000_000 + ev.a, "torn event: {ev:?}");
+                }
+                for (_tid, evs) in snap.per_thread() {
+                    for w in evs.windows(2) {
+                        if w[0].xid == w[1].xid {
+                            assert!(
+                                w[0].a < w[1].a,
+                                "thread timeline out of order: {:?} then {:?}",
+                                w[0],
+                                w[1]
+                            );
+                        }
+                    }
+                }
+            }
+        });
+        let total = rec.recorded();
+        assert!(total > 128, "writers should have lapped the ring ({total})");
+    }
+
+    /// `snapshot_since(cursor)` returns only events recorded after the
+    /// cursor was taken.
+    #[test]
+    fn snapshot_since_skips_earlier_events() {
+        let rec = TraceRecorder::with_capacity(256);
+        for i in 0..10 {
+            rec.record(TraceLayer::App, TraceKind::Mark, 1, i, 0);
+        }
+        let cursor = rec.cursor();
+        for i in 0..5 {
+            rec.record(TraceLayer::App, TraceKind::Mark, 2, i, 0);
+        }
+        let snap = rec.snapshot_since(cursor);
+        assert_eq!(snap.events.len(), 5);
+        assert!(snap.events.iter().all(|e| e.xid == 2));
+    }
+}

@@ -333,6 +333,22 @@ impl Database {
         self.chunk_store().obs()
     }
 
+    /// Assemble a diagnostic dump on demand: the same JSON document the
+    /// stall watchdog emits (schema `tdb-diag-v1` — registered store
+    /// states, in-flight operations, and the recent flight-recorder
+    /// trace), with `reason` recorded inside it. Process-wide: a process
+    /// holding several databases sees all of them in one dump.
+    pub fn diagnostics(&self, reason: &str) -> obs::Json {
+        obs::diag::collect(reason)
+    }
+
+    /// [`diagnostics`](Self::diagnostics), also written to `TDB_DIAG_DIR`
+    /// (returns the path, or `None` when the variable is unset).
+    pub fn diagnostics_to_dir(&self, reason: &str) -> std::io::Result<Option<std::path::PathBuf>> {
+        let dump = self.diagnostics(reason);
+        obs::diag::write_dump(&dump, "manual")
+    }
+
     /// Current on-disk size of the log in bytes (Figure 11's metric).
     pub fn disk_size(&self) -> u64 {
         self.chunk_store().disk_size()
