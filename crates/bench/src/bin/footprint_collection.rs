@@ -58,7 +58,7 @@ fn main() {
         .backup_manager(Arc::new(MemArchive::new()), &secret)
         .unwrap();
     let _ = mgr
-        .backup_full(db.chunk_store().unsharded().unwrap())
+        .backup_full(db.chunk_store().unsharded("backup_full").unwrap())
         .unwrap();
     println!("{n}");
 }

@@ -10,30 +10,50 @@
 //! tdb-doctor <dump.json | diag-dir>   # summary of one dump (dir: latest)
 //! tdb-doctor --timeline <dump.json>   # per-thread event timelines
 //! tdb-doctor --json <dump.json>       # pretty-print the raw document
+//! tdb-doctor verify-proof <dump.json> # check an exported proof dump
 //! ```
 //!
-//! Exit status: 0 on a clean dump, 1 when the dump records stalled
-//! operations (so scripts can gate on it), 2 on usage/parse errors.
+//! `verify-proof` checks an offline proof dump (written by
+//! [`tdb::proof::wire::dump_json`]): it rebuilds the standalone verifier
+//! from the embedded trust anchor and accepts or rejects the proof, with
+//! no database involved.
+//!
+//! Exit status: 0 on a clean dump / verified proof, 1 when the dump
+//! records stalled operations or the proof is rejected (so scripts can
+//! gate on it), 2 on usage/parse errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use tdb::proof::{wire, TrustKeys, Verifier};
 use tdb_obs::Json;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("verify-proof") {
+        return match args.get(1) {
+            Some(path) => verify_proof(Path::new(path)),
+            None => {
+                eprintln!("usage: tdb-doctor verify-proof <dump.json>");
+                ExitCode::from(2)
+            }
+        };
+    }
     let mut timeline = false;
     let mut raw = false;
     let mut target: Option<PathBuf> = None;
-    for a in &args {
+    for a in args.drain(..) {
         match a.as_str() {
             "--timeline" => timeline = true,
             "--json" => raw = true,
             "--help" | "-h" => {
-                eprintln!("usage: tdb-doctor [--timeline|--json] <dump.json | diag-dir>");
+                eprintln!(
+                    "usage: tdb-doctor [--timeline|--json] <dump.json | diag-dir>\n\
+                     \x20      tdb-doctor verify-proof <dump.json>"
+                );
                 return ExitCode::from(2);
             }
-            other => target = Some(PathBuf::from(other)),
+            _ => target = Some(PathBuf::from(a)),
         }
     }
     let target = match target.or_else(default_target) {
@@ -81,6 +101,54 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `tdb-doctor verify-proof <dump.json>`: offline check of an exported
+/// proof dump against the trust anchor it embeds.
+fn verify_proof(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tdb-doctor: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let dump = match wire::parse_dump_json(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tdb-doctor: {} is not a proof dump: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let shape = match &dump.anchor.keys {
+        TrustKeys::Single { .. } => "unsharded".to_string(),
+        TrustKeys::Sharded { shard_mac_keys, .. } => {
+            format!("sharded ({} shards)", shard_mac_keys.len())
+        }
+    };
+    println!(
+        "dump: {}  chunk {}  {}  anchor counter {}  attested counter {} (commit seq {})",
+        path.display(),
+        dump.proof.chunk_id,
+        shape,
+        dump.anchor.counter_value,
+        dump.proof.attestation.counter_value,
+        dump.proof.attestation.commit_seq,
+    );
+    let verifier = Verifier::new(dump.anchor);
+    match verifier.verify_chunk(&dump.proof, dump.value.as_deref()) {
+        Ok(()) => {
+            match &dump.value {
+                Some(v) => println!("VERIFIED: inclusion proof covers {} value bytes", v.len()),
+                None => println!("VERIFIED: non-membership proof (chunk provably absent)"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("REJECTED: {e}");
+            ExitCode::from(1)
+        }
     }
 }
 

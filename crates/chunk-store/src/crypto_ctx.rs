@@ -170,6 +170,40 @@ impl CryptoCtx {
     pub fn tags_equal(a: &Digest, b: &Digest) -> bool {
         tdb_crypto::ct_eq(a, b)
     }
+
+    /// The MAC secret proofs and attestations are minted under. A client
+    /// holding this key (via a [`tdb_proof::TrustAnchor`]) can verify
+    /// proofs — and also mint them, which is the paper's trust model: the
+    /// key holder trusts itself; proofs convince the key holder that the
+    /// *untrusted store* behaved.
+    pub(crate) fn proof_mac_key(&self) -> &[u8; 32] {
+        &self.mac_secret
+    }
+}
+
+/// The chunk store's crypto context *is* the slot sealer of the extracted
+/// trust layer: both the anchor slots and the sharded root-of-roots frame
+/// their bodies through this one implementation.
+impl tdb_proof::SlotSealer for CryptoCtx {
+    fn mode_tag(&self) -> u8 {
+        self.mode.tag()
+    }
+
+    fn seal_body(&self, plain: &[u8]) -> Vec<u8> {
+        self.seal(plain)
+    }
+
+    fn open_body(&self, sealed: &[u8]) -> std::result::Result<Vec<u8>, tdb_proof::SlotError> {
+        self.open(sealed).map_err(|e| match e {
+            ChunkStoreError::TamperDetected(m) => tdb_proof::SlotError::Tamper(m),
+            ChunkStoreError::Platform(p) => tdb_proof::SlotError::Platform(p),
+            other => tdb_proof::SlotError::Tamper(other.to_string()),
+        })
+    }
+
+    fn tag_for_mode(&self, mode_tag: u8, bytes: &[u8]) -> Option<Digest> {
+        SecurityMode::from_tag(mode_tag).map(|mode| self.anchor_tag_for_mode(mode, bytes))
+    }
 }
 
 #[cfg(test)]

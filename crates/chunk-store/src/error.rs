@@ -89,6 +89,34 @@ impl From<PlatformError> for ChunkStoreError {
     }
 }
 
+impl From<tdb_proof::SlotError> for ChunkStoreError {
+    fn from(e: tdb_proof::SlotError) -> Self {
+        match e {
+            tdb_proof::SlotError::Missing => ChunkStoreError::NoDatabase,
+            tdb_proof::SlotError::Tamper(m) => ChunkStoreError::TamperDetected(m),
+            tdb_proof::SlotError::ModeMismatch => ChunkStoreError::ConfigMismatch(
+                "database was created with a different security mode".into(),
+            ),
+            tdb_proof::SlotError::Platform(p) => ChunkStoreError::Platform(p),
+        }
+    }
+}
+
+impl From<tdb_proof::ProofError> for ChunkStoreError {
+    fn from(e: tdb_proof::ProofError) -> Self {
+        match e {
+            tdb_proof::ProofError::Tamper(m) => ChunkStoreError::TamperDetected(m),
+            tdb_proof::ProofError::Replay { trusted, attested } => {
+                ChunkStoreError::ReplayDetected {
+                    anchor_counter: attested,
+                    hardware_counter: trusted,
+                }
+            }
+            tdb_proof::ProofError::Usage(m) => ChunkStoreError::ConfigMismatch(m),
+        }
+    }
+}
+
 impl ChunkStoreError {
     /// Stable, layer-independent classification (see [`tdb_core::ErrorKind`]).
     pub fn kind(&self) -> tdb_core::ErrorKind {

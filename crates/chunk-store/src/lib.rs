@@ -54,6 +54,7 @@ pub mod ids;
 pub mod layout;
 pub(crate) mod maintenance;
 pub mod map;
+pub mod proof;
 pub mod recovery;
 pub mod segment;
 pub mod sharded;
@@ -65,6 +66,7 @@ pub use config::{ChunkStoreConfig, SecurityMode};
 pub use error::{ChunkStoreError, Result};
 pub use ids::{ChunkId, SegmentId};
 pub use map::Location;
+pub use proof::{ProofBookmark, Proven};
 pub use recovery::RecoveryReport;
 pub use sharded::{ShardedChunkStore, ShardedCommitTicket, ShardedSnapshot, ShardedWriteBatch};
 pub use snapshot::{Snapshot, SnapshotDiff};

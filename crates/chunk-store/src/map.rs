@@ -19,8 +19,9 @@
 use crate::error::{ChunkStoreError, Result};
 use crate::ids::{ChunkId, SegmentId};
 use crate::layout::{get_location, location_len, put_location, Cursor, Malformed};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tdb_crypto::Digest;
+use tdb_proof::PathNode;
 
 /// Where (and what) a chunk version or map page is in the log.
 ///
@@ -45,10 +46,18 @@ const INNER_TAG: u8 = 2;
 /// A map tree node. `disk` is `Some` iff the node is *clean*: its serialized
 /// page is on disk at that location. Any mutation clears `disk` along the
 /// whole root-to-leaf path, so a clean node implies a clean subtree.
+///
+/// `proof` memoizes the node's **canonical proof-tree hash** (the
+/// store-independent hashing defined by [`tdb_proof::tree`]). It derives
+/// from the leaf chunk digests only — never from page locations — so it is
+/// invariant under checkpoints and cleaner relocation, and is invalidated
+/// exactly where logical content changes: [`LocationMap::dirty`], through
+/// which every `set`/`remove` path node passes.
 #[derive(Clone)]
 pub(crate) struct Node {
     pub(crate) disk: Option<Location>,
     pub(crate) kind: NodeKind,
+    proof: OnceLock<Digest>,
 }
 
 #[derive(Clone)]
@@ -62,6 +71,7 @@ impl Node {
         Node {
             disk: None,
             kind: NodeKind::Leaf(vec![None; fanout]),
+            proof: OnceLock::new(),
         }
     }
 
@@ -69,6 +79,44 @@ impl Node {
         Node {
             disk: None,
             kind: NodeKind::Inner(vec![None; fanout]),
+            proof: OnceLock::new(),
+        }
+    }
+
+    /// Entries of this node as the verifier sees them: `(slot, digest)`
+    /// with leaf digests = chunk sealed-record hashes and inner digests =
+    /// child proof hashes.
+    fn proof_entries(&self) -> Vec<(u32, Digest)> {
+        match &self.kind {
+            NodeKind::Leaf(slots) => slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|l| (i as u32, l.hash)))
+                .collect(),
+            NodeKind::Inner(children) => children
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.as_ref().map(|c| (i as u32, c.proof_hash())))
+                .collect(),
+        }
+    }
+
+    /// Canonical proof-tree hash of this subtree (memoized; O(changed)
+    /// across commits thanks to structural sharing).
+    pub(crate) fn proof_hash(&self) -> Digest {
+        *self.proof.get_or_init(|| {
+            let entries = self.proof_entries();
+            tdb_proof::tree::hash_node(
+                matches!(self.kind, NodeKind::Leaf(_)),
+                entries.iter().map(|(s, d)| (*s, d)),
+            )
+        })
+    }
+
+    fn as_path_node(&self) -> PathNode {
+        PathNode {
+            is_leaf: matches!(self.kind, NodeKind::Leaf(_)),
+            entries: self.proof_entries(),
         }
     }
 }
@@ -143,6 +191,10 @@ impl LocationMap {
         if let Some(loc) = node.disk.take() {
             superseded.push(loc);
         }
+        // The logical content of this subtree is about to change (every
+        // set/remove dirties its whole path): drop the memoized proof hash
+        // unconditionally, whether or not the page was clean.
+        node.proof = OnceLock::new();
     }
 
     /// Grow the tree until `id` is representable.
@@ -442,6 +494,7 @@ impl LocationMap {
         Ok(Node {
             disk: Some(*loc),
             kind,
+            proof: OnceLock::new(),
         })
     }
 
@@ -686,6 +739,40 @@ fn collect_all(
                     f(ChunkId((base + i as u128) as u64), loc);
                 }
             }
+        }
+    }
+}
+
+/// Extract the proof path for `id` from a frozen root: every node from the
+/// root toward `id`'s leaf in root-first order, stopping at the node where
+/// the id's slot is empty (non-membership) — or the bare root for an id
+/// beyond the tree's capacity. Also returns the leaf [`Location`] when the
+/// id is mapped (its `hash` is the sealed-record digest the proof
+/// includes).
+pub(crate) fn proof_path_in_root(
+    root: &Arc<Node>,
+    depth: u32,
+    fanout: usize,
+    id: ChunkId,
+) -> (Vec<PathNode>, Option<Location>) {
+    if id.0 as u128 >= (fanout as u128).pow(depth) {
+        return (vec![root.as_path_node()], None);
+    }
+    let mut path = Vec::with_capacity(depth as usize);
+    let mut node = root;
+    let mut level = depth;
+    loop {
+        path.push(node.as_path_node());
+        let slot = slot_at(fanout, id.0, level);
+        match &node.kind {
+            NodeKind::Inner(children) => match children[slot].as_ref() {
+                Some(child) => {
+                    node = child;
+                    level -= 1;
+                }
+                None => return (path, None),
+            },
+            NodeKind::Leaf(slots) => return (path, slots[slot]),
         }
     }
 }
@@ -997,6 +1084,102 @@ mod tests {
         assert_eq!(get_in_root(&snap, depth, 4, ChunkId(1)), Some(loc(1)));
         assert_eq!(get_in_root(&snap, depth, 4, ChunkId(9)), None);
         assert_eq!(m.get(ChunkId(1)), Some(loc(2)));
+    }
+
+    #[test]
+    fn proof_hash_tracks_content_not_placement() {
+        let mut m = LocationMap::new(4, true);
+        for id in 0..20u64 {
+            m.set(ChunkId(id), loc(id as u32));
+        }
+        let (root, depth) = m.freeze();
+        let before = root.proof_hash();
+
+        // Checkpointing (page placement) must not change the proof hash.
+        let mut off = 0u32;
+        m.checkpoint(&mut |b| {
+            off += 1;
+            Ok(Location {
+                seg: SegmentId(0),
+                off,
+                len: b.len() as u32,
+                hash: [0; 32],
+            })
+        })
+        .unwrap();
+        assert_eq!(m.freeze().0.proof_hash(), before);
+
+        // Relocating pages (what the cleaner does) must not either.
+        let mut victims = std::collections::HashSet::new();
+        victims.insert(SegmentId(0));
+        m.dirty_pages_in(&victims);
+        let mut off = 100u32;
+        m.checkpoint(&mut |b| {
+            off += 1;
+            Ok(Location {
+                seg: SegmentId(1),
+                off,
+                len: b.len() as u32,
+                hash: [0; 32],
+            })
+        })
+        .unwrap();
+        assert_eq!(m.freeze().0.proof_hash(), before);
+
+        // Changing an entry must.
+        m.set(ChunkId(3), loc(99));
+        let changed = m.freeze().0.proof_hash();
+        assert_ne!(changed, before);
+        m.remove(ChunkId(3));
+        assert_ne!(m.freeze().0.proof_hash(), changed);
+        // The frozen snapshot kept its own memo intact.
+        assert_eq!(root.proof_hash(), before);
+        let _ = depth;
+    }
+
+    #[test]
+    fn proof_paths_link_and_cover_absence() {
+        let mut m = LocationMap::new(4, true);
+        for id in [0u64, 5, 17] {
+            m.set(ChunkId(id), loc(id as u32));
+        }
+        let (root, depth) = m.freeze();
+        let fanout = 4usize;
+
+        // Present id: full-depth path, root-first, each node's digest at
+        // the id's slot equals the next node's hash, leaf carries the
+        // chunk's stored hash.
+        let (path, found) = proof_path_in_root(&root, depth, fanout, ChunkId(5));
+        assert_eq!(path.len(), depth as usize);
+        assert_eq!(path[0].hash(), root.proof_hash());
+        for i in 0..path.len() - 1 {
+            let slot = tdb_proof::tree::slot_at(fanout as u32, 5, depth - 1 - i as u32);
+            assert_eq!(path[i].digest_at(slot), Some(&path[i + 1].hash()));
+        }
+        assert_eq!(found.unwrap().hash, loc(5).hash);
+        let leaf_slot = tdb_proof::tree::slot_at(fanout as u32, 5, 0);
+        assert_eq!(
+            path.last().unwrap().digest_at(leaf_slot),
+            Some(&loc(5).hash)
+        );
+
+        // Absent id whose leaf exists: path reaches the leaf, slot empty.
+        let (path, found) = proof_path_in_root(&root, depth, fanout, ChunkId(6));
+        assert!(found.is_none());
+        assert_eq!(path.len(), depth as usize);
+        let leaf_slot = tdb_proof::tree::slot_at(fanout as u32, 6, 0);
+        assert_eq!(path.last().unwrap().digest_at(leaf_slot), None);
+
+        // Absent id in a missing subtree: truncated path.
+        let (path, found) = proof_path_in_root(&root, depth, fanout, ChunkId(60));
+        assert!(found.is_none());
+        assert!(path.len() < depth as usize);
+
+        // Beyond capacity: bare root.
+        let (path, found) = proof_path_in_root(&root, depth, fanout, ChunkId(1 << 40));
+        assert!(found.is_none());
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].hash(), root.proof_hash());
     }
 
     #[test]

@@ -51,7 +51,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use tdb_core::Durability;
-use tdb_crypto::DIGEST_LEN;
+use tdb_crypto::Digest;
 use tdb_platform::secret::SECRET_LEN;
 use tdb_platform::{OneWayCounter, PlatformError, PrefixedStore, SecretStore, UntrustedStore};
 
@@ -60,6 +60,7 @@ use crate::config::{ChunkStoreConfig, SecurityMode};
 use crate::crypto_ctx::CryptoCtx;
 use crate::error::{ChunkStoreError, Result};
 use crate::ids::ChunkId;
+use crate::proof::Proven;
 use crate::recovery::RecoveryReport;
 use crate::snapshot::Snapshot;
 use crate::stats::StatsSnapshot;
@@ -170,58 +171,27 @@ impl RrState {
         })
     }
 
-    /// Serialize to the slot format: magic, plaintext `rr_seq`, mode tag,
-    /// sealed body, authentication tag — the anchor-slot shape, under the
-    /// root-of-roots key domain.
+    /// Serialize to the slot format — the same trust-layer framing
+    /// ([`tdb_proof::encode_slot`]) as the anchor, under the root-of-roots
+    /// key domain. Byte-compatible with earlier releases (see the golden
+    /// test below). The live write path goes through [`rr_write`]; this
+    /// whole-slot form documents the codec and anchors the golden test.
+    #[cfg(test)]
     fn encode(&self, ctx: &CryptoCtx) -> Vec<u8> {
-        let sealed = ctx.seal(&self.encode_body());
-        let mut out = Vec::with_capacity(8 + 8 + 1 + 4 + sealed.len() + DIGEST_LEN);
-        out.extend_from_slice(&RR_MAGIC);
-        out.extend_from_slice(&self.rr_seq.to_le_bytes());
-        out.push(ctx.mode().tag());
-        out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
-        out.extend_from_slice(&sealed);
-        let tag = ctx.anchor_tag(&out);
-        out.extend_from_slice(&tag);
-        out
+        tdb_proof::encode_slot(ctx, &RR_MAGIC, self.rr_seq, &self.encode_body())
     }
 
     /// Parse and authenticate a slot (`Ok(None)` = never written).
-    /// Authentication runs under the slot's *claimed* mode before the
-    /// claim is trusted, exactly like anchor decoding: a corrupted mode
-    /// byte is tampering, an authentic other-mode slot is a configuration
-    /// mismatch.
+    /// Framing, claimed-mode-first authentication, and the tamper vs.
+    /// config-mismatch distinction live in [`tdb_proof::decode_slot`].
+    #[cfg(test)]
     fn decode(ctx: &CryptoCtx, bytes: &[u8]) -> Result<Option<RrState>> {
-        if bytes.is_empty() {
-            return Ok(None);
-        }
-        if bytes.len() < 8 + 8 + 1 + 4 + DIGEST_LEN {
-            return Err(tamper("root-of-roots: truncated"));
-        }
-        if bytes[..8] != RR_MAGIC {
-            return Err(tamper("root-of-roots: bad magic"));
-        }
-        let claimed = match SecurityMode::from_tag(bytes[16]) {
-            Some(mode) => mode,
-            None => return Err(tamper("root-of-roots: bad mode tag")),
+        let (seq, body) = match tdb_proof::decode_slot(ctx, &RR_MAGIC, "root-of-roots", bytes)? {
+            Some(found) => found,
+            None => return Ok(None),
         };
-        let body_len = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
-        if bytes.len() != 21 + body_len + DIGEST_LEN {
-            return Err(tamper("root-of-roots: length mismatch"));
-        }
-        let (signed, tag_bytes) = bytes.split_at(21 + body_len);
-        let tag: tdb_crypto::Digest = tag_bytes.try_into().expect("32 bytes");
-        if !CryptoCtx::tags_equal(&ctx.anchor_tag_for_mode(claimed, signed), &tag) {
-            return Err(tamper("root-of-roots: authentication tag mismatch"));
-        }
-        if claimed != ctx.mode() {
-            return Err(ChunkStoreError::ConfigMismatch(
-                "database was created with a different security mode".into(),
-            ));
-        }
-        let body = ctx.open(&signed[21..])?;
         let state = RrState::decode_body(&body)?;
-        if state.rr_seq != u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) {
+        if state.rr_seq != seq {
             return Err(tamper("root-of-roots: sequence number mismatch"));
         }
         Ok(Some(state))
@@ -232,58 +202,28 @@ fn tamper(what: &str) -> ChunkStoreError {
     ChunkStoreError::TamperDetected(what.into())
 }
 
-fn rr_exists(store: &dyn UntrustedStore) -> Result<bool> {
-    Ok(store.exists(RR_SLOTS[0])? || store.exists(RR_SLOTS[1])?)
+fn rr_slots(store: &dyn UntrustedStore) -> tdb_proof::SlotPair<'_> {
+    tdb_proof::SlotPair::new(store, RR_MAGIC, RR_SLOTS, "root-of-roots")
 }
 
-fn rr_read_slot(store: &dyn UntrustedStore, name: &str) -> Result<Vec<u8>> {
-    if !store.exists(name)? {
-        return Ok(Vec::new());
-    }
-    let f = store.open(name, false)?;
-    let len = f.len()? as usize;
-    let mut buf = vec![0u8; len];
-    f.read_at(0, &mut buf)?;
-    Ok(buf)
+fn rr_exists(store: &dyn UntrustedStore) -> Result<bool> {
+    Ok(rr_slots(store).exists()?)
 }
 
 /// Read both slots, return the valid state with the highest `rr_seq`. An
 /// invalid slot is tolerated only as the *older* write (torn update); if
 /// nothing decodes but slots exist, that is tampering.
 fn rr_read_best(store: &dyn UntrustedStore, ctx: &CryptoCtx) -> Result<RrState> {
-    let mut best: Option<RrState> = None;
-    let mut first_error: Option<ChunkStoreError> = None;
-    let mut any_present = false;
-    for name in RR_SLOTS {
-        let bytes = rr_read_slot(store, name)?;
-        if !bytes.is_empty() {
-            any_present = true;
-        }
-        match RrState::decode(ctx, &bytes) {
-            Ok(Some(state)) => {
-                if best.as_ref().is_none_or(|b| state.rr_seq > b.rr_seq) {
-                    best = Some(state);
-                }
-            }
-            Ok(None) => {}
-            Err(e) => first_error = Some(first_error.unwrap_or(e)),
-        }
+    let (seq, body) = rr_slots(store).read_best(ctx)?;
+    let state = RrState::decode_body(&body)?;
+    if state.rr_seq != seq {
+        return Err(tamper("root-of-roots: sequence number mismatch"));
     }
-    match (best, any_present) {
-        (Some(state), _) => Ok(state),
-        (None, false) => Err(ChunkStoreError::NoDatabase),
-        (None, true) => Err(first_error.unwrap_or_else(|| tamper("root-of-roots: no valid slot"))),
-    }
+    Ok(state)
 }
 
 fn rr_write(store: &dyn UntrustedStore, ctx: &CryptoCtx, state: &RrState) -> Result<()> {
-    let name = RR_SLOTS[(state.rr_seq % 2) as usize];
-    let bytes = state.encode(ctx);
-    let f = store.open(name, true)?;
-    f.set_len(bytes.len() as u64)?;
-    f.write_at(0, &bytes)?;
-    f.sync()?;
-    Ok(())
+    Ok(rr_slots(store).write(ctx, state.rr_seq, &state.encode_body())?)
 }
 
 // ---------------------------------------------------------------------
@@ -551,6 +491,9 @@ fn unroute(n: usize, shard: usize, local: ChunkId) -> ChunkId {
 
 struct MultiCore {
     shards: Vec<Arc<ChunkStore>>,
+    /// Root-of-roots owner; proof epoch records are minted under its key
+    /// and current counter vector (see `proven_at_snapshot`).
+    combiner: Arc<Combiner>,
     /// Cross-shard commit lock. Writers hold it exclusively across phases
     /// (A)+(B) and the directory-pruning cleanup; snapshots hold it shared,
     /// so no snapshot observes a cross-shard transaction half-applied.
@@ -568,7 +511,7 @@ struct MultiCore {
 }
 
 impl MultiCore {
-    fn assemble(shards: Vec<Arc<ChunkStore>>, epoch: u32) -> MultiCore {
+    fn assemble(shards: Vec<Arc<ChunkStore>>, combiner: Arc<Combiner>, epoch: u32) -> MultiCore {
         let merged_obs = Arc::new(tdb_obs::Registry::new());
         for (k, s) in shards.iter().enumerate() {
             s.set_diag_label(format!("shard{k}"));
@@ -576,6 +519,7 @@ impl MultiCore {
         }
         MultiCore {
             shards,
+            combiner,
             xlock: RwLock::new(()),
             cursor: AtomicUsize::new(0),
             next_xid: AtomicU64::new(0),
@@ -876,7 +820,7 @@ impl ShardedChunkStore {
             shard.commit_batch(b, Durability::Durable)?;
         }
         Ok(ShardedChunkStore {
-            repr: Repr::Multi(Arc::new(MultiCore::assemble(shards, 1))),
+            repr: Repr::Multi(Arc::new(MultiCore::assemble(shards, combiner, 1))),
         })
     }
 
@@ -990,7 +934,7 @@ impl ShardedChunkStore {
                 &untrusted, secret, &combiner, k, &cfg, false,
             )?));
         }
-        let core = MultiCore::assemble(shards, epoch);
+        let core = MultiCore::assemble(shards, combiner, epoch);
         Self::redo_cross_shard(&core)?;
         Ok(ShardedChunkStore {
             repr: Repr::Multi(Arc::new(core)),
@@ -1072,13 +1016,17 @@ impl ShardedChunkStore {
     /// The single underlying [`ChunkStore`] when the store is unsharded.
     ///
     /// Bridges APIs that operate on a plain chunk store (backup, restore)
-    /// and are not shard-aware. Fails with
-    /// [`ChunkStoreError::ConfigMismatch`] when more than one shard exists.
-    pub fn unsharded(&self) -> Result<&Arc<ChunkStore>> {
+    /// and are not shard-aware. `operation` names the caller's operation
+    /// for the error message. Fails with
+    /// [`ChunkStoreError::ConfigMismatch`] when more than one shard
+    /// exists, naming the operation and the shard count.
+    pub fn unsharded(&self, operation: &str) -> Result<&Arc<ChunkStore>> {
         match &self.repr {
             Repr::Single(store) => Ok(store),
             Repr::Multi(core) => Err(ChunkStoreError::ConfigMismatch(format!(
-                "operation requires an unsharded store, but this database has {} shards",
+                "{operation} requires an unsharded store, but this database has {} shards; \
+                 per-shard backup/restore is not supported yet — see DESIGN.md \
+                 \"Sharding & the root-of-roots\"",
                 core.n()
             ))),
         }
@@ -1477,6 +1425,138 @@ impl ShardedChunkStore {
         }
     }
 
+    // ---- proof-carrying reads ---------------------------------------
+
+    /// Read `cid` as of `snap` with a deferred proof (see
+    /// [`ChunkStore::proven_at_snapshot`]). On a sharded store the chunk
+    /// routes to its shard, and the bookmark's later
+    /// [`Proven::prove`](crate::proof::Proven::prove) splices the
+    /// shard-local path into a root-of-roots epoch record minted under
+    /// the combiner's state at that moment: the shard attestation carries
+    /// the virtual counter pinned with the snapshot, and the epoch record
+    /// proves the root-of-roots issued (at least) that virtual counter
+    /// under a fresh hardware counter.
+    pub fn proven_at_snapshot(
+        &self,
+        snap: &ShardedSnapshot,
+        cid: ChunkId,
+    ) -> Result<Proven<Option<Vec<u8>>>> {
+        match (&self.repr, &snap.repr) {
+            (Repr::Single(store), SnapRepr::Single(s)) => store.proven_at_snapshot(s, cid),
+            (Repr::Multi(core), SnapRepr::Multi(snaps)) if snaps.len() == core.n() => {
+                let n = core.n();
+                let (s, local) = route(n, cid);
+                let mut proven = core.shards[s].proven_at_snapshot(&snaps[s], local)?;
+                proven.bookmark.proof_id = cid.0;
+                let combiner = core.combiner.clone();
+                proven.bookmark.shard = Some(Arc::new(move || {
+                    let st = combiner.state.lock();
+                    Ok(tdb_proof::ShardBinding {
+                        shard: s as u32,
+                        shards: n as u32,
+                        epoch: tdb_proof::EpochRecord {
+                            hw_counter: st.expected_hw,
+                            epoch: st.epoch,
+                            counters: st.counters.clone(),
+                            tag: tdb_proof::tree::epoch_tag(
+                                combiner.ctx.proof_mac_key(),
+                                st.expected_hw,
+                                st.epoch,
+                                &st.counters,
+                            ),
+                        },
+                    })
+                }));
+                Ok(proven)
+            }
+            _ => Err(ChunkStoreError::ConfigMismatch(
+                "snapshot belongs to a store with a different shard layout".into(),
+            )),
+        }
+    }
+
+    /// Proven read of the last committed state of `cid`; takes a fresh
+    /// consistent snapshot internally. See
+    /// [`proven_at_snapshot`](Self::proven_at_snapshot).
+    pub fn read_proven(&self, cid: ChunkId) -> Result<Proven<Option<Vec<u8>>>> {
+        let snap = self.snapshot();
+        self.proven_at_snapshot(&snap, cid)
+    }
+
+    /// The trust anchor a client verifies this store's proofs against:
+    /// the current hardware-counter binding, the root-of-roots key, and
+    /// one attestation key per shard ([`tdb_proof::TrustKeys::Sharded`]).
+    /// At shard count 1 this is the wrapped store's
+    /// [`ChunkStore::trust_anchor`] unchanged.
+    pub fn trust_anchor(&self) -> Result<tdb_proof::TrustAnchor> {
+        match &self.repr {
+            Repr::Single(store) => store.trust_anchor(),
+            Repr::Multi(core) => {
+                if core.combiner.mode != SecurityMode::Full {
+                    return Err(ChunkStoreError::ConfigMismatch(
+                        "proof-carrying reads require SecurityMode::Full \
+                         (a store created with SecurityMode::Off has no MAC keys to attest under)"
+                            .into(),
+                    ));
+                }
+                let counter_value = core.combiner.state.lock().expected_hw;
+                Ok(tdb_proof::TrustAnchor {
+                    counter_value,
+                    keys: tdb_proof::TrustKeys::Sharded {
+                        rr_mac_key: *core.combiner.ctx.proof_mac_key(),
+                        shard_mac_keys: core.shards.iter().map(|s| s.proof_mac_key()).collect(),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Mint a keyed (index-level) attestation. Sharded stores attest
+    /// keyed roots under the root-of-roots key with the current hardware
+    /// counter binding (the keyed tree spans objects from every shard, so
+    /// no single shard's virtual counter covers it); unsharded stores
+    /// bind the snapshot-pinned counter. See
+    /// [`ChunkStore::keyed_attest_at`].
+    pub fn keyed_attest_at(
+        &self,
+        snap: &ShardedSnapshot,
+        scope: &str,
+        total: u64,
+        root: &Digest,
+    ) -> Result<tdb_proof::KeyedAttestation> {
+        match (&self.repr, &snap.repr) {
+            (Repr::Single(store), SnapRepr::Single(s)) => {
+                store.keyed_attest_at(s, scope, total, root)
+            }
+            (Repr::Multi(core), SnapRepr::Multi(_)) => {
+                if core.combiner.mode != SecurityMode::Full {
+                    return Err(ChunkStoreError::ConfigMismatch(
+                        "proof-carrying reads require SecurityMode::Full \
+                         (a store created with SecurityMode::Off has no MAC keys to attest under)"
+                            .into(),
+                    ));
+                }
+                let counter_value = core.combiner.state.lock().expected_hw;
+                let commit_seq = snap.commit_seq();
+                Ok(tdb_proof::KeyedAttestation {
+                    counter_value,
+                    commit_seq,
+                    tag: tdb_proof::keyed::keyed_tag(
+                        core.combiner.ctx.proof_mac_key(),
+                        counter_value,
+                        commit_seq,
+                        scope,
+                        total,
+                        root,
+                    ),
+                })
+            }
+            _ => Err(ChunkStoreError::ConfigMismatch(
+                "snapshot belongs to a store with a different shard layout".into(),
+            )),
+        }
+    }
+
     // ---- maintenance & lifecycle ------------------------------------
 
     /// Checkpoint every shard's location map.
@@ -1640,9 +1720,12 @@ impl ShardedChunkStore {
     pub fn restore_image(&self, chunks: Vec<(ChunkId, Vec<u8>)>) -> Result<()> {
         match &self.repr {
             Repr::Single(store) => store.restore_image(chunks),
-            Repr::Multi(_) => Err(ChunkStoreError::ConfigMismatch(
-                "restore into a sharded store is not supported; restore with shards = 1".into(),
-            )),
+            Repr::Multi(core) => Err(ChunkStoreError::ConfigMismatch(format!(
+                "restore_image requires an unsharded store, but this database has {} shards; \
+                 restore into a store opened with shards = 1 — see DESIGN.md \
+                 \"Sharding & the root-of-roots\"",
+                core.n()
+            ))),
         }
     }
 
@@ -1655,9 +1738,12 @@ impl ShardedChunkStore {
     ) -> Result<()> {
         match &self.repr {
             Repr::Single(store) => store.apply_restore_delta(writes, removes),
-            Repr::Multi(_) => Err(ChunkStoreError::ConfigMismatch(
-                "restore into a sharded store is not supported; restore with shards = 1".into(),
-            )),
+            Repr::Multi(core) => Err(ChunkStoreError::ConfigMismatch(format!(
+                "apply_restore_delta requires an unsharded store, but this database has {} \
+                 shards; restore into a store opened with shards = 1 — see DESIGN.md \
+                 \"Sharding & the root-of-roots\"",
+                core.n()
+            ))),
         }
     }
 }
@@ -1771,6 +1857,38 @@ mod tests {
                 assert!(local.0 >= 1, "local 0 must stay reserved");
                 assert_eq!(unroute(n, s, local), ChunkId(g));
             }
+        }
+    }
+
+    /// Byte-identical golden vectors captured from the pre-`tdb-proof`
+    /// root-of-roots encoder (fresh context per encode ⇒ deterministic
+    /// first IV). A failure here means existing sharded databases no
+    /// longer reopen — a compatibility break, not a vector to refresh.
+    #[test]
+    fn golden_rr_slot_encoding_is_stable() {
+        const GOLDEN_FULL: &str = "544442525230303109000000000000000150000000711d78eba76bea3703f2352e6d79db51526df6364e7c7b48f8b91deb7f1e836827cd080e370c5ceea68bab2482226c7ff73e7ececb2639fa8bda510023c9987287eaff864db791470eede8b556e4584b01271089a23e5e9e25b48846a248ff88511389ec2a5d80e174676e15e52273ad";
+        const GOLDEN_OFF: &str = "544442525230303109000000000000000030000000090000000000000003000000020000002900000000000000050000000000000000000000000000002400000000000000486b30aec53ca8fd6f5eaf203d5ee8d1840252a85fad89de8fe08e42f0e0c8eb";
+        let st = RrState {
+            rr_seq: 9,
+            shards: 3,
+            epoch: 2,
+            expected_hw: 41,
+            counters: vec![5, 0, 36],
+        };
+        for (mode, golden) in [
+            (SecurityMode::Full, GOLDEN_FULL),
+            (SecurityMode::Off, GOLDEN_OFF),
+        ] {
+            let ctx = CryptoCtx::with_domain(mode, &secret(), 7, RR_DOMAIN).unwrap();
+            let bytes = st.encode(&ctx);
+            let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+            assert_eq!(hex, golden, "{mode:?} root-of-roots slot bytes drifted");
+            let golden_bytes: Vec<u8> = (0..golden.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&golden[i..i + 2], 16).unwrap())
+                .collect();
+            let fresh = CryptoCtx::with_domain(mode, &secret(), 7, RR_DOMAIN).unwrap();
+            assert_eq!(RrState::decode(&fresh, &golden_bytes).unwrap().unwrap(), st);
         }
     }
 

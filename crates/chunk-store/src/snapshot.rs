@@ -24,6 +24,12 @@ pub(crate) struct SnapCore {
     pub(crate) fanout: usize,
     /// Commit sequence number the snapshot was taken at.
     pub(crate) seq: u64,
+    /// One-way counter value observed when the snapshot was pinned (the
+    /// shard's *virtual* counter on a sharded member store). Proof
+    /// attestations deferred to [`Proven::prove`](crate::proof::Proven::prove)
+    /// are minted over this value, so a proof stays bound to the freshness
+    /// the reader actually observed, not to whatever the counter says later.
+    pub(crate) counter_value: u64,
 }
 
 /// A frozen, consistent view of the whole chunk database.

@@ -25,6 +25,8 @@ macro_rules! counters {
             registry: Arc<Registry>,
             /// Commit-path / maintenance phase timings.
             pub phases: Phases,
+            /// Proof-carrying read counters (`proof.*`).
+            pub proofs: ProofCounters,
             $( $(#[$doc])* pub $name: Counter, )*
         }
 
@@ -40,6 +42,7 @@ macro_rules! counters {
             pub fn with_registry(registry: Arc<Registry>) -> Stats {
                 Stats {
                     phases: Phases::with_registry(&registry),
+                    proofs: ProofCounters::with_registry(&registry),
                     $( $name: registry.counter(concat!("chunk.", stringify!($name))), )*
                     registry,
                 }
@@ -136,6 +139,29 @@ impl Stats {
     /// The observability registry these counters live in.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+}
+
+/// Counters for the proof-carrying read path, registered under the
+/// `proof.` prefix (they describe the trust layer, not the log). They are
+/// intentionally outside [`StatsSnapshot`] — consumers (the `fig_proofs`
+/// bench, dashboards) read them through the observability registry.
+pub struct ProofCounters {
+    /// Proven reads served (bookmark captured).
+    pub proven_reads: Counter,
+    /// Chunk proofs actually constructed (deferred `prove()` calls).
+    pub minted: Counter,
+    /// Keyed (index-level) attestations minted.
+    pub keyed_minted: Counter,
+}
+
+impl ProofCounters {
+    fn with_registry(registry: &Registry) -> ProofCounters {
+        ProofCounters {
+            proven_reads: registry.counter("proof.proven_reads"),
+            minted: registry.counter("proof.minted"),
+            keyed_minted: registry.counter("proof.keyed_minted"),
+        }
     }
 }
 

@@ -33,6 +33,7 @@ use crate::layout::{
 };
 use crate::maintenance::{self, MaintShared, PassResult};
 use crate::map::{diff_roots, Location, LocationMap};
+use crate::proof::{self, BookmarkOutcome, ProofBookmark, Proven};
 use crate::recovery;
 use crate::segment::{self, SegmentManager};
 use crate::snapshot::{SnapCore, Snapshot, SnapshotDiff};
@@ -631,6 +632,7 @@ impl Inner {
             depth,
             fanout: self.cfg.map_fanout,
             seq: self.commit_seq,
+            counter_value: self.counter_value,
         });
         self.snapshots.push(Arc::downgrade(&core));
         Snapshot { core }
@@ -1745,6 +1747,108 @@ impl ChunkStore {
         let seq = inner.commit_seq;
         let bytes = inner.read_with(&Batch::default(), cid)?;
         Ok((bytes, seq))
+    }
+
+    // ---- proof-carrying reads ----------------------------------------
+
+    /// The MAC key this store's proofs attest under (a sharded store
+    /// collects one per shard into its [`tdb_proof::TrustKeys::Sharded`]).
+    pub(crate) fn proof_mac_key(&self) -> [u8; 32] {
+        *self.core.ctx.proof_mac_key()
+    }
+
+    /// Read a chunk as of `snap`, returning a [`Proven`] value: the bytes
+    /// (or `None` for provable absence) plus a bookmark from which
+    /// [`Proven::prove`] can later build a [`tdb_proof::ChunkProof`]
+    /// checkable by a standalone [`tdb_proof::Verifier`]. The read itself
+    /// pays only the bookmark (an `Arc` clone plus one value hash); proof
+    /// construction is deferred until `prove()` and runs lock-free against
+    /// the frozen snapshot root, so it is stable under concurrent commits
+    /// and cleaner relocation. Requires [`SecurityMode::Full`].
+    pub fn proven_at_snapshot(
+        &self,
+        snap: &Snapshot,
+        cid: ChunkId,
+    ) -> Result<Proven<Option<Vec<u8>>>> {
+        proof::require_full_security(&self.core.ctx)?;
+        let (value, outcome) = match snap.location_of(cid) {
+            Some(loc) => {
+                let data = self.read_at_snapshot(snap, cid)?;
+                let plain_hash = proof::plain_digest(&data);
+                (
+                    Some(data),
+                    BookmarkOutcome::Included {
+                        sealed_hash: loc.hash,
+                        plain_hash,
+                    },
+                )
+            }
+            None => (None, BookmarkOutcome::Absent),
+        };
+        self.core.stats.proofs.proven_reads.add(1);
+        Ok(Proven {
+            value,
+            bookmark: ProofBookmark {
+                ctx: self.core.ctx.clone(),
+                core: snap.core.clone(),
+                cid,
+                proof_id: cid.0,
+                outcome,
+                shard: None,
+                stats: self.core.stats.clone(),
+            },
+        })
+    }
+
+    /// Proven read of the last *committed* state (staged operations are
+    /// ignored — proofs speak about committed snapshots only). Takes a
+    /// fresh snapshot internally; see [`ChunkStore::proven_at_snapshot`].
+    pub fn read_proven(&self, cid: ChunkId) -> Result<Proven<Option<Vec<u8>>>> {
+        let snap = self.snapshot();
+        self.proven_at_snapshot(&snap, cid)
+    }
+
+    /// The trust anchor a client needs to verify this store's proofs: the
+    /// current counter value plus the root MAC key. Ship it to the client
+    /// over a trusted channel (provisioning); any proof attesting an older
+    /// counter value is then rejected as a replay.
+    pub fn trust_anchor(&self) -> Result<tdb_proof::TrustAnchor> {
+        proof::require_full_security(&self.core.ctx)?;
+        let counter_value = self.core.inner.lock().counter_value;
+        Ok(tdb_proof::TrustAnchor {
+            counter_value,
+            keys: tdb_proof::TrustKeys::Single {
+                root_mac_key: *self.core.ctx.proof_mac_key(),
+            },
+        })
+    }
+
+    /// Mint a keyed (index-level) attestation bound to `snap`'s pinned
+    /// counter and commit sequence. The collection layer rebuilds the
+    /// keyed tree over an index's sorted keys at the snapshot and calls
+    /// this to bind its root; the verifier side is
+    /// [`tdb_proof::Verifier::verify_keyed`].
+    pub fn keyed_attest_at(
+        &self,
+        snap: &Snapshot,
+        scope: &str,
+        total: u64,
+        root: &Digest,
+    ) -> Result<tdb_proof::KeyedAttestation> {
+        proof::require_full_security(&self.core.ctx)?;
+        self.core.stats.proofs.keyed_minted.add(1);
+        Ok(tdb_proof::KeyedAttestation {
+            counter_value: snap.core.counter_value,
+            commit_seq: snap.core.seq,
+            tag: tdb_proof::keyed::keyed_tag(
+                self.core.ctx.proof_mac_key(),
+                snap.core.counter_value,
+                snap.core.seq,
+                scope,
+                total,
+                root,
+            ),
+        })
     }
 
     /// Compare two snapshots (the engine of incremental backups).

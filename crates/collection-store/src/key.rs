@@ -55,6 +55,53 @@ impl Key {
         h
     }
 
+    /// Order-preserving byte encoding: for any two keys `a`, `b`,
+    /// `a < b` ⟺ `a.encode_ordered() < b.encode_ordered()`
+    /// (lexicographically). Proof-carrying lookups commit an index's
+    /// entries to a [`tdb_proof::KeyedTree`] sorted by these bytes, so a
+    /// non-membership bracket in byte order is a bracket in `Key` order.
+    ///
+    /// The pickled form ([`Key::pickle`]) is **not** order-preserving —
+    /// little-endian integers and length prefixes both break lexicographic
+    /// order — hence this separate encoding: rank byte (matching the
+    /// cross-variant ordering), then a big-endian sign-flipped integer,
+    /// raw string/byte payload, or escape-terminated composite parts.
+    pub fn encode_ordered(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_ordered_into(&mut out);
+        out
+    }
+
+    fn encode_ordered_into(&self, out: &mut Vec<u8>) {
+        out.push(self.rank());
+        match self {
+            // Flipping the sign bit maps i64 order onto u64 order; big
+            // endian then makes byte order match numeric order.
+            Key::I64(v) => out.extend_from_slice(&((*v as u64) ^ (1 << 63)).to_be_bytes()),
+            Key::U64(v) => out.extend_from_slice(&v.to_be_bytes()),
+            Key::Str(s) => out.extend_from_slice(s.as_bytes()),
+            Key::Bytes(b) => out.extend_from_slice(b),
+            Key::Composite(parts) => {
+                // Each part is escaped (0x00 -> 0x00 0xFF) and terminated
+                // with 0x00 0x00, so part boundaries never bleed and a
+                // composite that is a strict prefix of another sorts first
+                // (the terminator is below every escaped content byte).
+                for p in parts {
+                    let mut enc = Vec::new();
+                    p.encode_ordered_into(&mut enc);
+                    for byte in enc {
+                        if byte == 0 {
+                            out.extend_from_slice(&[0x00, 0xFF]);
+                        } else {
+                            out.push(byte);
+                        }
+                    }
+                    out.extend_from_slice(&[0x00, 0x00]);
+                }
+            }
+        }
+    }
+
     /// Serialize into a pickler (variant tag + payload).
     pub fn pickle(&self, w: &mut Pickler) {
         match self {
@@ -242,6 +289,52 @@ mod tests {
             }
             h
         });
+    }
+
+    #[test]
+    fn encode_ordered_agrees_with_key_ordering() {
+        // A deliberately adversarial set: sign boundaries, prefixes,
+        // embedded zero bytes (the escape path), empty payloads, nesting,
+        // and cross-variant pairs.
+        let keys = [
+            Key::I64(i64::MIN),
+            Key::I64(-1),
+            Key::I64(0),
+            Key::I64(1),
+            Key::I64(i64::MAX),
+            Key::U64(0),
+            Key::U64(255),
+            Key::U64(256),
+            Key::U64(u64::MAX),
+            Key::str(""),
+            Key::str("a"),
+            Key::str("ab"),
+            Key::str("abc"),
+            Key::str("b"),
+            Key::Bytes(vec![]),
+            Key::Bytes(vec![0]),
+            Key::Bytes(vec![0, 0]),
+            Key::Bytes(vec![0, 1]),
+            Key::Bytes(vec![1]),
+            Key::Bytes(vec![1, 0]),
+            Key::Composite(vec![]),
+            Key::Composite(vec![Key::str("ab")]),
+            Key::Composite(vec![Key::str("ab"), Key::I64(-7)]),
+            Key::Composite(vec![Key::str("ab"), Key::I64(7)]),
+            Key::Composite(vec![Key::str("abc")]),
+            Key::Composite(vec![Key::Bytes(vec![0]), Key::U64(1)]),
+            Key::Composite(vec![Key::Bytes(vec![0, 0])]),
+            Key::Composite(vec![Key::Composite(vec![Key::str("x")])]),
+        ];
+        for a in &keys {
+            for b in &keys {
+                assert_eq!(
+                    a.cmp(b),
+                    a.encode_ordered().cmp(&b.encode_ordered()),
+                    "order mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use extractor::{ExtractorFn, ExtractorRegistry};
 pub use iterator::CIter;
 pub use key::Key;
 pub use meta::{IndexKind, IndexSpec};
-pub use read::{ReadCTransaction, ReadCollection};
+pub use read::{ProvenLookup, ReadCTransaction, ReadCollection};
 pub use store::CollectionStore;
 
 pub use object_store::{ChunkId as ObjectId, Durability, Persistent, Pickler, Unpickler};

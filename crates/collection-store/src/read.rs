@@ -195,4 +195,100 @@ impl ReadCollection<'_> {
     pub fn get<T: Persistent, R>(&self, oid: ObjectId, f: impl FnOnce(&T) -> R) -> Result<R> {
         self.rt.read(oid, f)
     }
+
+    /// Proof-carrying exact lookup: the ids whose `index` key equals
+    /// `key`, together with a keyed (non-)membership proof over the whole
+    /// index as of the snapshot. An empty result is **provably** empty —
+    /// the proof brackets the miss between the two adjacent committed
+    /// keys. Verify with
+    /// [`Verifier::verify_keyed`](tdb_proof::Verifier::verify_keyed)
+    /// against the store's trust anchor; the verifier returns exactly the
+    /// ids in [`ProvenLookup::entries`].
+    ///
+    /// Works on any index kind: the proof commits the index's full entry
+    /// set sorted by [`Key::encode_ordered`], regardless of how the index
+    /// organizes lookups internally. Cost is a full index scan at the
+    /// snapshot — this is an audit-grade read, not a fast path.
+    pub fn exact_proven(&self, index: &str, key: &Key) -> Result<ProvenLookup> {
+        let lo = key.encode_ordered();
+        let hi = tdb_proof::key_successor(&lo);
+        self.proven_lookup(index, lo, Some(hi))
+    }
+
+    /// Proof-carrying range query over an ordered (B-tree) index; see
+    /// [`exact_proven`](ReadCollection::exact_proven). All [`Bound`]
+    /// forms are supported — they map exactly onto the proof's half-open
+    /// encoded-key range.
+    pub fn range_proven(
+        &self,
+        index: &str,
+        min: Bound<&Key>,
+        max: Bound<&Key>,
+    ) -> Result<ProvenLookup> {
+        let meta = self.meta_named(index)?;
+        if !matches!(meta.spec.kind, IndexKind::BTree) {
+            return Err(CollectionError::UnsupportedQuery {
+                index: index.to_string(),
+                what: "range queries",
+            });
+        }
+        let lo = match min {
+            Bound::Included(k) => k.encode_ordered(),
+            Bound::Excluded(k) => tdb_proof::key_successor(&k.encode_ordered()),
+            Bound::Unbounded => Vec::new(),
+        };
+        let hi = match max {
+            Bound::Included(k) => Some(tdb_proof::key_successor(&k.encode_ordered())),
+            Bound::Excluded(k) => Some(k.encode_ordered()),
+            Bound::Unbounded => None,
+        };
+        self.proven_lookup(index, lo, hi)
+    }
+
+    fn proven_lookup(&self, index: &str, lo: Vec<u8>, hi: Option<Vec<u8>>) -> Result<ProvenLookup> {
+        self.rt.obs.lookups.inc();
+        let meta = self.meta_named(index)?;
+        let reader = &self.rt.rtxn;
+        let all: Vec<(Key, ObjectId)> = match meta.spec.kind {
+            IndexKind::BTree => btree::scan(reader, meta.root)?,
+            IndexKind::Hash => dynhash::scan(reader, meta.root)?,
+            IndexKind::List => listindex::scan(reader, meta.root)?,
+        };
+        let tree = tdb_proof::KeyedTree::build(
+            all.iter()
+                .map(|(k, id)| tdb_proof::KeyedEntry {
+                    key: k.encode_ordered(),
+                    id: id.0,
+                })
+                .collect(),
+        );
+        let scope = format!("{}/{}", self.name, index);
+        let mut proof = tree.prove_range(&scope, &lo, hi.as_deref());
+        proof.attestation = reader.keyed_attest(&scope, proof.total, &proof.root)?;
+        // The matching entries, in the committed (encoded-key, id) order,
+        // so they line up 1:1 with the ids the verifier returns.
+        let mut entries: Vec<(Key, ObjectId)> = all
+            .into_iter()
+            .filter(|(k, _)| {
+                let enc = k.encode_ordered();
+                enc >= lo && hi.as_ref().is_none_or(|h| &enc < h)
+            })
+            .collect();
+        entries.sort_by(|(ka, ia), (kb, ib)| ka.cmp(kb).then(ia.0.cmp(&ib.0)));
+        Ok(ProvenLookup { entries, proof })
+    }
+}
+
+/// The result of a proof-carrying index lookup
+/// ([`ReadCollection::exact_proven`], [`ReadCollection::range_proven`]):
+/// the matching entries plus the keyed proof that this is the **complete**
+/// answer as of the snapshot — including the non-membership case, where
+/// `entries` is empty and the proof brackets the queried range.
+pub struct ProvenLookup {
+    /// Matching `(key, id)` entries in committed order (sorted by the
+    /// order-preserving key encoding, ties by id).
+    pub entries: Vec<(Key, ObjectId)>,
+    /// The self-contained proof; the snapshot's counter value and commit
+    /// sequence are bound inside its attestation.
+    pub proof: tdb_proof::KeyedProof,
 }

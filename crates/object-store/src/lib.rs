@@ -68,7 +68,7 @@ pub mod refs;
 pub mod store;
 pub mod txn;
 
-pub use chunk_store::{ChunkId, Durability};
+pub use chunk_store::{ChunkId, Durability, Proven};
 pub use class::{ClassId, ClassRegistry, Persistent, UnpickleFn};
 pub use error::{ObjectStoreError, Result};
 pub use locks::{LockMode, LockStats};

@@ -24,7 +24,7 @@ use crate::error::{ObjectStoreError, Result};
 use crate::reader::ObjectReader;
 use crate::store::{ObjectCell, ObjectStore};
 use crate::{ObjectId, Persistent};
-use chunk_store::ShardedSnapshot;
+use chunk_store::{Proven, ShardedSnapshot};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -106,6 +106,78 @@ impl ReadTransaction {
     /// Class id of an object without naming its Rust type.
     pub fn class_of(&self, oid: ObjectId) -> Result<crate::ClassId> {
         self.with_readonly(oid, |obj| obj.class_id())
+    }
+
+    /// Proof-carrying read: apply `f` to the object downcast to `T` and
+    /// return the result together with a deferred inclusion proof, or a
+    /// provable `None` if the object does not exist as of the snapshot.
+    ///
+    /// Unlike [`read`](ReadTransaction::read), this always takes the
+    /// snapshot path — the proof must speak about the pinned chunk bytes,
+    /// so the shared cache's fast path cannot be used. Call
+    /// [`Proven::prove`](chunk_store::Proven::prove) at any later time
+    /// (even after writers commit and the cleaner relocates segments) to
+    /// obtain the [`tdb_proof::ChunkProof`] a standalone verifier checks
+    /// against the store's trust anchor.
+    /// The chunk proof binds the object's **pickled bytes** (that is what
+    /// the store hashes); a verifier therefore needs those bytes, either
+    /// from [`read_proven_bytes`](ReadTransaction::read_proven_bytes) or
+    /// by re-pickling the typed object (pickling is deterministic).
+    pub fn read_proven<T: Persistent, R>(
+        &self,
+        oid: ObjectId,
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<Proven<Option<R>>> {
+        let proven = self
+            .store
+            .inner
+            .chunks
+            .proven_at_snapshot(&self.snap, oid)?;
+        let decoded = match &proven.value {
+            Some(bytes) => {
+                let obj = self.store.inner.registry.unpickle_object(bytes)?;
+                match obj.as_any().downcast_ref::<T>() {
+                    Some(t) => Some(f(t)),
+                    None => {
+                        return Err(ObjectStoreError::TypeMismatch {
+                            id: oid,
+                            found: obj.class_id(),
+                        })
+                    }
+                }
+            }
+            None => None,
+        };
+        Ok(proven.map(|_| decoded))
+    }
+
+    /// Proof-carrying read of the object's raw pickled bytes — the
+    /// transferable form: ship `(bytes, proof)` to a client and it can
+    /// check [`Verifier::verify_chunk`](tdb_proof::Verifier::verify_chunk)
+    /// with exactly these bytes, then unpickle locally.
+    pub fn read_proven_bytes(&self, oid: ObjectId) -> Result<Proven<Option<Vec<u8>>>> {
+        Ok(self
+            .store
+            .inner
+            .chunks
+            .proven_at_snapshot(&self.snap, oid)?)
+    }
+
+    /// Mint a keyed-root attestation bound to this reader's snapshot
+    /// (counter value and commit sequence). The collection layer uses this
+    /// to attest the root of a [`tdb_proof::KeyedTree`] rebuilt from an
+    /// index scan at the same snapshot.
+    pub fn keyed_attest(
+        &self,
+        scope: &str,
+        total: u64,
+        root: &tdb_proof::Digest,
+    ) -> Result<tdb_proof::KeyedAttestation> {
+        Ok(self
+            .store
+            .inner
+            .chunks
+            .keyed_attest_at(&self.snap, scope, total, root)?)
     }
 
     /// A named root object id **as of the snapshot** (a root registered by

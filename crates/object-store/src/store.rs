@@ -502,6 +502,14 @@ impl ObjectStore {
         &self.inner.chunks
     }
 
+    /// The trust anchor a client verifies this store's proofs against
+    /// (see [`ReadTransaction::read_proven`](crate::ReadTransaction)).
+    /// Contains MAC key material — hand it only to parties entitled to
+    /// verify.
+    pub fn trust_anchor(&self) -> Result<tdb_proof::TrustAnchor> {
+        Ok(self.inner.chunks.trust_anchor()?)
+    }
+
     /// Cache statistics (summed over the shards).
     pub fn cache_stats(&self) -> CacheStats {
         let mut bytes = 0usize;

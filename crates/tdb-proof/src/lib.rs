@@ -1,0 +1,73 @@
+//! The extracted trust layer of TDB (paper §3.2.1).
+//!
+//! Everything that lets one party convince another that a read came from
+//! the authentic database lives here, with **no** dependency on the chunk
+//! store: the chunk store is a *consumer* of this crate, and so is any
+//! client that wants to check a proof offline.
+//!
+//! * [`slot`] — the authenticated double-buffered slot format shared by
+//!   the single-store anchor (`anchor.a`/`anchor.b`) and the sharded
+//!   root-of-roots (`rr.a`/`rr.b`): magic, plaintext sequence, mode tag,
+//!   sealed body, MAC. One implementation instead of the two copies that
+//!   used to live in `anchor.rs` and `sharded.rs`.
+//! * [`tree`] — canonical hashing for the proof tree that mirrors the
+//!   radix location map, inclusion/non-membership paths, and the HMAC
+//!   attestations binding a tree root to a one-way counter value.
+//! * [`keyed`] — a keyed hash tree over the *sorted keys of an index*
+//!   (Bauer's non-membership construction): "no such entry" is proven by
+//!   exhibiting the two adjacent keys that bracket the miss.
+//! * [`verify`] — the pure [`Verifier`]: checks any proof against nothing
+//!   but a [`TrustAnchor`] — a trusted `(counter_value, root_mac_key)`
+//!   pair (plus per-shard keys when the database is sharded).
+//! * [`wire`] — a stable serialization of proofs and anchors so they can
+//!   be dumped to disk and checked offline (`tdb-doctor verify-proof`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod keyed;
+pub mod slot;
+pub mod tree;
+pub mod verify;
+pub mod wire;
+
+pub use keyed::{
+    key_successor, KeyedAttestation, KeyedCase, KeyedEntry, KeyedPath, KeyedProof, KeyedTree,
+};
+pub use slot::{decode_slot, encode_slot, SlotError, SlotPair, SlotSealer};
+pub use tree::{Attestation, ChunkOutcome, ChunkProof, EpochRecord, PathNode, ShardBinding};
+pub use verify::{ProofError, TrustAnchor, TrustKeys, Verifier};
+
+pub use tdb_crypto::Digest;
+
+/// Route a global chunk id onto `shards` partitions: shard `g % N`, local
+/// id `g / N + 1` (local id 0 is reserved for shard-internal metadata).
+/// This is *the* routing function — the sharded store and the verifier
+/// must agree on it, so it lives in the trust layer.
+pub fn route(shards: usize, global: u64) -> (usize, u64) {
+    (
+        (global % shards as u64) as usize,
+        global / shards as u64 + 1,
+    )
+}
+
+/// Inverse of [`route`].
+pub fn unroute(shards: usize, shard: usize, local: u64) -> u64 {
+    (local - 1) * shards as u64 + shard as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_roundtrips() {
+        for n in [1usize, 2, 3, 5, 64] {
+            for g in 0..300u64 {
+                let (s, l) = route(n, g);
+                assert!(s < n && l >= 1);
+                assert_eq!(unroute(n, s, l), g);
+            }
+        }
+    }
+}

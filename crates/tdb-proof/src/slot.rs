@@ -1,0 +1,321 @@
+//! The authenticated double-buffered slot format.
+//!
+//! Both trust roots of a TDB database — the single-store anchor and the
+//! sharded root-of-roots — persist as a pair of alternating slot files
+//! with the exact same shape:
+//!
+//! ```text
+//! magic(8) || seq_le(8) || mode_tag(1) || body_len_le(4) || sealed_body || mac(32)
+//! ```
+//!
+//! The sequence number is plaintext (slot arbitration must work before
+//! decryption), the body is sealed under the writer's mode, and the MAC
+//! covers everything before it. Decoding authenticates under the mode the
+//! slot *claims* before trusting the claim: a corrupted mode byte fails
+//! its MAC and reads as tampering, while an authentic slot written under
+//! a different mode is a genuine configuration mismatch.
+//!
+//! The caller supplies the crypto through [`SlotSealer`] (the chunk
+//! store's `CryptoCtx` implements it) and owns the body format; this
+//! module owns the framing, arbitration, and write protocol that used to
+//! be duplicated between `anchor.rs` and `sharded.rs`.
+
+use tdb_crypto::{Digest, DIGEST_LEN};
+use tdb_platform::UntrustedStore;
+
+/// Crypto operations a slot codec needs, mode- and key-aware but opaque
+/// to this module.
+pub trait SlotSealer {
+    /// Mode tag byte written into (and expected from) slots.
+    fn mode_tag(&self) -> u8;
+    /// Seal a body for storage (encrypt, or pass through when off).
+    fn seal_body(&self, plain: &[u8]) -> Vec<u8>;
+    /// Inverse of [`seal_body`](Self::seal_body). A structurally invalid
+    /// ciphertext is tampering.
+    fn open_body(&self, sealed: &[u8]) -> Result<Vec<u8>, SlotError>;
+    /// The authentication tag a sealer *in mode `mode_tag`* (with this
+    /// key material) computes over `bytes`; `None` if the tag byte names
+    /// no known mode.
+    fn tag_for_mode(&self, mode_tag: u8, bytes: &[u8]) -> Option<Digest>;
+}
+
+/// Errors from slot decoding and slot-pair IO, mapped by the caller onto
+/// its own error type.
+#[derive(Debug)]
+pub enum SlotError {
+    /// Neither slot exists — no database was ever created here.
+    Missing,
+    /// A present slot failed structural or cryptographic validation.
+    Tamper(String),
+    /// The slot is authentic but was written under a different security
+    /// mode than the one configured now.
+    ModeMismatch,
+    /// The untrusted store itself failed.
+    Platform(tdb_platform::PlatformError),
+}
+
+impl From<tdb_platform::PlatformError> for SlotError {
+    fn from(e: tdb_platform::PlatformError) -> Self {
+        SlotError::Platform(e)
+    }
+}
+
+const HEADER_LEN: usize = 8 + 8 + 1 + 4;
+
+/// Serialize a slot: frame `body` (sealed by `sealer`) under `magic` with
+/// the plaintext `seq`, and MAC the whole thing.
+pub fn encode_slot(sealer: &dyn SlotSealer, magic: &[u8; 8], seq: u64, body: &[u8]) -> Vec<u8> {
+    let sealed = sealer.seal_body(body);
+    let mut out = Vec::with_capacity(HEADER_LEN + sealed.len() + DIGEST_LEN);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(sealer.mode_tag());
+    out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
+    out.extend_from_slice(&sealed);
+    let tag = sealer
+        .tag_for_mode(sealer.mode_tag(), &out)
+        .expect("own mode tag is always known");
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Parse and authenticate a slot. Returns `Ok(None)` for an empty slot
+/// (never written) and the plaintext sequence plus opened body otherwise.
+/// `what` prefixes error messages ("anchor", "root-of-roots", ...). The
+/// caller must cross-check the returned sequence against the one inside
+/// its decoded body.
+pub fn decode_slot(
+    sealer: &dyn SlotSealer,
+    magic: &[u8; 8],
+    what: &str,
+    bytes: &[u8],
+) -> Result<Option<(u64, Vec<u8>)>, SlotError> {
+    if bytes.is_empty() {
+        return Ok(None);
+    }
+    let tampered = |m: &str| SlotError::Tamper(format!("{what}: {m}"));
+    if bytes.len() < HEADER_LEN + DIGEST_LEN {
+        return Err(tampered("truncated"));
+    }
+    if &bytes[..8] != magic {
+        return Err(tampered("bad magic"));
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let claimed = bytes[16];
+    let body_len = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
+    if bytes.len() != HEADER_LEN + body_len + DIGEST_LEN {
+        return Err(tampered("length mismatch"));
+    }
+    let (signed, tag_bytes) = bytes.split_at(HEADER_LEN + body_len);
+    let tag: Digest = tag_bytes.try_into().expect("32 bytes");
+    // Authenticate under the claimed mode before trusting the claim.
+    let expected = match sealer.tag_for_mode(claimed, signed) {
+        Some(t) => t,
+        None => return Err(tampered("bad mode tag")),
+    };
+    if !tdb_crypto::ct_eq(&expected, &tag) {
+        return Err(tampered("authentication tag mismatch"));
+    }
+    if claimed != sealer.mode_tag() {
+        return Err(SlotError::ModeMismatch);
+    }
+    let body = sealer.open_body(&signed[HEADER_LEN..])?;
+    Ok(Some((seq, body)))
+}
+
+/// The double-buffered slot pair on an untrusted store: existence checks,
+/// newest-valid arbitration, and the alternating write protocol.
+pub struct SlotPair<'a> {
+    store: &'a dyn UntrustedStore,
+    magic: [u8; 8],
+    names: [&'static str; 2],
+    what: &'static str,
+}
+
+impl<'a> SlotPair<'a> {
+    /// Bind a slot pair (`names` alternated by sequence parity) on `store`.
+    pub fn new(
+        store: &'a dyn UntrustedStore,
+        magic: [u8; 8],
+        names: [&'static str; 2],
+        what: &'static str,
+    ) -> Self {
+        SlotPair {
+            store,
+            magic,
+            names,
+            what,
+        }
+    }
+
+    /// Whether either slot exists (i.e. a database was created here).
+    pub fn exists(&self) -> Result<bool, SlotError> {
+        Ok(self.store.exists(self.names[0])? || self.store.exists(self.names[1])?)
+    }
+
+    fn read_slot(&self, name: &str) -> Result<Vec<u8>, SlotError> {
+        if !self.store.exists(name)? {
+            return Ok(Vec::new());
+        }
+        let f = self.store.open(name, false)?;
+        let len = f.len()? as usize;
+        let mut buf = vec![0u8; len];
+        f.read_at(0, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read both slots and return the `(seq, body)` of the valid slot with
+    /// the highest sequence. One invalid slot is tolerated **only** as the
+    /// *older* write (a torn update); if slots exist but none decodes, the
+    /// first decode error is returned. No slot at all is
+    /// [`SlotError::Missing`].
+    pub fn read_best(&self, sealer: &dyn SlotSealer) -> Result<(u64, Vec<u8>), SlotError> {
+        let mut best: Option<(u64, Vec<u8>)> = None;
+        let mut first_error: Option<SlotError> = None;
+        let mut any_present = false;
+        for name in self.names {
+            let bytes = self.read_slot(name)?;
+            if !bytes.is_empty() {
+                any_present = true;
+            }
+            match decode_slot(sealer, &self.magic, self.what, &bytes) {
+                Ok(Some((seq, body))) => {
+                    if best.as_ref().is_none_or(|(b, _)| seq > *b) {
+                        best = Some((seq, body));
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        match (best, any_present) {
+            (Some(found), _) => Ok(found),
+            (None, false) => Err(SlotError::Missing),
+            (None, true) => Err(first_error
+                .unwrap_or_else(|| SlotError::Tamper(format!("{}: no valid slot", self.what)))),
+        }
+    }
+
+    /// Write a slot for `seq` into the slot selected by sequence parity
+    /// (the one *not* holding the current best), then sync.
+    pub fn write(&self, sealer: &dyn SlotSealer, seq: u64, body: &[u8]) -> Result<(), SlotError> {
+        let name = self.names[(seq % 2) as usize];
+        let bytes = encode_slot(sealer, &self.magic, seq, body);
+        let f = self.store.open(name, true)?;
+        f.set_len(bytes.len() as u64)?;
+        f.write_at(0, &bytes)?;
+        f.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_platform::MemStore;
+
+    /// A toy sealer: XOR "encryption", keyed-sum MAC — enough to exercise
+    /// framing and arbitration without real crypto.
+    struct ToySealer {
+        mode: u8,
+        key: u8,
+    }
+
+    impl SlotSealer for ToySealer {
+        fn mode_tag(&self) -> u8 {
+            self.mode
+        }
+        fn seal_body(&self, plain: &[u8]) -> Vec<u8> {
+            plain.iter().map(|b| b ^ self.key).collect()
+        }
+        fn open_body(&self, sealed: &[u8]) -> Result<Vec<u8>, SlotError> {
+            Ok(sealed.iter().map(|b| b ^ self.key).collect())
+        }
+        fn tag_for_mode(&self, mode_tag: u8, bytes: &[u8]) -> Option<Digest> {
+            if mode_tag > 1 {
+                return None;
+            }
+            let mut d = [0u8; 32];
+            let mut acc = self.key.wrapping_add(mode_tag);
+            for (i, b) in bytes.iter().enumerate() {
+                acc = acc.wrapping_mul(31).wrapping_add(*b).wrapping_add(i as u8);
+                d[i % 32] ^= acc;
+            }
+            Some(d)
+        }
+    }
+
+    const MAGIC: [u8; 8] = *b"TESTMAGC";
+
+    #[test]
+    fn roundtrip_and_tamper() {
+        let s = ToySealer { mode: 1, key: 7 };
+        let bytes = encode_slot(&s, &MAGIC, 42, b"hello body");
+        let (seq, body) = decode_slot(&s, &MAGIC, "test", &bytes).unwrap().unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(body, b"hello body");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                decode_slot(&s, &MAGIC, "test", &bad).is_err(),
+                "flip at {i} accepted"
+            );
+        }
+        assert!(matches!(decode_slot(&s, &MAGIC, "test", &[]), Ok(None)));
+    }
+
+    #[test]
+    fn mode_mismatch_vs_tamper() {
+        let a = ToySealer { mode: 0, key: 7 };
+        let b = ToySealer { mode: 1, key: 7 };
+        let bytes = encode_slot(&a, &MAGIC, 1, b"x");
+        // Authentic other-mode slot: mismatch, not tampering.
+        assert!(matches!(
+            decode_slot(&b, &MAGIC, "test", &bytes),
+            Err(SlotError::ModeMismatch)
+        ));
+        // Forged mode byte: MAC fails under the claimed mode ⇒ tamper.
+        let mut forged = bytes.clone();
+        forged[16] = 1;
+        assert!(matches!(
+            decode_slot(&b, &MAGIC, "test", &forged),
+            Err(SlotError::Tamper(_))
+        ));
+        // Unknown mode byte ⇒ tamper.
+        forged[16] = 9;
+        assert!(matches!(
+            decode_slot(&a, &MAGIC, "test", &forged),
+            Err(SlotError::Tamper(_))
+        ));
+    }
+
+    #[test]
+    fn pair_arbitration() {
+        let mem = MemStore::new();
+        let s = ToySealer { mode: 1, key: 3 };
+        let pair = SlotPair::new(&mem, MAGIC, ["t.a", "t.b"], "test");
+        assert!(matches!(pair.read_best(&s), Err(SlotError::Missing)));
+        assert!(!pair.exists().unwrap());
+        pair.write(&s, 1, b"one").unwrap();
+        pair.write(&s, 2, b"two").unwrap();
+        assert!(pair.exists().unwrap());
+        let (seq, body) = pair.read_best(&s).unwrap();
+        assert_eq!((seq, body.as_slice()), (2, b"two".as_slice()));
+        // Torn newest write falls back to the older slot.
+        pair.write(&s, 3, b"three").unwrap();
+        mem.corrupt("t.b", 10, 3).unwrap();
+        let (seq, body) = pair.read_best(&s).unwrap();
+        assert_eq!((seq, body.as_slice()), (2, b"two".as_slice()));
+        // Both slots bad: tamper, not missing.
+        mem.corrupt("t.a", 10, 3).unwrap();
+        assert!(matches!(
+            pair.read_best(&s),
+            Err(SlotError::Tamper(_) | SlotError::ModeMismatch)
+        ));
+    }
+}

@@ -286,6 +286,38 @@ impl Db {
         }
     }
 
+    /// Start a snapshot-isolated read transaction **validated for
+    /// proof-carrying reads**: fails up front with a configuration error
+    /// if the database runs without security (no MAC keys to attest
+    /// under), so every later
+    /// [`read_proven`](object_store::ReadTransaction::read_proven),
+    /// [`exact_proven`](collection_store::ReadCollection::exact_proven),
+    /// and [`Proven::prove`](chunk_store::Proven::prove) on this reader
+    /// is guaranteed not to fail for configuration reasons.
+    ///
+    /// The returned [`ReadTxn`] is otherwise an ordinary reader — the
+    /// default read path builds no proofs and pays nothing beyond the
+    /// snapshot pin; proofs are extracted lazily, per read, on demand.
+    pub fn begin_read_proven(&self) -> Result<ReadTxn> {
+        if self.inner.security() != SecurityMode::Full {
+            return Err(TdbError::Chunk(crate::ChunkStoreError::ConfigMismatch(
+                "proof-carrying reads require SecurityMode::Full \
+                     (a store created with SecurityMode::Off has no MAC keys to attest under)"
+                    .into(),
+            )));
+        }
+        Ok(self.begin_read())
+    }
+
+    /// The trust anchor clients verify this database's proofs against:
+    /// the current one-way counter binding plus the MAC key(s) proofs are
+    /// attested under. **Contains key material** — hand it only to
+    /// parties entitled to verify. Build a
+    /// [`tdb_proof::Verifier`] around it to check proofs offline.
+    pub fn trust_anchor(&self) -> Result<tdb_proof::TrustAnchor> {
+        Ok(self.inner.chunk_store().trust_anchor()?)
+    }
+
     /// A typed handle to the collection `name`, keyed by `K` through its
     /// functional indexes with members of type `V`. The handle itself does
     /// no I/O — pair it with a [`Txn`] or [`ReadTxn`].

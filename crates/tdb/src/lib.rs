@@ -77,13 +77,15 @@ pub use facade::{CollectionHandle, Db, Options, ReadTxn, Txn};
 pub use tdb_core::{Durability, Error, ErrorKind};
 
 pub use backup_store::{BackupError, BackupManager};
+pub use chunk_store::Proven;
 pub use chunk_store::{
     ChunkId, ChunkStore, ChunkStoreConfig, ChunkStoreError, RecoveryReport, SecurityMode,
     ShardedChunkStore, ShardedSnapshot, Snapshot, SnapshotDiff, StatsSnapshot,
 };
 pub use collection_store::{
     CIter, CTransaction, Collection, CollectionError, CollectionStore, ExtractorFn,
-    ExtractorRegistry, IndexKind, IndexSpec, Key, ObjectId, ReadCTransaction, ReadCollection,
+    ExtractorRegistry, IndexKind, IndexSpec, Key, ObjectId, ProvenLookup, ReadCTransaction,
+    ReadCollection,
 };
 pub use object_store::{
     impl_persistent_boilerplate, ClassId, ClassRegistry, ObjectReader, ObjectStore,
@@ -102,6 +104,15 @@ pub mod platform {
 /// Cryptographic primitives (SHA-256, HMAC, AES-128-CBC, HMAC-DRBG).
 pub mod crypto {
     pub use tdb_crypto::*;
+}
+
+/// The extracted trust layer: the store-independent [`proof::Verifier`],
+/// [`proof::TrustAnchor`]s ([`Db::trust_anchor`](crate::Db::trust_anchor)),
+/// chunk and keyed proofs, and their stable wire encoding. A client needs
+/// only this module (crate `tdb-proof`) — not the database — to check
+/// proofs offline.
+pub mod proof {
+    pub use tdb_proof::*;
 }
 
 /// Observability: the metrics registry, histograms, span timers, and the

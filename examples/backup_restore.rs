@@ -118,7 +118,7 @@ fn main() {
     let archive = Arc::new(MemArchive::new());
     let mut mgr = db.backup_manager(archive.clone(), &secret).unwrap();
     let full = mgr
-        .backup_full(db.chunk_store().unsharded().unwrap())
+        .backup_full(db.chunk_store().unsharded("backup_full").unwrap())
         .unwrap();
     println!(
         "full backup:        {full} ({} bytes)",
@@ -139,7 +139,7 @@ fn main() {
     drop(books);
     t.commit(Durability::Durable).unwrap();
     let incr = mgr
-        .backup_incremental(db.chunk_store().unsharded().unwrap())
+        .backup_incremental(db.chunk_store().unsharded("backup_incremental").unwrap())
         .unwrap();
     println!(
         "incremental backup: {incr} ({} bytes — snapshot-diff pruned)",

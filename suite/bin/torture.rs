@@ -53,6 +53,7 @@ fn main() {
     println!("  crash points swept   {:>6}", report.crash_points_swept);
     println!("  recoveries ok        {:>6}", report.recoveries_ok);
     println!("  … at durable frontier{:>6}", report.recovered_at_frontier);
+    println!("  proof spot checks    {:>6}", report.proof_checks);
     println!("  tampers injected     {:>6}", report.tampers_injected);
     println!("  … detected           {:>6}", report.tampers_detected);
     for (kind, n) in &report.tampers_detected_by_kind {
@@ -72,6 +73,7 @@ fn main() {
     row.push("system", "TDB");
     row.push("crash_points_swept", report.crash_points_swept);
     row.push("recoveries_ok", report.recoveries_ok);
+    row.push("proof_checks", report.proof_checks);
     row.push("tampers_injected", report.tampers_injected);
     row.push("tampers_detected", report.tampers_detected);
     let mut by_kind = Json::obj();

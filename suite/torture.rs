@@ -475,6 +475,11 @@ pub struct TortureReport {
     /// Recoveries that landed exactly on the durable frontier (the newest
     /// admissible state).
     pub recovered_at_frontier: u64,
+    /// Proof spot checks passed: after each pure-crash recovery, one
+    /// proof-carrying read (keyed lookup + chunk inclusion) must verify
+    /// against the recovered store's trust anchor. Must equal
+    /// `crash_points_swept`.
+    pub proof_checks: u64,
     /// Tampers whose mutation did not survive the pick (nothing changed).
     pub tampers_skipped: u64,
     /// Tampers injected (bytes actually changed).
@@ -655,6 +660,43 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
                 point.label
             );
         }
+        // Proof spot check: the recovered store must still mint proofs a
+        // standalone verifier accepts — crash recovery (and any cleaner
+        // work it triggered) must not disturb the trust layer.
+        {
+            let verifier =
+                tdb::proof::Verifier::new(chunks.trust_anchor().expect("recovered trust anchor"));
+            let r = db.collections().begin_read();
+            let c = r.read_collection("cells").expect("cells collection");
+            let hit = c
+                .exact_proven("by-id", &Key::U64(0))
+                .expect("proven lookup after recovery");
+            assert_eq!(
+                hit.entries.len(),
+                1,
+                "{}: setup cell 0 missing after recovery",
+                point.label
+            );
+            let ids = verifier.verify_keyed(&hit.proof).unwrap_or_else(|e| {
+                panic!("{}: keyed proof rejected after recovery: {e}", point.label)
+            });
+            assert_eq!(ids, vec![hit.entries[0].1 .0]);
+            let proven = r
+                .object_reader()
+                .read_proven_bytes(hit.entries[0].1)
+                .expect("proven read after recovery");
+            let bytes = proven.value.clone().expect("cell 0 bytes");
+            let proof = proven.prove().expect("prove after recovery");
+            verifier
+                .verify_chunk(&proof, Some(&bytes))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}: inclusion proof rejected after recovery: {e}",
+                        point.label
+                    )
+                });
+            report.proof_checks += 1;
+        }
         obs.merge(&db.obs().snapshot());
         drop(db);
         obs.merge(&rig.db.obs().snapshot());
@@ -754,6 +796,10 @@ pub fn run_torture_with_obs(cfg: &TortureConfig) -> (TortureReport, tdb::obs::Re
         report.crash_points_swept,
         2 * report.write_boundaries + report.sync_boundaries,
         "sweep must cover every enumerated boundary"
+    );
+    assert_eq!(
+        report.proof_checks, report.crash_points_swept,
+        "every crash point must pass its post-recovery proof spot check"
     );
     assert_eq!(
         report.silent_corruptions,

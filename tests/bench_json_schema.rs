@@ -33,6 +33,10 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
           "readers": 3,
           "reader_ops_per_sec": 856.0,
           "writer_txn_per_sec": 5248.0,
+          "reads_per_sec": 91000.0,
+          "proofs_per_sec": 88000.5,
+          "proof_bytes_mean": 2712.0,
+          "deferred_p50_ratio": 1.8,
           "latency_ms": {"count": 100, "mean": 1.2, "p50": 1.0, "p90": 2.0, "p95": 2.5, "p99": 4.0, "p999": 9.5},
           "phases_ns": {
             "commit.seal": {"count": 100, "sum": 12345678, "min": 1000, "max": 99999, "mean": 123456.78, "p50": 1.0, "p90": 1.0, "p95": 1.0, "p99": 1.0},
@@ -90,6 +94,19 @@ fn validator_accepts_wellformed_and_rejects_malformed() {
         )
     });
     corrupt(&|t| t.replace("\"p999\": 9.5", "\"p999\": \"tail\""));
+    corrupt(&|t| t.replace("\"proofs_per_sec\": 88000.5", "\"proofs_per_sec\": null"));
+    corrupt(&|t| {
+        t.replace(
+            "\"proof_bytes_mean\": 2712.0",
+            "\"proof_bytes_mean\": \"big\"",
+        )
+    });
+    corrupt(&|t| {
+        t.replace(
+            "\"deferred_p50_ratio\": 1.8",
+            "\"deferred_p50_ratio\": \"low\"",
+        )
+    });
     corrupt(&|t| t.replace("\"stalls\": 3", "\"stalls\": \"some\""));
     corrupt(&|t| {
         t.replace(
@@ -129,6 +146,7 @@ fn emitted_bench_json_validates() {
             "BENCH_overheads.json",
             "BENCH_fig10_tpcb.json",
             "BENCH_fig_readers.json",
+            "BENCH_fig_proofs.json",
         ] {
             assert!(
                 seen.iter().any(|n| n == want),

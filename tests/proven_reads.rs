@@ -1,0 +1,313 @@
+//! End-to-end proof-carrying reads through the `tdb` facade: every
+//! successful read can produce an inclusion proof, every failed lookup a
+//! non-membership proof, and a standalone [`tdb::proof::Verifier`] — built
+//! from nothing but the database's trust anchor — accepts the honest
+//! proofs and rejects tampered ones.
+
+use std::ops::Bound;
+use tdb::proof::{ProofError, Verifier};
+use tdb::{
+    impl_persistent_boilerplate, Db, Durability, IndexKind, IndexSpec, Key, ObjectId, Options,
+    Persistent, PickleError, Pickler, SecurityMode, Unpickler,
+};
+
+const CLASS_METER: u32 = 0x1234_0001;
+
+struct Meter {
+    id: u64,
+    count: i64,
+}
+
+impl Persistent for Meter {
+    impl_persistent_boilerplate!(CLASS_METER);
+    fn pickle(&self, w: &mut Pickler) {
+        w.u64(self.id);
+        w.i64(self.count);
+    }
+}
+
+fn unpickle_meter(r: &mut Unpickler) -> Result<Box<dyn Persistent>, PickleError> {
+    Ok(Box::new(Meter {
+        id: r.u64()?,
+        count: r.i64()?,
+    }))
+}
+
+fn options() -> Options {
+    Options::in_memory()
+        .register_class(CLASS_METER, "Meter", unpickle_meter)
+        .register_extractor("meter.id", |o| {
+            tdb::extractor_typed::<Meter>(o, |m| Key::U64(m.id))
+        })
+        .register_extractor("meter.count", |o| {
+            tdb::extractor_typed::<Meter>(o, |m| Key::I64(m.count))
+        })
+}
+
+fn specs() -> [IndexSpec; 2] {
+    [
+        IndexSpec::new("by-id", "meter.id", true, IndexKind::Hash),
+        IndexSpec::new("by-count", "meter.count", false, IndexKind::BTree),
+    ]
+}
+
+/// Create the database, a `meters` collection with `n` members, and return
+/// the db plus the object ids in insertion order (meter `i` has count `i`).
+fn seeded(options: Options, n: u64) -> (Db, Vec<ObjectId>) {
+    let db = Db::open(options).unwrap();
+    let t = db.begin();
+    let c = t.create_collection("meters", &specs()).unwrap();
+    let mut ids = Vec::new();
+    for id in 0..n {
+        ids.push(
+            c.insert(Box::new(Meter {
+                id,
+                count: id as i64,
+            }))
+            .unwrap(),
+        );
+    }
+    drop(c);
+    t.commit(Durability::Durable).unwrap();
+    (db, ids)
+}
+
+#[test]
+fn object_reads_prove_inclusion_and_absence() {
+    let (db, ids) = seeded(options(), 8);
+    let verifier = Verifier::new(db.trust_anchor().unwrap());
+
+    let r = db.begin_read_proven().unwrap();
+    let reader = r.object_reader();
+
+    // Typed proven read: the value decodes, and the same chunk's raw form
+    // carries the bytes the proof binds.
+    let proven = reader
+        .read_proven::<Meter, _>(ids[3], |m| (m.id, m.count))
+        .unwrap();
+    assert_eq!(proven.value, Some((3, 3)));
+    let raw = reader.read_proven_bytes(ids[3]).unwrap();
+    let bytes = raw.value.clone().expect("member exists");
+    verifier
+        .verify_chunk(&proven.prove().unwrap(), Some(&bytes))
+        .unwrap();
+    verifier
+        .verify_chunk(&raw.prove().unwrap(), Some(&bytes))
+        .unwrap();
+
+    // A failed read proves absence: `None` plus a verifiable
+    // non-membership proof, not an error.
+    let miss = reader
+        .read_proven_bytes(ObjectId(ids.last().unwrap().0 + 500))
+        .unwrap();
+    assert!(miss.value.is_none());
+    verifier.verify_chunk(&miss.prove().unwrap(), None).unwrap();
+}
+
+#[test]
+fn proofs_pinned_at_snapshot_survive_later_commits() {
+    let (db, ids) = seeded(options(), 4);
+    // The anchor a client holds at pin time: proofs from this snapshot
+    // must keep verifying against it no matter what commits later.
+    let verifier = Verifier::new(db.trust_anchor().unwrap());
+
+    let r = db.begin_read_proven().unwrap();
+    let proven = r.object_reader().read_proven_bytes(ids[1]).unwrap();
+    let bytes = proven.value.clone().unwrap();
+
+    // Overwrite the very object (and more) after the snapshot pin.
+    for round in 0..5 {
+        let t = db.begin();
+        let c = t.write_collection("meters").unwrap();
+        let mut it = c.exact("by-id", &Key::U64(1)).unwrap();
+        {
+            let m = it.write::<Meter>().unwrap();
+            m.get_mut().count += 10 + round;
+        }
+        it.close().unwrap();
+        drop(c);
+        t.commit(Durability::Durable).unwrap();
+    }
+
+    // Deferred prove() after the churn: still the pinned bytes, still
+    // verifiable.
+    let proof = proven.prove().unwrap();
+    verifier.verify_chunk(&proof, Some(&bytes)).unwrap();
+
+    // A *fresh* read sees the new value and proves it against the fresh
+    // anchor.
+    let fresh_verifier = Verifier::new(db.trust_anchor().unwrap());
+    let r2 = db.begin_read_proven().unwrap();
+    let fresh = r2.object_reader().read_proven_bytes(ids[1]).unwrap();
+    let fresh_bytes = fresh.value.clone().unwrap();
+    assert_ne!(fresh_bytes, bytes, "object was overwritten");
+    fresh_verifier
+        .verify_chunk(&fresh.prove().unwrap(), Some(&fresh_bytes))
+        .unwrap();
+}
+
+#[test]
+fn tampered_proofs_and_values_are_rejected() {
+    let (db, ids) = seeded(options(), 4);
+    let verifier = Verifier::new(db.trust_anchor().unwrap());
+
+    let r = db.begin_read_proven().unwrap();
+    let proven = r.object_reader().read_proven_bytes(ids[2]).unwrap();
+    let bytes = proven.value.clone().unwrap();
+    let proof = proven.prove().unwrap();
+
+    // Substituted value bytes.
+    let mut forged = bytes.clone();
+    forged[0] ^= 1;
+    assert!(matches!(
+        verifier.verify_chunk(&proof, Some(&forged)),
+        Err(ProofError::Tamper(_))
+    ));
+
+    // Flipped byte anywhere in the encoded proof: decode failure or a
+    // security rejection — never acceptance.
+    let encoded = tdb::proof::wire::encode_chunk_proof(&proof);
+    for pos in 0..encoded.len() {
+        let mut bent = encoded.clone();
+        bent[pos] ^= 0x01;
+        match tdb::proof::wire::decode_chunk_proof(&bent) {
+            Err(_) => {}
+            Ok(decoded) => {
+                verifier
+                    .verify_chunk(&decoded, Some(&bytes))
+                    .expect_err("flipped proof byte must not verify");
+            }
+        }
+    }
+
+    // A replayed (stale-anchor) proof: a client whose trusted counter has
+    // advanced past the attestation rejects it as a replay.
+    let mut anchor = db.trust_anchor().unwrap();
+    anchor.counter_value = proof.attestation.counter_value + 1;
+    assert!(matches!(
+        Verifier::new(anchor).verify_chunk(&proof, Some(&bytes)),
+        Err(ProofError::Replay { .. })
+    ));
+}
+
+#[test]
+fn collection_lookups_prove_membership_and_non_membership() {
+    let (db, ids) = seeded(options(), 10);
+    let verifier = Verifier::new(db.trust_anchor().unwrap());
+
+    let r = db.begin_read_proven().unwrap();
+    let c = r.read_collection("meters").unwrap();
+
+    // Exact hit on the hash index: the verifier returns exactly the
+    // matching ids.
+    let hit = c.exact_proven("by-id", &Key::U64(6)).unwrap();
+    assert_eq!(hit.entries.len(), 1);
+    assert_eq!(hit.entries[0].1, ids[6]);
+    let verified = verifier.verify_keyed(&hit.proof).unwrap();
+    assert_eq!(verified, vec![ids[6].0]);
+
+    // Exact miss: provably empty.
+    let miss = c.exact_proven("by-id", &Key::U64(999)).unwrap();
+    assert!(miss.entries.is_empty());
+    assert_eq!(
+        verifier.verify_keyed(&miss.proof).unwrap(),
+        Vec::<u64>::new()
+    );
+
+    // Range over the B-tree index, every Bound form.
+    let cases: [(Bound<Key>, Bound<Key>, Vec<i64>); 4] = [
+        (
+            Bound::Included(Key::I64(3)),
+            Bound::Included(Key::I64(5)),
+            vec![3, 4, 5],
+        ),
+        (
+            Bound::Excluded(Key::I64(3)),
+            Bound::Excluded(Key::I64(6)),
+            vec![4, 5],
+        ),
+        (Bound::Unbounded, Bound::Excluded(Key::I64(2)), vec![0, 1]),
+        (Bound::Included(Key::I64(8)), Bound::Unbounded, vec![8, 9]),
+    ];
+    for (min, max, expect) in cases {
+        let got = c
+            .range_proven("by-count", min.as_ref(), max.as_ref())
+            .unwrap();
+        let keys: Vec<i64> = got
+            .entries
+            .iter()
+            .map(|(k, _)| match k {
+                Key::I64(v) => *v,
+                other => panic!("unexpected key {other:?}"),
+            })
+            .collect();
+        assert_eq!(keys, expect, "range {min:?}..{max:?}");
+        let verified = verifier.verify_keyed(&got.proof).unwrap();
+        let expect_ids: Vec<u64> = expect.iter().map(|i| ids[*i as usize].0).collect();
+        assert_eq!(verified, expect_ids);
+    }
+
+    // An empty range is provably empty too.
+    let empty = c
+        .range_proven(
+            "by-count",
+            Bound::Included(&Key::I64(100)),
+            Bound::Unbounded,
+        )
+        .unwrap();
+    assert!(empty.entries.is_empty());
+    assert_eq!(
+        verifier.verify_keyed(&empty.proof).unwrap(),
+        Vec::<u64>::new()
+    );
+
+    // A tampered keyed proof is rejected: claim one extra id.
+    let mut forged = hit.proof;
+    forged.total += 1;
+    assert!(matches!(
+        verifier.verify_keyed(&forged),
+        Err(ProofError::Tamper(_))
+    ));
+}
+
+#[test]
+fn sharded_store_proofs_splice_through_the_root_of_roots() {
+    let (db, ids) = seeded(options().shards(3), 9);
+    let verifier = Verifier::new(db.trust_anchor().unwrap());
+
+    let r = db.begin_read_proven().unwrap();
+    for (i, oid) in ids.iter().enumerate() {
+        let proven = r.object_reader().read_proven_bytes(*oid).unwrap();
+        let bytes = proven.value.clone().unwrap();
+        let proof = proven.prove().unwrap();
+        assert!(
+            proof.shard.is_some(),
+            "sharded proof carries an epoch record"
+        );
+        verifier
+            .verify_chunk(&proof, Some(&bytes))
+            .unwrap_or_else(|e| panic!("meter {i}: {e:?}"));
+    }
+
+    // Keyed proofs attest under the root-of-roots key on a sharded store.
+    let c = r.read_collection("meters").unwrap();
+    let hit = c.exact_proven("by-id", &Key::U64(4)).unwrap();
+    assert_eq!(verifier.verify_keyed(&hit.proof).unwrap(), vec![ids[4].0]);
+}
+
+#[test]
+fn proven_reads_require_full_security() {
+    let (db, _) = seeded(options().security(SecurityMode::Off), 2);
+    let err = match db.begin_read_proven() {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("SecurityMode::Off must not hand out proven readers"),
+    };
+    assert!(
+        err.contains("SecurityMode::Full"),
+        "error should name the required mode: {err}"
+    );
+    // Plain reads still work, of course.
+    let r = db.begin_read();
+    let c = r.read_collection("meters").unwrap();
+    assert_eq!(c.len().unwrap(), 2);
+}
