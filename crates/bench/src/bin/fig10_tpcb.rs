@@ -113,7 +113,10 @@ fn run_tdb_chunk(
         );
     }
     let stats = driver.database().stats();
-    let obs = driver.database().obs().snapshot();
+    // Measured-run delta: the load phase's own durable commits (schema
+    // creation, bulk-load batches, the closing checkpoint) are subtracted,
+    // so `commit.*` histogram counts equal the transactions actually run.
+    let obs = driver.measured_obs();
     (report, stats, obs)
 }
 
@@ -167,22 +170,29 @@ fn run_tdb_sharded(
         commits_sum,
         "aggregate view must equal the per-shard sum"
     );
+    // Report the measured-run delta (load-phase commits subtracted); the
+    // merged lifetime snapshot above was only needed for reconciliation.
+    // Per-shard group stats come from the same delta via the shard-prefixed
+    // instrument names, so they too count measured transactions only.
+    let measured = driver.measured_obs();
     let per_shard = Json::array((0..chunks.shards()).map(|i| {
         let shard = chunks.shard(i);
         let s = shard.stats();
-        let snap = shard.obs().snapshot();
         let mut o = Json::obj();
         o.push("shard", i as u64);
         o.push("commits", s.commits);
         o.push("bytes_appended", s.chunk_bytes_appended);
-        if let Some(h) = snap.histograms.get("commit.group_size") {
+        if let Some(h) = measured
+            .histograms
+            .get(&format!("shard{i}.commit.group_size"))
+        {
             o.push("group_commits", h.count());
             o.push("group_size_mean", h.sum as f64 / h.count().max(1) as f64);
         }
         o
     }));
     let stats = driver.database().stats();
-    (report, stats, merged, per_shard)
+    (report, stats, measured, per_shard)
 }
 
 /// One `results[]` row of the BENCH_fig10_tpcb.json document.
@@ -200,6 +210,10 @@ fn result_row(name: &str, r: &BenchReport, obs: Option<&RegistrySnapshot>) -> Js
     row.push("threads", r.threads as u64);
     if let Some(obs) = obs {
         row.push("phases_ns", histograms_json(obs, "commit."));
+        // Maintenance-lane phase laps (checkpoint/cleaner anchor rounds,
+        // deferred Merkle passes). Often empty on a short run — a
+        // checkpoint may simply not trigger inside the measured window.
+        row.push("maint_ns", histograms_json(obs, "maint."));
         row.push("counters", counters_json(obs));
     }
     row

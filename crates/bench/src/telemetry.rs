@@ -101,8 +101,10 @@ pub fn write_bench_json(name: &str, doc: &Json) -> std::io::Result<PathBuf> {
 /// - any `latency_ms` field in a result row is an object with numeric
 ///   `count`, `p50`, `p95`, and `p99` (and a numeric `p999` when present —
 ///   rows written before the tail-latency work omit it);
-/// - any `phases_ns` field is an object whose values each carry numeric
-///   `count` and `sum`;
+/// - any `phases_ns` or `maint_ns` field is an object whose values each
+///   carry numeric `count` and `sum` (`maint_ns` holds the
+///   maintenance-lane laps: checkpoint/cleaner anchor rounds and deferred
+///   Merkle passes);
 /// - any `counters` or `maintenance` field is an object with only numeric
 ///   values (`maintenance` carries the background-maintenance counters a
 ///   row was measured under: wakeups, stalls, cleaner passes/slices, ...);
@@ -147,7 +149,9 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
         for (k, v) in row_obj {
             match k.as_str() {
                 "latency_ms" => validate_latency(v).map_err(|e| format!("results[{i}]: {e}"))?,
-                "phases_ns" => validate_phases(v).map_err(|e| format!("results[{i}]: {e}"))?,
+                "phases_ns" | "maint_ns" => {
+                    validate_phases(v).map_err(|e| format!("results[{i}]: {e}"))?
+                }
                 "threads" if v.as_u64().filter(|t| *t >= 1).is_none() => {
                     return Err(format!("results[{i}]: threads not a positive integer"));
                 }

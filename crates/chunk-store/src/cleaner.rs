@@ -85,7 +85,7 @@ pub(crate) fn select_victims(inner: &mut Inner) -> Result<Option<CleanPlan>> {
     // time per pass; the closing checkpoint is the one that matters for
     // correctness.)
     inner.segs.flush()?;
-    inner.durable_anchor(true)?;
+    inner.durable_anchor(true, crate::store::AnchorLane::Maintenance)?;
 
     let seg_size = inner.segs.segment_size() as u64;
     let tail = inner.segs.tail_pos().0;

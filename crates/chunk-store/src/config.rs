@@ -88,6 +88,20 @@ pub struct ChunkStoreConfig {
     /// Chunks relocated per maintenance slice. Bounds how long the store
     /// lock is held by one slice of a background cleaning pass.
     pub maintenance_slice_chunks: usize,
+    /// Recompute the proof-tree digests of all dirty root-to-leaf map
+    /// paths in one batched bottom-up pass after each durable anchor
+    /// round. With the maintenance thread running, the leader hands the
+    /// frozen root there (consecutive rounds coalesce, so hot leaves are
+    /// hashed once per batch — `maint.rehash`; on a single-CPU host the
+    /// warm-up is skipped, since it could only preempt the commit path);
+    /// otherwise the pass runs in the leader's round, outside the store
+    /// lock, overlapping the next group's appends (`commit.rehash`).
+    /// Either way the pass dedups
+    /// upper nodes shared across the group's commits and feeds whole
+    /// levels through the multi-lane SHA-256 path, so later proof minting
+    /// finds the Merkle memos hot instead of hashing lazily per path. No
+    /// effect when hashing is off ([`SecurityMode::Off`]).
+    pub eager_proof_rehash: bool,
     /// Number of independent chunk-store shards the object space is
     /// partitioned across (see [`ShardedChunkStore`](crate::ShardedChunkStore)).
     /// Each shard gets its own log, location map, and group-commit
@@ -114,6 +128,7 @@ impl Default for ChunkStoreConfig {
             clean_low_free: 1,
             clean_high_free: 2,
             maintenance_slice_chunks: 64,
+            eager_proof_rehash: true,
             shards: 1,
         }
     }

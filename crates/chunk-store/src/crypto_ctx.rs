@@ -17,8 +17,8 @@ use crate::config::SecurityMode;
 use crate::error::{ChunkStoreError, Result};
 use parking_lot::Mutex;
 use tdb_crypto::{
-    cbc_decrypt, cbc_encrypt, derive_key, derive_secret, hmac_sha256, sha256, Aes128, Digest,
-    HmacDrbg, DIGEST_LEN,
+    cbc_decrypt, cbc_encrypt, cbc_encrypt_into, derive_key, derive_secret, hmac_sha256, sha256,
+    Aes128, Digest, HmacDrbg, DIGEST_LEN,
 };
 use tdb_platform::SecretStore;
 
@@ -86,6 +86,24 @@ impl CryptoCtx {
                 out
             }
             None => plain.to_vec(),
+        }
+    }
+
+    /// Like [`seal`](Self::seal) but appends the sealed bytes to `out`
+    /// instead of allocating a fresh vector, so the commit path can seal a
+    /// whole batch of chunks into one arena. Returns the number of bytes
+    /// appended (always [`sealed_len`](Self::sealed_len) of the input).
+    pub fn seal_into(&self, plain: &[u8], out: &mut Vec<u8>) -> usize {
+        match &self.cipher {
+            Some(aes) => {
+                let iv = self.drbg.lock().gen_iv();
+                out.extend_from_slice(&iv);
+                16 + cbc_encrypt_into(aes, &iv, plain, out)
+            }
+            None => {
+                out.extend_from_slice(plain);
+                plain.len()
+            }
         }
     }
 
@@ -227,6 +245,20 @@ mod tests {
         assert_eq!(s1.len(), c.sealed_len(payload.len()));
         // Ciphertext must not contain the plaintext.
         assert!(!s1.windows(payload.len()).any(|w| w == payload));
+    }
+
+    #[test]
+    fn seal_into_appends_and_roundtrips() {
+        for mode in [SecurityMode::Full, SecurityMode::Off] {
+            let c = ctx(mode);
+            let payload = b"meter=41 and then some longer payload".to_vec();
+            let mut arena = b"existing".to_vec();
+            let n = c.seal_into(&payload, &mut arena);
+            assert_eq!(n, c.sealed_len(payload.len()));
+            assert_eq!(&arena[..8], b"existing");
+            assert_eq!(arena.len(), 8 + n);
+            assert_eq!(c.open(&arena[8..]).unwrap(), payload);
+        }
     }
 
     #[test]

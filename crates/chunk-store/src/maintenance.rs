@@ -65,6 +65,12 @@ pub(crate) struct MaintShared {
 #[derive(Default)]
 struct MaintState {
     kicked: bool,
+    /// A group-commit leader parked a frozen root in `rehash_pending`.
+    /// Separate from `kicked` on purpose: draining the rehash slot never
+    /// takes the store lock, so it must not schedule a full maintenance
+    /// round (one store-lock round per commit would put contention right
+    /// back on the commit path the deferral took it off of).
+    rehash_kick: bool,
     shutdown: bool,
     thread_running: bool,
     /// Completed maintenance rounds (bumped even for fruitless ones, so
@@ -116,6 +122,16 @@ impl MaintShared {
         let mut st = self.state.lock();
         if !st.kicked {
             st.kicked = true;
+            self.wake.notify_one();
+        }
+    }
+
+    /// Wake the thread to drain the deferred-rehash slot only — no
+    /// maintenance round is scheduled (see [`MaintState::rehash_kick`]).
+    pub(crate) fn kick_rehash(&self) {
+        let mut st = self.state.lock();
+        if !st.rehash_kick {
+            st.rehash_kick = true;
             self.wake.notify_one();
         }
     }
@@ -195,6 +211,7 @@ impl MaintShared {
                 let mut j = tdb_obs::Json::obj();
                 j.push("thread_running", st.thread_running);
                 j.push("kicked", st.kicked);
+                j.push("rehash_kick", st.rehash_kick);
                 j.push("shutdown", st.shutdown);
                 j.push("rounds", st.rounds);
                 j.push("free_epoch", st.free_epoch);
@@ -204,6 +221,16 @@ impl MaintShared {
             None => tdb_obs::Json::object([("locked", tdb_obs::Json::from(true))]),
         }
     }
+}
+
+/// Whether waking the maintenance thread for a deferred rehash pass can
+/// overlap with the committer at all. On a single-CPU host the "background"
+/// pass just preempts the committer mid-anchor (one context switch per
+/// group), so the root stays parked until a natural wakeup instead — the
+/// passes coalesce harder and the commit path never pays for the hashing.
+pub(crate) fn rehash_overlap_pays() -> bool {
+    static MULTI: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MULTI.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() > 1))
 }
 
 /// How long the thread sleeps between watchdog polls when idle. Tight
@@ -262,7 +289,7 @@ pub(crate) fn run(core: Arc<StoreCore>) {
         let kicked = {
             let mut st = core.maint.state.lock();
             let deadline = Instant::now() + watchdog_poll_interval();
-            while !st.kicked && !st.shutdown {
+            while !st.kicked && !st.rehash_kick && !st.shutdown {
                 if core.maint.wake.wait_until(&mut st, deadline).timed_out() {
                     break;
                 }
@@ -274,8 +301,23 @@ pub(crate) fn run(core: Arc<StoreCore>) {
             }
             let kicked = st.kicked;
             st.kicked = false;
+            st.rehash_kick = false;
             kicked
         };
+        // Drain the deferred-rehash slot on every wakeup — explicit kicks
+        // and timer polls alike — so parked roots coalesce instead of
+        // rotting. Taking only the latest root is enough: its pass covers
+        // every earlier round's dirty paths too (the nodes are shared),
+        // which is exactly how consecutive rounds coalesce. No store lock
+        // is taken anywhere on this path — the root is a frozen Arc.
+        let pending = core.rehash_pending.lock().take();
+        if let Some(root) = pending {
+            let mut sw = tdb_obs::Stopwatch::start();
+            crate::map::rehash_root_batched(&root);
+            if sw.running() {
+                core.stats.phases.maint_rehash.record(sw.lap());
+            }
+        }
         if kicked {
             add(&core.stats.maintenance_wakeups, 1);
             let round = core.maint.state.lock().rounds;

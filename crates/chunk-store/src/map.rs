@@ -274,6 +274,100 @@ impl LocationMap {
         old
     }
 
+    /// Apply a whole commit's worth of updates in one descent: `Some(loc)`
+    /// installs a mapping, `None` removes one. Returns the superseded data
+    /// location per op, aligned with `ops`. Equivalent to calling
+    /// [`set`](Self::set)/[`remove`](Self::remove) per op, but each node on
+    /// the union of the root-to-leaf paths is cloned and dirtied **once**
+    /// for the batch instead of once per op — upper nodes shared by the
+    /// group's ids are deduped.
+    ///
+    /// Callers pass at most one op per id (the commit path's op map is
+    /// keyed by id); a remove is resolved against the pre-batch state.
+    pub fn apply_batch(&mut self, ops: &[(ChunkId, Option<Location>)]) -> Vec<Option<Location>> {
+        let mut old: Vec<Option<Location>> = vec![None; ops.len()];
+        // Resolve no-op removes up front so they don't dirty the tree.
+        let mut live: Vec<(usize, ChunkId, Option<Location>)> = Vec::with_capacity(ops.len());
+        for (i, (id, op)) in ops.iter().enumerate() {
+            match op {
+                Some(loc) => live.push((i, *id, Some(*loc))),
+                None => {
+                    if self.get(*id).is_some() {
+                        live.push((i, *id, None));
+                    }
+                }
+            }
+        }
+        if live.is_empty() {
+            return old;
+        }
+        for (_, id, op) in &live {
+            if op.is_some() {
+                self.grow_for(id.0);
+            }
+        }
+        // Sorted ids give non-decreasing slots at every level, so each
+        // node's ops split into contiguous per-child runs.
+        live.sort_by_key(|(_, id, _)| id.0);
+        let fanout = self.fanout;
+        let depth = self.depth;
+        let mut superseded = std::mem::take(&mut self.superseded);
+        let root = Arc::make_mut(&mut self.root);
+        Self::dirty(&mut superseded, root);
+        Self::apply_batch_rec(root, fanout, depth, &live, &mut superseded, &mut old);
+        self.superseded = superseded;
+        old
+    }
+
+    fn apply_batch_rec(
+        node: &mut Node,
+        fanout: usize,
+        level: u32,
+        ops: &[(usize, ChunkId, Option<Location>)],
+        superseded: &mut Vec<Location>,
+        old: &mut [Option<Location>],
+    ) {
+        match &mut node.kind {
+            NodeKind::Leaf(slots) => {
+                for (i, id, op) in ops {
+                    let slot = slot_at(fanout, id.0, level);
+                    old[*i] = match op {
+                        Some(loc) => slots[slot].replace(*loc),
+                        None => slots[slot].take(),
+                    };
+                }
+            }
+            NodeKind::Inner(children) => {
+                let mut start = 0;
+                while start < ops.len() {
+                    let slot = slot_at(fanout, ops[start].1 .0, level);
+                    let mut end = start + 1;
+                    while end < ops.len() && slot_at(fanout, ops[end].1 .0, level) == slot {
+                        end += 1;
+                    }
+                    let child = children[slot].get_or_insert_with(|| {
+                        Arc::new(if level - 1 == 1 {
+                            Node::new_leaf(fanout)
+                        } else {
+                            Node::new_inner(fanout)
+                        })
+                    });
+                    let child = Arc::make_mut(child);
+                    Self::dirty(superseded, child);
+                    Self::apply_batch_rec(
+                        child,
+                        fanout,
+                        level - 1,
+                        &ops[start..end],
+                        superseded,
+                        old,
+                    );
+                    start = end;
+                }
+            }
+        }
+    }
+
     /// Take the accumulated superseded page extents.
     pub fn drain_superseded(&mut self) -> Vec<Location> {
         std::mem::take(&mut self.superseded)
@@ -508,6 +602,56 @@ impl LocationMap {
 
 fn slot_at(fanout: usize, id: u64, level: u32) -> usize {
     ((id as u128 / (fanout as u128).pow(level - 1)) % fanout as u128) as usize
+}
+
+/// Recompute every missing proof-hash memo in a frozen subtree in one
+/// bottom-up pass, then return the root's canonical hash. Nodes with a
+/// memo are pruned (their whole subtree is already hashed — the memo is
+/// only ever cleared along dirtied paths), so the pass visits exactly the
+/// union of the group's dirty root-to-leaf paths, each shared upper node
+/// once. Whole levels are hashed through [`tdb_crypto::sha256_batch`],
+/// which keeps multiple SHA-256 message schedules in flight.
+///
+/// Bit-identical to the incremental per-path hashing ([`Node::proof_hash`]
+/// computes the same [`tdb_proof::tree::hash_node`] preimages), and safe
+/// on a shared frozen root: memos land via `OnceLock::set`, so a racing
+/// lazy hasher just wins (or loses) the same value.
+pub(crate) fn rehash_root_batched(root: &Node) -> Digest {
+    fn collect<'a>(node: &'a Node, depth: usize, levels: &mut Vec<Vec<&'a Node>>) {
+        if node.proof.get().is_some() {
+            return;
+        }
+        if levels.len() <= depth {
+            levels.resize_with(depth + 1, Vec::new);
+        }
+        levels[depth].push(node);
+        if let NodeKind::Inner(children) = &node.kind {
+            for child in children.iter().flatten() {
+                collect(child, depth + 1, levels);
+            }
+        }
+    }
+    let mut levels: Vec<Vec<&Node>> = Vec::new();
+    collect(root, 0, &mut levels);
+    // Deepest level first: every child is memoized before its parent's
+    // preimage (which embeds the child digests) is materialized.
+    for level in levels.iter().rev() {
+        let preimages: Vec<Vec<u8>> = level
+            .iter()
+            .map(|n| {
+                let entries = n.proof_entries();
+                tdb_proof::tree::node_preimage(
+                    matches!(n.kind, NodeKind::Leaf(_)),
+                    entries.iter().map(|(s, d)| (*s, d)),
+                )
+            })
+            .collect();
+        let refs: Vec<&[u8]> = preimages.iter().map(|p| p.as_slice()).collect();
+        for (n, d) in level.iter().zip(tdb_crypto::sha256_batch(&refs)) {
+            let _ = n.proof.set(d);
+        }
+    }
+    root.proof_hash()
 }
 
 // ---------------------------------------------------------------------------
@@ -1138,6 +1282,89 @@ mod tests {
     }
 
     #[test]
+    fn apply_batch_matches_sequential_ops() {
+        // Same ops through apply_batch and through per-op set/remove must
+        // produce identical maps, identical returned old locations, and
+        // identical superseded-extent multisets.
+        let ops: Vec<(ChunkId, Option<Location>)> = vec![
+            (ChunkId(0), Some(loc(10))),
+            (ChunkId(3), None),          // no-op remove (never mapped)
+            (ChunkId(5), Some(loc(11))), // overwrite below
+            (ChunkId(17), Some(loc(12))),
+            (ChunkId(64), Some(loc(13))), // forces growth
+            (ChunkId(7), None),           // real remove
+        ];
+        let mut seq = LocationMap::new(4, true);
+        let mut bat = LocationMap::new(4, true);
+        for m in [&mut seq, &mut bat] {
+            m.set(ChunkId(5), loc(1));
+            m.set(ChunkId(7), loc(2));
+            let mut off = 0u32;
+            m.checkpoint(&mut |b| {
+                off += 1;
+                Ok(Location {
+                    seg: SegmentId(9),
+                    off,
+                    len: b.len() as u32,
+                    hash: [0; 32],
+                })
+            })
+            .unwrap();
+        }
+
+        let mut seq_old = Vec::new();
+        for (id, op) in &ops {
+            seq_old.push(match op {
+                Some(l) => seq.set(*id, *l),
+                None => seq.remove(*id),
+            });
+        }
+        let bat_old = bat.apply_batch(&ops);
+        assert_eq!(bat_old, seq_old);
+
+        for id in 0..70u64 {
+            assert_eq!(bat.get(ChunkId(id)), seq.get(ChunkId(id)), "id {id}");
+        }
+        let key = |l: &Location| (l.seg, l.off, l.len);
+        let mut s1: Vec<_> = seq.drain_superseded().iter().map(key).collect();
+        let mut s2: Vec<_> = bat.drain_superseded().iter().map(key).collect();
+        s1.sort();
+        s1.dedup();
+        s2.sort();
+        s2.dedup();
+        assert_eq!(s1, s2, "superseded extents (deduped) must agree");
+        assert_eq!(
+            bat.freeze().0.proof_hash(),
+            seq.freeze().0.proof_hash(),
+            "proof roots must agree"
+        );
+    }
+
+    #[test]
+    fn batched_rehash_matches_incremental() {
+        let mut m = LocationMap::new(4, true);
+        for id in [0u64, 1, 5, 17, 63, 64, 200] {
+            m.set(ChunkId(id), loc(id as u32));
+        }
+        // Incremental reference on an identical twin.
+        let mut twin = LocationMap::new(4, true);
+        for id in [0u64, 1, 5, 17, 63, 64, 200] {
+            twin.set(ChunkId(id), loc(id as u32));
+        }
+        let (root, depth) = m.freeze();
+        assert_eq!(rehash_root_batched(&root), twin.freeze().0.proof_hash());
+        // Paths minted off the batched-rehash root equal the lazy ones.
+        for id in [0u64, 5, 6, 200, 1 << 30] {
+            let (p1, l1) = proof_path_in_root(&root, depth, 4, ChunkId(id));
+            let (p2, l2) = proof_path_in_root(&twin.freeze().0, depth, 4, ChunkId(id));
+            assert_eq!(p1, p2, "id {id}");
+            assert_eq!(l1, l2);
+        }
+        // A second pass is a no-op (everything memoized).
+        assert_eq!(rehash_root_batched(&root), root.proof_hash());
+    }
+
+    #[test]
     fn proof_paths_link_and_cover_absence() {
         let mut m = LocationMap::new(4, true);
         for id in [0u64, 5, 17] {
@@ -1213,6 +1440,101 @@ mod tests {
             // Truncations never panic.
             for cut in 0..bytes.len() {
                 assert!(parse_page(4, hashed, &bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Equivalence oracle for the commit path's batched tree maintenance:
+    /// a map driven by [`LocationMap::apply_batch`] +
+    /// [`rehash_root_batched`] must be bit-identical — root digest and
+    /// every proof path — to one driven by per-op [`LocationMap::set`]/
+    /// [`LocationMap::remove`] with the incremental (lazy, per-path)
+    /// [`Node::proof_hash`] recursion, across random interleavings of
+    /// inserts, updates, removes, and cleaner-style relocations.
+    mod batched_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::test_runner::Config {
+                cases: 32,
+                ..Default::default()
+            })]
+            #[test]
+            fn batched_rehash_matches_incremental_oracle(
+                rounds in proptest::collection::vec(
+                    proptest::collection::vec((0u64..600u64, 0u8..4u8), 1..24),
+                    1..8,
+                ),
+            ) {
+                let mut inc = LocationMap::new(4, true);
+                let mut bat = LocationMap::new(4, true);
+                // Current mapping (for relocations) and a fresh-tag counter.
+                let mut live: HashMap<u64, Location> = HashMap::new();
+                let mut tag = 0u32;
+                let mut touched: Vec<u64> = Vec::new();
+                for round in rounds {
+                    // At most one op per id per round — the commit path's
+                    // contract (its op map is keyed by id).
+                    let mut seen = std::collections::HashSet::new();
+                    let mut ops: Vec<(ChunkId, Option<Location>)> = Vec::new();
+                    for (id, kind) in round {
+                        if !seen.insert(id) {
+                            continue;
+                        }
+                        let op = match (kind, live.get(&id)) {
+                            (0, _) => None,
+                            // Cleaner-style relocation: new position, same
+                            // record hash — must leave the root unchanged.
+                            (3, Some(l)) => {
+                                tag += 1;
+                                Some(Location {
+                                    seg: SegmentId(tag),
+                                    off: tag,
+                                    ..*l
+                                })
+                            }
+                            _ => {
+                                tag += 1;
+                                Some(loc(tag))
+                            }
+                        };
+                        ops.push((ChunkId(id), op));
+                    }
+                    let inc_old: Vec<Option<Location>> = ops
+                        .iter()
+                        .map(|(id, op)| match op {
+                            Some(l) => inc.set(*id, *l),
+                            None => inc.remove(*id),
+                        })
+                        .collect();
+                    let bat_old = bat.apply_batch(&ops);
+                    prop_assert_eq!(&inc_old, &bat_old);
+                    for (id, op) in &ops {
+                        touched.push(id.0);
+                        match op {
+                            Some(l) => live.insert(id.0, *l),
+                            None => live.remove(&id.0),
+                        };
+                    }
+
+                    let (inc_root, inc_depth) = inc.freeze();
+                    let (bat_root, bat_depth) = bat.freeze();
+                    prop_assert_eq!(inc_depth, bat_depth);
+                    // One bottom-up batched pass vs the lazy recursion.
+                    let batched = rehash_root_batched(&bat_root);
+                    prop_assert_eq!(inc_root.proof_hash(), batched);
+                    // Proof paths bit-identical for every id ever touched,
+                    // plus absent and beyond-capacity probes.
+                    for id in touched.iter().copied().chain([599, 100_000]) {
+                        prop_assert_eq!(
+                            proof_path_in_root(&inc_root, inc_depth, 4, ChunkId(id)),
+                            proof_path_in_root(&bat_root, bat_depth, 4, ChunkId(id)),
+                            "proof path diverged for id {}",
+                            id
+                        );
+                    }
+                }
             }
         }
     }

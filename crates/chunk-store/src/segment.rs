@@ -25,12 +25,73 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use tdb_platform::{RandomAccessFile, UntrustedStore};
 
-/// Where an out-of-lock record read gets its bytes: copied out of the tail
-/// write buffer (while the store lock was held), or a file handle to read
-/// from after the lock is released.
+/// A record payload handed out by the read path: a shared view into a
+/// reference-counted byte buffer. Reads served from the tail write buffer
+/// (or the in-flight double-buffered flush) alias the live buffer instead
+/// of copying it; file reads own their freshly read vector. Dereferences
+/// to `&[u8]`.
+#[derive(Clone)]
+pub struct RecordBytes {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl RecordBytes {
+    fn shared(buf: Arc<Vec<u8>>, start: usize, len: usize) -> Self {
+        debug_assert!(start + len <= buf.len());
+        RecordBytes { buf, start, len }
+    }
+
+    /// Wrap an owned vector (no extra copy).
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        RecordBytes {
+            buf: Arc::new(v),
+            start: 0,
+            len,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// Copy out to an owned vector (for callers that must own the bytes).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Drop the first `n` bytes of the view.
+    fn advance(mut self, n: usize) -> Self {
+        debug_assert!(n <= self.len);
+        self.start += n;
+        self.len -= n;
+        self
+    }
+}
+
+impl std::ops::Deref for RecordBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for RecordBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Where an out-of-lock record read gets its bytes: a shared slice of the
+/// tail write buffer (taken while the store lock was held), or a file
+/// handle to read from after the lock is released.
 pub enum ReadSource {
-    /// Record bytes already copied out of the unflushed tail buffer.
-    Buffered(Vec<u8>),
+    /// Shared view of the record bytes still sitting in the unflushed (or
+    /// in-flight) tail buffer — no copy taken.
+    Buffered(RecordBytes),
     /// File holding the record.
     File(Arc<dyn RandomAccessFile>),
 }
@@ -39,10 +100,10 @@ pub enum ReadSource {
 /// the record framing. A free function on purpose — it must not touch the
 /// `SegmentManager` (the store lock may have been released since
 /// [`SegmentManager::prepare_read`]).
-pub fn complete_read(src: ReadSource, loc: &Location, expect: RecordKind) -> Result<Vec<u8>> {
+pub fn complete_read(src: ReadSource, loc: &Location, expect: RecordKind) -> Result<RecordBytes> {
     let tampered =
         |what: String| ChunkStoreError::TamperDetected(format!("record at {loc:?}: {what}"));
-    let mut buf = match src {
+    let buf = match src {
         ReadSource::Buffered(bytes) => bytes,
         ReadSource::File(file) => {
             let mut buf = vec![0u8; loc.len as usize];
@@ -53,7 +114,7 @@ pub fn complete_read(src: ReadSource, loc: &Location, expect: RecordKind) -> Res
                     }
                     other => ChunkStoreError::Platform(other),
                 })?;
-            buf
+            RecordBytes::from_vec(buf)
         }
     };
     let (kind, len) = decode_record_header(&buf).map_err(|m| tampered(m.0))?;
@@ -63,7 +124,26 @@ pub fn complete_read(src: ReadSource, loc: &Location, expect: RecordKind) -> Res
     if len != loc.len - RECORD_HEADER_LEN {
         return Err(tampered("payload length mismatch".into()));
     }
-    Ok(buf.split_off(RECORD_HEADER_LEN as usize))
+    Ok(buf.advance(RECORD_HEADER_LEN as usize))
+}
+
+/// A flushed-but-unwritten tail range the group-commit leader writes and
+/// syncs *outside* the store lock, so followers keep sealing and appending
+/// into a fresh tail buffer while the previous one is on its way to disk
+/// (seal(n+1) overlaps sync(n)). The manager keeps its own copy: any
+/// in-lock [`SegmentManager::flush`] writes it first (a duplicate write of
+/// identical bytes at the same offset is harmless — same rule as
+/// `sync_inflight` double-syncs), so no anchor can cover unwritten bytes.
+#[derive(Clone)]
+pub struct TailFlush {
+    /// Segment the range belongs to.
+    pub seg: SegmentId,
+    /// Offset of `bytes[0]` within the segment.
+    pub start: u32,
+    /// The buffered bytes (shared with concurrent tail readers).
+    pub bytes: Arc<Vec<u8>>,
+    /// Open handle to write through.
+    pub file: Arc<dyn RandomAccessFile>,
 }
 
 /// Lifecycle state of a segment slot.
@@ -94,10 +174,17 @@ pub struct SegmentManager {
     tail: SegmentId,
     /// Next logical append offset in the tail segment.
     tail_off: u32,
-    /// Buffered, not-yet-written bytes of the tail segment.
-    pending: Vec<u8>,
+    /// Buffered, not-yet-written bytes of the tail segment. Behind an
+    /// `Arc` so buffered reads alias it instead of copying; mutation goes
+    /// through [`Self::pending_mut`], which clones only if a reader still
+    /// holds the buffer.
+    pending: Arc<Vec<u8>>,
     /// Tail-segment offset of `pending[0]`.
     pending_start: u32,
+    /// Previous tail buffer, handed to the group-commit leader for an
+    /// out-of-lock write+sync (see [`TailFlush`]). Cleared when the leader
+    /// confirms the write, or by the next in-lock flush.
+    inflight: Option<TailFlush>,
     /// Open file handles (interior mutability so reads take `&self`).
     files: Mutex<HashMap<u32, Arc<dyn RandomAccessFile>>>,
     /// Segments written to since the last `sync_touched`.
@@ -133,8 +220,9 @@ impl SegmentManager {
             free: BTreeSet::new(),
             tail: SegmentId(0),
             tail_off: SEGMENT_HEADER_LEN,
-            pending: encode_segment_header(SegmentId(0)).to_vec(),
+            pending: Arc::new(encode_segment_header(SegmentId(0)).to_vec()),
             pending_start: 0,
+            inflight: None,
             files: Mutex::new(HashMap::new()),
             touched: BTreeSet::new(),
             entered: vec![SegmentId(0)],
@@ -209,8 +297,9 @@ impl SegmentManager {
             free,
             tail: SegmentId(0),
             tail_off: SEGMENT_HEADER_LEN,
-            pending: Vec::new(),
+            pending: Arc::new(Vec::new()),
             pending_start: 0,
+            inflight: None,
             files: Mutex::new(HashMap::new()),
             touched: BTreeSet::new(),
             entered: Vec::new(),
@@ -219,11 +308,26 @@ impl SegmentManager {
         })
     }
 
+    /// Mutable access to the tail buffer; clones it only when a concurrent
+    /// buffered reader still holds the `Arc`.
+    fn pending_mut(&mut self) -> &mut Vec<u8> {
+        Arc::make_mut(&mut self.pending)
+    }
+
+    /// Empty the tail buffer without copying its contents when a reader
+    /// still aliases it (`make_mut` would clone the bytes being discarded).
+    fn pending_clear(&mut self) {
+        match Arc::get_mut(&mut self.pending) {
+            Some(v) => v.clear(),
+            None => self.pending = Arc::new(Vec::new()),
+        }
+    }
+
     /// Position recovery determined the tail to be at.
     pub fn set_tail(&mut self, seg: SegmentId, off: u32) {
         self.tail = seg;
         self.tail_off = off;
-        self.pending.clear();
+        self.pending_clear();
         self.pending_start = off;
         self.states[seg.0 as usize].status = SegStatus::InUse;
         self.free.remove(&seg.0);
@@ -251,7 +355,21 @@ impl SegmentManager {
         kind: RecordKind,
         payload: &[u8],
     ) -> Result<(SegmentId, u32, u32)> {
-        let total = RECORD_HEADER_LEN + payload.len() as u32;
+        self.append_record_parts(kind, &[payload])
+    }
+
+    /// Append a record whose payload is the concatenation of `parts`,
+    /// framed once up front — the parts are copied straight into the tail
+    /// buffer with no intermediate concatenation vector (the zero-copy
+    /// path for sealed chunks from the seal arena and for commit records'
+    /// `payload || chain` pairs).
+    pub fn append_record_parts(
+        &mut self,
+        kind: RecordKind,
+        parts: &[&[u8]],
+    ) -> Result<(SegmentId, u32, u32)> {
+        let payload_len: usize = parts.iter().map(|p| p.len()).sum();
+        let total = RECORD_HEADER_LEN + payload_len as u32;
         let capacity = self.seg_size - SEGMENT_HEADER_LEN - NEXT_SEGMENT_RECORD_LEN;
         assert!(
             total <= capacity,
@@ -262,9 +380,12 @@ impl SegmentManager {
             self.roll_segment()?;
         }
         let off = self.tail_off;
-        self.pending
-            .extend_from_slice(&encode_record_header(kind, payload.len() as u32));
-        self.pending.extend_from_slice(payload);
+        let pending = self.pending_mut();
+        pending.reserve(total as usize);
+        pending.extend_from_slice(&encode_record_header(kind, payload_len as u32));
+        for part in parts {
+            pending.extend_from_slice(part);
+        }
         self.tail_off += total;
         // Only chunk data and map pages are "live" (reclaimable state).
         // Commit records matter only while inside the residual log, which
@@ -306,13 +427,14 @@ impl SegmentManager {
         };
         let nxt = encode_next_segment(next);
         let mark = self.pending.len();
-        self.pending.extend_from_slice(&encode_record_header(
+        let pending = self.pending_mut();
+        pending.extend_from_slice(&encode_record_header(
             RecordKind::NextSegment,
             nxt.len() as u32,
         ));
-        self.pending.extend_from_slice(&nxt);
+        pending.extend_from_slice(&nxt);
         if let Err(e) = self.flush() {
-            self.pending.truncate(mark);
+            self.pending_mut().truncate(mark);
             self.free.insert(next.0);
             return Err(e);
         }
@@ -321,7 +443,7 @@ impl SegmentManager {
         self.states[next.0 as usize].status = SegStatus::InUse;
         self.tail = next;
         self.tail_off = SEGMENT_HEADER_LEN;
-        self.pending = encode_segment_header(next).to_vec();
+        self.pending = Arc::new(encode_segment_header(next).to_vec());
         self.pending_start = 0;
         self.entered.push(next);
         Ok(())
@@ -356,15 +478,27 @@ impl SegmentManager {
         Ok(id)
     }
 
+    /// Write the in-flight double-buffered range, if any (in-lock paths
+    /// cannot assume the leader's out-of-lock write has happened yet; the
+    /// leader writing the same bytes again afterwards is harmless).
+    fn write_inflight(&mut self) -> Result<()> {
+        if let Some(tf) = &self.inflight {
+            tf.file.write_at(tf.start as u64, &tf.bytes)?;
+            self.inflight = None;
+        }
+        Ok(())
+    }
+
     /// Write buffered tail bytes out (no sync).
     pub fn flush(&mut self) -> Result<()> {
+        self.write_inflight()?;
         if self.pending.is_empty() {
             return Ok(());
         }
         let file = self.file(self.tail)?;
         file.write_at(self.pending_start as u64, &self.pending)?;
         self.pending_start += self.pending.len() as u32;
-        self.pending.clear();
+        self.pending_clear();
         self.touched.insert(self.tail.0);
         Ok(())
     }
@@ -405,6 +539,62 @@ impl SegmentManager {
         Ok(out)
     }
 
+    /// Like [`take_touched`](Self::take_touched), but instead of writing
+    /// the tail buffer in-lock, the buffer is handed back as a
+    /// [`TailFlush`] for the leader to write *and* sync outside the store
+    /// lock — the double-buffered append: a fresh tail buffer starts
+    /// filling immediately, so seal/append of commit n+1 overlaps the
+    /// write+sync of commit n. Any previously outstanding in-flight range
+    /// is written in-lock first (it may belong to a failed leader round).
+    /// On a failed sync the caller gives the ids back via
+    /// [`restore_touched`](Self::restore_touched); the manager retains the
+    /// in-flight copy either way, so the bytes cannot be lost.
+    #[allow(clippy::type_complexity)]
+    pub fn take_touched_deferred(
+        &mut self,
+    ) -> Result<(Vec<(u32, Arc<dyn RandomAccessFile>)>, Option<TailFlush>)> {
+        self.write_inflight()?;
+        let tail_flush = if self.pending.is_empty() {
+            None
+        } else {
+            let file = self.file(self.tail)?;
+            let bytes = std::mem::replace(&mut self.pending, Arc::new(Vec::new()));
+            let tf = TailFlush {
+                seg: self.tail,
+                start: self.pending_start,
+                bytes,
+                file,
+            };
+            self.pending_start += tf.bytes.len() as u32;
+            self.touched.insert(self.tail.0);
+            self.inflight = Some(tf.clone());
+            Some(tf)
+        };
+        let ids: Vec<u32> = std::mem::take(&mut self.touched).into_iter().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for seg in &ids {
+            match self.file(SegmentId(*seg)) {
+                Ok(f) => out.push((*seg, f)),
+                Err(e) => {
+                    self.touched.extend(ids);
+                    return Err(e);
+                }
+            }
+        }
+        Ok((out, tail_flush))
+    }
+
+    /// The leader confirms its out-of-lock write of `tf` reached the file:
+    /// drop the manager's in-flight copy (unless an in-lock flush already
+    /// wrote and dropped it, or a newer range replaced it).
+    pub fn finish_tail_flush(&mut self, tf: &TailFlush) {
+        if let Some(cur) = &self.inflight {
+            if Arc::ptr_eq(&cur.bytes, &tf.bytes) {
+                self.inflight = None;
+            }
+        }
+    }
+
     /// Re-mark segments dirty after a failed out-of-lock sync.
     pub fn restore_touched(&mut self, ids: impl IntoIterator<Item = u32>) {
         self.touched.extend(ids);
@@ -425,7 +615,7 @@ impl SegmentManager {
     /// length against the expected location. The payload hash is checked by
     /// the caller (who knows the expected digest). Bytes still sitting in
     /// the tail write buffer are served from memory.
-    pub fn read_record(&self, loc: &Location, expect: RecordKind) -> Result<Vec<u8>> {
+    pub fn read_record(&self, loc: &Location, expect: RecordKind) -> Result<RecordBytes> {
         let src = self.prepare_read(loc)?;
         let out = complete_read(src, loc, expect)?;
         add(&self.stats.bytes_read, loc.len as u64);
@@ -447,16 +637,36 @@ impl SegmentManager {
         }
         if loc.seg == self.tail && loc.off >= self.pending_start && !self.pending.is_empty() {
             // Unflushed tail bytes: records are appended whole, so the
-            // record lies entirely within `pending`.
+            // record lies entirely within `pending`. Hand out a shared
+            // view — no copy per buffered read.
             let start = (loc.off - self.pending_start) as usize;
             let end = start + loc.len as usize;
             if end > self.pending.len() {
                 return Err(tampered("extends past the write buffer".into()));
             }
-            Ok(ReadSource::Buffered(self.pending[start..end].to_vec()))
-        } else {
-            Ok(ReadSource::File(self.file(loc.seg)?))
+            return Ok(ReadSource::Buffered(RecordBytes::shared(
+                self.pending.clone(),
+                start,
+                loc.len as usize,
+            )));
         }
+        if let Some(tf) = &self.inflight {
+            // The double-buffered range: flushed from the tail buffer but
+            // possibly not yet written by the leader — the file may not
+            // have the bytes, so serve them from memory.
+            if loc.seg == tf.seg && loc.off >= tf.start {
+                let start = (loc.off - tf.start) as usize;
+                let end = start + loc.len as usize;
+                if end <= tf.bytes.len() {
+                    return Ok(ReadSource::Buffered(RecordBytes::shared(
+                        tf.bytes.clone(),
+                        start,
+                        loc.len as usize,
+                    )));
+                }
+            }
+        }
+        Ok(ReadSource::File(self.file(loc.seg)?))
     }
 
     /// Raw read used by recovery's sequential scan: `(kind, payload)` at an
@@ -665,7 +875,7 @@ mod tests {
             .unwrap();
         m.flush().unwrap();
         let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
-        assert_eq!(payload, b"hello chunk");
+        assert_eq!(&payload[..], b"hello chunk");
         // Wrong expected kind is tamper.
         assert!(matches!(
             m.read_record(&mk_loc(pos), RecordKind::Commit),
@@ -679,7 +889,89 @@ mod tests {
         let pos = m.append_record(RecordKind::ChunkData, b"buffered").unwrap();
         // No explicit flush.
         let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
-        assert_eq!(payload, b"buffered");
+        assert_eq!(&payload[..], b"buffered");
+    }
+
+    #[test]
+    fn buffered_reads_share_the_tail_buffer() {
+        // Regression (hot tail re-reads used to `to_vec` the pending
+        // range): two buffered reads of the same record must alias the
+        // same underlying buffer, not copy it.
+        let (mut m, _) = mgr(4096, 2);
+        let pos = m.append_record(RecordKind::ChunkData, b"aliased").unwrap();
+        let a = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        let b = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        assert_eq!(&a[..], b"aliased");
+        assert_eq!(
+            a.as_slice().as_ptr(),
+            b.as_slice().as_ptr(),
+            "buffered reads must return shared slices, not copies"
+        );
+        // The view survives (and stays correct) after the manager flushes
+        // and the buffer is cleared/replaced.
+        m.flush().unwrap();
+        assert_eq!(&a[..], b"aliased");
+        // Post-flush reads come from the file: still the same bytes.
+        let c = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        assert_eq!(&c[..], b"aliased");
+    }
+
+    #[test]
+    fn deferred_flush_serves_reads_and_survives_inlock_flush() {
+        let (mut m, _) = mgr(4096, 2);
+        let pos = m.append_record(RecordKind::ChunkData, b"deferred").unwrap();
+        let (files, tf) = m.take_touched_deferred().unwrap();
+        let tf = tf.expect("tail buffer was non-empty");
+        assert!(files.iter().any(|(id, _)| *id == m.tail_pos().0 .0));
+        // The bytes are NOT on disk yet, but a read must still see them
+        // (served from the in-flight buffer).
+        let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        assert_eq!(&payload[..], b"deferred");
+        // New appends land in a fresh buffer while the old one is in
+        // flight (the double-buffer overlap).
+        let pos2 = m.append_record(RecordKind::ChunkData, b"next").unwrap();
+        assert!(pos2.1 > pos.1);
+        // An in-lock flush writes the in-flight range first; the leader's
+        // later duplicate write is harmless.
+        m.flush().unwrap();
+        let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        assert_eq!(&payload[..], b"deferred");
+        let payload2 = m.read_record(&mk_loc(pos2), RecordKind::ChunkData).unwrap();
+        assert_eq!(&payload2[..], b"next");
+        // The leader's confirmation after the in-lock flush is a no-op.
+        tf.file.write_at(tf.start as u64, &tf.bytes).unwrap();
+        m.finish_tail_flush(&tf);
+    }
+
+    #[test]
+    fn deferred_flush_leader_write_then_finish() {
+        let (mut m, _) = mgr(4096, 2);
+        let pos = m
+            .append_record(RecordKind::ChunkData, b"leader path")
+            .unwrap();
+        let (_files, tf) = m.take_touched_deferred().unwrap();
+        let tf = tf.unwrap();
+        // Leader writes + syncs outside the lock, then confirms.
+        tf.file.write_at(tf.start as u64, &tf.bytes).unwrap();
+        tf.file.sync().unwrap();
+        m.finish_tail_flush(&tf);
+        let payload = m.read_record(&mk_loc(pos), RecordKind::ChunkData).unwrap();
+        assert_eq!(&payload[..], b"leader path");
+        // A second deferred take with an empty tail hands back nothing.
+        let (_files, tf2) = m.take_touched_deferred().unwrap();
+        assert!(tf2.is_none());
+    }
+
+    #[test]
+    fn append_record_parts_concatenates() {
+        let (mut m, _) = mgr(4096, 2);
+        let pos = m
+            .append_record_parts(RecordKind::Commit, &[b"abc", b"", b"defg"])
+            .unwrap();
+        let whole = m.append_record(RecordKind::Commit, b"abcdefg").unwrap();
+        assert_eq!(pos.2, whole.2, "identical framing for identical payload");
+        let payload = m.read_record(&mk_loc(pos), RecordKind::Commit).unwrap();
+        assert_eq!(&payload[..], b"abcdefg");
     }
 
     #[test]

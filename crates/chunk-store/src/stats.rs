@@ -176,12 +176,26 @@ pub struct Phases {
     pub seal: Histogram,
     /// Log append time per commit.
     pub append: Histogram,
-    /// `sync` time per durable anchor write.
+    /// Location-map batch apply time per commit (in-memory tree update).
+    pub map: Histogram,
+    /// `sync` time per *commit-path* durable anchor round.
     pub sync: Histogram,
-    /// Anchor record write time per durable anchor write.
+    /// Anchor record write time per commit-path durable anchor round.
     pub anchor: Histogram,
-    /// One-way counter increment time per durable anchor write.
+    /// One-way counter increment time per commit-path durable anchor round.
     pub counter: Histogram,
+    /// Batched bottom-up Merkle rehash time per leader anchor round (the
+    /// group's dirty root-to-leaf paths hashed in one pass).
+    pub rehash: Histogram,
+    /// `sync` time per maintenance-path (checkpoint/cleaner) anchor round.
+    pub maint_sync: Histogram,
+    /// Anchor write time per maintenance-path anchor round.
+    pub maint_anchor: Histogram,
+    /// Counter increment time per maintenance-path anchor round.
+    pub maint_counter: Histogram,
+    /// Batched Merkle memo pass deferred to the maintenance thread
+    /// (consecutive leader rounds coalesce onto the latest frozen root).
+    pub maint_rehash: Histogram,
     /// End-to-end durable commit time (staging seal through group
     /// durability).
     pub commit_total: Histogram,
@@ -218,9 +232,15 @@ impl Phases {
             serialize: registry.histogram("commit.serialize"),
             seal: registry.histogram("commit.seal"),
             append: registry.histogram("commit.append"),
+            map: registry.histogram("commit.map"),
             sync: registry.histogram("commit.sync"),
             anchor: registry.histogram("commit.anchor"),
             counter: registry.histogram("commit.counter"),
+            rehash: registry.histogram("commit.rehash"),
+            maint_sync: registry.histogram("maint.sync"),
+            maint_anchor: registry.histogram("maint.anchor"),
+            maint_counter: registry.histogram("maint.counter"),
+            maint_rehash: registry.histogram("maint.rehash"),
             commit_total: registry.histogram("commit.total"),
             group_size: registry.histogram("commit.group_size"),
             group_wait: registry.histogram("commit.group_wait"),

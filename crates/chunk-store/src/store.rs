@@ -58,11 +58,12 @@ pub(crate) struct Batch {
 /// A chunk record sealed ahead of the log append — encoding, encryption,
 /// and hashing all happen outside the store lock ([`CryptoCtx`] is
 /// internally synchronized), so concurrent committers only serialize on
-/// the short append itself.
+/// the short append itself. Writes reference ranges of the batch's seal
+/// arena (one shared buffer per commit) instead of owning a vector each.
 enum SealedOp {
     Write {
         id: ChunkId,
-        sealed: Vec<u8>,
+        range: std::ops::Range<usize>,
         hash: Digest,
     },
     Dealloc(ChunkId),
@@ -74,6 +75,7 @@ struct CommitLap {
     ser_ns: u64,
     seal_ns: u64,
     append_ns: u64,
+    map_ns: u64,
 }
 
 impl CommitLap {
@@ -87,8 +89,20 @@ impl CommitLap {
             ser_ns: 0,
             seal_ns: 0,
             append_ns: 0,
+            map_ns: 0,
         }
     }
+}
+
+/// Which phase lane an anchor round's sync/anchor/counter laps land in.
+/// Rounds that complete a user commit (group leaders, empty-durable
+/// barriers) are commit phases; rounds run by checkpoints and cleaner
+/// passes are maintenance work and must not pollute the commit
+/// histograms (they used to — see `maint.*` in [`crate::stats::Phases`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AnchorLane {
+    Commit,
+    Maintenance,
 }
 
 /// Everything behind the store's state mutex.
@@ -261,6 +275,7 @@ impl Inner {
     fn append_sealed(
         &mut self,
         sealed_ops: &[SealedOp],
+        arena: &[u8],
         durable: bool,
         lap: &mut CommitLap,
         consumed: &mut usize,
@@ -283,9 +298,11 @@ impl Inner {
             let mut deallocs: Vec<ChunkId> = Vec::new();
             for op in group {
                 match op {
-                    SealedOp::Write { id, sealed, hash } => {
+                    SealedOp::Write { id, range, hash } => {
                         lap.sw.lap();
-                        let res = self.segs.append_record(RecordKind::ChunkData, sealed);
+                        let res = self
+                            .segs
+                            .append_record(RecordKind::ChunkData, &arena[range.clone()]);
                         lap.append_ns += lap.sw.lap();
                         let (seg, off, len) = match res {
                             Ok(v) => v,
@@ -320,9 +337,11 @@ impl Inner {
             let sealed = self.ctx.seal(&payload);
             let chain = self.ctx.chain(&self.chain, &sealed);
             lap.seal_ns += lap.sw.lap();
-            let mut record = sealed;
-            record.extend_from_slice(&chain);
-            let res = self.segs.append_record(RecordKind::Commit, &record);
+            // `payload || chain` framed straight into the tail buffer — no
+            // intermediate concatenation vector.
+            let res = self
+                .segs
+                .append_record_parts(RecordKind::Commit, &[&sealed, &chain]);
             lap.append_ns += lap.sw.lap();
             let (_, _, commit_len) = match res {
                 Ok(v) => v,
@@ -332,18 +351,27 @@ impl Inner {
                 }
             };
             // The group's commit record is in the log: apply its effects.
+            // One batched descent updates the map — nodes shared by the
+            // group's root-to-leaf paths are cloned and dirtied once.
             self.commit_seq += 1;
             self.chain = chain;
-            for (id, loc) in writes {
-                if let Some(old) = self.map.set(id, loc) {
-                    self.pending_dec.push(old);
-                }
+            lap.sw.lap();
+            let mut map_ops: Vec<(ChunkId, Option<Location>)> =
+                Vec::with_capacity(writes.len() + deallocs.len());
+            for (id, loc) in &writes {
+                map_ops.push((*id, Some(*loc)));
+            }
+            for id in &deallocs {
+                map_ops.push((*id, None));
+            }
+            for prev in self.map.apply_batch(&map_ops).into_iter().flatten() {
+                self.pending_dec.push(prev);
+            }
+            lap.map_ns += lap.sw.lap();
+            for (_, loc) in &writes {
                 self.residual_bytes += loc.len as u64;
             }
             for id in deallocs {
-                if let Some(old) = self.map.remove(id) {
-                    self.pending_dec.push(old);
-                }
                 self.free_ids.insert(id.0);
             }
             self.residual_bytes += commit_len as u64;
@@ -357,12 +385,28 @@ impl Inner {
 
     /// Sync the log and advance the trusted anchor (+ one-way counter).
     /// Everything appended so far becomes durable and recoverable.
-    /// `sampled` controls phase timing (see [`StoreCore::sample_phases`]).
-    pub(crate) fn durable_anchor(&mut self, sampled: bool) -> Result<()> {
+    /// `sampled` controls phase timing (see [`StoreCore::sample_phases`]);
+    /// `lane` picks the commit vs maintenance phase histograms, so
+    /// checkpoint- and cleaner-driven rounds stop leaking into the
+    /// `commit.*` rows.
+    pub(crate) fn durable_anchor(&mut self, sampled: bool, lane: AnchorLane) -> Result<()> {
         let mut sw = if sampled {
             Stopwatch::start()
         } else {
             Stopwatch::inert()
+        };
+        let stats = self.stats.clone();
+        let (sync_h, anchor_h, counter_h) = match lane {
+            AnchorLane::Commit => (
+                &stats.phases.sync,
+                &stats.phases.anchor,
+                &stats.phases.counter,
+            ),
+            AnchorLane::Maintenance => (
+                &stats.phases.maint_sync,
+                &stats.phases.maint_anchor,
+                &stats.phases.maint_counter,
+            ),
         };
         self.segs.sync_touched()?;
         // Cover a group leader's in-flight out-of-lock sync: this anchor's
@@ -370,7 +414,7 @@ impl Inner {
         // disk before it is written (double-syncing is harmless).
         self.segs.sync_ids(&self.sync_inflight)?;
         if sw.running() {
-            self.stats.phases.sync.record(sw.lap());
+            sync_h.record(sw.lap());
         }
         let bump_counter = self.ctx.mode() == SecurityMode::Full;
         self.anchor_seq += 1;
@@ -405,7 +449,7 @@ impl Inner {
             AnchorStore::new(&*self.untrusted).write(&self.ctx, &state)?;
             add(&self.stats.anchor_writes, 1);
             if sw.running() {
-                self.stats.phases.anchor.record(sw.lap());
+                anchor_h.record(sw.lap());
             }
             if bump_counter {
                 // Anchor first, then counter: a crash between the two leaves
@@ -415,7 +459,7 @@ impl Inner {
                 self.counter.increment()?;
                 add(&self.stats.counter_increments, 1);
                 if sw.running() {
-                    self.stats.phases.counter.record(sw.lap());
+                    counter_h.record(sw.lap());
                 }
             }
             Ok(())
@@ -461,8 +505,20 @@ impl Inner {
     /// simply not covered by this anchor. Anchor-state fields are captured
     /// here, under the lock, so they are mutually consistent.
     fn prepare_anchor(&mut self) -> Result<PreparedAnchor> {
-        let files = self.segs.take_touched()?;
+        // The tail buffer is handed over unwritten: the leader writes and
+        // syncs it outside the lock while appenders fill a fresh buffer —
+        // seal/append of commit n+1 overlaps the sync of commit n.
+        let (files, tail) = self.segs.take_touched_deferred()?;
         self.sync_inflight.extend(files.iter().map(|(s, _)| *s));
+        // Freeze the map root so the leader can rehash the dirty Merkle
+        // paths in one batched bottom-up pass outside the lock. The memos
+        // install into the shared nodes, so later proof minting (and the
+        // next freeze) finds them ready-made.
+        let frozen_root = if self.cfg.eager_proof_rehash && self.ctx.verifies_hashes() {
+            Some(self.map.freeze().0)
+        } else {
+            None
+        };
         self.anchor_seq += 1;
         if self.ctx.mode() == SecurityMode::Full {
             self.counter_value += 1;
@@ -492,6 +548,8 @@ impl Inner {
         Ok(PreparedAnchor {
             state,
             files,
+            tail,
+            frozen_root,
             pending_dec: std::mem::take(&mut self.pending_dec),
             untrusted: self.untrusted.clone(),
             counter: self.counter.clone(),
@@ -544,7 +602,7 @@ impl Inner {
         self.residual_start = self.segs.tail_pos();
         self.chain_base = self.chain;
         self.base_seq = self.commit_seq;
-        self.durable_anchor(true)?;
+        self.durable_anchor(true, AnchorLane::Maintenance)?;
         self.residual_segments.clear();
         self.residual_segments.insert(self.segs.tail_pos().0);
         self.residual_bytes = 0;
@@ -664,6 +722,12 @@ pub(crate) fn iv_salt(counter: &dyn OneWayCounter) -> u64 {
 struct PreparedAnchor {
     state: AnchorState,
     files: Vec<(u32, Arc<dyn tdb_platform::RandomAccessFile>)>,
+    /// Unwritten tail-buffer range for the leader's out-of-lock write
+    /// (the manager keeps an in-flight copy until `finish_tail_flush`).
+    tail: Option<segment::TailFlush>,
+    /// Frozen map root for the out-of-lock batched Merkle rehash (`None`
+    /// when hashing is off or `eager_proof_rehash` is disabled).
+    frozen_root: Option<Arc<crate::map::Node>>,
     pending_dec: Vec<Location>,
     untrusted: Arc<dyn UntrustedStore>,
     counter: Arc<dyn OneWayCounter>,
@@ -708,6 +772,12 @@ pub(crate) struct StoreCore {
     /// shutdown). Present even with `background_maintenance` off — the
     /// thread is simply never spawned and commits maintain inline.
     pub(crate) maint: MaintShared,
+    /// Frozen map root awaiting a batched Merkle memo pass, handed to the
+    /// maintenance thread by the group-commit leader. Only the latest
+    /// root matters — its memo pass covers every earlier round's dirty
+    /// paths too (shared nodes), so consecutive rounds coalesce and hot
+    /// leaves are hashed once per batch instead of once per commit.
+    pub(crate) rehash_pending: Mutex<Option<Arc<crate::map::Node>>>,
     /// Name under which this store reports in diagnostic dumps
     /// (`chunk{N}` by default; shards get `shard{k}` labels).
     diag_label: Mutex<String>,
@@ -732,8 +802,16 @@ impl StoreCore {
         tick.is_multiple_of(tdb_obs::phase_sample_every())
     }
 
-    /// Seal a batch's staged operations outside any store lock.
-    fn seal_ops(&self, ops: BTreeMap<u64, Option<Vec<u8>>>, lap: &mut CommitLap) -> Vec<SealedOp> {
+    /// Seal a batch's staged operations outside any store lock. Every
+    /// write seals straight into one shared arena (no per-chunk ciphertext
+    /// vector), and the record hashes for the whole batch are computed in
+    /// one multi-lane SHA-256 pass over the arena slices.
+    fn seal_ops(
+        &self,
+        ops: BTreeMap<u64, Option<Vec<u8>>>,
+        lap: &mut CommitLap,
+    ) -> (Vec<SealedOp>, Vec<u8>) {
+        let mut arena: Vec<u8> = Vec::new();
         let mut sealed_ops = Vec::with_capacity(ops.len());
         for (raw_id, op) in ops {
             let id = ChunkId(raw_id);
@@ -742,15 +820,36 @@ impl StoreCore {
                     lap.sw.lap();
                     let payload = encode_chunk_payload(id, &data);
                     lap.ser_ns += lap.sw.lap();
-                    let sealed = self.ctx.seal(&payload);
-                    let hash = self.ctx.hash(&sealed);
+                    let start = arena.len();
+                    let n = self.ctx.seal_into(&payload, &mut arena);
                     lap.seal_ns += lap.sw.lap();
-                    sealed_ops.push(SealedOp::Write { id, sealed, hash });
+                    sealed_ops.push(SealedOp::Write {
+                        id,
+                        range: start..start + n,
+                        hash: crate::crypto_ctx::ZERO_DIGEST,
+                    });
                 }
                 None => sealed_ops.push(SealedOp::Dealloc(id)),
             }
         }
-        sealed_ops
+        if self.ctx.verifies_hashes() {
+            lap.sw.lap();
+            let slices: Vec<&[u8]> = sealed_ops
+                .iter()
+                .filter_map(|op| match op {
+                    SealedOp::Write { range, .. } => Some(&arena[range.clone()]),
+                    SealedOp::Dealloc(_) => None,
+                })
+                .collect();
+            let mut digests = tdb_crypto::sha256_batch(&slices).into_iter();
+            for op in &mut sealed_ops {
+                if let SealedOp::Write { hash, .. } = op {
+                    *hash = digests.next().expect("one digest per sealed write");
+                }
+            }
+            lap.seal_ns += lap.sw.lap();
+        }
+        (sealed_ops, arena)
     }
 
     /// Seal and append `ops` as one atomic commit; returns the ticket for
@@ -788,13 +887,13 @@ impl StoreCore {
             durable as u64,
         );
         let mut lap = CommitLap::new(sampled);
-        let sealed_ops = self.seal_ops(ops, &mut lap);
+        let (sealed_ops, arena) = self.seal_ops(ops, &mut lap);
         let mut consumed = 0usize;
         let seq = loop {
             let res = {
                 let mut inner = self.inner.lock();
                 inner
-                    .append_sealed(&sealed_ops, durable, &mut lap, &mut consumed)
+                    .append_sealed(&sealed_ops, &arena, durable, &mut lap, &mut consumed)
                     .and_then(|seq| {
                         if !durable {
                             inner.segs.flush()?;
@@ -826,6 +925,7 @@ impl StoreCore {
             self.stats.phases.serialize.record(lap.ser_ns);
             self.stats.phases.seal.record(lap.seal_ns);
             self.stats.phases.append.record(lap.append_ns);
+            self.stats.phases.map.record(lap.map_ns);
         }
         Ok(CommitTicket {
             seq,
@@ -854,7 +954,7 @@ impl StoreCore {
             // sync/anchor/counter round (callers use it as a barrier).
             let covered = {
                 let mut inner = self.inner.lock();
-                inner.durable_anchor(sampled)?;
+                inner.durable_anchor(sampled, AnchorLane::Commit)?;
                 inner.commit_seq
             };
             self.publish_durable(covered);
@@ -1006,11 +1106,21 @@ impl StoreCore {
             let mut inner = self.inner.lock();
             inner.prepare_anchor()
         }?;
-        let synced: Result<()> = prep.files.iter().try_for_each(|(_, f)| {
-            f.sync()?;
-            add(&self.stats.syncs, 1);
-            Ok(())
-        });
+        // Deferred tail write, then sync — both outside the store lock, so
+        // concurrent committers seal and append into the fresh tail buffer
+        // while this round's bytes travel to disk. If an in-lock flush got
+        // there first it wrote the identical bytes at the same offset;
+        // repeating the write is harmless.
+        let synced: Result<()> = (|| {
+            if let Some(tf) = &prep.tail {
+                tf.file.write_at(tf.start as u64, &tf.bytes)?;
+            }
+            prep.files.iter().try_for_each(|(_, f)| {
+                f.sync()?;
+                add(&self.stats.syncs, 1);
+                Ok(())
+            })
+        })();
         if sw.running() {
             self.stats.phases.sync.record(sw.lap());
         }
@@ -1022,6 +1132,8 @@ impl StoreCore {
             for (s, _) in &prep.files {
                 inner.sync_inflight.remove(s);
             }
+            // The manager still holds the in-flight tail copy; the next
+            // in-lock flush rewrites it, so the bytes cannot be lost.
             inner.pending_dec.extend(prep.pending_dec);
             // Same speculative-advance rollback as the anchor-io failure
             // path below: the prepared anchor was never written.
@@ -1032,6 +1144,34 @@ impl StoreCore {
                 inner.counter_value -= 1;
             }
             return Err(e);
+        }
+        // Batched Merkle recomputation for the whole group: one bottom-up
+        // pass over the dirty root-to-leaf paths (shared upper nodes are
+        // hashed once), multi-lane SHA-256 within each level. With the
+        // maintenance thread running, the pass is deferred there —
+        // consecutive rounds coalesce onto the latest root, so hot leaves
+        // are hashed once per batch and the leader publishes durability
+        // without paying the hash pass. That only pays when another CPU
+        // can actually run the pass concurrently; on a single-CPU host the
+        // "background" pass can only preempt the commit path, so the
+        // warm-up is skipped outright and proof minting hashes lazily
+        // (the memo pass is cache-warming — correctness never depends on
+        // it). Inline (against the frozen root, while followers keep
+        // appending) only when there is no thread.
+        if let Some(root) = &prep.frozen_root {
+            if self.maint.thread_running() {
+                if crate::maintenance::rehash_overlap_pays() {
+                    let was_empty = self.rehash_pending.lock().replace(root.clone()).is_none();
+                    if was_empty {
+                        self.maint.kick_rehash();
+                    }
+                }
+            } else {
+                crate::map::rehash_root_batched(root);
+                if sw.running() {
+                    self.stats.phases.rehash.record(sw.lap());
+                }
+            }
         }
         let io_result: Result<()> = (|| {
             let _io = prep.anchor_io.lock();
@@ -1053,6 +1193,11 @@ impl StoreCore {
             Ok(())
         })();
         let mut inner = self.inner.lock();
+        // The tail bytes are written and synced regardless of how the
+        // anchor io went: the manager's in-flight copy can be dropped.
+        if let Some(tf) = &prep.tail {
+            inner.segs.finish_tail_flush(tf);
+        }
         for (s, _) in &prep.files {
             inner.sync_inflight.remove(s);
         }
@@ -1391,6 +1536,7 @@ impl ChunkStore {
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
             maint: MaintShared::new(),
+            rehash_pending: Mutex::new(None),
             diag_label: Mutex::new(label.clone()),
             diag_keeper: Mutex::new(None),
             inner: Mutex::new(inner),

@@ -38,10 +38,11 @@ fn hist_count(snap: &tdb_obs::RegistrySnapshot, name: &str) -> u64 {
 }
 
 /// In `Off` security the anchor round never touches the one-way counter,
-/// so `commit.counter` must record nothing — a lap of ~0ns per anchor
-/// would drag the histogram's percentiles toward zero and misattribute
-/// anchor time. In `Full` mode every successful round records exactly one
-/// counter lap alongside its anchor lap.
+/// so the counter histograms must record nothing — a lap of ~0ns per
+/// anchor would drag the percentiles toward zero and misattribute anchor
+/// time. In `Full` mode every successful round records exactly one
+/// counter lap alongside its anchor lap. A checkpoint's round lands in
+/// the `maint.*` lanes and must leave the `commit.*` rows untouched.
 #[test]
 fn counter_laps_follow_real_counter_work_only() {
     tdb_obs::set_enabled(true);
@@ -61,9 +62,15 @@ fn counter_laps_follow_real_counter_work_only() {
         store.checkpoint().unwrap();
         let delta = store.obs().snapshot().since(&base);
 
-        let anchors = hist_count(&delta, "commit.anchor");
-        let counters = hist_count(&delta, "commit.counter");
-        assert!(anchors >= 1, "checkpoint must record an anchor lap");
+        let anchors = hist_count(&delta, "maint.anchor");
+        let counters = hist_count(&delta, "maint.counter");
+        assert!(anchors >= 1, "checkpoint must record a maint anchor lap");
+        assert_eq!(
+            hist_count(&delta, "commit.anchor"),
+            0,
+            "checkpoint rounds must not leak into commit.anchor"
+        );
+        assert_eq!(hist_count(&delta, "commit.sync"), 0);
         if expect_counter {
             assert_eq!(
                 counters, anchors,

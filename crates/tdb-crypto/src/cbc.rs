@@ -34,15 +34,25 @@ pub fn ciphertext_len(plain_len: usize) -> usize {
 /// Returns `iv-less` ciphertext; the caller stores the IV alongside (the
 /// chunk store places it in the chunk header).
 pub fn cbc_encrypt(aes: &Aes128, iv: &Block, plain: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ciphertext_len(plain.len()));
+    cbc_encrypt_into(aes, iv, plain, &mut out);
+    out
+}
+
+/// Encrypt `plain` directly into `out` (appending), avoiding the
+/// intermediate ciphertext allocation of [`cbc_encrypt`]. Returns the
+/// number of bytes appended (always [`ciphertext_len`] of the input).
+pub fn cbc_encrypt_into(aes: &Aes128, iv: &Block, plain: &[u8], out: &mut Vec<u8>) -> usize {
+    let start = out.len();
     let out_len = ciphertext_len(plain.len());
-    let mut out = Vec::with_capacity(out_len);
+    out.reserve(out_len);
     out.extend_from_slice(plain);
     // PKCS#7 pad.
     let pad = (out_len - plain.len()) as u8;
-    out.resize(out_len, pad);
+    out.resize(start + out_len, pad);
 
     let mut prev = *iv;
-    for chunk in out.chunks_exact_mut(BLOCK_LEN) {
+    for chunk in out[start..].chunks_exact_mut(BLOCK_LEN) {
         for (b, p) in chunk.iter_mut().zip(prev.iter()) {
             *b ^= p;
         }
@@ -51,7 +61,7 @@ pub fn cbc_encrypt(aes: &Aes128, iv: &Block, plain: &[u8]) -> Vec<u8> {
         chunk.copy_from_slice(&block);
         prev = block;
     }
-    out
+    out_len
 }
 
 /// Decrypt `cipher` under `aes` with the given IV and strip PKCS#7 padding.
@@ -124,6 +134,20 @@ mod tests {
             let ct = cbc_encrypt(&aes, &iv, &pt);
             assert_eq!(ct.len(), ciphertext_len(len));
             assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn encrypt_into_appends_and_matches_encrypt() {
+        let aes = Aes128::new(&[9u8; 16]);
+        let iv = [3u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 64, 100] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut out = b"prefix".to_vec();
+            let n = cbc_encrypt_into(&aes, &iv, &pt, &mut out);
+            assert_eq!(n, ciphertext_len(len));
+            assert_eq!(&out[..6], b"prefix");
+            assert_eq!(&out[6..], &cbc_encrypt(&aes, &iv, &pt)[..], "len {len}");
         }
     }
 

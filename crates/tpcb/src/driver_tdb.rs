@@ -13,12 +13,20 @@ use tdb::{
     ClassRegistry, CollectionError, Database, DatabaseConfig, Durability, ExtractorRegistry,
     IndexKind, IndexSpec, Key, ObjectStoreError,
 };
+use tdb_obs::RegistrySnapshot;
 
 /// TDB under the TPC-B workload.
 pub struct TdbDriver {
     db: Database,
     /// Commit durability (the paper's runs are durable).
     pub durable: bool,
+    /// Observability snapshot taken when [`TpcbSystem::load`] finished —
+    /// the zero point of the measured run. Loading issues its own durable
+    /// commits (schema creation, bulk-load batches, the closing
+    /// checkpoint); without subtracting them, per-commit telemetry such as
+    /// `commit.group_size` reports more laps than the benchmark ran
+    /// transactions.
+    load_baseline: Option<RegistrySnapshot>,
 }
 
 impl TdbDriver {
@@ -40,12 +48,29 @@ impl TdbDriver {
         let mut extractors = ExtractorRegistry::new();
         register_tpcb_extractors(&mut extractors);
         let db = Database::create(untrusted, secret, counter, classes, extractors, cfg).unwrap();
-        TdbDriver { db, durable: true }
+        TdbDriver {
+            db,
+            durable: true,
+            load_baseline: None,
+        }
     }
 
     /// The database (post-run inspection).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The measured run's observability snapshot: everything recorded
+    /// since [`TpcbSystem::load`] returned (the snapshot includes both the
+    /// aggregate and, on a sharded store, the `shard{k}.`-prefixed
+    /// instruments). Before `load` completes this is the whole-lifetime
+    /// snapshot.
+    pub fn measured_obs(&self) -> RegistrySnapshot {
+        let now = self.db.chunk_store().obs_snapshot();
+        match &self.load_baseline {
+            Some(base) => now.since(base),
+            None => now,
+        }
     }
 
     fn update_balance(&self, t: &tdb::CTransaction, table: &str, id: u32, delta: i64) {
@@ -196,8 +221,11 @@ impl TpcbSystem for TdbDriver {
             }
         }
         // Loading is not part of the measurement: checkpoint so the
-        // steady-state run starts from a compact, clean log.
+        // steady-state run starts from a compact, clean log, and zero the
+        // telemetry so per-commit histograms count measured transactions
+        // only (see [`Self::measured_obs`]).
         self.db.checkpoint().unwrap();
+        self.load_baseline = Some(self.db.chunk_store().obs_snapshot());
     }
 
     fn transaction(&mut self, account: u32, teller: u32, branch: u32, delta: i64, hist_id: u32) {

@@ -67,6 +67,48 @@ fn reports_are_sane() {
 }
 
 #[test]
+fn group_stats_count_measured_transactions_exactly() {
+    // Regression: loading issues its own durable commits (schema creation,
+    // bulk-load batches, the closing checkpoint), and they used to leak
+    // into the reported group-commit histograms — a 6000-transaction run
+    // reported ~6012 `commit.group_size` laps. `measured_obs` subtracts
+    // the load-phase baseline, so group stats are per-user-commit exact.
+    tdb_obs::set_enabled(true);
+    let cfg = small_cfg();
+    let mut sys = TdbDriver::new(
+        Arc::new(MemStore::new()),
+        DatabaseConfig::without_security(),
+    );
+    run_benchmark(&mut sys, &cfg);
+
+    let measured = sys.measured_obs();
+    let size = measured
+        .histograms
+        .get("commit.group_size")
+        .expect("commit.group_size recorded");
+    // Every commit in a single-threaded run leads its own group of one.
+    assert_eq!(size.count(), cfg.transactions, "group_size laps");
+    assert_eq!(size.sum, cfg.transactions, "commits covered by groups");
+    let wait = measured
+        .histograms
+        .get("commit.group_wait")
+        .expect("commit.group_wait recorded");
+    assert_eq!(wait.count(), cfg.transactions, "group_wait laps");
+
+    // The lifetime snapshot still includes the load phase — strictly more
+    // laps than the measured run (that surplus was the bug).
+    let lifetime = sys.database().chunk_store().obs_snapshot();
+    let all = lifetime.histograms.get("commit.group_size").unwrap();
+    assert!(
+        all.count() > size.count(),
+        "load-phase commits must exist outside the measured window \
+         ({} vs {})",
+        all.count(),
+        size.count()
+    );
+}
+
+#[test]
 fn tdb_survives_reopen_after_benchmark() {
     // The benchmark leaves a consistent, recoverable database behind.
     let mem = MemStore::new();

@@ -1,0 +1,144 @@
+//! Opt-in commit-path perf-regression guard.
+//!
+//! Replays the checked-in `tests/baselines/BENCH_fig10_tpcb.json`
+//! baseline's TDB configuration in-process and fails if the live
+//! `commit.total` mean regresses by more than 25% against the baseline
+//! row. The threshold is deliberately loose — it is a tripwire for
+//! "someone put real work back on the commit path", not a
+//! microbenchmark. The baseline is a representative
+//! `SCALE=0.02 TXNS=6000 fig10_tpcb` emission promoted out of the
+//! (gitignored) `results/` directory; regenerate it deliberately when
+//! the commit path legitimately changes speed.
+//!
+//! `#[ignore]`d because wall-clock comparisons against a checked-in
+//! number only mean something from a release build on a quiet machine
+//! (CI exposes it as an opt-in job):
+//!
+//! ```sh
+//! cargo test --release --test perf_regression -- --ignored --nocapture
+//! ```
+
+use std::sync::Arc;
+
+use tdb::obs::Json;
+use tdb::{ChunkStoreConfig, DatabaseConfig, SecurityMode};
+use tdb_platform::MemStore;
+use tpcb::{run_benchmark, TdbDriver, TpcbConfig};
+
+/// How much slower than the recorded baseline the live mean may be.
+const ALLOWED_REGRESSION: f64 = 1.25;
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/baselines/BENCH_fig10_tpcb.json")
+}
+
+/// `results[] → system == name → phases_ns["commit.total"]` of the
+/// checked-in baseline document: (count, sum_ns).
+fn baseline_commit_total(doc: &Json, name: &str) -> (u64, u64) {
+    let field = |o: &[(String, Json)], k: &str| -> Json {
+        o.iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("baseline row missing `{k}`"))
+    };
+    let results = doc
+        .as_obj()
+        .map(|o| field(o, "results"))
+        .expect("baseline top level is an object");
+    let row = results
+        .as_arr()
+        .expect("results is an array")
+        .iter()
+        .find(|r| {
+            r.as_obj()
+                .and_then(|o| {
+                    o.iter()
+                        .find(|(n, _)| n == "system")
+                        .map(|(_, v)| v.clone())
+                })
+                .and_then(|v| v.as_str().map(|s| s == name))
+                .unwrap_or(false)
+        })
+        .unwrap_or_else(|| panic!("baseline has no `{name}` row"))
+        .clone();
+    let phases = row
+        .as_obj()
+        .map(|o| field(o, "phases_ns"))
+        .expect("row is an object");
+    let total = phases
+        .as_obj()
+        .map(|o| field(o, "commit.total"))
+        .expect("phases_ns is an object");
+    let get = |k: &str| {
+        total
+            .as_obj()
+            .map(|o| field(o, k))
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("commit.total.{k} missing or not an integer"))
+    };
+    (get("count"), get("sum"))
+}
+
+#[test]
+#[ignore = "benchmark: run --release on a quiet machine against the checked-in baseline"]
+fn commit_total_mean_within_25_percent_of_baseline() {
+    let text = std::fs::read_to_string(baseline_path()).expect("checked-in baseline JSON");
+    let doc = Json::parse(&text).expect("baseline parses");
+    let (count, sum) = baseline_commit_total(&doc, "TDB");
+    assert!(count > 0, "baseline commit.total has no samples");
+    let baseline_mean_ns = sum as f64 / count as f64;
+
+    // Mirror the baseline's TDB row: security off, 60% max utilization,
+    // in-memory store, single writer thread. The run size matches the
+    // smoke-bench invocation that regenerates the baseline. Best-of-3
+    // runs, like the instrumentation overhead guard: the baseline is one
+    // recorded run, so the live side takes its quietest window too —
+    // otherwise scheduler noise alone can exceed the 25% budget.
+    tdb_obs::set_enabled(true);
+    let cfg = TpcbConfig {
+        scale: 0.02,
+        transactions: 6000,
+        seed: 0x7DB,
+        threads: 1,
+    };
+    let live_mean_ns = (0..3)
+        .map(|_| {
+            let chunk = ChunkStoreConfig {
+                security: SecurityMode::Off,
+                max_utilization: 0.60,
+                ..ChunkStoreConfig::default()
+            };
+            let db_cfg = DatabaseConfig {
+                chunk,
+                ..DatabaseConfig::default()
+            };
+            let mut driver = TdbDriver::new(Arc::new(MemStore::new()), db_cfg);
+            run_benchmark(&mut driver, &cfg);
+            let measured = driver.measured_obs();
+            let live = measured
+                .histograms
+                .get("commit.total")
+                .expect("live run recorded commit.total")
+                .clone();
+            assert!(live.count() > 0, "live run has no commit.total samples");
+            live.sum as f64 / live.count() as f64
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let ratio = live_mean_ns / baseline_mean_ns;
+    println!(
+        "commit.total mean: baseline {:.1}µs, live {:.1}µs ({:.2}x)",
+        baseline_mean_ns / 1e3,
+        live_mean_ns / 1e3,
+        ratio
+    );
+    assert!(
+        ratio <= ALLOWED_REGRESSION,
+        "commit.total mean regressed {ratio:.2}x over the checked-in baseline \
+         ({:.1}µs -> {:.1}µs); either fix the regression or regenerate \
+         tests/baselines/BENCH_fig10_tpcb.json deliberately",
+        baseline_mean_ns / 1e3,
+        live_mean_ns / 1e3,
+    );
+}
